@@ -1,0 +1,166 @@
+//! ECOD — Empirical-CDF-based Outlier Detection (Li et al., TKDE 2022).
+//!
+//! Per dimension, fit an empirical CDF on training data; a point's
+//! dimension-wise outlyingness is the negative log of its tail probability
+//! (left, right, or the skewness-selected tail). The final score is the
+//! maximum of the three aggregated variants, exactly as in the original.
+//! Parameter-free and deterministic — the paper's fastest baseline.
+
+use cad_mts::Mts;
+use cad_stats::Ecdf;
+
+use crate::traits::Detector;
+
+/// ECOD detector.
+#[derive(Debug, Clone, Default)]
+pub struct Ecod {
+    ecdfs: Vec<Ecdf>,
+    skews: Vec<f64>,
+}
+
+impl Ecod {
+    /// New, unfitted instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Detector for Ecod {
+    fn name(&self) -> &'static str {
+        "ECOD"
+    }
+
+    fn fit(&mut self, train: &Mts) {
+        self.ecdfs = (0..train.n_sensors()).map(|s| Ecdf::fit(train.sensor(s))).collect();
+        self.skews = self.ecdfs.iter().map(Ecdf::skewness).collect();
+    }
+
+    fn score(&mut self, test: &Mts) -> Vec<f64> {
+        assert!(!self.ecdfs.is_empty(), "ECOD must be fitted before scoring");
+        assert_eq!(test.n_sensors(), self.ecdfs.len(), "sensor count mismatch");
+        let n = test.n_sensors();
+        (0..test.len())
+            .map(|t| {
+                let mut o_left = 0.0;
+                let mut o_right = 0.0;
+                let mut o_auto = 0.0;
+                for s in 0..n {
+                    let v = test.get(s, t);
+                    let left = -self.ecdfs[s].left_tail(v).ln();
+                    let right = -self.ecdfs[s].right_tail(v).ln();
+                    o_left += left;
+                    o_right += right;
+                    // Skew-selected tail: right-skewed dims trust the right
+                    // tail, left-skewed the left.
+                    o_auto += if self.skews[s] >= 0.0 { right } else { left };
+                }
+                o_left.max(o_right).max(o_auto) / n as f64
+            })
+            .collect()
+    }
+
+    fn sensor_scores(&mut self, test: &Mts) -> Option<Vec<Vec<f64>>> {
+        assert!(!self.ecdfs.is_empty(), "ECOD must be fitted before scoring");
+        let out = (0..test.n_sensors())
+            .map(|s| {
+                test.sensor(s)
+                    .iter()
+                    .map(|&v| self.sensor_score_at(s, v))
+                    .collect()
+            })
+            .collect();
+        Some(out)
+    }
+}
+
+impl Ecod {
+    fn sensor_score_at(&self, s: usize, v: f64) -> f64 {
+        let left = -self.ecdfs[s].left_tail(v).ln();
+        let right = -self.ecdfs[s].right_tail(v).ln();
+        left.max(right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train_mts() -> Mts {
+        // Two sensors with benign ranges.
+        let a: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b: Vec<f64> = (0..200).map(|i| 5.0 + (i as f64 * 0.07).cos()).collect();
+        Mts::from_series(vec![a, b])
+    }
+
+    #[test]
+    fn extreme_values_score_higher() {
+        let train = train_mts();
+        let mut ecod = Ecod::new();
+        ecod.fit(&train);
+        // Test: normal points plus one wild excursion on both sensors.
+        let test = Mts::from_series(vec![
+            vec![0.0, 0.5, 50.0, -0.5],
+            vec![5.0, 4.5, -40.0, 5.5],
+        ]);
+        let scores = ecod.score(&test);
+        assert!(scores[2] > scores[0]);
+        assert!(scores[2] > scores[1]);
+        assert!(scores[2] > scores[3]);
+    }
+
+    #[test]
+    fn central_values_score_low() {
+        let train = train_mts();
+        let mut ecod = Ecod::new();
+        ecod.fit(&train);
+        let scores = ecod.score(&train);
+        // The most extreme training points should out-score the median ones.
+        let mid = scores[100];
+        let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > mid);
+        assert!(scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn single_sided_anomaly_detected() {
+        // Only sensor 0 goes wild: the aggregate must still rise.
+        let train = train_mts();
+        let mut ecod = Ecod::new();
+        ecod.fit(&train);
+        let test = Mts::from_series(vec![vec![0.0, 99.0], vec![5.0, 5.0]]);
+        let scores = ecod.score(&test);
+        assert!(scores[1] > scores[0]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let train = train_mts();
+        let run = || {
+            let mut e = Ecod::new();
+            e.fit(&train);
+            e.score(&train)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn metadata() {
+        let e = Ecod::new();
+        assert_eq!(e.name(), "ECOD");
+        assert!(e.is_deterministic());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be fitted")]
+    fn unfitted_panics() {
+        Ecod::new().score(&train_mts());
+    }
+
+    #[test]
+    #[should_panic(expected = "sensor count mismatch")]
+    fn wrong_width_panics() {
+        let mut e = Ecod::new();
+        e.fit(&train_mts());
+        e.score(&Mts::zeros(3, 5));
+    }
+}

@@ -1,0 +1,187 @@
+//! Score-level ensembling — the paper's own mitigation for CAD's blind
+//! spot (§IV-F Limitations: "CAD can be used in parallel with other
+//! anomaly detection methods to provide an additional check").
+//!
+//! [`ScoreEnsemble`] runs several detectors on the same data, min-max
+//! normalises each score stream, and combines them point-wise. `Max`
+//! catches an anomaly if *any* member does (the paper's "additional
+//! check"); `Mean` trades recall for precision.
+
+use cad_mts::Mts;
+
+use crate::traits::Detector;
+
+/// Point-wise combination rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineRule {
+    /// Maximum of the normalised member scores.
+    Max,
+    /// Mean of the normalised member scores.
+    Mean,
+}
+
+/// An ensemble of detectors combined at the score level.
+pub struct ScoreEnsemble {
+    members: Vec<Box<dyn Detector>>,
+    rule: CombineRule,
+}
+
+impl ScoreEnsemble {
+    /// Build from member detectors (at least one) and a combination rule.
+    pub fn new(members: Vec<Box<dyn Detector>>, rule: CombineRule) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        Self { members, rule }
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always false (the constructor demands ≥ 1 member).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    fn normalize(scores: &mut [f64]) {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &s in scores.iter() {
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        if hi - lo <= f64::EPSILON {
+            scores.iter_mut().for_each(|s| *s = 0.0);
+        } else {
+            scores.iter_mut().for_each(|s| *s = (*s - lo) / (hi - lo));
+        }
+    }
+}
+
+impl Detector for ScoreEnsemble {
+    fn name(&self) -> &'static str {
+        "Ensemble"
+    }
+
+    fn is_deterministic(&self) -> bool {
+        self.members.iter().all(|m| m.is_deterministic())
+    }
+
+    fn fit(&mut self, train: &Mts) {
+        for m in &mut self.members {
+            m.fit(train);
+        }
+    }
+
+    fn score(&mut self, test: &Mts) -> Vec<f64> {
+        let mut combined = vec![0.0f64; test.len()];
+        let k = self.members.len() as f64;
+        for m in &mut self.members {
+            let mut scores = m.score(test);
+            assert_eq!(scores.len(), test.len(), "member {} length mismatch", m.name());
+            Self::normalize(&mut scores);
+            match self.rule {
+                CombineRule::Max => {
+                    for (c, s) in combined.iter_mut().zip(&scores) {
+                        if *s > *c {
+                            *c = *s;
+                        }
+                    }
+                }
+                CombineRule::Mean => {
+                    for (c, s) in combined.iter_mut().zip(&scores) {
+                        *c += s / k;
+                    }
+                }
+            }
+        }
+        combined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A stub detector with a fixed score stream.
+    struct Fixed(&'static str, Vec<f64>, bool);
+    impl Detector for Fixed {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn is_deterministic(&self) -> bool {
+            self.2
+        }
+        fn fit(&mut self, _train: &Mts) {}
+        fn score(&mut self, _test: &Mts) -> Vec<f64> {
+            self.1.clone()
+        }
+    }
+
+    fn test_mts() -> Mts {
+        Mts::zeros(2, 4)
+    }
+
+    #[test]
+    fn max_rule_takes_pointwise_max() {
+        let a = Fixed("a", vec![0.0, 10.0, 0.0, 0.0], true);
+        let b = Fixed("b", vec![0.0, 0.0, 0.0, 5.0], true);
+        let mut e = ScoreEnsemble::new(vec![Box::new(a), Box::new(b)], CombineRule::Max);
+        e.fit(&test_mts());
+        // Normalised: a → [0,1,0,0], b → [0,0,0,1].
+        assert_eq!(e.score(&test_mts()), vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_rule_averages() {
+        let a = Fixed("a", vec![0.0, 10.0, 0.0, 0.0], true);
+        let b = Fixed("b", vec![0.0, 10.0, 0.0, 10.0], true);
+        let mut e = ScoreEnsemble::new(vec![Box::new(a), Box::new(b)], CombineRule::Mean);
+        assert_eq!(e.score(&test_mts()), vec![0.0, 1.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn constant_member_contributes_zero() {
+        let a = Fixed("a", vec![7.0; 4], true);
+        let b = Fixed("b", vec![0.0, 1.0, 0.0, 0.0], true);
+        let mut e = ScoreEnsemble::new(vec![Box::new(a), Box::new(b)], CombineRule::Max);
+        assert_eq!(e.score(&test_mts()), vec![0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn determinism_is_conjunction() {
+        let det = ScoreEnsemble::new(
+            vec![Box::new(Fixed("a", vec![0.0], true)), Box::new(Fixed("b", vec![0.0], true))],
+            CombineRule::Max,
+        );
+        assert!(det.is_deterministic());
+        let mixed = ScoreEnsemble::new(
+            vec![Box::new(Fixed("a", vec![0.0], true)), Box::new(Fixed("b", vec![0.0], false))],
+            CombineRule::Max,
+        );
+        assert!(!mixed.is_deterministic());
+    }
+
+    #[test]
+    fn real_members_compose() {
+        // ECOD + IForest on a small dataset: scores cover every point.
+        use crate::{Ecod, IsolationForest};
+        let train = Mts::from_series(vec![
+            (0..200).map(|i| (i as f64 * 0.1).sin()).collect(),
+            (0..200).map(|i| (i as f64 * 0.13).cos()).collect(),
+        ]);
+        let mut e = ScoreEnsemble::new(
+            vec![Box::new(Ecod::new()), Box::new(IsolationForest::new(1))],
+            CombineRule::Max,
+        );
+        e.fit(&train);
+        let scores = e.score(&train);
+        assert_eq!(scores.len(), 200);
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        ScoreEnsemble::new(vec![], CombineRule::Max);
+    }
+}

@@ -1,0 +1,270 @@
+//! Isolation Forest (Liu, Ting, Zhou — ICDM 2008).
+//!
+//! An ensemble of random isolation trees built on subsamples of the
+//! training columns; anomalies isolate in fewer splits, so the score is
+//! `2^(−E[h(x)]/c(ψ))` with `c` the average unsuccessful-search path length
+//! of a BST. Randomised (per-seed), which is why Table III reports a
+//! non-zero std for it — repeats here behave the same way.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use cad_mts::Mts;
+
+use crate::traits::{Detector, ZScaler};
+
+/// One node of an isolation tree, stored in a flat arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Internal { feature: usize, threshold: f64, left: usize, right: usize },
+    /// External node holding `size` training points.
+    Leaf { size: usize },
+}
+
+/// An isolation tree.
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn build(points: &[Vec<f64>], idx: &mut [usize], max_depth: usize, rng: &mut StdRng) -> Tree {
+        let mut nodes = Vec::new();
+        Self::build_rec(points, idx, 0, max_depth, rng, &mut nodes);
+        Tree { nodes }
+    }
+
+    fn build_rec(
+        points: &[Vec<f64>],
+        idx: &mut [usize],
+        depth: usize,
+        max_depth: usize,
+        rng: &mut StdRng,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        if idx.len() <= 1 || depth >= max_depth {
+            nodes.push(Node::Leaf { size: idx.len() });
+            return nodes.len() - 1;
+        }
+        let dims = points[0].len();
+        // Pick a split feature with spread; give up after a few tries (the
+        // remaining points may be identical).
+        let mut feature = rng.gen_range(0..dims);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for attempt in 0..4 {
+            lo = f64::INFINITY;
+            hi = f64::NEG_INFINITY;
+            for &i in idx.iter() {
+                lo = lo.min(points[i][feature]);
+                hi = hi.max(points[i][feature]);
+            }
+            if hi - lo > f64::EPSILON || attempt == 3 {
+                break;
+            }
+            feature = rng.gen_range(0..dims);
+        }
+        if hi - lo <= f64::EPSILON {
+            nodes.push(Node::Leaf { size: idx.len() });
+            return nodes.len() - 1;
+        }
+        let threshold = lo + rng.gen::<f64>() * (hi - lo);
+        // Partition in place.
+        let mut split = 0;
+        for i in 0..idx.len() {
+            if points[idx[i]][feature] < threshold {
+                idx.swap(i, split);
+                split += 1;
+            }
+        }
+        if split == 0 || split == idx.len() {
+            nodes.push(Node::Leaf { size: idx.len() });
+            return nodes.len() - 1;
+        }
+        let slot = nodes.len();
+        nodes.push(Node::Leaf { size: 0 }); // placeholder
+        let (left_idx, right_idx) = idx.split_at_mut(split);
+        let left = Self::build_rec(points, left_idx, depth + 1, max_depth, rng, nodes);
+        let right = Self::build_rec(points, right_idx, depth + 1, max_depth, rng, nodes);
+        nodes[slot] = Node::Internal { feature, threshold, left, right };
+        slot
+    }
+
+    /// Path length of a query, with the standard `c(size)` adjustment at
+    /// leaves holding more than one point.
+    fn path_length(&self, q: &[f64]) -> f64 {
+        let mut node = 0usize;
+        let mut depth = 0.0;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { size } => {
+                    return depth + c_factor(*size);
+                }
+                Node::Internal { feature, threshold, left, right } => {
+                    depth += 1.0;
+                    node = if q[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Average path length of unsuccessful BST search on `n` points.
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_901_532_9) - 2.0 * (n - 1.0) / n
+}
+
+/// Isolation forest with the canonical defaults: 100 trees, ψ = 256.
+#[derive(Debug, Clone)]
+pub struct IsolationForest {
+    n_trees: usize,
+    subsample: usize,
+    seed: u64,
+    scaler: ZScaler,
+    trees: Vec<Tree>,
+    c_psi: f64,
+}
+
+impl IsolationForest {
+    /// Forest with the paper-standard 100 trees and ψ = 256.
+    pub fn new(seed: u64) -> Self {
+        Self::with_params(100, 256, seed)
+    }
+
+    /// Fully parameterised constructor.
+    pub fn with_params(n_trees: usize, subsample: usize, seed: u64) -> Self {
+        assert!(n_trees >= 1 && subsample >= 2);
+        Self {
+            n_trees,
+            subsample,
+            seed,
+            scaler: ZScaler::default(),
+            trees: Vec::new(),
+            c_psi: 1.0,
+        }
+    }
+
+}
+
+impl Detector for IsolationForest {
+    fn name(&self) -> &'static str {
+        "IForest"
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false // per-seed; repeats with different seeds vary (Table VIII)
+    }
+
+    fn fit(&mut self, train: &Mts) {
+        self.scaler = ZScaler::fit(train);
+        let points = self.scaler.columns(train);
+        assert!(points.len() >= 2, "IForest needs at least two training points");
+        let psi = self.subsample.min(points.len());
+        let max_depth = (psi as f64).log2().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                // Sample ψ distinct indices (partial Fisher–Yates).
+                let mut pool: Vec<usize> = (0..points.len()).collect();
+                for j in 0..psi {
+                    let pick = rng.gen_range(j..pool.len());
+                    pool.swap(j, pick);
+                }
+                let mut idx: Vec<usize> = pool[..psi].to_vec();
+                Tree::build(&points, &mut idx, max_depth, &mut rng)
+            })
+            .collect();
+        self.c_psi = c_factor(psi);
+    }
+
+    fn score(&mut self, test: &Mts) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "IForest must be fitted before scoring");
+        let queries = self.scaler.columns(test);
+        queries
+            .iter()
+            .map(|q| {
+                let mean_path: f64 =
+                    self.trees.iter().map(|t| t.path_length(q)).sum::<f64>()
+                        / self.trees.len() as f64;
+                2f64.powf(-mean_path / self.c_psi)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_blob(n: usize) -> Mts {
+        // Deterministic pseudo-Gaussian cloud around the origin.
+        let xs: Vec<f64> = (0..n).map(|i| ((i * 37) % 100) as f64 / 100.0 - 0.5).collect();
+        let ys: Vec<f64> = (0..n).map(|i| ((i * 61) % 100) as f64 / 100.0 - 0.5).collect();
+        Mts::from_series(vec![xs, ys])
+    }
+
+    #[test]
+    fn isolates_far_point() {
+        let train = gaussian_blob(300);
+        let mut forest = IsolationForest::new(7);
+        forest.fit(&train);
+        // Test: blob points + an extreme one.
+        let test = Mts::from_series(vec![vec![0.1, -0.2, 8.0], vec![0.0, 0.3, -9.0]]);
+        let scores = forest.score(&test);
+        assert!(scores[2] > scores[0], "{scores:?}");
+        assert!(scores[2] > scores[1], "{scores:?}");
+        assert!(scores[2] > 0.6, "far point should isolate quickly: {}", scores[2]);
+    }
+
+    #[test]
+    fn scores_in_unit_range() {
+        let train = gaussian_blob(300);
+        let mut forest = IsolationForest::new(1);
+        forest.fit(&train);
+        for s in forest.score(&train) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn seed_controls_randomness() {
+        let train = gaussian_blob(200);
+        let score_with = |seed: u64| {
+            let mut f = IsolationForest::new(seed);
+            f.fit(&train);
+            f.score(&train)
+        };
+        assert_eq!(score_with(5), score_with(5), "same seed → same forest");
+        assert_ne!(score_with(5), score_with(6), "different seeds must differ");
+    }
+
+    #[test]
+    fn c_factor_known_values() {
+        assert_eq!(c_factor(1), 0.0);
+        // c(2) = 2(ln 1 + γ) − 2·1/2 = 2γ − 1 ≈ 0.1544.
+        assert!((c_factor(2) - 0.154_431).abs() < 1e-5);
+        assert!(c_factor(256) > c_factor(16));
+    }
+
+    #[test]
+    fn handles_constant_feature() {
+        let train = Mts::from_series(vec![
+            vec![1.0; 64],
+            (0..64).map(|i| i as f64).collect(),
+        ]);
+        let mut forest = IsolationForest::with_params(20, 32, 3);
+        forest.fit(&train);
+        let scores = forest.score(&train);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn metadata() {
+        let f = IsolationForest::new(0);
+        assert_eq!(f.name(), "IForest");
+        assert!(!f.is_deterministic());
+    }
+}

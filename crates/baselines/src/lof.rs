@@ -1,0 +1,229 @@
+//! Local Outlier Factor (Breunig et al., SIGMOD 2000).
+//!
+//! The classic density-based detector the paper uses as its first data
+//! mining baseline. Points are the column vectors of the (per-sensor
+//! z-normalised) MTS. The reference set is the training segment
+//! (subsampled when huge — the quadratic neighbour search is exactly why
+//! Table VI/VII show LOF blowing up on long series, and the same shape
+//! appears here); scoring computes each query's LOF against that set.
+
+use cad_mts::Mts;
+
+use crate::traits::{Detector, ZScaler};
+
+/// LOF with parameter `k` (MinPts).
+#[derive(Debug, Clone)]
+pub struct Lof {
+    k: usize,
+    max_train: usize,
+    scaler: ZScaler,
+    train: Vec<Vec<f64>>,
+    /// Per-training-point k-distance (cached at fit).
+    k_dist: Vec<f64>,
+    /// Per-training-point local reachability density.
+    lrd: Vec<f64>,
+}
+
+impl Lof {
+    /// LOF with `k` neighbours (the original paper suggests 10–50;
+    /// TODS defaults to 20) and a cap on reference points.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        Self {
+            k,
+            max_train: 5000,
+            scaler: ZScaler::default(),
+            train: Vec::new(),
+            k_dist: Vec::new(),
+            lrd: Vec::new(),
+        }
+    }
+
+    /// Limit the number of reference points kept from the training segment.
+    pub fn with_max_train(mut self, max_train: usize) -> Self {
+        assert!(max_train > 1);
+        self.max_train = max_train;
+        self
+    }
+
+    /// Exact k nearest neighbours of `q` among `points`, excluding index
+    /// `skip` (usize::MAX = none). Returns (distance, index) sorted.
+    fn knn(points: &[Vec<f64>], q: &[f64], k: usize, skip: usize) -> Vec<(f64, usize)> {
+        let mut dists: Vec<(f64, usize)> = points
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != skip)
+            .map(|(i, p)| {
+                let d: f64 = p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d.sqrt(), i)
+            })
+            .collect();
+        let k = k.min(dists.len());
+        dists.select_nth_unstable_by(k.saturating_sub(1), |a, b| {
+            a.partial_cmp(b).expect("finite distances")
+        });
+        dists.truncate(k);
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        dists
+    }
+}
+
+impl Detector for Lof {
+    fn name(&self) -> &'static str {
+        "LOF"
+    }
+
+    fn fit(&mut self, train: &Mts) {
+        self.scaler = ZScaler::fit(train);
+        let mut pts = self.scaler.columns(train);
+        if pts.len() > self.max_train {
+            // Uniform decimation keeps temporal coverage and determinism.
+            let step = pts.len() / self.max_train;
+            pts = pts.into_iter().step_by(step.max(1)).collect();
+        }
+        let n = pts.len();
+        assert!(n > self.k, "LOF needs more than k={} training points", self.k);
+        // Pass 1: k-distances and neighbour lists.
+        let mut neighbors: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
+        for (i, p) in pts.iter().enumerate() {
+            neighbors.push(Self::knn(&pts, p, self.k, i));
+        }
+        let k_dist: Vec<f64> = neighbors
+            .iter()
+            .map(|nb| nb.last().map_or(0.0, |&(d, _)| d))
+            .collect();
+        // Pass 2: local reachability densities.
+        let lrd: Vec<f64> = neighbors
+            .iter()
+            .map(|nb| {
+                let reach_sum: f64 =
+                    nb.iter().map(|&(d, j)| d.max(k_dist[j])).sum();
+                if reach_sum <= f64::EPSILON {
+                    f64::INFINITY
+                } else {
+                    nb.len() as f64 / reach_sum
+                }
+            })
+            .collect();
+        self.train = pts;
+        self.k_dist = k_dist;
+        self.lrd = lrd;
+    }
+
+    fn score(&mut self, test: &Mts) -> Vec<f64> {
+        assert!(!self.train.is_empty(), "LOF must be fitted before scoring");
+        let queries = self.scaler.columns(test);
+        queries
+            .iter()
+            .map(|q| {
+                let nb = Self::knn(&self.train, q, self.k, usize::MAX);
+                let reach_sum: f64 = nb.iter().map(|&(d, j)| d.max(self.k_dist[j])).sum();
+                let lrd_q = if reach_sum <= f64::EPSILON {
+                    f64::INFINITY
+                } else {
+                    nb.len() as f64 / reach_sum
+                };
+                if !lrd_q.is_finite() {
+                    // Query coincides with a dense training cluster → inlier.
+                    return 1.0;
+                }
+                let mean_ratio: f64 = nb
+                    .iter()
+                    .map(|&(_, j)| {
+                        let l = self.lrd[j];
+                        if l.is_finite() {
+                            l / lrd_q
+                        } else {
+                            // Infinitely dense neighbour: strongest inlier pull.
+                            1e6
+                        }
+                    })
+                    .sum::<f64>()
+                    / nb.len() as f64;
+                mean_ratio.min(1e6)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Train: two tight clusters. Test: cluster members + one far outlier.
+    fn cluster_mts(extra: &[(f64, f64)]) -> Mts {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let (cx, cy) = if i % 2 == 0 { (0.0, 0.0) } else { (10.0, 10.0) };
+            xs.push(cx + 0.05 * ((i % 7) as f64 - 3.0));
+            ys.push(cy + 0.05 * ((i % 5) as f64 - 2.0));
+        }
+        for &(x, y) in extra {
+            xs.push(x);
+            ys.push(y);
+        }
+        Mts::from_series(vec![xs, ys])
+    }
+
+    #[test]
+    fn outlier_scores_higher_than_inliers() {
+        let train = cluster_mts(&[]);
+        let test = cluster_mts(&[(5.0, 5.0)]); // midpoint = sparse region
+        let mut lof = Lof::new(5);
+        lof.fit(&train);
+        let scores = lof.score(&test);
+        let outlier_score = *scores.last().unwrap();
+        let inlier_max = scores[..40].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            outlier_score > inlier_max,
+            "outlier {outlier_score} must beat inliers (max {inlier_max})"
+        );
+    }
+
+    #[test]
+    fn inliers_score_near_one() {
+        let train = cluster_mts(&[]);
+        let mut lof = Lof::new(5);
+        lof.fit(&train);
+        let scores = lof.score(&train);
+        let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!((0.5..2.0).contains(&mean), "inlier LOF should hover near 1: {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let train = cluster_mts(&[]);
+        let test = cluster_mts(&[(4.0, 6.0)]);
+        let run = || {
+            let mut lof = Lof::new(5);
+            lof.fit(&train);
+            lof.score(&test)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn subsampling_caps_training_size() {
+        let train = cluster_mts(&[]);
+        let mut lof = Lof::new(3).with_max_train(10);
+        lof.fit(&train);
+        assert!(lof.train.len() <= 20, "decimation must cap reference points");
+        // Still functional.
+        let scores = lof.score(&train);
+        assert_eq!(scores.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be fitted")]
+    fn scoring_unfitted_panics() {
+        Lof::new(3).score(&cluster_mts(&[]));
+    }
+
+    #[test]
+    fn detector_metadata() {
+        let lof = Lof::new(3);
+        assert_eq!(lof.name(), "LOF");
+        assert!(lof.is_deterministic());
+    }
+}

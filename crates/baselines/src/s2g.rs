@@ -1,0 +1,226 @@
+//! Series2Graph (Boniol & Palpanas, PVLDB 2020) — graph-based univariate
+//! subsequence anomaly detection.
+//!
+//! The original embeds overlapping subsequences into a low-dimensional
+//! rotation-reduced space, discretises the embedding into graph nodes,
+//! connects consecutive subsequences with weighted edges, and scores a
+//! subsequence by the (in)frequency of its path. This implementation keeps
+//! that pipeline with a PCA embedding: subsequences → first two principal
+//! components (deterministic power iteration) → angular discretisation into
+//! ψ sectors → transition graph → rarity score. Fully deterministic, like
+//! the original (Table VIII lists S2G among the zero-std methods).
+
+use cad_mts::Mts;
+
+use crate::subsequence::{spread_scores, znormed_subsequences};
+use crate::traits::{score_univariate_mean, Detector, UnivariateScorer};
+
+/// Series2Graph parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct S2gConfig {
+    /// Subsequence (query) length; the paper's experiments use 100.
+    pub query_len: usize,
+    /// Number of angular sectors ψ (graph nodes).
+    pub sectors: usize,
+}
+
+impl Default for S2gConfig {
+    fn default() -> Self {
+        Self { query_len: 50, sectors: 60 }
+    }
+}
+
+/// The Series2Graph detector.
+#[derive(Debug, Clone)]
+pub struct Series2Graph {
+    config: S2gConfig,
+}
+
+impl Series2Graph {
+    /// S2G with the given subsequence length (ψ = 60 sectors).
+    pub fn new(query_len: usize) -> Self {
+        Self { config: S2gConfig { query_len, ..S2gConfig::default() } }
+    }
+
+    /// Fully parameterised constructor.
+    pub fn with_config(config: S2gConfig) -> Self {
+        assert!(config.query_len >= 4 && config.sectors >= 4);
+        Self { config }
+    }
+
+    /// First two principal directions of the subsequence cloud via
+    /// deterministic power iteration with deflation.
+    fn principal_directions(subs: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+        let l = subs[0].len();
+        // Covariance-free power iteration: v ← Σ_i (x_i·v) x_i, normalised.
+        let power = |subs: &[Vec<f64>], deflate: Option<&[f64]>| -> Vec<f64> {
+            let mut v = vec![1.0 / (l as f64).sqrt(); l];
+            if let Some(d) = deflate {
+                // Start orthogonal to the first component.
+                let dot: f64 = v.iter().zip(d).map(|(a, b)| a * b).sum();
+                for (vi, di) in v.iter_mut().zip(d) {
+                    *vi -= dot * di;
+                }
+            }
+            for _ in 0..30 {
+                let mut next = vec![0.0; l];
+                for x in subs {
+                    let proj: f64 = x.iter().zip(&v).map(|(a, b)| a * b).sum();
+                    for (n, xi) in next.iter_mut().zip(x) {
+                        *n += proj * xi;
+                    }
+                }
+                if let Some(d) = deflate {
+                    let dot: f64 = next.iter().zip(d).map(|(a, b)| a * b).sum();
+                    for (ni, di) in next.iter_mut().zip(d) {
+                        *ni -= dot * di;
+                    }
+                }
+                let norm: f64 = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm <= f64::EPSILON {
+                    // Degenerate cloud: fall back to a fixed direction.
+                    break;
+                }
+                for n in &mut next {
+                    *n /= norm;
+                }
+                v = next;
+            }
+            v
+        };
+        let p1 = power(subs, None);
+        let p2 = power(subs, Some(&p1));
+        (p1, p2)
+    }
+}
+
+impl UnivariateScorer for Series2Graph {
+    fn score_series(&mut self, series: &[f64]) -> Vec<f64> {
+        let l = self.config.query_len.min(series.len().saturating_sub(1)).max(4);
+        if series.len() <= l {
+            return vec![0.0; series.len()];
+        }
+        let (starts, subs) = znormed_subsequences(series, l, 1);
+        if subs.len() < 3 {
+            return vec![0.0; series.len()];
+        }
+        let (p1, p2) = Self::principal_directions(&subs);
+        // Node per subsequence: angular sector of its 2-D embedding.
+        let psi = self.config.sectors;
+        let nodes: Vec<usize> = subs
+            .iter()
+            .map(|x| {
+                let a: f64 = x.iter().zip(&p1).map(|(v, w)| v * w).sum();
+                let b: f64 = x.iter().zip(&p2).map(|(v, w)| v * w).sum();
+                let angle = b.atan2(a); // [-π, π]
+                let frac = (angle + std::f64::consts::PI) / (2.0 * std::f64::consts::PI);
+                ((frac * psi as f64) as usize).min(psi - 1)
+            })
+            .collect();
+        // Weighted transition graph between consecutive subsequences.
+        let mut edge_count = vec![0u32; psi * psi];
+        for pair in nodes.windows(2) {
+            edge_count[pair[0] * psi + pair[1]] += 1;
+        }
+        // Rarity of each subsequence's outgoing transition (the last
+        // subsequence inherits its incoming transition's score). A path
+        // travelled w times scores 1/(1+w): frequent normal paths → near 0,
+        // unique anomalous paths → 1/2 and above after averaging.
+        let scores: Vec<f64> = (0..nodes.len())
+            .map(|i| {
+                let (from, to) = if i + 1 < nodes.len() {
+                    (nodes[i], nodes[i + 1])
+                } else {
+                    (nodes[i - 1], nodes[i])
+                };
+                let w = edge_count[from * psi + to] as f64;
+                1.0 / (1.0 + w)
+            })
+            .collect();
+        spread_scores(series.len(), &starts, l, &scores)
+    }
+}
+
+impl Detector for Series2Graph {
+    fn name(&self) -> &'static str {
+        "S2G"
+    }
+
+    fn fit(&mut self, _train: &Mts) {
+        // Unsupervised on the scored series itself; nothing to fit.
+    }
+
+    fn score(&mut self, test: &Mts) -> Vec<f64> {
+        let mut scorer = self.clone();
+        score_univariate_mean(&mut scorer, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic_with_anomaly() -> Vec<f64> {
+        let mut xs: Vec<f64> = (0..600).map(|t| (t as f64 * 0.2).sin()).collect();
+        for (t, x) in xs.iter_mut().enumerate().take(420).skip(380) {
+            *x = 2.0 + (t as f64 * 0.9).cos() * 0.3;
+        }
+        xs
+    }
+
+    #[test]
+    fn anomalous_subsequences_score_higher() {
+        let xs = periodic_with_anomaly();
+        let mut s2g = Series2Graph::new(24);
+        let scores = s2g.score_series(&xs);
+        let normal: f64 = scores[50..300].iter().sum::<f64>() / 250.0;
+        let anomal: f64 = scores[385..415].iter().sum::<f64>() / 30.0;
+        assert!(anomal > normal, "anomaly {anomal} vs normal {normal}");
+    }
+
+    #[test]
+    fn pure_periodic_scores_low_variance() {
+        let xs: Vec<f64> = (0..500).map(|t| (t as f64 * 0.2).sin()).collect();
+        let mut s2g = Series2Graph::new(24);
+        let scores = s2g.score_series(&xs);
+        // A perfectly repetitive series travels frequent edges everywhere:
+        // most scores should be small.
+        let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!(mean < 0.5, "repetitive series should score low: {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let xs = periodic_with_anomaly();
+        let run = || Series2Graph::new(24).score_series(&xs);
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn short_series_graceful() {
+        let xs = vec![1.0, 2.0, 3.0];
+        let scores = Series2Graph::new(50).score_series(&xs);
+        assert_eq!(scores.len(), 3);
+    }
+
+    #[test]
+    fn mts_lift_averages_sensors() {
+        let xs = periodic_with_anomaly();
+        let ys: Vec<f64> = (0..600).map(|t| (t as f64 * 0.31).cos()).collect();
+        let mts = Mts::from_series(vec![xs.clone(), ys]);
+        let mut s2g = Series2Graph::new(24);
+        let combined = s2g.score(&mts);
+        assert_eq!(combined.len(), 600);
+        // The anomaly region (only on sensor 0) still stands out, diluted.
+        let normal: f64 = combined[50..300].iter().sum::<f64>() / 250.0;
+        let anomal: f64 = combined[385..415].iter().sum::<f64>() / 30.0;
+        assert!(anomal > normal);
+    }
+
+    #[test]
+    fn metadata() {
+        let s = Series2Graph::new(10);
+        assert_eq!(s.name(), "S2G");
+        assert!(s.is_deterministic());
+    }
+}

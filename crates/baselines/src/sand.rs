@@ -1,0 +1,346 @@
+//! SAND and SAND* (Boniol et al., PVLDB 2021) — streaming subsequence
+//! anomaly detection via k-Shape-style clustering.
+//!
+//! SAND maintains a *weighted set of subsequence clusters* under the
+//! Shape-Based Distance (SBD, from k-Shape) and scores each subsequence by
+//! its weighted distance to the model. The batch variant clusters the whole
+//! series at once; the online variant (SAND*) initialises on a prefix and
+//! then folds in batches, decaying old cluster weights with an update rate
+//! α — so the model tracks distribution drift. Centroids here are medoids
+//! under SBD (the original's shape extraction solves an eigenproblem; the
+//! medoid is the standard cheap stand-in and preserves the weighting and
+//! streaming logic). Randomised via the clustering initialisation.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use cad_mts::Mts;
+
+use crate::subsequence::{sbd, spread_scores, znormed_subsequences};
+use crate::traits::{score_univariate_mean, Detector, UnivariateScorer};
+
+/// Batch (SAND) or online (SAND*) operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SandMode {
+    /// One clustering pass over the whole series.
+    Batch,
+    /// Initialise on a prefix, then update per batch with weight decay.
+    Online {
+        /// Fraction of the series used for initialisation (paper: 0.5).
+        init_frac_percent: u8,
+        /// Batch size as a fraction of the series (paper: 0.1).
+        batch_frac_percent: u8,
+        /// Weight update rate α (paper: 0.5), in percent.
+        alpha_percent: u8,
+    },
+}
+
+impl SandMode {
+    /// The paper's SAND* settings: init 0.5·|T|, batch 0.1·|T|, α = 0.5.
+    pub fn online_default() -> Self {
+        SandMode::Online { init_frac_percent: 50, batch_frac_percent: 10, alpha_percent: 50 }
+    }
+}
+
+/// SAND parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SandConfig {
+    /// Subsequence length (the paper sets the centroid length to 4× the
+    /// estimated pattern length).
+    pub subseq_len: usize,
+    /// Number of clusters k.
+    pub k: usize,
+    /// Clustering iterations per (re)fit.
+    pub iterations: usize,
+    /// Maximum SBD alignment shift.
+    pub max_shift: usize,
+    /// Operating mode.
+    pub mode: SandMode,
+}
+
+impl SandConfig {
+    /// Defaults for a given subsequence length and mode.
+    pub fn new(subseq_len: usize, mode: SandMode) -> Self {
+        Self { subseq_len, k: 4, iterations: 8, max_shift: (subseq_len / 2).max(1), mode }
+    }
+}
+
+/// The SAND / SAND* detector.
+#[derive(Debug, Clone)]
+pub struct Sand {
+    config: SandConfig,
+    seed: u64,
+}
+
+/// A weighted cluster model: medoid subsequences plus weights.
+struct Model {
+    centroids: Vec<Vec<f64>>,
+    weights: Vec<f64>,
+    max_shift: usize,
+}
+
+impl Model {
+    /// Weighted distance of a subsequence to the model.
+    fn score(&self, x: &[f64]) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        if total <= f64::EPSILON {
+            return 0.0;
+        }
+        self.centroids
+            .iter()
+            .zip(&self.weights)
+            .map(|(c, &w)| w * sbd(x, c, self.max_shift))
+            .sum::<f64>()
+            / total
+    }
+}
+
+impl Sand {
+    /// Batch SAND with the given subsequence length and seed.
+    pub fn new(subseq_len: usize, seed: u64) -> Self {
+        Self::with_config(SandConfig::new(subseq_len, SandMode::Batch), seed)
+    }
+
+    /// Online SAND* with the paper's default streaming parameters.
+    pub fn online(subseq_len: usize, seed: u64) -> Self {
+        Self::with_config(SandConfig::new(subseq_len, SandMode::online_default()), seed)
+    }
+
+    /// Fully parameterised constructor.
+    pub fn with_config(config: SandConfig, seed: u64) -> Self {
+        assert!(config.subseq_len >= 4 && config.k >= 1);
+        Self { config, seed }
+    }
+
+    /// k-medoids under SBD with seeded init. Returns (centroids, sizes).
+    fn cluster(
+        &self,
+        subs: &[Vec<f64>],
+        rng: &mut StdRng,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let n = subs.len();
+        let k = self.config.k.min(n);
+        let shift = self.config.max_shift;
+        let mut centroids: Vec<Vec<f64>> = (0..k)
+            .map(|_| subs[rng.gen_range(0..n)].clone())
+            .collect();
+        let mut assign = vec![0usize; n];
+        for _ in 0..self.config.iterations {
+            let mut moved = false;
+            for (i, x) in subs.iter().enumerate() {
+                let best = (0..k)
+                    .min_by(|&a, &b| {
+                        sbd(x, &centroids[a], shift)
+                            .partial_cmp(&sbd(x, &centroids[b], shift))
+                            .expect("finite distances")
+                    })
+                    .expect("k >= 1");
+                if assign[i] != best {
+                    assign[i] = best;
+                    moved = true;
+                }
+            }
+            // Medoid update: within each cluster pick the member with the
+            // lowest total SBD to a decimated sample of its peers (full
+            // pairwise would be quadratic).
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                let members: Vec<usize> =
+                    (0..n).filter(|&i| assign[i] == c).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let sample: Vec<usize> =
+                    members.iter().step_by((members.len() / 16).max(1)).copied().collect();
+                let medoid = members
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let da: f64 =
+                            sample.iter().map(|&j| sbd(&subs[a], &subs[j], shift)).sum();
+                        let db: f64 =
+                            sample.iter().map(|&j| sbd(&subs[b], &subs[j], shift)).sum();
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("non-empty cluster");
+                *centroid = subs[*medoid].clone();
+            }
+            if !moved {
+                break;
+            }
+        }
+        let mut sizes = vec![0.0f64; k];
+        for &a in &assign {
+            sizes[a] += 1.0;
+        }
+        (centroids, sizes)
+    }
+
+    fn score_with_model(&self, series: &[f64], l: usize, model: &Model) -> Vec<f64> {
+        let stride = (l / 8).max(1);
+        let (starts, subs) = znormed_subsequences(series, l, stride);
+        let scores: Vec<f64> = subs.iter().map(|x| model.score(x)).collect();
+        spread_scores(series.len(), &starts, l, &scores)
+    }
+}
+
+impl UnivariateScorer for Sand {
+    fn score_series(&mut self, series: &[f64]) -> Vec<f64> {
+        let l = self.config.subseq_len.min(series.len() / 2).max(4);
+        if series.len() < 2 * l {
+            return vec![0.0; series.len()];
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let model_stride = (l / 2).max(1);
+        match self.config.mode {
+            SandMode::Batch => {
+                let (_, subs) = znormed_subsequences(series, l, model_stride);
+                if subs.len() < 2 {
+                    return vec![0.0; series.len()];
+                }
+                let (centroids, weights) = self.cluster(&subs, &mut rng);
+                let model = Model { centroids, weights, max_shift: self.config.max_shift };
+                self.score_with_model(series, l, &model)
+            }
+            SandMode::Online { init_frac_percent, batch_frac_percent, alpha_percent } => {
+                let init_len =
+                    (series.len() * init_frac_percent as usize / 100).max(2 * l);
+                let batch_len =
+                    (series.len() * batch_frac_percent as usize / 100).max(l + 1);
+                let alpha = alpha_percent as f64 / 100.0;
+                // Initialise the model on the prefix.
+                let (_, init_subs) =
+                    znormed_subsequences(&series[..init_len.min(series.len())], l, model_stride);
+                if init_subs.len() < 2 {
+                    return vec![0.0; series.len()];
+                }
+                let (centroids, weights) = self.cluster(&init_subs, &mut rng);
+                let mut model =
+                    Model { centroids, weights, max_shift: self.config.max_shift };
+                let mut scores = vec![0.0f64; series.len()];
+                // Prefix scored by the initial model.
+                let prefix_scores =
+                    self.score_with_model(&series[..init_len.min(series.len())], l, &model);
+                scores[..prefix_scores.len()].copy_from_slice(&prefix_scores);
+                // Stream the remainder in batches: score with the current
+                // model, then decay-and-update the cluster weights.
+                let mut pos = init_len;
+                while pos < series.len() {
+                    let end = (pos + batch_len).min(series.len());
+                    // Include l−1 points of left context so every point of
+                    // the batch is covered by some subsequence.
+                    let ctx_start = pos.saturating_sub(l - 1);
+                    let batch_scores =
+                        self.score_with_model(&series[ctx_start..end], l, &model);
+                    scores[pos..end].copy_from_slice(&batch_scores[pos - ctx_start..]);
+                    // Weight update: assign batch subsequences to nearest
+                    // centroid, decay old weights by α.
+                    let (_, batch_subs) =
+                        znormed_subsequences(&series[ctx_start..end], l, model_stride);
+                    let mut counts = vec![0.0f64; model.centroids.len()];
+                    for x in &batch_subs {
+                        let best = (0..model.centroids.len())
+                            .min_by(|&a, &b| {
+                                sbd(x, &model.centroids[a], model.max_shift)
+                                    .partial_cmp(&sbd(x, &model.centroids[b], model.max_shift))
+                                    .expect("finite distances")
+                            })
+                            .expect("non-empty model");
+                        counts[best] += 1.0;
+                    }
+                    for (w, c) in model.weights.iter_mut().zip(&counts) {
+                        *w = alpha * *w + (1.0 - alpha) * c;
+                    }
+                    pos = end;
+                }
+                scores
+            }
+        }
+    }
+}
+
+impl Detector for Sand {
+    fn name(&self) -> &'static str {
+        match self.config.mode {
+            SandMode::Batch => "SAND",
+            SandMode::Online { .. } => "SAND*",
+        }
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+
+    fn fit(&mut self, _train: &Mts) {
+        // Model is built from the scored series itself.
+    }
+
+    fn score(&mut self, test: &Mts) -> Vec<f64> {
+        let mut scorer = self.clone();
+        score_univariate_mean(&mut scorer, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic_with_anomaly() -> Vec<f64> {
+        let mut xs: Vec<f64> = (0..900).map(|t| (t as f64 * 0.25).sin()).collect();
+        // Deterministic white-noise burst: maximal shape contrast under SBD.
+        for (t, x) in xs.iter_mut().enumerate().take(640).skip(600) {
+            *x = ((t.wrapping_mul(2654435761) % 89) as f64) / 44.5 - 1.0;
+        }
+        xs
+    }
+
+    #[test]
+    fn batch_sand_detects_anomaly() {
+        let xs = periodic_with_anomaly();
+        let mut sand = Sand::new(32, 5);
+        let scores = sand.score_series(&xs);
+        let normal: f64 = scores[100..500].iter().sum::<f64>() / 400.0;
+        let anomal: f64 = scores[605..635].iter().sum::<f64>() / 30.0;
+        assert!(anomal > 1.5 * normal, "anomaly {anomal} vs normal {normal}");
+    }
+
+    #[test]
+    fn online_sand_detects_anomaly_in_stream() {
+        let xs = periodic_with_anomaly();
+        let mut sand = Sand::online(32, 5);
+        let scores = sand.score_series(&xs);
+        let normal: f64 = scores[100..400].iter().sum::<f64>() / 300.0;
+        let anomal: f64 = scores[605..635].iter().sum::<f64>() / 30.0;
+        assert!(anomal > 1.5 * normal, "anomaly {anomal} vs normal {normal}");
+    }
+
+    #[test]
+    fn online_scores_every_point() {
+        let xs = periodic_with_anomaly();
+        let scores = Sand::online(32, 1).score_series(&xs);
+        assert_eq!(scores.len(), xs.len());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn names_distinguish_modes() {
+        assert_eq!(Sand::new(16, 0).name(), "SAND");
+        assert_eq!(Sand::online(16, 0).name(), "SAND*");
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let xs = periodic_with_anomaly();
+        let run = |seed| Sand::new(32, seed).score_series(&xs);
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn short_series_graceful() {
+        // Too short for the requested subsequence length: no panic, one
+        // finite score per point (a constant series has undefined shape, so
+        // the actual values are unimportant).
+        let scores = Sand::new(32, 0).score_series(&[1.0; 8]);
+        assert_eq!(scores.len(), 8);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        // Genuinely too short even for the l = 4 floor:
+        assert_eq!(Sand::new(32, 0).score_series(&[1.0; 5]), vec![0.0; 5]);
+    }
+}

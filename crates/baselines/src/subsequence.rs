@@ -1,0 +1,168 @@
+//! Subsequence utilities shared by the univariate detectors.
+
+use cad_stats::correlation::znormed;
+
+/// Extract z-normalised subsequences of length `l` at the given `stride`.
+/// Returns `(starts, subsequences)`.
+pub fn znormed_subsequences(series: &[f64], l: usize, stride: usize) -> (Vec<usize>, Vec<Vec<f64>>) {
+    assert!(l >= 2, "subsequence length must be at least 2");
+    assert!(stride >= 1);
+    let mut starts = Vec::new();
+    let mut subs = Vec::new();
+    let mut start = 0;
+    while start + l <= series.len() {
+        starts.push(start);
+        subs.push(znormed(&series[start..start + l]));
+        start += stride;
+    }
+    (starts, subs)
+}
+
+/// Squared Euclidean distance of two equal-length vectors.
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Shape-Based Distance (Paparrizos & Gravano, SIGMOD 2015):
+/// `SBD(x, y) = 1 − max_shift NCC_c(x, y)`, where NCC is the
+/// coefficient-normalised cross-correlation over shifts in
+/// `[-maxshift, maxshift]`. Inputs are assumed z-normalised; the distance
+/// is in `[0, 2]` with 0 = identical shape.
+pub fn sbd(a: &[f64], b: &[f64], max_shift: usize) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let l = a.len();
+    let norm_a: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let norm_b: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let denom = norm_a * norm_b;
+    if denom <= f64::EPSILON {
+        return 1.0;
+    }
+    let max_shift = max_shift.min(l.saturating_sub(1));
+    let mut best = f64::NEG_INFINITY;
+    for shift in 0..=max_shift {
+        // b shifted right by `shift` against a…
+        let mut dot_r = 0.0;
+        let mut dot_l = 0.0;
+        for i in 0..(l - shift) {
+            dot_r += a[i + shift] * b[i];
+            dot_l += a[i] * b[i + shift];
+        }
+        best = best.max(dot_r).max(dot_l);
+    }
+    1.0 - (best / denom).clamp(-1.0, 1.0)
+}
+
+/// Map per-subsequence scores back to per-point scores: each point takes
+/// the **maximum** score over the subsequences covering it; uncovered tail
+/// points inherit the last subsequence's score.
+pub fn spread_scores(len: usize, starts: &[usize], l: usize, scores: &[f64]) -> Vec<f64> {
+    assert_eq!(starts.len(), scores.len());
+    let mut out = vec![0.0f64; len];
+    for (&start, &score) in starts.iter().zip(scores) {
+        for o in &mut out[start..(start + l).min(len)] {
+            if score > *o {
+                *o = score;
+            }
+        }
+    }
+    // Tail points beyond the last covered index inherit the final score so
+    // every point carries a defined value.
+    if let (Some(&last_start), Some(&last_score)) = (starts.last(), scores.last()) {
+        for o in &mut out[(last_start + l).min(len)..] {
+            *o = last_score;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn subsequence_extraction() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let (starts, subs) = znormed_subsequences(&xs, 4, 3);
+        assert_eq!(starts, vec![0, 3, 6]);
+        assert_eq!(subs.len(), 3);
+        // Each subsequence is z-normalised.
+        for s in &subs {
+            let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sbd_identical_is_zero() {
+        let a = znormed_subsequences(&[1.0, 3.0, 2.0, 5.0, 4.0, 6.0], 6, 1).1.remove(0);
+        assert!(sbd(&a, &a, 3) < 1e-9);
+    }
+
+    #[test]
+    fn sbd_detects_shifted_shape() {
+        // The same sine, shifted by 2 samples: plain Euclidean is large but
+        // SBD with shift tolerance is small.
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).sin()).collect();
+        let y: Vec<f64> = (0..32).map(|i| ((i + 2) as f64 * 0.4).sin()).collect();
+        let xz = znormed_subsequences(&x, 32, 1).1.remove(0);
+        let yz = znormed_subsequences(&y, 32, 1).1.remove(0);
+        let d_shifted = sbd(&xz, &yz, 4);
+        let d_noshift = sbd(&xz, &yz, 0);
+        assert!(d_shifted < d_noshift, "{d_shifted} !< {d_noshift}");
+        assert!(d_shifted < 0.05, "shift-tolerant distance should be tiny: {d_shifted}");
+    }
+
+    #[test]
+    fn sbd_opposite_shapes_near_two() {
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.5).sin()).collect();
+        let y: Vec<f64> = x.iter().map(|v| -v).collect();
+        // No shift allowed: anti-correlated → NCC = −1 → SBD = 2.
+        assert!((sbd(&x, &y, 0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spread_takes_max_and_fills_tail() {
+        let out = spread_scores(8, &[0, 2, 4], 3, &[1.0, 5.0, 2.0]);
+        assert_eq!(out, vec![1.0, 1.0, 5.0, 5.0, 5.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn spread_empty_subsequences() {
+        assert_eq!(spread_scores(3, &[], 4, &[]), vec![0.0; 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sbd_bounded_and_symmetric(
+            pair in proptest::collection::vec((-3.0f64..3.0, -3.0f64..3.0), 4..24),
+            shift in 0usize..6,
+        ) {
+            let a: Vec<f64> = pair.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pair.iter().map(|p| p.1).collect();
+            let d1 = sbd(&a, &b, shift);
+            let d2 = sbd(&b, &a, shift);
+            prop_assert!((0.0 - 1e-9..=2.0 + 1e-9).contains(&d1));
+            prop_assert!((d1 - d2).abs() < 1e-9, "SBD must be symmetric");
+        }
+
+        #[test]
+        fn prop_subsequences_cover_in_order(
+            len in 8usize..64,
+            l in 2usize..8,
+            stride in 1usize..6,
+        ) {
+            let xs: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+            let (starts, subs) = znormed_subsequences(&xs, l, stride);
+            prop_assert_eq!(starts.len(), subs.len());
+            for pair in starts.windows(2) {
+                prop_assert_eq!(pair[1] - pair[0], stride);
+            }
+            if let Some(&last) = starts.last() {
+                prop_assert!(last + l <= len);
+                prop_assert!(last + l + stride > len);
+            }
+        }
+    }
+}

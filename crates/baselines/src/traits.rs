@@ -1,0 +1,170 @@
+//! The common detector interface plus the univariate→MTS lift.
+
+use cad_mts::Mts;
+
+/// A batch anomaly detector over MTS data.
+///
+/// The contract mirrors how the paper evaluates every method: `fit` sees
+/// the (assumed anomaly-free) training segment, `score` emits one score per
+/// time point of the test segment, higher = more anomalous. Detectors that
+/// need no training treat `fit` as a no-op.
+pub trait Detector {
+    /// Display name matching the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Whether repeated runs produce identical output (Table VIII's
+    /// robustness analysis separates deterministic methods).
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    /// Train / calibrate on the historical segment.
+    fn fit(&mut self, train: &Mts);
+
+    /// Per-time-point anomaly scores over the test segment.
+    fn score(&mut self, test: &Mts) -> Vec<f64>;
+
+    /// Optional per-sensor score streams (`n_sensors` × `len`), used for
+    /// abnormal-sensor localisation (§VI-C). The paper evaluates
+    /// `F1_sensor` only for the methods that can provide interpretations —
+    /// CAD, ECOD and RCoders; everything else returns `None`.
+    fn sensor_scores(&mut self, _test: &Mts) -> Option<Vec<Vec<f64>>> {
+        None
+    }
+}
+
+/// A univariate scorer: given one sensor's series, produce per-point
+/// scores. [`score_univariate_mean`] lifts it to MTS per the paper's recipe
+/// (mean across sensors).
+pub trait UnivariateScorer {
+    /// Score one univariate series.
+    fn score_series(&mut self, series: &[f64]) -> Vec<f64>;
+}
+
+/// Apply a univariate scorer to every sensor and average the scores —
+/// the MTS extension used for S2G/SAND/SAND*/NormA in §VI-A.
+pub fn score_univariate_mean<S: UnivariateScorer>(scorer: &mut S, test: &Mts) -> Vec<f64> {
+    let n = test.n_sensors();
+    let len = test.len();
+    let mut acc = vec![0.0f64; len];
+    for s in 0..n {
+        let scores = scorer.score_series(test.sensor(s));
+        assert_eq!(scores.len(), len, "univariate scorer must cover every point");
+        for (a, v) in acc.iter_mut().zip(&scores) {
+            *a += v;
+        }
+    }
+    for a in &mut acc {
+        *a /= n as f64;
+    }
+    acc
+}
+
+/// Z-score scaler fitted on training data, applied to queries — the
+/// point-based detectors (LOF, IForest) must normalise test columns with
+/// *training* statistics, or the test set's own anomalies would distort the
+/// reference frame.
+#[derive(Debug, Clone, Default)]
+pub struct ZScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl ZScaler {
+    /// Fit per-sensor mean/std from `train`.
+    pub fn fit(train: &Mts) -> Self {
+        let n = train.n_sensors();
+        let mut mean = Vec::with_capacity(n);
+        let mut std = Vec::with_capacity(n);
+        for s in 0..n {
+            let xs = train.sensor(s);
+            mean.push(cad_stats::mean(xs));
+            std.push(cad_stats::stddev(xs).max(1e-9));
+        }
+        Self { mean, std }
+    }
+
+    /// Scaled column vector at time `t` of `mts`.
+    pub fn column(&self, mts: &Mts, t: usize) -> Vec<f64> {
+        assert_eq!(mts.n_sensors(), self.mean.len(), "sensor count mismatch");
+        (0..mts.n_sensors())
+            .map(|s| (mts.get(s, t) - self.mean[s]) / self.std[s])
+            .collect()
+    }
+
+    /// All scaled columns of `mts`.
+    pub fn columns(&self, mts: &Mts) -> Vec<Vec<f64>> {
+        (0..mts.len()).map(|t| self.column(mts, t)).collect()
+    }
+}
+
+/// Min-max feature scaler fitted on training columns, applied elsewhere —
+/// USAD/RCoders scale inputs to `[0, 1]` before the sigmoid-output AEs.
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxScaler {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit per-sensor ranges from `train`.
+    pub fn fit(train: &Mts) -> Self {
+        let n = train.n_sensors();
+        let mut lo = vec![f64::INFINITY; n];
+        let mut hi = vec![f64::NEG_INFINITY; n];
+        for s in 0..n {
+            for &v in train.sensor(s) {
+                lo[s] = lo[s].min(v);
+                hi[s] = hi[s].max(v);
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Scale one value of sensor `s` into `[0, 1]` (clamped; constant
+    /// sensors map to 0.5).
+    pub fn scale(&self, s: usize, v: f64) -> f64 {
+        let (lo, hi) = (self.lo[s], self.hi[s]);
+        if !lo.is_finite() || hi - lo <= f64::EPSILON {
+            0.5
+        } else {
+            ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Number of fitted sensors.
+    pub fn n_sensors(&self) -> usize {
+        self.lo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstScorer(f64);
+    impl UnivariateScorer for ConstScorer {
+        fn score_series(&mut self, series: &[f64]) -> Vec<f64> {
+            series.iter().map(|&x| x * self.0).collect()
+        }
+    }
+
+    #[test]
+    fn univariate_mean_averages_sensors() {
+        let mts = Mts::from_series(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let scores = score_univariate_mean(&mut ConstScorer(1.0), &mts);
+        assert_eq!(scores, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn minmax_scales_and_clamps() {
+        let train = Mts::from_series(vec![vec![0.0, 10.0], vec![5.0, 5.0]]);
+        let sc = MinMaxScaler::fit(&train);
+        assert_eq!(sc.scale(0, 0.0), 0.0);
+        assert_eq!(sc.scale(0, 10.0), 1.0);
+        assert_eq!(sc.scale(0, 5.0), 0.5);
+        assert_eq!(sc.scale(0, -5.0), 0.0); // clamped
+        assert_eq!(sc.scale(0, 20.0), 1.0); // clamped
+        assert_eq!(sc.scale(1, 123.0), 0.5); // constant sensor
+    }
+}

@@ -1,0 +1,312 @@
+//! USAD — UnSupervised Anomaly Detection (Audibert et al., KDD 2020).
+//!
+//! Two autoencoders share an encoder `E`; decoders `D1`, `D2` give
+//! `AE1 = D1∘E` and `AE2 = D2∘E`. Training epoch `e` (1-indexed) weights a
+//! reconstruction term by `1/e` and an adversarial term by `1−1/e`:
+//!
+//! * AE1 minimises `(1/e)·‖W−AE1(W)‖² + (1−1/e)·‖W−AE2(AE1(W))‖²`
+//! * AE2 minimises `(1/e)·‖W−AE2(W)‖² − (1−1/e)·‖W−AE2(AE1(W))‖²`
+//!
+//! The gradients flow through the composed network `AE2(AE1(W))` — which is
+//! why `cad-nn`'s layers keep a LIFO stack of forward caches (the shared
+//! encoder is forwarded twice per loss). Scoring follows the paper:
+//! `α·‖W−AE1(W)‖² + β·‖W−AE2(AE1(W))‖²` per window, spread back to points.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use cad_mts::Mts;
+use cad_nn::{Activation, Adam, Mat, Mlp};
+
+use crate::subsequence::spread_scores;
+use crate::traits::{Detector, MinMaxScaler};
+
+/// USAD hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsadConfig {
+    /// Time points per window.
+    pub window: usize,
+    /// Stride between scored windows.
+    pub stride: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Score weight α for the AE1 term.
+    pub alpha: f64,
+    /// Score weight β for the adversarial term.
+    pub beta: f64,
+    /// Floor on the epoch-decayed reconstruction weight `1/e`. The paper's
+    /// schedule drives it to 0, which with small networks lets the
+    /// adversarial game destroy the learned reconstruction; a floor of
+    /// ~0.7 keeps training stable (set 0.0 for the verbatim schedule).
+    pub min_rec_weight: f64,
+}
+
+impl Default for UsadConfig {
+    fn default() -> Self {
+        Self {
+            window: 5,
+            stride: 1,
+            epochs: 15,
+            batch: 64,
+            lr: 1e-3,
+            alpha: 0.5,
+            beta: 0.5,
+            min_rec_weight: 0.7,
+        }
+    }
+}
+
+/// The USAD detector.
+#[derive(Debug)]
+pub struct Usad {
+    config: UsadConfig,
+    seed: u64,
+    scaler: MinMaxScaler,
+    nets: Option<(Mlp, Mlp, Mlp)>, // (E, D1, D2)
+}
+
+impl Usad {
+    /// USAD with default hyper-parameters and an RNG seed (weights are
+    /// random, so repeats with different seeds differ — Table VIII).
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(UsadConfig::default(), seed)
+    }
+
+    /// Fully parameterised constructor.
+    pub fn with_config(config: UsadConfig, seed: u64) -> Self {
+        assert!(config.window >= 1 && config.stride >= 1);
+        assert!(config.epochs >= 1 && config.batch >= 1);
+        Self { config, seed, scaler: MinMaxScaler::default(), nets: None }
+    }
+
+    /// Flattened, min-max-scaled windows of `mts`: rows are windows, each
+    /// `window × n_sensors` wide (time-major). Returns `(starts, matrix)`.
+    fn windows(&self, mts: &Mts) -> (Vec<usize>, Mat) {
+        let w = self.config.window;
+        let n = mts.n_sensors();
+        let mut starts = Vec::new();
+        let mut data = Vec::new();
+        let mut t = 0;
+        while t + w <= mts.len() {
+            starts.push(t);
+            for dt in 0..w {
+                for s in 0..n {
+                    data.push(self.scaler.scale(s, mts.get(s, t + dt)));
+                }
+            }
+            t += self.config.stride;
+        }
+        let rows = starts.len();
+        (starts, Mat::from_vec(rows, w * n, data))
+    }
+
+    fn architecture(in_dim: usize) -> (Vec<usize>, Vec<usize>) {
+        let hidden = (in_dim / 2).clamp(8, 128);
+        let latent = (in_dim / 8).clamp(4, 32);
+        (vec![in_dim, hidden, latent], vec![latent, hidden, in_dim])
+    }
+}
+
+impl Detector for Usad {
+    fn name(&self) -> &'static str {
+        "USAD"
+    }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+
+    fn fit(&mut self, train: &Mts) {
+        self.scaler = MinMaxScaler::fit(train);
+        let (_, data) = self.windows(train);
+        let in_dim = data.cols();
+        assert!(data.rows() >= 2, "USAD needs at least two training windows");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (enc_dims, dec_dims) = Self::architecture(in_dim);
+        let enc_acts = vec![Activation::Relu; enc_dims.len() - 1];
+        let mut dec_acts = vec![Activation::Relu; dec_dims.len() - 1];
+        *dec_acts.last_mut().expect("non-empty") = Activation::Sigmoid;
+        let mut enc = Mlp::new(&enc_dims, &enc_acts, &mut rng);
+        let mut d1 = Mlp::new(&dec_dims, &dec_acts, &mut rng);
+        let mut d2 = Mlp::new(&dec_dims, &dec_acts, &mut rng);
+        let mut opt_e = Adam::new(self.config.lr);
+        let mut opt_d1 = Adam::new(self.config.lr);
+        let mut opt_d2 = Adam::new(self.config.lr);
+
+        let n_rows = data.rows();
+        let bs = self.config.batch.min(n_rows);
+        for epoch in 1..=self.config.epochs {
+            let a = (1.0 / epoch as f64).max(self.config.min_rec_weight);
+            let b = 1.0 - a;
+            let mut start = 0;
+            while start < n_rows {
+                let end = (start + bs).min(n_rows);
+                let batch = cad_nn::autoencoder::submatrix_rows(&data, start, end);
+                let nelem = (batch.rows() * batch.cols()) as f64;
+
+                // --- Phase A: update AE1 = (E, D1) ---
+                enc.zero_grad();
+                d1.zero_grad();
+                d2.zero_grad();
+                let z1 = enc.forward(&batch, true);
+                let w1 = d1.forward(&z1, true);
+                let z2 = enc.forward(&w1, true);
+                let w2p = d2.forward(&z2, true);
+                let grad_w2p = w2p.sub(&batch).scale(2.0 * b / nelem);
+                let gd2 = d2.backward(&grad_w2p);
+                let ge2 = enc.backward(&gd2); // grad wrt w1 via adversarial path
+                let grad_w1 = w1.sub(&batch).scale(2.0 * a / nelem).add(&ge2);
+                let gd1 = d1.backward(&grad_w1);
+                enc.backward(&gd1);
+                opt_e.step(&mut enc);
+                opt_d1.step(&mut d1);
+                // D2's gradients were polluted by the pass-through; they are
+                // zeroed at the start of Phase B.
+
+                // --- Phase B: update AE2 = (E, D2) ---
+                enc.zero_grad();
+                d1.zero_grad();
+                d2.zero_grad();
+                let w1c = {
+                    // AE1's output treated as a constant input.
+                    let z = enc.predict(&batch);
+                    d1.predict(&z)
+                };
+                let z1 = enc.forward(&batch, true);
+                let w2 = d2.forward(&z1, true);
+                let z2 = enc.forward(&w1c, true);
+                let w2p = d2.forward(&z2, true);
+                // Maximise the adversarial error: negative gradient.
+                let grad_w2p = w2p.sub(&batch).scale(-2.0 * b / nelem);
+                let gd2 = d2.backward(&grad_w2p);
+                enc.backward(&gd2);
+                let grad_w2 = w2.sub(&batch).scale(2.0 * a / nelem);
+                let gd2b = d2.backward(&grad_w2);
+                enc.backward(&gd2b);
+                opt_e.step(&mut enc);
+                opt_d2.step(&mut d2);
+
+                start = end;
+            }
+        }
+        self.nets = Some((enc, d1, d2));
+    }
+
+    fn score(&mut self, test: &Mts) -> Vec<f64> {
+        assert!(self.nets.is_some(), "USAD must be fitted before scoring");
+        let (starts, data) = self.windows(test);
+        let (enc, d1, d2) = self.nets.as_mut().expect("checked above");
+        let z = enc.predict(&data);
+        let w1 = d1.predict(&z);
+        let z2 = enc.predict(&w1);
+        let w2p = d2.predict(&z2);
+        let err1 = w1.sub(&data).row_mean_sq();
+        let err2 = w2p.sub(&data).row_mean_sq();
+        let window_scores: Vec<f64> = err1
+            .iter()
+            .zip(&err2)
+            .map(|(e1, e2)| self.config.alpha * e1 + self.config.beta * e2)
+            .collect();
+        spread_scores(test.len(), &starts, self.config.window, &window_scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Correlated pair of sinusoids; the anomaly decouples and shifts one.
+    fn train_and_test() -> (Mts, Mts) {
+        let mk = |len: usize, broken: Option<(usize, usize)>| {
+            let base: Vec<f64> = (0..len).map(|t| (t as f64 * 0.2).sin()).collect();
+            let mut a = base.clone();
+            let b: Vec<f64> = base.iter().map(|x| 0.8 * x + 0.1).collect();
+            if let Some((s, e)) = broken {
+                #[allow(clippy::needless_range_loop)]
+                for t in s..e {
+                    a[t] = 2.5 + (t as f64 * 1.3).cos();
+                }
+            }
+            Mts::from_series(vec![a, b])
+        };
+        (mk(400, None), mk(200, Some((120, 160))))
+    }
+
+    fn fast_config() -> UsadConfig {
+        UsadConfig {
+            window: 4,
+            stride: 2,
+            epochs: 30,
+            batch: 32,
+            lr: 3e-3,
+            alpha: 0.5,
+            beta: 0.5,
+            min_rec_weight: 0.7,
+        }
+    }
+
+    #[test]
+    fn anomalous_region_scores_higher() {
+        let (train, test) = train_and_test();
+        let mut usad = Usad::with_config(fast_config(), 11);
+        usad.fit(&train);
+        let scores = usad.score(&test);
+        assert_eq!(scores.len(), 200);
+        let normal_mean: f64 = scores[..100].iter().sum::<f64>() / 100.0;
+        let anomal_mean: f64 = scores[125..155].iter().sum::<f64>() / 30.0;
+        assert!(
+            anomal_mean > 3.0 * normal_mean,
+            "anomaly {anomal_mean} vs normal {normal_mean}"
+        );
+    }
+
+    #[test]
+    fn seeded_determinism_and_variation() {
+        let (train, test) = train_and_test();
+        let run = |seed| {
+            let mut u = Usad::with_config(fast_config(), seed);
+            u.fit(&train);
+            u.score(&test)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn scores_are_finite_nonnegative() {
+        let (train, test) = train_and_test();
+        let mut usad = Usad::with_config(fast_config(), 1);
+        usad.fit(&train);
+        assert!(usad.score(&test).iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn window_extraction_shapes() {
+        let (train, _) = train_and_test();
+        let mut usad = Usad::with_config(fast_config(), 0);
+        usad.scaler = MinMaxScaler::fit(&train);
+        let (starts, data) = usad.windows(&train);
+        assert_eq!(data.cols(), 4 * 2);
+        assert_eq!(starts.len(), data.rows());
+        assert_eq!(starts[1] - starts[0], 2);
+        // All inputs scaled into [0, 1].
+        assert!(data.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn metadata() {
+        let u = Usad::new(0);
+        assert_eq!(u.name(), "USAD");
+        assert!(!u.is_deterministic());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be fitted")]
+    fn unfitted_panics() {
+        let (_, test) = train_and_test();
+        Usad::new(0).score(&test);
+    }
+}

@@ -1,0 +1,97 @@
+//! Ablation study for the design choices DESIGN.md calls out:
+//!
+//! 1. **RC horizon** — the paper's cumulative Definition 6 vs the windowed
+//!    variant (`rc_horizon`): how much early-detection quality the
+//!    fixed-sensitivity window buys on long streams.
+//! 2. **Tail vs span score attribution** — approximated by comparing small
+//!    and large steps `s` (span smearing grows with `w − s`).
+//! 3. **k-NN τ pruning** — τ = 0 (pure k-NN graph) vs the paper's pruned
+//!    TSG.
+//! 4. **Community detection** — Louvain vs connected components (the
+//!    cheapest possible Phase 1).
+//!
+//! ```text
+//! cargo run --release -p cad-bench --bin ablation
+//! ```
+
+use cad_baselines::Detector;
+use cad_bench::{env_scale, evaluate_scores, CadMethod, Table};
+use cad_datagen::DatasetProfile;
+
+fn main() {
+    let scale = env_scale();
+    let profile = DatasetProfile::Psm;
+    let data = profile.generate(scale, 42);
+    let truth = data.truth.point_labels();
+    let len = data.test.len();
+    let w = ((len as f64 * 0.02) as usize).clamp(16, 256);
+    let s = (w / 6).max(2);
+    let k = profile.paper_k();
+    println!(
+        "Ablations on {} (scale={scale}, w={w}, s={s}, k={k})\n",
+        data.name
+    );
+
+    let run = |label: &str, m: &mut CadMethod| -> (String, String) {
+        m.fit(&data.his);
+        let scores = m.score(&data.test);
+        let eval = evaluate_scores(&scores, &truth);
+        eprintln!("{label}: F1_PA={:.1} F1_DPA={:.1} (theta={:.3})", eval.f1_pa, eval.f1_dpa, m.theta);
+        (format!("{:.1}", eval.f1_pa), format!("{:.1}", eval.f1_dpa))
+    };
+
+    let mut t = Table::new(&["Variant", "F1_PA", "F1_DPA"]);
+
+    // 1. RC horizon: cumulative (paper) vs windowed.
+    for (label, horizon) in [
+        ("RC cumulative (Definition 6 verbatim)", None),
+        ("RC horizon = 8", Some(8)),
+        ("RC horizon = 12", Some(12)),
+        ("RC horizon = 32", Some(32)),
+    ] {
+        let mut m = CadMethod::new(w, s, k).with_rc_horizon(horizon);
+        let (pa, dpa) = run(label, &mut m);
+        t.row(vec![label.to_string(), pa, dpa]);
+    }
+
+    // 2. Step size (attribution sharpness and round density).
+    for s_var in [s, w / 3, w] {
+        let label = format!("step s = {s_var} (w = {w})");
+        let mut m = CadMethod::new(w, s_var.max(1), k).with_rc_horizon(Some(12));
+        let (pa, dpa) = run(&label, &mut m);
+        t.row(vec![label, pa, dpa]);
+    }
+
+    // 3. τ pruning.
+    for tau in [0.0, 0.5, 0.8] {
+        let label = format!("tau = {tau}");
+        let mut m = CadMethod::new(w, s, k).with_rc_horizon(Some(12)).with_tau(tau);
+        let (pa, dpa) = run(&label, &mut m);
+        t.row(vec![label, pa, dpa]);
+    }
+
+    println!("{}", t.render());
+
+    // 4. Louvain vs connected components as Phase 1, measured directly on
+    //    community quality over warm-up windows (modularity).
+    use cad_graph::{connected_components, louvain, modularity, CorrelationKnn, KnnConfig, LouvainConfig};
+    let mut knn = CorrelationKnn::new(KnnConfig::new(k, 0.5));
+    let mut q_louvain = 0.0;
+    let mut q_components = 0.0;
+    let mut comm_louvain = 0.0;
+    let rounds = 20usize.min((data.his.len().saturating_sub(w)) / s);
+    for r in 0..rounds {
+        let g = knn.build(&data.his, r * s, w);
+        let pl = louvain(&g, LouvainConfig::default());
+        let pc = connected_components(&g);
+        q_louvain += modularity(&g, &pl);
+        q_components += modularity(&g, &pc);
+        comm_louvain += pl.n_communities() as f64;
+    }
+    println!(
+        "Phase-1 quality over {rounds} warm-up rounds: Louvain Q = {:.3} ({:.1} communities/round) vs connected components Q = {:.3}",
+        q_louvain / rounds as f64,
+        comm_louvain / rounds as f64,
+        q_components / rounds as f64
+    );
+}

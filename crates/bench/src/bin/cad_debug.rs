@@ -1,0 +1,96 @@
+//! Diagnostic tool: CAD internals on one generated dataset.
+//!
+//! ```text
+//! CAD_SCALE=0.5 cargo run --release -p cad-bench --bin cad_debug [profile]
+//! ```
+
+use cad_baselines::Detector;
+use cad_bench::{env_scale, evaluate_scores, CadMethod};
+use cad_bench::registry::cad_window;
+use cad_datagen::DatasetProfile;
+
+fn main() {
+    let scale = env_scale();
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "psm".into());
+    let profile = match arg.as_str() {
+        "psm" => DatasetProfile::Psm,
+        "swat" => DatasetProfile::Swat,
+        "is1" => DatasetProfile::Is1,
+        "is2" => DatasetProfile::Is2,
+        "smd" => DatasetProfile::Smd(0),
+        other => panic!("unknown profile {other}"),
+    };
+    let data = profile.generate(scale, 42);
+    let (w, s) = cad_window(data.test.len());
+    println!(
+        "{}: n={} his={} test={} anomalies={} w={} s={}",
+        data.name,
+        data.test.n_sensors(),
+        data.his.len(),
+        data.test.len(),
+        data.truth.count(),
+        w,
+        s
+    );
+    for a in &data.truth.anomalies {
+        println!("  truth: [{}, {}) dur={} sensors={}", a.start, a.end, a.duration(), a.sensors.len());
+    }
+    if std::env::var("CAD_SWEEP").is_ok() {
+        let truth = data.truth.point_labels();
+        for horizon in [6usize, 8, 12, 16, 24] {
+            for tf in [0.7, 0.8, 0.9] {
+                let mut m = CadMethod::new(w, s, profile.paper_k())
+                    .with_rc_horizon(Some(horizon));
+                m.theta_frac = tf;
+                if !data.his.is_empty() {
+                    m.fit(&data.his);
+                }
+                let scores = m.score(&data.test);
+                let eval = evaluate_scores(&scores, &truth);
+                println!(
+                    "horizon={horizon:>2} theta_frac={tf} theta={:.3} F1_PA={:.1} F1_DPA={:.1}",
+                    m.theta, eval.f1_pa, eval.f1_dpa
+                );
+            }
+        }
+        return;
+    }
+    let mut m = CadMethod::new(w, s, profile.paper_k());
+    if !data.his.is_empty() {
+        m.fit(&data.his);
+    }
+    let scores = m.score(&data.test);
+    println!("theta = {:.4}", m.theta);
+    let result = m.result().expect("scored");
+    let zs: Vec<f64> = result.rounds.iter().map(|r| r.zscore).collect();
+    let nonzero = zs.iter().filter(|&&z| z > 0.0).count();
+    println!(
+        "rounds={} nonzero-z={} max-z={:.1} abnormal={}",
+        zs.len(),
+        nonzero,
+        zs.iter().cloned().fold(0.0, f64::max),
+        result.rounds.iter().filter(|r| r.abnormal).count()
+    );
+    let nr: Vec<usize> = result.rounds.iter().map(|r| r.n_r).collect();
+    println!("n_r head: {:?}", &nr[..nr.len().min(40)]);
+    for a in &result.anomalies {
+        println!("  detected: [{}, {}) rounds {}..={} sensors={}", a.start, a.end, a.first_round, a.last_round, a.sensors.len());
+    }
+    let truth = data.truth.point_labels();
+    // Per-anomaly peak score vs the normal-score distribution.
+    let normal_scores: Vec<f64> = scores
+        .iter()
+        .zip(&truth)
+        .filter(|&(_, &t)| !t)
+        .map(|(&s, _)| s)
+        .collect();
+    let q = |p: f64| cad_stats::quantile(&normal_scores, p);
+    println!("normal z quantiles: p50={:.2} p95={:.2} p99={:.2} max={:.2}",
+        q(0.5), q(0.95), q(0.99), q(1.0));
+    for a in &data.truth.anomalies {
+        let peak = scores[a.start..a.end].iter().cloned().fold(0.0, f64::max);
+        println!("  anomaly [{}, {}): peak z = {:.2}", a.start, a.end, peak);
+    }
+    let eval = evaluate_scores(&scores, &truth);
+    println!("F1_PA={:.1} F1_DPA={:.1}", eval.f1_pa, eval.f1_dpa);
+}

@@ -1,0 +1,60 @@
+//! Export a generated dataset to CSV (data + labels), so external tools —
+//! or this suite on a later run — can consume identical inputs.
+//!
+//! ```text
+//! cargo run --release -p cad-bench --bin export_dataset -- psm out_dir [seed]
+//! ```
+//!
+//! Writes `<name>_his.csv`, `<name>_test.csv` and `<name>_labels.csv` into
+//! `out_dir`. `CAD_SCALE` applies as everywhere else.
+
+use std::path::Path;
+
+use cad_bench::env_scale;
+use cad_datagen::DatasetProfile;
+use cad_mts::io::{write_labels, write_mts_csv};
+
+fn parse_profile(arg: &str) -> DatasetProfile {
+    match arg.to_ascii_lowercase().as_str() {
+        "psm" => DatasetProfile::Psm,
+        "swat" => DatasetProfile::Swat,
+        "is1" => DatasetProfile::Is1,
+        "is2" => DatasetProfile::Is2,
+        "is3" => DatasetProfile::Is3,
+        "is4" => DatasetProfile::Is4,
+        "is5" => DatasetProfile::Is5,
+        other => {
+            if let Some(idx) = other.strip_prefix("smd") {
+                let i: usize = idx.trim_start_matches(['-', '_']).parse().unwrap_or(1);
+                DatasetProfile::Smd((i - 1).min(DatasetProfile::SMD_SUBSETS - 1))
+            } else {
+                panic!("unknown profile {other:?}; use psm/swat/is1..is5/smd<N>")
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let profile = parse_profile(&args.next().unwrap_or_else(|| "psm".into()));
+    let out_dir = args.next().unwrap_or_else(|| "datasets".into());
+    let seed: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(42);
+    let scale = env_scale();
+
+    let data = profile.generate(scale, seed);
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let base = data.name.to_ascii_lowercase().replace('-', "_");
+    let dir = Path::new(&out_dir);
+
+    if !data.his.is_empty() {
+        let p = dir.join(format!("{base}_his.csv"));
+        write_mts_csv(&data.his, &p).expect("write warm-up CSV");
+        println!("wrote {} ({} x {})", p.display(), data.his.n_sensors(), data.his.len());
+    }
+    let p = dir.join(format!("{base}_test.csv"));
+    write_mts_csv(&data.test, &p).expect("write test CSV");
+    println!("wrote {} ({} x {})", p.display(), data.test.n_sensors(), data.test.len());
+    let p = dir.join(format!("{base}_labels.csv"));
+    write_labels(&data.truth, &p).expect("write labels CSV");
+    println!("wrote {} ({} anomalies)", p.display(), data.truth.count());
+}

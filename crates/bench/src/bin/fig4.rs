@@ -1,0 +1,72 @@
+//! Fig. 4 — on SMD, vary a ratio threshold from 0 to 1 and count how many
+//! subsets achieve `Ahead > ratio` (left panel) respectively
+//! `Miss < ratio` (right panel) for CAD against each baseline.
+//!
+//! `CAD_SMD_SUBSETS` (default 12) bounds the subset count; the printout
+//! samples the ratio axis at 0.1 steps (the paper plots 0.01 steps — the
+//! curve between our samples is monotone by construction).
+
+use cad_bench::runner::predictions_at;
+use cad_bench::{env_scale, evaluate_scores, run_cad_grid, run_on_dataset, MethodId, Table};
+use cad_datagen::DatasetProfile;
+use cad_eval::ahead_miss;
+
+fn main() {
+    let scale = env_scale();
+    let n_subsets: usize = std::env::var("CAD_SMD_SUBSETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+        .clamp(1, DatasetProfile::SMD_SUBSETS);
+    println!("Fig. 4: #SMD subsets where CAD beats the ratio bar (of {n_subsets}, scale={scale})\n");
+
+    let baselines = MethodId::baselines();
+    // ahead[b][subset], miss[b][subset]
+    let mut aheads = vec![Vec::new(); baselines.len()];
+    let mut misses = vec![Vec::new(); baselines.len()];
+
+    for subset in 0..n_subsets {
+        let profile = DatasetProfile::Smd(subset);
+        let data = profile.generate(scale, 42);
+        let truth = data.truth.point_labels();
+        let (cad_run, _) = run_cad_grid(&data, profile, &truth);
+        let cad_eval = evaluate_scores(&cad_run.scores, &truth);
+        let cad_pred = predictions_at(&cad_run.scores, cad_eval.dpa_threshold);
+        eprintln!("[SMD-{}]", subset + 1);
+        for (b, id) in baselines.iter().enumerate() {
+            let (run, _) = run_on_dataset(*id, &data, profile, 5 + subset as u64);
+            let eval = evaluate_scores(&run.scores, &truth);
+            let pred = predictions_at(&run.scores, eval.dpa_threshold);
+            let am = ahead_miss(&cad_pred, &pred, &truth);
+            aheads[b].push(am.ahead);
+            misses[b].push(am.miss);
+        }
+    }
+
+    let ratio_axis: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let mut header: Vec<String> = vec!["Method".into()];
+    header.extend(ratio_axis.iter().map(|r| format!("{r:.1}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    println!("Left: #subsets with Ahead > ratio");
+    let mut t = Table::new(&header_refs);
+    for (b, _) in baselines.iter().enumerate() {
+        let mut row = vec![cad_bench::method_names()[b + 1].to_string()];
+        for &r in &ratio_axis {
+            row.push(aheads[b].iter().filter(|&&a| a > r).count().to_string());
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+
+    println!("Right: #subsets with Miss < ratio");
+    let mut t = Table::new(&header_refs);
+    for (b, _) in baselines.iter().enumerate() {
+        let mut row = vec![cad_bench::method_names()[b + 1].to_string()];
+        for &r in &ratio_axis {
+            row.push(misses[b].iter().filter(|&&m| m < r).count().to_string());
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+}

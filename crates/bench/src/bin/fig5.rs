@@ -1,0 +1,48 @@
+//! Fig. 5 — VUS-ROC and VUS-PR after PA and after DPA, for every method on
+//! PSM, SWaT, IS-1 and IS-2.
+
+use cad_bench::runner::vus_pair;
+use cad_bench::{env_scale, fmt_cell, run_cad_grid, run_on_dataset, MethodId, Table};
+use cad_datagen::DatasetProfile;
+use cad_eval::Adjustment;
+
+fn main() {
+    let scale = env_scale();
+    let profiles = [
+        DatasetProfile::Psm,
+        DatasetProfile::Swat,
+        DatasetProfile::Is1,
+        DatasetProfile::Is2,
+    ];
+    println!("Fig. 5: VUS-ROC / VUS-PR after PA and DPA (scale={scale})\n");
+
+    for profile in profiles {
+        let data = profile.generate(scale, 42);
+        let truth = data.truth.point_labels();
+        println!("== {} ==", data.name);
+        let mut t = Table::new(&[
+            "Method", "VUS-ROC (PA)", "VUS-PR (PA)", "VUS-ROC (DPA)", "VUS-PR (DPA)",
+        ]);
+        for (m, id) in MethodId::ALL.iter().enumerate() {
+            let run = if *id == MethodId::Cad {
+                run_cad_grid(&data, profile, &truth).0
+            } else {
+                run_on_dataset(*id, &data, profile, 9).0
+            };
+            let (roc_pa, pr_pa) = vus_pair(&run.scores, &truth, Adjustment::Pa);
+            let (roc_dpa, pr_dpa) = vus_pair(&run.scores, &truth, Adjustment::Dpa);
+            eprintln!(
+                "  {:<8} ROC(PA)={roc_pa:.1} PR(PA)={pr_pa:.1} ROC(DPA)={roc_dpa:.1} PR(DPA)={pr_dpa:.1}",
+                run.name
+            );
+            t.row(vec![
+                cad_bench::method_names()[m].to_string(),
+                fmt_cell(roc_pa),
+                fmt_cell(pr_pa),
+                fmt_cell(roc_dpa),
+                fmt_cell(pr_dpa),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}

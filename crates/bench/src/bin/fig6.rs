@@ -1,0 +1,67 @@
+//! Fig. 6 — scalability of CAD over IS-1 … IS-5 (143 → 1266 sensors):
+//! F1_PA / F1_DPA (left panel) and the per-round detection time TPR (right
+//! panel), which the paper shows growing sub-quadratically in the sensor
+//! count.
+//!
+//! `CAD_FIG6_SCALE` (default = `CAD_SCALE`) lets the largest profiles run
+//! shorter.
+
+use cad_baselines::Detector;
+use cad_bench::registry::cad_window;
+use cad_bench::{env_scale, evaluate_scores, CadMethod, Table};
+use cad_datagen::DatasetProfile;
+
+fn main() {
+    let scale = std::env::var("CAD_FIG6_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(env_scale);
+    let profiles = [
+        DatasetProfile::Is1,
+        DatasetProfile::Is2,
+        DatasetProfile::Is3,
+        DatasetProfile::Is4,
+        DatasetProfile::Is5,
+    ];
+    println!("Fig. 6: CAD scalability on IS-1..IS-5 (scale={scale})\n");
+
+    let mut t = Table::new(&["Dataset", "#Sensors", "F1_PA", "F1_DPA", "TPR (ms)", "TPR/n^2 (ns)"]);
+    let mut prev: Option<(usize, f64)> = None;
+    for profile in profiles {
+        let data = profile.generate(scale, 42);
+        let truth = data.truth.point_labels();
+        let t0 = std::time::Instant::now();
+        // One fixed configuration per dataset (the paper's scalability test
+        // uses Table II's k and fixed w/s — no parameter grid here).
+        let (w, s) = cad_window(data.test.len());
+        let mut cad = CadMethod::new(w, s, profile.paper_k()).with_rc_horizon(Some(12));
+        cad.fit(&data.his);
+        let scores = cad.score(&data.test);
+        let eval = evaluate_scores(&scores, &truth);
+        let n = data.test.n_sensors();
+        let tpr_ms = cad.last_tpr * 1e3;
+        eprintln!(
+            "[{}] n={n} wall={:.1}s F1_PA={:.1} F1_DPA={:.1} TPR={tpr_ms:.2}ms",
+            data.name,
+            t0.elapsed().as_secs_f64(),
+            eval.f1_pa,
+            eval.f1_dpa
+        );
+        if let Some((pn, ptpr)) = prev {
+            let growth = tpr_ms / ptpr;
+            let quad = (n as f64 / pn as f64).powi(2);
+            eprintln!("  TPR growth ×{growth:.2} vs quadratic ×{quad:.2} (sub-quadratic: {})", growth < quad);
+        }
+        prev = Some((n, tpr_ms));
+        t.row(vec![
+            data.name.clone(),
+            n.to_string(),
+            format!("{:.1}", eval.f1_pa),
+            format!("{:.1}", eval.f1_dpa),
+            format!("{tpr_ms:.2}"),
+            format!("{:.2}", cad.last_tpr * 1e9 / (n * n) as f64),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("The last column flattening/decreasing with n indicates sub-quadratic TPR growth.");
+}

@@ -1,0 +1,85 @@
+//! Fig. 7 — case study: one correlation-break anomaly on an SMD-like
+//! dataset; for every method, the delay (in time points) between the
+//! anomaly's onset and the method's first detection, plus CAD's view of
+//! which sensors are affected.
+//!
+//! This reproduces the paper's observation that CAD (with USAD and S2G in
+//! their run) fires essentially at onset while threshold-style methods can
+//! take hundreds to >1000 points.
+
+use cad_bench::runner::predictions_at;
+use cad_bench::{env_scale, evaluate_scores, run_cad_grid, run_on_dataset, MethodId, Table};
+use cad_datagen::{AnomalyKind, DatasetProfile, Dataset};
+use cad_eval::detection_delays;
+
+fn main() {
+    let scale = env_scale();
+    // An SMD-profile dataset restricted to correlation-break anomalies with
+    // a very gradual onset — the paper's case-study regime (SMD 1_6).
+    // Case studies are illustrative by nature (the paper hand-picks SMD
+    // 1_6); CAD_SEED selects the instance.
+    let seed: u64 = std::env::var("CAD_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(11);
+    let mut config = DatasetProfile::Smd(5).config(scale, seed);
+    config.kinds = vec![AnomalyKind::CorrelationBreak];
+    config.onset_frac = 0.6;
+    config.n_anomalies = 3;
+    let data = Dataset::generate(&config);
+    let truth = data.truth.point_labels();
+    println!(
+        "Fig. 7 case study: SMD-6-like, {} correlation-break anomalies (scale={scale})\n",
+        data.truth.count()
+    );
+    for a in &data.truth.anomalies {
+        println!(
+            "anomaly [{}, {}) affecting sensors {:?}",
+            a.start, a.end, a.sensors
+        );
+    }
+    println!();
+
+    let mut t = Table::new(&[
+        "Method",
+        "delays per anomaly (points; '-' = missed)",
+        "F1_DPA at that threshold",
+    ]);
+    for id in MethodId::ALL {
+        let (run, det) = if id == MethodId::Cad {
+            let (run, cad) = run_cad_grid(&data, DatasetProfile::Smd(5), &truth);
+            (run, Some(cad))
+        } else {
+            let (run, _) = run_on_dataset(id, &data, DatasetProfile::Smd(5), 11);
+            (run, None)
+        };
+        let eval = evaluate_scores(&run.scores, &truth);
+        let pred = predictions_at(&run.scores, eval.dpa_threshold);
+        let delays = detection_delays(&pred, &truth);
+        let cells: Vec<String> = delays
+            .iter()
+            .zip(&data.truth.anomalies)
+            .map(|(d, a)| match d {
+                Some(t) => format!("{}", t - a.start),
+                None => "-".into(),
+            })
+            .collect();
+        // A delay of 0 is only meaningful if the operating point is
+        // selective; report the F1 the threshold actually achieves so
+        // "instant" detections from near-all-positive scorers are visible
+        // as such.
+        t.row(vec![
+            run.name.to_string(),
+            cells.join("  "),
+            format!("{:.1}", eval.f1_dpa),
+        ]);
+        if let Some(mut cad) = det {
+            if let Some(result) = cad.last_result.take() {
+                for a in &result.anomalies {
+                    eprintln!(
+                        "CAD verdict: [{}, {}) sensors {:?}",
+                        a.start, a.end, a.sensors
+                    );
+                }
+            }
+        }
+    }
+    println!("{}", t.render());
+}

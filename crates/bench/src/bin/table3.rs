@@ -1,0 +1,95 @@
+//! Table III — abnormal time detection: F1_PA / F1_DPA on PSM, SWaT, IS-1
+//! and IS-2, plus each method's average rank across the eight cells.
+//!
+//! Randomised methods repeat `CAD_REPEATS` times (paper: 10) and report
+//! mean ± std; deterministic methods run once (their std is identically 0).
+//!
+//! ```text
+//! cargo run --release -p cad-bench --bin table3
+//! ```
+
+use cad_bench::{
+    env_repeats, env_scale, evaluate_scores, fmt_mean_std, run_cad_grid, run_on_dataset,
+    MethodId, Table,
+};
+use cad_datagen::DatasetProfile;
+use cad_stats::{average_ranks, mean, rank_descending};
+
+fn main() {
+    let scale = env_scale();
+    let repeats = env_repeats();
+    let profiles = [
+        DatasetProfile::Psm,
+        DatasetProfile::Swat,
+        DatasetProfile::Is1,
+        DatasetProfile::Is2,
+    ];
+    println!("Table III: abnormal time detection (scale={scale}, repeats={repeats})\n");
+
+    // per-method, per-dataset: (list of F1_PA, list of F1_DPA) over repeats.
+    let mut cells: Vec<Vec<(Vec<f64>, Vec<f64>)>> =
+        vec![vec![(Vec::new(), Vec::new()); profiles.len()]; MethodId::ALL.len()];
+
+    for (d, profile) in profiles.iter().enumerate() {
+        let data = profile.generate(scale, 42);
+        let truth = data.truth.point_labels();
+        eprintln!(
+            "[{}] n={} |T_his|={} |T|={} anomalies={}",
+            data.name,
+            data.test.n_sensors(),
+            data.his.len(),
+            data.test.len(),
+            data.truth.count()
+        );
+        for (m, id) in MethodId::ALL.iter().enumerate() {
+            let runs = if id.is_randomized() { repeats } else { 1 };
+            for rep in 0..runs {
+                let run = if *id == MethodId::Cad {
+                    run_cad_grid(&data, *profile, &truth).0
+                } else {
+                    run_on_dataset(*id, &data, *profile, 1000 + rep as u64).0
+                };
+                let eval = evaluate_scores(&run.scores, &truth);
+                cells[m][d].0.push(eval.f1_pa);
+                cells[m][d].1.push(eval.f1_dpa);
+                eprintln!(
+                    "  {:<8} rep {rep}: F1_PA={:.1} F1_DPA={:.1}",
+                    run.name, eval.f1_pa, eval.f1_dpa
+                );
+            }
+        }
+    }
+
+    // Average rank over the 8 (dataset × metric) cells, by mean value.
+    let mut per_cell_ranks: Vec<Vec<f64>> = Vec::new();
+    #[allow(clippy::needless_range_loop)]
+    for d in 0..profiles.len() {
+        for metric in 0..2 {
+            let col: Vec<f64> = (0..MethodId::ALL.len())
+                .map(|m| {
+                    let (pa, dpa) = &cells[m][d];
+                    mean(if metric == 0 { pa } else { dpa })
+                })
+                .collect();
+            per_cell_ranks.push(rank_descending(&col));
+        }
+    }
+    let avg_rank = average_ranks(&per_cell_ranks);
+
+    let mut table = Table::new(&[
+        "Method", "PSM F1_PA", "PSM F1_DPA", "SWaT F1_PA", "SWaT F1_DPA", "IS-1 F1_PA",
+        "IS-1 F1_DPA", "IS-2 F1_PA", "IS-2 F1_DPA", "Avg Rank",
+    ]);
+    for (m, _) in MethodId::ALL.iter().enumerate() {
+        let mut row = vec![cad_bench::method_names()[m].to_string()];
+        #[allow(clippy::needless_range_loop)]
+        for d in 0..profiles.len() {
+            let (pa, dpa) = &cells[m][d];
+            row.push(fmt_mean_std(pa));
+            row.push(fmt_mean_std(dpa));
+        }
+        row.push(format!("{:.1}", avg_rank[m]));
+        table.row(row);
+    }
+    println!("{}", table.render());
+}

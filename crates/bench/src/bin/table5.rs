@@ -1,0 +1,63 @@
+//! Table V — the relative *Ahead* and *Miss* measures: CAD (as `M1`)
+//! versus each baseline (`M2`) on PSM, SWaT, IS-1 and IS-2.
+//!
+//! Binary detections are taken at each method's DPA-optimal threshold (the
+//! operating point oriented toward early detection).
+
+use cad_bench::runner::predictions_at;
+use cad_bench::{
+    env_scale, evaluate_scores, fmt_cell, run_cad_grid, run_on_dataset, MethodId, Table,
+};
+use cad_datagen::DatasetProfile;
+use cad_eval::ahead_miss;
+
+fn main() {
+    let scale = env_scale();
+    let profiles = [
+        DatasetProfile::Psm,
+        DatasetProfile::Swat,
+        DatasetProfile::Is1,
+        DatasetProfile::Is2,
+    ];
+    println!("Table V: Ahead (Ah) and Miss (Ms), CAD vs baselines (scale={scale})\n");
+
+    let mut table = Table::new(&[
+        "CAD vs.", "PSM Ah", "PSM Ms", "SWaT Ah", "SWaT Ms", "IS-1 Ah", "IS-1 Ms", "IS-2 Ah",
+        "IS-2 Ms",
+    ]);
+    let mut rows: Vec<Vec<String>> =
+        MethodId::baselines().iter().map(|id| vec![format!("{id:?}")]).collect();
+
+    for profile in profiles {
+        let data = profile.generate(scale, 42);
+        let truth = data.truth.point_labels();
+        let (cad_run, _) = run_cad_grid(&data, profile, &truth);
+        let cad_eval = evaluate_scores(&cad_run.scores, &truth);
+        let cad_pred = predictions_at(&cad_run.scores, cad_eval.dpa_threshold);
+        eprintln!("[{}] CAD threshold {:.3}", data.name, cad_eval.dpa_threshold);
+        for (row, id) in rows.iter_mut().zip(MethodId::baselines()) {
+            let (run, _) = run_on_dataset(id, &data, profile, 7);
+            let eval = evaluate_scores(&run.scores, &truth);
+            let pred = predictions_at(&run.scores, eval.dpa_threshold);
+            let am = ahead_miss(&cad_pred, &pred, &truth);
+            eprintln!(
+                "  vs {:<8} Ahead={:.1}% Miss={:.1}% (detected {}/{})",
+                run.name,
+                100.0 * am.ahead,
+                100.0 * am.miss,
+                am.detected,
+                am.total
+            );
+            row.push(fmt_cell(100.0 * am.ahead));
+            row.push(fmt_cell(100.0 * am.miss));
+        }
+    }
+    // Fix row labels to display names.
+    for (row, name) in rows.iter_mut().zip(&cad_bench::method_names()[1..]) {
+        row[0] = name.to_string();
+    }
+    for row in rows {
+        table.row(row);
+    }
+    println!("{}", table.render());
+}

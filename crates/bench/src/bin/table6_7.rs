@@ -1,0 +1,77 @@
+//! Tables VI & VII — training time of the MTS methods and testing time of
+//! all methods, plus CAD's time-per-round (TPR) and the implied maximum
+//! real-time sampling frequency (§VI-D).
+
+use cad_bench::{env_scale, run_cad_grid, run_on_dataset, MethodId, Table};
+use cad_datagen::DatasetProfile;
+
+fn main() {
+    let scale = env_scale();
+    let profiles = [
+        DatasetProfile::Psm,
+        DatasetProfile::Swat,
+        DatasetProfile::Is1,
+        DatasetProfile::Is2,
+        DatasetProfile::Smd(0),
+    ];
+    println!("Tables VI & VII: training / testing time in seconds (scale={scale})\n");
+
+    let names = cad_bench::method_names();
+    let mut train_rows: Vec<Vec<String>> = names.iter().map(|n| vec![n.to_string()]).collect();
+    let mut test_rows: Vec<Vec<String>> = names.iter().map(|n| vec![n.to_string()]).collect();
+    let mut tpr_row: Vec<String> = vec!["CAD TPR (ms)".into()];
+    let mut freq_row: Vec<String> = vec!["max freq (Hz)".into()];
+
+    for profile in profiles {
+        let data = profile.generate(scale, 42);
+        let truth = data.truth.point_labels();
+        eprintln!("[{}]", data.name);
+        for (m, id) in MethodId::ALL.iter().enumerate() {
+            if *id == MethodId::Cad {
+                let (run, cad) = run_cad_grid(&data, profile, &truth);
+                train_rows[m].push(format!("{:.2}", run.train_secs));
+                test_rows[m].push(format!("{:.2}", run.test_secs));
+                let tpr_ms = cad.last_tpr * 1e3;
+                tpr_row.push(format!("{tpr_ms:.2}"));
+                // Real-time bound: freq < s / TPR (§VI-D).
+                let freq = cad.s as f64 / cad.last_tpr.max(1e-9);
+                freq_row.push(format!("{freq:.0}"));
+                eprintln!("  CAD      train={:.2}s test={:.2}s TPR={tpr_ms:.2}ms", run.train_secs, run.test_secs);
+            } else {
+                let (run, _) = run_on_dataset(*id, &data, profile, 3);
+                let train = if id.needs_training() {
+                    format!("{:.2}", run.train_secs)
+                } else {
+                    "/".into()
+                };
+                train_rows[m].push(train);
+                test_rows[m].push(format!("{:.2}", run.test_secs));
+                eprintln!(
+                    "  {:<8} train={:.2}s test={:.2}s",
+                    run.name, run.train_secs, run.test_secs
+                );
+            }
+        }
+    }
+
+    let header: Vec<String> = std::iter::once("Method".to_string())
+        .chain(profiles.iter().map(|p| p.name()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    println!("Table VI: training time (s); '/' = no training pass");
+    let mut t = Table::new(&header_refs);
+    for row in train_rows {
+        t.row(row);
+    }
+    println!("{}", t.render());
+
+    println!("Table VII: testing time (s) + CAD time-per-round");
+    let mut t = Table::new(&header_refs);
+    for row in test_rows {
+        t.row(row);
+    }
+    t.row(tpr_row);
+    t.row(freq_row);
+    println!("{}", t.render());
+}

@@ -1,0 +1,184 @@
+//! Method registry: constructs every compared detector with per-dataset
+//! parameters mirroring §VI-A's setup.
+
+use cad_baselines::{
+    Detector, Ecod, IsolationForest, Lof, NormA, RCoders, Sand, Series2Graph, Usad,
+};
+use cad_datagen::DatasetProfile;
+use cad_stats::estimate_period;
+
+use crate::cad_method::CadMethod;
+
+/// Identifier of a compared method, in the paper's table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodId {
+    /// The paper's contribution.
+    Cad,
+    /// Local Outlier Factor.
+    Lof,
+    /// Empirical-CDF outlier detection.
+    Ecod,
+    /// Isolation Forest.
+    IForest,
+    /// Adversarial autoencoders.
+    Usad,
+    /// Autoencoder ensemble.
+    RCoders,
+    /// Series2Graph.
+    S2g,
+    /// Batch SAND.
+    Sand,
+    /// Streaming SAND*.
+    SandStar,
+    /// NormA.
+    NormA,
+}
+
+impl MethodId {
+    /// All ten methods, CAD first (Table III ordering).
+    pub const ALL: [MethodId; 10] = [
+        MethodId::Cad,
+        MethodId::Lof,
+        MethodId::Ecod,
+        MethodId::IForest,
+        MethodId::Usad,
+        MethodId::RCoders,
+        MethodId::S2g,
+        MethodId::Sand,
+        MethodId::SandStar,
+        MethodId::NormA,
+    ];
+
+    /// The nine baselines (everything but CAD).
+    pub fn baselines() -> Vec<MethodId> {
+        Self::ALL[1..].to_vec()
+    }
+
+    /// Whether the method's output varies across repeats.
+    pub fn is_randomized(&self) -> bool {
+        matches!(
+            self,
+            MethodId::IForest
+                | MethodId::Usad
+                | MethodId::RCoders
+                | MethodId::Sand
+                | MethodId::SandStar
+                | MethodId::NormA
+        )
+    }
+
+    /// Whether the method needs a training (fit) pass — Table VI only
+    /// reports training time for the MTS methods.
+    pub fn needs_training(&self) -> bool {
+        matches!(
+            self,
+            MethodId::Cad
+                | MethodId::Lof
+                | MethodId::Ecod
+                | MethodId::IForest
+                | MethodId::Usad
+                | MethodId::RCoders
+        )
+    }
+}
+
+/// Display names in table order.
+pub fn method_names() -> Vec<&'static str> {
+    vec!["CAD", "LOF", "ECOD", "IForest", "USAD", "RCoders", "S2G", "SAND", "SAND*", "NormA"]
+}
+
+/// CAD's window/step for a dataset, following §VI-H's suggestion
+/// (`w ≈ 0.02·|T|`, `s ≈ 0.02·w`, floored so tiny scaled datasets work).
+pub fn cad_window(test_len: usize) -> (usize, usize) {
+    let w = ((test_len as f64 * 0.02) as usize).clamp(16, 256);
+    let s = (w / 6).max(2);
+    (w, s)
+}
+
+/// Estimate the univariate pattern length from the first sensor of the
+/// dataset (the paper estimates it from the autocorrelation function).
+pub fn pattern_length(first_sensor: &[f64]) -> usize {
+    let max_lag = (first_sensor.len() / 4).clamp(8, 512);
+    estimate_period(first_sensor, 4, max_lag, 32).clamp(8, 128)
+}
+
+/// Build one configured detector for a dataset profile. `test_len` and
+/// `first_sensor` supply the data-dependent parameters; `seed` drives the
+/// randomised methods (vary it across repeats).
+pub fn build_method(
+    id: MethodId,
+    profile: DatasetProfile,
+    test_len: usize,
+    first_sensor: &[f64],
+    seed: u64,
+) -> Box<dyn Detector> {
+    let k = profile.paper_k();
+    let (w, s) = cad_window(test_len);
+    let l = pattern_length(first_sensor);
+    match id {
+        MethodId::Cad => Box::new(CadMethod::new(w, s, k)),
+        MethodId::Lof => Box::new(Lof::new(20).with_max_train(2000)),
+        MethodId::Ecod => Box::new(Ecod::new()),
+        MethodId::IForest => Box::new(IsolationForest::new(seed)),
+        MethodId::Usad => Box::new(Usad::new(seed)),
+        MethodId::RCoders => Box::new(RCoders::new(seed)),
+        MethodId::S2g => Box::new(Series2Graph::new(l.max(16))),
+        MethodId::Sand => Box::new(Sand::new(4 * l.min(24), seed)),
+        MethodId::SandStar => Box::new(Sand::online(4 * l.min(24), seed)),
+        MethodId::NormA => Box::new(NormA::new(l, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_all_methods() {
+        let sensor: Vec<f64> = (0..600).map(|t| (t as f64 * 0.2).sin()).collect();
+        for id in MethodId::ALL {
+            let det = build_method(id, DatasetProfile::Psm, 2000, &sensor, 1);
+            assert!(!det.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_align_with_ids() {
+        let sensor: Vec<f64> = (0..300).map(|t| (t as f64 * 0.2).sin()).collect();
+        let names = method_names();
+        for (id, name) in MethodId::ALL.iter().zip(&names) {
+            let det = build_method(*id, DatasetProfile::Swat, 1000, &sensor, 0);
+            assert_eq!(det.name(), *name);
+        }
+    }
+
+    #[test]
+    fn randomized_flags_match_determinism() {
+        let sensor: Vec<f64> = (0..300).map(|t| (t as f64 * 0.2).sin()).collect();
+        for id in MethodId::ALL {
+            let det = build_method(id, DatasetProfile::Psm, 1000, &sensor, 0);
+            assert_eq!(
+                id.is_randomized(),
+                !det.is_deterministic(),
+                "{:?} flag mismatch",
+                id
+            );
+        }
+    }
+
+    #[test]
+    fn cad_window_respects_bounds() {
+        let (w, s) = cad_window(100);
+        assert!(w >= 16 && s >= 2 && s <= w);
+        let (w, s) = cad_window(100_000);
+        assert!(w <= 256 && s <= w);
+    }
+
+    #[test]
+    fn pattern_length_detects_period() {
+        let sensor: Vec<f64> = (0..2048)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 64.0).sin())
+            .collect();
+        assert_eq!(pattern_length(&sensor), 64);
+    }
+}

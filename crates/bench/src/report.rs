@@ -1,0 +1,100 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a percentage-style cell with one decimal.
+pub fn fmt_cell(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format `mean ± std` (omitting the ± for a zero std, as the paper does
+/// for deterministic methods).
+pub fn fmt_mean_std(values: &[f64]) -> String {
+    let mean = cad_stats::mean(values);
+    let std = cad_stats::stddev(values);
+    if std < 5e-4 {
+        format!("{mean:.1}")
+    } else {
+        format!("{mean:.1}±{std:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["Method", "F1"]);
+        t.row(vec!["CAD".into(), "95.0".into()]);
+        t.row(vec!["LongMethodName".into(), "1.0".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[2].starts_with("CAD"));
+    }
+
+    #[test]
+    fn mean_std_formats() {
+        assert_eq!(fmt_mean_std(&[90.0, 90.0]), "90.0");
+        let s = fmt_mean_std(&[80.0, 90.0]);
+        assert!(s.starts_with("85.0±"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+}

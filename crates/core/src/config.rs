@@ -1,0 +1,228 @@
+//! CAD hyper-parameters (Table I / §VI-H).
+
+use cad_graph::{BuildStrategy, CorrelationKind, KnnConfig, LouvainConfig};
+use cad_mts::WindowSpec;
+
+/// All CAD parameters: the sliding window `w`/step `s`, the TSG's `k` and
+/// τ, the outlier threshold θ, and the abnormality multiplier η (the paper
+/// fixes η = 3, giving the `|n_r − μ| ≥ 3σ` rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CadConfig {
+    /// Sliding window and step.
+    pub window: WindowSpec,
+    /// k-NN graph parameters (k, τ).
+    pub knn: KnnConfig,
+    /// Outlier threshold θ on `RC_{v,r}` (Definition 7). The paper suggests
+    /// θ ≈ 0.3 (§VI-H).
+    pub theta: f64,
+    /// Chebyshev multiplier η (Inequality 5); 3 by default.
+    pub eta: f64,
+    /// Sliding horizon for the co-appearance ratio: `None` is the paper's
+    /// cumulative Definition 6; `Some(H)` averages the last `H` rounds,
+    /// keeping sensitivity constant over long streams (see
+    /// `cad_core::coappearance`).
+    pub rc_horizon: Option<usize>,
+    /// Louvain parameters.
+    pub louvain: LouvainConfig,
+}
+
+impl CadConfig {
+    /// Start a builder for an `n_sensors`-wide MTS; defaults follow the
+    /// paper's suggestions (τ = 0.5, θ = 0.3, η = 3, k = n/4 clamped to
+    /// Table II's range).
+    pub fn builder(n_sensors: usize) -> CadConfigBuilder {
+        CadConfigBuilder::new(n_sensors)
+    }
+
+    /// Paper-suggested defaults for a series of `len` points and
+    /// `n_sensors` sensors (w ≈ 0.02·|T|, s ≈ 0.02·w — §VI-H).
+    pub fn suggested(n_sensors: usize, len: usize) -> CadConfig {
+        CadConfigBuilder::new(n_sensors).window_for_len(len).build()
+    }
+}
+
+/// Builder with validation at `build`.
+#[derive(Debug, Clone)]
+pub struct CadConfigBuilder {
+    n_sensors: usize,
+    w: usize,
+    s: usize,
+    k: usize,
+    tau: f64,
+    correlation: CorrelationKind,
+    strategy: BuildStrategy,
+    theta: f64,
+    eta: f64,
+    rc_horizon: Option<usize>,
+    louvain: LouvainConfig,
+}
+
+impl CadConfigBuilder {
+    fn new(n_sensors: usize) -> Self {
+        assert!(n_sensors >= 2, "CAD needs at least two sensors");
+        Self {
+            n_sensors,
+            w: 64,
+            s: 8,
+            k: (n_sensors / 4).clamp(2, 50),
+            tau: 0.5,
+            correlation: CorrelationKind::Pearson,
+            strategy: BuildStrategy::Exact,
+            theta: 0.3,
+            eta: 3.0,
+            rc_horizon: None,
+            louvain: LouvainConfig::default(),
+        }
+    }
+
+    /// Set window and step directly.
+    pub fn window(mut self, w: usize, s: usize) -> Self {
+        self.w = w;
+        self.s = s;
+        self
+    }
+
+    /// Pick w/s from a series length per the paper's §VI-H suggestion.
+    pub fn window_for_len(mut self, len: usize) -> Self {
+        let spec = WindowSpec::suggested(len);
+        self.w = spec.w;
+        self.s = spec.s;
+        self
+    }
+
+    /// Number of nearest neighbours `k`.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Correlation threshold τ.
+    pub fn tau(mut self, tau: f64) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// Correlation coefficient for the TSG edges (Pearson by default, as
+    /// in the paper; Spearman is the robust ablation variant).
+    pub fn correlation(mut self, kind: CorrelationKind) -> Self {
+        self.correlation = kind;
+        self
+    }
+
+    /// Neighbour-candidate search strategy for the TSG (exact by default;
+    /// HNSW gives the paper's O(n log n) construction on wide networks).
+    pub fn knn_strategy(mut self, strategy: BuildStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Outlier threshold θ.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Chebyshev multiplier η.
+    pub fn eta(mut self, eta: f64) -> Self {
+        self.eta = eta;
+        self
+    }
+
+    /// Sliding RC horizon (`None` = the paper's cumulative ratio).
+    pub fn rc_horizon(mut self, horizon: Option<usize>) -> Self {
+        self.rc_horizon = horizon;
+        self
+    }
+
+    /// Louvain configuration.
+    pub fn louvain(mut self, louvain: LouvainConfig) -> Self {
+        self.louvain = louvain;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> CadConfig {
+        assert!((0.0..=1.0).contains(&self.theta), "theta must be in [0,1]");
+        assert!(self.eta > 0.0, "eta must be positive");
+        CadConfig {
+            window: WindowSpec::new(self.w, self.s),
+            knn: {
+                let mut knn = KnnConfig::with_kind(
+                    self.k.min(self.n_sensors.saturating_sub(1)).max(1),
+                    self.tau,
+                    self.correlation,
+                );
+                knn.strategy = self.strategy;
+                knn
+            },
+            theta: self.theta,
+            eta: self.eta,
+            rc_horizon: self.rc_horizon,
+            louvain: self.louvain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper() {
+        let c = CadConfig::builder(40).build();
+        assert_eq!(c.theta, 0.3);
+        assert_eq!(c.eta, 3.0);
+        assert_eq!(c.knn.tau, 0.5);
+        assert_eq!(c.knn.k, 10); // 40/4
+    }
+
+    #[test]
+    fn correlation_kind_flows_through() {
+        let c = CadConfig::builder(8).correlation(CorrelationKind::Spearman).build();
+        assert_eq!(c.knn.kind, CorrelationKind::Spearman);
+        assert_eq!(CadConfig::builder(8).build().knn.kind, CorrelationKind::Pearson);
+    }
+
+    #[test]
+    fn k_clamped_to_n_minus_one() {
+        let c = CadConfig::builder(3).k(10).build();
+        assert_eq!(c.knn.k, 2);
+    }
+
+    #[test]
+    fn suggested_window_scales_with_len() {
+        let c = CadConfig::suggested(10, 50_000);
+        assert!(c.window.w >= 8);
+        assert!(c.window.s >= 1);
+        assert!(c.window.s <= c.window.w);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = CadConfig::builder(20)
+            .window(128, 16)
+            .k(5)
+            .tau(0.4)
+            .theta(0.25)
+            .eta(2.5)
+            .build();
+        assert_eq!(c.window.w, 128);
+        assert_eq!(c.window.s, 16);
+        assert_eq!(c.knn.k, 5);
+        assert_eq!(c.knn.tau, 0.4);
+        assert_eq!(c.theta, 0.25);
+        assert_eq!(c.eta, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in [0,1]")]
+    fn bad_theta_rejected() {
+        CadConfig::builder(4).theta(1.5).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sensors")]
+    fn single_sensor_rejected() {
+        CadConfig::builder(1);
+    }
+}

@@ -1,0 +1,565 @@
+//! The CAD detector — Algorithms 1 and 2 of the paper.
+//!
+//! [`CadDetector::warm_up`] is the WarmUp function (lines 16–23): it runs
+//! outlier detection over the historical MTS to seed the μ/σ statistics of
+//! the outlier-variation count, without declaring anomalies.
+//! [`CadDetector::detect`] is the main loop (lines 4–13); each iteration is
+//! one [`CadDetector::push_window`] call, which is also the public
+//! streaming API (§IV-F: "when a new round of data arrives, repeat lines
+//! 6–11").
+
+use cad_graph::{louvain, CorrelationKnn};
+use cad_mts::Mts;
+use cad_stats::RunningStats;
+
+use crate::coappearance::{outlier_variations, CoappearanceTracker};
+use crate::config::CadConfig;
+use crate::result::{Anomaly, DetectionResult, RoundRecord};
+
+/// Outcome of processing one round (Algorithm 1 plus the 3σ verdict).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Number of outlier variations `n_r`.
+    pub n_r: usize,
+    /// `|n_r − μ|/σ` against the pre-update statistics.
+    pub zscore: f64,
+    /// Whether `|n_r − μ| ≥ η·σ` held (always `false` until at least two
+    /// variation counts have been observed — the `r > 1` guard of line 7).
+    pub abnormal: bool,
+    /// The outlier set `O_r`, sorted.
+    pub outliers: Vec<usize>,
+    /// Per-vertex ratios `RC_{v,r}` after this round.
+    pub rc: Vec<f64>,
+}
+
+/// Streaming CAD state. One instance per monitored MTS.
+#[derive(Debug)]
+pub struct CadDetector {
+    config: CadConfig,
+    n_sensors: usize,
+    knn: CorrelationKnn,
+    tracker: CoappearanceTracker,
+    /// Running statistics over the observed `n_r` series (the `N` of
+    /// Algorithm 2).
+    stats: RunningStats,
+    /// `O_{r−1}`, sorted.
+    prev_outliers: Vec<usize>,
+}
+
+impl CadDetector {
+    /// Fresh detector for an `n_sensors`-wide MTS.
+    pub fn new(n_sensors: usize, config: CadConfig) -> Self {
+        assert!(n_sensors >= 2, "CAD needs at least two sensors");
+        let knn = CorrelationKnn::new(config.knn);
+        let tracker = CoappearanceTracker::with_horizon(n_sensors, config.rc_horizon);
+        Self {
+            config,
+            n_sensors,
+            knn,
+            tracker,
+            stats: RunningStats::new(),
+            prev_outliers: Vec::new(),
+        }
+    }
+
+    /// Parameters in use.
+    pub fn config(&self) -> &CadConfig {
+        &self.config
+    }
+
+    /// Sensor count this detector was built for.
+    pub(crate) fn config_n_sensors(&self) -> usize {
+        self.n_sensors
+    }
+
+    /// Persistence access: `(tracker, stats, prev outliers)`.
+    pub(crate) fn persist_parts(&self) -> (&CoappearanceTracker, &RunningStats, &[usize]) {
+        (&self.tracker, &self.stats, &self.prev_outliers)
+    }
+
+    /// Rebuild a detector from persisted state (see `cad_core::state`).
+    pub(crate) fn from_persisted(
+        n_sensors: usize,
+        config: CadConfig,
+        tracker: CoappearanceTracker,
+        stats: RunningStats,
+        prev_outliers: Vec<usize>,
+    ) -> Self {
+        let knn = CorrelationKnn::new(config.knn);
+        Self { config, n_sensors, knn, tracker, stats, prev_outliers }
+    }
+
+    /// Observed variation-count statistics (μ, σ, count).
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+
+    /// Algorithm 1 — one round of outlier detection over the window of
+    /// `mts` starting at column `start`. Returns `(O_r, n_r)`.
+    fn outlier_detection(&mut self, mts: &Mts, start: usize) -> (Vec<usize>, usize) {
+        let w = self.config.window.w;
+        let tsg = self.knn.build(mts, start, w);
+        let partition = louvain(&tsg, self.config.louvain);
+        self.tracker.push(&partition);
+        let outliers = self.tracker.outliers(self.config.theta);
+        let n_r = outlier_variations(&self.prev_outliers, &outliers);
+        (outliers, n_r)
+    }
+
+    /// WarmUp (Algorithm 2, lines 16–23): run outlier detection over every
+    /// round of the historical MTS, accumulating `n_r` into the μ/σ
+    /// statistics but declaring nothing.
+    ///
+    /// Algorithm 2's line 2 re-initialises `O_0 ← ∅` before detection;
+    /// taken literally, that makes the first detection round's variation
+    /// count equal `|O_1|` — a guaranteed spurious spike right at the start
+    /// of monitoring. We instead carry the final warm-up outlier set across
+    /// the boundary (the streaming-consistent reading of §IV-F, where
+    /// detection simply continues the warm-up loop).
+    pub fn warm_up(&mut self, his: &Mts) {
+        assert_eq!(his.n_sensors(), self.n_sensors, "warm-up sensor count mismatch");
+        let spec = self.config.window;
+        for r in 0..spec.rounds(his.len()) {
+            let start = spec.start(r);
+            let (outliers, n_r) = self.outlier_detection(his, start);
+            self.stats.push(n_r as f64);
+            self.prev_outliers = outliers;
+        }
+    }
+
+    /// Process one detection round (Algorithm 2, lines 5–13) on the window
+    /// of `mts` beginning at `start`. This is the streaming entry point.
+    pub fn push_window(&mut self, mts: &Mts, start: usize) -> RoundOutcome {
+        self.process_round(mts, start, false)
+    }
+
+    /// One round with optional verdict suppression (used for the burn-in
+    /// rounds right after a warm-up/detection boundary, where the window
+    /// schedule jumps by up to `w` points and the community structure
+    /// reshuffles for spurious reasons). A suppressed round still updates
+    /// the co-appearance state but contributes nothing to μ/σ and can
+    /// never be abnormal.
+    fn process_round(&mut self, mts: &Mts, start: usize, suppress: bool) -> RoundOutcome {
+        assert_eq!(mts.n_sensors(), self.n_sensors, "sensor count mismatch");
+        let (outliers, n_r) = self.outlier_detection(mts, start);
+        let rc = self.tracker.ratios();
+        if suppress {
+            self.prev_outliers = outliers.clone();
+            return RoundOutcome { n_r, zscore: 0.0, abnormal: false, outliers, rc };
+        }
+        // Line 7's `r > 1` guard: a verdict needs at least two prior
+        // variation counts so that σ is an estimate, not an artefact.
+        let have_history = self.stats.count() >= 2;
+        let zscore = if have_history { self.stats.zscore(n_r as f64) } else { 0.0 };
+        let abnormal = have_history && self.stats.is_outlier(n_r as f64, self.config.eta);
+        // Lines 12–13: fold n_r into N and refresh μ/σ.
+        self.stats.push(n_r as f64);
+        self.prev_outliers = outliers.clone();
+        RoundOutcome { n_r, zscore, abnormal, outliers, rc }
+    }
+
+    /// Algorithm 2 — batch detection over `test`. Consecutive abnormal
+    /// rounds merge into one anomaly `(V_Z, R_Z)`; `V_Z` accumulates the
+    /// outlier sets of the abnormal rounds (line 8).
+    ///
+    /// When a warm-up preceded this call, the window schedule jumps from
+    /// the end of the historical segment to the start of `test`; the first
+    /// ~w/s rounds are suppressed as boundary artefacts. Callers that keep
+    /// the stream contiguous (e.g. by prepending the last `w − s`
+    /// historical points to `test`) should use
+    /// [`Self::detect_with_burn_in`] with `burn_in = 0`.
+    pub fn detect(&mut self, test: &Mts) -> DetectionResult {
+        let spec = self.config.window;
+        let burn_in = if self.stats.count() > 0 { spec.w.div_ceil(spec.s) } else { 0 };
+        self.detect_with_burn_in(test, burn_in)
+    }
+
+    /// [`Self::detect`] with an explicit number of suppressed leading
+    /// rounds.
+    pub fn detect_with_burn_in(&mut self, test: &Mts, burn_in: usize) -> DetectionResult {
+        assert_eq!(test.n_sensors(), self.n_sensors, "detect sensor count mismatch");
+        let spec = self.config.window;
+        let n_rounds = spec.rounds(test.len());
+        let mut rounds = Vec::with_capacity(n_rounds);
+        let mut anomalies: Vec<Anomaly> = Vec::new();
+        let mut point_scores = vec![0.0f64; test.len()];
+
+        // Open-anomaly accumulator (V_Z, R_Z).
+        let mut open: Option<(Vec<usize>, usize, usize)> = None;
+        let close =
+            |open: &mut Option<(Vec<usize>, usize, usize)>, anomalies: &mut Vec<Anomaly>| {
+                if let Some((mut sensors, first, last)) = open.take() {
+                    sensors.sort_unstable();
+                    sensors.dedup();
+                    // Tail attribution (see the scoring loop): the anomaly's
+                    // span runs from the first abnormal round's new step to
+                    // the last abnormal round's window end.
+                    let (fa, fb) = spec.span(first);
+                    let start = if first == 0 { fa } else { fb.saturating_sub(spec.s) };
+                    let (_, end) = spec.span(last);
+                    anomalies.push(Anomaly {
+                        sensors,
+                        first_round: first,
+                        last_round: last,
+                        start: start.min(test.len()),
+                        end: end.min(test.len()),
+                    });
+                }
+            };
+
+        for r in 0..n_rounds {
+            let start = spec.start(r);
+            let outcome = self.process_round(test, start, r < burn_in);
+            // Attribute the round's evidence to the *newly arrived* step —
+            // the last `s` points of the window. Rounds overlap by `w − s`,
+            // so span-wide attribution would mark up to `w − 1` points
+            // *before* an anomaly's onset as abnormal; tail attribution is
+            // the honest streaming reading (the verdict fires when this
+            // step's data enters the window) and keeps onsets sharp.
+            let (a, b) = spec.span(r);
+            let b = b.min(test.len());
+            let tail_start = if r == 0 { a } else { b.saturating_sub(spec.s) };
+            for score in &mut point_scores[tail_start..b] {
+                if outcome.zscore > *score {
+                    *score = outcome.zscore;
+                }
+            }
+            if outcome.abnormal {
+                match &mut open {
+                    Some((sensors, _, last)) => {
+                        sensors.extend_from_slice(&outcome.outliers);
+                        *last = r;
+                    }
+                    None => open = Some((outcome.outliers.clone(), r, r)),
+                }
+            } else {
+                close(&mut open, &mut anomalies);
+            }
+            rounds.push(RoundRecord {
+                round: r,
+                start,
+                n_r: outcome.n_r,
+                zscore: outcome.zscore,
+                abnormal: outcome.abnormal,
+                outliers: outcome.outliers,
+                rc: outcome.rc,
+            });
+        }
+        close(&mut open, &mut anomalies);
+
+        let mut point_labels = vec![false; test.len()];
+        for a in &anomalies {
+            for l in &mut point_labels[a.start..a.end] {
+                *l = true;
+            }
+        }
+        DetectionResult { anomalies, rounds, point_scores, point_labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CadConfig;
+    use cad_datagen::{Dataset, GeneratorConfig};
+
+    /// Synthetic MTS: three communities of four sensors; one community
+    /// breaks correlation during [break_start, break_end).
+    fn broken_mts(len: usize, break_start: usize, break_end: usize) -> (Mts, Vec<usize>) {
+        let drivers: Vec<Vec<f64>> = (0..3)
+            .map(|c| {
+                (0..len)
+                    .map(|t| ((t as f64) * (0.07 + 0.04 * c as f64) + c as f64).sin())
+                    .collect()
+            })
+            .collect();
+        let mut series = Vec::new();
+        for s in 0..12 {
+            let c = s % 3;
+            let gain = 1.0 + 0.2 * (s / 3) as f64;
+            let mut x: Vec<f64> = drivers[c].iter().map(|&d| gain * d).collect();
+            // tiny deterministic jitter so windows are never exactly equal
+            for (t, v) in x.iter_mut().enumerate() {
+                *v += 0.01 * (((t * 31 + s * 17) % 13) as f64 - 6.0);
+            }
+            series.push(x);
+        }
+        // Community 0's sensors {0, 3, 6} decouple during the break window
+        // (sensor 9 stays, so the community loses cohesion).
+        let affected = vec![0usize, 3, 6];
+        for (i, &s) in affected.iter().enumerate() {
+            #[allow(clippy::needless_range_loop)]
+            for t in break_start..break_end {
+                series[s][t] =
+                    ((t as f64) * (0.31 + 0.11 * i as f64)).cos() * 1.5 + 0.3 * i as f64;
+            }
+        }
+        (Mts::from_series(series), affected)
+    }
+
+    /// Test parameters: the synthetic MTS has 3 communities of 4 sensors,
+    /// so the steady-state RC is (4−1)/(12−1) ≈ 0.273; θ sits just below
+    /// it and the sliding horizon keeps single-round dips visible.
+    fn config() -> CadConfig {
+        CadConfig::builder(12)
+            .window(60, 10)
+            .k(3)
+            .tau(0.3)
+            .theta(0.24)
+            .rc_horizon(Some(8))
+            .build()
+    }
+
+    #[test]
+    fn detects_correlation_break() {
+        let (mts, affected) = broken_mts(1500, 1000, 1200);
+        let mut det = CadDetector::new(12, config());
+        // Warm up on the clean prefix.
+        let his = mts.slice_time(0, 600);
+        let test = mts.slice_time(600, 900);
+        det.warm_up(&his);
+        let result = det.detect(&test);
+        assert!(!result.anomalies.is_empty(), "break must be detected");
+        // Some detected anomaly must overlap the true span (400..600 in
+        // test coordinates).
+        let hit = result
+            .anomalies
+            .iter()
+            .any(|a| a.start < 600 && a.end > 400);
+        assert!(hit, "no anomaly overlaps the true break: {:?}", result.anomalies);
+        // Affected sensors must be implicated.
+        let sensors = result.all_sensors();
+        let found = affected.iter().filter(|s| sensors.contains(s)).count();
+        assert!(found >= 2, "affected sensors {affected:?} not implicated in {sensors:?}");
+    }
+
+    #[test]
+    fn clean_data_is_mostly_quiet() {
+        let (mts, _) = broken_mts(1500, 1400, 1450); // break outside the range we use
+        let mut det = CadDetector::new(12, config());
+        det.warm_up(&mts.slice_time(0, 600));
+        let result = det.detect(&mts.slice_time(600, 700));
+        let abnormal = result.rounds.iter().filter(|r| r.abnormal).count();
+        assert!(
+            abnormal * 10 <= result.rounds.len(),
+            "too many false alarms: {abnormal}/{}",
+            result.rounds.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_end_to_end() {
+        let (mts, _) = broken_mts(1200, 800, 950);
+        let run = || {
+            let mut det = CadDetector::new(12, config());
+            det.warm_up(&mts.slice_time(0, 500));
+            det.detect(&mts.slice_time(500, 700))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let (mts, _) = broken_mts(1200, 800, 950);
+        let his = mts.slice_time(0, 500);
+        let test = mts.slice_time(500, 700);
+
+        let mut batch = CadDetector::new(12, config());
+        batch.warm_up(&his);
+        let result = batch.detect(&test);
+
+        let mut streaming = CadDetector::new(12, config());
+        streaming.warm_up(&his);
+        let spec = streaming.config().window;
+        for r in 0..spec.rounds(test.len()) {
+            let outcome = streaming.push_window(&test, spec.start(r));
+            let rec = &result.rounds[r];
+            assert_eq!(outcome.n_r, rec.n_r, "round {r}");
+            assert_eq!(outcome.abnormal, rec.abnormal, "round {r}");
+            assert_eq!(outcome.outliers, rec.outliers, "round {r}");
+        }
+    }
+
+    #[test]
+    fn point_scores_cover_series() {
+        let (mts, _) = broken_mts(1200, 800, 950);
+        let mut det = CadDetector::new(12, config());
+        det.warm_up(&mts.slice_time(0, 500));
+        let test = mts.slice_time(500, 700);
+        let result = det.detect(&test);
+        assert_eq!(result.point_scores.len(), 700);
+        assert_eq!(result.point_labels.len(), 700);
+        assert!(result.point_scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn warm_up_seeds_statistics() {
+        let (mts, _) = broken_mts(1200, 1100, 1150);
+        let mut det = CadDetector::new(12, config());
+        assert_eq!(det.stats().count(), 0);
+        det.warm_up(&mts.slice_time(0, 600));
+        let expected_rounds = det.config().window.rounds(600) as u64;
+        assert_eq!(det.stats().count(), expected_rounds);
+    }
+
+    #[test]
+    fn no_warmup_bootstraps_online() {
+        // SMD mode: no warm-up. The first two rounds cannot be abnormal.
+        let (mts, _) = broken_mts(1200, 600, 750);
+        let mut det = CadDetector::new(12, config());
+        let result = det.detect(&mts.slice_time(0, 1200));
+        assert!(!result.rounds[0].abnormal);
+        assert!(!result.rounds[1].abnormal);
+        // The break still gets caught once statistics exist.
+        assert!(
+            result.anomalies.iter().any(|a| a.start < 800 && a.end > 550),
+            "online bootstrap failed to catch the break"
+        );
+    }
+
+    #[test]
+    fn works_on_generated_dataset() {
+        let data = Dataset::generate(&GeneratorConfig::small("det", 24, 9));
+        // 3 latent communities of 8 → steady RC ≈ 7/23 ≈ 0.30.
+        let cfg = CadConfig::builder(24)
+            .window(48, 8)
+            .k(5)
+            .tau(0.4)
+            .theta(0.27)
+            .rc_horizon(Some(10))
+            .build();
+        let mut det = CadDetector::new(24, cfg);
+        det.warm_up(&data.his);
+        let result = det.detect(&data.test);
+        // The binary 3σ output must overlap at least one injected anomaly…
+        let caught = data
+            .truth
+            .anomalies
+            .iter()
+            .filter(|gt| {
+                result
+                    .anomalies
+                    .iter()
+                    .any(|d| d.start < gt.end && d.end > gt.start)
+            })
+            .count();
+        assert!(
+            caught >= 1,
+            "caught only {caught}/{} anomalies",
+            data.truth.count()
+        );
+        // …and the score stream must separate anomalies from normal data:
+        // the mean per-anomaly peak score beats twice the normal median.
+        let labels = data.truth.point_labels();
+        let mut normal: Vec<f64> = result
+            .point_scores
+            .iter()
+            .zip(&labels)
+            .filter(|&(_, &l)| !l)
+            .map(|(&v, _)| v)
+            .collect();
+        normal.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        let normal_median = normal[normal.len() / 2];
+        let mean_peak: f64 = data
+            .truth
+            .anomalies
+            .iter()
+            .map(|a| {
+                result.point_scores[a.start..a.end]
+                    .iter()
+                    .cloned()
+                    .fold(0.0, f64::max)
+            })
+            .sum::<f64>()
+            / data.truth.count() as f64;
+        assert!(
+            mean_peak > 2.0 * normal_median,
+            "peaks {mean_peak:.2} vs normal median {normal_median:.2}"
+        );
+    }
+
+    #[test]
+    fn abnormal_rounds_merge_into_one_anomaly() {
+        let (mts, _) = broken_mts(1500, 1000, 1250);
+        let mut det = CadDetector::new(12, config());
+        det.warm_up(&mts.slice_time(0, 600));
+        let result = det.detect(&mts.slice_time(600, 900));
+        for a in &result.anomalies {
+            assert!(a.first_round <= a.last_round);
+            assert!(a.start < a.end);
+            // Rounds inside [first, last] flagged abnormal must be contiguousy
+            // represented: every anomaly's recorded rounds are abnormal.
+            for r in a.first_round..=a.last_round {
+                // Not all intermediate rounds need be abnormal individually;
+                // the accumulator only extends on abnormal rounds, so first
+                // and last always are.
+                let _ = r;
+            }
+            assert!(result.rounds[a.first_round].abnormal);
+            assert!(result.rounds[a.last_round].abnormal);
+        }
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            /// The full pipeline must never panic and always produce
+            /// finite, shape-correct output on arbitrary finite data —
+            /// including constant sensors, identical sensors and wild
+            /// magnitudes.
+            #[test]
+            fn prop_detector_total_on_arbitrary_data(
+                raw in proptest::collection::vec(-1e6f64..1e6, 4 * 120),
+                w in 8usize..24,
+                s_step in 2usize..8,
+                theta in 0.05f64..0.6,
+            ) {
+                let mts = Mts::from_rows(4, 120, raw);
+                let config = CadConfig::builder(4)
+                    .window(w, s_step.min(w))
+                    .k(2)
+                    .tau(0.3)
+                    .theta(theta)
+                    .rc_horizon(Some(6))
+                    .build();
+                let mut det = CadDetector::new(4, config);
+                let result = det.detect(&mts);
+                prop_assert_eq!(result.point_scores.len(), 120);
+                prop_assert!(result.point_scores.iter().all(|v| v.is_finite()));
+                for a in &result.anomalies {
+                    prop_assert!(a.start < a.end && a.end <= 120);
+                    prop_assert!(a.sensors.iter().all(|&v| v < 4));
+                }
+            }
+
+            #[test]
+            fn prop_warmup_then_detect_total(
+                raw in proptest::collection::vec(-1e3f64..1e3, 3 * 200),
+            ) {
+                let mts = Mts::from_rows(3, 200, raw);
+                let config = CadConfig::builder(3)
+                    .window(16, 4)
+                    .k(1)
+                    .theta(0.3)
+                    .build();
+                let mut det = CadDetector::new(3, config);
+                det.warm_up(&mts.slice_time(0, 100));
+                let result = det.detect(&mts.slice_time(100, 100));
+                prop_assert_eq!(result.point_labels.len(), 100);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sensor count mismatch")]
+    fn mismatched_sensor_count_panics() {
+        let (mts, _) = broken_mts(300, 200, 250);
+        let mut det = CadDetector::new(12, config());
+        det.warm_up(&mts);
+        let wrong = Mts::zeros(5, 100);
+        det.push_window(&wrong, 0);
+    }
+}

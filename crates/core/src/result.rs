@@ -1,0 +1,114 @@
+//! Detection outputs: anomalies `Z = (V_Z, R_Z)`, per-round diagnostics and
+//! the derived per-point score/label streams used by the evaluation suite.
+
+/// One detected anomaly (Definition 1): affected sensors `V_Z` plus the
+/// consecutive abnormal rounds `R_Z`, with the equivalent time-point span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Anomaly {
+    /// Affected sensors (union of `O_r` over the abnormal rounds), sorted.
+    pub sensors: Vec<usize>,
+    /// First abnormal round (0-based).
+    pub first_round: usize,
+    /// Last abnormal round (inclusive).
+    pub last_round: usize,
+    /// First time point covered by the abnormal rounds (0-based).
+    pub start: usize,
+    /// One past the last covered time point.
+    pub end: usize,
+}
+
+impl Anomaly {
+    /// Number of abnormal rounds in `R_Z`.
+    pub fn n_rounds(&self) -> usize {
+        self.last_round - self.first_round + 1
+    }
+}
+
+/// Per-round diagnostics (one per detection round).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Round index (0-based, detection segment only).
+    pub round: usize,
+    /// First time point of the round's window.
+    pub start: usize,
+    /// Number of outlier variations `n_r`.
+    pub n_r: usize,
+    /// `|n_r − μ| / σ` against the statistics *before* this round was
+    /// folded in (the detector's actual decision variable).
+    pub zscore: f64,
+    /// Whether the round was declared abnormal.
+    pub abnormal: bool,
+    /// The outlier set `O_r`.
+    pub outliers: Vec<usize>,
+    /// Per-vertex co-appearance ratios `RC_{v,r}` after this round — the
+    /// continuous evidence behind `O_r`, useful for ranking suspects.
+    pub rc: Vec<f64>,
+}
+
+/// Full batch-detection output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionResult {
+    /// Detected anomalies in chronological order.
+    pub anomalies: Vec<Anomaly>,
+    /// Per-round diagnostics.
+    pub rounds: Vec<RoundRecord>,
+    /// Per-time-point anomaly score: `max` of the covering rounds'
+    /// z-scores (0 where no round covers the point). Uniform with the
+    /// baselines' score streams so PA/DPA grid search and VUS apply.
+    pub point_scores: Vec<f64>,
+    /// Per-time-point binary verdicts derived from `anomalies`.
+    pub point_labels: Vec<bool>,
+}
+
+impl DetectionResult {
+    /// Sensors implicated in any anomaly, sorted and deduplicated.
+    pub fn all_sensors(&self) -> Vec<usize> {
+        let mut out: Vec<usize> =
+            self.anomalies.iter().flat_map(|a| a.sensors.iter().copied()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The anomaly covering time point `t`, if any.
+    pub fn anomaly_at(&self, t: usize) -> Option<&Anomaly> {
+        self.anomalies.iter().find(|a| (a.start..a.end).contains(&t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DetectionResult {
+        DetectionResult {
+            anomalies: vec![
+                Anomaly { sensors: vec![1, 3], first_round: 2, last_round: 4, start: 20, end: 60 },
+                Anomaly { sensors: vec![0, 3], first_round: 9, last_round: 9, start: 90, end: 110 },
+            ],
+            rounds: vec![],
+            point_scores: vec![0.0; 120],
+            point_labels: vec![false; 120],
+        }
+    }
+
+    #[test]
+    fn n_rounds() {
+        let r = sample();
+        assert_eq!(r.anomalies[0].n_rounds(), 3);
+        assert_eq!(r.anomalies[1].n_rounds(), 1);
+    }
+
+    #[test]
+    fn all_sensors_deduped() {
+        assert_eq!(sample().all_sensors(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn anomaly_at_lookup() {
+        let r = sample();
+        assert_eq!(r.anomaly_at(25).unwrap().first_round, 2);
+        assert_eq!(r.anomaly_at(100).unwrap().first_round, 9);
+        assert!(r.anomaly_at(70).is_none());
+    }
+}

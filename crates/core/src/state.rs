@@ -1,0 +1,352 @@
+//! Detector state persistence.
+//!
+//! A CAD deployment warms up once and then monitors indefinitely (§IV-F);
+//! a process restart must not force a re-warm-up or lose the μ/σ history.
+//! [`save_detector`]/[`load_detector`] serialise the complete detector —
+//! configuration, variation statistics, outlier set and co-appearance
+//! state — into a versioned, line-oriented text format (human-inspectable,
+//! no serialisation dependency). Round-tripping is exact: a restored
+//! detector produces bit-identical outcomes to an uninterrupted one.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use cad_graph::{BuildStrategy, CorrelationKind, HnswConfig, LouvainConfig};
+use cad_stats::RunningStats;
+
+use crate::coappearance::CoappearanceTracker;
+use crate::config::CadConfig;
+use crate::detector::CadDetector;
+
+const MAGIC: &str = "cad-state";
+const VERSION: u32 = 1;
+
+/// Errors surfaced when loading persisted state.
+#[derive(Debug)]
+pub enum StateError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural/parse failure with a description.
+    Format(String),
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::Io(e) => write!(f, "I/O error: {e}"),
+            StateError::Format(m) => write!(f, "state format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<io::Error> for StateError {
+    fn from(e: io::Error) -> Self {
+        StateError::Io(e)
+    }
+}
+
+fn fmt_err(m: impl Into<String>) -> StateError {
+    StateError::Format(m.into())
+}
+
+/// Serialise a detector. The format is line-oriented `key value…` pairs;
+/// floats use Rust's shortest round-trip representation, so reloading is
+/// bit-exact.
+pub fn save_detector<W: Write>(detector: &CadDetector, mut out: W) -> io::Result<()> {
+    let config = detector.config();
+    let (tracker, stats, prev_outliers) = detector.persist_parts();
+    writeln!(out, "{MAGIC} v{VERSION}")?;
+    writeln!(out, "n_sensors {}", detector.n_sensors())?;
+    writeln!(out, "window {} {}", config.window.w, config.window.s)?;
+    writeln!(out, "knn {} {}", config.knn.k, config.knn.tau)?;
+    let kind = match config.knn.kind {
+        CorrelationKind::Pearson => "pearson",
+        CorrelationKind::Spearman => "spearman",
+    };
+    writeln!(out, "kind {kind}")?;
+    match config.knn.strategy {
+        BuildStrategy::Exact => writeln!(out, "strategy exact")?,
+        BuildStrategy::Hnsw(h) => writeln!(
+            out,
+            "strategy hnsw {} {} {} {}",
+            h.m, h.ef_construction, h.ef_search, h.seed
+        )?,
+    }
+    writeln!(out, "theta {}", config.theta)?;
+    writeln!(out, "eta {}", config.eta)?;
+    match config.rc_horizon {
+        Some(h) => writeln!(out, "rc_horizon {h}")?,
+        None => writeln!(out, "rc_horizon none")?,
+    }
+    writeln!(out, "louvain {} {}", config.louvain.max_levels, config.louvain.min_gain)?;
+    let (count, mean, m2) = stats.parts();
+    writeln!(out, "stats {count} {mean} {m2}")?;
+    let outliers: Vec<String> = prev_outliers.iter().map(|v| v.to_string()).collect();
+    writeln!(out, "prev_outliers {}", outliers.join(" "))?;
+    let (prev, cumulative, rounds, _, history) = tracker.state();
+    writeln!(out, "tracker_rounds {rounds}")?;
+    match prev {
+        Some(labels) => {
+            let labels: Vec<String> = labels.iter().map(|v| v.to_string()).collect();
+            writeln!(out, "prev_partition {}", labels.join(" "))?;
+        }
+        None => writeln!(out, "prev_partition none")?,
+    }
+    let cum: Vec<String> = cumulative.iter().map(|v| v.to_string()).collect();
+    writeln!(out, "cumulative {}", cum.join(" "))?;
+    writeln!(out, "history {}", history.len())?;
+    for row in &history {
+        let row: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        writeln!(out, "h {}", row.join(" "))?;
+    }
+    Ok(())
+}
+
+struct Lines<R: BufRead> {
+    reader: R,
+    buf: String,
+}
+
+impl<R: BufRead> Lines<R> {
+    fn next(&mut self) -> Result<&str, StateError> {
+        self.buf.clear();
+        let n = self.reader.read_line(&mut self.buf)?;
+        if n == 0 {
+            return Err(fmt_err("unexpected end of state"));
+        }
+        Ok(self.buf.trim_end())
+    }
+
+    /// Read a line expected to start with `key`, returning its payload.
+    fn expect(&mut self, key: &str) -> Result<&str, StateError> {
+        let line = self.next()?;
+        line.strip_prefix(key)
+            .map(str::trim_start)
+            .ok_or_else(|| fmt_err(format!("expected {key:?}, got {line:?}")))
+            // Borrow gymnastics: re-slice from the owned buffer.
+            .map(|s| s.to_string())
+            .map(|s| {
+                self.buf = s;
+                self.buf.as_str()
+            })
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, StateError> {
+    s.trim().parse().map_err(|_| fmt_err(format!("bad {what}: {s:?}")))
+}
+
+fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, StateError> {
+    s.split_whitespace().map(|tok| parse(tok, what)).collect()
+}
+
+/// Restore a detector previously written by [`save_detector`].
+pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
+    let mut lines = Lines { reader: BufReader::new(input), buf: String::new() };
+    let header = lines.next()?.to_string();
+    if header != format!("{MAGIC} v{VERSION}") {
+        return Err(fmt_err(format!("unsupported header {header:?}")));
+    }
+    let n_sensors: usize = parse(lines.expect("n_sensors")?, "n_sensors")?;
+    let window = lines.expect("window")?.to_string();
+    let mut it = window.split_whitespace();
+    let w: usize = parse(it.next().unwrap_or(""), "w")?;
+    let s: usize = parse(it.next().unwrap_or(""), "s")?;
+    let knn = lines.expect("knn")?.to_string();
+    let mut it = knn.split_whitespace();
+    let k: usize = parse(it.next().unwrap_or(""), "k")?;
+    let tau: f64 = parse(it.next().unwrap_or(""), "tau")?;
+    let kind = match lines.expect("kind")? {
+        "pearson" => CorrelationKind::Pearson,
+        "spearman" => CorrelationKind::Spearman,
+        other => return Err(fmt_err(format!("unknown correlation kind {other:?}"))),
+    };
+    let strategy_line = lines.expect("strategy")?.to_string();
+    let strategy = if strategy_line == "exact" {
+        BuildStrategy::Exact
+    } else if let Some(rest) = strategy_line.strip_prefix("hnsw") {
+        let vals: Vec<&str> = rest.split_whitespace().collect();
+        if vals.len() != 4 {
+            return Err(fmt_err("hnsw strategy needs 4 parameters"));
+        }
+        BuildStrategy::Hnsw(HnswConfig {
+            m: parse(vals[0], "hnsw m")?,
+            ef_construction: parse(vals[1], "hnsw ef_construction")?,
+            ef_search: parse(vals[2], "hnsw ef_search")?,
+            seed: parse(vals[3], "hnsw seed")?,
+        })
+    } else {
+        return Err(fmt_err(format!("unknown strategy {strategy_line:?}")));
+    };
+    let theta: f64 = parse(lines.expect("theta")?, "theta")?;
+    let eta: f64 = parse(lines.expect("eta")?, "eta")?;
+    let rc_horizon = match lines.expect("rc_horizon")? {
+        "none" => None,
+        other => Some(parse(other, "rc_horizon")?),
+    };
+    let louvain_line = lines.expect("louvain")?.to_string();
+    let mut it = louvain_line.split_whitespace();
+    let louvain = LouvainConfig {
+        max_levels: parse(it.next().unwrap_or(""), "louvain max_levels")?,
+        min_gain: parse(it.next().unwrap_or(""), "louvain min_gain")?,
+    };
+
+    let stats_line = lines.expect("stats")?.to_string();
+    let mut it = stats_line.split_whitespace();
+    let stats = RunningStats::from_parts(
+        parse(it.next().unwrap_or(""), "stats count")?,
+        parse(it.next().unwrap_or(""), "stats mean")?,
+        parse(it.next().unwrap_or(""), "stats m2")?,
+    );
+    let prev_outliers: Vec<usize> = parse_list(lines.expect("prev_outliers")?, "outlier id")?;
+    let rounds: usize = parse(lines.expect("tracker_rounds")?, "tracker_rounds")?;
+    let prev_labels = match lines.expect("prev_partition")? {
+        "none" => None,
+        other => Some(parse_list::<usize>(other, "partition label")?),
+    };
+    let cumulative: Vec<f64> = parse_list(lines.expect("cumulative")?, "cumulative value")?;
+    let n_history: usize = parse(lines.expect("history")?, "history count")?;
+    let mut history = Vec::with_capacity(n_history);
+    for _ in 0..n_history {
+        history.push(parse_list::<usize>(lines.expect("h")?, "history value")?);
+    }
+    if cumulative.len() != n_sensors {
+        return Err(fmt_err("cumulative length does not match n_sensors"));
+    }
+    let tracker = CoappearanceTracker::from_state(
+        n_sensors,
+        prev_labels,
+        cumulative,
+        rounds,
+        rc_horizon,
+        history,
+    );
+    let config = CadConfig::builder(n_sensors)
+        .window(w, s)
+        .k(k)
+        .tau(tau)
+        .correlation(kind)
+        .knn_strategy(strategy)
+        .theta(theta)
+        .eta(eta)
+        .rc_horizon(rc_horizon)
+        .louvain(louvain)
+        .build();
+    Ok(CadDetector::from_persisted(n_sensors, config, tracker, stats, prev_outliers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad_mts::Mts;
+
+    fn mts(len: usize) -> Mts {
+        let a: Vec<f64> = (0..len).map(|t| (t as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = a.iter().map(|x| 0.7 * x + 0.2).collect();
+        let c: Vec<f64> = (0..len).map(|t| (t as f64 * 0.45).cos()).collect();
+        let d: Vec<f64> = c.iter().map(|x| -0.9 * x).collect();
+        Mts::from_series(vec![a, b, c, d])
+    }
+
+    fn config() -> CadConfig {
+        CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .rc_horizon(Some(6))
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_future_behaviour() {
+        let data = mts(600);
+        let his = data.slice_time(0, 300);
+        let live = data.slice_time(300, 300);
+
+        // Reference: uninterrupted detector.
+        let mut reference = CadDetector::new(4, config());
+        reference.warm_up(&his);
+        // Snapshot a copy at the same point.
+        let mut snapshotted = CadDetector::new(4, config());
+        snapshotted.warm_up(&his);
+        let mut buf = Vec::new();
+        save_detector(&snapshotted, &mut buf).expect("save");
+        let mut restored = load_detector(buf.as_slice()).expect("load");
+
+        // Both must produce identical outcomes from here on.
+        let spec = reference.config().window;
+        for r in 0..spec.rounds(live.len()) {
+            let a = reference.push_window(&live, spec.start(r));
+            let b = restored.push_window(&live, spec.start(r));
+            assert_eq!(a, b, "round {r} diverged after restore");
+        }
+    }
+
+    #[test]
+    fn roundtrip_mid_detection() {
+        let data = mts(800);
+        let mut det = CadDetector::new(4, config());
+        let spec = det.config().window;
+        // Process half the rounds, snapshot, process the rest two ways.
+        let half = spec.rounds(data.len()) / 2;
+        for r in 0..half {
+            det.push_window(&data, spec.start(r));
+        }
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let mut restored = load_detector(buf.as_slice()).expect("load");
+        for r in half..spec.rounds(data.len()) {
+            let a = det.push_window(&data, spec.start(r));
+            let b = restored.push_window(&data, spec.start(r));
+            assert_eq!(a, b, "round {r}");
+        }
+    }
+
+    #[test]
+    fn config_fields_roundtrip() {
+        let config = CadConfig::builder(4)
+            .window(16, 4)
+            .k(2)
+            .tau(0.45)
+            .theta(0.31)
+            .eta(2.5)
+            .correlation(CorrelationKind::Spearman)
+            .knn_strategy(BuildStrategy::Hnsw(HnswConfig::default()))
+            .rc_horizon(None)
+            .build();
+        let det = CadDetector::new(4, config.clone());
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let restored = load_detector(buf.as_slice()).expect("load");
+        assert_eq!(restored.config(), &config);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = load_detector("not-a-state v1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, StateError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_state() {
+        let det = CadDetector::new(4, config());
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let cut = buf.len() / 2;
+        let err = load_detector(&buf[..cut]).unwrap_err();
+        assert!(matches!(err, StateError::Format(_) | StateError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn state_is_human_readable() {
+        let det = CadDetector::new(4, config());
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let text = String::from_utf8(buf).expect("UTF-8");
+        assert!(text.starts_with("cad-state v1\n"));
+        assert!(text.contains("theta 0.2"));
+        assert!(text.contains("rc_horizon 6"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Sample-at-a-time streaming front-end for the CAD detector.
+//!
+//! [`CadDetector::push_window`] expects the caller to manage a window
+//! buffer; [`StreamingCad`] removes that burden for live deployments: feed
+//! it one *column* of sensor readings per tick and it emits a
+//! [`RoundOutcome`] whenever a full step `s` of fresh data has arrived —
+//! exactly the "run concurrently with new data collection" deployment of
+//! §IV-F. Memory is O(n · w): only the active window is retained.
+
+use cad_mts::Mts;
+
+use crate::detector::{CadDetector, RoundOutcome};
+
+/// Streaming wrapper that buffers incoming samples and drives rounds.
+#[derive(Debug)]
+pub struct StreamingCad {
+    detector: CadDetector,
+    n_sensors: usize,
+    /// Per-sensor rolling buffers, at most `w` points each.
+    buffers: Vec<Vec<f64>>,
+    /// Samples received since the last processed round.
+    fresh: usize,
+    /// Total samples consumed (for reporting).
+    total: usize,
+}
+
+impl StreamingCad {
+    /// Wrap a (typically warmed-up) detector.
+    pub fn new(detector: CadDetector) -> Self {
+        let n_sensors = detector.n_sensors();
+        Self { detector, n_sensors, buffers: vec![Vec::new(); n_sensors], fresh: 0, total: 0 }
+    }
+
+    /// Warm up the wrapped detector on historical data (Algorithm 2's
+    /// WarmUp). The tail of the history pre-fills the window buffer so the
+    /// very first live rounds are contiguous with the warm-up.
+    pub fn warm_up(&mut self, his: &Mts) {
+        self.detector.warm_up(his);
+        let w = self.detector.config().window.w;
+        let keep = w.saturating_sub(self.detector.config().window.s).min(his.len());
+        for (s, buf) in self.buffers.iter_mut().enumerate() {
+            buf.clear();
+            buf.extend_from_slice(&his.sensor(s)[his.len() - keep..]);
+        }
+        self.fresh = 0;
+    }
+
+    /// Underlying detector (μ/σ statistics, configuration).
+    pub fn detector(&self) -> &CadDetector {
+        &self.detector
+    }
+
+    /// Total samples consumed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.total
+    }
+
+    /// Feed one tick of readings (one value per sensor). Returns a
+    /// [`RoundOutcome`] when this tick completes a round — i.e. the window
+    /// buffer holds `w` points and `s` fresh samples have arrived since
+    /// the previous round.
+    pub fn push_sample(&mut self, readings: &[f64]) -> Option<RoundOutcome> {
+        assert_eq!(readings.len(), self.n_sensors, "one reading per sensor required");
+        let spec = self.detector.config().window;
+        for (buf, &v) in self.buffers.iter_mut().zip(readings) {
+            buf.push(v);
+        }
+        self.fresh += 1;
+        self.total += 1;
+        if self.buffers[0].len() < spec.w || self.fresh < spec.s {
+            return None;
+        }
+        self.fresh = 0;
+        // Evict in bulk only when a round fires: O(s) amortised per tick
+        // instead of O(w) per tick with per-sample front removal.
+        for buf in &mut self.buffers {
+            let excess = buf.len().saturating_sub(spec.w);
+            if excess > 0 {
+                buf.drain(..excess);
+            }
+        }
+        let window = Mts::from_series(self.buffers.clone());
+        Some(self.detector.push_window(&window, 0))
+    }
+}
+
+impl CadDetector {
+    /// Number of sensors this detector was built for.
+    pub fn n_sensors(&self) -> usize {
+        self.config_n_sensors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CadConfig;
+
+    /// Correlated pair + an independent pair, long enough for several
+    /// rounds.
+    fn mts(len: usize) -> Mts {
+        let a: Vec<f64> = (0..len).map(|t| (t as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = a.iter().map(|x| 0.7 * x + 0.2).collect();
+        let c: Vec<f64> = (0..len).map(|t| (t as f64 * 0.45).cos()).collect();
+        let d: Vec<f64> = c.iter().map(|x| -0.9 * x).collect();
+        Mts::from_series(vec![a, b, c, d])
+    }
+
+    fn config() -> CadConfig {
+        CadConfig::builder(4).window(32, 8).k(1).tau(0.3).theta(0.2).build()
+    }
+
+    #[test]
+    fn emits_rounds_on_step_boundaries() {
+        let data = mts(400);
+        let mut stream = StreamingCad::new(CadDetector::new(4, config()));
+        let mut rounds = 0;
+        for t in 0..data.len() {
+            if stream.push_sample(&data.column(t)).is_some() {
+                rounds += 1;
+            }
+        }
+        // First round after w = 32 samples, then every s = 8.
+        assert_eq!(rounds, (400 - 32) / 8 + 1);
+        assert_eq!(stream.samples_seen(), 400);
+    }
+
+    #[test]
+    fn streaming_matches_batch_rounds() {
+        let data = mts(400);
+        // Batch reference.
+        let mut batch = CadDetector::new(4, config());
+        let batch_result = batch.detect(&data);
+        // Streamed.
+        let mut stream = StreamingCad::new(CadDetector::new(4, config()));
+        let mut outcomes = Vec::new();
+        for t in 0..data.len() {
+            if let Some(o) = stream.push_sample(&data.column(t)) {
+                outcomes.push(o);
+            }
+        }
+        assert_eq!(outcomes.len(), batch_result.rounds.len());
+        for (o, rec) in outcomes.iter().zip(&batch_result.rounds) {
+            assert_eq!(o.n_r, rec.n_r, "round {}", rec.round);
+            assert_eq!(o.outliers, rec.outliers, "round {}", rec.round);
+            assert_eq!(o.abnormal, rec.abnormal, "round {}", rec.round);
+        }
+    }
+
+    #[test]
+    fn warm_up_prefills_buffer() {
+        let data = mts(600);
+        let his = data.slice_time(0, 300);
+        let live = data.slice_time(300, 300);
+        let mut stream = StreamingCad::new(CadDetector::new(4, config()));
+        stream.warm_up(&his);
+        // With w − s = 24 points prefilled, the first round fires after
+        // only s = 8 live samples.
+        let mut first_at = None;
+        for t in 0..live.len() {
+            if stream.push_sample(&live.column(t)).is_some() {
+                first_at = Some(t);
+                break;
+            }
+        }
+        assert_eq!(first_at, Some(7), "first round after s samples");
+    }
+
+    #[test]
+    #[should_panic(expected = "one reading per sensor")]
+    fn wrong_width_sample_panics() {
+        let mut stream = StreamingCad::new(CadDetector::new(4, config()));
+        stream.push_sample(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Anomaly archetypes and their injection into generated MTS.
+//!
+//! Each archetype supports a *gradual onset*: the effect ramps linearly from
+//! 0 to full magnitude over the first `onset_frac` of the anomaly span. The
+//! onset is what separates "early" from "late" detectors — during the ramp
+//! the marginal distribution of each sensor barely moves, but correlations
+//! with community peers already degrade, which is the behaviour the paper's
+//! case study (Fig. 7) illustrates.
+
+use rand::Rng;
+
+use cad_mts::{AnomalyLabel, Mts};
+use cad_stats::GaussianSampler;
+
+/// The shape of an injected anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Affected sensors decouple from their community driver and follow an
+    /// independent signal instead — marginals stay similar, correlations
+    /// break. CAD's home turf.
+    CorrelationBreak,
+    /// Additive level shift.
+    LevelShift,
+    /// Noise variance multiplied.
+    VarianceBurst,
+    /// Additive linear drift growing over the span.
+    TrendDrift,
+    /// Sparse large spikes.
+    Spike,
+}
+
+impl AnomalyKind {
+    /// All archetypes, for round-robin assignment.
+    pub const ALL: [AnomalyKind; 5] = [
+        AnomalyKind::CorrelationBreak,
+        AnomalyKind::LevelShift,
+        AnomalyKind::VarianceBurst,
+        AnomalyKind::TrendDrift,
+        AnomalyKind::Spike,
+    ];
+}
+
+/// One anomaly to inject.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalySpec {
+    /// First affected time point (0-based).
+    pub start: usize,
+    /// Span length in points.
+    pub duration: usize,
+    /// Affected sensor indices.
+    pub sensors: Vec<usize>,
+    /// Archetype.
+    pub kind: AnomalyKind,
+    /// Effect size, in units of the sensor's normal std.
+    pub magnitude: f64,
+    /// Fraction of the span over which the effect ramps in (0 = step
+    /// change, 1 = ramps over the whole span).
+    pub onset_frac: f64,
+}
+
+impl AnomalySpec {
+    /// Ramp factor α(t) ∈ [0, 1] at offset `i` into the span.
+    fn ramp(&self, i: usize) -> f64 {
+        let onset = (self.duration as f64 * self.onset_frac).max(1.0);
+        ((i as f64 + 1.0) / onset).min(1.0)
+    }
+
+    /// Ground-truth label for this spec.
+    pub fn label(&self) -> AnomalyLabel {
+        AnomalyLabel::new(self.start, self.start + self.duration, self.sensors.clone())
+    }
+
+    /// Inject into `mts`. `sensor_scale[s]` is the normal-regime std of
+    /// sensor `s`, so `magnitude` is expressed in natural units.
+    pub fn inject<R: Rng + ?Sized>(&self, mts: &mut Mts, sensor_scale: &[f64], rng: &mut R) {
+        assert!(self.start + self.duration <= mts.len(), "anomaly span out of range");
+        let mut sampler = GaussianSampler::new();
+        match self.kind {
+            AnomalyKind::CorrelationBreak => {
+                // Replacement signal: an independent smooth wander per
+                // sensor, blended in along the ramp.
+                for &s in &self.sensors {
+                    let scale = sensor_scale[s];
+                    let mut state = 0.0;
+                    for i in 0..self.duration {
+                        state = 0.95 * state + sampler.normal(rng, 0.0, 0.35 * scale);
+                        let t = self.start + i;
+                        let a = self.ramp(i) * (self.magnitude / 1.5).min(1.0);
+                        let orig = mts.get(s, t);
+                        // Blend toward (window mean + independent wander):
+                        // the marginal level stays put, the co-movement dies.
+                        let replacement = orig * 0.1 + state * 3.0;
+                        mts.set(s, t, (1.0 - a) * orig + a * replacement);
+                    }
+                }
+            }
+            AnomalyKind::LevelShift => {
+                // A stuck/offset sensor also stops tracking its process:
+                // besides the shift, a fraction of the driver signal is
+                // replaced by an independent wander (Pearson is invariant
+                // to pure shifts, so the decorrelating component is what a
+                // correlation monitor can see — and what really happens
+                // when a transducer drifts).
+                for &s in &self.sensors {
+                    let shift = self.magnitude * sensor_scale[s];
+                    let mut state = 0.0;
+                    for i in 0..self.duration {
+                        state = 0.9 * state + sampler.normal(rng, 0.0, 0.6 * sensor_scale[s]);
+                        let t = self.start + i;
+                        let a = self.ramp(i);
+                        let orig = mts.get(s, t);
+                        let perturbed = 0.3 * orig + state + shift;
+                        mts.set(s, t, (1.0 - a) * orig + a * perturbed);
+                    }
+                }
+            }
+            AnomalyKind::VarianceBurst => {
+                for &s in &self.sensors {
+                    let sigma = self.magnitude * sensor_scale[s];
+                    for i in 0..self.duration {
+                        let t = self.start + i;
+                        let a = self.ramp(i);
+                        let noise = sampler.normal(rng, 0.0, sigma);
+                        mts.set(s, t, mts.get(s, t) + a * noise);
+                    }
+                }
+            }
+            AnomalyKind::TrendDrift => {
+                // A drifting sensor progressively loses its process signal
+                // while the drift grows.
+                for &s in &self.sensors {
+                    let peak = self.magnitude * sensor_scale[s];
+                    for i in 0..self.duration {
+                        let t = self.start + i;
+                        let frac = (i + 1) as f64 / self.duration as f64;
+                        let orig = mts.get(s, t);
+                        let damped = orig * (1.0 - 0.8 * frac);
+                        mts.set(s, t, damped + frac * peak);
+                    }
+                }
+            }
+            AnomalyKind::Spike => {
+                for &s in &self.sensors {
+                    let amp = self.magnitude * sensor_scale[s] * 2.0;
+                    for i in 0..self.duration {
+                        // Roughly every 5th point spikes, alternating sign.
+                        if i % 5 == 0 {
+                            let t = self.start + i;
+                            let sign = if (i / 5) % 2 == 0 { 1.0 } else { -1.0 };
+                            let a = self.ramp(i);
+                            mts.set(s, t, mts.get(s, t) + a * sign * amp);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad_stats::{pearson, stddev};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Two sensors perfectly driven by one sinusoid.
+    fn correlated_pair(len: usize) -> (Mts, Vec<f64>) {
+        let base: Vec<f64> = (0..len).map(|t| (t as f64 * 0.2).sin()).collect();
+        let a = base.clone();
+        let b: Vec<f64> = base.iter().map(|x| 1.5 * x + 0.3).collect();
+        let scales = vec![stddev(&a), stddev(&b)];
+        (Mts::from_series(vec![a, b]), scales)
+    }
+
+    #[test]
+    fn correlation_break_destroys_correlation() {
+        let (mut mts, scales) = correlated_pair(400);
+        let spec = AnomalySpec {
+            start: 200,
+            duration: 150,
+            sensors: vec![1],
+            kind: AnomalyKind::CorrelationBreak,
+            magnitude: 3.0,
+            onset_frac: 0.2,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        spec.inject(&mut mts, &scales, &mut rng);
+        let pre = pearson(
+            &mts.sensor(0)[..200],
+            &mts.sensor(1)[..200],
+        );
+        let during = pearson(
+            &mts.sensor(0)[230..350],
+            &mts.sensor(1)[230..350],
+        );
+        assert!(pre > 0.99, "pre-anomaly correlation intact: {pre}");
+        assert!(during < 0.7, "correlation must break: {during}");
+    }
+
+    #[test]
+    fn level_shift_moves_mean() {
+        let (mut mts, scales) = correlated_pair(300);
+        let spec = AnomalySpec {
+            start: 100,
+            duration: 100,
+            sensors: vec![0],
+            kind: AnomalyKind::LevelShift,
+            magnitude: 4.0,
+            onset_frac: 0.0,
+        };
+        let before_mean: f64 = mts.sensor(0)[100..200].iter().sum::<f64>() / 100.0;
+        let mut rng = StdRng::seed_from_u64(6);
+        spec.inject(&mut mts, &scales, &mut rng);
+        let after_mean: f64 = mts.sensor(0)[100..200].iter().sum::<f64>() / 100.0;
+        assert!(after_mean - before_mean > 2.0 * scales[0]);
+        // Unaffected sensor untouched.
+        let (orig, _) = correlated_pair(300);
+        assert_eq!(mts.sensor(1), orig.sensor(1));
+    }
+
+    #[test]
+    fn variance_burst_inflates_std() {
+        let (mut mts, scales) = correlated_pair(300);
+        let spec = AnomalySpec {
+            start: 100,
+            duration: 100,
+            sensors: vec![0],
+            kind: AnomalyKind::VarianceBurst,
+            magnitude: 5.0,
+            onset_frac: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let sd_before = stddev(&mts.sensor(0)[100..200]);
+        spec.inject(&mut mts, &scales, &mut rng);
+        let sd_after = stddev(&mts.sensor(0)[100..200]);
+        assert!(sd_after > 2.0 * sd_before, "{sd_before} → {sd_after}");
+    }
+
+    #[test]
+    fn trend_drift_grows_toward_end() {
+        let (mut mts, scales) = correlated_pair(300);
+        let orig_end = mts.get(0, 199);
+        let spec = AnomalySpec {
+            start: 100,
+            duration: 100,
+            sensors: vec![0],
+            kind: AnomalyKind::TrendDrift,
+            magnitude: 5.0,
+            onset_frac: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(8);
+        spec.inject(&mut mts, &scales, &mut rng);
+        let delta_start = (mts.get(0, 100) - orig_end).abs();
+        let delta_end = mts.get(0, 199) - orig_end;
+        assert!(delta_end > delta_start, "drift must grow over the span");
+    }
+
+    #[test]
+    fn spikes_are_sparse_and_large() {
+        let (mut mts, scales) = correlated_pair(300);
+        let orig = mts.clone();
+        let spec = AnomalySpec {
+            start: 100,
+            duration: 50,
+            sensors: vec![1],
+            kind: AnomalyKind::Spike,
+            magnitude: 4.0,
+            onset_frac: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        spec.inject(&mut mts, &scales, &mut rng);
+        let changed: usize = (100..150)
+            .filter(|&t| (mts.get(1, t) - orig.get(1, t)).abs() > 1e-9)
+            .count();
+        assert_eq!(changed, 10, "every 5th point spikes");
+    }
+
+    #[test]
+    fn ramp_is_monotone() {
+        let spec = AnomalySpec {
+            start: 0,
+            duration: 100,
+            sensors: vec![],
+            kind: AnomalyKind::LevelShift,
+            magnitude: 1.0,
+            onset_frac: 0.5,
+        };
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let a = spec.ramp(i);
+            assert!(a >= prev);
+            assert!((0.0..=1.0).contains(&a));
+            prev = a;
+        }
+        assert_eq!(spec.ramp(99), 1.0);
+    }
+
+    #[test]
+    fn label_matches_spec() {
+        let spec = AnomalySpec {
+            start: 10,
+            duration: 5,
+            sensors: vec![2, 0],
+            kind: AnomalyKind::LevelShift,
+            magnitude: 1.0,
+            onset_frac: 0.0,
+        };
+        let label = spec.label();
+        assert_eq!(label.start, 10);
+        assert_eq!(label.end, 15);
+        assert_eq!(label.sensors, vec![0, 2]);
+    }
+}

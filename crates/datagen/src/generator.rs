@@ -1,0 +1,332 @@
+//! The dataset generator: community-structured sensors + labelled anomalies.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use cad_mts::{GroundTruth, Mts};
+use cad_stats::{stddev, GaussianSampler};
+
+use crate::anomaly::{AnomalyKind, AnomalySpec};
+use crate::signal::SignalBank;
+
+/// Everything needed to synthesise one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Dataset display name.
+    pub name: String,
+    /// Number of sensors `n`.
+    pub n_sensors: usize,
+    /// Number of latent communities driving the sensors.
+    pub n_communities: usize,
+    /// Length of the anomaly-free historical segment `|T_his|`.
+    pub his_len: usize,
+    /// Length of the detection segment `|T|`.
+    pub test_len: usize,
+    /// Per-sensor noise std relative to its driver's std.
+    pub noise_rel: f64,
+    /// Number of anomalies to inject into the detection segment.
+    pub n_anomalies: usize,
+    /// Anomaly duration as a fraction of `test_len` (min, max).
+    pub duration_frac: (f64, f64),
+    /// Fraction of one community's sensors an anomaly affects (min, max).
+    pub affected_frac: (f64, f64),
+    /// Effect size in units of sensor std.
+    pub magnitude: f64,
+    /// Gradual-onset fraction passed to every [`AnomalySpec`].
+    pub onset_frac: f64,
+    /// Archetype cycle; anomalies take kinds round-robin from this list.
+    pub kinds: Vec<AnomalyKind>,
+    /// RNG seed — the dataset is a pure function of this config.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// A reasonable small default for tests and examples.
+    pub fn small(name: &str, n_sensors: usize, seed: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            n_sensors,
+            n_communities: (n_sensors / 8).clamp(2, 16),
+            his_len: 1200,
+            test_len: 2400,
+            noise_rel: 0.15,
+            n_anomalies: 6,
+            duration_frac: (0.025, 0.05),
+            affected_frac: (0.3, 0.7),
+            magnitude: 2.0,
+            onset_frac: 0.3,
+            kinds: AnomalyKind::ALL.to_vec(),
+            seed,
+        }
+    }
+}
+
+/// A generated dataset: warm-up segment, detection segment, ground truth
+/// over the detection segment, and the latent community assignment (useful
+/// as an oracle in tests).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Display name.
+    pub name: String,
+    /// Anomaly-free historical MTS (`T_his` in Algorithm 2).
+    pub his: Mts,
+    /// Detection MTS (`T` in Algorithm 2).
+    pub test: Mts,
+    /// Ground truth over `test`.
+    pub truth: GroundTruth,
+    /// Latent community of each sensor.
+    pub communities: Vec<usize>,
+}
+
+impl Dataset {
+    /// Generate from a config. Deterministic.
+    pub fn generate(config: &GeneratorConfig) -> Dataset {
+        assert!(config.n_sensors >= 2, "need at least two sensors");
+        assert!(config.n_communities >= 1);
+        assert!(config.n_anomalies >= 1 || config.test_len == 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let total_len = config.his_len + config.test_len;
+
+        // 1. Community drivers over the whole timeline.
+        let n_comm = config.n_communities.min(config.n_sensors);
+        let min_period = (total_len as f64 / 100.0).max(8.0);
+        let max_period = (total_len as f64 / 8.0).max(min_period);
+        let bank = SignalBank::sample(&mut rng, n_comm, total_len, min_period, max_period);
+
+        // 2. Sensors: gain (sometimes negative) × driver + offset + noise.
+        let mut sampler = GaussianSampler::new();
+        let communities: Vec<usize> = (0..config.n_sensors).map(|s| s % n_comm).collect();
+        let mut series: Vec<Vec<f64>> = Vec::with_capacity(config.n_sensors);
+        for &c in &communities {
+            let driver = bank.driver(c);
+            let driver_sd = stddev(driver).max(1e-6);
+            let gain_mag = 0.6 + 1.2 * rng.gen::<f64>();
+            let gain = if rng.gen::<f64>() < 0.25 { -gain_mag } else { gain_mag };
+            let offset = sampler.normal(&mut rng, 0.0, 2.0);
+            let noise_sd = config.noise_rel * driver_sd * gain_mag;
+            // Small secondary-driver coupling raises the data's intrinsic
+            // dimension (real components interact with more than one
+            // process) without dissolving the community structure.
+            let c2 = (c + 1) % n_comm;
+            let gain2 = if n_comm > 1 { 0.25 * rng.gen::<f64>() * gain_mag } else { 0.0 };
+            let driver2 = bank.driver(c2);
+            let s: Vec<f64> = driver
+                .iter()
+                .zip(driver2)
+                .map(|(&d, &d2)| {
+                    gain * d + gain2 * d2 + offset + sampler.normal(&mut rng, 0.0, noise_sd)
+                })
+                .collect();
+            series.push(s);
+        }
+        let mut full = Mts::from_series(series);
+
+        // 3. Normal-regime scale per sensor (for magnitude normalisation).
+        let scales: Vec<f64> = (0..config.n_sensors)
+            .map(|s| stddev(&full.sensor(s)[..config.his_len.max(2)]).max(1e-6))
+            .collect();
+
+        // 4. Anomaly schedule: one anomaly per equal slot of the detection
+        //    segment, at a random offset inside its slot — deterministic,
+        //    non-overlapping, with breathing room between events.
+        let mut specs = Vec::with_capacity(config.n_anomalies);
+        if config.test_len > 0 && config.n_anomalies > 0 {
+            let slot = config.test_len / config.n_anomalies;
+            for i in 0..config.n_anomalies {
+                let dur_min = (config.duration_frac.0 * config.test_len as f64) as usize;
+                let dur_max = (config.duration_frac.1 * config.test_len as f64) as usize;
+                let duration = rng
+                    .gen_range(dur_min.max(4)..=dur_max.max(dur_min.max(4) + 1))
+                    .min(slot.saturating_sub(2).max(4));
+                let slack = slot.saturating_sub(duration + 1).max(1);
+                let start = config.his_len + i * slot + rng.gen_range(0..slack);
+                // Affected sensors: a random fraction of one community.
+                let target_comm = rng.gen_range(0..n_comm);
+                let members: Vec<usize> = (0..config.n_sensors)
+                    .filter(|&s| communities[s] == target_comm)
+                    .collect();
+                let frac = config.affected_frac.0
+                    + rng.gen::<f64>() * (config.affected_frac.1 - config.affected_frac.0);
+                let n_affected = ((members.len() as f64 * frac) as usize)
+                    .clamp(1, members.len());
+                let mut chosen = members;
+                // Deterministic partial Fisher–Yates.
+                for j in 0..n_affected {
+                    let pick = rng.gen_range(j..chosen.len());
+                    chosen.swap(j, pick);
+                }
+                chosen.truncate(n_affected);
+                let kind = config.kinds[i % config.kinds.len()];
+                specs.push(AnomalySpec {
+                    start,
+                    duration,
+                    sensors: chosen,
+                    kind,
+                    magnitude: config.magnitude,
+                    onset_frac: config.onset_frac,
+                });
+            }
+        }
+        for spec in &specs {
+            spec.inject(&mut full, &scales, &mut rng);
+        }
+
+        // 5. Split into warm-up + detection, shifting labels.
+        let his = full.slice_time(0, config.his_len);
+        let test = full.slice_time(config.his_len, config.test_len);
+        let labels = specs
+            .iter()
+            .map(|sp| {
+                let mut l = sp.label();
+                l.start -= config.his_len;
+                l.end -= config.his_len;
+                l
+            })
+            .collect();
+        let truth = GroundTruth::new(config.test_len, labels);
+        Dataset { name: config.name.clone(), his, test, truth, communities }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad_stats::pearson;
+
+    fn small() -> Dataset {
+        Dataset::generate(&GeneratorConfig::small("unit", 16, 42))
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let d = small();
+        assert_eq!(d.his.n_sensors(), 16);
+        assert_eq!(d.test.n_sensors(), 16);
+        assert_eq!(d.his.len(), 1200);
+        assert_eq!(d.test.len(), 2400);
+        assert_eq!(d.communities.len(), 16);
+    }
+
+    #[test]
+    fn anomalies_land_in_test_segment() {
+        let d = small();
+        assert_eq!(d.truth.count(), 6);
+        for a in &d.truth.anomalies {
+            assert!(a.end <= d.test.len());
+            assert!(!a.sensors.is_empty());
+        }
+    }
+
+    #[test]
+    fn anomalies_do_not_overlap() {
+        let d = small();
+        for pair in d.truth.anomalies.windows(2) {
+            assert!(pair[0].end <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn same_community_sensors_are_correlated_in_his() {
+        let d = small();
+        // Find two sensors sharing a community.
+        let c0 = d.communities[0];
+        let peer = (1..16).find(|&s| d.communities[s] == c0).unwrap();
+        let r = pearson(d.his.sensor(0), d.his.sensor(peer));
+        assert!(r.abs() > 0.7, "community peers should correlate: {r}");
+    }
+
+    #[test]
+    fn cross_community_sensors_are_weakly_correlated() {
+        let d = small();
+        let c0 = d.communities[0];
+        let other = (1..16).find(|&s| d.communities[s] != c0).unwrap();
+        let r = pearson(d.his.sensor(0), d.his.sensor(other));
+        assert!(r.abs() < 0.6, "cross-community correlation too strong: {r}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.his, b.his);
+        assert_eq!(a.test, b.test);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::generate(&GeneratorConfig::small("a", 16, 1));
+        let b = Dataset::generate(&GeneratorConfig::small("b", 16, 2));
+        assert_ne!(a.test, b.test);
+    }
+
+    #[test]
+    fn historical_segment_is_anomaly_free() {
+        // All injected spans start at or after his_len by construction; the
+        // warm-up slice must equal a clean regeneration with zero anomalies
+        // *up to noise drawn after injection*, so instead just verify that
+        // label starts are all within the test segment (≥ 0 after shift).
+        let d = small();
+        for a in &d.truth.anomalies {
+            assert!(a.start < d.test.len());
+        }
+    }
+
+    #[test]
+    fn affected_sensors_share_a_community() {
+        let d = small();
+        for a in &d.truth.anomalies {
+            let c = d.communities[a.sensors[0]];
+            assert!(
+                a.sensors.iter().all(|&s| d.communities[s] == c),
+                "anomaly sensors must come from one community"
+            );
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            /// Generated datasets are structurally valid for any seed and
+            /// modest shape: labels in range, non-overlapping, sensors
+            /// within bounds, finite readings.
+            #[test]
+            fn prop_generator_invariants(
+                seed in 0u64..10_000,
+                n_sensors in 4usize..32,
+                n_anomalies in 1usize..8,
+            ) {
+                let mut cfg = GeneratorConfig::small("prop", n_sensors, seed);
+                cfg.his_len = 300;
+                cfg.test_len = 600;
+                cfg.n_anomalies = n_anomalies;
+                let d = Dataset::generate(&cfg);
+                prop_assert_eq!(d.his.len(), 300);
+                prop_assert_eq!(d.test.len(), 600);
+                prop_assert_eq!(d.truth.count(), n_anomalies);
+                prop_assert!(d.his.raw().iter().all(|v| v.is_finite()));
+                prop_assert!(d.test.raw().iter().all(|v| v.is_finite()));
+                let mut prev_end = 0usize;
+                for a in &d.truth.anomalies {
+                    prop_assert!(a.start >= prev_end);
+                    prop_assert!(a.end <= 600);
+                    prop_assert!(!a.sensors.is_empty());
+                    prop_assert!(a.sensors.iter().all(|&s| s < n_sensors));
+                    prev_end = a.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_cycle_round_robin() {
+        let mut cfg = GeneratorConfig::small("k", 12, 3);
+        cfg.kinds = vec![AnomalyKind::LevelShift];
+        cfg.n_anomalies = 3;
+        // No panic and three anomalies → the cycle logic holds.
+        let d = Dataset::generate(&cfg);
+        assert_eq!(d.truth.count(), 3);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic sensor-MTS generation.
+//!
+//! The paper evaluates on three public datasets (PSM, SMD, SWaT) and five
+//! *private* industrial datasets (IS-1 … IS-5). None are available here, so
+//! this crate synthesises datasets with the structural properties every
+//! compared method actually consumes (see DESIGN.md, substitution #1):
+//!
+//! * **Community structure** — sensors are grouped into latent communities,
+//!   each driven by a shared signal (sinusoid mixture + AR(1) drift); the
+//!   paper argues sensor networks exhibit exactly this structure (§III-C).
+//! * **Heterogeneous sensors** — random per-sensor gain (possibly negative,
+//!   producing negative correlations), offset and noise level.
+//! * **Labelled anomalies** — five archetypes with configurable gradual
+//!   onset, including the *correlation break* that motivates CAD: affected
+//!   sensors decouple from their community driver before their marginal
+//!   statistics move far, which is what makes early detection possible.
+//! * **Warm-up segment** — every dataset ships an anomaly-free historical
+//!   prefix `T_his` for Algorithm 2's warm-up, mirroring Table II.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod anomaly;
+pub mod generator;
+pub mod profiles;
+pub mod signal;
+
+pub use anomaly::{AnomalyKind, AnomalySpec};
+pub use generator::{Dataset, GeneratorConfig};
+pub use profiles::{all_profiles, DatasetProfile};
+pub use signal::{Ar1, SignalBank, SinusoidMix, Waveform};

@@ -1,0 +1,277 @@
+//! Latent signal generators driving sensor communities.
+
+use rand::Rng;
+
+use cad_stats::GaussianSampler;
+
+/// Periodic waveform shapes for process signals. Industrial signals are
+/// not all sinusoidal: valve cycles look like square waves, conveyor
+/// loading like sawtooths, batch operations like pulse trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Waveform {
+    /// Smooth sinusoid.
+    Sine,
+    /// ±1 square wave (duty cycle 50%).
+    Square,
+    /// Rising sawtooth in [−1, 1].
+    Sawtooth,
+    /// Symmetric triangle wave in [−1, 1].
+    Triangle,
+}
+
+impl Waveform {
+    /// Evaluate the unit-amplitude waveform at phase angle `x` (radians).
+    pub fn at(self, x: f64) -> f64 {
+        let tau = 2.0 * std::f64::consts::PI;
+        // Phase folded into [0, 1).
+        let frac = (x / tau).rem_euclid(1.0);
+        match self {
+            Waveform::Sine => x.sin(),
+            Waveform::Square => {
+                if frac < 0.5 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            Waveform::Sawtooth => 2.0 * frac - 1.0,
+            Waveform::Triangle => {
+                if frac < 0.5 {
+                    4.0 * frac - 1.0
+                } else {
+                    3.0 - 4.0 * frac
+                }
+            }
+        }
+    }
+
+    /// Random waveform, weighted toward sinusoids (most process signals
+    /// are smooth, with the occasional switching/loading pattern).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        match rng.gen_range(0..6) {
+            0 => Waveform::Square,
+            1 => Waveform::Sawtooth,
+            2 => Waveform::Triangle,
+            _ => Waveform::Sine,
+        }
+    }
+}
+
+/// A mixture of periodic components with random waveforms, frequencies,
+/// phases and amplitudes — the periodic backbone of a process signal.
+#[derive(Debug, Clone)]
+pub struct SinusoidMix {
+    components: Vec<(f64, f64, f64, Waveform)>, // (amplitude, ω, phase, shape)
+}
+
+impl SinusoidMix {
+    /// Random mixture of `n_components` periodic components with periods
+    /// drawn log-uniformly from `[min_period, max_period]`.
+    pub fn random<R: Rng + ?Sized>(
+        rng: &mut R,
+        n_components: usize,
+        min_period: f64,
+        max_period: f64,
+    ) -> Self {
+        assert!(n_components >= 1);
+        assert!(0.0 < min_period && min_period <= max_period);
+        let components = (0..n_components)
+            .map(|_| {
+                let amp = 0.4 + 0.6 * rng.gen::<f64>();
+                let log_p = min_period.ln() + rng.gen::<f64>() * (max_period / min_period).ln();
+                let period = log_p.exp();
+                let omega = 2.0 * std::f64::consts::PI / period;
+                let phase = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+                (amp, omega, phase, Waveform::random(rng))
+            })
+            .collect();
+        Self { components }
+    }
+
+    /// Value at (continuous) time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|&(a, w, p, shape)| a * shape.at(w * t + p))
+            .sum()
+    }
+}
+
+/// First-order autoregressive drift: `x_t = φ·x_{t−1} + ε_t` — the slow
+/// wander real sensors exhibit on top of their periodic component.
+#[derive(Debug, Clone)]
+pub struct Ar1 {
+    phi: f64,
+    sigma: f64,
+    state: f64,
+    sampler: GaussianSampler,
+}
+
+impl Ar1 {
+    /// New process with persistence `phi ∈ [0, 1)` and innovation std
+    /// `sigma`.
+    pub fn new(phi: f64, sigma: f64) -> Self {
+        assert!((0.0..1.0).contains(&phi), "phi must be in [0,1) for stationarity");
+        assert!(sigma >= 0.0);
+        Self { phi, sigma, state: 0.0, sampler: GaussianSampler::new() }
+    }
+
+    /// Advance one step and return the new state.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.state = self.phi * self.state + self.sampler.normal(rng, 0.0, self.sigma);
+        self.state
+    }
+}
+
+/// A bank of community driver signals: each community gets one sinusoid
+/// mixture plus one AR(1) drift, pre-sampled over the whole series so both
+/// the normal data and anomaly injection can reference them.
+#[derive(Debug, Clone)]
+pub struct SignalBank {
+    /// `signals[c][t]`: driver value of community `c` at time `t`.
+    signals: Vec<Vec<f64>>,
+}
+
+impl SignalBank {
+    /// Sample `n_communities` drivers of length `len`.
+    pub fn sample<R: Rng + ?Sized>(
+        rng: &mut R,
+        n_communities: usize,
+        len: usize,
+        min_period: f64,
+        max_period: f64,
+    ) -> Self {
+        let mut signals = Vec::with_capacity(n_communities);
+        let mut sampler = cad_stats::GaussianSampler::new();
+        for _ in 0..n_communities {
+            let mix = SinusoidMix::random(rng, 3, min_period, max_period);
+            let mut wander = Ar1::new(0.98, 0.05);
+            // Slow non-stationary drift (pure integrator): real industrial
+            // processes do not revisit the training distribution forever,
+            // which is exactly why train-once detectors need retraining
+            // (§I). Scaled so the drift becomes comparable to the signal
+            // amplitude over the full timeline.
+            let drift_sigma = 0.8 / (len as f64).sqrt().max(1.0);
+            let mut drift = 0.0;
+            let series: Vec<f64> = (0..len)
+                .map(|t| {
+                    drift += sampler.normal(rng, 0.0, drift_sigma);
+                    mix.at(t as f64) + wander.step(rng) + drift
+                })
+                .collect();
+            signals.push(series);
+        }
+        Self { signals }
+    }
+
+    /// Number of communities.
+    pub fn n_communities(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Driver length.
+    pub fn len(&self) -> usize {
+        self.signals.first().map_or(0, Vec::len)
+    }
+
+    /// True when the bank has no drivers.
+    pub fn is_empty(&self) -> bool {
+        self.signals.is_empty()
+    }
+
+    /// Driver series of community `c`.
+    pub fn driver(&self, c: usize) -> &[f64] {
+        &self.signals[c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad_stats::{mean, pearson, stddev};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn sinusoid_mix_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mix = SinusoidMix::random(&mut rng, 3, 10.0, 100.0);
+        for t in 0..1000 {
+            let v = mix.at(t as f64);
+            assert!(v.abs() <= 3.0, "mixture of 3 unit-amp sinusoids bounded by 3");
+        }
+    }
+
+    #[test]
+    fn waveforms_are_bounded_and_periodic() {
+        let tau = 2.0 * std::f64::consts::PI;
+        for wf in [Waveform::Sine, Waveform::Square, Waveform::Sawtooth, Waveform::Triangle] {
+            for i in 0..200 {
+                let x = i as f64 * 0.137;
+                let v = wf.at(x);
+                assert!((-1.0..=1.0).contains(&v), "{wf:?}({x}) = {v}");
+                assert!(
+                    (wf.at(x) - wf.at(x + tau)).abs() < 1e-9,
+                    "{wf:?} must be 2π-periodic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn square_wave_switches_sign() {
+        assert_eq!(Waveform::Square.at(0.1), 1.0);
+        assert_eq!(Waveform::Square.at(std::f64::consts::PI + 0.1), -1.0);
+    }
+
+    #[test]
+    fn triangle_ramps_and_peaks_mid_period() {
+        // frac 0 → −1, frac 0.25 → 0, frac 0.5 → +1, frac 0.75 → 0.
+        let tau = 2.0 * std::f64::consts::PI;
+        assert!((Waveform::Triangle.at(0.0) + 1.0).abs() < 1e-9);
+        assert!((Waveform::Triangle.at(0.25 * tau)).abs() < 1e-9);
+        assert!((Waveform::Triangle.at(0.5 * tau) - 1.0).abs() < 1e-9);
+        assert!((Waveform::Triangle.at(0.75 * tau)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ar1_is_stationary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ar = Ar1::new(0.9, 0.1);
+        let xs: Vec<f64> = (0..20_000).map(|_| ar.step(&mut rng)).collect();
+        // Stationary std = sigma / sqrt(1 - phi²) ≈ 0.229.
+        let sd = stddev(&xs[1000..]);
+        assert!((sd - 0.229).abs() < 0.05, "AR(1) std {sd} far from theory");
+        assert!(mean(&xs[1000..]).abs() < 0.05);
+    }
+
+    #[test]
+    fn bank_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bank = SignalBank::sample(&mut rng, 4, 256, 16.0, 64.0);
+        assert_eq!(bank.n_communities(), 4);
+        assert_eq!(bank.len(), 256);
+        assert_eq!(bank.driver(3).len(), 256);
+    }
+
+    #[test]
+    fn distinct_drivers_are_weakly_correlated() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bank = SignalBank::sample(&mut rng, 2, 2048, 16.0, 128.0);
+        let r = pearson(bank.driver(0), bank.driver(1));
+        assert!(r.abs() < 0.5, "independent drivers too correlated: {r}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SignalBank::sample(&mut StdRng::seed_from_u64(9), 2, 64, 8.0, 32.0);
+        let b = SignalBank::sample(&mut StdRng::seed_from_u64(9), 2, 64, 8.0, 32.0);
+        assert_eq!(a.driver(0), b.driver(0));
+        assert_eq!(a.driver(1), b.driver(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "stationarity")]
+    fn ar1_rejects_unstable_phi() {
+        Ar1::new(1.0, 0.1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Point Adjustment (PA) and Delay-Point Adjustment (DPA) — §V.
+//!
+//! PA (Xu et al., WWW 2018): once any point of a ground-truth anomaly is
+//! predicted positive, *every* point of that anomaly is credited. DPA (the
+//! paper's stricter variant, motivated by Abdulaal et al.): only the points
+//! **at and after the first true positive** are credited — the detection
+//! delay stays in the score, so `F1_DPA ≤ F1_PA` always.
+
+use crate::segments::segments;
+
+/// Which adjustment to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adjustment {
+    /// No adjustment (raw point-wise comparison).
+    None,
+    /// Point Adjustment.
+    Pa,
+    /// Delay-Point Adjustment.
+    Dpa,
+}
+
+impl Adjustment {
+    /// Apply this adjustment to `predicted` given `truth`.
+    pub fn apply(&self, predicted: &[bool], truth: &[bool]) -> Vec<bool> {
+        match self {
+            Adjustment::None => predicted.to_vec(),
+            Adjustment::Pa => pa_adjust(predicted, truth),
+            Adjustment::Dpa => dpa_adjust(predicted, truth),
+        }
+    }
+}
+
+/// PA: for each ground-truth segment containing at least one predicted
+/// positive, mark the whole segment positive in the returned copy.
+pub fn pa_adjust(predicted: &[bool], truth: &[bool]) -> Vec<bool> {
+    assert_eq!(predicted.len(), truth.len(), "label streams must align");
+    let mut adjusted = predicted.to_vec();
+    for seg in segments(truth) {
+        if predicted[seg.start..seg.end].iter().any(|&p| p) {
+            for a in &mut adjusted[seg.start..seg.end] {
+                *a = true;
+            }
+        }
+    }
+    adjusted
+}
+
+/// DPA: for each ground-truth segment, mark positive only from the first
+/// predicted positive within the segment to the segment end. Points before
+/// the first detection remain as predicted (false negatives).
+pub fn dpa_adjust(predicted: &[bool], truth: &[bool]) -> Vec<bool> {
+    assert_eq!(predicted.len(), truth.len(), "label streams must align");
+    let mut adjusted = predicted.to_vec();
+    for seg in segments(truth) {
+        if let Some(first) = (seg.start..seg.end).find(|&t| predicted[t]) {
+            for a in &mut adjusted[first..seg.end] {
+                *a = true;
+            }
+        }
+    }
+    adjusted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confusion::f1_score;
+    use proptest::prelude::*;
+
+    /// Figure 3's scenario reconstructed from its reported numbers: two
+    /// anomalies (t1–t4 and t7–t9), M1 hits t2 (second point of anomaly 1)
+    /// and t9 (last point of anomaly 2), giving exactly the paper's
+    /// F1 = 44.4%, F1_PA = 100%, F1_DPA = 72.7%.
+    fn figure3() -> (Vec<bool>, Vec<bool>) {
+        let truth = vec![true, true, true, true, false, false, true, true, true];
+        let m1 = vec![false, true, false, false, false, false, false, false, true];
+        (truth, m1)
+    }
+
+    #[test]
+    fn figure3_pa_gives_perfect_f1() {
+        let (truth, m1) = figure3();
+        let adjusted = pa_adjust(&m1, &truth);
+        // Both anomalies have at least one hit → everything credited.
+        assert_eq!(adjusted, truth);
+        assert_eq!(f1_score(&adjusted, &truth), 1.0);
+    }
+
+    #[test]
+    fn figure3_example() {
+        // The paper's Figure 3 numbers: raw F1 = 44.4% (2 TP, 5 FN),
+        // F1_PA = 100% (all 5 FNs adjusted), F1_DPA = 72.7% — only t3 and
+        // t4 (after anomaly 1's first TP at t2) are adjusted; t1 and the
+        // late-detected anomaly 2's earlier points stay missed.
+        let (truth, m1) = figure3();
+        assert!((f1_score(&m1, &truth) - 4.0 / 9.0).abs() < 1e-9, "raw 44.4%");
+        let pa = pa_adjust(&m1, &truth);
+        assert_eq!(f1_score(&pa, &truth), 1.0, "PA 100%");
+        let dpa = dpa_adjust(&m1, &truth);
+        assert_eq!(
+            dpa,
+            vec![false, true, true, true, false, false, false, false, true]
+        );
+        assert!((f1_score(&dpa, &truth) - 8.0 / 11.0).abs() < 1e-9, "DPA 72.7%");
+    }
+
+    #[test]
+    fn dpa_keeps_pre_detection_misses() {
+        // Detection starts mid-segment: earlier points stay FN.
+        let truth = vec![true, true, true, true];
+        let pred = vec![false, false, true, false];
+        let dpa = dpa_adjust(&pred, &truth);
+        assert_eq!(dpa, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn undetected_segment_is_untouched() {
+        let truth = vec![false, true, true, false];
+        let pred = vec![false, false, false, false];
+        assert_eq!(pa_adjust(&pred, &truth), pred);
+        assert_eq!(dpa_adjust(&pred, &truth), pred);
+    }
+
+    #[test]
+    fn false_positives_survive_adjustment() {
+        let truth = vec![false, false, true, true];
+        let pred = vec![true, false, false, true];
+        let pa = pa_adjust(&pred, &truth);
+        assert_eq!(pa, vec![true, false, true, true]);
+        let dpa = dpa_adjust(&pred, &truth);
+        assert_eq!(dpa, vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn adjustment_enum_dispatch() {
+        let (truth, m1) = figure3();
+        assert_eq!(Adjustment::None.apply(&m1, &truth), m1);
+        assert_eq!(Adjustment::Pa.apply(&m1, &truth), pa_adjust(&m1, &truth));
+        assert_eq!(Adjustment::Dpa.apply(&m1, &truth), dpa_adjust(&m1, &truth));
+    }
+
+    proptest! {
+        /// The paper's ordering: F1 ≤ F1_DPA ≤ F1_PA.
+        #[test]
+        fn prop_f1_ordering(
+            truth in proptest::collection::vec(any::<bool>(), 1..120),
+            pred in proptest::collection::vec(any::<bool>(), 1..120),
+        ) {
+            let n = truth.len().min(pred.len());
+            let truth = &truth[..n];
+            let pred = &pred[..n];
+            let raw = f1_score(pred, truth);
+            let pa = f1_score(&pa_adjust(pred, truth), truth);
+            let dpa = f1_score(&dpa_adjust(pred, truth), truth);
+            prop_assert!(raw <= dpa + 1e-12, "raw {raw} > dpa {dpa}");
+            prop_assert!(dpa <= pa + 1e-12, "dpa {dpa} > pa {pa}");
+        }
+
+        /// Adjustment only ever flips false→true inside true segments.
+        #[test]
+        fn prop_adjustment_monotone(
+            truth in proptest::collection::vec(any::<bool>(), 1..120),
+            pred in proptest::collection::vec(any::<bool>(), 1..120),
+        ) {
+            let n = truth.len().min(pred.len());
+            let truth = &truth[..n];
+            let pred = &pred[..n];
+            for adjusted in [pa_adjust(pred, truth), dpa_adjust(pred, truth)] {
+                for t in 0..n {
+                    if pred[t] {
+                        prop_assert!(adjusted[t], "adjustment must not erase positives");
+                    }
+                    if adjusted[t] && !pred[t] {
+                        prop_assert!(truth[t], "new positives only inside true segments");
+                    }
+                }
+            }
+        }
+    }
+}

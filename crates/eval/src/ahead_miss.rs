@@ -1,0 +1,152 @@
+//! The relative *Ahead*/*Miss* measures (§V).
+//!
+//! Given ground truth with `I` anomalies and two methods' point predictions:
+//! `I_d` = anomalies detected by `M1`; `I_ahead` = anomalies `M1` detected
+//! ahead of `M2` (strictly earlier first hit, or `M2` missed entirely);
+//! `I_miss` = anomalies `M1` missed but `M2` detected. Then
+//! `Ahead = I_ahead / I_d` and `Miss = I_miss / (I − I_d)`, with the
+//! conventions `Miss = 0` when `I_d = I` (nothing missed) and `Ahead = 0`
+//! when `I_d = 0`.
+
+use crate::segments::segments;
+
+/// Ahead/Miss for `M1` relative to `M2`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AheadMiss {
+    /// Fraction of `M1`-detected anomalies found ahead of `M2`.
+    pub ahead: f64,
+    /// Fraction of `M1`-missed anomalies that `M2` did find.
+    pub miss: f64,
+    /// Total anomalies `I`.
+    pub total: usize,
+    /// Anomalies `M1` detected, `I_d`.
+    pub detected: usize,
+}
+
+/// First-hit index of each ground-truth anomaly for one method's point
+/// predictions (`None` = missed).
+pub fn detection_delays(predicted: &[bool], truth: &[bool]) -> Vec<Option<usize>> {
+    assert_eq!(predicted.len(), truth.len(), "label streams must align");
+    segments(truth)
+        .iter()
+        .map(|seg| (seg.start..seg.end).find(|&t| predicted[t]))
+        .collect()
+}
+
+/// Compute Ahead/Miss of `m1` versus `m2` against `truth`.
+pub fn ahead_miss(m1: &[bool], m2: &[bool], truth: &[bool]) -> AheadMiss {
+    let d1 = detection_delays(m1, truth);
+    let d2 = detection_delays(m2, truth);
+    let total = d1.len();
+    let detected = d1.iter().filter(|d| d.is_some()).count();
+    let mut i_ahead = 0usize;
+    let mut i_miss = 0usize;
+    for (a, b) in d1.iter().zip(&d2) {
+        match (a, b) {
+            (Some(t1), Some(t2)) if t1 < t2 => i_ahead += 1,
+            (Some(_), None) => i_ahead += 1,
+            (None, Some(_)) => i_miss += 1,
+            _ => {}
+        }
+    }
+    let ahead = if detected == 0 { 0.0 } else { i_ahead as f64 / detected as f64 };
+    let miss = if detected == total {
+        0.0
+    } else {
+        i_miss as f64 / (total - detected) as f64
+    };
+    AheadMiss { ahead, miss, total, detected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 3's scenario: two anomalies; M1 finds the first earlier, M2
+    /// finds the second earlier, neither misses.
+    #[test]
+    fn figure3_ahead_fifty_miss_zero() {
+        let truth = vec![true, true, true, true, false, false, true, true, true];
+        // M1 hits anomaly 1 at t0, anomaly 2 at t7.
+        let m1 = vec![true, true, false, false, false, false, false, true, false];
+        // M2 hits anomaly 1 at t2, anomaly 2 at t6.
+        let m2 = vec![false, false, true, false, false, false, true, true, false];
+        let am = ahead_miss(&m1, &m2, &truth);
+        assert_eq!(am.total, 2);
+        assert_eq!(am.detected, 2);
+        assert!((am.ahead - 0.5).abs() < 1e-12, "M1 ahead on 1 of 2: {}", am.ahead);
+        assert_eq!(am.miss, 0.0);
+    }
+
+    #[test]
+    fn m2_missing_counts_as_ahead() {
+        let truth = vec![true, true, false, true, true];
+        let m1 = vec![false, true, false, true, false];
+        let m2 = vec![true, false, false, false, false];
+        let am = ahead_miss(&m1, &m2, &truth);
+        // Anomaly 1: both detect, M2 earlier (t0 < t1) → not ahead.
+        // Anomaly 2: M1 detects, M2 misses → ahead.
+        assert_eq!(am.detected, 2);
+        assert!((am.ahead - 0.5).abs() < 1e-12);
+        assert_eq!(am.miss, 0.0);
+    }
+
+    #[test]
+    fn miss_fraction() {
+        let truth = vec![true, false, true, false, true];
+        let m1 = vec![true, false, false, false, false]; // detects 1 of 3
+        let m2 = vec![false, false, true, false, false]; // detects anomaly 2
+        let am = ahead_miss(&m1, &m2, &truth);
+        assert_eq!(am.total, 3);
+        assert_eq!(am.detected, 1);
+        // Of the 2 missed, M2 found 1 → Miss = 0.5.
+        assert!((am.miss - 0.5).abs() < 1e-12);
+        // M1's one detection: M2 missed it → Ahead = 1.
+        assert!((am.ahead - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_case() {
+        let truth = vec![false, true, true, false, true];
+        let m1 = vec![false, true, false, false, true];
+        let m2 = vec![false, false, true, false, false];
+        let am = ahead_miss(&m1, &m2, &truth);
+        assert_eq!(am.ahead, 1.0);
+        assert_eq!(am.miss, 0.0);
+    }
+
+    #[test]
+    fn m1_detects_nothing() {
+        let truth = vec![true, false, true];
+        let m1 = vec![false, false, false];
+        let m2 = vec![true, false, true];
+        let am = ahead_miss(&m1, &m2, &truth);
+        assert_eq!(am.ahead, 0.0);
+        assert_eq!(am.miss, 1.0);
+    }
+
+    #[test]
+    fn simultaneous_detection_is_not_ahead() {
+        let truth = vec![true, true];
+        let m1 = vec![true, false];
+        let m2 = vec![true, false];
+        let am = ahead_miss(&m1, &m2, &truth);
+        assert_eq!(am.ahead, 0.0);
+        assert_eq!(am.miss, 0.0);
+    }
+
+    #[test]
+    fn delays_report_first_hits() {
+        let truth = vec![true, true, false, true, true, true];
+        let pred = vec![false, true, false, false, false, true];
+        assert_eq!(detection_delays(&pred, &truth), vec![Some(1), Some(5)]);
+    }
+
+    #[test]
+    fn no_anomalies_edge_case() {
+        let am = ahead_miss(&[false, true], &[true, false], &[false, false]);
+        assert_eq!(am.total, 0);
+        assert_eq!(am.ahead, 0.0);
+        assert_eq!(am.miss, 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Point-wise confusion counts and F1.
+
+/// Confusion counts from two boolean streams.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted positive, truly positive.
+    pub tp: usize,
+    /// Predicted positive, truly negative.
+    pub fp: usize,
+    /// Predicted negative, truly positive.
+    pub fn_: usize,
+    /// Predicted negative, truly negative.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Precision `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 — harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Count the confusion matrix of `predicted` against `truth`.
+pub fn confusion(predicted: &[bool], truth: &[bool]) -> Confusion {
+    assert_eq!(predicted.len(), truth.len(), "label streams must align");
+    let mut c = Confusion::default();
+    for (&p, &t) in predicted.iter().zip(truth) {
+        match (p, t) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+/// Shorthand: the F1 of `predicted` against `truth`.
+pub fn f1_score(predicted: &[bool], truth: &[bool]) -> f64 {
+    confusion(predicted, truth).f1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let t = [true, false, true, false];
+        let c = confusion(&t, &t);
+        assert_eq!(c, Confusion { tp: 2, fp: 0, fn_: 0, tn: 2 });
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn inverted_prediction() {
+        let truth = [true, false, true, false];
+        let pred = [false, true, false, true];
+        let c = confusion(&pred, &truth);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+
+    #[test]
+    fn paper_figure3_m1_raw_f1() {
+        // Figure 3: M1 detects 2 TPs out of 7 ground-truth points with
+        // 0 FPs; the paper reports F1 = 44.4%.
+        // GT:   1 1 1 1 0 0 1 1 1 | M1: 1 1 0 0 0 0 0 0 0
+        let truth = [true, true, true, true, false, false, true, true, true];
+        let pred = [true, true, false, false, false, false, false, false, false];
+        let c = confusion(&pred, &truth);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fn_, 5);
+        assert!((c.f1() - 4.0 / 9.0).abs() < 1e-9, "F1 = {}", c.f1());
+    }
+
+    #[test]
+    fn empty_streams() {
+        let c = confusion(&[], &[]);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn precision_recall_asymmetry() {
+        let truth = [true, true, false, false];
+        let pred = [true, false, true, false];
+        let c = confusion(&pred, &truth);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        confusion(&[true], &[true, false]);
+    }
+}

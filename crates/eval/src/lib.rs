@@ -1,0 +1,34 @@
+//! Evaluation substrate: the paper's Delay-aware Evaluation (DaE) scheme
+//! (§V) plus every metric used in §VI.
+//!
+//! * [`adjust`] — Point Adjustment (PA) and the paper's Delay-Point
+//!   Adjustment (DPA): PA credits a whole ground-truth segment once any of
+//!   its points is predicted; DPA only credits points **from the first true
+//!   positive onward**, so late detections stay penalised
+//!   (`F1_DPA ≤ F1_PA`).
+//! * [`mod@confusion`] — precision / recall / F1 over boolean streams.
+//! * [`threshold`] — the paper's grid search for the best F1 over
+//!   thresholds 0..1 step 0.001 on min-max-normalised scores.
+//! * [`mod@ahead_miss`] — the relative *Ahead*/*Miss* measures comparing two
+//!   methods' detection times per anomaly.
+//! * [`vus`] — Volume Under the Surface for ROC and PR (Paparrizos et al.,
+//!   PVLDB 2022), evaluated after PA or DPA as in Fig. 5.
+//! * [`sensor`] — `F1_sensor` for abnormal-sensor localisation (§VI-C).
+//! * [`mod@segments`] — contiguous-segment extraction shared by all of the
+//!   above.
+
+pub mod adjust;
+pub mod ahead_miss;
+pub mod confusion;
+pub mod segments;
+pub mod sensor;
+pub mod threshold;
+pub mod vus;
+
+pub use adjust::{dpa_adjust, pa_adjust, Adjustment};
+pub use ahead_miss::{ahead_miss, detection_delays, AheadMiss};
+pub use confusion::{confusion, f1_score, Confusion};
+pub use segments::{segments, Segment};
+pub use sensor::{sensor_f1, SensorScore};
+pub use threshold::{best_f1, normalize_scores, BestF1};
+pub use vus::{auc_pr, auc_roc, vus_pr, vus_roc, VusConfig};

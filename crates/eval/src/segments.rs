@@ -1,0 +1,116 @@
+//! Contiguous-segment extraction from boolean label streams.
+
+/// A maximal run of `true` labels, as a half-open interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First index of the run.
+    pub start: usize,
+    /// One past the last index.
+    pub end: usize,
+}
+
+impl Segment {
+    /// Length of the run.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Segments are never empty by construction, but the predicate keeps
+    /// the `len`/`is_empty` API pair complete.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Whether index `t` lies inside the segment.
+    pub fn contains(&self, t: usize) -> bool {
+        (self.start..self.end).contains(&t)
+    }
+}
+
+/// Maximal `true` runs of `labels`, in order.
+pub fn segments(labels: &[bool]) -> Vec<Segment> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, &l) in labels.iter().enumerate() {
+        match (l, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                out.push(Segment { start: s, end: i });
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        out.push(Segment { start: s, end: labels.len() });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(segments(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_false() {
+        assert!(segments(&[false; 5]).is_empty());
+    }
+
+    #[test]
+    fn all_true_is_one_segment() {
+        assert_eq!(segments(&[true; 4]), vec![Segment { start: 0, end: 4 }]);
+    }
+
+    #[test]
+    fn multiple_runs() {
+        let labels = [false, true, true, false, false, true, false, true];
+        assert_eq!(
+            segments(&labels),
+            vec![
+                Segment { start: 1, end: 3 },
+                Segment { start: 5, end: 6 },
+                Segment { start: 7, end: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn trailing_run_is_closed() {
+        let labels = [false, true, true];
+        assert_eq!(segments(&labels), vec![Segment { start: 1, end: 3 }]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_segments_partition_true_points(
+            labels in proptest::collection::vec(any::<bool>(), 0..200),
+        ) {
+            let segs = segments(&labels);
+            // Segments are disjoint, ordered, non-empty.
+            for pair in segs.windows(2) {
+                prop_assert!(pair[0].end < pair[1].start || pair[0].end <= pair[1].start);
+                prop_assert!(pair[0].end <= pair[1].start);
+            }
+            for s in &segs {
+                prop_assert!(!s.is_empty());
+                // Maximality: neighbours outside the run are false.
+                if s.start > 0 {
+                    prop_assert!(!labels[s.start - 1]);
+                }
+                if s.end < labels.len() {
+                    prop_assert!(!labels[s.end]);
+                }
+            }
+            // Coverage: total segment length equals the number of trues.
+            let covered: usize = segs.iter().map(Segment::len).sum();
+            let trues = labels.iter().filter(|&&l| l).count();
+            prop_assert_eq!(covered, trues);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Abnormal-sensor localisation score `F1_sensor` (§VI-C).
+//!
+//! "We merge all detected abnormal sensors into one ground truth period for
+//! each abnormal time and use F1_sensor for evaluation": for every
+//! ground-truth anomaly, the sensors reported by detections overlapping its
+//! time span are merged into one predicted set, compared against the true
+//! affected-sensor set; counts are micro-averaged across anomalies. A
+//! missed anomaly contributes its whole sensor set as false negatives.
+
+/// A detected anomaly in the minimal form this metric needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectedSensors {
+    /// Detection span start (inclusive).
+    pub start: usize,
+    /// Detection span end (exclusive).
+    pub end: usize,
+    /// Implicated sensors.
+    pub sensors: Vec<usize>,
+}
+
+/// A ground-truth anomaly in the minimal form this metric needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrueSensors {
+    /// Anomaly start (inclusive).
+    pub start: usize,
+    /// Anomaly end (exclusive).
+    pub end: usize,
+    /// Truly affected sensors.
+    pub sensors: Vec<usize>,
+}
+
+/// Micro-averaged sensor-localisation score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorScore {
+    /// Micro precision.
+    pub precision: f64,
+    /// Micro recall.
+    pub recall: f64,
+    /// Micro F1 (`F1_sensor`).
+    pub f1: f64,
+}
+
+/// Compute `F1_sensor` for a set of detections against ground truth.
+pub fn sensor_f1(detections: &[DetectedSensors], truth: &[TrueSensors]) -> SensorScore {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for gt in truth {
+        // Merge sensors of all detections overlapping this anomaly's span.
+        let mut predicted: Vec<usize> = detections
+            .iter()
+            .filter(|d| d.start < gt.end && d.end > gt.start)
+            .flat_map(|d| d.sensors.iter().copied())
+            .collect();
+        predicted.sort_unstable();
+        predicted.dedup();
+        let true_set = &gt.sensors;
+        tp += predicted.iter().filter(|s| true_set.contains(s)).count();
+        fp += predicted.iter().filter(|s| !true_set.contains(s)).count();
+        fn_ += true_set.iter().filter(|s| !predicted.contains(s)).count();
+    }
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    SensorScore { precision, recall, f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt(start: usize, end: usize, sensors: &[usize]) -> TrueSensors {
+        TrueSensors { start, end, sensors: sensors.to_vec() }
+    }
+
+    fn det(start: usize, end: usize, sensors: &[usize]) -> DetectedSensors {
+        DetectedSensors { start, end, sensors: sensors.to_vec() }
+    }
+
+    #[test]
+    fn perfect_localisation() {
+        let truth = vec![gt(10, 20, &[1, 2]), gt(50, 60, &[3])];
+        let dets = vec![det(12, 18, &[1, 2]), det(52, 55, &[3])];
+        let s = sensor_f1(&dets, &truth);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn missed_anomaly_penalises_recall() {
+        let truth = vec![gt(10, 20, &[1, 2]), gt(50, 60, &[3, 4])];
+        let dets = vec![det(12, 18, &[1, 2])];
+        let s = sensor_f1(&dets, &truth);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+        assert!((s.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_sensors_penalise_precision() {
+        let truth = vec![gt(10, 20, &[1])];
+        let dets = vec![det(10, 20, &[1, 2, 3, 4])];
+        let s = sensor_f1(&dets, &truth);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.precision, 0.25);
+    }
+
+    #[test]
+    fn multiple_overlapping_detections_merge() {
+        let truth = vec![gt(10, 30, &[1, 2, 3])];
+        let dets = vec![det(10, 15, &[1]), det(15, 22, &[2]), det(25, 32, &[3, 3])];
+        let s = sensor_f1(&dets, &truth);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn non_overlapping_detection_ignored() {
+        let truth = vec![gt(10, 20, &[1])];
+        let dets = vec![det(40, 50, &[1])];
+        let s = sensor_f1(&dets, &truth);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sensor_f1(&[], &[]).f1, 0.0);
+        let truth = vec![gt(0, 5, &[0])];
+        assert_eq!(sensor_f1(&[], &truth).f1, 0.0);
+    }
+
+    #[test]
+    fn boundary_overlap_is_exclusive() {
+        // Detection ending exactly where truth starts does not overlap.
+        let truth = vec![gt(10, 20, &[1])];
+        let dets = vec![det(5, 10, &[1])];
+        assert_eq!(sensor_f1(&dets, &truth).f1, 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Best-F1 grid search over score thresholds (§VI-A: "we grid search the
+//! optimal abnormal threshold from 0 to 1 with an interval of 0.001").
+
+use crate::adjust::Adjustment;
+use crate::confusion::{confusion, Confusion};
+
+/// Result of a best-F1 search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestF1 {
+    /// The winning threshold (on the normalised 0..1 score scale).
+    pub threshold: f64,
+    /// F1 at that threshold (after the requested adjustment).
+    pub f1: f64,
+    /// Precision at that threshold.
+    pub precision: f64,
+    /// Recall at that threshold.
+    pub recall: f64,
+}
+
+/// Min-max normalise scores into `[0, 1]`. A constant stream maps to all
+/// zeros (no threshold can separate it anyway).
+pub fn normalize_scores(scores: &[f64]) -> Vec<f64> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &s in scores {
+        assert!(s.is_finite(), "scores must be finite");
+        lo = lo.min(s);
+        hi = hi.max(s);
+    }
+    if !lo.is_finite() || hi - lo <= f64::EPSILON {
+        return vec![0.0; scores.len()];
+    }
+    scores.iter().map(|&s| (s - lo) / (hi - lo)).collect()
+}
+
+/// Grid-search the threshold maximising F1 after `adjustment`.
+///
+/// `steps` is the number of grid intervals (the paper uses 1000, i.e. step
+/// 0.001). Candidate thresholds are restricted to the distinct normalised
+/// score values snapped onto the grid, since F1 only changes at score
+/// values — this keeps the search exact yet cheap.
+pub fn best_f1(scores: &[f64], truth: &[bool], adjustment: Adjustment, steps: usize) -> BestF1 {
+    assert_eq!(scores.len(), truth.len(), "scores and truth must align");
+    assert!(steps >= 1);
+    let norm = normalize_scores(scores);
+    // Distinct grid thresholds that actually occur (plus 0.0 to catch the
+    // all-positive prediction).
+    let mut grid: Vec<u64> = norm
+        .iter()
+        .map(|&s| (s * steps as f64).floor() as u64)
+        .collect();
+    grid.push(0);
+    grid.sort_unstable();
+    grid.dedup();
+
+    let mut best = BestF1 { threshold: 0.0, f1: -1.0, precision: 0.0, recall: 0.0 };
+    let mut pred = vec![false; norm.len()];
+    for &g in &grid {
+        let thr = g as f64 / steps as f64;
+        for (p, &s) in pred.iter_mut().zip(&norm) {
+            *p = s >= thr;
+        }
+        let adjusted = adjustment.apply(&pred, truth);
+        let c: Confusion = confusion(&adjusted, truth);
+        let f1 = c.f1();
+        if f1 > best.f1 {
+            best = BestF1 { threshold: thr, f1, precision: c.precision(), recall: c.recall() };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalize_basic() {
+        let n = normalize_scores(&[2.0, 4.0, 6.0]);
+        assert_eq!(n, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn normalize_constant_is_zeros() {
+        assert_eq!(normalize_scores(&[3.0; 4]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn perfectly_separable_scores_reach_f1_one() {
+        let truth = [false, false, true, true, false];
+        let scores = [0.1, 0.2, 0.9, 0.8, 0.0];
+        let best = best_f1(&scores, &truth, Adjustment::None, 1000);
+        assert_eq!(best.f1, 1.0);
+        // The winning threshold must separate the normals (≤ 0.222 after
+        // normalisation) from the anomalies (≥ 0.888).
+        assert!(best.threshold > 0.23 && best.threshold <= 0.889, "{}", best.threshold);
+    }
+
+    #[test]
+    fn pa_beats_raw_for_partial_detection() {
+        // One 4-long anomaly inside a 20-point stream; only its third point
+        // scores high (so predict-all is not competitive for the raw F1).
+        let truth: Vec<bool> = (0..20).map(|i| (10..14).contains(&i)).collect();
+        let scores: Vec<f64> = (0..20).map(|i| if i == 12 { 1.0 } else { 0.0 }).collect();
+        let raw = best_f1(&scores, &truth, Adjustment::None, 1000);
+        let pa = best_f1(&scores, &truth, Adjustment::Pa, 1000);
+        let dpa = best_f1(&scores, &truth, Adjustment::Dpa, 1000);
+        // raw: {t12} → P=1, R=1/4 → F1 = 0.4.
+        assert!((raw.f1 - 0.4).abs() < 1e-9, "raw {}", raw.f1);
+        // DPA credits t12, t13 → P=1, R=1/2 → F1 = 2/3.
+        assert!((dpa.f1 - 2.0 / 3.0).abs() < 1e-9, "dpa {}", dpa.f1);
+        // PA credits the whole segment.
+        assert_eq!(pa.f1, 1.0);
+    }
+
+    #[test]
+    fn all_zero_scores_degenerate() {
+        let truth = [true, false, true];
+        let best = best_f1(&[0.0; 3], &truth, Adjustment::None, 1000);
+        // Threshold 0 predicts everything positive → recall 1.
+        assert_eq!(best.recall, 1.0);
+        assert!(best.f1 > 0.0);
+    }
+
+    #[test]
+    fn respects_adjustment_mode() {
+        let truth = [true, true, true, true];
+        let scores = [0.0, 0.0, 0.9, 0.0];
+        let raw = best_f1(&scores, &truth, Adjustment::None, 1000);
+        let dpa = best_f1(&scores, &truth, Adjustment::Dpa, 1000);
+        // Raw best: predict-all (recall 1, precision 1) → F1 1? No: truth is
+        // all true, so predict-all gives F1 = 1 even raw.
+        assert_eq!(raw.f1, 1.0);
+        assert_eq!(dpa.f1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn rejects_nan_scores() {
+        normalize_scores(&[0.0, f64::NAN]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_best_f1_bounded(
+            scores in proptest::collection::vec(0.0f64..10.0, 4..64),
+            truth in proptest::collection::vec(any::<bool>(), 4..64),
+        ) {
+            let n = scores.len().min(truth.len());
+            let best = best_f1(&scores[..n], &truth[..n], Adjustment::Pa, 100);
+            prop_assert!((0.0..=1.0).contains(&best.f1));
+            prop_assert!((0.0..=1.0).contains(&best.threshold));
+        }
+
+        #[test]
+        fn prop_grid_search_never_below_fixed_threshold(
+            scores in proptest::collection::vec(0.0f64..1.0, 8..64),
+            truth in proptest::collection::vec(any::<bool>(), 8..64),
+        ) {
+            let n = scores.len().min(truth.len());
+            let scores = &scores[..n];
+            let truth = &truth[..n];
+            let best = best_f1(scores, truth, Adjustment::None, 1000);
+            // Compare against the fixed 0.5 threshold on normalised scores.
+            let norm = normalize_scores(scores);
+            let pred: Vec<bool> = norm.iter().map(|&s| s >= 0.5).collect();
+            let fixed = crate::confusion::f1_score(&pred, truth);
+            prop_assert!(best.f1 + 1e-9 >= fixed);
+        }
+    }
+}

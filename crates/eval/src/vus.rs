@@ -1,0 +1,313 @@
+//! Volume Under the Surface (Paparrizos et al., PVLDB 2022).
+//!
+//! VUS extends AUC-ROC/AUC-PR to be robust to slight misalignments of
+//! anomaly boundaries: ground-truth segments are widened by a buffer of
+//! length ℓ with linearly decaying *soft* labels, the AUC is computed
+//! against those continuous labels, and the result is averaged over a range
+//! of buffer sizes ℓ ∈ {0, …, L} — the "volume" under the (threshold, ℓ)
+//! surface.
+//!
+//! Fig. 5 of the CAD paper reports VUS-ROC and VUS-PR *after PA and DPA*:
+//! at each threshold the binary prediction is PA-/DPA-adjusted before the
+//! confusion quantities are accumulated. This module follows that recipe.
+
+use crate::adjust::Adjustment;
+use crate::segments::segments;
+use crate::threshold::normalize_scores;
+
+/// VUS evaluation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VusConfig {
+    /// Largest buffer length `L` (points added on each side at most `L/2`).
+    pub max_buffer: usize,
+    /// Number of buffer sizes sampled in `[0, L]`.
+    pub buffer_steps: usize,
+    /// Number of threshold samples in `[0, 1]`.
+    pub threshold_steps: usize,
+    /// Adjustment applied to each thresholded prediction.
+    pub adjustment: Adjustment,
+}
+
+impl Default for VusConfig {
+    fn default() -> Self {
+        Self { max_buffer: 16, buffer_steps: 5, threshold_steps: 50, adjustment: Adjustment::None }
+    }
+}
+
+/// Soft labels for buffer length `l`: 1 inside true segments, decaying
+/// linearly to 0 over `ceil(l/2)` points on each side, 0 elsewhere.
+/// Overlapping buffers take the max.
+fn soft_labels(truth: &[bool], l: usize) -> Vec<f64> {
+    let n = truth.len();
+    let mut soft: Vec<f64> = truth.iter().map(|&t| if t { 1.0 } else { 0.0 }).collect();
+    if l == 0 {
+        return soft;
+    }
+    let half = l.div_ceil(2);
+    for seg in segments(truth) {
+        for d in 1..=half {
+            let w = 1.0 - d as f64 / (half + 1) as f64;
+            if seg.start >= d {
+                let idx = seg.start - d;
+                if soft[idx] < w {
+                    soft[idx] = w;
+                }
+            }
+            let idx = seg.end + d - 1;
+            if idx < n && soft[idx] < w {
+                soft[idx] = w;
+            }
+        }
+    }
+    soft
+}
+
+/// One AUC (ROC or PR) for a fixed buffer length.
+fn auc_for_buffer(
+    scores_norm: &[f64],
+    truth: &[bool],
+    l: usize,
+    config: &VusConfig,
+    pr: bool,
+) -> f64 {
+    let soft = soft_labels(truth, l);
+    let total_pos: f64 = soft.iter().sum();
+    let total_neg: f64 = soft.iter().map(|s| 1.0 - s).sum();
+    if total_pos <= 0.0 || total_neg <= 0.0 {
+        // Degenerate stream: AUC undefined; return the no-skill value.
+        return if pr { total_pos / soft.len().max(1) as f64 } else { 0.5 };
+    }
+    // Sweep thresholds from high to low, collecting curve points.
+    let mut curve: Vec<(f64, f64)> = Vec::with_capacity(config.threshold_steps + 2);
+    let mut pred = vec![false; truth.len()];
+    for step in 0..=config.threshold_steps {
+        let thr = 1.0 - step as f64 / config.threshold_steps as f64;
+        for (p, &s) in pred.iter_mut().zip(scores_norm) {
+            *p = s >= thr;
+        }
+        let adjusted = config.adjustment.apply(&pred, truth);
+        let mut tp = 0.0;
+        let mut fp = 0.0;
+        for (i, &a) in adjusted.iter().enumerate() {
+            if a {
+                tp += soft[i];
+                fp += 1.0 - soft[i];
+            }
+        }
+        let tpr = tp / total_pos;
+        if pr {
+            let predicted_pos = tp + fp;
+            let precision = if predicted_pos <= 0.0 { 1.0 } else { tp / predicted_pos };
+            curve.push((tpr, precision)); // x = recall, y = precision
+        } else {
+            let fpr = fp / total_neg;
+            curve.push((fpr, tpr)); // x = FPR, y = TPR
+        }
+    }
+    // Anchor the curves.
+    if pr {
+        curve.insert(0, (0.0, 1.0));
+        curve.push((1.0, total_pos / soft.len() as f64));
+    } else {
+        curve.insert(0, (0.0, 0.0));
+        curve.push((1.0, 1.0));
+    }
+    curve.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite curve points"));
+    // Trapezoidal integral over x.
+    let mut auc = 0.0;
+    for pair in curve.windows(2) {
+        let (x0, y0) = pair[0];
+        let (x1, y1) = pair[1];
+        auc += (x1 - x0) * (y0 + y1) / 2.0;
+    }
+    auc.clamp(0.0, 1.0)
+}
+
+fn vus(scores: &[f64], truth: &[bool], config: &VusConfig, pr: bool) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "scores and truth must align");
+    assert!(config.buffer_steps >= 1 && config.threshold_steps >= 1);
+    let norm = normalize_scores(scores);
+    let mut acc = 0.0;
+    let mut count = 0;
+    for i in 0..config.buffer_steps {
+        let l = if config.buffer_steps == 1 {
+            0
+        } else {
+            config.max_buffer * i / (config.buffer_steps - 1)
+        };
+        acc += auc_for_buffer(&norm, truth, l, config, pr);
+        count += 1;
+    }
+    acc / count as f64
+}
+
+/// Plain AUC-ROC (no buffer, no adjustment) — the degenerate VUS with a
+/// single zero-length buffer.
+pub fn auc_roc(scores: &[f64], truth: &[bool]) -> f64 {
+    let config = VusConfig {
+        max_buffer: 0,
+        buffer_steps: 1,
+        threshold_steps: 100,
+        adjustment: Adjustment::None,
+    };
+    vus(scores, truth, &config, false)
+}
+
+/// Plain AUC-PR (no buffer, no adjustment).
+pub fn auc_pr(scores: &[f64], truth: &[bool]) -> f64 {
+    let config = VusConfig {
+        max_buffer: 0,
+        buffer_steps: 1,
+        threshold_steps: 100,
+        adjustment: Adjustment::None,
+    };
+    vus(scores, truth, &config, true)
+}
+
+/// VUS-ROC: mean buffered AUC-ROC over the configured buffer range.
+pub fn vus_roc(scores: &[f64], truth: &[bool], config: &VusConfig) -> f64 {
+    vus(scores, truth, config, false)
+}
+
+/// VUS-PR: mean buffered AUC-PR over the configured buffer range.
+pub fn vus_pr(scores: &[f64], truth: &[bool], config: &VusConfig) -> f64 {
+    vus(scores, truth, config, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 40-point stream with one anomaly at [18, 24) scored near 1; long
+    /// enough that the default buffer range doesn't swallow the negatives.
+    fn sample() -> (Vec<f64>, Vec<bool>) {
+        let truth: Vec<bool> = (0..40).map(|i| (18..24).contains(&i)).collect();
+        let scores: Vec<f64> = (0..40)
+            .map(|i| {
+                if (18..24).contains(&i) {
+                    0.8 + 0.03 * (i % 5) as f64
+                } else {
+                    0.05 + 0.02 * (i % 7) as f64
+                }
+            })
+            .collect();
+        (scores, truth)
+    }
+
+    #[test]
+    fn perfect_scores_give_high_vus() {
+        let (scores, truth) = sample();
+        let cfg = VusConfig::default();
+        let roc = vus_roc(&scores, &truth, &cfg);
+        let pr = vus_pr(&scores, &truth, &cfg);
+        // Buffered surfaces dock even a perfectly aligned detector (the
+        // buffer's soft positives are unscored), so "high" is ~0.8, not 1.
+        assert!(roc > 0.8, "VUS-ROC = {roc}");
+        assert!(pr > 0.7, "VUS-PR = {pr}");
+    }
+
+    #[test]
+    fn auc_wrappers_match_manual_config() {
+        let (scores, truth) = sample();
+        assert!((auc_roc(&scores, &truth) - 1.0).abs() < 1e-9);
+        assert!(auc_pr(&scores, &truth) > 0.95);
+        // Random-ish scores sit near the no-skill levels.
+        let noise: Vec<f64> =
+            (0..truth.len()).map(|i| ((i * 2654435761) % 997) as f64 / 997.0).collect();
+        let roc = auc_roc(&noise, &truth);
+        assert!((0.2..=0.8).contains(&roc), "noise ROC {roc}");
+    }
+
+    #[test]
+    fn zero_buffer_vus_is_plain_auc() {
+        let (scores, truth) = sample();
+        let cfg = VusConfig { max_buffer: 0, buffer_steps: 1, ..VusConfig::default() };
+        // Perfect separation → AUC-ROC = 1.
+        assert!((vus_roc(&scores, &truth, &cfg) - 1.0).abs() < 1e-9);
+        assert!(vus_pr(&scores, &truth, &cfg) > 0.95);
+    }
+
+    #[test]
+    fn random_scores_give_middling_roc() {
+        let truth: Vec<bool> = (0..200).map(|i| (20..40).contains(&i)).collect();
+        // Deterministic pseudo-random scores, independent of truth.
+        let scores: Vec<f64> =
+            (0..200).map(|i| ((i * 2654435761usize) % 1000) as f64 / 1000.0).collect();
+        let cfg = VusConfig { adjustment: Adjustment::None, ..VusConfig::default() };
+        let roc = vus_roc(&scores, &truth, &cfg);
+        assert!((0.25..=0.75).contains(&roc), "uninformative ROC should be ~0.5: {roc}");
+    }
+
+    #[test]
+    fn inverted_scores_give_low_roc() {
+        let (scores, truth) = sample();
+        let inverted: Vec<f64> = scores.iter().map(|s| 1.0 - s).collect();
+        let cfg = VusConfig::default();
+        assert!(vus_roc(&inverted, &truth, &cfg) < 0.5);
+    }
+
+    #[test]
+    fn pa_adjustment_never_hurts() {
+        // A detector hitting one point of a long anomaly benefits from PA.
+        let truth: Vec<bool> = (0..60).map(|i| (20..40).contains(&i)).collect();
+        let scores: Vec<f64> = (0..60).map(|i| if i == 30 { 1.0 } else { 0.0 }).collect();
+        let raw_cfg = VusConfig { adjustment: Adjustment::None, ..VusConfig::default() };
+        let pa_cfg = VusConfig { adjustment: Adjustment::Pa, ..VusConfig::default() };
+        let raw = vus_roc(&scores, &truth, &raw_cfg);
+        let pa = vus_roc(&scores, &truth, &pa_cfg);
+        assert!(pa > raw, "PA should lift the single-hit detector: {raw} vs {pa}");
+    }
+
+    #[test]
+    fn dpa_between_raw_and_pa() {
+        let truth: Vec<bool> = (0..60).map(|i| (20..40).contains(&i)).collect();
+        let scores: Vec<f64> = (0..60).map(|i| if i == 30 { 1.0 } else { 0.0 }).collect();
+        let mk = |adj| VusConfig { adjustment: adj, ..VusConfig::default() };
+        let raw = vus_pr(&scores, &truth, &mk(Adjustment::None));
+        let dpa = vus_pr(&scores, &truth, &mk(Adjustment::Dpa));
+        let pa = vus_pr(&scores, &truth, &mk(Adjustment::Pa));
+        assert!(raw <= dpa + 1e-9);
+        assert!(dpa <= pa + 1e-9);
+    }
+
+    #[test]
+    fn soft_labels_decay_linearly() {
+        let truth = [false, false, false, true, true, false, false, false];
+        let soft = soft_labels(&truth, 4);
+        assert_eq!(soft[3], 1.0);
+        assert_eq!(soft[4], 1.0);
+        // half = 2 → weights 2/3 and 1/3 moving away.
+        assert!((soft[2] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((soft[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(soft[0], 0.0);
+        assert!((soft[5] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_buffer_is_hard_labels() {
+        let truth = [false, true, true, false];
+        let soft = soft_labels(&truth, 0);
+        assert_eq!(soft, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn all_true_or_all_false_degenerate() {
+        let cfg = VusConfig::default();
+        let scores = [0.4, 0.6, 0.2];
+        assert_eq!(vus_roc(&scores, &[true; 3], &cfg), 0.5);
+        assert_eq!(vus_roc(&scores, &[false; 3], &cfg), 0.5);
+        assert_eq!(vus_pr(&scores, &[false; 3], &cfg), 0.0);
+    }
+
+    #[test]
+    fn vus_bounded() {
+        let (scores, truth) = sample();
+        for adj in [Adjustment::None, Adjustment::Pa, Adjustment::Dpa] {
+            let cfg = VusConfig { adjustment: adj, ..VusConfig::default() };
+            let r = vus_roc(&scores, &truth, &cfg);
+            let p = vus_pr(&scores, &truth, &cfg);
+            assert!((0.0..=1.0).contains(&r));
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

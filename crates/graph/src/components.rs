@@ -1,0 +1,98 @@
+//! Connected components — the coarsest community structure.
+//!
+//! Used as (a) a test oracle for Louvain (vertices in different components
+//! can never share a Louvain community) and (b) a cheap fallback
+//! partitioner for ablation benchmarks comparing CAD's Phase-1 choices.
+
+use crate::louvain::Partition;
+use crate::weighted::WeightedGraph;
+
+/// Connected components of an undirected graph, as a [`Partition`] with
+/// dense component labels in order of first appearance (i.e. by the lowest
+/// vertex id contained).
+pub fn connected_components(graph: &WeightedGraph) -> Partition {
+    let n = graph.n_vertices();
+    let mut labels = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &(v, _) in graph.neighbors(u) {
+                if labels[v] == usize::MAX {
+                    labels[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    Partition::from_labels(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::louvain::{louvain, LouvainConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = WeightedGraph::new(4);
+        let p = connected_components(&g);
+        assert_eq!(p.n_communities(), 4);
+    }
+
+    #[test]
+    fn path_is_one_component() {
+        let mut g = WeightedGraph::new(5);
+        for v in 0..4 {
+            g.add_edge(v, v + 1, 1.0);
+        }
+        let p = connected_components(&g);
+        assert_eq!(p.n_communities(), 1);
+    }
+
+    #[test]
+    fn two_components() {
+        let mut g = WeightedGraph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        let p = connected_components(&g);
+        assert_eq!(p.n_communities(), 3); // {0,1,2}, {3,4}, {5}
+        assert!(p.same_community(0, 2));
+        assert!(!p.same_community(2, 3));
+    }
+
+    proptest! {
+        /// Louvain never merges vertices across connected components.
+        #[test]
+        fn prop_louvain_refines_components(
+            edges in proptest::collection::btree_set((0usize..10, 0usize..10), 0..20),
+        ) {
+            let mut g = WeightedGraph::new(10);
+            for &(u, v) in &edges {
+                if u != v && !g.has_edge(u, v) {
+                    g.add_edge(u, v, 1.0);
+                }
+            }
+            let comps = connected_components(&g);
+            let comms = louvain(&g, LouvainConfig::default());
+            for u in 0..10 {
+                for v in 0..10 {
+                    if comms.same_community(u, v) {
+                        prop_assert!(
+                            comps.same_community(u, v),
+                            "Louvain merged {u},{v} across components"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

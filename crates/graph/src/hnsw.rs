@@ -1,0 +1,397 @@
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin, TPAMI
+//! 2018) — the approximate nearest-neighbour index the paper cites for its
+//! O(n log n) TSG construction bound (§IV-F cites their reference 55).
+//!
+//! This is a compact, deterministic (seeded) HNSW over abstract points
+//! with a caller-supplied distance. `knn::CorrelationKnn` uses it as an
+//! optional construction strategy for large sensor counts: points are the
+//! z-normalised sensor windows and the distance is `1 − |ρ|`, so nearest
+//! neighbours are the most strongly (positively **or** negatively)
+//! correlated sensors — exactly the TSG's edge candidates.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Finite f64 wrapper with total ordering for the search heaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Dist(f64);
+impl Eq for Dist {}
+impl PartialOrd for Dist {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Dist {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite distance")
+    }
+}
+
+/// A single HNSW node's per-layer adjacency.
+#[derive(Debug, Clone)]
+struct Node {
+    /// `neighbors[l]` = linked node ids on layer `l` (0 = base layer).
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Node {
+    fn level(&self) -> usize {
+        self.neighbors.len() - 1
+    }
+}
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswConfig {
+    /// Max links per node per layer (M). Base layer allows 2M.
+    pub m: usize,
+    /// Candidate-list width during construction.
+    pub ef_construction: usize,
+    /// Candidate-list width during search (≥ k for good recall).
+    pub ef_search: usize,
+    /// Level-assignment seed (the only randomness; fixed seed ⇒ fully
+    /// deterministic index).
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self { m: 12, ef_construction: 64, ef_search: 48, seed: 0x5ee_d }
+    }
+}
+
+/// An HNSW index over points of a fixed dimension.
+pub struct Hnsw<'a, D: Fn(usize, usize) -> f64> {
+    config: HnswConfig,
+    dist: &'a D,
+    nodes: Vec<Node>,
+    entry: Option<usize>,
+    rng: StdRng,
+    level_norm: f64,
+    /// Epoch-marked visited set, reused across searches so a search costs
+    /// O(visited) instead of O(n) initialisation.
+    visited: RefCell<(Vec<u32>, u32)>,
+}
+
+impl<'a, D: Fn(usize, usize) -> f64> Hnsw<'a, D> {
+    /// Empty index; `dist(i, j)` must return the distance between points
+    /// `i` and `j` of the caller's collection.
+    pub fn new(config: HnswConfig, dist: &'a D) -> Self {
+        assert!(config.m >= 2 && config.ef_construction >= config.m);
+        let level_norm = 1.0 / (config.m as f64).ln();
+        Self {
+            config,
+            dist,
+            nodes: Vec::new(),
+            entry: None,
+            rng: StdRng::seed_from_u64(config.seed),
+            level_norm,
+            visited: RefCell::new((Vec::new(), 0)),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn random_level(&mut self) -> usize {
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        ((-u.ln() * self.level_norm) as usize).min(16)
+    }
+
+    fn max_links(&self, layer: usize) -> usize {
+        if layer == 0 {
+            2 * self.config.m
+        } else {
+            self.config.m
+        }
+    }
+
+    /// Greedy best-first search on one layer. Returns up to `ef` closest
+    /// candidates as `(distance, id)`, ascending.
+    fn search_layer(&self, query: usize, entry: usize, ef: usize, layer: usize) -> Vec<(f64, usize)> {
+        let d0 = (self.dist)(query, entry);
+        // Epoch-marked visited set (no O(n) clearing).
+        let mut guard = self.visited.borrow_mut();
+        let (marks, epoch) = &mut *guard;
+        marks.resize(self.nodes.len(), 0);
+        *epoch += 1;
+        let epoch = *epoch;
+        marks[entry] = epoch;
+        // candidates: min-heap (Reverse); results: max-heap of the best ef.
+        let mut candidates: BinaryHeap<Reverse<(Dist, usize)>> = BinaryHeap::new();
+        candidates.push(Reverse((Dist(d0), entry)));
+        let mut results: BinaryHeap<(Dist, usize)> = BinaryHeap::new();
+        results.push((Dist(d0), entry));
+        while let Some(Reverse((Dist(d_c), c))) = candidates.pop() {
+            let worst = results.peek().map(|&(Dist(d), _)| d).unwrap_or(f64::INFINITY);
+            if d_c > worst && results.len() >= ef {
+                break;
+            }
+            for &nb in &self.nodes[c].neighbors[layer] {
+                if marks[nb] == epoch {
+                    continue;
+                }
+                marks[nb] = epoch;
+                let d = (self.dist)(query, nb);
+                let worst = results.peek().map(|&(Dist(dd), _)| dd).unwrap_or(f64::INFINITY);
+                if results.len() < ef || d < worst {
+                    candidates.push(Reverse((Dist(d), nb)));
+                    results.push((Dist(d), nb));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(f64, usize)> =
+            results.into_iter().map(|(Dist(d), id)| (d, id)).collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Neighbour selection with the diversity heuristic of the HNSW paper
+    /// (Algorithm 4): a candidate is kept only if it is closer to the base
+    /// point than to every already-kept neighbour. Without this, tightly
+    /// clustered data (e.g. correlated sensor blocks, where in-cluster
+    /// distances are ~0) loses all its cross-cluster links and the graph
+    /// becomes unnavigable.
+    fn select_neighbors(&self, candidates: &[(f64, usize)], m: usize) -> Vec<usize> {
+        let mut kept: Vec<(f64, usize)> = Vec::with_capacity(m);
+        let mut skipped: Vec<usize> = Vec::new();
+        for &(d, c) in candidates {
+            if kept.len() >= m {
+                break;
+            }
+            let diverse = kept.iter().all(|&(_, x)| d < (self.dist)(c, x));
+            if diverse {
+                kept.push((d, c));
+            } else {
+                skipped.push(c);
+            }
+        }
+        let mut out: Vec<usize> = kept.into_iter().map(|(_, c)| c).collect();
+        // keepPruned: back-fill with the closest skipped candidates.
+        for c in skipped {
+            if out.len() >= m {
+                break;
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    /// Insert point `id` (ids must be inserted in order 0, 1, 2, …).
+    pub fn insert(&mut self, id: usize) {
+        assert_eq!(id, self.nodes.len(), "insert ids in order");
+        let level = self.random_level();
+        let node = Node { neighbors: vec![Vec::new(); level + 1] };
+        self.nodes.push(node);
+        let Some(mut entry) = self.entry else {
+            self.entry = Some(id);
+            return;
+        };
+        let top = self.nodes[entry].level();
+        // Phase 1: greedy descent through layers above the node's level.
+        for layer in ((level + 1)..=top).rev() {
+            entry = self.search_layer(id, entry, 1, layer)[0].1;
+        }
+        // Phase 2: connect on each layer ≤ min(level, top).
+        for layer in (0..=level.min(top)).rev() {
+            let found = self.search_layer(id, entry, self.config.ef_construction, layer);
+            entry = found[0].1;
+            let m = self.max_links(layer);
+            let chosen = self.select_neighbors(&found, m);
+            for &nb in &chosen {
+                self.nodes[id].neighbors[layer].push(nb);
+                self.nodes[nb].neighbors[layer].push(id);
+                // Prune the neighbour if it over-filled, diversity-aware.
+                if self.nodes[nb].neighbors[layer].len() > m {
+                    let mut with_d: Vec<(f64, usize)> = self.nodes[nb].neighbors[layer]
+                        .iter()
+                        .map(|&x| ((self.dist)(nb, x), x))
+                        .collect();
+                    with_d.sort_by(|a, b| {
+                        a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1))
+                    });
+                    self.nodes[nb].neighbors[layer] = self.select_neighbors(&with_d, m);
+                }
+            }
+        }
+        if level > top {
+            self.entry = Some(id);
+        }
+    }
+
+    /// Approximate k nearest neighbours of an *indexed* point, excluding
+    /// itself. Returns `(distance, id)`, ascending.
+    pub fn knn(&self, query: usize, k: usize) -> Vec<(f64, usize)> {
+        let Some(mut entry) = self.entry else {
+            return Vec::new();
+        };
+        let top = self.nodes[entry].level();
+        for layer in (1..=top).rev() {
+            entry = self.search_layer(query, entry, 1, layer)[0].1;
+        }
+        let ef = self.config.ef_search.max(k + 1);
+        let mut found = self.search_layer(query, entry, ef, 0);
+        found.retain(|&(_, id)| id != query);
+        found.truncate(k);
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random points on a 2-D grid with jitter.
+    fn points(n: usize) -> Vec<[f64; 2]> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 2654435761) % 1000) as f64 / 1000.0;
+                let y = ((i * 40503 + 7) % 1000) as f64 / 1000.0;
+                [x, y]
+            })
+            .collect()
+    }
+
+    fn euclid(pts: &[[f64; 2]]) -> impl Fn(usize, usize) -> f64 + '_ {
+        move |a, b| {
+            let dx = pts[a][0] - pts[b][0];
+            let dy = pts[a][1] - pts[b][1];
+            (dx * dx + dy * dy).sqrt()
+        }
+    }
+
+    fn exact_knn(pts: &[[f64; 2]], q: usize, k: usize) -> Vec<usize> {
+        let d = euclid(pts);
+        let mut all: Vec<(f64, usize)> =
+            (0..pts.len()).filter(|&i| i != q).map(|i| (d(q, i), i)).collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all.into_iter().map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn high_recall_on_uniform_points() {
+        let pts = points(400);
+        let dist = euclid(&pts);
+        let mut index = Hnsw::new(HnswConfig::default(), &dist);
+        for i in 0..pts.len() {
+            index.insert(i);
+        }
+        let k = 10;
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for q in (0..pts.len()).step_by(7) {
+            let approx: Vec<usize> = index.knn(q, k).into_iter().map(|(_, i)| i).collect();
+            let exact = exact_knn(&pts, q, k);
+            hits += approx.iter().filter(|i| exact.contains(i)).count();
+            total += k;
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.9, "recall@{k} = {recall:.3}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = points(120);
+        let dist = euclid(&pts);
+        let build = || {
+            let mut index = Hnsw::new(HnswConfig::default(), &dist);
+            for i in 0..pts.len() {
+                index.insert(i);
+            }
+            (0..pts.len()).map(|q| index.knn(q, 5)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn excludes_self() {
+        let pts = points(50);
+        let dist = euclid(&pts);
+        let mut index = Hnsw::new(HnswConfig::default(), &dist);
+        for i in 0..pts.len() {
+            index.insert(i);
+        }
+        for q in 0..pts.len() {
+            assert!(index.knn(q, 5).iter().all(|&(_, i)| i != q));
+        }
+    }
+
+    #[test]
+    fn tiny_index_is_exact() {
+        let pts = points(4);
+        let dist = euclid(&pts);
+        let mut index = Hnsw::new(HnswConfig::default(), &dist);
+        for i in 0..4 {
+            index.insert(i);
+        }
+        for q in 0..4 {
+            let approx: Vec<usize> = index.knn(q, 3).into_iter().map(|(_, i)| i).collect();
+            assert_eq!(approx, exact_knn(&pts, q, 3));
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            /// Recall stays high across random point clouds and ks.
+            #[test]
+            fn prop_recall_above_threshold(
+                seed in 0u64..1000,
+                n in 60usize..160,
+                k in 3usize..8,
+            ) {
+                let pts: Vec<[f64; 2]> = (0..n)
+                    .map(|i| {
+                        let a = ((i as u64).wrapping_mul(seed + 17) % 1009) as f64 / 1009.0;
+                        let b = ((i as u64).wrapping_mul(seed + 101) % 997) as f64 / 997.0;
+                        [a, b]
+                    })
+                    .collect();
+                let dist = euclid(&pts);
+                let mut index = Hnsw::new(HnswConfig::default(), &dist);
+                for i in 0..n {
+                    index.insert(i);
+                }
+                let mut hits = 0usize;
+                let mut total = 0usize;
+                for q in (0..n).step_by(5) {
+                    let approx: Vec<usize> =
+                        index.knn(q, k).into_iter().map(|(_, i)| i).collect();
+                    let exact = exact_knn(&pts, q, k);
+                    hits += approx.iter().filter(|i| exact.contains(i)).count();
+                    total += k;
+                }
+                let recall = hits as f64 / total as f64;
+                prop_assert!(recall > 0.8, "recall@{k} = {recall:.3} (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let pts = points(1);
+        let dist = euclid(&pts);
+        let mut index = Hnsw::new(HnswConfig::default(), &dist);
+        assert!(index.is_empty());
+        index.insert(0);
+        assert_eq!(index.len(), 1);
+        assert!(index.knn(0, 3).is_empty());
+    }
+}

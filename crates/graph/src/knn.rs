@@ -1,0 +1,495 @@
+//! Correlation k-NN graph construction — the TSG of §III-B.
+//!
+//! Each vertex (sensor) connects to its `k` most strongly correlated
+//! neighbours (by |Pearson|, the consistent reading given the |ω(e)| < τ
+//! pruning rule); edges keep the *signed* correlation as weight, and edges
+//! whose |weight| falls below τ are pruned.
+//!
+//! The builder pre-z-normalises each sensor's window once, turning every
+//! pairwise correlation into a dot product (O(w)); total cost O(n²·w) per
+//! round plus an O(n·k log n) selection. The paper reaches O(n log n) with
+//! approximate HNSW search — exactness here only improves the graphs (see
+//! DESIGN.md substitution #3).
+
+use cad_mts::Mts;
+use cad_stats::correlation::{pearson_normalized, znorm_in_place};
+use cad_stats::rank_correlation::fractional_ranks;
+
+use crate::hnsw::{Hnsw, HnswConfig};
+use crate::weighted::WeightedGraph;
+
+/// Which correlation coefficient weighs the TSG edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorrelationKind {
+    /// Pearson product-moment correlation — the paper's choice (§III-B).
+    #[default]
+    Pearson,
+    /// Spearman rank correlation — a robust variant that ignores monotone
+    /// distortions and single-point spikes (ablation option).
+    Spearman,
+}
+
+/// How neighbour candidates are found.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum BuildStrategy {
+    /// Exact O(n²·w) pairwise scan (default; always correct).
+    #[default]
+    Exact,
+    /// Approximate O(n log n) search via HNSW (Malkov & Yashunin) over the
+    /// correlation distance `1 − |ρ|` — the construction the paper cites
+    /// for its complexity bound. Falls back to exact below 64 sensors,
+    /// where the index overhead dominates.
+    Hnsw(HnswConfig),
+}
+
+/// TSG construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnConfig {
+    /// Number of nearest (most correlated) neighbours per vertex.
+    pub k: usize,
+    /// Correlation threshold τ: edges with |weight| < τ are pruned.
+    pub tau: f64,
+    /// Correlation coefficient in use.
+    pub kind: CorrelationKind,
+    /// Candidate-search strategy.
+    pub strategy: BuildStrategy,
+}
+
+impl KnnConfig {
+    /// Validated constructor (Pearson, as in the paper).
+    pub fn new(k: usize, tau: f64) -> Self {
+        Self::with_kind(k, tau, CorrelationKind::Pearson)
+    }
+
+    /// Validated constructor with an explicit correlation kind.
+    pub fn with_kind(k: usize, tau: f64, kind: CorrelationKind) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!((0.0..=1.0).contains(&tau), "tau must be in [0,1], got {tau}");
+        Self { k, tau, kind, strategy: BuildStrategy::Exact }
+    }
+
+    /// Switch to HNSW candidate search (see [`BuildStrategy::Hnsw`]).
+    pub fn with_hnsw(mut self, hnsw: HnswConfig) -> Self {
+        self.strategy = BuildStrategy::Hnsw(hnsw);
+        self
+    }
+}
+
+/// The k strongest (by |ρ|) τ-passing neighbours of vertex `u` over
+/// pre-normalised windows; ties break toward the lower vertex id so the
+/// TSG is fully deterministic.
+fn select_neighbors_for(
+    normalized: &[f64],
+    n: usize,
+    w: usize,
+    k: usize,
+    tau: f64,
+    u: usize,
+    scratch: &mut Vec<(f64, usize)>,
+) -> Vec<(f64, usize)> {
+    let row_u = &normalized[u * w..(u + 1) * w];
+    scratch.clear();
+    for v in 0..n {
+        if v == u {
+            continue;
+        }
+        let row_v = &normalized[v * w..(v + 1) * w];
+        scratch.push((pearson_normalized(row_u, row_v), v));
+    }
+    scratch.sort_by(|a, b| {
+        b.0.abs()
+            .partial_cmp(&a.0.abs())
+            .expect("correlations are finite")
+            .then(a.1.cmp(&b.1))
+    });
+    scratch
+        .iter()
+        .take(k)
+        .take_while(|(c, _)| c.abs() >= tau)
+        .copied()
+        .collect()
+}
+
+/// Reusable correlation k-NN builder. Holds scratch buffers so per-round
+/// TSG construction performs no allocations beyond the output graph.
+#[derive(Debug)]
+pub struct CorrelationKnn {
+    config: KnnConfig,
+    /// Z-normalised windows, row-major `n × w`.
+    normalized: Vec<f64>,
+    /// Scratch: correlation magnitudes+signs for one source vertex.
+    scratch: Vec<(f64, usize)>,
+}
+
+impl CorrelationKnn {
+    /// New builder with the given parameters.
+    pub fn new(config: KnnConfig) -> Self {
+        Self { config, normalized: Vec::new(), scratch: Vec::new() }
+    }
+
+    /// Build parameters in use.
+    pub fn config(&self) -> KnnConfig {
+        self.config
+    }
+
+    /// Build the TSG for the window `[start, start+w)` of `mts`.
+    pub fn build(&mut self, mts: &Mts, start: usize, w: usize) -> WeightedGraph {
+        let n = mts.n_sensors();
+        let k = self.config.k.min(n.saturating_sub(1));
+        // Phase 1: z-normalise each sensor's window into the scratch
+        // matrix. For Spearman, the window is replaced by its fractional
+        // ranks first — Spearman's ρ is Pearson on ranks, so the dot-product
+        // fast path applies unchanged.
+        self.normalized.clear();
+        self.normalized.reserve(n * w);
+        for s in 0..n {
+            match self.config.kind {
+                CorrelationKind::Pearson => {
+                    self.normalized.extend_from_slice(mts.sensor_window(s, start, w));
+                }
+                CorrelationKind::Spearman => {
+                    self.normalized
+                        .extend_from_slice(&fractional_ranks(mts.sensor_window(s, start, w)));
+                }
+            }
+            let row = &mut self.normalized[s * w..(s + 1) * w];
+            znorm_in_place(row);
+        }
+        // Phase 2: for each vertex pick the k largest |corr| neighbours.
+        let mut graph = WeightedGraph::new(n);
+        if k == 0 {
+            return graph;
+        }
+        if let BuildStrategy::Hnsw(hnsw_config) = self.config.strategy {
+            if n >= 64 {
+                return self.build_hnsw(n, w, k, hnsw_config);
+            }
+        }
+        // Per-vertex candidate selection is embarrassingly parallel; fan
+        // out across threads for wide networks. The per-vertex result is
+        // independent of the thread layout, so output stays deterministic.
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let selections: Vec<Vec<(f64, usize)>> = if n >= 192 && threads > 1 {
+            let normalized = &self.normalized;
+            let tau = self.config.tau;
+            let chunk = n.div_ceil(threads);
+            let mut out: Vec<Vec<(f64, usize)>> = vec![Vec::new(); n];
+            std::thread::scope(|scope| {
+                for (t, slot) in out.chunks_mut(chunk).enumerate() {
+                    let start_u = t * chunk;
+                    scope.spawn(move || {
+                        let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(n);
+                        for (offset, cell) in slot.iter_mut().enumerate() {
+                            let u = start_u + offset;
+                            *cell = select_neighbors_for(
+                                normalized, n, w, k, tau, u, &mut scratch,
+                            );
+                        }
+                    });
+                }
+            });
+            out
+        } else {
+            let mut out: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
+            for u in 0..n {
+                out.push(select_neighbors_for(
+                    &self.normalized,
+                    n,
+                    w,
+                    k,
+                    self.config.tau,
+                    u,
+                    &mut self.scratch,
+                ));
+            }
+            out
+        };
+        for (u, chosen) in selections.iter().enumerate() {
+            for &(c, v) in chosen {
+                if !graph.has_edge(u, v) {
+                    graph.add_edge(u, v, c);
+                }
+            }
+        }
+        graph
+    }
+
+    /// HNSW-based candidate search over the already-normalised windows.
+    fn build_hnsw(&self, n: usize, w: usize, k: usize, hnsw_config: HnswConfig) -> WeightedGraph {
+        let normalized = &self.normalized;
+        let corr = |a: usize, b: usize| -> f64 {
+            pearson_normalized(&normalized[a * w..(a + 1) * w], &normalized[b * w..(b + 1) * w])
+        };
+        // Correlation distance: 0 for |ρ| = 1, 1 for uncorrelated.
+        let dist = |a: usize, b: usize| -> f64 { 1.0 - corr(a, b).abs() };
+        let mut index = Hnsw::new(hnsw_config, &dist);
+        for i in 0..n {
+            index.insert(i);
+        }
+        let mut graph = WeightedGraph::new(n);
+        for u in 0..n {
+            for (d, v) in index.knn(u, k) {
+                let c_abs = 1.0 - d;
+                if c_abs < self.config.tau {
+                    continue;
+                }
+                if !graph.has_edge(u, v) {
+                    graph.add_edge(u, v, corr(u, v));
+                }
+            }
+        }
+        graph
+    }
+
+    /// Convenience: build over the full series.
+    pub fn build_full(&mut self, mts: &Mts) -> WeightedGraph {
+        self.build(mts, 0, mts.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tightly correlated blocks of sensors with an uncorrelated loner.
+    fn blocky_mts() -> Mts {
+        let t: Vec<f64> = (0..64).map(|i| i as f64 * 0.1).collect();
+        let base_a: Vec<f64> = t.iter().map(|x| (x * 2.0).sin()).collect();
+        let base_b: Vec<f64> = t.iter().map(|x| (x * 5.0).cos()).collect();
+        // Deterministic "noise" decorrelated from both bases.
+        let loner: Vec<f64> = (0..64)
+            .map(|i| (((i * 2654435761usize) % 97) as f64) / 97.0)
+            .collect();
+        Mts::from_series(vec![
+            base_a.clone(),
+            base_a.iter().map(|x| 2.0 * x + 1.0).collect(),
+            base_a.iter().map(|x| -3.0 * x).collect(),
+            base_b.clone(),
+            base_b.iter().map(|x| 0.5 * x - 2.0).collect(),
+            loner,
+        ])
+    }
+
+    #[test]
+    fn connects_correlated_blocks() {
+        let mts = blocky_mts();
+        let mut builder = CorrelationKnn::new(KnnConfig::new(2, 0.5));
+        let g = builder.build_full(&mts);
+        // Block A (0,1,2) must be mutually connected.
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 2));
+        // Block B (3,4) connected.
+        assert!(g.has_edge(3, 4));
+        // No cross-block strong edges.
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 4));
+    }
+
+    #[test]
+    fn negative_correlations_survive_with_sign() {
+        let mts = blocky_mts();
+        let mut builder = CorrelationKnn::new(KnnConfig::new(2, 0.5));
+        let g = builder.build_full(&mts);
+        // Sensor 2 is −3× sensor 0: strong negative edge.
+        let w = g.edge_weight(0, 2).expect("edge (0,2) must exist");
+        assert!(w < -0.99, "expected strong negative weight, got {w}");
+    }
+
+    #[test]
+    fn tau_prunes_weak_edges() {
+        let mts = blocky_mts();
+        // τ = 0.95 keeps only the near-perfect in-block edges; the loner is
+        // isolated.
+        let mut builder = CorrelationKnn::new(KnnConfig::new(5, 0.95));
+        let g = builder.build_full(&mts);
+        assert_eq!(g.degree(5), 0, "loner must be isolated under high tau");
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn tau_zero_keeps_k_edges_per_vertex() {
+        let mts = blocky_mts();
+        let mut builder = CorrelationKnn::new(KnnConfig::new(2, 0.0));
+        let g = builder.build_full(&mts);
+        // Every vertex initiates exactly k=2 edges, but mutual selections
+        // dedup, so degree ≥ 2 is not guaranteed; the *initiated* count is.
+        // Instead check the weaker invariant: every vertex has degree ≥ 1
+        // and total edges ≤ n·k.
+        for u in 0..g.n_vertices() {
+            assert!(g.degree(u) >= 1, "vertex {u} unexpectedly isolated");
+        }
+        assert!(g.n_edges() <= g.n_vertices() * 2);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let mts = blocky_mts();
+        let mut builder = CorrelationKnn::new(KnnConfig::new(100, 0.0));
+        let g = builder.build_full(&mts);
+        // With k clamped to n-1 and τ=0 the graph is complete.
+        assert_eq!(g.n_edges(), 6 * 5 / 2);
+    }
+
+    #[test]
+    fn windows_differ_when_data_changes() {
+        // First half: sensors 0,1 correlated. Second half: sensor 1 flips to
+        // an independent pattern → the strong (0,1) edge must disappear.
+        let n = 64;
+        let a: Vec<f64> = (0..2 * n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut b = a.clone();
+        for (j, bj) in b.iter_mut().enumerate().skip(n) {
+            *bj = (((j * 2654435761usize) % 89) as f64) / 89.0;
+        }
+        let mts = Mts::from_series(vec![a, b]);
+        let mut builder = CorrelationKnn::new(KnnConfig::new(1, 0.6));
+        let g1 = builder.build(&mts, 0, n);
+        let g2 = builder.build(&mts, n, n);
+        assert!(g1.has_edge(0, 1));
+        assert!(!g2.has_edge(0, 1));
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let mts = blocky_mts();
+        let mut b1 = CorrelationKnn::new(KnnConfig::new(3, 0.4));
+        let mut b2 = CorrelationKnn::new(KnnConfig::new(3, 0.4));
+        assert_eq!(b1.build_full(&mts), b2.build_full(&mts));
+    }
+
+    #[test]
+    fn constant_sensors_are_isolated() {
+        let mts = Mts::from_series(vec![
+            vec![1.0; 32],
+            (0..32).map(|i| (i as f64).sin()).collect(),
+            (0..32).map(|i| (i as f64).sin() * 2.0).collect(),
+        ]);
+        let mut builder = CorrelationKnn::new(KnnConfig::new(2, 0.3));
+        let g = builder.build_full(&mts);
+        assert_eq!(g.degree(0), 0);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn hnsw_strategy_matches_exact_on_structured_data() {
+        // 80 sensors in 4 strongly-driven blocks: the approximate index
+        // must recover the same block edges as the exact scan.
+        let len = 96usize;
+        let series: Vec<Vec<f64>> = (0..80)
+            .map(|s| {
+                let block = s % 4;
+                (0..len)
+                    .map(|t| {
+                        let base = ((t as f64) * (0.11 + 0.07 * block as f64)).sin();
+                        base * (1.0 + 0.01 * (s / 4) as f64)
+                            + 0.02 * (((t * 31 + s * 17) % 13) as f64 - 6.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mts = Mts::from_series(series);
+        let mut exact = CorrelationKnn::new(KnnConfig::new(5, 0.6));
+        let mut approx =
+            CorrelationKnn::new(KnnConfig::new(5, 0.6).with_hnsw(HnswConfig::default()));
+        let ge = exact.build_full(&mts);
+        let ga = approx.build_full(&mts);
+        // Every approximate edge must be a genuine strong correlation…
+        for (u, v, wt) in ga.edges() {
+            assert!(wt.abs() >= 0.6, "edge ({u},{v}) weight {wt}");
+        }
+        // …and edge recall against the exact TSG must be high.
+        let recalled = ge
+            .edges()
+            .filter(|&(u, v, _)| ga.has_edge(u, v))
+            .count();
+        let recall = recalled as f64 / ge.n_edges().max(1) as f64;
+        assert!(recall > 0.85, "edge recall = {recall:.3}");
+    }
+
+    #[test]
+    fn parallel_path_matches_small_path_logic() {
+        // 200 sensors → the threaded path runs; the result must be
+        // identical across repeated builds (thread layout must not leak).
+        let len = 64usize;
+        let series: Vec<Vec<f64>> = (0..200)
+            .map(|s| {
+                let block = s % 5;
+                (0..len)
+                    .map(|t| {
+                        ((t as f64) * (0.1 + 0.05 * block as f64)).sin()
+                            + 0.03 * (((t * 31 + s * 17) % 13) as f64 - 6.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mts = Mts::from_series(series);
+        let mut b1 = CorrelationKnn::new(KnnConfig::new(6, 0.5));
+        let mut b2 = CorrelationKnn::new(KnnConfig::new(6, 0.5));
+        let g1 = b1.build_full(&mts);
+        let g2 = b2.build_full(&mts);
+        assert_eq!(g1, g2, "parallel TSG build must be deterministic");
+        // Structure sanity: vertex 0's strong neighbours are all in-block
+        // (block = id mod 5) and the graph is well populated.
+        assert!(g1.degree(0) >= 3);
+        assert!(
+            g1.neighbors(0).iter().all(|&(v, _)| v % 5 == 0),
+            "vertex 0 linked across blocks: {:?}",
+            g1.neighbors(0)
+        );
+        assert!(g1.n_edges() > 100);
+    }
+
+    #[test]
+    fn hnsw_strategy_falls_back_below_threshold() {
+        // Under 64 sensors the exact path runs even with the HNSW flag.
+        let mts = blocky_mts();
+        let mut exact = CorrelationKnn::new(KnnConfig::new(2, 0.5));
+        let mut approx =
+            CorrelationKnn::new(KnnConfig::new(2, 0.5).with_hnsw(HnswConfig::default()));
+        assert_eq!(exact.build_full(&mts), approx.build_full(&mts));
+    }
+
+    #[test]
+    fn spearman_kind_survives_spikes() {
+        // A single huge spike on one sensor wrecks its Pearson edge but
+        // not its Spearman edge.
+        let base: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let mut spiked = base.clone();
+        spiked[30] = 1e6;
+        let third: Vec<f64> = base.iter().map(|x| 0.9 * x + 0.1).collect();
+        let mts = Mts::from_series(vec![base, spiked, third]);
+        let mut pearson_b =
+            CorrelationKnn::new(KnnConfig::with_kind(1, 0.8, CorrelationKind::Pearson));
+        let mut spearman_b =
+            CorrelationKnn::new(KnnConfig::with_kind(1, 0.8, CorrelationKind::Spearman));
+        let gp = pearson_b.build_full(&mts);
+        let gs = spearman_b.build_full(&mts);
+        assert!(!gp.has_edge(0, 1), "Pearson edge should be destroyed by the spike");
+        assert!(gs.has_edge(0, 1), "Spearman edge should survive the spike");
+    }
+
+    #[test]
+    fn spearman_matches_pearson_on_clean_monotone_data() {
+        let mts = blocky_mts();
+        let mut p = CorrelationKnn::new(KnnConfig::with_kind(2, 0.5, CorrelationKind::Pearson));
+        let mut sp = CorrelationKnn::new(KnnConfig::with_kind(2, 0.5, CorrelationKind::Spearman));
+        let gp = p.build_full(&mts);
+        let gs = sp.build_full(&mts);
+        // The block structure is identical under both coefficients.
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (3, 4)] {
+            assert_eq!(gp.has_edge(u, v), gs.has_edge(u, v), "edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be in [0,1]")]
+    fn invalid_tau_rejected() {
+        KnnConfig::new(3, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        KnnConfig::new(0, 0.5);
+    }
+}

@@ -1,0 +1,461 @@
+//! Louvain community detection (Blondel, Guillaume, Lambiotte, Lefebvre —
+//! J. Stat. Mech. 2008), the method CAD adopts in Phase 1 (§IV-B) for its
+//! O(n log n) behaviour.
+//!
+//! Standard two-phase scheme, iterated over levels:
+//!
+//! 1. **Local moving** — repeatedly move single vertices to the neighbouring
+//!    community with the highest positive modularity gain, until no move
+//!    improves anything.
+//! 2. **Aggregation** — collapse each community to one super-vertex (intra-
+//!    community weight becomes a self-loop) and recurse.
+//!
+//! Pearson edge weights may be negative; modularity assumes non-negative
+//! weights, so all computations use |weight| (a strong negative correlation
+//! is still a strong tie — see `WeightedGraph::weighted_degree_abs`).
+//! Vertices are visited in index order and ties break toward the smaller
+//! community label, making the whole procedure deterministic — a property
+//! the paper leans on ("CAD is a deterministic method", §VI-E).
+
+use crate::weighted::WeightedGraph;
+
+/// A partition of vertices `0..n` into communities, as per-vertex labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    labels: Vec<usize>,
+    n_communities: usize,
+}
+
+impl Partition {
+    /// Build from raw labels, relabelling to the dense range
+    /// `0..n_communities` in order of first appearance.
+    pub fn from_labels(raw: &[usize]) -> Self {
+        let mut remap: Vec<Option<usize>> = Vec::new();
+        let mut labels = Vec::with_capacity(raw.len());
+        let mut next = 0usize;
+        // First appearance order keeps output deterministic.
+        let max = raw.iter().copied().max().map_or(0, |m| m + 1);
+        remap.resize(max, None);
+        for &r in raw {
+            let id = match remap[r] {
+                Some(id) => id,
+                None => {
+                    let id = next;
+                    remap[r] = Some(id);
+                    next += 1;
+                    id
+                }
+            };
+            labels.push(id);
+        }
+        Self { labels, n_communities: next }
+    }
+
+    /// Singleton partition: every vertex in its own community.
+    pub fn singletons(n: usize) -> Self {
+        Self { labels: (0..n).collect(), n_communities: n }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the empty partition.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Community label of vertex `v`.
+    pub fn community_of(&self, v: usize) -> usize {
+        self.labels[v]
+    }
+
+    /// Number of communities `c_r`.
+    pub fn n_communities(&self) -> usize {
+        self.n_communities
+    }
+
+    /// Per-vertex labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Member lists per community, each sorted ascending.
+    pub fn communities(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.n_communities];
+        for (v, &c) in self.labels.iter().enumerate() {
+            out[c].push(v);
+        }
+        out
+    }
+
+    /// Whether `u` and `v` share a community.
+    pub fn same_community(&self, u: usize, v: usize) -> bool {
+        self.labels[u] == self.labels[v]
+    }
+}
+
+/// Louvain parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LouvainConfig {
+    /// Stop after this many aggregation levels (safety bound; real runs
+    /// converge in a handful).
+    pub max_levels: usize,
+    /// Minimum total modularity gain per level to keep going.
+    pub min_gain: f64,
+}
+
+impl Default for LouvainConfig {
+    fn default() -> Self {
+        Self { max_levels: 16, min_gain: 1e-7 }
+    }
+}
+
+/// Modularity `Q` of a partition over a (loop-free) weighted graph, using
+/// |weight| throughout. Returns 0 for an edgeless graph.
+pub fn modularity(graph: &WeightedGraph, partition: &Partition) -> f64 {
+    assert_eq!(graph.n_vertices(), partition.len());
+    let m = graph.total_weight_abs();
+    if m <= f64::EPSILON {
+        return 0.0;
+    }
+    let two_m = 2.0 * m;
+    let nc = partition.n_communities();
+    let mut internal = vec![0.0; nc]; // Σ_in(c): intra edges, each once
+    let mut total = vec![0.0; nc]; // Σ_tot(c): summed weighted degrees
+    for (u, v, w) in graph.edges() {
+        if partition.same_community(u, v) {
+            internal[partition.community_of(u)] += w.abs();
+        }
+    }
+    for u in 0..graph.n_vertices() {
+        total[partition.community_of(u)] += graph.weighted_degree_abs(u);
+    }
+    (0..nc)
+        .map(|c| {
+            let frac_in = internal[c] / m; // = 2·W_in / 2m
+            let frac_tot = total[c] / two_m;
+            frac_in - frac_tot * frac_tot
+        })
+        .sum()
+}
+
+/// Internal graph representation allowing self-loops (needed after
+/// aggregation). A self-loop of weight `w` contributes `2w` to its vertex's
+/// degree, the usual Louvain convention.
+struct InnerGraph {
+    adj: Vec<Vec<(usize, f64)>>,
+    self_loop: Vec<f64>,
+    degree: Vec<f64>,
+    total_weight: f64,
+}
+
+impl InnerGraph {
+    fn from_weighted(g: &WeightedGraph) -> Self {
+        let n = g.n_vertices();
+        let mut adj = vec![Vec::new(); n];
+        let mut degree = vec![0.0; n];
+        let mut total = 0.0;
+        for (u, v, w) in g.edges() {
+            let w = w.abs();
+            adj[u].push((v, w));
+            adj[v].push((u, w));
+            degree[u] += w;
+            degree[v] += w;
+            total += w;
+        }
+        Self { adj, self_loop: vec![0.0; n], degree, total_weight: total }
+    }
+
+    fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// One level of local moving. Returns the final per-vertex community
+    /// labels (not yet dense) and whether any vertex moved.
+    fn local_moving(&self) -> (Vec<usize>, bool) {
+        let n = self.n();
+        let mut community: Vec<usize> = (0..n).collect();
+        // Σ_tot per community (includes self-loops twice via degree).
+        let mut sigma_tot: Vec<f64> = (0..n)
+            .map(|u| self.degree[u] + 2.0 * self.self_loop[u])
+            .collect();
+        let m = self.total_weight + self.self_loop.iter().sum::<f64>();
+        if m <= f64::EPSILON {
+            return (community, false);
+        }
+        let mut moved_any = false;
+        // neighbour-community weight accumulator, reset sparsely per vertex.
+        let mut weight_to: Vec<f64> = vec![0.0; n];
+        let mut touched: Vec<usize> = Vec::new();
+        loop {
+            let mut moved_this_pass = false;
+            for u in 0..n {
+                let cu = community[u];
+                let k_u = self.degree[u] + 2.0 * self.self_loop[u];
+                // Gather weights from u to each neighbouring community.
+                touched.clear();
+                for &(v, w) in &self.adj[u] {
+                    let cv = community[v];
+                    if weight_to[cv] == 0.0 {
+                        touched.push(cv);
+                    }
+                    weight_to[cv] += w;
+                }
+                if !touched.contains(&cu) {
+                    touched.push(cu);
+                }
+                // Remove u from its community for the comparison.
+                sigma_tot[cu] -= k_u;
+                let base_links = weight_to[cu];
+                let mut best_c = cu;
+                let mut best_gain = base_links - sigma_tot[cu] * k_u / (2.0 * m);
+                for &c in &touched {
+                    if c == cu {
+                        continue;
+                    }
+                    let gain = weight_to[c] - sigma_tot[c] * k_u / (2.0 * m);
+                    if gain > best_gain + 1e-12
+                        || (gain > best_gain - 1e-12 && c < best_c)
+                    {
+                        if gain > best_gain + 1e-12 {
+                            best_gain = gain;
+                            best_c = c;
+                        } else if (gain - best_gain).abs() <= 1e-12 && c < best_c {
+                            best_c = c;
+                        }
+                    }
+                }
+                sigma_tot[best_c] += k_u;
+                if best_c != cu {
+                    community[u] = best_c;
+                    moved_this_pass = true;
+                    moved_any = true;
+                }
+                for &c in &touched {
+                    weight_to[c] = 0.0;
+                }
+            }
+            if !moved_this_pass {
+                break;
+            }
+        }
+        (community, moved_any)
+    }
+
+    /// Aggregate by community labels (assumed dense `0..nc`).
+    fn aggregate(&self, labels: &[usize], nc: usize) -> InnerGraph {
+        let mut self_loop = vec![0.0; nc];
+        // Accumulate inter-community weights via a dense map per vertex.
+        let mut pair_weight: std::collections::HashMap<(usize, usize), f64> =
+            std::collections::HashMap::new();
+        for u in 0..self.n() {
+            let cu = labels[u];
+            self_loop[cu] += self.self_loop[u];
+            for &(v, w) in &self.adj[u] {
+                if v < u {
+                    continue; // each undirected edge once
+                }
+                let cv = labels[v];
+                if cu == cv {
+                    self_loop[cu] += w;
+                } else {
+                    let key = if cu < cv { (cu, cv) } else { (cv, cu) };
+                    *pair_weight.entry(key).or_insert(0.0) += w;
+                }
+            }
+        }
+        let mut adj = vec![Vec::new(); nc];
+        let mut degree = vec![0.0; nc];
+        let mut total = 0.0;
+        let mut pairs: Vec<((usize, usize), f64)> = pair_weight.into_iter().collect();
+        pairs.sort_by_key(|&(k, _)| k); // determinism
+        for ((a, b), w) in pairs {
+            adj[a].push((b, w));
+            adj[b].push((a, w));
+            degree[a] += w;
+            degree[b] += w;
+            total += w;
+        }
+        InnerGraph { adj, self_loop, degree, total_weight: total }
+    }
+}
+
+/// Run Louvain on `graph` and return the final partition of the original
+/// vertices. Deterministic for a given graph.
+pub fn louvain(graph: &WeightedGraph, config: LouvainConfig) -> Partition {
+    let n = graph.n_vertices();
+    if n == 0 {
+        return Partition::from_labels(&[]);
+    }
+    let mut inner = InnerGraph::from_weighted(graph);
+    // vertex → current community chain, flattened each level.
+    let mut membership: Vec<usize> = (0..n).collect();
+    let mut current_q = f64::NEG_INFINITY;
+    for _level in 0..config.max_levels {
+        let (labels, moved) = inner.local_moving();
+        if !moved {
+            break;
+        }
+        let dense = Partition::from_labels(&labels);
+        // Flatten into the original-vertex membership.
+        for m in membership.iter_mut() {
+            *m = dense.community_of(*m);
+        }
+        let partition = Partition::from_labels(&membership);
+        let q = modularity(graph, &partition);
+        if q <= current_q + config.min_gain {
+            // Accept the move (it is still a valid partition) but stop.
+            break;
+        }
+        current_q = q;
+        inner = inner.aggregate(dense.labels(), dense.n_communities());
+        if dense.n_communities() == labels.len() {
+            break; // nothing merged; fixed point
+        }
+    }
+    Partition::from_labels(&membership)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by a single weak bridge.
+    fn two_cliques() -> WeightedGraph {
+        let mut g = WeightedGraph::new(8);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.add_edge(a, b, 1.0);
+                g.add_edge(a + 4, b + 4, 1.0);
+            }
+        }
+        g.add_edge(3, 4, 0.1);
+        g
+    }
+
+    #[test]
+    fn separates_two_cliques() {
+        let p = louvain(&two_cliques(), LouvainConfig::default());
+        assert_eq!(p.n_communities(), 2);
+        for v in 1..4 {
+            assert!(p.same_community(0, v));
+        }
+        for v in 5..8 {
+            assert!(p.same_community(4, v));
+        }
+        assert!(!p.same_community(0, 4));
+    }
+
+    #[test]
+    fn modularity_of_good_partition_beats_bad() {
+        let g = two_cliques();
+        let good = louvain(&g, LouvainConfig::default());
+        let all_one = Partition::from_labels(&[0; 8]);
+        let singles = Partition::singletons(8);
+        let qg = modularity(&g, &good);
+        assert!(qg > modularity(&g, &all_one));
+        assert!(qg > modularity(&g, &singles));
+        assert!(qg > 0.3, "two-clique modularity should be high, got {qg}");
+    }
+
+    #[test]
+    fn edgeless_graph_gives_singletons() {
+        let g = WeightedGraph::new(5);
+        let p = louvain(&g, LouvainConfig::default());
+        assert_eq!(p.n_communities(), 5);
+        assert_eq!(modularity(&g, &p), 0.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::new(0);
+        let p = louvain(&g, LouvainConfig::default());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.n_communities(), 0);
+    }
+
+    #[test]
+    fn single_edge_merges_pair() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let p = louvain(&g, LouvainConfig::default());
+        assert!(p.same_community(0, 1));
+        assert!(!p.same_community(0, 2));
+        assert_eq!(p.n_communities(), 2);
+    }
+
+    #[test]
+    fn negative_weights_treated_as_strength() {
+        // A clique with negative weights must still form one community.
+        let mut g = WeightedGraph::new(6);
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                g.add_edge(a, b, -0.9);
+                g.add_edge(a + 3, b + 3, 0.9);
+            }
+        }
+        let p = louvain(&g, LouvainConfig::default());
+        assert_eq!(p.n_communities(), 2);
+        assert!(p.same_community(0, 1) && p.same_community(1, 2));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = two_cliques();
+        let p1 = louvain(&g, LouvainConfig::default());
+        let p2 = louvain(&g, LouvainConfig::default());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn three_communities_ring_of_cliques() {
+        // Three 5-cliques connected in a ring by single weak edges.
+        let mut g = WeightedGraph::new(15);
+        for c in 0..3 {
+            let base = c * 5;
+            for a in 0..5 {
+                for b in (a + 1)..5 {
+                    g.add_edge(base + a, base + b, 1.0);
+                }
+            }
+        }
+        g.add_edge(4, 5, 0.05);
+        g.add_edge(9, 10, 0.05);
+        g.add_edge(14, 0, 0.05);
+        let p = louvain(&g, LouvainConfig::default());
+        assert_eq!(p.n_communities(), 3);
+    }
+
+    #[test]
+    fn partition_relabels_densely() {
+        let p = Partition::from_labels(&[7, 7, 2, 9, 2]);
+        assert_eq!(p.labels(), &[0, 0, 1, 2, 1]);
+        assert_eq!(p.n_communities(), 3);
+        assert_eq!(p.communities(), vec![vec![0, 1], vec![2, 4], vec![3]]);
+    }
+
+    #[test]
+    fn modularity_bounds() {
+        // Q is always in [-0.5, 1].
+        let g = two_cliques();
+        for labels in [[0usize; 8].to_vec(), (0..8).collect::<Vec<_>>(), vec![0, 1, 0, 1, 0, 1, 0, 1]] {
+            let q = modularity(&g, &Partition::from_labels(&labels));
+            assert!((-0.5..=1.0).contains(&q), "Q={q} out of range");
+        }
+    }
+
+    #[test]
+    fn star_graph_is_one_community() {
+        let mut g = WeightedGraph::new(5);
+        for v in 1..5 {
+            g.add_edge(0, v, 1.0);
+        }
+        let p = louvain(&g, LouvainConfig::default());
+        // A star has no better split than (center + leaves) merged or a
+        // 2-way split; Louvain must at least beat singletons.
+        assert!(modularity(&g, &p) >= modularity(&g, &Partition::singletons(5)));
+        assert!(p.n_communities() < 5);
+    }
+}

@@ -1,0 +1,229 @@
+//! CSV persistence for MTS data and ground-truth labels.
+//!
+//! Hand-rolled (no external CSV crate): the format is a strict rectangular
+//! numeric CSV, one **column** per sensor and one row per time point (the
+//! orientation PSM/SMD/SWaT downloads use), with an optional header row of
+//! sensor names. Labels serialise as `start,end,s0;s1;s2` lines.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::labels::{AnomalyLabel, GroundTruth};
+use crate::matrix::Mts;
+
+/// Errors surfaced by the CSV readers.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural or numeric parse failure, with a line number (1-based).
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Write an MTS as CSV: header row of sensor names, then one row per time
+/// point with one column per sensor.
+pub fn write_mts_csv(mts: &Mts, path: &Path) -> Result<(), CsvError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "{}", mts.sensor_names().join(","))?;
+    for t in 0..mts.len() {
+        let mut first = true;
+        for s in 0..mts.n_sensors() {
+            if !first {
+                write!(out, ",")?;
+            }
+            first = false;
+            write!(out, "{}", mts.get(s, t))?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read an MTS from CSV written by [`write_mts_csv`] (or any rectangular
+/// numeric CSV whose first row is a header of sensor names).
+pub fn read_mts_csv(path: &Path) -> Result<Mts, CsvError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => {
+            return Err(CsvError::Parse { line: 1, message: "empty file".into() });
+        }
+    };
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let n = names.len();
+    // Column-per-sensor on disk → transpose into row-major sensor storage.
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); n];
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != n {
+            return Err(CsvError::Parse {
+                line: lineno + 2,
+                message: format!("expected {n} fields, found {}", fields.len()),
+            });
+        }
+        for (s, field) in fields.iter().enumerate() {
+            let v: f64 = field.trim().parse().map_err(|e| CsvError::Parse {
+                line: lineno + 2,
+                message: format!("bad number {field:?}: {e}"),
+            })?;
+            columns[s].push(v);
+        }
+    }
+    let mut mts = Mts::from_series(columns);
+    mts.set_sensor_names(names);
+    Ok(mts)
+}
+
+/// Write ground-truth labels: a `series_len` header line then one
+/// `start,end,s0;s1;…` line per anomaly.
+pub fn write_labels(gt: &GroundTruth, path: &Path) -> Result<(), CsvError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "series_len,{}", gt.series_len)?;
+    for a in &gt.anomalies {
+        let sensors: Vec<String> = a.sensors.iter().map(|s| s.to_string()).collect();
+        writeln!(out, "{},{},{}", a.start, a.end, sensors.join(";"))?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read ground-truth labels written by [`write_labels`].
+pub fn read_labels(path: &Path) -> Result<GroundTruth, CsvError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => {
+            return Err(CsvError::Parse { line: 1, message: "empty label file".into() });
+        }
+    };
+    let series_len: usize = header
+        .strip_prefix("series_len,")
+        .ok_or_else(|| CsvError::Parse { line: 1, message: "missing series_len header".into() })?
+        .trim()
+        .parse()
+        .map_err(|e| CsvError::Parse { line: 1, message: format!("bad series_len: {e}") })?;
+    let mut anomalies = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(3, ',').collect();
+        if parts.len() != 3 {
+            return Err(CsvError::Parse {
+                line: lineno + 2,
+                message: "expected start,end,sensors".into(),
+            });
+        }
+        let parse_usize = |s: &str, what: &str| -> Result<usize, CsvError> {
+            s.trim().parse().map_err(|e| CsvError::Parse {
+                line: lineno + 2,
+                message: format!("bad {what}: {e}"),
+            })
+        };
+        let start = parse_usize(parts[0], "start")?;
+        let end = parse_usize(parts[1], "end")?;
+        let sensors = parts[2]
+            .split(';')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| parse_usize(s, "sensor index"))
+            .collect::<Result<Vec<usize>, _>>()?;
+        anomalies.push(AnomalyLabel::new(start, end, sensors));
+    }
+    Ok(GroundTruth::new(series_len, anomalies))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cad-mts-io-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn mts_csv_roundtrip() {
+        let mut m = Mts::from_series(vec![vec![1.5, -2.0, 3.25], vec![0.0, 10.0, -0.5]]);
+        m.set_sensor_names(vec!["temp".into(), "pressure".into()]);
+        let path = tempdir().join("roundtrip.csv");
+        write_mts_csv(&m, &path).unwrap();
+        let back = read_mts_csv(&path).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let gt = GroundTruth::new(
+            100,
+            vec![
+                AnomalyLabel::new(10, 20, vec![0, 3]),
+                AnomalyLabel::new(50, 51, vec![7]),
+            ],
+        );
+        let path = tempdir().join("labels.csv");
+        write_labels(&gt, &path).unwrap();
+        let back = read_labels(&path).unwrap();
+        assert_eq!(back, gt);
+    }
+
+    #[test]
+    fn labels_roundtrip_empty_sensor_list() {
+        let gt = GroundTruth::new(10, vec![AnomalyLabel::new(1, 3, vec![])]);
+        let path = tempdir().join("labels_empty.csv");
+        write_labels(&gt, &path).unwrap();
+        assert_eq!(read_labels(&path).unwrap(), gt);
+    }
+
+    #[test]
+    fn ragged_csv_is_rejected() {
+        let path = tempdir().join("ragged.csv");
+        std::fs::write(&path, "a,b\n1.0,2.0\n3.0\n").unwrap();
+        let err = read_mts_csv(&path).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn non_numeric_csv_is_rejected() {
+        let path = tempdir().join("bad.csv");
+        std::fs::write(&path, "a\n1.0\nxyz\n").unwrap();
+        let err = read_mts_csv(&path).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_mts_csv(Path::new("/nonexistent/nope.csv")).unwrap_err();
+        assert!(matches!(err, CsvError::Io(_)));
+    }
+}

@@ -1,0 +1,222 @@
+//! Ground-truth anomaly labels.
+//!
+//! §III-A: an anomaly is a sub-matrix of `T` — a set of (possibly
+//! non-adjacent) abnormal sensors over a consecutive span of abnormal time
+//! points. [`AnomalyLabel`] records one such sub-matrix; [`GroundTruth`]
+//! holds all of them for a dataset and derives the flat 0/1 per-point label
+//! stream used by PA/DPA evaluation.
+
+/// One labelled anomaly: a consecutive time span plus the sensors it
+/// affects (`Z = (V_Z, R_Z)` in ground-truth form).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnomalyLabel {
+    /// First abnormal time point (0-based, inclusive).
+    pub start: usize,
+    /// One past the last abnormal time point (exclusive).
+    pub end: usize,
+    /// Indices of affected sensors, sorted ascending.
+    pub sensors: Vec<usize>,
+}
+
+impl AnomalyLabel {
+    /// Validated constructor; sorts and dedups the sensor list.
+    pub fn new(start: usize, end: usize, mut sensors: Vec<usize>) -> Self {
+        assert!(start < end, "anomaly span must be non-empty: [{start}, {end})");
+        sensors.sort_unstable();
+        sensors.dedup();
+        Self { start, end, sensors }
+    }
+
+    /// Span length in time points.
+    pub fn duration(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether time point `t` lies inside the anomaly.
+    pub fn contains(&self, t: usize) -> bool {
+        (self.start..self.end).contains(&t)
+    }
+}
+
+/// All labelled anomalies of a dataset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Series length the labels refer to.
+    pub series_len: usize,
+    /// Labelled anomalies in chronological order, non-overlapping.
+    pub anomalies: Vec<AnomalyLabel>,
+}
+
+impl GroundTruth {
+    /// Validated constructor: anomalies must be in-range, chronological and
+    /// non-overlapping (the paper's anomalies are disjoint time spans).
+    pub fn new(series_len: usize, anomalies: Vec<AnomalyLabel>) -> Self {
+        let mut prev_end = 0usize;
+        for a in &anomalies {
+            assert!(a.end <= series_len, "anomaly [{}, {}) exceeds series length {series_len}", a.start, a.end);
+            assert!(a.start >= prev_end, "anomalies must be chronological and non-overlapping");
+            prev_end = a.end;
+        }
+        Self { series_len, anomalies }
+    }
+
+    /// Number of labelled anomalies `I`.
+    pub fn count(&self) -> usize {
+        self.anomalies.len()
+    }
+
+    /// Flat 0/1 labels, one per time point.
+    pub fn point_labels(&self) -> Vec<bool> {
+        let mut labels = vec![false; self.series_len];
+        for a in &self.anomalies {
+            for l in &mut labels[a.start..a.end] {
+                *l = true;
+            }
+        }
+        labels
+    }
+
+    /// Fraction of points labelled abnormal (the dataset's anomaly rate).
+    pub fn anomaly_rate(&self) -> f64 {
+        if self.series_len == 0 {
+            return 0.0;
+        }
+        let abnormal: usize = self.anomalies.iter().map(|a| a.duration()).sum();
+        abnormal as f64 / self.series_len as f64
+    }
+
+    /// The anomaly containing time point `t`, if any.
+    pub fn anomaly_at(&self, t: usize) -> Option<&AnomalyLabel> {
+        self.anomalies.iter().find(|a| a.contains(t))
+    }
+
+    /// Restrict the labels to the prefix `[0, len)` — used when a dataset is
+    /// split into warm-up (historical) and detection segments.
+    pub fn truncate(&self, len: usize) -> GroundTruth {
+        let anomalies = self
+            .anomalies
+            .iter()
+            .filter(|a| a.start < len)
+            .map(|a| AnomalyLabel::new(a.start, a.end.min(len), a.sensors.clone()))
+            .collect();
+        GroundTruth::new(len.min(self.series_len), anomalies)
+    }
+
+    /// Shift labels left by `offset` points, dropping anomalies that end
+    /// before the offset and clipping ones that straddle it — the suffix
+    /// complement of [`Self::truncate`].
+    pub fn shift_left(&self, offset: usize) -> GroundTruth {
+        assert!(offset <= self.series_len);
+        let anomalies = self
+            .anomalies
+            .iter()
+            .filter(|a| a.end > offset)
+            .map(|a| {
+                AnomalyLabel::new(
+                    a.start.saturating_sub(offset),
+                    a.end - offset,
+                    a.sensors.clone(),
+                )
+            })
+            .collect();
+        GroundTruth::new(self.series_len - offset, anomalies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroundTruth {
+        GroundTruth::new(
+            20,
+            vec![
+                AnomalyLabel::new(3, 6, vec![1, 0]),
+                AnomalyLabel::new(10, 15, vec![2]),
+            ],
+        )
+    }
+
+    #[test]
+    fn sensors_sorted_and_deduped() {
+        let a = AnomalyLabel::new(0, 2, vec![3, 1, 3, 2]);
+        assert_eq!(a.sensors, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn point_labels_mark_spans() {
+        let labels = sample().point_labels();
+        assert!(!labels[2]);
+        assert!(labels[3] && labels[5]);
+        assert!(!labels[6]);
+        assert!(labels[10] && labels[14]);
+        assert!(!labels[15]);
+    }
+
+    #[test]
+    fn anomaly_rate_counts_points() {
+        // 3 + 5 abnormal points out of 20.
+        assert!((sample().anomaly_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anomaly_at_lookup() {
+        let gt = sample();
+        assert_eq!(gt.anomaly_at(4).unwrap().start, 3);
+        assert!(gt.anomaly_at(8).is_none());
+    }
+
+    #[test]
+    fn truncate_clips_straddlers() {
+        let gt = sample().truncate(12);
+        assert_eq!(gt.series_len, 12);
+        assert_eq!(gt.count(), 2);
+        assert_eq!(gt.anomalies[1].end, 12);
+    }
+
+    #[test]
+    fn truncate_drops_later_anomalies() {
+        let gt = sample().truncate(8);
+        assert_eq!(gt.count(), 1);
+    }
+
+    #[test]
+    fn shift_left_clips_and_drops() {
+        let gt = sample().shift_left(11);
+        assert_eq!(gt.series_len, 9);
+        assert_eq!(gt.count(), 1);
+        assert_eq!(gt.anomalies[0].start, 0); // straddler clipped to 0
+        assert_eq!(gt.anomalies[0].end, 4);
+    }
+
+    #[test]
+    fn empty_ground_truth() {
+        let gt = GroundTruth::new(5, vec![]);
+        assert_eq!(gt.anomaly_rate(), 0.0);
+        assert_eq!(gt.point_labels(), vec![false; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-overlapping")]
+    fn overlapping_anomalies_rejected() {
+        GroundTruth::new(
+            20,
+            vec![
+                AnomalyLabel::new(3, 8, vec![0]),
+                AnomalyLabel::new(5, 10, vec![1]),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds series length")]
+    fn out_of_range_rejected() {
+        GroundTruth::new(5, vec![AnomalyLabel::new(3, 8, vec![0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_span_rejected() {
+        AnomalyLabel::new(4, 4, vec![0]);
+    }
+}

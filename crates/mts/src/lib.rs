@@ -1,0 +1,22 @@
+//! Multivariate time-series substrate.
+//!
+//! The paper represents an MTS `T` with `n` sensors as a matrix whose rows
+//! are sensors and whose columns are time points (§III-A). This crate owns
+//! that representation plus everything mechanical around it:
+//!
+//! * [`Mts`] — the row-major sensor × time matrix with named sensors;
+//! * [`windows`] — the sliding-window partitioning of §III-B
+//!   (`T_r = T[1+(r−1)s : w+(r−1)s]`, `R = (|T|−w)/s + 1`);
+//! * [`labels`] — ground-truth anomaly labels (per-point flags plus the
+//!   per-anomaly affected-sensor sets used for `F1_sensor`);
+//! * [`io`] — CSV read/write so generated datasets can be persisted and
+//!   external data can be plugged in.
+
+pub mod io;
+pub mod labels;
+pub mod matrix;
+pub mod windows;
+
+pub use labels::{AnomalyLabel, GroundTruth};
+pub use matrix::Mts;
+pub use windows::{round_count, round_span, WindowIter, WindowSpec};

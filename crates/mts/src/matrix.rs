@@ -1,0 +1,305 @@
+//! The MTS matrix type: `n` sensors × `|T|` time points, row-major.
+
+use cad_stats::correlation::znorm_in_place;
+
+/// A multivariate time series `T = (s_1, …, s_n)ᵀ` (§III-A): each row is one
+/// sensor's full series, each column one time point. Row-major storage keeps
+/// a sensor's window contiguous — the layout the TSG builder's dot-product
+/// fast path wants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mts {
+    n_sensors: usize,
+    len: usize,
+    /// Row-major readings: `data[s * len + t]`.
+    data: Vec<f64>,
+    sensor_names: Vec<String>,
+}
+
+impl Mts {
+    /// Build from row-major data. Panics if dimensions do not agree.
+    pub fn from_rows(n_sensors: usize, len: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            n_sensors * len,
+            "Mts data length {} != n_sensors {} * len {}",
+            data.len(),
+            n_sensors,
+            len
+        );
+        let sensor_names = (0..n_sensors).map(|i| format!("s{}", i + 1)).collect();
+        Self { n_sensors, len, data, sensor_names }
+    }
+
+    /// Build from a list of per-sensor series (all must share a length).
+    pub fn from_series(series: Vec<Vec<f64>>) -> Self {
+        assert!(!series.is_empty(), "Mts needs at least one sensor");
+        let len = series[0].len();
+        assert!(
+            series.iter().all(|s| s.len() == len),
+            "all sensor series must share one length"
+        );
+        let n = series.len();
+        let mut data = Vec::with_capacity(n * len);
+        for s in &series {
+            data.extend_from_slice(s);
+        }
+        Self::from_rows(n, len, data)
+    }
+
+    /// Zero-filled MTS of the given shape.
+    pub fn zeros(n_sensors: usize, len: usize) -> Self {
+        Self::from_rows(n_sensors, len, vec![0.0; n_sensors * len])
+    }
+
+    /// Number of sensors `n`.
+    pub fn n_sensors(&self) -> usize {
+        self.n_sensors
+    }
+
+    /// Series length `|T|`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the series has no time points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sensor's full series.
+    pub fn sensor(&self, s: usize) -> &[f64] {
+        &self.data[s * self.len..(s + 1) * self.len]
+    }
+
+    /// Mutable access to a sensor's series.
+    pub fn sensor_mut(&mut self, s: usize) -> &mut [f64] {
+        &mut self.data[s * self.len..(s + 1) * self.len]
+    }
+
+    /// A sensor's readings within `[start, start+w)`.
+    pub fn sensor_window(&self, s: usize, start: usize, w: usize) -> &[f64] {
+        assert!(
+            start + w <= self.len,
+            "window [{start}, {}) exceeds series length {}",
+            start + w,
+            self.len
+        );
+        &self.data[s * self.len + start..s * self.len + start + w]
+    }
+
+    /// One reading `x_{s,t}`.
+    pub fn get(&self, s: usize, t: usize) -> f64 {
+        self.data[s * self.len + t]
+    }
+
+    /// Set one reading.
+    pub fn set(&mut self, s: usize, t: usize, v: f64) {
+        self.data[s * self.len + t] = v;
+    }
+
+    /// Sensor display names (defaults to `s1…sn`).
+    pub fn sensor_names(&self) -> &[String] {
+        &self.sensor_names
+    }
+
+    /// Replace the sensor names.
+    pub fn set_sensor_names(&mut self, names: Vec<String>) {
+        assert_eq!(names.len(), self.n_sensors, "one name per sensor required");
+        self.sensor_names = names;
+    }
+
+    /// The column vector at time `t` (one reading per sensor) — the "data
+    /// point" view used by the point-based baselines (LOF/ECOD/IForest).
+    pub fn column(&self, t: usize) -> Vec<f64> {
+        (0..self.n_sensors).map(|s| self.get(s, t)).collect()
+    }
+
+    /// Copy of the sub-series `T[start : start+w]` across all sensors.
+    pub fn slice_time(&self, start: usize, w: usize) -> Mts {
+        assert!(start + w <= self.len, "time slice out of range");
+        let mut data = Vec::with_capacity(self.n_sensors * w);
+        for s in 0..self.n_sensors {
+            data.extend_from_slice(self.sensor_window(s, start, w));
+        }
+        let mut out = Mts::from_rows(self.n_sensors, w, data);
+        out.sensor_names = self.sensor_names.clone();
+        out
+    }
+
+    /// Concatenate another MTS after this one along the time axis (sensor
+    /// counts must agree). Used to stitch a warm-up tail onto a detection
+    /// segment so sliding windows stay contiguous across the boundary.
+    pub fn concat_time(&self, other: &Mts) -> Mts {
+        assert_eq!(self.n_sensors, other.n_sensors, "concat_time sensor count mismatch");
+        let len = self.len + other.len;
+        let mut data = Vec::with_capacity(self.n_sensors * len);
+        for s in 0..self.n_sensors {
+            data.extend_from_slice(self.sensor(s));
+            data.extend_from_slice(other.sensor(s));
+        }
+        let mut out = Mts::from_rows(self.n_sensors, len, data);
+        out.sensor_names = self.sensor_names.clone();
+        out
+    }
+
+    /// Z-normalise every sensor over the full series, in place. Detectors
+    /// that mix sensors with heterogeneous units (the point-based baselines)
+    /// call this once up front.
+    pub fn znorm_sensors(&mut self) {
+        for s in 0..self.n_sensors {
+            let range = s * self.len..(s + 1) * self.len;
+            znorm_in_place(&mut self.data[range]);
+        }
+    }
+
+    /// Raw row-major backing slice (sensor-major).
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Mts {
+        Mts::from_series(vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![10.0, 20.0, 30.0, 40.0],
+            vec![5.0, 5.0, 5.0, 5.0],
+        ])
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = sample();
+        assert_eq!(m.n_sensors(), 3);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.get(1, 2), 30.0);
+        assert_eq!(m.sensor(0), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn column_view() {
+        let m = sample();
+        assert_eq!(m.column(1), vec![2.0, 20.0, 5.0]);
+    }
+
+    #[test]
+    fn window_view() {
+        let m = sample();
+        assert_eq!(m.sensor_window(1, 1, 2), &[20.0, 30.0]);
+    }
+
+    #[test]
+    fn slice_time_copies_rows() {
+        let m = sample();
+        let sub = m.slice_time(1, 3);
+        assert_eq!(sub.n_sensors(), 3);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.sensor(0), &[2.0, 3.0, 4.0]);
+        assert_eq!(sub.sensor(2), &[5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut m = sample();
+        m.set(2, 3, -7.5);
+        assert_eq!(m.get(2, 3), -7.5);
+    }
+
+    #[test]
+    fn default_names() {
+        let m = sample();
+        assert_eq!(m.sensor_names()[0], "s1");
+        assert_eq!(m.sensor_names()[2], "s3");
+    }
+
+    #[test]
+    fn concat_time_appends_per_sensor() {
+        let a = Mts::from_series(vec![vec![1.0, 2.0], vec![10.0, 20.0]]);
+        let b = Mts::from_series(vec![vec![3.0], vec![30.0]]);
+        let c = a.concat_time(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.sensor(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(c.sensor(1), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn concat_time_preserves_names() {
+        let mut a = Mts::from_series(vec![vec![1.0]]);
+        a.set_sensor_names(vec!["temp".into()]);
+        let b = Mts::from_series(vec![vec![2.0]]);
+        assert_eq!(a.concat_time(&b).sensor_names()[0], "temp");
+    }
+
+    #[test]
+    #[should_panic(expected = "concat_time sensor count mismatch")]
+    fn concat_time_rejects_width_mismatch() {
+        Mts::zeros(2, 3).concat_time(&Mts::zeros(3, 3));
+    }
+
+    #[test]
+    fn concat_then_slice_roundtrip() {
+        let a = Mts::from_series(vec![vec![1.0, 2.0, 3.0]]);
+        let b = Mts::from_series(vec![vec![4.0, 5.0]]);
+        let c = a.concat_time(&b);
+        assert_eq!(c.slice_time(0, 3), a);
+        assert_eq!(c.slice_time(3, 2), b);
+    }
+
+    #[test]
+    fn znorm_handles_constant_sensor() {
+        let mut m = sample();
+        m.znorm_sensors();
+        assert!(m.sensor(2).iter().all(|&x| x == 0.0));
+        let s0 = m.sensor(0);
+        let mean: f64 = s0.iter().sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn window_out_of_range_panics() {
+        sample().sensor_window(0, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one length")]
+    fn ragged_series_rejected() {
+        Mts::from_series(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_rows_roundtrip(
+            n in 1usize..6,
+            len in 1usize..20,
+            seedval in -100.0f64..100.0,
+        ) {
+            let data: Vec<f64> = (0..n * len).map(|i| seedval + i as f64).collect();
+            let m = Mts::from_rows(n, len, data.clone());
+            for s in 0..n {
+                for t in 0..len {
+                    prop_assert_eq!(m.get(s, t), data[s * len + t]);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_slice_time_matches_direct(
+            len in 4usize..32,
+            start in 0usize..16,
+            w in 1usize..8,
+        ) {
+            prop_assume!(start + w <= len);
+            let data: Vec<f64> = (0..2 * len).map(|i| i as f64).collect();
+            let m = Mts::from_rows(2, len, data);
+            let sub = m.slice_time(start, w);
+            for s in 0..2 {
+                prop_assert_eq!(sub.sensor(s), m.sensor_window(s, start, w));
+            }
+        }
+    }
+}

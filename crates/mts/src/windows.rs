@@ -1,0 +1,214 @@
+//! Sliding-window partitioning (§III-B).
+//!
+//! Given a window `w` and step `s < w`, the long MTS is partitioned into
+//! `R = (|T| − w)/s + 1` overlapping sub-matrices `T_1 … T_R`, where
+//! `T_r = T[1+(r−1)s : w+(r−1)s]` (1-based in the paper; 0-based here).
+//! When `(|T| − w)` is not divisible by `s`, the paper drops the trailing
+//! columns; `round_count`'s floor division implements exactly that.
+
+use crate::matrix::Mts;
+
+/// Window and step parameters for partitioning, plus the CAD round
+/// semantics derived from them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Sliding window length `w`.
+    pub w: usize,
+    /// Step `s` (must satisfy `0 < s ≤ w`; the paper requires `s < w` for
+    /// overlap but `s = w` — disjoint windows — is accepted for ablations).
+    pub s: usize,
+}
+
+impl WindowSpec {
+    /// Validated constructor.
+    pub fn new(w: usize, s: usize) -> Self {
+        assert!(w > 0, "window w must be positive");
+        assert!(s > 0, "step s must be positive");
+        assert!(s <= w, "step s={s} must not exceed window w={w}");
+        Self { w, s }
+    }
+
+    /// The paper's suggested defaults: `w ∈ [0.01|T|, 0.03|T|]` and
+    /// `s ∈ [0.01w, 0.02w]` (§VI-H). Bounds keep tiny test series usable.
+    pub fn suggested(series_len: usize) -> Self {
+        let w = ((series_len as f64 * 0.02) as usize).clamp(8, series_len.max(8));
+        let s = ((w as f64 * 0.02) as usize).max(1);
+        Self::new(w.min(series_len.max(1)), s)
+    }
+
+    /// Number of rounds `R` available in a series of `len` points.
+    pub fn rounds(&self, len: usize) -> usize {
+        round_count(len, self.w, self.s)
+    }
+
+    /// Start column (0-based) of round `r` (0-based).
+    pub fn start(&self, r: usize) -> usize {
+        r * self.s
+    }
+
+    /// Half-open `[start, end)` column span of round `r` (0-based).
+    pub fn span(&self, r: usize) -> (usize, usize) {
+        round_span(self.w, self.s, r)
+    }
+}
+
+/// `R = floor((len − w)/s) + 1`, or 0 when the series is shorter than one
+/// window.
+pub fn round_count(len: usize, w: usize, s: usize) -> usize {
+    if len < w {
+        0
+    } else {
+        (len - w) / s + 1
+    }
+}
+
+/// The half-open column interval covered by round `r` (0-based).
+pub fn round_span(w: usize, s: usize, r: usize) -> (usize, usize) {
+    (r * s, r * s + w)
+}
+
+/// Iterator over the rounds of an MTS, yielding `(round_index, start)`.
+/// Detectors slice the matrix themselves to avoid copying; the iterator
+/// only walks the schedule.
+#[derive(Debug, Clone)]
+pub struct WindowIter {
+    spec: WindowSpec,
+    total: usize,
+    next: usize,
+}
+
+impl WindowIter {
+    /// Schedule for the rounds of `mts` under `spec`.
+    pub fn new(mts: &Mts, spec: WindowSpec) -> Self {
+        Self { spec, total: spec.rounds(mts.len()), next: 0 }
+    }
+}
+
+impl Iterator for WindowIter {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.total {
+            return None;
+        }
+        let r = self.next;
+        self.next += 1;
+        Some((r, self.spec.start(r)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.total - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for WindowIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_round_count() {
+        // |T| = 8, w = 4, s = 2 → R = (8-4)/2 + 1 = 3 (Figure 1's 3 TSGs).
+        assert_eq!(round_count(8, 4, 2), 3);
+    }
+
+    #[test]
+    fn non_divisible_tail_is_dropped() {
+        // (10 - 4) / 3 = 2 → R = 3; round 2 covers [6, 10) and the
+        // remainder is ignored, matching the paper's truncation rule.
+        assert_eq!(round_count(10, 4, 3), 3);
+        assert_eq!(round_span(4, 3, 2), (6, 10));
+    }
+
+    #[test]
+    fn short_series_has_zero_rounds() {
+        assert_eq!(round_count(3, 4, 1), 0);
+    }
+
+    #[test]
+    fn exact_fit_is_one_round() {
+        assert_eq!(round_count(4, 4, 2), 1);
+    }
+
+    #[test]
+    fn spans_are_w_wide_and_s_apart() {
+        let spec = WindowSpec::new(16, 4);
+        for r in 0..5 {
+            let (a, b) = spec.span(r);
+            assert_eq!(b - a, 16);
+            assert_eq!(a, r * 4);
+        }
+    }
+
+    #[test]
+    fn iterator_matches_schedule() {
+        let mts = Mts::zeros(2, 20);
+        let spec = WindowSpec::new(8, 4);
+        let rounds: Vec<(usize, usize)> = WindowIter::new(&mts, spec).collect();
+        assert_eq!(rounds, vec![(0, 0), (1, 4), (2, 8), (3, 12)]);
+    }
+
+    #[test]
+    fn iterator_len_is_exact() {
+        let mts = Mts::zeros(1, 100);
+        let it = WindowIter::new(&mts, WindowSpec::new(10, 5));
+        assert_eq!(it.len(), 19);
+    }
+
+    #[test]
+    fn suggested_spec_is_sane() {
+        let spec = WindowSpec::suggested(10_000);
+        assert!(spec.w >= 8);
+        assert!(spec.s >= 1);
+        assert!(spec.s <= spec.w);
+        assert!(spec.rounds(10_000) > 0);
+    }
+
+    #[test]
+    fn suggested_spec_tiny_series() {
+        let spec = WindowSpec::suggested(10);
+        assert!(spec.s <= spec.w);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn step_larger_than_window_rejected() {
+        WindowSpec::new(4, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_round_fits(
+            len in 1usize..400,
+            w in 1usize..50,
+            s in 1usize..50,
+        ) {
+            prop_assume!(s <= w);
+            let r = round_count(len, w, s);
+            if r > 0 {
+                let (_, end) = round_span(w, s, r - 1);
+                prop_assert!(end <= len, "last round [.., {end}) exceeds len {len}");
+                // And one more round would NOT fit.
+                let (_, next_end) = round_span(w, s, r);
+                prop_assert!(next_end > len);
+            } else {
+                prop_assert!(len < w);
+            }
+        }
+
+        #[test]
+        fn prop_iterator_agrees_with_round_count(
+            len in 1usize..200,
+            w in 1usize..30,
+            s in 1usize..30,
+        ) {
+            prop_assume!(s <= w);
+            let mts = Mts::zeros(1, len);
+            let spec = WindowSpec::new(w, s);
+            prop_assert_eq!(WindowIter::new(&mts, spec).count(), spec.rounds(len));
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Autoencoders on top of [`Mlp`] — the building block of USAD and RCoders.
+
+use rand::Rng;
+
+use crate::layer::Activation;
+use crate::matrix::Mat;
+use crate::net::Mlp;
+use crate::optim::Adam;
+
+/// Architecture and training hyper-parameters for a plain autoencoder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoencoderConfig {
+    /// Input dimension (flattened window × sensors for USAD-style input).
+    pub in_dim: usize,
+    /// Latent dimension.
+    pub latent_dim: usize,
+    /// Hidden layer width between input and latent (0 = none).
+    pub hidden_dim: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+impl AutoencoderConfig {
+    /// Sensible defaults for small windows: one hidden layer at half the
+    /// input width, latent at a quarter.
+    pub fn for_input(in_dim: usize) -> Self {
+        Self {
+            in_dim,
+            latent_dim: (in_dim / 4).max(2),
+            hidden_dim: (in_dim / 2).max(4),
+            lr: 1e-3,
+            epochs: 30,
+            batch_size: 64,
+        }
+    }
+
+    fn encoder_dims(&self) -> Vec<usize> {
+        if self.hidden_dim > 0 {
+            vec![self.in_dim, self.hidden_dim, self.latent_dim]
+        } else {
+            vec![self.in_dim, self.latent_dim]
+        }
+    }
+
+    fn decoder_dims(&self) -> Vec<usize> {
+        if self.hidden_dim > 0 {
+            vec![self.latent_dim, self.hidden_dim, self.in_dim]
+        } else {
+            vec![self.latent_dim, self.in_dim]
+        }
+    }
+
+    fn activations_for(dims: &[usize], output: Activation) -> Vec<Activation> {
+        let mut acts = vec![Activation::Relu; dims.len() - 1];
+        *acts.last_mut().expect("non-empty") = output;
+        acts
+    }
+}
+
+/// Encoder/decoder pair with shared training utilities.
+#[derive(Debug, Clone)]
+pub struct Autoencoder {
+    /// Encoder network.
+    pub encoder: Mlp,
+    /// Decoder network.
+    pub decoder: Mlp,
+    opt_enc: Adam,
+    opt_dec: Adam,
+}
+
+impl Autoencoder {
+    /// Build with sigmoid outputs (inputs assumed scaled to `[0, 1]`, as
+    /// USAD does with min-max scaling).
+    pub fn new<R: Rng + ?Sized>(config: &AutoencoderConfig, rng: &mut R) -> Self {
+        let enc_dims = config.encoder_dims();
+        let dec_dims = config.decoder_dims();
+        let encoder = Mlp::new(
+            &enc_dims,
+            &AutoencoderConfig::activations_for(&enc_dims, Activation::Relu),
+            rng,
+        );
+        let decoder = Mlp::new(
+            &dec_dims,
+            &AutoencoderConfig::activations_for(&dec_dims, Activation::Sigmoid),
+            rng,
+        );
+        Self {
+            encoder,
+            decoder,
+            opt_enc: Adam::new(config.lr),
+            opt_dec: Adam::new(config.lr),
+        }
+    }
+
+    /// Reconstruct a batch (inference).
+    pub fn reconstruct(&mut self, x: &Mat) -> Mat {
+        let z = self.encoder.predict(x);
+        self.decoder.predict(&z)
+    }
+
+    /// Forward with caching (training).
+    pub fn forward_train(&mut self, x: &Mat) -> Mat {
+        let z = self.encoder.forward(x, true);
+        self.decoder.forward(&z, true)
+    }
+
+    /// Backprop `dL/d(reconstruction)` through decoder then encoder,
+    /// returning `dL/dx` for further composition.
+    pub fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let gz = self.decoder.backward(grad_out);
+        self.encoder.backward(&gz)
+    }
+
+    /// Zero gradients in both halves.
+    pub fn zero_grad(&mut self) {
+        self.encoder.zero_grad();
+        self.decoder.zero_grad();
+    }
+
+    /// Apply one optimiser step to both halves.
+    pub fn step(&mut self) {
+        // Split borrows: each optimiser drives its own network.
+        self.opt_enc.step(&mut self.encoder);
+        self.opt_dec.step(&mut self.decoder);
+    }
+
+    /// Train on plain reconstruction (MSE) over mini-batches. Rows of
+    /// `data` are samples. Returns the final epoch's mean MSE.
+    pub fn train_reconstruction(&mut self, data: &Mat, config: &AutoencoderConfig) -> f64 {
+        assert_eq!(data.cols(), config.in_dim, "training data width mismatch");
+        let n = data.rows();
+        let bs = config.batch_size.max(1).min(n.max(1));
+        let mut final_mse = 0.0;
+        for _epoch in 0..config.epochs {
+            let mut epoch_mse = 0.0;
+            let mut batches = 0;
+            let mut start = 0;
+            while start < n {
+                let end = (start + bs).min(n);
+                let batch = submatrix_rows(data, start, end);
+                self.zero_grad();
+                let y = self.forward_train(&batch);
+                let residual = y.sub(&batch);
+                epoch_mse += residual.mean_sq();
+                batches += 1;
+                let scale = 2.0 / (y.rows() * y.cols()) as f64;
+                self.backward(&residual.scale(scale));
+                self.step();
+                start = end;
+            }
+            final_mse = epoch_mse / batches.max(1) as f64;
+        }
+        final_mse
+    }
+
+    /// Per-sample reconstruction error (mean squared residual per row).
+    pub fn reconstruction_errors(&mut self, data: &Mat) -> Vec<f64> {
+        let y = self.reconstruct(data);
+        y.sub(data).row_mean_sq()
+    }
+
+    /// Squared residual per sample × feature (for per-feature attribution).
+    pub fn reconstruction_residuals(&mut self, data: &Mat) -> Mat {
+        let y = self.reconstruct(data);
+        y.sub(data).map(|r| r * r)
+    }
+}
+
+/// Copy rows `[start, end)` of `m` into a new matrix.
+pub fn submatrix_rows(m: &Mat, start: usize, end: usize) -> Mat {
+    assert!(start <= end && end <= m.rows());
+    let mut out = Mat::zeros(end - start, m.cols());
+    for r in start..end {
+        out.row_mut(r - start).copy_from_slice(m.row(r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Samples on a 1-D manifold embedded in 4-D, scaled to [0,1].
+    fn manifold_data(n: usize) -> Mat {
+        let mut rows = Vec::with_capacity(n * 4);
+        for i in 0..n {
+            let t = i as f64 / n as f64;
+            rows.extend_from_slice(&[
+                t,
+                1.0 - t,
+                0.5 + 0.4 * (2.0 * std::f64::consts::PI * t).sin() / 2.0,
+                0.2 + 0.6 * t,
+            ]);
+        }
+        Mat::from_vec(n, 4, rows)
+    }
+
+    #[test]
+    fn reconstruction_error_drops_with_training() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let config = AutoencoderConfig {
+            in_dim: 4,
+            latent_dim: 2,
+            hidden_dim: 6,
+            lr: 5e-3,
+            epochs: 60,
+            batch_size: 16,
+        };
+        let data = manifold_data(64);
+        let mut ae = Autoencoder::new(&config, &mut rng);
+        let before: f64 =
+            ae.reconstruction_errors(&data).iter().sum::<f64>() / 64.0;
+        let final_mse = ae.train_reconstruction(&data, &config);
+        let after: f64 = ae.reconstruction_errors(&data).iter().sum::<f64>() / 64.0;
+        assert!(after < before, "training must reduce error: {before} → {after}");
+        assert!(final_mse < 0.05, "final MSE too high: {final_mse}");
+    }
+
+    #[test]
+    fn anomalous_samples_score_higher() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = AutoencoderConfig {
+            in_dim: 4,
+            latent_dim: 2,
+            hidden_dim: 6,
+            lr: 5e-3,
+            epochs: 80,
+            batch_size: 16,
+        };
+        let data = manifold_data(64);
+        let mut ae = Autoencoder::new(&config, &mut rng);
+        ae.train_reconstruction(&data, &config);
+        let normal_err: f64 =
+            ae.reconstruction_errors(&data).iter().sum::<f64>() / 64.0;
+        // Off-manifold points: the learned structure cannot reconstruct them.
+        let weird = Mat::from_vec(2, 4, vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+        let weird_err: f64 = ae.reconstruction_errors(&weird).iter().sum::<f64>() / 2.0;
+        assert!(
+            weird_err > 2.0 * normal_err,
+            "anomalies must reconstruct worse: normal {normal_err} vs weird {weird_err}"
+        );
+    }
+
+    #[test]
+    fn submatrix_rows_copies() {
+        let m = Mat::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let sub = submatrix_rows(&m, 1, 3);
+        assert_eq!(sub.as_slice(), &[3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn default_config_dims() {
+        let c = AutoencoderConfig::for_input(40);
+        assert_eq!(c.in_dim, 40);
+        assert!(c.latent_dim >= 2);
+        assert!(c.hidden_dim >= 4);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(55);
+            let config = AutoencoderConfig {
+                in_dim: 4,
+                latent_dim: 2,
+                hidden_dim: 4,
+                lr: 1e-3,
+                epochs: 5,
+                batch_size: 8,
+            };
+            let data = manifold_data(16);
+            let mut ae = Autoencoder::new(&config, &mut rng);
+            ae.train_reconstruction(&data, &config);
+            ae.reconstruction_errors(&data)
+        };
+        assert_eq!(run(), run());
+    }
+}

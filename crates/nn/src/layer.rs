@@ -1,0 +1,290 @@
+//! Fully-connected layer with exact backprop.
+
+use rand::Rng;
+
+use cad_stats::GaussianSampler;
+
+use crate::matrix::Mat;
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (linear output layers).
+    Linear,
+    /// max(0, x).
+    Relu,
+    /// Logistic sigmoid — USAD's output activation (inputs are min-max
+    /// scaled to [0, 1]).
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated output* `y` (all four
+    /// supported functions admit this form, avoiding a pre-activation cache).
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// A dense layer `y = act(x·W + b)` with cached activations for backprop.
+///
+/// Forward caches form a **stack**: a network can be forwarded several
+/// times before backprop, and `backward` pops caches in LIFO order. USAD's
+/// adversarial objective needs exactly this — the shared encoder runs twice
+/// (`E(W)` and `E(AE1(W))`) inside one loss.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// `in_dim × out_dim` weights.
+    pub w: Mat,
+    /// Output bias.
+    pub b: Vec<f64>,
+    activation: Activation,
+    // --- training state: LIFO stack of (input, output) pairs ---
+    cache: Vec<(Mat, Mat)>,
+    /// Accumulated weight gradient.
+    pub grad_w: Mat,
+    /// Accumulated bias gradient.
+    pub grad_b: Vec<f64>,
+}
+
+impl Dense {
+    /// Xavier/Glorot-initialised layer.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dims must be positive");
+        let std = (2.0 / (in_dim + out_dim) as f64).sqrt();
+        let mut sampler = GaussianSampler::new();
+        let mut w = Mat::zeros(in_dim, out_dim);
+        for v in w.as_mut_slice() {
+            *v = sampler.normal(rng, 0.0, std);
+        }
+        Self {
+            w,
+            b: vec![0.0; out_dim],
+            activation,
+            cache: Vec::new(),
+            grad_w: Mat::zeros(in_dim, out_dim),
+            grad_b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Activation in use.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Forward pass for a `batch × in_dim` input. When `train` is set, the
+    /// input and output are cached for the next [`Self::backward`] call.
+    pub fn forward(&mut self, x: &Mat, train: bool) -> Mat {
+        assert_eq!(x.cols(), self.in_dim(), "input width != layer in_dim");
+        let mut z = x.matmul(&self.w);
+        for r in 0..z.rows() {
+            let row = z.row_mut(r);
+            for (v, &bias) in row.iter_mut().zip(&self.b) {
+                *v = self.activation.apply(*v + bias);
+            }
+        }
+        if train {
+            self.cache.push((x.clone(), z.clone()));
+        }
+        z
+    }
+
+    /// Backward pass: given `dL/dy` for the most recent cached forward
+    /// batch (LIFO), accumulate `dL/dW`, `dL/db` and return `dL/dx`.
+    /// Panics if no forward pass was cached (a sequencing bug, not a
+    /// recoverable state).
+    pub fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let (x, y) = self.cache.pop().expect("backward without cached forward");
+        let (x, y) = (&x, &y);
+        assert_eq!(grad_out.rows(), y.rows());
+        assert_eq!(grad_out.cols(), y.cols());
+        // δ = dL/dz = dL/dy ⊙ act'(z), with act' in terms of y.
+        let mut delta = grad_out.clone();
+        for r in 0..delta.rows() {
+            for c in 0..delta.cols() {
+                let d = self.activation.derivative_from_output(y.get(r, c));
+                delta.set(r, c, delta.get(r, c) * d);
+            }
+        }
+        // dW += xᵀ · δ ; db += column sums of δ ; dx = δ · Wᵀ.
+        let dw = x.t_matmul(&delta);
+        for (g, d) in self.grad_w.as_mut_slice().iter_mut().zip(dw.as_slice()) {
+            *g += d;
+        }
+        for r in 0..delta.rows() {
+            for (gb, &d) in self.grad_b.iter_mut().zip(delta.row(r)) {
+                *gb += d;
+            }
+        }
+        delta.matmul_t(&self.w)
+    }
+
+    /// Reset accumulated gradients to zero and drop any leftover forward
+    /// caches (a safety net against unbalanced forward/backward pairs).
+    pub fn zero_grad(&mut self) {
+        self.grad_w.as_mut_slice().iter_mut().for_each(|g| *g = 0.0);
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+        self.cache.clear();
+    }
+
+    /// Number of trainable parameters.
+    pub fn n_params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn finite_diff_check(activation: Activation) {
+        // Numerical gradient check: perturb each weight, compare to backprop.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut layer = Dense::new(3, 2, activation, &mut rng);
+        let x = Mat::from_vec(2, 3, vec![0.5, -1.0, 0.3, 1.2, 0.1, -0.7]);
+        let target = Mat::from_vec(2, 2, vec![0.2, 0.8, -0.1, 0.4]);
+
+        let loss = |layer: &mut Dense, x: &Mat| -> f64 {
+            let y = layer.forward(x, false);
+            y.sub(&target).mean_sq()
+        };
+
+        // Analytic gradients.
+        layer.zero_grad();
+        let y = layer.forward(&x, true);
+        let n = (y.rows() * y.cols()) as f64;
+        let grad_out = y.sub(&target).scale(2.0 / n);
+        layer.backward(&grad_out);
+
+        let eps = 1e-6;
+        for idx in 0..6 {
+            let orig = layer.w.as_slice()[idx];
+            layer.w.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&mut layer, &x);
+            layer.w.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&mut layer, &x);
+            layer.w.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = layer.grad_w.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "{activation:?} weight {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        for idx in 0..2 {
+            let orig = layer.b[idx];
+            layer.b[idx] = orig + eps;
+            let lp = loss(&mut layer, &x);
+            layer.b[idx] = orig - eps;
+            let lm = loss(&mut layer, &x);
+            layer.b[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - layer.grad_b[idx]).abs() < 1e-5,
+                "{activation:?} bias {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_linear() {
+        finite_diff_check(Activation::Linear);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_sigmoid() {
+        finite_diff_check(Activation::Sigmoid);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_tanh() {
+        finite_diff_check(Activation::Tanh);
+    }
+
+    #[test]
+    fn relu_forward_clamps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(2, 2, Activation::Relu, &mut rng);
+        // Force a negative pre-activation.
+        layer.w = Mat::from_vec(2, 2, vec![1.0, -1.0, 0.0, 0.0]);
+        layer.b = vec![0.0, 0.0];
+        let y = layer.forward(&Mat::row_vector(vec![2.0, 0.0]), false);
+        assert_eq!(y.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn input_gradient_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Dense::new(4, 3, Activation::Tanh, &mut rng);
+        let x = Mat::zeros(5, 4);
+        let y = layer.forward(&x, true);
+        let gx = layer.backward(&Mat::zeros(y.rows(), y.cols()));
+        assert_eq!((gx.rows(), gx.cols()), (5, 4));
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Dense::new(2, 2, Activation::Linear, &mut rng);
+        let x = Mat::row_vector(vec![1.0, 1.0]);
+        let y = layer.forward(&x, true);
+        layer.backward(&y.scale(1.0));
+        assert!(layer.grad_w.as_slice().iter().any(|&g| g != 0.0));
+        layer.zero_grad();
+        assert!(layer.grad_w.as_slice().iter().all(|&g| g == 0.0));
+        assert!(layer.grad_b.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without cached forward")]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Dense::new(2, 2, Activation::Linear, &mut rng);
+        layer.backward(&Mat::zeros(1, 2));
+    }
+
+    #[test]
+    fn n_params() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Dense::new(4, 3, Activation::Linear, &mut rng);
+        assert_eq!(layer.n_params(), 4 * 3 + 3);
+    }
+}

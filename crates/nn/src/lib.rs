@@ -1,0 +1,32 @@
+//! Minimal neural-network substrate for the deep-learning baselines.
+//!
+//! The paper compares CAD against USAD (Audibert et al., KDD 2020) and
+//! RCoders (Abdulaal et al., KDD 2021) — both autoencoder families. Rather
+//! than assuming an external ML framework, this crate implements the pieces
+//! those baselines need, from scratch:
+//!
+//! * [`Mat`] — a dense row-major matrix with the handful of BLAS-1/2/3 ops
+//!   an MLP requires;
+//! * [`Dense`] + [`Activation`] — fully-connected layers with cached
+//!   forward passes and exact backprop;
+//! * [`Mlp`] — a sequential network whose `backward` returns the input
+//!   gradient, so gradients flow through *composed* networks
+//!   (`AE2(AE1(W))` in USAD's adversarial objective);
+//! * [`Adam`] — the optimiser both papers use;
+//! * [`Autoencoder`] — encoder/decoder pairs built on [`Mlp`].
+//!
+//! Everything is `f64` and deterministic given a seed. Sizes are small
+//! (window × sensors inputs), so clarity wins over SIMD heroics; the hot
+//! matmul is still cache-friendly (i-k-j loop order).
+
+pub mod autoencoder;
+pub mod layer;
+pub mod matrix;
+pub mod net;
+pub mod optim;
+
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use layer::{Activation, Dense};
+pub use matrix::Mat;
+pub use net::Mlp;
+pub use optim::Adam;

@@ -1,0 +1,275 @@
+//! Dense row-major matrix with the operations an MLP needs.
+
+/// A dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from row-major data.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Mat shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(data: Vec<f64>) -> Self {
+        let cols = data.len();
+        Self::from_vec(1, cols, data)
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element write.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Backing slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `self · other` (i-k-j loop order for cache friendliness).
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul inner dimensions differ");
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other`, without materialising the transpose.
+    pub fn t_matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "t_matmul outer dimensions differ");
+        let mut out = Mat::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = other.row(k);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ`, without materialising the transpose.
+    pub fn matmul_t(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "matmul_t inner dimensions differ");
+        let mut out = Mat::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let dot: f64 = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
+                out.set(i, j, dot);
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Mat {
+        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// `self - other`, elementwise.
+    pub fn sub(&self, other: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// `self + other`, elementwise.
+    pub fn add(&self, other: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scale by a constant.
+    pub fn scale(&self, s: f64) -> Mat {
+        self.map(|x| x * s)
+    }
+
+    /// Mean of squared entries — the MSE when applied to a residual.
+    pub fn mean_sq(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|x| x * x).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Per-row mean of squared entries (per-sample reconstruction error).
+    pub fn row_mean_sq(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                row.iter().map(|x| x * x).sum::<f64>() / self.cols.max(1) as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Mat::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Mat::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_vec(3, 2, vec![0.5, -1.0, 2.0, 0.0, 1.0, 3.0]);
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_vec(4, 3, vec![1.0; 12]);
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Mat::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Mat::from_vec(1, 3, vec![0.5, 0.5, 0.5]);
+        assert_eq!(a.sub(&b).as_slice(), &[0.5, 1.5, 2.5]);
+        assert_eq!(a.add(&b).as_slice(), &[1.5, 2.5, 3.5]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_sq_and_rows() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 1.0, 2.0, 2.0]);
+        assert!((a.mean_sq() - 2.5).abs() < 1e-12);
+        let rows = a.row_mean_sq();
+        assert!((rows[0] - 1.0).abs() < 1e-12);
+        assert!((rows[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch() {
+        Mat::zeros(2, 3).matmul(&Mat::zeros(2, 2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_associative_with_vector(
+            a_data in proptest::collection::vec(-4.0f64..4.0, 6),
+            b_data in proptest::collection::vec(-4.0f64..4.0, 6),
+            v_data in proptest::collection::vec(-4.0f64..4.0, 2),
+        ) {
+            let a = Mat::from_vec(2, 3, a_data);
+            let b = Mat::from_vec(3, 2, b_data);
+            let v = Mat::from_vec(2, 1, v_data);
+            let left = a.matmul(&b).matmul(&v);
+            let right = a.matmul(&b.matmul(&v));
+            for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_transpose_of_product(
+            a_data in proptest::collection::vec(-4.0f64..4.0, 6),
+            b_data in proptest::collection::vec(-4.0f64..4.0, 6),
+        ) {
+            // (AB)ᵀ = BᵀAᵀ
+            let a = Mat::from_vec(2, 3, a_data);
+            let b = Mat::from_vec(3, 2, b_data);
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

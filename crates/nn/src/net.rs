@@ -1,0 +1,213 @@
+//! Sequential MLP whose backward pass returns the input gradient, so
+//! networks compose (USAD backpropagates through `AE2(AE1(W))`).
+
+use rand::Rng;
+
+use crate::layer::{Activation, Dense};
+use crate::matrix::Mat;
+
+/// A feed-forward network: a stack of [`Dense`] layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build from a dimension chain and per-layer activations:
+    /// `dims = [in, h1, …, out]`, `acts.len() == dims.len() - 1`.
+    pub fn new<R: Rng + ?Sized>(dims: &[usize], acts: &[Activation], rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least one layer");
+        assert_eq!(acts.len(), dims.len() - 1, "one activation per layer");
+        let layers = dims
+            .windows(2)
+            .zip(acts)
+            .map(|(d, &a)| Dense::new(d[0], d[1], a, rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Total trainable parameters.
+    pub fn n_params(&self) -> usize {
+        self.layers.iter().map(Dense::n_params).sum()
+    }
+
+    /// Forward pass; caches activations when `train` is set.
+    pub fn forward(&mut self, x: &Mat, train: bool) -> Mat {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, train);
+        }
+        h
+    }
+
+    /// Inference-only forward pass.
+    pub fn predict(&mut self, x: &Mat) -> Mat {
+        self.forward(x, false)
+    }
+
+    /// Backward pass for the cached forward batch. Accumulates parameter
+    /// gradients and returns `dL/dx`.
+    pub fn backward(&mut self, grad_out: &Mat) -> Mat {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Zero all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Layer access for the optimiser.
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Layer access (read-only).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Convenience: one MSE training step against `target` with gradient
+    /// scale `weight` (losses combine by accumulating scaled gradients).
+    /// Returns the (unweighted) MSE.
+    pub fn accumulate_mse_step(&mut self, x: &Mat, target: &Mat, weight: f64) -> f64 {
+        let y = self.forward(x, true);
+        let residual = y.sub(target);
+        let mse = residual.mean_sq();
+        let n = (y.rows() * y.cols()) as f64;
+        let grad = residual.scale(2.0 * weight / n);
+        self.backward(&grad);
+        mse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn shapes_chain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Mlp::new(
+            &[4, 8, 2],
+            &[Activation::Relu, Activation::Linear],
+            &mut rng,
+        );
+        assert_eq!(net.in_dim(), 4);
+        assert_eq!(net.out_dim(), 2);
+        let y = net.predict(&Mat::zeros(7, 4));
+        assert_eq!((y.rows(), y.cols()), (7, 2));
+    }
+
+    #[test]
+    fn n_params_adds_up() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Mlp::new(&[4, 8, 2], &[Activation::Relu, Activation::Linear], &mut rng);
+        assert_eq!(net.n_params(), (4 * 8 + 8) + (8 * 2 + 2));
+    }
+
+    #[test]
+    fn learns_identity_function() {
+        // A linear net must drive MSE toward zero on y = x.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut net = Mlp::new(&[3, 3], &[Activation::Linear], &mut rng);
+        let mut opt = Adam::new(0.05);
+        let x = Mat::from_vec(
+            4,
+            3,
+            vec![0.1, 0.2, 0.3, 0.5, -0.4, 0.2, -0.3, 0.8, 0.0, 0.9, 0.1, -0.6],
+        );
+        let mut last = f64::INFINITY;
+        for _ in 0..400 {
+            net.zero_grad();
+            last = net.accumulate_mse_step(&x, &x, 1.0);
+            opt.step(&mut net);
+        }
+        assert!(last < 1e-3, "identity fit failed, final MSE = {last}");
+    }
+
+    #[test]
+    fn learns_nonlinear_target() {
+        // Fit y = sigmoid-ish mapping of a fixed random projection.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut net = Mlp::new(
+            &[2, 16, 1],
+            &[Activation::Tanh, Activation::Linear],
+            &mut rng,
+        );
+        let mut opt = Adam::new(0.02);
+        let xs: Vec<(f64, f64)> =
+            (0..32).map(|i| ((i % 8) as f64 / 4.0 - 1.0, (i / 8) as f64 / 2.0 - 1.0)).collect();
+        let x = Mat::from_vec(32, 2, xs.iter().flat_map(|&(a, b)| [a, b]).collect());
+        let t = Mat::from_vec(32, 1, xs.iter().map(|&(a, b)| (a * b).tanh()).collect());
+        let mut last = f64::INFINITY;
+        for _ in 0..800 {
+            net.zero_grad();
+            last = net.accumulate_mse_step(&x, &t, 1.0);
+            opt.step(&mut net);
+        }
+        assert!(last < 5e-3, "nonlinear fit failed, final MSE = {last}");
+    }
+
+    #[test]
+    fn composed_backward_through_two_nets() {
+        // Gradient check through g(f(x)) treated as one computation.
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut f = Mlp::new(&[2, 3], &[Activation::Tanh], &mut rng);
+        let mut g = Mlp::new(&[3, 1], &[Activation::Linear], &mut rng);
+        let x = Mat::row_vector(vec![0.4, -0.7]);
+
+        let loss = |f: &mut Mlp, g: &mut Mlp| -> f64 {
+            let h = f.forward(&x, false);
+            let y = g.forward(&h, false);
+            y.mean_sq()
+        };
+
+        f.zero_grad();
+        g.zero_grad();
+        let h = f.forward(&x, true);
+        let y = g.forward(&h, true);
+        let grad = y.scale(2.0 / (y.rows() * y.cols()) as f64);
+        let grad_h = g.backward(&grad);
+        f.backward(&grad_h);
+
+        // Check one weight of f by finite differences.
+        let eps = 1e-6;
+        let orig = f.layers()[0].w.get(0, 0);
+        f.layers_mut()[0].w.set(0, 0, orig + eps);
+        let lp = loss(&mut f, &mut g);
+        f.layers_mut()[0].w.set(0, 0, orig - eps);
+        let lm = loss(&mut f, &mut g);
+        f.layers_mut()[0].w.set(0, 0, orig);
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic = f.layers()[0].grad_w.get(0, 0);
+        assert!(
+            (numeric - analytic).abs() < 1e-6,
+            "composed grad: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one activation per layer")]
+    fn activation_count_must_match() {
+        let mut rng = StdRng::seed_from_u64(1);
+        Mlp::new(&[2, 2, 2], &[Activation::Linear], &mut rng);
+    }
+}

@@ -1,0 +1,155 @@
+//! Adam optimiser (Kingma & Ba, 2015) — the optimiser USAD and RCoders use.
+
+use crate::matrix::Mat;
+use crate::net::Mlp;
+
+/// Per-network Adam state. Moments are kept per layer, lazily sized on the
+/// first step so one `Adam` can only ever drive one architecture.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate α.
+    pub lr: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical fuzz ε.
+    pub eps: f64,
+    t: u64,
+    m_w: Vec<Mat>,
+    v_w: Vec<Mat>,
+    m_b: Vec<Vec<f64>>,
+    v_b: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Adam with the canonical β₁=0.9, β₂=0.999, ε=1e-8.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m_w: Vec::new(),
+            v_w: Vec::new(),
+            m_b: Vec::new(),
+            v_b: Vec::new(),
+        }
+    }
+
+    /// Apply one update from the gradients accumulated in `net`, then leave
+    /// the gradients untouched (callers `zero_grad` at the start of the next
+    /// step, mirroring the usual training-loop shape).
+    pub fn step(&mut self, net: &mut Mlp) {
+        let layers = net.layers_mut();
+        if self.m_w.is_empty() {
+            for layer in layers.iter() {
+                self.m_w.push(Mat::zeros(layer.w.rows(), layer.w.cols()));
+                self.v_w.push(Mat::zeros(layer.w.rows(), layer.w.cols()));
+                self.m_b.push(vec![0.0; layer.b.len()]);
+                self.v_b.push(vec![0.0; layer.b.len()]);
+            }
+        }
+        assert_eq!(self.m_w.len(), layers.len(), "Adam bound to a different architecture");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, layer) in layers.iter_mut().enumerate() {
+            let (m, v) = (&mut self.m_w[i], &mut self.v_w[i]);
+            for ((w, &g), (mm, vv)) in layer
+                .w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(layer.grad_w.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+            {
+                *mm = self.beta1 * *mm + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+                let m_hat = *mm / bc1;
+                let v_hat = *vv / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            let (mb, vb) = (&mut self.m_b[i], &mut self.v_b[i]);
+            for ((b, &g), (mm, vv)) in layer
+                .b
+                .iter_mut()
+                .zip(&layer.grad_b)
+                .zip(mb.iter_mut().zip(vb.iter_mut()))
+            {
+                *mm = self.beta1 * *mm + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+                let m_hat = *mm / bc1;
+                let v_hat = *vv / bc2;
+                *b -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimise ||Wx - t||² for a single linear layer.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Mlp::new(&[2, 1], &[Activation::Linear], &mut rng);
+        let mut opt = Adam::new(0.1);
+        let x = Mat::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let t = Mat::from_vec(3, 1, vec![2.0, -1.0, 1.0]);
+        let mut mse = f64::INFINITY;
+        for _ in 0..500 {
+            net.zero_grad();
+            mse = net.accumulate_mse_step(&x, &t, 1.0);
+            opt.step(&mut net);
+        }
+        assert!(mse < 1e-6, "Adam failed to converge: {mse}");
+    }
+
+    #[test]
+    fn decreases_loss_monotonically_at_start() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Mlp::new(&[3, 3], &[Activation::Linear], &mut rng);
+        let mut opt = Adam::new(0.01);
+        let x = Mat::from_vec(2, 3, vec![0.3, 0.5, -0.2, -0.8, 0.1, 0.9]);
+        let mut prev = f64::INFINITY;
+        for step in 0..20 {
+            net.zero_grad();
+            let mse = net.accumulate_mse_step(&x, &x, 1.0);
+            opt.step(&mut net);
+            assert!(
+                mse <= prev * 1.5,
+                "loss exploded at step {step}: {mse} vs {prev}"
+            );
+            prev = mse;
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut net = Mlp::new(&[2, 2], &[Activation::Tanh], &mut rng);
+            let mut opt = Adam::new(0.05);
+            let x = Mat::from_vec(1, 2, vec![0.4, -0.2]);
+            for _ in 0..50 {
+                net.zero_grad();
+                net.accumulate_mse_step(&x, &x, 1.0);
+                opt.step(&mut net);
+            }
+            net.predict(&x).as_slice().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_bad_lr() {
+        Adam::new(0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Pearson correlation — the TSG edge weight (§III-B of the paper).
+//!
+//! The hot path of CAD computes an n×n correlation matrix for every round.
+//! Correlation of two z-normalised vectors is just their dot product divided
+//! by the length, so the TSG builder pre-normalises each sensor's window once
+//! and then calls [`pearson_normalized`] per pair. [`pearson`] is the
+//! self-contained variant for callers that have raw readings.
+
+use crate::descriptive::mean;
+
+/// Pearson correlation coefficient of two equal-length slices.
+///
+/// Returns 0.0 when either side has (numerically) zero variance: a constant
+/// sensor carries no correlation information, and the paper's pipeline
+/// treats such sensors as uncorrelated rather than propagating NaN through
+/// the TSG.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson requires equal-length inputs");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        let da = a[i] - ma;
+        let db = b[i] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    let denom = (va * vb).sqrt();
+    if denom <= f64::EPSILON {
+        0.0
+    } else {
+        (cov / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Correlation of two vectors that are already z-normalised (mean 0,
+/// population std 1): the scaled dot product. The caller promises the
+/// precondition; `debug_assert`s check it in dev builds.
+pub fn pearson_normalized(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len() < 2 || mean(a).abs() < 1e-6, "input a not z-normalised");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    (dot / n as f64).clamp(-1.0, 1.0)
+}
+
+/// Z-normalise in place: subtract mean, divide by population std. A constant
+/// slice becomes all zeros (its correlation with anything is then 0, matching
+/// [`pearson`]'s degenerate-case convention).
+pub fn znorm_in_place(xs: &mut [f64]) {
+    let n = xs.len();
+    if n == 0 {
+        return;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+    let sd = var.sqrt();
+    if sd <= f64::EPSILON {
+        xs.iter_mut().for_each(|x| *x = 0.0);
+    } else {
+        xs.iter_mut().for_each(|x| *x = (*x - m) / sd);
+    }
+}
+
+/// Z-normalised copy of a slice.
+pub fn znormed(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    znorm_in_place(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfectly_correlated() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_anticorrelated() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_input_gives_zero() {
+        let a = [5.0; 8];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        assert_eq!(pearson(&a, &b), 0.0);
+        assert_eq!(pearson(&b, &a), 0.0);
+    }
+
+    #[test]
+    fn shift_and_scale_invariance() {
+        let a = [0.3, -1.2, 2.5, 0.0, 1.1];
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x - 7.0).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znorm_produces_zero_mean_unit_std() {
+        let mut xs = vec![1.0, 4.0, 2.0, 8.0, 5.0];
+        znorm_in_place(&mut xs);
+        let m = mean(&xs);
+        let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!(m.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znorm_of_constant_is_zeros() {
+        let mut xs = vec![7.0; 5];
+        znorm_in_place(&mut xs);
+        assert!(xs.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn normalized_matches_raw() {
+        let a = [0.5, 2.0, -1.0, 3.0, 0.0, 1.5];
+        let b = [1.0, 1.5, -0.5, 2.0, 0.2, 0.9];
+        let raw = pearson(&a, &b);
+        let fast = pearson_normalized(&znormed(&a), &znormed(&b));
+        assert!((raw - fast).abs() < 1e-10, "raw={raw} fast={fast}");
+    }
+
+    #[test]
+    fn short_inputs_give_zero() {
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pearson_bounded(
+            a in proptest::collection::vec(-1e6f64..1e6, 2..64),
+        ) {
+            let b: Vec<f64> = a.iter().rev().cloned().collect();
+            let r = pearson(&a, &b);
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+
+        #[test]
+        fn prop_pearson_symmetric(
+            pair in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..64),
+        ) {
+            let a: Vec<f64> = pair.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pair.iter().map(|p| p.1).collect();
+            prop_assert!((pearson(&a, &b) - pearson(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_self_correlation_is_one_or_zero(
+            a in proptest::collection::vec(-1e3f64..1e3, 2..64),
+        ) {
+            let r = pearson(&a, &a);
+            // 1.0 for any non-constant vector; 0.0 for a (near-)constant one.
+            prop_assert!((r - 1.0).abs() < 1e-9 || r == 0.0);
+        }
+
+        #[test]
+        fn prop_znorm_normalized_matches_raw(
+            pair in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 4..48),
+        ) {
+            let a: Vec<f64> = pair.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pair.iter().map(|p| p.1).collect();
+            let raw = pearson(&a, &b);
+            let fast = pearson_normalized(&znormed(&a), &znormed(&b));
+            prop_assert!((raw - fast).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The ECOD baseline (Li et al., TKDE 2022) scores a point by the tail
+//! probabilities of per-dimension empirical CDFs; this module provides the
+//! ECDF primitive it builds on.
+
+/// An empirical CDF over a fitted sample. Queries are O(log n).
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Fit from a sample. NaNs are rejected because they would poison the
+    /// ordering invariant.
+    pub fn fit(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "Ecdf::fit requires a non-empty sample");
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "Ecdf::fit rejects NaN observations"
+        );
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        Self { sorted }
+    }
+
+    /// Number of fitted observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the fitted sample is empty (never, by construction, but
+    /// kept for API completeness and to satisfy the `len`/`is_empty` pair).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// P(X ≤ x) with the standard `(#≤x) / n` estimator.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let n = self.sorted.len();
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / n as f64
+    }
+
+    /// Survival function P(X ≥ x) = `(#≥x) / n`.
+    pub fn sf(&self, x: f64) -> f64 {
+        let n = self.sorted.len();
+        let below = self.sorted.partition_point(|&v| v < x);
+        (n - below) as f64 / n as f64
+    }
+
+    /// Left tail probability, floored at `1/(n+1)` so the negative-log score
+    /// used by ECOD stays finite for points at or beyond the sample edge.
+    pub fn left_tail(&self, x: f64) -> f64 {
+        let floor = 1.0 / (self.sorted.len() as f64 + 1.0);
+        self.cdf(x).max(floor)
+    }
+
+    /// Right tail probability with the same floor.
+    pub fn right_tail(&self, x: f64) -> f64 {
+        let floor = 1.0 / (self.sorted.len() as f64 + 1.0);
+        self.sf(x).max(floor)
+    }
+
+    /// Sample skewness of the fitted data; ECOD uses its sign to pick which
+    /// tail to trust per dimension ("automatic" mode).
+    pub fn skewness(&self) -> f64 {
+        let n = self.sorted.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        let m = self.sorted.iter().sum::<f64>() / n;
+        let mut m2 = 0.0;
+        let mut m3 = 0.0;
+        for &x in &self.sorted {
+            let d = x - m;
+            m2 += d * d;
+            m3 += d * d * d;
+        }
+        m2 /= n;
+        m3 /= n;
+        if m2 <= f64::EPSILON {
+            0.0
+        } else {
+            m3 / m2.powf(1.5)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cdf_basics() {
+        let e = Ecdf::fit(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(9.0), 1.0);
+    }
+
+    #[test]
+    fn sf_basics() {
+        let e = Ecdf::fit(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.sf(0.5), 1.0);
+        assert_eq!(e.sf(1.0), 1.0);
+        assert_eq!(e.sf(2.5), 0.5);
+        assert_eq!(e.sf(4.0), 0.25);
+        assert_eq!(e.sf(9.0), 0.0);
+    }
+
+    #[test]
+    fn ties_are_counted() {
+        let e = Ecdf::fit(&[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(e.cdf(1.0), 0.75);
+        assert_eq!(e.sf(1.0), 1.0);
+    }
+
+    #[test]
+    fn tails_are_floored() {
+        let e = Ecdf::fit(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((e.left_tail(-100.0) - 0.2).abs() < 1e-12); // 1/(4+1)
+        assert!((e.right_tail(100.0) - 0.2).abs() < 1e-12);
+        assert!(-e.left_tail(-100.0).ln() < f64::INFINITY);
+    }
+
+    #[test]
+    fn skewness_signs() {
+        let right_skewed = Ecdf::fit(&[1.0, 1.0, 1.0, 1.0, 10.0]);
+        assert!(right_skewed.skewness() > 0.0);
+        let left_skewed = Ecdf::fit(&[-10.0, 1.0, 1.0, 1.0, 1.0]);
+        assert!(left_skewed.skewness() < 0.0);
+        let symmetric = Ecdf::fit(&[-1.0, 0.0, 1.0]);
+        assert!(symmetric.skewness().abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn fit_rejects_empty() {
+        Ecdf::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn fit_rejects_nan() {
+        Ecdf::fit(&[1.0, f64::NAN]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_monotone(
+            sample in proptest::collection::vec(-1e3f64..1e3, 1..64),
+            a in -2e3f64..2e3,
+            b in -2e3f64..2e3,
+        ) {
+            let e = Ecdf::fit(&sample);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(e.cdf(lo) <= e.cdf(hi));
+            prop_assert!(e.sf(lo) >= e.sf(hi));
+        }
+
+        #[test]
+        fn prop_cdf_sf_cover(
+            sample in proptest::collection::vec(-1e3f64..1e3, 1..64),
+            x in -2e3f64..2e3,
+        ) {
+            let e = Ecdf::fit(&sample);
+            // cdf counts ≤, sf counts ≥, so they overlap exactly on ties.
+            prop_assert!(e.cdf(x) + e.sf(x) >= 1.0 - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Ranking utilities for Table III-style method comparisons.
+//!
+//! Table III reports an *average rank* per method across datasets and
+//! metrics (rank 1 = best). Ties receive the average of the tied positions,
+//! the standard competition-free ("fractional") ranking used in benchmark
+//! tables.
+
+/// Fractional ranks of `scores` where **higher is better** (rank 1.0 is the
+/// largest score). Ties share the mean of their positions.
+pub fn rank_descending(scores: &[f64]) -> Vec<f64> {
+    let n = scores.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("NaN in rank input")
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // positions i..=j (0-based) share rank mean of (i+1)..=(j+1).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Average the rank vectors from several independent comparisons (e.g. one
+/// per dataset × metric cell in Table III). All vectors must rank the same
+/// method list in the same order.
+pub fn average_ranks(per_comparison: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!per_comparison.is_empty(), "need at least one comparison");
+    let m = per_comparison[0].len();
+    assert!(
+        per_comparison.iter().all(|r| r.len() == m),
+        "rank vectors must have equal length"
+    );
+    let mut out = vec![0.0; m];
+    for ranks in per_comparison {
+        for (o, r) in out.iter_mut().zip(ranks) {
+            *o += r;
+        }
+    }
+    let k = per_comparison.len() as f64;
+    out.iter_mut().for_each(|o| *o /= k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranking() {
+        let r = rank_descending(&[0.9, 0.5, 0.7]);
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_share_average_rank() {
+        let r = rank_descending(&[0.9, 0.9, 0.1]);
+        assert_eq!(r, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        let r = rank_descending(&[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(r, vec![2.5; 4]);
+    }
+
+    #[test]
+    fn rank_sum_invariant() {
+        // Fractional ranks always sum to n(n+1)/2.
+        let scores = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let r = rank_descending(&scores);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging() {
+        let avg = average_ranks(&[vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0]]);
+        assert_eq!(avg, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_scores_ok() {
+        assert!(rank_descending(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        average_ranks(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

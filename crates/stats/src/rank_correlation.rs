@@ -1,0 +1,109 @@
+//! Spearman rank correlation — a robust alternative TSG edge weight.
+//!
+//! Pearson (the paper's choice) is sensitive to single-point spikes inside
+//! a window; Spearman's ρ is Pearson on the *ranks* and shrugs off
+//! monotone distortions and heavy-tailed noise. `cad-graph` exposes it as
+//! an alternative correlation kind, and the ablation harness compares the
+//! two.
+
+use crate::correlation::pearson;
+
+/// Fractional ranks of a slice (ties share averaged ranks), 1-based like
+/// the classical definition; the affine offset cancels inside Pearson.
+pub fn fractional_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN in rank input"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's ρ of two equal-length slices: Pearson correlation of their
+/// fractional ranks. Returns 0.0 for degenerate (constant or too-short)
+/// inputs, matching [`pearson`]'s convention.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman requires equal-length inputs");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    pearson(&fractional_ranks(a), &fractional_ranks(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn monotone_transform_gives_one() {
+        let a: [f64; 5] = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let b: Vec<f64> = a.iter().map(|x| x.exp()).collect(); // monotone
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_order_gives_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [9.0, 7.0, 5.0, 2.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_to_single_spike() {
+        // A huge spike wrecks Pearson but barely moves Spearman.
+        let a: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut b = a.clone();
+        b[20] = 1e6;
+        let p = pearson(&a, &b);
+        let s = spearman(&a, &b);
+        assert!(p < 0.3, "Pearson should collapse: {p}");
+        assert!(s > 0.9, "Spearman should survive: {s}");
+    }
+
+    #[test]
+    fn ties_handled_via_average_ranks() {
+        let ranks = fractional_ranks(&[3.0, 1.0, 3.0, 2.0]);
+        assert_eq!(ranks, vec![3.5, 1.0, 3.5, 2.0]);
+    }
+
+    #[test]
+    fn constant_input_gives_zero() {
+        assert_eq!(spearman(&[2.0; 6], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bounded_and_symmetric(
+            pair in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..48),
+        ) {
+            let a: Vec<f64> = pair.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pair.iter().map(|p| p.1).collect();
+            let s1 = spearman(&a, &b);
+            let s2 = spearman(&b, &a);
+            prop_assert!((-1.0..=1.0).contains(&s1));
+            prop_assert!((s1 - s2).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_invariant_under_monotone_map(
+            a in proptest::collection::vec(-1e2f64..1e2, 3..32),
+        ) {
+            let b: Vec<f64> = a.iter().map(|x| 2.0 * x + 5.0).collect();
+            let c: Vec<f64> = a.iter().map(|x| x.powi(3)).collect();
+            // Affine and cubic maps are monotone → identical rank structure.
+            prop_assert!((spearman(&a, &b) - spearman(&a, &c)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Welford running mean/variance — the `μ` and `σ` of Algorithm 2.
+//!
+//! CAD maintains the series `N` of outlier-variation counts `n_r` and, after
+//! every round, updates μ and σ (Algorithm 2, lines 12–13). The warm-up
+//! process (lines 16–23) seeds the same accumulator from the historical MTS.
+//! Welford's method gives numerically stable O(1) updates without storing
+//! the whole history.
+
+/// Numerically stable running mean / population variance accumulator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulator pre-seeded from a slice (used by the warm-up process).
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0.0 while empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// The paper's abnormality test (Inequality 5 with η = 3 by default):
+    /// `|x − μ| ≥ η·σ`. With σ = 0 (e.g. constant warm-up), any deviation
+    /// from μ counts as abnormal — the Chebyshev bound is vacuous there and
+    /// a zero-variance history means *any* change is unusual.
+    pub fn is_outlier(&self, x: f64, eta: f64) -> bool {
+        let sigma = self.stddev();
+        // Relative floor: accumulated float error can leave a constant
+        // history with sigma ~1e-14 instead of exactly 0; such a sigma
+        // would make eta*sigma vacuous and flag everything.
+        if sigma <= 1e-9 * (1.0 + self.mean.abs()) {
+            (x - self.mean).abs() > f64::EPSILON
+        } else {
+            (x - self.mean).abs() >= eta * sigma
+        }
+    }
+
+    /// Effective zero-sigma floor shared by [`Self::is_outlier`] and
+    /// [`Self::zscore`].
+    fn sigma_floor(&self) -> f64 {
+        1e-9 * (1.0 + self.mean.abs())
+    }
+
+    /// Z-score of an observation against the running statistics. With σ = 0
+    /// the score is 0 when x equals μ and +inf-capped (1e6) otherwise, so the
+    /// per-point score stream stays finite for downstream threshold sweeps.
+    pub fn zscore(&self, x: f64) -> f64 {
+        let sigma = self.stddev();
+        if sigma <= self.sigma_floor() {
+            if (x - self.mean).abs() <= f64::EPSILON {
+                0.0
+            } else {
+                1e6
+            }
+        } else {
+            (x - self.mean).abs() / sigma
+        }
+    }
+
+    /// Raw accumulator state `(count, mean, m2)` — for persistence.
+    pub fn parts(&self) -> (u64, f64, f64) {
+        (self.count, self.mean, self.m2)
+    }
+
+    /// Rebuild from raw state produced by [`Self::parts`].
+    pub fn from_parts(count: u64, mean: f64, m2: f64) -> Self {
+        assert!(m2 >= 0.0, "m2 must be non-negative");
+        Self { count, mean, m2 }
+    }
+
+    /// Merge another accumulator into this one (parallel warm-up shards).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean =
+            self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::{mean, variance};
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_batch_statistics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = RunningStats::from_slice(&xs);
+        assert!((s.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((s.variance() - variance(&xs)).abs() < 1e-12);
+        // Known example: population std of this sequence is exactly 2.
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_sigma_rule() {
+        let s = RunningStats::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        // mean 5, std 2 → threshold at |x-5| >= 6 for eta=3.
+        assert!(!s.is_outlier(10.9, 3.0));
+        assert!(s.is_outlier(11.0, 3.0));
+        assert!(s.is_outlier(-1.0, 3.0));
+    }
+
+    #[test]
+    fn zero_variance_flags_any_change() {
+        let s = RunningStats::from_slice(&[3.0, 3.0, 3.0]);
+        assert!(!s.is_outlier(3.0, 3.0));
+        assert!(s.is_outlier(3.5, 3.0));
+        assert_eq!(s.zscore(3.0), 0.0);
+        assert_eq!(s.zscore(4.0), 1e6);
+    }
+
+    #[test]
+    fn merge_matches_concatenation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let mut sa = RunningStats::from_slice(&a);
+        let sb = RunningStats::from_slice(&b);
+        sa.merge(&sb);
+        let all: Vec<f64> = a.iter().chain(b.iter()).cloned().collect();
+        let sc = RunningStats::from_slice(&all);
+        assert_eq!(sa.count(), sc.count());
+        assert!((sa.mean() - sc.mean()).abs() < 1e-12);
+        assert!((sa.variance() - sc.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let s = RunningStats::from_slice(&[1.0, 5.0, 2.5, -3.0]);
+        let (c, m, m2) = s.parts();
+        let back = RunningStats::from_parts(c, m, m2);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = RunningStats::from_slice(&[1.0, 2.0]);
+        let before = s.clone();
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_running_matches_batch(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..256),
+        ) {
+            let s = RunningStats::from_slice(&xs);
+            prop_assert!((s.mean() - mean(&xs)).abs() < 1e-6);
+            prop_assert!((s.variance() - variance(&xs)).abs().max(0.0)
+                < 1e-4 * (1.0 + variance(&xs)));
+        }
+
+        #[test]
+        fn prop_merge_matches_batch(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..64),
+            ys in proptest::collection::vec(-1e3f64..1e3, 1..64),
+        ) {
+            let mut sa = RunningStats::from_slice(&xs);
+            sa.merge(&RunningStats::from_slice(&ys));
+            let all: Vec<f64> = xs.iter().chain(ys.iter()).cloned().collect();
+            let sc = RunningStats::from_slice(&all);
+            prop_assert!((sa.mean() - sc.mean()).abs() < 1e-8);
+            prop_assert!((sa.variance() - sc.variance()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Predictive maintenance on an assembly line: detect anomalies early,
+//! localise the affected sensors, and emit a maintenance work order — the
+//! §I use case that motivates CAD (a small failure propagates to nearby
+//! components if not serviced in time).
+//!
+//! ```text
+//! cargo run --release --example predictive_maintenance
+//! ```
+
+use cad_suite::prelude::*;
+
+fn main() {
+    // An IS-3-style assembly line, scaled down: many sensors organised in
+    // station groups, with correlation-break failures that begin subtly.
+    let mut config = DatasetProfile::Is1.config(0.25, 99);
+    config.kinds = vec![AnomalyKind::CorrelationBreak, AnomalyKind::TrendDrift];
+    config.onset_frac = 0.6; // failures develop gradually
+    config.n_anomalies = 3;
+    let data = Dataset::generate(&config);
+    let n = data.test.n_sensors();
+    println!(
+        "assembly line: {n} sensors, monitoring {} time points",
+        data.test.len()
+    );
+
+    let cad_config = CadConfig::builder(n)
+        .window(24, 4)
+        .k(DatasetProfile::Is1.paper_k())
+        .tau(0.5)
+        .theta(0.08) // many small station groups → low steady-state RC
+        .rc_horizon(Some(12))
+        .build();
+    let mut detector = CadDetector::new(n, cad_config);
+    detector.warm_up(&data.his);
+    let result = detector.detect(&data.test);
+
+    println!("\n=== MAINTENANCE WORK ORDERS ===");
+    for (i, anomaly) in result.anomalies.iter().enumerate() {
+        // Rank implicated sensors for the technician.
+        let sensors: Vec<String> =
+            anomaly.sensors.iter().take(8).map(|s| format!("s{}", s + 1)).collect();
+        let more = anomaly.sensors.len().saturating_sub(8);
+        println!(
+            "WO-{:03}: anomaly from t={} (detected within {} rounds of onset)",
+            i + 1,
+            anomaly.start,
+            anomaly.n_rounds()
+        );
+        println!(
+            "        inspect sensors: {}{}",
+            sensors.join(", "),
+            if more > 0 { format!(" (+{more} more)") } else { String::new() }
+        );
+        // How early was this? Compare to the ground-truth onset if the
+        // detection overlaps a labelled failure.
+        if let Some(gt) = data
+            .truth
+            .anomalies
+            .iter()
+            .find(|gt| gt.start < anomaly.end && gt.end > anomaly.start)
+        {
+            let delay = anomaly.start.saturating_sub(gt.start);
+            let frac = 100.0 * delay as f64 / gt.duration() as f64;
+            println!(
+                "        true onset t={} → alarm delay {delay} points ({frac:.0}% into the failure window)",
+                gt.start
+            );
+            let hits = anomaly.sensors.iter().filter(|s| gt.sensors.contains(s)).count();
+            println!(
+                "        sensor localisation: {hits}/{} truly affected sensors implicated",
+                gt.sensors.len()
+            );
+        } else {
+            println!("        (no labelled failure here — investigate or dismiss)");
+        }
+    }
+    if result.anomalies.is_empty() {
+        println!("(no anomalies detected)");
+    }
+}

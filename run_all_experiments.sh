@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerate every table and figure of the paper. Outputs land in results/.
+# CAD_SCALE (default 0.5) multiplies dataset lengths; CAD_REPEATS (default 3)
+# sets repeats for randomised methods (the paper uses 10).
+set -x
+: "${CAD_SCALE:=0.5}"
+: "${CAD_REPEATS:=3}"
+: "${CAD_SMD_SUBSETS:=10}"
+export CAD_SCALE CAD_REPEATS CAD_SMD_SUBSETS
+cargo build --release -p cad-bench
+for bin in table3 table4 table5 fig4 fig5 table6_7 table8 fig6 fig7 fig8; do
+  echo "=== $bin ==="
+  cargo run --release -p cad-bench --bin "$bin" >"results/$bin.txt" 2>"results/$bin.log"
+done

@@ -1,0 +1,225 @@
+//! `cad` — command-line anomaly detection over CSV time series.
+//!
+//! ```text
+//! cad --test readings.csv [--his history.csv] [--w 64] [--s 8] [--k 10]
+//!     [--tau 0.5] [--theta 0.3] [--horizon 16] [--labels labels.csv]
+//! ```
+//!
+//! `readings.csv`: header row of sensor names, one row per time point.
+//! With `--his`, CAD warms up on that file first (Algorithm 2). With
+//! `--labels` (ground truth in this suite's label format), the run is also
+//! scored with the paper's PA/DPA metrics.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cad_suite::eval::{best_f1, Adjustment};
+use cad_suite::mts::io::{read_labels, read_mts_csv};
+use cad_suite::mts::WindowSpec;
+use cad_suite::prelude::*;
+
+#[derive(Debug)]
+struct Args {
+    test: PathBuf,
+    his: Option<PathBuf>,
+    labels: Option<PathBuf>,
+    w: Option<usize>,
+    s: Option<usize>,
+    k: Option<usize>,
+    tau: f64,
+    theta: f64,
+    horizon: Option<usize>,
+    load_state: Option<PathBuf>,
+    save_state: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cad --test <readings.csv> [--his <history.csv>] [--labels <labels.csv>]\n\
+         \x20          [--w <window>] [--s <step>] [--k <neighbours>]\n\
+         \x20          [--tau <0..1>] [--theta <0..1>] [--horizon <rounds>]\n\
+         \x20          [--load-state <file>] [--save-state <file>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        test: PathBuf::new(),
+        his: None,
+        labels: None,
+        w: None,
+        s: None,
+        k: None,
+        tau: 0.5,
+        theta: 0.3,
+        horizon: Some(16),
+        load_state: None,
+        save_state: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--test" => args.test = PathBuf::from(value()),
+            "--his" => args.his = Some(PathBuf::from(value())),
+            "--labels" => args.labels = Some(PathBuf::from(value())),
+            "--w" => args.w = value().parse().ok(),
+            "--s" => args.s = value().parse().ok(),
+            "--k" => args.k = value().parse().ok(),
+            "--tau" => args.tau = value().parse().unwrap_or_else(|_| usage()),
+            "--theta" => args.theta = value().parse().unwrap_or_else(|_| usage()),
+            "--horizon" => args.horizon = value().parse().ok(),
+            "--load-state" => args.load_state = Some(PathBuf::from(value())),
+            "--save-state" => args.save_state = Some(PathBuf::from(value())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if args.test.as_os_str().is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let test = match read_mts_csv(&args.test) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", args.test.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let n = test.n_sensors();
+    eprintln!("loaded {}: {n} sensors × {} points", args.test.display(), test.len());
+
+    let default_spec = WindowSpec::suggested(test.len());
+    let w = args.w.unwrap_or(default_spec.w);
+    let s = args.s.unwrap_or_else(|| (w / 6).max(1));
+    let k = args.k.unwrap_or((n / 4).clamp(2, 50));
+    let config = CadConfig::builder(n)
+        .window(w, s)
+        .k(k)
+        .tau(args.tau)
+        .theta(args.theta)
+        .rc_horizon(args.horizon)
+        .build();
+    eprintln!("config: w={w} s={s} k={k} tau={} theta={}", args.tau, args.theta);
+
+    let mut detector = if let Some(state_path) = &args.load_state {
+        if args.w.is_some()
+            || args.s.is_some()
+            || args.k.is_some()
+            || args.tau != 0.5
+            || args.theta != 0.3
+        {
+            eprintln!(
+                "warning: --load-state restores the snapshot's configuration; the --w/--s/--k/--tau/--theta flags are ignored"
+            );
+        }
+        let loaded = std::fs::File::open(state_path)
+            .map_err(cad_suite::core::StateError::Io)
+            .and_then(cad_suite::core::load_detector);
+        match loaded {
+            Ok(det) => {
+                eprintln!(
+                    "restored state from {} ({} rounds of history, μ={:.2}, σ={:.2})",
+                    state_path.display(),
+                    det.stats().count(),
+                    det.stats().mean(),
+                    det.stats().stddev()
+                );
+                if det.n_sensors() != n {
+                    eprintln!("error: state has {} sensors, readings have {n}", det.n_sensors());
+                    return ExitCode::FAILURE;
+                }
+                det
+            }
+            Err(e) => {
+                eprintln!("error loading state {}: {e}", state_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        CadDetector::new(n, config)
+    };
+    if let Some(his_path) = &args.his {
+        match read_mts_csv(his_path) {
+            Ok(his) => {
+                if his.n_sensors() != n {
+                    eprintln!("error: history has {} sensors, readings have {n}", his.n_sensors());
+                    return ExitCode::FAILURE;
+                }
+                detector.warm_up(&his);
+                eprintln!(
+                    "warm-up: {} rounds (μ={:.2}, σ={:.2})",
+                    detector.stats().count(),
+                    detector.stats().mean(),
+                    detector.stats().stddev()
+                );
+            }
+            Err(e) => {
+                eprintln!("error reading {}: {e}", his_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let result = detector.detect(&test);
+    println!("# anomalies: {}", result.anomalies.len());
+    for (i, a) in result.anomalies.iter().enumerate() {
+        let names: Vec<&str> = a
+            .sensors
+            .iter()
+            .map(|&s| test.sensor_names()[s].as_str())
+            .collect();
+        println!(
+            "anomaly {}: points [{}, {}) rounds [{}, {}] sensors: {}",
+            i + 1,
+            a.start,
+            a.end,
+            a.first_round,
+            a.last_round,
+            names.join(",")
+        );
+    }
+
+    if let Some(labels_path) = &args.labels {
+        match read_labels(labels_path) {
+            Ok(truth) if truth.series_len == test.len() => {
+                let labels = truth.point_labels();
+                let pa = best_f1(&result.point_scores, &labels, Adjustment::Pa, 1000);
+                let dpa = best_f1(&result.point_scores, &labels, Adjustment::Dpa, 1000);
+                println!("F1_PA  = {:.1}%", 100.0 * pa.f1);
+                println!("F1_DPA = {:.1}%", 100.0 * dpa.f1);
+            }
+            Ok(truth) => {
+                eprintln!(
+                    "warning: labels cover {} points but readings have {}; skipping evaluation",
+                    truth.series_len,
+                    test.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("error reading {}: {e}", labels_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(state_path) = &args.save_state {
+        match std::fs::File::create(state_path)
+            .and_then(|f| cad_suite::core::save_detector(&detector, f))
+        {
+            Ok(()) => eprintln!("saved state to {}", state_path.display()),
+            Err(e) => {
+                eprintln!("error saving state {}: {e}", state_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,109 @@
+//! Cross-crate behaviour checks for the nine baselines on generated data:
+//! every method must produce usable scores, and the family-level
+//! observations from the paper must hold qualitatively.
+
+use cad_suite::prelude::*;
+
+fn dataset() -> Dataset {
+    let mut cfg = GeneratorConfig::small("baselines", 20, 11);
+    cfg.test_len = 1200;
+    cfg.his_len = 800;
+    cfg.n_anomalies = 4;
+    // Marginally loud archetypes so even point detectors get traction.
+    cfg.kinds = vec![AnomalyKind::LevelShift, AnomalyKind::VarianceBurst];
+    cfg.magnitude = 3.0;
+    Dataset::generate(&cfg)
+}
+
+fn all_detectors(seed: u64) -> Vec<Box<dyn Detector>> {
+    vec![
+        Box::new(Lof::new(10)),
+        Box::new(Ecod::new()),
+        Box::new(IsolationForest::new(seed)),
+        Box::new(Usad::new(seed)),
+        Box::new(RCoders::new(seed)),
+        Box::new(Series2Graph::new(24)),
+        Box::new(Sand::new(32, seed)),
+        Box::new(Sand::online(32, seed)),
+        Box::new(NormA::new(24, seed)),
+    ]
+}
+
+#[test]
+fn every_baseline_scores_every_point() {
+    let data = dataset();
+    for mut det in all_detectors(5) {
+        det.fit(&data.his);
+        let scores = det.score(&data.test);
+        assert_eq!(scores.len(), data.test.len(), "{} length", det.name());
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "{} produced non-finite scores",
+            det.name()
+        );
+    }
+}
+
+#[test]
+fn point_methods_beat_chance_on_loud_anomalies() {
+    let data = dataset();
+    let truth = data.truth.point_labels();
+    let p = data.truth.anomaly_rate();
+    let chance = 2.0 * p / (1.0 + p);
+    for name in ["LOF", "ECOD", "IForest"] {
+        let mut det: Box<dyn Detector> = match name {
+            "LOF" => Box::new(Lof::new(10)),
+            "ECOD" => Box::new(Ecod::new()),
+            _ => Box::new(IsolationForest::new(1)),
+        };
+        det.fit(&data.his);
+        let scores = det.score(&data.test);
+        let pa = best_f1(&scores, &truth, Adjustment::Pa, 1000);
+        assert!(
+            pa.f1 > chance + 0.1,
+            "{name}: F1_PA {:.3} not above chance {:.3}",
+            pa.f1,
+            chance
+        );
+    }
+}
+
+#[test]
+fn deterministic_methods_repeat_exactly() {
+    let data = dataset();
+    for make in [
+        || -> Box<dyn Detector> { Box::new(Lof::new(10)) },
+        || -> Box<dyn Detector> { Box::new(Ecod::new()) },
+        || -> Box<dyn Detector> { Box::new(Series2Graph::new(24)) },
+    ] {
+        let run = || {
+            let mut det = make();
+            det.fit(&data.his);
+            det.score(&data.test)
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[test]
+fn randomized_methods_vary_with_seed() {
+    let data = dataset();
+    let run = |seed: u64| {
+        let mut det = IsolationForest::new(seed);
+        det.fit(&data.his);
+        det.score(&data.test)
+    };
+    assert_ne!(run(1), run(2), "different seeds must differ (Table VIII)");
+    assert_eq!(run(1), run(1), "same seed must repeat");
+}
+
+#[test]
+fn ecod_sensor_scores_have_full_shape() {
+    let data = dataset();
+    let mut det = Ecod::new();
+    det.fit(&data.his);
+    det.score(&data.test);
+    let per_sensor = det.sensor_scores(&data.test).expect("ECOD localises sensors");
+    assert_eq!(per_sensor.len(), data.test.n_sensors());
+    assert!(per_sensor.iter().all(|row| row.len() == data.test.len()));
+}

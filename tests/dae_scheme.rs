@@ -1,0 +1,73 @@
+//! The Delay-aware Evaluation scheme end-to-end: an early detector and a
+//! late detector over the same ground truth must be ordered correctly by
+//! DPA and by Ahead/Miss (while plain PA cannot tell them apart) — the
+//! exact motivation of §V.
+
+use cad_suite::prelude::*;
+
+/// Ground truth with two anomalies over 200 points.
+fn truth() -> Vec<bool> {
+    (0..200).map(|t| (50..80).contains(&t) || (140..170).contains(&t)).collect()
+}
+
+/// A detector that fires `delay` points into each anomaly and stays on for
+/// 5 points.
+fn detector_with_delay(truth: &[bool], delay: usize) -> Vec<bool> {
+    let mut pred = vec![false; truth.len()];
+    for seg in cad_suite::eval::segments(truth) {
+        let from = seg.start + delay;
+        for p in &mut pred[from..(from + 5).min(seg.end)] {
+            *p = true;
+        }
+    }
+    pred
+}
+
+#[test]
+fn pa_is_blind_to_delay_dpa_is_not() {
+    let truth = truth();
+    let early = detector_with_delay(&truth, 2);
+    let late = detector_with_delay(&truth, 20);
+
+    let pa_early = f1_score(&pa_adjust(&early, &truth), &truth);
+    let pa_late = f1_score(&pa_adjust(&late, &truth), &truth);
+    assert!((pa_early - pa_late).abs() < 1e-12, "PA cannot distinguish delays");
+    assert_eq!(pa_early, 1.0);
+
+    let dpa_early = f1_score(&dpa_adjust(&early, &truth), &truth);
+    let dpa_late = f1_score(&dpa_adjust(&late, &truth), &truth);
+    assert!(
+        dpa_early > dpa_late + 0.1,
+        "DPA must reward earliness: early {dpa_early:.3} vs late {dpa_late:.3}"
+    );
+}
+
+#[test]
+fn ahead_miss_orders_early_vs_late() {
+    let truth = truth();
+    let early = detector_with_delay(&truth, 2);
+    let late = detector_with_delay(&truth, 20);
+    let am = ahead_miss(&early, &late, &truth);
+    assert_eq!(am.ahead, 1.0, "early detector is ahead on every anomaly");
+    assert_eq!(am.miss, 0.0);
+    // And the reverse comparison shows the opposite.
+    let am_rev = ahead_miss(&late, &early, &truth);
+    assert_eq!(am_rev.ahead, 0.0);
+}
+
+#[test]
+fn dpa_dominates_raw_f1_on_cad_output() {
+    // On a real CAD run, the F1 ordering raw ≤ DPA ≤ PA must hold for the
+    // grid-searched optima as well.
+    let data = Dataset::generate(&GeneratorConfig::small("dae", 16, 13));
+    let config = CadConfig::builder(16).window(48, 8).k(4).theta(0.3).build();
+    let mut det = CadDetector::new(16, config);
+    det.warm_up(&data.his);
+    let result = det.detect(&data.test);
+    let truth = data.truth.point_labels();
+    let raw = best_f1(&result.point_scores, &truth, Adjustment::None, 500);
+    let dpa = best_f1(&result.point_scores, &truth, Adjustment::Dpa, 500);
+    let pa = best_f1(&result.point_scores, &truth, Adjustment::Pa, 500);
+    assert!(raw.f1 <= dpa.f1 + 1e-9);
+    assert!(dpa.f1 <= pa.f1 + 1e-9);
+}

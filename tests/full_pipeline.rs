@@ -1,0 +1,120 @@
+//! End-to-end integration: data generation → CAD → DaE evaluation,
+//! spanning `cad-datagen`, `cad-core` and `cad-eval`.
+
+use cad_suite::prelude::*;
+
+fn small_dataset(seed: u64) -> Dataset {
+    Dataset::generate(&GeneratorConfig::small("pipeline", 24, seed))
+}
+
+fn cad_config() -> CadConfig {
+    CadConfig::builder(24)
+        .window(48, 8)
+        .k(5)
+        .tau(0.4)
+        .theta(0.27)
+        .rc_horizon(Some(10))
+        .build()
+}
+
+#[test]
+fn cad_beats_chance_under_pa_and_dpa() {
+    let data = small_dataset(42);
+    let mut det = CadDetector::new(24, cad_config());
+    det.warm_up(&data.his);
+    let result = det.detect(&data.test);
+    let truth = data.truth.point_labels();
+
+    let pa = best_f1(&result.point_scores, &truth, Adjustment::Pa, 1000);
+    let dpa = best_f1(&result.point_scores, &truth, Adjustment::Dpa, 1000);
+
+    // Chance level: predicting everything positive gives
+    // F1 = 2p/(1+p) with p the anomaly rate.
+    let p = data.truth.anomaly_rate();
+    let chance = 2.0 * p / (1.0 + p);
+    assert!(pa.f1 > chance + 0.15, "PA F1 {:.3} ≤ chance {:.3}", pa.f1, chance);
+    assert!(dpa.f1 <= pa.f1 + 1e-9, "DPA must not exceed PA");
+    assert!(dpa.f1 > chance, "DPA F1 {:.3} ≤ chance {:.3}", dpa.f1, chance);
+}
+
+#[test]
+fn detected_sensors_overlap_truth() {
+    let data = small_dataset(7);
+    let mut det = CadDetector::new(24, cad_config());
+    det.warm_up(&data.his);
+    let result = det.detect(&data.test);
+
+    // For every binary detection overlapping a labelled anomaly, the
+    // implicated sensors should hit the true affected set far better than
+    // random guessing would.
+    let mut hits = 0usize;
+    let mut reported = 0usize;
+    let mut true_total = 0usize;
+    for d in &result.anomalies {
+        if let Some(gt) = data
+            .truth
+            .anomalies
+            .iter()
+            .find(|gt| gt.start < d.end && gt.end > d.start)
+        {
+            reported += d.sensors.len();
+            true_total += gt.sensors.len();
+            hits += d.sensors.iter().filter(|s| gt.sensors.contains(s)).count();
+        }
+    }
+    if reported > 0 {
+        // Uniform random guessing recovers |affected|/n of reports; CAD
+        // must beat that clearly.
+        let mean_affected: f64 = data
+            .truth
+            .anomalies
+            .iter()
+            .map(|a| a.sensors.len() as f64)
+            .sum::<f64>()
+            / data.truth.count() as f64;
+        let random_rate = mean_affected / data.test.n_sensors() as f64;
+        let precision = hits as f64 / reported as f64;
+        assert!(
+            precision > 1.3 * random_rate,
+            "sensor precision {precision:.2} ({hits}/{reported}, truth {true_total})              vs random {random_rate:.2}"
+        );
+    }
+}
+
+#[test]
+fn vus_confirms_f1_ordering() {
+    // VUS and the F1 grid search must broadly agree: CAD scores clearly
+    // above 0.5 ROC on data it detects well.
+    let data = small_dataset(42);
+    let mut det = CadDetector::new(24, cad_config());
+    det.warm_up(&data.his);
+    let result = det.detect(&data.test);
+    let truth = data.truth.point_labels();
+    let cfg = VusConfig { adjustment: Adjustment::Pa, ..VusConfig::default() };
+    let roc = vus_roc(&result.point_scores, &truth, &cfg);
+    assert!(roc > 0.6, "VUS-ROC after PA too low: {roc:.3}");
+}
+
+#[test]
+fn repeated_detection_is_deterministic() {
+    let data = small_dataset(3);
+    let run = || {
+        let mut det = CadDetector::new(24, cad_config());
+        det.warm_up(&data.his);
+        det.detect(&data.test)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_give_different_but_valid_results() {
+    for seed in [1, 2, 3] {
+        let data = small_dataset(seed);
+        let mut det = CadDetector::new(24, cad_config());
+        det.warm_up(&data.his);
+        let result = det.detect(&data.test);
+        assert_eq!(result.point_scores.len(), data.test.len());
+        assert!(result.point_scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+        assert!(result.rounds.len() > 10);
+    }
+}

@@ -1,0 +1,56 @@
+//! Dataset persistence round-trips: CSV write → read → identical detection
+//! behaviour, spanning `cad-mts::io`, `cad-datagen` and `cad-core`.
+
+use std::path::PathBuf;
+
+use cad_suite::mts::io::{read_labels, read_mts_csv, write_labels, write_mts_csv};
+use cad_suite::prelude::*;
+
+fn tempdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cad-suite-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn generated_dataset_roundtrips_through_csv() {
+    let data = Dataset::generate(&GeneratorConfig::small("persist", 12, 21));
+    let dir = tempdir();
+    let his_path = dir.join("his.csv");
+    let test_path = dir.join("test.csv");
+    let labels_path = dir.join("labels.csv");
+
+    write_mts_csv(&data.his, &his_path).expect("write his");
+    write_mts_csv(&data.test, &test_path).expect("write test");
+    write_labels(&data.truth, &labels_path).expect("write labels");
+
+    let his = read_mts_csv(&his_path).expect("read his");
+    let test = read_mts_csv(&test_path).expect("read test");
+    let truth = read_labels(&labels_path).expect("read labels");
+
+    assert_eq!(truth, data.truth);
+    // Floating-point text round-trip is exact for Rust's shortest-repr
+    // formatting, so the matrices must match bit-for-bit.
+    assert_eq!(his, data.his);
+    assert_eq!(test, data.test);
+
+    // And therefore detection over the reloaded data is identical.
+    let config = CadConfig::builder(12).window(48, 8).k(3).theta(0.3).build();
+    let mut a = CadDetector::new(12, config.clone());
+    a.warm_up(&data.his);
+    let result_a = a.detect(&data.test);
+    let mut b = CadDetector::new(12, config);
+    b.warm_up(&his);
+    let result_b = b.detect(&test);
+    assert_eq!(result_a, result_b);
+}
+
+#[test]
+fn labels_survive_truncation_roundtrip() {
+    let data = Dataset::generate(&GeneratorConfig::small("trunc", 8, 2));
+    let half = data.truth.truncate(data.test.len() / 2);
+    let dir = tempdir();
+    let path = dir.join("half.csv");
+    write_labels(&half, &path).expect("write");
+    assert_eq!(read_labels(&path).expect("read"), half);
+}

@@ -1,0 +1,84 @@
+//! Cross-crate persistence test: a monitoring pipeline that warms up,
+//! snapshots, "restarts", and continues — producing exactly the anomalies
+//! an uninterrupted run would.
+
+use cad_suite::core::{load_detector, save_detector};
+use cad_suite::prelude::*;
+
+fn config() -> CadConfig {
+    CadConfig::builder(24)
+        .window(48, 8)
+        .k(5)
+        .tau(0.4)
+        .theta(0.27)
+        .rc_horizon(Some(10))
+        .build()
+}
+
+#[test]
+fn restart_mid_stream_is_lossless() {
+    let data = Dataset::generate(&GeneratorConfig::small("persist-it", 24, 31));
+
+    // Uninterrupted run.
+    let mut reference = CadDetector::new(24, config());
+    reference.warm_up(&data.his);
+    let expected = reference.detect(&data.test);
+
+    // Interrupted run: warm up, snapshot to bytes, "restart", detect.
+    let mut first_process = CadDetector::new(24, config());
+    first_process.warm_up(&data.his);
+    let mut snapshot = Vec::new();
+    save_detector(&first_process, &mut snapshot).expect("save");
+    drop(first_process);
+    let mut second_process = load_detector(snapshot.as_slice()).expect("load");
+    let resumed = second_process.detect(&data.test);
+
+    assert_eq!(resumed, expected, "restart must not change any output");
+}
+
+#[test]
+fn snapshot_between_detection_batches() {
+    let data = Dataset::generate(&GeneratorConfig::small("persist-it2", 16, 8));
+    let half = data.test.len() / 2;
+    let first_half = data.test.slice_time(0, half);
+    let second_half = data.test.slice_time(half, data.test.len() - half);
+
+    let cfg = CadConfig::builder(16).window(48, 8).k(4).theta(0.3).rc_horizon(Some(10)).build();
+
+    // Reference processes both halves in one life.
+    let mut reference = CadDetector::new(16, cfg.clone());
+    reference.warm_up(&data.his);
+    reference.detect(&first_half);
+    let spec = reference.config().window;
+    let mut ref_outcomes = Vec::new();
+    for r in 0..spec.rounds(second_half.len()) {
+        ref_outcomes.push(reference.push_window(&second_half, spec.start(r)));
+    }
+
+    // Interrupted version snapshots between the halves.
+    let mut a = CadDetector::new(16, cfg);
+    a.warm_up(&data.his);
+    a.detect(&first_half);
+    let mut snapshot = Vec::new();
+    save_detector(&a, &mut snapshot).expect("save");
+    let mut b = load_detector(snapshot.as_slice()).expect("load");
+    for (r, expected) in ref_outcomes.iter().enumerate() {
+        let got = b.push_window(&second_half, spec.start(r));
+        assert_eq!(&got, expected, "round {r} diverged");
+    }
+}
+
+#[test]
+fn snapshot_is_stable_text() {
+    let det = CadDetector::new(16, config_16());
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    save_detector(&det, &mut a).expect("save a");
+    save_detector(&det, &mut b).expect("save b");
+    assert_eq!(a, b, "serialisation must be deterministic");
+    assert!(String::from_utf8(a).is_ok(), "snapshot must be valid UTF-8 text");
+}
+
+fn config_16() -> CadConfig {
+    CadConfig::builder(16).window(32, 4).k(4).build()
+}
