@@ -31,7 +31,9 @@ impl Detector for Ecod {
     }
 
     fn fit(&mut self, train: &Mts) {
-        self.ecdfs = (0..train.n_sensors()).map(|s| Ecdf::fit(train.sensor(s))).collect();
+        self.ecdfs = (0..train.n_sensors())
+            .map(|s| Ecdf::fit(train.sensor(s)))
+            .collect();
         self.skews = self.ecdfs.iter().map(Ecdf::skewness).collect();
     }
 
@@ -98,10 +100,7 @@ mod tests {
         let mut ecod = Ecod::new();
         ecod.fit(&train);
         // Test: normal points plus one wild excursion on both sensors.
-        let test = Mts::from_series(vec![
-            vec![0.0, 0.5, 50.0, -0.5],
-            vec![5.0, 4.5, -40.0, 5.5],
-        ]);
+        let test = Mts::from_series(vec![vec![0.0, 0.5, 50.0, -0.5], vec![5.0, 4.5, -40.0, 5.5]]);
         let scores = ecod.score(&test);
         assert!(scores[2] > scores[0]);
         assert!(scores[2] > scores[1]);

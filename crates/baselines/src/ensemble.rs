@@ -77,7 +77,12 @@ impl Detector for ScoreEnsemble {
         let k = self.members.len() as f64;
         for m in &mut self.members {
             let mut scores = m.score(test);
-            assert_eq!(scores.len(), test.len(), "member {} length mismatch", m.name());
+            assert_eq!(
+                scores.len(),
+                test.len(),
+                "member {} length mismatch",
+                m.name()
+            );
             Self::normalize(&mut scores);
             match self.rule {
                 CombineRule::Max => {
@@ -150,12 +155,18 @@ mod tests {
     #[test]
     fn determinism_is_conjunction() {
         let det = ScoreEnsemble::new(
-            vec![Box::new(Fixed("a", vec![0.0], true)), Box::new(Fixed("b", vec![0.0], true))],
+            vec![
+                Box::new(Fixed("a", vec![0.0], true)),
+                Box::new(Fixed("b", vec![0.0], true)),
+            ],
             CombineRule::Max,
         );
         assert!(det.is_deterministic());
         let mixed = ScoreEnsemble::new(
-            vec![Box::new(Fixed("a", vec![0.0], true)), Box::new(Fixed("b", vec![0.0], false))],
+            vec![
+                Box::new(Fixed("a", vec![0.0], true)),
+                Box::new(Fixed("b", vec![0.0], false)),
+            ],
             CombineRule::Max,
         );
         assert!(!mixed.is_deterministic());

@@ -15,7 +15,12 @@ use crate::traits::{Detector, ZScaler};
 /// One node of an isolation tree, stored in a flat arena.
 #[derive(Debug, Clone)]
 enum Node {
-    Internal { feature: usize, threshold: f64, left: usize, right: usize },
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
     /// External node holding `size` training points.
     Leaf { size: usize },
 }
@@ -85,7 +90,12 @@ impl Tree {
         let (left_idx, right_idx) = idx.split_at_mut(split);
         let left = Self::build_rec(points, left_idx, depth + 1, max_depth, rng, nodes);
         let right = Self::build_rec(points, right_idx, depth + 1, max_depth, rng, nodes);
-        nodes[slot] = Node::Internal { feature, threshold, left, right };
+        nodes[slot] = Node::Internal {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         slot
     }
 
@@ -99,9 +109,18 @@ impl Tree {
                 Node::Leaf { size } => {
                     return depth + c_factor(*size);
                 }
-                Node::Internal { feature, threshold, left, right } => {
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     depth += 1.0;
-                    node = if q[*feature] < *threshold { *left } else { *right };
+                    node = if q[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -146,7 +165,6 @@ impl IsolationForest {
             c_psi: 1.0,
         }
     }
-
 }
 
 impl Detector for IsolationForest {
@@ -161,7 +179,10 @@ impl Detector for IsolationForest {
     fn fit(&mut self, train: &Mts) {
         self.scaler = ZScaler::fit(train);
         let points = self.scaler.columns(train);
-        assert!(points.len() >= 2, "IForest needs at least two training points");
+        assert!(
+            points.len() >= 2,
+            "IForest needs at least two training points"
+        );
         let psi = self.subsample.min(points.len());
         let max_depth = (psi as f64).log2().ceil() as usize;
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -181,14 +202,16 @@ impl Detector for IsolationForest {
     }
 
     fn score(&mut self, test: &Mts) -> Vec<f64> {
-        assert!(!self.trees.is_empty(), "IForest must be fitted before scoring");
+        assert!(
+            !self.trees.is_empty(),
+            "IForest must be fitted before scoring"
+        );
         let queries = self.scaler.columns(test);
         queries
             .iter()
             .map(|q| {
-                let mean_path: f64 =
-                    self.trees.iter().map(|t| t.path_length(q)).sum::<f64>()
-                        / self.trees.len() as f64;
+                let mean_path: f64 = self.trees.iter().map(|t| t.path_length(q)).sum::<f64>()
+                    / self.trees.len() as f64;
                 2f64.powf(-mean_path / self.c_psi)
             })
             .collect()
@@ -201,8 +224,12 @@ mod tests {
 
     fn gaussian_blob(n: usize) -> Mts {
         // Deterministic pseudo-Gaussian cloud around the origin.
-        let xs: Vec<f64> = (0..n).map(|i| ((i * 37) % 100) as f64 / 100.0 - 0.5).collect();
-        let ys: Vec<f64> = (0..n).map(|i| ((i * 61) % 100) as f64 / 100.0 - 0.5).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| ((i * 37) % 100) as f64 / 100.0 - 0.5)
+            .collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| ((i * 61) % 100) as f64 / 100.0 - 0.5)
+            .collect();
         Mts::from_series(vec![xs, ys])
     }
 
@@ -216,7 +243,11 @@ mod tests {
         let scores = forest.score(&test);
         assert!(scores[2] > scores[0], "{scores:?}");
         assert!(scores[2] > scores[1], "{scores:?}");
-        assert!(scores[2] > 0.6, "far point should isolate quickly: {}", scores[2]);
+        assert!(
+            scores[2] > 0.6,
+            "far point should isolate quickly: {}",
+            scores[2]
+        );
     }
 
     #[test]
@@ -251,10 +282,7 @@ mod tests {
 
     #[test]
     fn handles_constant_feature() {
-        let train = Mts::from_series(vec![
-            vec![1.0; 64],
-            (0..64).map(|i| i as f64).collect(),
-        ]);
+        let train = Mts::from_series(vec![vec![1.0; 64], (0..64).map(|i| i as f64).collect()]);
         let mut forest = IsolationForest::with_params(20, 32, 3);
         forest.fit(&train);
         let scores = forest.score(&train);

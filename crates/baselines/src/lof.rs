@@ -82,7 +82,11 @@ impl Detector for Lof {
             pts = pts.into_iter().step_by(step.max(1)).collect();
         }
         let n = pts.len();
-        assert!(n > self.k, "LOF needs more than k={} training points", self.k);
+        assert!(
+            n > self.k,
+            "LOF needs more than k={} training points",
+            self.k
+        );
         // Pass 1: k-distances and neighbour lists.
         let mut neighbors: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
         for (i, p) in pts.iter().enumerate() {
@@ -96,8 +100,7 @@ impl Detector for Lof {
         let lrd: Vec<f64> = neighbors
             .iter()
             .map(|nb| {
-                let reach_sum: f64 =
-                    nb.iter().map(|&(d, j)| d.max(k_dist[j])).sum();
+                let reach_sum: f64 = nb.iter().map(|&(d, j)| d.max(k_dist[j])).sum();
                 if reach_sum <= f64::EPSILON {
                     f64::INFINITY
                 } else {
@@ -188,7 +191,10 @@ mod tests {
         lof.fit(&train);
         let scores = lof.score(&train);
         let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
-        assert!((0.5..2.0).contains(&mean), "inlier LOF should hover near 1: {mean}");
+        assert!(
+            (0.5..2.0).contains(&mean),
+            "inlier LOF should hover near 1: {mean}"
+        );
     }
 
     #[test]
@@ -208,7 +214,10 @@ mod tests {
         let train = cluster_mts(&[]);
         let mut lof = Lof::new(3).with_max_train(10);
         lof.fit(&train);
-        assert!(lof.train.len() <= 20, "decimation must cap reference points");
+        assert!(
+            lof.train.len() <= 20,
+            "decimation must cap reference points"
+        );
         // Still functional.
         let scores = lof.score(&train);
         assert_eq!(scores.len(), 40);

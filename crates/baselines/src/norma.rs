@@ -27,7 +27,11 @@ pub struct NormaConfig {
 
 impl Default for NormaConfig {
     fn default() -> Self {
-        Self { pattern_len: 40, n_patterns: 8, iterations: 12 }
+        Self {
+            pattern_len: 40,
+            n_patterns: 8,
+            iterations: 12,
+        }
     }
 }
 
@@ -41,7 +45,13 @@ pub struct NormA {
 impl NormA {
     /// NormA with a pattern length and seed.
     pub fn new(pattern_len: usize, seed: u64) -> Self {
-        Self::with_config(NormaConfig { pattern_len, ..NormaConfig::default() }, seed)
+        Self::with_config(
+            NormaConfig {
+                pattern_len,
+                ..NormaConfig::default()
+            },
+            seed,
+        )
     }
 
     /// Fully parameterised constructor.
@@ -64,7 +74,10 @@ impl NormA {
         // k-means++ init: first pick uniform, next picks ∝ squared distance.
         let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
         centroids.push(subs[rng.gen_range(0..n)].clone());
-        let mut d2: Vec<f64> = subs.iter().map(|x| sq_euclidean(x, &centroids[0])).collect();
+        let mut d2: Vec<f64> = subs
+            .iter()
+            .map(|x| sq_euclidean(x, &centroids[0]))
+            .collect();
         while centroids.len() < k {
             let total: f64 = d2.iter().sum();
             let pick = if total <= f64::EPSILON {

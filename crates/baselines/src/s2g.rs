@@ -26,7 +26,10 @@ pub struct S2gConfig {
 
 impl Default for S2gConfig {
     fn default() -> Self {
-        Self { query_len: 50, sectors: 60 }
+        Self {
+            query_len: 50,
+            sectors: 60,
+        }
     }
 }
 
@@ -39,7 +42,12 @@ pub struct Series2Graph {
 impl Series2Graph {
     /// S2G with the given subsequence length (ψ = 60 sectors).
     pub fn new(query_len: usize) -> Self {
-        Self { config: S2gConfig { query_len, ..S2gConfig::default() } }
+        Self {
+            config: S2gConfig {
+                query_len,
+                ..S2gConfig::default()
+            },
+        }
     }
 
     /// Fully parameterised constructor.
@@ -96,7 +104,11 @@ impl Series2Graph {
 
 impl UnivariateScorer for Series2Graph {
     fn score_series(&mut self, series: &[f64]) -> Vec<f64> {
-        let l = self.config.query_len.min(series.len().saturating_sub(1)).max(4);
+        let l = self
+            .config
+            .query_len
+            .min(series.len().saturating_sub(1))
+            .max(4);
         if series.len() <= l {
             return vec![0.0; series.len()];
         }

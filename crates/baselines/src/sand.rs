@@ -37,7 +37,11 @@ pub enum SandMode {
 impl SandMode {
     /// The paper's SAND* settings: init 0.5·|T|, batch 0.1·|T|, α = 0.5.
     pub fn online_default() -> Self {
-        SandMode::Online { init_frac_percent: 50, batch_frac_percent: 10, alpha_percent: 50 }
+        SandMode::Online {
+            init_frac_percent: 50,
+            batch_frac_percent: 10,
+            alpha_percent: 50,
+        }
     }
 }
 
@@ -60,7 +64,13 @@ pub struct SandConfig {
 impl SandConfig {
     /// Defaults for a given subsequence length and mode.
     pub fn new(subseq_len: usize, mode: SandMode) -> Self {
-        Self { subseq_len, k: 4, iterations: 8, max_shift: (subseq_len / 2).max(1), mode }
+        Self {
+            subseq_len,
+            k: 4,
+            iterations: 8,
+            max_shift: (subseq_len / 2).max(1),
+            mode,
+        }
     }
 }
 
@@ -102,7 +112,10 @@ impl Sand {
 
     /// Online SAND* with the paper's default streaming parameters.
     pub fn online(subseq_len: usize, seed: u64) -> Self {
-        Self::with_config(SandConfig::new(subseq_len, SandMode::online_default()), seed)
+        Self::with_config(
+            SandConfig::new(subseq_len, SandMode::online_default()),
+            seed,
+        )
     }
 
     /// Fully parameterised constructor.
@@ -112,17 +125,12 @@ impl Sand {
     }
 
     /// k-medoids under SBD with seeded init. Returns (centroids, sizes).
-    fn cluster(
-        &self,
-        subs: &[Vec<f64>],
-        rng: &mut StdRng,
-    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+    fn cluster(&self, subs: &[Vec<f64>], rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<f64>) {
         let n = subs.len();
         let k = self.config.k.min(n);
         let shift = self.config.max_shift;
-        let mut centroids: Vec<Vec<f64>> = (0..k)
-            .map(|_| subs[rng.gen_range(0..n)].clone())
-            .collect();
+        let mut centroids: Vec<Vec<f64>> =
+            (0..k).map(|_| subs[rng.gen_range(0..n)].clone()).collect();
         let mut assign = vec![0usize; n];
         for _ in 0..self.config.iterations {
             let mut moved = false;
@@ -143,20 +151,20 @@ impl Sand {
             // lowest total SBD to a decimated sample of its peers (full
             // pairwise would be quadratic).
             for (c, centroid) in centroids.iter_mut().enumerate() {
-                let members: Vec<usize> =
-                    (0..n).filter(|&i| assign[i] == c).collect();
+                let members: Vec<usize> = (0..n).filter(|&i| assign[i] == c).collect();
                 if members.is_empty() {
                     continue;
                 }
-                let sample: Vec<usize> =
-                    members.iter().step_by((members.len() / 16).max(1)).copied().collect();
+                let sample: Vec<usize> = members
+                    .iter()
+                    .step_by((members.len() / 16).max(1))
+                    .copied()
+                    .collect();
                 let medoid = members
                     .iter()
                     .min_by(|&&a, &&b| {
-                        let da: f64 =
-                            sample.iter().map(|&j| sbd(&subs[a], &subs[j], shift)).sum();
-                        let db: f64 =
-                            sample.iter().map(|&j| sbd(&subs[b], &subs[j], shift)).sum();
+                        let da: f64 = sample.iter().map(|&j| sbd(&subs[a], &subs[j], shift)).sum();
+                        let db: f64 = sample.iter().map(|&j| sbd(&subs[b], &subs[j], shift)).sum();
                         da.partial_cmp(&db).expect("finite distances")
                     })
                     .expect("non-empty cluster");
@@ -196,14 +204,20 @@ impl UnivariateScorer for Sand {
                     return vec![0.0; series.len()];
                 }
                 let (centroids, weights) = self.cluster(&subs, &mut rng);
-                let model = Model { centroids, weights, max_shift: self.config.max_shift };
+                let model = Model {
+                    centroids,
+                    weights,
+                    max_shift: self.config.max_shift,
+                };
                 self.score_with_model(series, l, &model)
             }
-            SandMode::Online { init_frac_percent, batch_frac_percent, alpha_percent } => {
-                let init_len =
-                    (series.len() * init_frac_percent as usize / 100).max(2 * l);
-                let batch_len =
-                    (series.len() * batch_frac_percent as usize / 100).max(l + 1);
+            SandMode::Online {
+                init_frac_percent,
+                batch_frac_percent,
+                alpha_percent,
+            } => {
+                let init_len = (series.len() * init_frac_percent as usize / 100).max(2 * l);
+                let batch_len = (series.len() * batch_frac_percent as usize / 100).max(l + 1);
                 let alpha = alpha_percent as f64 / 100.0;
                 // Initialise the model on the prefix.
                 let (_, init_subs) =
@@ -212,8 +226,11 @@ impl UnivariateScorer for Sand {
                     return vec![0.0; series.len()];
                 }
                 let (centroids, weights) = self.cluster(&init_subs, &mut rng);
-                let mut model =
-                    Model { centroids, weights, max_shift: self.config.max_shift };
+                let mut model = Model {
+                    centroids,
+                    weights,
+                    max_shift: self.config.max_shift,
+                };
                 let mut scores = vec![0.0f64; series.len()];
                 // Prefix scored by the initial model.
                 let prefix_scores =
@@ -227,8 +244,7 @@ impl UnivariateScorer for Sand {
                     // Include l−1 points of left context so every point of
                     // the batch is covered by some subsequence.
                     let ctx_start = pos.saturating_sub(l - 1);
-                    let batch_scores =
-                        self.score_with_model(&series[ctx_start..end], l, &model);
+                    let batch_scores = self.score_with_model(&series[ctx_start..end], l, &model);
                     scores[pos..end].copy_from_slice(&batch_scores[pos - ctx_start..]);
                     // Weight update: assign batch subsequences to nearest
                     // centroid, decay old weights by α.

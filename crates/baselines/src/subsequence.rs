@@ -4,7 +4,11 @@ use cad_stats::correlation::znormed;
 
 /// Extract z-normalised subsequences of length `l` at the given `stride`.
 /// Returns `(starts, subsequences)`.
-pub fn znormed_subsequences(series: &[f64], l: usize, stride: usize) -> (Vec<usize>, Vec<Vec<f64>>) {
+pub fn znormed_subsequences(
+    series: &[f64],
+    l: usize,
+    stride: usize,
+) -> (Vec<usize>, Vec<Vec<f64>>) {
     assert!(l >= 2, "subsequence length must be at least 2");
     assert!(stride >= 1);
     let mut starts = Vec::new();
@@ -96,7 +100,9 @@ mod tests {
 
     #[test]
     fn sbd_identical_is_zero() {
-        let a = znormed_subsequences(&[1.0, 3.0, 2.0, 5.0, 4.0, 6.0], 6, 1).1.remove(0);
+        let a = znormed_subsequences(&[1.0, 3.0, 2.0, 5.0, 4.0, 6.0], 6, 1)
+            .1
+            .remove(0);
         assert!(sbd(&a, &a, 3) < 1e-9);
     }
 
@@ -111,7 +117,10 @@ mod tests {
         let d_shifted = sbd(&xz, &yz, 4);
         let d_noshift = sbd(&xz, &yz, 0);
         assert!(d_shifted < d_noshift, "{d_shifted} !< {d_noshift}");
-        assert!(d_shifted < 0.05, "shift-tolerant distance should be tiny: {d_shifted}");
+        assert!(
+            d_shifted < 0.05,
+            "shift-tolerant distance should be tiny: {d_shifted}"
+        );
     }
 
     #[test]

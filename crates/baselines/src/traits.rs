@@ -49,7 +49,11 @@ pub fn score_univariate_mean<S: UnivariateScorer>(scorer: &mut S, test: &Mts) ->
     let mut acc = vec![0.0f64; len];
     for s in 0..n {
         let scores = scorer.score_series(test.sensor(s));
-        assert_eq!(scores.len(), len, "univariate scorer must cover every point");
+        assert_eq!(
+            scores.len(),
+            len,
+            "univariate scorer must cover every point"
+        );
         for (a, v) in acc.iter_mut().zip(&scores) {
             *a += v;
         }

@@ -79,7 +79,12 @@ impl Usad {
     pub fn with_config(config: UsadConfig, seed: u64) -> Self {
         assert!(config.window >= 1 && config.stride >= 1);
         assert!(config.epochs >= 1 && config.batch >= 1);
-        Self { config, seed, scaler: MinMaxScaler::default(), nets: None }
+        Self {
+            config,
+            seed,
+            scaler: MinMaxScaler::default(),
+            nets: None,
+        }
     }
 
     /// Flattened, min-max-scaled windows of `mts`: rows are windows, each

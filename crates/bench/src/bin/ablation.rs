@@ -36,7 +36,10 @@ fn main() {
         m.fit(&data.his);
         let scores = m.score(&data.test);
         let eval = evaluate_scores(&scores, &truth);
-        eprintln!("{label}: F1_PA={:.1} F1_DPA={:.1} (theta={:.3})", eval.f1_pa, eval.f1_dpa, m.theta);
+        eprintln!(
+            "{label}: F1_PA={:.1} F1_DPA={:.1} (theta={:.3})",
+            eval.f1_pa, eval.f1_dpa, m.theta
+        );
         (format!("{:.1}", eval.f1_pa), format!("{:.1}", eval.f1_dpa))
     };
 
@@ -65,7 +68,9 @@ fn main() {
     // 3. τ pruning.
     for tau in [0.0, 0.5, 0.8] {
         let label = format!("tau = {tau}");
-        let mut m = CadMethod::new(w, s, k).with_rc_horizon(Some(12)).with_tau(tau);
+        let mut m = CadMethod::new(w, s, k)
+            .with_rc_horizon(Some(12))
+            .with_tau(tau);
         let (pa, dpa) = run(&label, &mut m);
         t.row(vec![label, pa, dpa]);
     }
@@ -74,7 +79,9 @@ fn main() {
 
     // 4. Louvain vs connected components as Phase 1, measured directly on
     //    community quality over warm-up windows (modularity).
-    use cad_graph::{connected_components, louvain, modularity, CorrelationKnn, KnnConfig, LouvainConfig};
+    use cad_graph::{
+        connected_components, louvain, modularity, CorrelationKnn, KnnConfig, LouvainConfig,
+    };
     let mut knn = CorrelationKnn::new(KnnConfig::new(k, 0.5));
     let mut q_louvain = 0.0;
     let mut q_components = 0.0;

@@ -5,8 +5,8 @@
 //! ```
 
 use cad_baselines::Detector;
-use cad_bench::{env_scale, evaluate_scores, CadMethod};
 use cad_bench::registry::cad_window;
+use cad_bench::{env_scale, evaluate_scores, CadMethod};
 use cad_datagen::DatasetProfile;
 
 fn main() {
@@ -33,14 +33,19 @@ fn main() {
         s
     );
     for a in &data.truth.anomalies {
-        println!("  truth: [{}, {}) dur={} sensors={}", a.start, a.end, a.duration(), a.sensors.len());
+        println!(
+            "  truth: [{}, {}) dur={} sensors={}",
+            a.start,
+            a.end,
+            a.duration(),
+            a.sensors.len()
+        );
     }
     if std::env::var("CAD_SWEEP").is_ok() {
         let truth = data.truth.point_labels();
         for horizon in [6usize, 8, 12, 16, 24] {
             for tf in [0.7, 0.8, 0.9] {
-                let mut m = CadMethod::new(w, s, profile.paper_k())
-                    .with_rc_horizon(Some(horizon));
+                let mut m = CadMethod::new(w, s, profile.paper_k()).with_rc_horizon(Some(horizon));
                 m.theta_frac = tf;
                 if !data.his.is_empty() {
                     m.fit(&data.his);
@@ -74,7 +79,14 @@ fn main() {
     let nr: Vec<usize> = result.rounds.iter().map(|r| r.n_r).collect();
     println!("n_r head: {:?}", &nr[..nr.len().min(40)]);
     for a in &result.anomalies {
-        println!("  detected: [{}, {}) rounds {}..={} sensors={}", a.start, a.end, a.first_round, a.last_round, a.sensors.len());
+        println!(
+            "  detected: [{}, {}) rounds {}..={} sensors={}",
+            a.start,
+            a.end,
+            a.first_round,
+            a.last_round,
+            a.sensors.len()
+        );
     }
     let truth = data.truth.point_labels();
     // Per-anomaly peak score vs the normal-score distribution.
@@ -85,8 +97,13 @@ fn main() {
         .map(|(&s, _)| s)
         .collect();
     let q = |p: f64| cad_stats::quantile(&normal_scores, p);
-    println!("normal z quantiles: p50={:.2} p95={:.2} p99={:.2} max={:.2}",
-        q(0.5), q(0.95), q(0.99), q(1.0));
+    println!(
+        "normal z quantiles: p50={:.2} p95={:.2} p99={:.2} max={:.2}",
+        q(0.5),
+        q(0.95),
+        q(0.99),
+        q(1.0)
+    );
     for a in &data.truth.anomalies {
         let peak = scores[a.start..a.end].iter().cloned().fold(0.0, f64::max);
         println!("  anomaly [{}, {}): peak z = {:.2}", a.start, a.end, peak);

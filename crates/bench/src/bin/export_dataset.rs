@@ -49,11 +49,21 @@ fn main() {
     if !data.his.is_empty() {
         let p = dir.join(format!("{base}_his.csv"));
         write_mts_csv(&data.his, &p).expect("write warm-up CSV");
-        println!("wrote {} ({} x {})", p.display(), data.his.n_sensors(), data.his.len());
+        println!(
+            "wrote {} ({} x {})",
+            p.display(),
+            data.his.n_sensors(),
+            data.his.len()
+        );
     }
     let p = dir.join(format!("{base}_test.csv"));
     write_mts_csv(&data.test, &p).expect("write test CSV");
-    println!("wrote {} ({} x {})", p.display(), data.test.n_sensors(), data.test.len());
+    println!(
+        "wrote {} ({} x {})",
+        p.display(),
+        data.test.n_sensors(),
+        data.test.len()
+    );
     let p = dir.join(format!("{base}_labels.csv"));
     write_labels(&data.truth, &p).expect("write labels CSV");
     println!("wrote {} ({} anomalies)", p.display(), data.truth.count());

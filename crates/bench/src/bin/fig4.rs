@@ -18,7 +18,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(12)
         .clamp(1, DatasetProfile::SMD_SUBSETS);
-    println!("Fig. 4: #SMD subsets where CAD beats the ratio bar (of {n_subsets}, scale={scale})\n");
+    println!(
+        "Fig. 4: #SMD subsets where CAD beats the ratio bar (of {n_subsets}, scale={scale})\n"
+    );
 
     let baselines = MethodId::baselines();
     // ahead[b][subset], miss[b][subset]

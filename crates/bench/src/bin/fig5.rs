@@ -21,7 +21,11 @@ fn main() {
         let truth = data.truth.point_labels();
         println!("== {} ==", data.name);
         let mut t = Table::new(&[
-            "Method", "VUS-ROC (PA)", "VUS-PR (PA)", "VUS-ROC (DPA)", "VUS-PR (DPA)",
+            "Method",
+            "VUS-ROC (PA)",
+            "VUS-PR (PA)",
+            "VUS-ROC (DPA)",
+            "VUS-PR (DPA)",
         ]);
         for (m, id) in MethodId::ALL.iter().enumerate() {
             let run = if *id == MethodId::Cad {

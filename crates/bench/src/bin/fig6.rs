@@ -25,7 +25,14 @@ fn main() {
     ];
     println!("Fig. 6: CAD scalability on IS-1..IS-5 (scale={scale})\n");
 
-    let mut t = Table::new(&["Dataset", "#Sensors", "F1_PA", "F1_DPA", "TPR (ms)", "TPR/n^2 (ns)"]);
+    let mut t = Table::new(&[
+        "Dataset",
+        "#Sensors",
+        "F1_PA",
+        "F1_DPA",
+        "TPR (ms)",
+        "TPR/n^2 (ns)",
+    ]);
     let mut prev: Option<(usize, f64)> = None;
     for profile in profiles {
         let data = profile.generate(scale, 42);
@@ -50,7 +57,10 @@ fn main() {
         if let Some((pn, ptpr)) = prev {
             let growth = tpr_ms / ptpr;
             let quad = (n as f64 / pn as f64).powi(2);
-            eprintln!("  TPR growth ×{growth:.2} vs quadratic ×{quad:.2} (sub-quadratic: {})", growth < quad);
+            eprintln!(
+                "  TPR growth ×{growth:.2} vs quadratic ×{quad:.2} (sub-quadratic: {})",
+                growth < quad
+            );
         }
         prev = Some((n, tpr_ms));
         t.row(vec![

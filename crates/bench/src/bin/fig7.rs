@@ -9,7 +9,7 @@
 
 use cad_bench::runner::predictions_at;
 use cad_bench::{env_scale, evaluate_scores, run_cad_grid, run_on_dataset, MethodId, Table};
-use cad_datagen::{AnomalyKind, DatasetProfile, Dataset};
+use cad_datagen::{AnomalyKind, Dataset, DatasetProfile};
 use cad_eval::detection_delays;
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
     // a very gradual onset — the paper's case-study regime (SMD 1_6).
     // Case studies are illustrative by nature (the paper hand-picks SMD
     // 1_6); CAD_SEED selects the instance.
-    let seed: u64 = std::env::var("CAD_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(11);
+    let seed: u64 = std::env::var("CAD_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(11);
     let mut config = DatasetProfile::Smd(5).config(scale, seed);
     config.kinds = vec![AnomalyKind::CorrelationBreak];
     config.onset_frac = 0.6;

@@ -16,7 +16,9 @@ struct Ctx {
 }
 
 fn run(ctx: &Ctx, w: usize, s: usize, k: usize, tau: f64, theta: Option<f64>) -> (f64, f64) {
-    let mut m = CadMethod::new(w, s.max(1), k).with_tau(tau).with_rc_horizon(Some(12));
+    let mut m = CadMethod::new(w, s.max(1), k)
+        .with_tau(tau)
+        .with_rc_horizon(Some(12));
     if let Some(theta) = theta {
         m = m.with_theta(theta);
     }
@@ -31,11 +33,19 @@ fn run(ctx: &Ctx, w: usize, s: usize, k: usize, tau: f64, theta: Option<f64>) ->
 fn main() {
     let scale = env_scale();
     println!("Fig. 8: CAD parameter study (scale={scale})\n");
-    let profiles = [DatasetProfile::Psm, DatasetProfile::Smd(6), DatasetProfile::Swat];
+    let profiles = [
+        DatasetProfile::Psm,
+        DatasetProfile::Smd(6),
+        DatasetProfile::Swat,
+    ];
     for profile in profiles {
         let data = profile.generate(scale, 42);
         let truth = data.truth.point_labels();
-        let ctx = Ctx { data, truth, k: profile.paper_k() };
+        let ctx = Ctx {
+            data,
+            truth,
+            k: profile.paper_k(),
+        };
         let len = ctx.data.test.len() as f64;
         let w0 = ((len * 0.02) as usize).clamp(12, 192);
         let s0 = (w0 / 6).max(2);
@@ -46,7 +56,11 @@ fn main() {
         for frac in [0.005, 0.01, 0.02, 0.05, 0.1] {
             let w = ((len * frac) as usize).max(8);
             let (pa, dpa) = run(&ctx, w, (w / 6).max(1), ctx.k, 0.5, None);
-            t.row(vec![format!("{frac}"), format!("{pa:.1}"), format!("{dpa:.1}")]);
+            t.row(vec![
+                format!("{frac}"),
+                format!("{pa:.1}"),
+                format!("{dpa:.1}"),
+            ]);
         }
         println!("{}", t.render());
 
@@ -55,7 +69,11 @@ fn main() {
         for frac in [0.05, 0.1, 0.2, 0.4] {
             let s = ((w0 as f64 * frac) as usize).max(1);
             let (pa, dpa) = run(&ctx, w0, s, ctx.k, 0.5, None);
-            t.row(vec![format!("{frac}"), format!("{pa:.1}"), format!("{dpa:.1}")]);
+            t.row(vec![
+                format!("{frac}"),
+                format!("{pa:.1}"),
+                format!("{dpa:.1}"),
+            ]);
         }
         println!("{}", t.render());
 
@@ -63,7 +81,11 @@ fn main() {
         let mut t = Table::new(&["tau", "F1_PA", "F1_DPA"]);
         for tau in [0.1, 0.3, 0.5, 0.7, 0.9] {
             let (pa, dpa) = run(&ctx, w0, s0, ctx.k, tau, None);
-            t.row(vec![format!("{tau}"), format!("{pa:.1}"), format!("{dpa:.1}")]);
+            t.row(vec![
+                format!("{tau}"),
+                format!("{pa:.1}"),
+                format!("{dpa:.1}"),
+            ]);
         }
         println!("{}", t.render());
 
@@ -71,7 +93,11 @@ fn main() {
         let mut t = Table::new(&["theta", "F1_PA", "F1_DPA"]);
         for theta in [0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
             let (pa, dpa) = run(&ctx, w0, s0, ctx.k, 0.5, Some(theta));
-            t.row(vec![format!("{theta}"), format!("{pa:.1}"), format!("{dpa:.1}")]);
+            t.row(vec![
+                format!("{theta}"),
+                format!("{pa:.1}"),
+                format!("{dpa:.1}"),
+            ]);
         }
         println!("{}", t.render());
 
@@ -79,7 +105,11 @@ fn main() {
         let mut t = Table::new(&["k", "F1_PA", "F1_DPA"]);
         for k in [5, 10, 15, 20, 30] {
             let (pa, dpa) = run(&ctx, w0, s0, k, 0.5, None);
-            t.row(vec![format!("{k}"), format!("{pa:.1}"), format!("{dpa:.1}")]);
+            t.row(vec![
+                format!("{k}"),
+                format!("{pa:.1}"),
+                format!("{dpa:.1}"),
+            ]);
         }
         println!("{}", t.render());
     }

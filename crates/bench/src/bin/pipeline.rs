@@ -1,0 +1,163 @@
+//! Full-pipeline benchmark: warm-up + streaming detection on one wide
+//! synthetic deployment, serial vs parallel, emitting machine-readable
+//! `results/BENCH_pipeline.json`.
+//!
+//! The serial pass pins `cad-runtime` to one thread; the parallel pass
+//! uses the effective thread count (`CAD_RUNTIME_THREADS` or the machine's
+//! parallelism). Both passes must produce bit-identical round outcomes —
+//! the benchmark asserts this, so it doubles as an end-to-end determinism
+//! check on real workload shapes.
+//!
+//! ```text
+//! cargo run --release -p cad-bench --bin pipeline
+//! ```
+//!
+//! Size knobs (defaults reproduce the 256 × 20k reference run):
+//! `CAD_BENCH_SENSORS`, `CAD_BENCH_POINTS`, `CAD_BENCH_HIS`.
+
+use std::time::Instant;
+
+use cad_core::{CadConfig, CadDetector, RoundOutcome, StreamingCad};
+use cad_datagen::{Dataset, GeneratorConfig};
+use cad_mts::Mts;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One timed warm-up + streaming-detection pass; returns the outcomes and
+/// the (warm-up, detect) wall-clock split.
+fn run_pipeline(config: &CadConfig, his: &Mts, test: &Mts) -> (Vec<RoundOutcome>, f64, f64) {
+    let n = his.n_sensors();
+    let mut stream = StreamingCad::new(CadDetector::new(n, config.clone()));
+    let t0 = Instant::now();
+    stream.warm_up(his);
+    let warm_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut outcomes = Vec::new();
+    for t in 0..test.len() {
+        if let Some(o) = stream.push_sample(&test.column(t)) {
+            outcomes.push(o);
+        }
+    }
+    let detect_secs = t0.elapsed().as_secs_f64();
+    (outcomes, warm_secs, detect_secs)
+}
+
+fn bit_identical(a: &[RoundOutcome], b: &[RoundOutcome]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.n_r == y.n_r
+                && x.zscore.to_bits() == y.zscore.to_bits()
+                && x.abnormal == y.abnormal
+                && x.outliers == y.outliers
+                && x.rc.len() == y.rc.len()
+                && x.rc
+                    .iter()
+                    .zip(&y.rc)
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+fn main() {
+    let n_sensors = env_usize("CAD_BENCH_SENSORS", 256);
+    let points = env_usize("CAD_BENCH_POINTS", 20_000);
+    let his_len = env_usize("CAD_BENCH_HIS", points / 5);
+    let threads = cad_runtime::effective_threads();
+
+    eprintln!("[pipeline] generating {n_sensors} sensors × {points} points (his={his_len})");
+    let mut gen = GeneratorConfig::small("pipeline", n_sensors, 42);
+    gen.his_len = his_len;
+    gen.test_len = points;
+    gen.n_anomalies = 8;
+    let data = Dataset::generate(&gen);
+
+    let w = ((points as f64 * 0.012) as usize).clamp(32, 256);
+    let s = (w / 6).max(2);
+    let config = CadConfig::builder(n_sensors)
+        .window(w, s)
+        .k(8.min(n_sensors - 1))
+        .tau(0.3)
+        .theta(0.5)
+        .build();
+    eprintln!("[pipeline] w={w} s={s} threads={threads}");
+
+    cad_runtime::reset_phase_stats();
+    let (serial, serial_warm, serial_detect) =
+        cad_runtime::with_thread_override(1, || run_pipeline(&config, &data.his, &data.test));
+    let phases_serial = cad_runtime::phases_json();
+    let serial_secs = serial_warm + serial_detect;
+    eprintln!(
+        "[pipeline] serial: {serial_secs:.3}s ({} rounds)",
+        serial.len()
+    );
+
+    cad_runtime::reset_phase_stats();
+    let (parallel, par_warm, par_detect) = run_pipeline(&config, &data.his, &data.test);
+    let phases_parallel = cad_runtime::phases_json();
+    let parallel_secs = par_warm + par_detect;
+    eprintln!("[pipeline] parallel ({threads} threads): {parallel_secs:.3}s");
+
+    let identical = bit_identical(&serial, &parallel);
+    assert!(
+        identical,
+        "serial and parallel outcome streams must be bit-identical"
+    );
+
+    let rounds = parallel.len();
+    let rounds_per_sec = rounds as f64 / parallel_secs.max(1e-12);
+    let speedup = serial_secs / parallel_secs.max(1e-12);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pipeline\",\n",
+            "  \"sensors\": {},\n",
+            "  \"points\": {},\n",
+            "  \"his_len\": {},\n",
+            "  \"window\": {},\n",
+            "  \"step\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"serial_secs\": {:.6},\n",
+            "  \"serial_warm_secs\": {:.6},\n",
+            "  \"serial_detect_secs\": {:.6},\n",
+            "  \"parallel_secs\": {:.6},\n",
+            "  \"parallel_warm_secs\": {:.6},\n",
+            "  \"parallel_detect_secs\": {:.6},\n",
+            "  \"speedup\": {:.4},\n",
+            "  \"rounds_per_sec\": {:.3},\n",
+            "  \"bit_identical\": {},\n",
+            "  \"phases_serial\": {},\n",
+            "  \"phases_parallel\": {}\n",
+            "}}\n"
+        ),
+        n_sensors,
+        points,
+        his_len,
+        w,
+        s,
+        threads,
+        rounds,
+        serial_secs,
+        serial_warm,
+        serial_detect,
+        parallel_secs,
+        par_warm,
+        par_detect,
+        speedup,
+        rounds_per_sec,
+        identical,
+        phases_serial,
+        phases_parallel,
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("{json}");
+    eprintln!(
+        "[pipeline] speedup {speedup:.2}x on {threads} threads, {rounds_per_sec:.1} rounds/s → results/BENCH_pipeline.json"
+    );
+}

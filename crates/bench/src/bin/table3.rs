@@ -9,10 +9,9 @@
 //! ```
 
 use cad_bench::{
-    env_repeats, env_scale, evaluate_scores, fmt_mean_std, run_cad_grid, run_on_dataset,
-    MethodId, Table,
+    env_repeats, env_scale, evaluate_scores, fmt_mean_std, run_method_matrix, MethodId, Table,
 };
-use cad_datagen::DatasetProfile;
+use cad_datagen::{Dataset, DatasetProfile};
 use cad_stats::{average_ranks, mean, rank_descending};
 
 fn main() {
@@ -24,40 +23,43 @@ fn main() {
         DatasetProfile::Is1,
         DatasetProfile::Is2,
     ];
-    println!("Table III: abnormal time detection (scale={scale}, repeats={repeats})\n");
+    println!(
+        "Table III: abnormal time detection (scale={scale}, repeats={repeats}, threads={})\n",
+        cad_runtime::effective_threads()
+    );
+
+    let datasets: Vec<(Dataset, DatasetProfile, Vec<bool>)> = profiles
+        .iter()
+        .map(|profile| {
+            let data = profile.generate(scale, 42);
+            let truth = data.truth.point_labels();
+            eprintln!(
+                "[{}] n={} |T_his|={} |T|={} anomalies={}",
+                data.name,
+                data.test.n_sensors(),
+                data.his.len(),
+                data.test.len(),
+                data.truth.count()
+            );
+            (data, *profile, truth)
+        })
+        .collect();
 
     // per-method, per-dataset: (list of F1_PA, list of F1_DPA) over repeats.
     let mut cells: Vec<Vec<(Vec<f64>, Vec<f64>)>> =
         vec![vec![(Vec::new(), Vec::new()); profiles.len()]; MethodId::ALL.len()];
 
-    for (d, profile) in profiles.iter().enumerate() {
-        let data = profile.generate(scale, 42);
-        let truth = data.truth.point_labels();
+    // The full method × dataset × repeat matrix fans out across the
+    // cad-runtime pool; cells return in deterministic order.
+    for cell in run_method_matrix(&datasets, &MethodId::ALL, repeats) {
+        let truth = &datasets[cell.dataset].2;
+        let eval = evaluate_scores(&cell.run.scores, truth);
+        cells[cell.method][cell.dataset].0.push(eval.f1_pa);
+        cells[cell.method][cell.dataset].1.push(eval.f1_dpa);
         eprintln!(
-            "[{}] n={} |T_his|={} |T|={} anomalies={}",
-            data.name,
-            data.test.n_sensors(),
-            data.his.len(),
-            data.test.len(),
-            data.truth.count()
+            "  [{}] {:<8} rep {}: F1_PA={:.1} F1_DPA={:.1}",
+            datasets[cell.dataset].0.name, cell.run.name, cell.rep, eval.f1_pa, eval.f1_dpa
         );
-        for (m, id) in MethodId::ALL.iter().enumerate() {
-            let runs = if id.is_randomized() { repeats } else { 1 };
-            for rep in 0..runs {
-                let run = if *id == MethodId::Cad {
-                    run_cad_grid(&data, *profile, &truth).0
-                } else {
-                    run_on_dataset(*id, &data, *profile, 1000 + rep as u64).0
-                };
-                let eval = evaluate_scores(&run.scores, &truth);
-                cells[m][d].0.push(eval.f1_pa);
-                cells[m][d].1.push(eval.f1_dpa);
-                eprintln!(
-                    "  {:<8} rep {rep}: F1_PA={:.1} F1_DPA={:.1}",
-                    run.name, eval.f1_pa, eval.f1_dpa
-                );
-            }
-        }
     }
 
     // Average rank over the 8 (dataset × metric) cells, by mean value.
@@ -77,8 +79,16 @@ fn main() {
     let avg_rank = average_ranks(&per_cell_ranks);
 
     let mut table = Table::new(&[
-        "Method", "PSM F1_PA", "PSM F1_DPA", "SWaT F1_PA", "SWaT F1_DPA", "IS-1 F1_PA",
-        "IS-1 F1_DPA", "IS-2 F1_PA", "IS-2 F1_DPA", "Avg Rank",
+        "Method",
+        "PSM F1_PA",
+        "PSM F1_DPA",
+        "SWaT F1_PA",
+        "SWaT F1_DPA",
+        "IS-1 F1_PA",
+        "IS-1 F1_DPA",
+        "IS-2 F1_PA",
+        "IS-2 F1_DPA",
+        "Avg Rank",
     ]);
     for (m, _) in MethodId::ALL.iter().enumerate() {
         let mut row = vec![cad_bench::method_names()[m].to_string()];

@@ -28,7 +28,12 @@ fn sensors_from_scores(per_sensor: &[Vec<f64>], truth: &GroundTruth) -> Vec<Dete
         .map(|a| {
             let peaks: Vec<f64> = per_sensor
                 .iter()
-                .map(|stream| stream[a.start..a.end].iter().cloned().fold(f64::MIN, f64::max))
+                .map(|stream| {
+                    stream[a.start..a.end]
+                        .iter()
+                        .cloned()
+                        .fold(f64::MIN, f64::max)
+                })
                 .collect();
             let window_best = peaks.iter().cloned().fold(f64::MIN, f64::max);
             let sensors: Vec<usize> = peaks
@@ -37,7 +42,11 @@ fn sensors_from_scores(per_sensor: &[Vec<f64>], truth: &GroundTruth) -> Vec<Dete
                 .filter(|&(_, &peak)| window_best > 0.0 && peak >= 0.6 * window_best)
                 .map(|(s, _)| s)
                 .collect();
-            DetectedSensors { start: a.start, end: a.end, sensors }
+            DetectedSensors {
+                start: a.start,
+                end: a.end,
+                sensors,
+            }
         })
         .collect()
 }
@@ -46,7 +55,11 @@ fn sensor_truth(truth: &GroundTruth) -> Vec<TrueSensors> {
     truth
         .anomalies
         .iter()
-        .map(|a| TrueSensors { start: a.start, end: a.end, sensors: a.sensors.clone() })
+        .map(|a| TrueSensors {
+            start: a.start,
+            end: a.end,
+            sensors: a.sensors.clone(),
+        })
         .collect()
 }
 
@@ -114,14 +127,23 @@ fn main() {
         cad.iter().zip(other).filter(|(c, o)| c > o).count()
     };
     let mut table = Table::new(&[
-        "Method", "OP_PA", "F1_PA mean±std", "OP_DPA", "F1_DPA mean±std", "F1_sensor", "OP_sensor",
+        "Method",
+        "OP_PA",
+        "F1_PA mean±std",
+        "OP_DPA",
+        "F1_DPA mean±std",
+        "F1_sensor",
+        "OP_sensor",
     ]);
     for (m, _) in MethodId::ALL.iter().enumerate() {
         let name = cad_bench::method_names()[m];
         let (op_pa, op_dpa) = if m == 0 {
             ("-".to_string(), "-".to_string())
         } else {
-            (op(&pa[0], &pa[m]).to_string(), op(&dpa[0], &dpa[m]).to_string())
+            (
+                op(&pa[0], &pa[m]).to_string(),
+                op(&dpa[0], &dpa[m]).to_string(),
+            )
         };
         let (f1s, ops) = if sensor[m].is_empty() {
             ("/".to_string(), "/".to_string())

@@ -25,8 +25,10 @@ fn main() {
         "CAD vs.", "PSM Ah", "PSM Ms", "SWaT Ah", "SWaT Ms", "IS-1 Ah", "IS-1 Ms", "IS-2 Ah",
         "IS-2 Ms",
     ]);
-    let mut rows: Vec<Vec<String>> =
-        MethodId::baselines().iter().map(|id| vec![format!("{id:?}")]).collect();
+    let mut rows: Vec<Vec<String>> = MethodId::baselines()
+        .iter()
+        .map(|id| vec![format!("{id:?}")])
+        .collect();
 
     for profile in profiles {
         let data = profile.generate(scale, 42);
@@ -34,7 +36,10 @@ fn main() {
         let (cad_run, _) = run_cad_grid(&data, profile, &truth);
         let cad_eval = evaluate_scores(&cad_run.scores, &truth);
         let cad_pred = predictions_at(&cad_run.scores, cad_eval.dpa_threshold);
-        eprintln!("[{}] CAD threshold {:.3}", data.name, cad_eval.dpa_threshold);
+        eprintln!(
+            "[{}] CAD threshold {:.3}",
+            data.name, cad_eval.dpa_threshold
+        );
         for (row, id) in rows.iter_mut().zip(MethodId::baselines()) {
             let (run, _) = run_on_dataset(id, &data, profile, 7);
             let eval = evaluate_scores(&run.scores, &truth);

@@ -14,7 +14,10 @@ fn main() {
         DatasetProfile::Is2,
         DatasetProfile::Smd(0),
     ];
-    println!("Tables VI & VII: training / testing time in seconds (scale={scale})\n");
+    println!(
+        "Tables VI & VII: training / testing time in seconds (scale={scale}, threads={})\n",
+        cad_runtime::effective_threads()
+    );
 
     let names = cad_bench::method_names();
     let mut train_rows: Vec<Vec<String>> = names.iter().map(|n| vec![n.to_string()]).collect();
@@ -36,7 +39,10 @@ fn main() {
                 // Real-time bound: freq < s / TPR (§VI-D).
                 let freq = cad.s as f64 / cad.last_tpr.max(1e-9);
                 freq_row.push(format!("{freq:.0}"));
-                eprintln!("  CAD      train={:.2}s test={:.2}s TPR={tpr_ms:.2}ms", run.train_secs, run.test_secs);
+                eprintln!(
+                    "  CAD      train={:.2}s test={:.2}s TPR={tpr_ms:.2}ms",
+                    run.train_secs, run.test_secs
+                );
             } else {
                 let (run, _) = run_on_dataset(*id, &data, profile, 3);
                 let train = if id.needs_training() {

@@ -21,11 +21,20 @@ fn main() {
     println!("Table VIII: minimum F1 over {repeats} repeats (scale={scale})\n");
 
     let mut table = Table::new(&[
-        "Method", "PSM minPA", "PSM minDPA", "SWaT minPA", "SWaT minDPA", "IS-1 minPA",
-        "IS-1 minDPA", "IS-2 minPA", "IS-2 minDPA",
+        "Method",
+        "PSM minPA",
+        "PSM minDPA",
+        "SWaT minPA",
+        "SWaT minDPA",
+        "IS-1 minPA",
+        "IS-1 minDPA",
+        "IS-2 minPA",
+        "IS-2 minDPA",
     ]);
-    let mut rows: Vec<Vec<String>> =
-        cad_bench::method_names().iter().map(|n| vec![n.to_string()]).collect();
+    let mut rows: Vec<Vec<String>> = cad_bench::method_names()
+        .iter()
+        .map(|n| vec![n.to_string()])
+        .collect();
 
     for profile in profiles {
         let data = profile.generate(scale, 42);

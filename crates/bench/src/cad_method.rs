@@ -166,7 +166,10 @@ impl Detector for CadMethod {
             let prefix = test.slice_time(0, prefix_len);
             let theta = self.calibrate_theta(&prefix);
             self.theta = theta;
-            self.detector = Some(CadDetector::new(test.n_sensors(), self.config(test.n_sensors(), theta)));
+            self.detector = Some(CadDetector::new(
+                test.n_sensors(),
+                self.config(test.n_sensors(), theta),
+            ));
         }
         let detector = self.detector.as_mut().expect("set above");
         let started = std::time::Instant::now();
@@ -217,8 +220,12 @@ impl Detector for CadMethod {
         // while round-to-round noise (which rises as often as it falls)
         // stays near its own amplitude.
         let lookback = self.rc_horizon.unwrap_or(12);
-        let rcs: Vec<&Vec<f64>> =
-            result.rounds.iter().map(|rec| &rec.rc).filter(|rc| rc.len() == n).collect();
+        let rcs: Vec<&Vec<f64>> = result
+            .rounds
+            .iter()
+            .map(|rec| &rec.rc)
+            .filter(|rc| rc.len() == n)
+            .collect();
         for (i, rec) in result.rounds.iter().enumerate() {
             if rec.rc.len() != n {
                 continue;
@@ -282,7 +289,12 @@ mod tests {
             .truth
             .anomalies
             .iter()
-            .filter(|gt| result.anomalies.iter().any(|d| d.start < gt.end && d.end > gt.start))
+            .filter(|gt| {
+                result
+                    .anomalies
+                    .iter()
+                    .any(|d| d.start < gt.end && d.end > gt.start)
+            })
             .count();
         assert!(caught >= 1, "no anomaly caught outright");
         let truth = data.truth.point_labels();
@@ -297,10 +309,15 @@ mod tests {
         let mut m = CadMethod::new(48, 8, 5).with_tau(0.4);
         m.fit(&data.his);
         m.score(&data.test);
-        let per_sensor = m.sensor_scores(&data.test).expect("CAD provides sensor scores");
+        let per_sensor = m
+            .sensor_scores(&data.test)
+            .expect("CAD provides sensor scores");
         assert_eq!(per_sensor.len(), data.test.n_sensors());
         assert_eq!(per_sensor[0].len(), data.test.len());
-        assert!(per_sensor.iter().flatten().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(per_sensor
+            .iter()
+            .flatten()
+            .all(|v| v.is_finite() && *v >= 0.0));
     }
 
     #[test]

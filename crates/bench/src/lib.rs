@@ -29,6 +29,6 @@ pub use cad_method::CadMethod;
 pub use registry::{build_method, method_names, MethodId};
 pub use report::{fmt_cell, fmt_mean_std, Table};
 pub use runner::{
-    env_repeats, env_scale, evaluate_scores, predictions_at, run_cad_grid, run_on_dataset,
-    vus_pair, EvalSummary, MethodRun,
+    env_repeats, env_scale, evaluate_scores, predictions_at, run_cad_grid, run_method_matrix,
+    run_on_dataset, vus_pair, EvalSummary, MatrixCell, MethodRun,
 };

@@ -84,7 +84,9 @@ impl MethodId {
 
 /// Display names in table order.
 pub fn method_names() -> Vec<&'static str> {
-    vec!["CAD", "LOF", "ECOD", "IForest", "USAD", "RCoders", "S2G", "SAND", "SAND*", "NormA"]
+    vec![
+        "CAD", "LOF", "ECOD", "IForest", "USAD", "RCoders", "S2G", "SAND", "SAND*", "NormA",
+    ]
 }
 
 /// CAD's window/step for a dataset, following §VI-H's suggestion

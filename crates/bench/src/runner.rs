@@ -66,7 +66,15 @@ pub fn run_on_dataset(
     let t0 = Instant::now();
     let scores = det.score(&data.test);
     let test_secs = t0.elapsed().as_secs_f64();
-    (MethodRun { name: det.name(), train_secs, test_secs, scores }, det)
+    (
+        MethodRun {
+            name: det.name(),
+            train_secs,
+            test_secs,
+            scores,
+        },
+        det,
+    )
 }
 
 /// Evaluate a score stream: best F1 under PA and DPA (the paper's 0.001
@@ -90,7 +98,12 @@ pub fn predictions_at(scores: &[f64], threshold: f64) -> Vec<bool> {
 
 /// VUS-ROC and VUS-PR after a given adjustment, as percentages.
 pub fn vus_pair(scores: &[f64], truth: &[bool], adjustment: Adjustment) -> (f64, f64) {
-    let config = VusConfig { adjustment, max_buffer: 16, buffer_steps: 4, threshold_steps: 40 };
+    let config = VusConfig {
+        adjustment,
+        max_buffer: 16,
+        buffer_steps: 4,
+        threshold_steps: 40,
+    };
     (
         100.0 * vus_roc(scores, truth, &config),
         100.0 * vus_pr(scores, truth, &config),
@@ -116,28 +129,95 @@ pub fn run_cad_grid(
     for w in [w_small, w_default] {
         let s = (w / 6).max(2);
         for horizon in [8usize, 12] {
-        for frac in [0.7, 0.8, 0.9] {
-            let mut m = crate::cad_method::CadMethod::new(w, s, k)
-                .with_rc_horizon(Some(horizon));
-            m.theta_frac = frac;
-            let t0 = Instant::now();
-            if !data.his.is_empty() {
-                m.fit(&data.his);
+            for frac in [0.7, 0.8, 0.9] {
+                let mut m =
+                    crate::cad_method::CadMethod::new(w, s, k).with_rc_horizon(Some(horizon));
+                m.theta_frac = frac;
+                let t0 = Instant::now();
+                if !data.his.is_empty() {
+                    m.fit(&data.his);
+                }
+                let train_secs = t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let scores = m.score(&data.test);
+                let test_secs = t0.elapsed().as_secs_f64();
+                let eval = evaluate_scores(&scores, truth);
+                let key = eval.f1_dpa + 0.5 * eval.f1_pa;
+                if best.as_ref().is_none_or(|(b, _, _)| key > *b) {
+                    best = Some((
+                        key,
+                        MethodRun {
+                            name: "CAD",
+                            train_secs,
+                            test_secs,
+                            scores,
+                        },
+                        m,
+                    ));
+                }
             }
-            let train_secs = t0.elapsed().as_secs_f64();
-            let t0 = Instant::now();
-            let scores = m.score(&data.test);
-            let test_secs = t0.elapsed().as_secs_f64();
-            let eval = evaluate_scores(&scores, truth);
-            let key = eval.f1_dpa + 0.5 * eval.f1_pa;
-            if best.as_ref().is_none_or(|(b, _, _)| key > *b) {
-                best = Some((key, MethodRun { name: "CAD", train_secs, test_secs, scores }, m));
-            }
-        }
         }
     }
     let (_, run, m) = best.expect("non-empty grid");
     (run, m)
+}
+
+/// One cell of a method × dataset × repeat fan-out
+/// (see [`run_method_matrix`]).
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Index into the `datasets` slice.
+    pub dataset: usize,
+    /// Index into the `methods` slice.
+    pub method: usize,
+    /// Repeat number (0-based; deterministic methods only run rep 0).
+    pub rep: usize,
+    /// The timed run.
+    pub run: MethodRun,
+}
+
+/// Fan the full method × dataset × repeat matrix out across the
+/// `cad-runtime` pool (one work unit per cell, so slow methods don't
+/// stall a whole chunk). Each worker builds, fits and scores its detector
+/// in-place — detectors are not `Send` — seeded only by `(method, rep)`
+/// exactly as the serial loops were, so every score stream is
+/// bit-identical for any `CAD_RUNTIME_THREADS`, and cells come back in
+/// deterministic (dataset, method, repeat) order.
+pub fn run_method_matrix(
+    datasets: &[(Dataset, cad_datagen::DatasetProfile, Vec<bool>)],
+    methods: &[MethodId],
+    repeats: usize,
+) -> Vec<MatrixCell> {
+    let mut work: Vec<(usize, usize, usize)> = Vec::new();
+    for d in 0..datasets.len() {
+        for (m, id) in methods.iter().enumerate() {
+            let reps = if id.is_randomized() {
+                repeats.max(1)
+            } else {
+                1
+            };
+            for rep in 0..reps {
+                work.push((d, m, rep));
+            }
+        }
+    }
+    let _t = cad_runtime::Timer::start("bench.matrix");
+    cad_runtime::par_chunks(&work, 1, |_, cell| {
+        let (d, m, rep) = cell[0];
+        let (data, profile, truth) = &datasets[d];
+        let id = methods[m];
+        let run = if id == MethodId::Cad {
+            run_cad_grid(data, *profile, truth).0
+        } else {
+            run_on_dataset(id, data, *profile, 1000 + rep as u64).0
+        };
+        MatrixCell {
+            dataset: d,
+            method: m,
+            rep,
+            run,
+        }
+    })
 }
 
 /// Dataset length multiplier from `CAD_SCALE` (default 0.5).
@@ -187,11 +267,40 @@ mod tests {
     #[test]
     fn vus_pair_in_range() {
         let truth: Vec<bool> = (0..100).map(|i| (40..50).contains(&i)).collect();
-        let scores: Vec<f64> = (0..100).map(|i| if (40..50).contains(&i) { 1.0 } else { 0.1 }).collect();
+        let scores: Vec<f64> = (0..100)
+            .map(|i| if (40..50).contains(&i) { 1.0 } else { 0.1 })
+            .collect();
         let (roc, pr) = vus_pair(&scores, &truth, Adjustment::Pa);
         assert!((0.0..=100.0).contains(&roc));
         assert!((0.0..=100.0).contains(&pr));
         assert!(roc > 70.0);
+    }
+
+    #[test]
+    fn method_matrix_is_identical_across_thread_counts() {
+        let profile = DatasetProfile::Psm;
+        let data = profile.generate(0.1, 7);
+        let truth = data.truth.point_labels();
+        let datasets = vec![(data, profile, truth)];
+        let methods = [MethodId::Ecod, MethodId::IForest];
+        let serial =
+            cad_runtime::with_thread_override(1, || run_method_matrix(&datasets, &methods, 2));
+        let parallel =
+            cad_runtime::with_thread_override(4, || run_method_matrix(&datasets, &methods, 2));
+        // ECOD runs once (deterministic), IForest twice → 3 cells.
+        assert_eq!(serial.len(), 3);
+        assert_eq!(parallel.len(), 3);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!((a.dataset, a.method, a.rep), (b.dataset, b.method, b.rep));
+            assert_eq!(a.run.name, b.run.name);
+            let same = a
+                .run
+                .scores
+                .iter()
+                .zip(&b.run.scores)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "scores must be bit-identical for any thread count");
+        }
     }
 
     #[test]

@@ -122,7 +122,15 @@ impl CoappearanceTracker {
     /// Full internal state for persistence: `(prev partition labels,
     /// cumulative sums, rounds, horizon, history of S-vectors)`.
     #[allow(clippy::type_complexity)]
-    pub fn state(&self) -> (Option<Vec<usize>>, Vec<f64>, usize, Option<usize>, Vec<Vec<usize>>) {
+    pub fn state(
+        &self,
+    ) -> (
+        Option<Vec<usize>>,
+        Vec<f64>,
+        usize,
+        Option<usize>,
+        Vec<Vec<usize>>,
+    ) {
         (
             self.prev.as_ref().map(|p| p.labels().to_vec()),
             self.cumulative.clone(),

@@ -178,9 +178,14 @@ mod tests {
 
     #[test]
     fn correlation_kind_flows_through() {
-        let c = CadConfig::builder(8).correlation(CorrelationKind::Spearman).build();
+        let c = CadConfig::builder(8)
+            .correlation(CorrelationKind::Spearman)
+            .build();
         assert_eq!(c.knn.kind, CorrelationKind::Spearman);
-        assert_eq!(CadConfig::builder(8).build().knn.kind, CorrelationKind::Pearson);
+        assert_eq!(
+            CadConfig::builder(8).build().knn.kind,
+            CorrelationKind::Pearson
+        );
     }
 
     #[test]

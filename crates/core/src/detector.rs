@@ -86,7 +86,14 @@ impl CadDetector {
         prev_outliers: Vec<usize>,
     ) -> Self {
         let knn = CorrelationKnn::new(config.knn);
-        Self { config, n_sensors, knn, tracker, stats, prev_outliers }
+        Self {
+            config,
+            n_sensors,
+            knn,
+            tracker,
+            stats,
+            prev_outliers,
+        }
     }
 
     /// Observed variation-count statistics (μ, σ, count).
@@ -117,7 +124,11 @@ impl CadDetector {
     /// the boundary (the streaming-consistent reading of §IV-F, where
     /// detection simply continues the warm-up loop).
     pub fn warm_up(&mut self, his: &Mts) {
-        assert_eq!(his.n_sensors(), self.n_sensors, "warm-up sensor count mismatch");
+        assert_eq!(
+            his.n_sensors(),
+            self.n_sensors,
+            "warm-up sensor count mismatch"
+        );
         let spec = self.config.window;
         for r in 0..spec.rounds(his.len()) {
             let start = spec.start(r);
@@ -145,17 +156,33 @@ impl CadDetector {
         let rc = self.tracker.ratios();
         if suppress {
             self.prev_outliers = outliers.clone();
-            return RoundOutcome { n_r, zscore: 0.0, abnormal: false, outliers, rc };
+            return RoundOutcome {
+                n_r,
+                zscore: 0.0,
+                abnormal: false,
+                outliers,
+                rc,
+            };
         }
         // Line 7's `r > 1` guard: a verdict needs at least two prior
         // variation counts so that σ is an estimate, not an artefact.
         let have_history = self.stats.count() >= 2;
-        let zscore = if have_history { self.stats.zscore(n_r as f64) } else { 0.0 };
+        let zscore = if have_history {
+            self.stats.zscore(n_r as f64)
+        } else {
+            0.0
+        };
         let abnormal = have_history && self.stats.is_outlier(n_r as f64, self.config.eta);
         // Lines 12–13: fold n_r into N and refresh μ/σ.
         self.stats.push(n_r as f64);
         self.prev_outliers = outliers.clone();
-        RoundOutcome { n_r, zscore, abnormal, outliers, rc }
+        RoundOutcome {
+            n_r,
+            zscore,
+            abnormal,
+            outliers,
+            rc,
+        }
     }
 
     /// Algorithm 2 — batch detection over `test`. Consecutive abnormal
@@ -170,14 +197,22 @@ impl CadDetector {
     /// [`Self::detect_with_burn_in`] with `burn_in = 0`.
     pub fn detect(&mut self, test: &Mts) -> DetectionResult {
         let spec = self.config.window;
-        let burn_in = if self.stats.count() > 0 { spec.w.div_ceil(spec.s) } else { 0 };
+        let burn_in = if self.stats.count() > 0 {
+            spec.w.div_ceil(spec.s)
+        } else {
+            0
+        };
         self.detect_with_burn_in(test, burn_in)
     }
 
     /// [`Self::detect`] with an explicit number of suppressed leading
     /// rounds.
     pub fn detect_with_burn_in(&mut self, test: &Mts, burn_in: usize) -> DetectionResult {
-        assert_eq!(test.n_sensors(), self.n_sensors, "detect sensor count mismatch");
+        assert_eq!(
+            test.n_sensors(),
+            self.n_sensors,
+            "detect sensor count mismatch"
+        );
         let spec = self.config.window;
         let n_rounds = spec.rounds(test.len());
         let mut rounds = Vec::with_capacity(n_rounds);
@@ -186,26 +221,30 @@ impl CadDetector {
 
         // Open-anomaly accumulator (V_Z, R_Z).
         let mut open: Option<(Vec<usize>, usize, usize)> = None;
-        let close =
-            |open: &mut Option<(Vec<usize>, usize, usize)>, anomalies: &mut Vec<Anomaly>| {
-                if let Some((mut sensors, first, last)) = open.take() {
-                    sensors.sort_unstable();
-                    sensors.dedup();
-                    // Tail attribution (see the scoring loop): the anomaly's
-                    // span runs from the first abnormal round's new step to
-                    // the last abnormal round's window end.
-                    let (fa, fb) = spec.span(first);
-                    let start = if first == 0 { fa } else { fb.saturating_sub(spec.s) };
-                    let (_, end) = spec.span(last);
-                    anomalies.push(Anomaly {
-                        sensors,
-                        first_round: first,
-                        last_round: last,
-                        start: start.min(test.len()),
-                        end: end.min(test.len()),
-                    });
-                }
-            };
+        let close = |open: &mut Option<(Vec<usize>, usize, usize)>,
+                     anomalies: &mut Vec<Anomaly>| {
+            if let Some((mut sensors, first, last)) = open.take() {
+                sensors.sort_unstable();
+                sensors.dedup();
+                // Tail attribution (see the scoring loop): the anomaly's
+                // span runs from the first abnormal round's new step to
+                // the last abnormal round's window end.
+                let (fa, fb) = spec.span(first);
+                let start = if first == 0 {
+                    fa
+                } else {
+                    fb.saturating_sub(spec.s)
+                };
+                let (_, end) = spec.span(last);
+                anomalies.push(Anomaly {
+                    sensors,
+                    first_round: first,
+                    last_round: last,
+                    start: start.min(test.len()),
+                    end: end.min(test.len()),
+                });
+            }
+        };
 
         for r in 0..n_rounds {
             let start = spec.start(r);
@@ -253,7 +292,12 @@ impl CadDetector {
                 *l = true;
             }
         }
-        DetectionResult { anomalies, rounds, point_scores, point_labels }
+        DetectionResult {
+            anomalies,
+            rounds,
+            point_scores,
+            point_labels,
+        }
     }
 }
 
@@ -290,8 +334,7 @@ mod tests {
         for (i, &s) in affected.iter().enumerate() {
             #[allow(clippy::needless_range_loop)]
             for t in break_start..break_end {
-                series[s][t] =
-                    ((t as f64) * (0.31 + 0.11 * i as f64)).cos() * 1.5 + 0.3 * i as f64;
+                series[s][t] = ((t as f64) * (0.31 + 0.11 * i as f64)).cos() * 1.5 + 0.3 * i as f64;
             }
         }
         (Mts::from_series(series), affected)
@@ -326,11 +369,18 @@ mod tests {
             .anomalies
             .iter()
             .any(|a| a.start < 600 && a.end > 400);
-        assert!(hit, "no anomaly overlaps the true break: {:?}", result.anomalies);
+        assert!(
+            hit,
+            "no anomaly overlaps the true break: {:?}",
+            result.anomalies
+        );
         // Affected sensors must be implicated.
         let sensors = result.all_sensors();
         let found = affected.iter().filter(|s| sensors.contains(s)).count();
-        assert!(found >= 2, "affected sensors {affected:?} not implicated in {sensors:?}");
+        assert!(
+            found >= 2,
+            "affected sensors {affected:?} not implicated in {sensors:?}"
+        );
     }
 
     #[test]
@@ -389,7 +439,10 @@ mod tests {
         let result = det.detect(&test);
         assert_eq!(result.point_scores.len(), 700);
         assert_eq!(result.point_labels.len(), 700);
-        assert!(result.point_scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+        assert!(result
+            .point_scores
+            .iter()
+            .all(|s| s.is_finite() && *s >= 0.0));
     }
 
     #[test]
@@ -412,7 +465,10 @@ mod tests {
         assert!(!result.rounds[1].abnormal);
         // The break still gets caught once statistics exist.
         assert!(
-            result.anomalies.iter().any(|a| a.start < 800 && a.end > 550),
+            result
+                .anomalies
+                .iter()
+                .any(|a| a.start < 800 && a.end > 550),
             "online bootstrap failed to catch the break"
         );
     }

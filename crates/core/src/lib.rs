@@ -49,6 +49,7 @@
 pub mod coappearance;
 pub mod config;
 pub mod detector;
+pub mod pool;
 pub mod result;
 pub mod state;
 pub mod stream;
@@ -56,6 +57,7 @@ pub mod stream;
 pub use coappearance::CoappearanceTracker;
 pub use config::{CadConfig, CadConfigBuilder};
 pub use detector::{CadDetector, RoundOutcome};
+pub use pool::DetectorPool;
 pub use result::{Anomaly, DetectionResult, RoundRecord};
 pub use state::{load_detector, save_detector, StateError};
 pub use stream::StreamingCad;

@@ -1,0 +1,192 @@
+//! Sharded fleets of streaming detectors — the horizontal-scale seam.
+//!
+//! One [`StreamingCad`](crate::StreamingCad) monitors one correlated sensor
+//! group (one deployment, one "user"). Serving millions of users means
+//! running millions of independent instances; [`DetectorPool`] is that
+//! seam: it owns a vector of shards and fans warm-up and per-tick pushes
+//! out across the `cad-runtime` pool.
+//!
+//! Shards are fully independent, so parallelism cannot change any output:
+//! each shard's outcome stream is exactly what a serial loop over the same
+//! shards would produce, and results always come back ordered by shard
+//! index (the `cad-runtime` determinism contract). A process-level pool
+//! like this one composes with process sharding — route users to processes
+//! by hash, then to a `DetectorPool` shard inside each.
+
+use cad_mts::Mts;
+use cad_runtime::Timer;
+
+use crate::detector::RoundOutcome;
+use crate::stream::StreamingCad;
+
+/// A fixed set of independent [`StreamingCad`] shards driven in parallel.
+#[derive(Debug)]
+pub struct DetectorPool {
+    shards: Vec<StreamingCad>,
+}
+
+impl DetectorPool {
+    /// Pool over the given shards (one per monitored sensor group).
+    pub fn new(shards: Vec<StreamingCad>) -> Self {
+        Self { shards }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the pool has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Immutable view of one shard.
+    pub fn shard(&self, i: usize) -> &StreamingCad {
+        &self.shards[i]
+    }
+
+    /// Iterate over the shards in index order.
+    pub fn shards(&self) -> impl Iterator<Item = &StreamingCad> {
+        self.shards.iter()
+    }
+
+    /// Warm every shard up on its own history (Algorithm 2's WarmUp),
+    /// in parallel across shards. `histories[i]` feeds shard `i`.
+    pub fn warm_up(&mut self, histories: &[Mts]) {
+        assert_eq!(
+            histories.len(),
+            self.shards.len(),
+            "one history per shard required"
+        );
+        let _t = Timer::start("pool.warm_up");
+        cad_runtime::par_map_mut(&mut self.shards, |i, shard| shard.warm_up(&histories[i]));
+    }
+
+    /// Feed one tick to every shard — `ticks[i]` holds shard `i`'s
+    /// readings (one value per sensor) — and collect the round outcomes,
+    /// ordered by shard index. Shards whose tick completes a round yield
+    /// `Some`; the rest `None`.
+    pub fn push_samples(&mut self, ticks: &[Vec<f64>]) -> Vec<Option<RoundOutcome>> {
+        assert_eq!(
+            ticks.len(),
+            self.shards.len(),
+            "one tick per shard required"
+        );
+        let _t = Timer::start("pool.push");
+        cad_runtime::par_map_mut(&mut self.shards, |i, shard| shard.push_sample(&ticks[i]))
+    }
+
+    /// Tear the pool down and hand the shards back (e.g. to persist their
+    /// state via [`save_detector`](crate::save_detector)).
+    pub fn into_shards(self) -> Vec<StreamingCad> {
+        self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CadConfig;
+    use crate::detector::CadDetector;
+
+    fn config() -> CadConfig {
+        CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .build()
+    }
+
+    /// Four mildly different sensor groups per shard.
+    fn shard_mts(shard: usize, len: usize) -> Mts {
+        let phase = shard as f64 * 0.37;
+        let a: Vec<f64> = (0..len).map(|t| (t as f64 * 0.2 + phase).sin()).collect();
+        let b: Vec<f64> = a.iter().map(|x| 0.7 * x + 0.2).collect();
+        let c: Vec<f64> = (0..len).map(|t| (t as f64 * 0.45 + phase).cos()).collect();
+        let d: Vec<f64> = c.iter().map(|x| -0.9 * x).collect();
+        Mts::from_series(vec![a, b, c, d])
+    }
+
+    fn build_pool(n_shards: usize) -> DetectorPool {
+        DetectorPool::new(
+            (0..n_shards)
+                .map(|_| StreamingCad::new(CadDetector::new(4, config())))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn pool_matches_serial_shard_loop() {
+        let n_shards = 6;
+        let len = 200;
+        let data: Vec<Mts> = (0..n_shards).map(|s| shard_mts(s, len)).collect();
+
+        // Reference: drive each shard serially on its own.
+        let mut reference: Vec<Vec<RoundOutcome>> = Vec::new();
+        for mts in &data {
+            let mut stream = StreamingCad::new(CadDetector::new(4, config()));
+            let mut outs = Vec::new();
+            for t in 0..len {
+                if let Some(o) = stream.push_sample(&mts.column(t)) {
+                    outs.push(o);
+                }
+            }
+            reference.push(outs);
+        }
+
+        // Pool under oversubscribed threads.
+        let pooled = cad_runtime::with_thread_override(8, || {
+            let mut pool = build_pool(n_shards);
+            let mut outs: Vec<Vec<RoundOutcome>> = vec![Vec::new(); n_shards];
+            for t in 0..len {
+                let ticks: Vec<Vec<f64>> = data.iter().map(|m| m.column(t)).collect();
+                for (s, o) in pool.push_samples(&ticks).into_iter().enumerate() {
+                    if let Some(o) = o {
+                        outs[s].push(o);
+                    }
+                }
+            }
+            outs
+        });
+        assert_eq!(
+            pooled, reference,
+            "pooled shards must match serial shard loops"
+        );
+    }
+
+    #[test]
+    fn warm_up_applies_to_every_shard() {
+        let n_shards = 3;
+        let data: Vec<Mts> = (0..n_shards).map(|s| shard_mts(s, 300)).collect();
+        let mut pool = build_pool(n_shards);
+        pool.warm_up(&data);
+        for shard in pool.shards() {
+            // Warm-up seeded the n_r statistics of each shard's detector.
+            assert!(shard.detector().stats().count() > 0);
+        }
+        assert_eq!(pool.len(), n_shards);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn into_shards_returns_all() {
+        let pool = build_pool(4);
+        assert_eq!(pool.into_shards().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one tick per shard")]
+    fn mismatched_ticks_panic() {
+        let mut pool = build_pool(2);
+        pool.push_samples(&[vec![0.0; 4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one history per shard")]
+    fn mismatched_histories_panic() {
+        let mut pool = build_pool(2);
+        pool.warm_up(&[shard_mts(0, 100)]);
+    }
+}

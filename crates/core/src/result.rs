@@ -63,8 +63,11 @@ pub struct DetectionResult {
 impl DetectionResult {
     /// Sensors implicated in any anomaly, sorted and deduplicated.
     pub fn all_sensors(&self) -> Vec<usize> {
-        let mut out: Vec<usize> =
-            self.anomalies.iter().flat_map(|a| a.sensors.iter().copied()).collect();
+        let mut out: Vec<usize> = self
+            .anomalies
+            .iter()
+            .flat_map(|a| a.sensors.iter().copied())
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -72,7 +75,9 @@ impl DetectionResult {
 
     /// The anomaly covering time point `t`, if any.
     pub fn anomaly_at(&self, t: usize) -> Option<&Anomaly> {
-        self.anomalies.iter().find(|a| (a.start..a.end).contains(&t))
+        self.anomalies
+            .iter()
+            .find(|a| (a.start..a.end).contains(&t))
     }
 }
 
@@ -83,8 +88,20 @@ mod tests {
     fn sample() -> DetectionResult {
         DetectionResult {
             anomalies: vec![
-                Anomaly { sensors: vec![1, 3], first_round: 2, last_round: 4, start: 20, end: 60 },
-                Anomaly { sensors: vec![0, 3], first_round: 9, last_round: 9, start: 90, end: 110 },
+                Anomaly {
+                    sensors: vec![1, 3],
+                    first_round: 2,
+                    last_round: 4,
+                    start: 20,
+                    end: 60,
+                },
+                Anomaly {
+                    sensors: vec![0, 3],
+                    first_round: 9,
+                    last_round: 9,
+                    start: 90,
+                    end: 110,
+                },
             ],
             rounds: vec![],
             point_scores: vec![0.0; 120],

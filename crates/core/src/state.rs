@@ -79,7 +79,11 @@ pub fn save_detector<W: Write>(detector: &CadDetector, mut out: W) -> io::Result
         Some(h) => writeln!(out, "rc_horizon {h}")?,
         None => writeln!(out, "rc_horizon none")?,
     }
-    writeln!(out, "louvain {} {}", config.louvain.max_levels, config.louvain.min_gain)?;
+    writeln!(
+        out,
+        "louvain {} {}",
+        config.louvain.max_levels, config.louvain.min_gain
+    )?;
     let (count, mean, m2) = stats.parts();
     writeln!(out, "stats {count} {mean} {m2}")?;
     let outliers: Vec<String> = prev_outliers.iter().map(|v| v.to_string()).collect();
@@ -134,7 +138,9 @@ impl<R: BufRead> Lines<R> {
 }
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, StateError> {
-    s.trim().parse().map_err(|_| fmt_err(format!("bad {what}: {s:?}")))
+    s.trim()
+        .parse()
+        .map_err(|_| fmt_err(format!("bad {what}: {s:?}")))
 }
 
 fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, StateError> {
@@ -143,7 +149,10 @@ fn parse_list<T: std::str::FromStr>(s: &str, what: &str) -> Result<Vec<T>, State
 
 /// Restore a detector previously written by [`save_detector`].
 pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
-    let mut lines = Lines { reader: BufReader::new(input), buf: String::new() };
+    let mut lines = Lines {
+        reader: BufReader::new(input),
+        buf: String::new(),
+    };
     let header = lines.next()?.to_string();
     if header != format!("{MAGIC} v{VERSION}") {
         return Err(fmt_err(format!("unsupported header {header:?}")));
@@ -233,7 +242,13 @@ pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
         .rc_horizon(rc_horizon)
         .louvain(louvain)
         .build();
-    Ok(CadDetector::from_persisted(n_sensors, config, tracker, stats, prev_outliers))
+    Ok(CadDetector::from_persisted(
+        n_sensors,
+        config,
+        tracker,
+        stats,
+        prev_outliers,
+    ))
 }
 
 #[cfg(test)]
@@ -336,7 +351,10 @@ mod tests {
         save_detector(&det, &mut buf).expect("save");
         let cut = buf.len() / 2;
         let err = load_detector(&buf[..cut]).unwrap_err();
-        assert!(matches!(err, StateError::Format(_) | StateError::Io(_)), "{err}");
+        assert!(
+            matches!(err, StateError::Format(_) | StateError::Io(_)),
+            "{err}"
+        );
     }
 
     #[test]

@@ -28,7 +28,13 @@ impl StreamingCad {
     /// Wrap a (typically warmed-up) detector.
     pub fn new(detector: CadDetector) -> Self {
         let n_sensors = detector.n_sensors();
-        Self { detector, n_sensors, buffers: vec![Vec::new(); n_sensors], fresh: 0, total: 0 }
+        Self {
+            detector,
+            n_sensors,
+            buffers: vec![Vec::new(); n_sensors],
+            fresh: 0,
+            total: 0,
+        }
     }
 
     /// Warm up the wrapped detector on historical data (Algorithm 2's
@@ -37,7 +43,9 @@ impl StreamingCad {
     pub fn warm_up(&mut self, his: &Mts) {
         self.detector.warm_up(his);
         let w = self.detector.config().window.w;
-        let keep = w.saturating_sub(self.detector.config().window.s).min(his.len());
+        let keep = w
+            .saturating_sub(self.detector.config().window.s)
+            .min(his.len());
         for (s, buf) in self.buffers.iter_mut().enumerate() {
             buf.clear();
             buf.extend_from_slice(&his.sensor(s)[his.len() - keep..]);
@@ -60,7 +68,11 @@ impl StreamingCad {
     /// buffer holds `w` points and `s` fresh samples have arrived since
     /// the previous round.
     pub fn push_sample(&mut self, readings: &[f64]) -> Option<RoundOutcome> {
-        assert_eq!(readings.len(), self.n_sensors, "one reading per sensor required");
+        assert_eq!(
+            readings.len(),
+            self.n_sensors,
+            "one reading per sensor required"
+        );
         let spec = self.detector.config().window;
         for (buf, &v) in self.buffers.iter_mut().zip(readings) {
             buf.push(v);
@@ -107,7 +119,12 @@ mod tests {
     }
 
     fn config() -> CadConfig {
-        CadConfig::builder(4).window(32, 8).k(1).tau(0.3).theta(0.2).build()
+        CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .build()
     }
 
     #[test]

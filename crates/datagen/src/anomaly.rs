@@ -73,7 +73,10 @@ impl AnomalySpec {
     /// Inject into `mts`. `sensor_scale[s]` is the normal-regime std of
     /// sensor `s`, so `magnitude` is expressed in natural units.
     pub fn inject<R: Rng + ?Sized>(&self, mts: &mut Mts, sensor_scale: &[f64], rng: &mut R) {
-        assert!(self.start + self.duration <= mts.len(), "anomaly span out of range");
+        assert!(
+            self.start + self.duration <= mts.len(),
+            "anomaly span out of range"
+        );
         let mut sampler = GaussianSampler::new();
         match self.kind {
             AnomalyKind::CorrelationBreak => {
@@ -185,14 +188,8 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(5);
         spec.inject(&mut mts, &scales, &mut rng);
-        let pre = pearson(
-            &mts.sensor(0)[..200],
-            &mts.sensor(1)[..200],
-        );
-        let during = pearson(
-            &mts.sensor(0)[230..350],
-            &mts.sensor(1)[230..350],
-        );
+        let pre = pearson(&mts.sensor(0)[..200], &mts.sensor(1)[..200]);
+        let during = pearson(&mts.sensor(0)[230..350], &mts.sensor(1)[230..350]);
         assert!(pre > 0.99, "pre-anomaly correlation intact: {pre}");
         assert!(during < 0.7, "correlation must break: {during}");
     }

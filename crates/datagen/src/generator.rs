@@ -100,14 +100,22 @@ impl Dataset {
             let driver = bank.driver(c);
             let driver_sd = stddev(driver).max(1e-6);
             let gain_mag = 0.6 + 1.2 * rng.gen::<f64>();
-            let gain = if rng.gen::<f64>() < 0.25 { -gain_mag } else { gain_mag };
+            let gain = if rng.gen::<f64>() < 0.25 {
+                -gain_mag
+            } else {
+                gain_mag
+            };
             let offset = sampler.normal(&mut rng, 0.0, 2.0);
             let noise_sd = config.noise_rel * driver_sd * gain_mag;
             // Small secondary-driver coupling raises the data's intrinsic
             // dimension (real components interact with more than one
             // process) without dissolving the community structure.
             let c2 = (c + 1) % n_comm;
-            let gain2 = if n_comm > 1 { 0.25 * rng.gen::<f64>() * gain_mag } else { 0.0 };
+            let gain2 = if n_comm > 1 {
+                0.25 * rng.gen::<f64>() * gain_mag
+            } else {
+                0.0
+            };
             let driver2 = bank.driver(c2);
             let s: Vec<f64> = driver
                 .iter()
@@ -146,8 +154,7 @@ impl Dataset {
                     .collect();
                 let frac = config.affected_frac.0
                     + rng.gen::<f64>() * (config.affected_frac.1 - config.affected_frac.0);
-                let n_affected = ((members.len() as f64 * frac) as usize)
-                    .clamp(1, members.len());
+                let n_affected = ((members.len() as f64 * frac) as usize).clamp(1, members.len());
                 let mut chosen = members;
                 // Deterministic partial Fisher–Yates.
                 for j in 0..n_affected {
@@ -183,7 +190,13 @@ impl Dataset {
             })
             .collect();
         let truth = GroundTruth::new(config.test_len, labels);
-        Dataset { name: config.name.clone(), his, test, truth, communities }
+        Dataset {
+            name: config.name.clone(),
+            his,
+            test,
+            truth,
+            communities,
+        }
     }
 }
 

@@ -111,9 +111,17 @@ impl Ar1 {
     /// New process with persistence `phi ∈ [0, 1)` and innovation std
     /// `sigma`.
     pub fn new(phi: f64, sigma: f64) -> Self {
-        assert!((0.0..1.0).contains(&phi), "phi must be in [0,1) for stationarity");
+        assert!(
+            (0.0..1.0).contains(&phi),
+            "phi must be in [0,1) for stationarity"
+        );
         assert!(sigma >= 0.0);
-        Self { phi, sigma, state: 0.0, sampler: GaussianSampler::new() }
+        Self {
+            phi,
+            sigma,
+            state: 0.0,
+            sampler: GaussianSampler::new(),
+        }
     }
 
     /// Advance one step and return the new state.
@@ -197,14 +205,22 @@ mod tests {
         let mix = SinusoidMix::random(&mut rng, 3, 10.0, 100.0);
         for t in 0..1000 {
             let v = mix.at(t as f64);
-            assert!(v.abs() <= 3.0, "mixture of 3 unit-amp sinusoids bounded by 3");
+            assert!(
+                v.abs() <= 3.0,
+                "mixture of 3 unit-amp sinusoids bounded by 3"
+            );
         }
     }
 
     #[test]
     fn waveforms_are_bounded_and_periodic() {
         let tau = 2.0 * std::f64::consts::PI;
-        for wf in [Waveform::Sine, Waveform::Square, Waveform::Sawtooth, Waveform::Triangle] {
+        for wf in [
+            Waveform::Sine,
+            Waveform::Square,
+            Waveform::Sawtooth,
+            Waveform::Triangle,
+        ] {
             for i in 0..200 {
                 let x = i as f64 * 0.137;
                 let v = wf.at(x);

@@ -93,7 +93,10 @@ mod tests {
         // t4 (after anomaly 1's first TP at t2) are adjusted; t1 and the
         // late-detected anomaly 2's earlier points stay missed.
         let (truth, m1) = figure3();
-        assert!((f1_score(&m1, &truth) - 4.0 / 9.0).abs() < 1e-9, "raw 44.4%");
+        assert!(
+            (f1_score(&m1, &truth) - 4.0 / 9.0).abs() < 1e-9,
+            "raw 44.4%"
+        );
         let pa = pa_adjust(&m1, &truth);
         assert_eq!(f1_score(&pa, &truth), 1.0, "PA 100%");
         let dpa = dpa_adjust(&m1, &truth);
@@ -101,7 +104,10 @@ mod tests {
             dpa,
             vec![false, true, true, true, false, false, false, false, true]
         );
-        assert!((f1_score(&dpa, &truth) - 8.0 / 11.0).abs() < 1e-9, "DPA 72.7%");
+        assert!(
+            (f1_score(&dpa, &truth) - 8.0 / 11.0).abs() < 1e-9,
+            "DPA 72.7%"
+        );
     }
 
     #[test]

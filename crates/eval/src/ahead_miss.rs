@@ -49,13 +49,22 @@ pub fn ahead_miss(m1: &[bool], m2: &[bool], truth: &[bool]) -> AheadMiss {
             _ => {}
         }
     }
-    let ahead = if detected == 0 { 0.0 } else { i_ahead as f64 / detected as f64 };
+    let ahead = if detected == 0 {
+        0.0
+    } else {
+        i_ahead as f64 / detected as f64
+    };
     let miss = if detected == total {
         0.0
     } else {
         i_miss as f64 / (total - detected) as f64
     };
-    AheadMiss { ahead, miss, total, detected }
+    AheadMiss {
+        ahead,
+        miss,
+        total,
+        detected,
+    }
 }
 
 #[cfg(test)]
@@ -74,7 +83,11 @@ mod tests {
         let am = ahead_miss(&m1, &m2, &truth);
         assert_eq!(am.total, 2);
         assert_eq!(am.detected, 2);
-        assert!((am.ahead - 0.5).abs() < 1e-12, "M1 ahead on 1 of 2: {}", am.ahead);
+        assert!(
+            (am.ahead - 0.5).abs() < 1e-12,
+            "M1 ahead on 1 of 2: {}",
+            am.ahead
+        );
         assert_eq!(am.miss, 0.0);
     }
 

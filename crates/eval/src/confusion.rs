@@ -72,7 +72,15 @@ mod tests {
     fn perfect_prediction() {
         let t = [true, false, true, false];
         let c = confusion(&t, &t);
-        assert_eq!(c, Confusion { tp: 2, fp: 0, fn_: 0, tn: 2 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 0,
+                fn_: 0,
+                tn: 2
+            }
+        );
         assert_eq!(c.f1(), 1.0);
     }
 

@@ -42,7 +42,10 @@ pub fn segments(labels: &[bool]) -> Vec<Segment> {
         }
     }
     if let Some(s) = start {
-        out.push(Segment { start: s, end: labels.len() });
+        out.push(Segment {
+            start: s,
+            end: labels.len(),
+        });
     }
     out
 }

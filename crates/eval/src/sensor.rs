@@ -59,14 +59,26 @@ pub fn sensor_f1(detections: &[DetectedSensors], truth: &[TrueSensors]) -> Senso
         fp += predicted.iter().filter(|s| !true_set.contains(s)).count();
         fn_ += true_set.iter().filter(|s| !predicted.contains(s)).count();
     }
-    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    SensorScore { precision, recall, f1 }
+    SensorScore {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 #[cfg(test)]
@@ -74,11 +86,19 @@ mod tests {
     use super::*;
 
     fn gt(start: usize, end: usize, sensors: &[usize]) -> TrueSensors {
-        TrueSensors { start, end, sensors: sensors.to_vec() }
+        TrueSensors {
+            start,
+            end,
+            sensors: sensors.to_vec(),
+        }
     }
 
     fn det(start: usize, end: usize, sensors: &[usize]) -> DetectedSensors {
-        DetectedSensors { start, end, sensors: sensors.to_vec() }
+        DetectedSensors {
+            start,
+            end,
+            sensors: sensors.to_vec(),
+        }
     }
 
     #[test]

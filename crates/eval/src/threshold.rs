@@ -52,7 +52,12 @@ pub fn best_f1(scores: &[f64], truth: &[bool], adjustment: Adjustment, steps: us
     grid.sort_unstable();
     grid.dedup();
 
-    let mut best = BestF1 { threshold: 0.0, f1: -1.0, precision: 0.0, recall: 0.0 };
+    let mut best = BestF1 {
+        threshold: 0.0,
+        f1: -1.0,
+        precision: 0.0,
+        recall: 0.0,
+    };
     let mut pred = vec![false; norm.len()];
     for &g in &grid {
         let thr = g as f64 / steps as f64;
@@ -63,7 +68,12 @@ pub fn best_f1(scores: &[f64], truth: &[bool], adjustment: Adjustment, steps: us
         let c: Confusion = confusion(&adjusted, truth);
         let f1 = c.f1();
         if f1 > best.f1 {
-            best = BestF1 { threshold: thr, f1, precision: c.precision(), recall: c.recall() };
+            best = BestF1 {
+                threshold: thr,
+                f1,
+                precision: c.precision(),
+                recall: c.recall(),
+            };
         }
     }
     best
@@ -93,7 +103,11 @@ mod tests {
         assert_eq!(best.f1, 1.0);
         // The winning threshold must separate the normals (≤ 0.222 after
         // normalisation) from the anomalies (≥ 0.888).
-        assert!(best.threshold > 0.23 && best.threshold <= 0.889, "{}", best.threshold);
+        assert!(
+            best.threshold > 0.23 && best.threshold <= 0.889,
+            "{}",
+            best.threshold
+        );
     }
 
     #[test]

@@ -30,7 +30,12 @@ pub struct VusConfig {
 
 impl Default for VusConfig {
     fn default() -> Self {
-        Self { max_buffer: 16, buffer_steps: 5, threshold_steps: 50, adjustment: Adjustment::None }
+        Self {
+            max_buffer: 16,
+            buffer_steps: 5,
+            threshold_steps: 50,
+            adjustment: Adjustment::None,
+        }
     }
 }
 
@@ -75,7 +80,11 @@ fn auc_for_buffer(
     let total_neg: f64 = soft.iter().map(|s| 1.0 - s).sum();
     if total_pos <= 0.0 || total_neg <= 0.0 {
         // Degenerate stream: AUC undefined; return the no-skill value.
-        return if pr { total_pos / soft.len().max(1) as f64 } else { 0.5 };
+        return if pr {
+            total_pos / soft.len().max(1) as f64
+        } else {
+            0.5
+        };
     }
     // Sweep thresholds from high to low, collecting curve points.
     let mut curve: Vec<(f64, f64)> = Vec::with_capacity(config.threshold_steps + 2);
@@ -97,7 +106,11 @@ fn auc_for_buffer(
         let tpr = tp / total_pos;
         if pr {
             let predicted_pos = tp + fp;
-            let precision = if predicted_pos <= 0.0 { 1.0 } else { tp / predicted_pos };
+            let precision = if predicted_pos <= 0.0 {
+                1.0
+            } else {
+                tp / predicted_pos
+            };
             curve.push((tpr, precision)); // x = recall, y = precision
         } else {
             let fpr = fp / total_neg;
@@ -212,8 +225,9 @@ mod tests {
         assert!((auc_roc(&scores, &truth) - 1.0).abs() < 1e-9);
         assert!(auc_pr(&scores, &truth) > 0.95);
         // Random-ish scores sit near the no-skill levels.
-        let noise: Vec<f64> =
-            (0..truth.len()).map(|i| ((i * 2654435761) % 997) as f64 / 997.0).collect();
+        let noise: Vec<f64> = (0..truth.len())
+            .map(|i| ((i * 2654435761) % 997) as f64 / 997.0)
+            .collect();
         let roc = auc_roc(&noise, &truth);
         assert!((0.2..=0.8).contains(&roc), "noise ROC {roc}");
     }
@@ -221,7 +235,11 @@ mod tests {
     #[test]
     fn zero_buffer_vus_is_plain_auc() {
         let (scores, truth) = sample();
-        let cfg = VusConfig { max_buffer: 0, buffer_steps: 1, ..VusConfig::default() };
+        let cfg = VusConfig {
+            max_buffer: 0,
+            buffer_steps: 1,
+            ..VusConfig::default()
+        };
         // Perfect separation → AUC-ROC = 1.
         assert!((vus_roc(&scores, &truth, &cfg) - 1.0).abs() < 1e-9);
         assert!(vus_pr(&scores, &truth, &cfg) > 0.95);
@@ -231,11 +249,18 @@ mod tests {
     fn random_scores_give_middling_roc() {
         let truth: Vec<bool> = (0..200).map(|i| (20..40).contains(&i)).collect();
         // Deterministic pseudo-random scores, independent of truth.
-        let scores: Vec<f64> =
-            (0..200).map(|i| ((i * 2654435761usize) % 1000) as f64 / 1000.0).collect();
-        let cfg = VusConfig { adjustment: Adjustment::None, ..VusConfig::default() };
+        let scores: Vec<f64> = (0..200)
+            .map(|i| ((i * 2654435761usize) % 1000) as f64 / 1000.0)
+            .collect();
+        let cfg = VusConfig {
+            adjustment: Adjustment::None,
+            ..VusConfig::default()
+        };
         let roc = vus_roc(&scores, &truth, &cfg);
-        assert!((0.25..=0.75).contains(&roc), "uninformative ROC should be ~0.5: {roc}");
+        assert!(
+            (0.25..=0.75).contains(&roc),
+            "uninformative ROC should be ~0.5: {roc}"
+        );
     }
 
     #[test]
@@ -251,18 +276,30 @@ mod tests {
         // A detector hitting one point of a long anomaly benefits from PA.
         let truth: Vec<bool> = (0..60).map(|i| (20..40).contains(&i)).collect();
         let scores: Vec<f64> = (0..60).map(|i| if i == 30 { 1.0 } else { 0.0 }).collect();
-        let raw_cfg = VusConfig { adjustment: Adjustment::None, ..VusConfig::default() };
-        let pa_cfg = VusConfig { adjustment: Adjustment::Pa, ..VusConfig::default() };
+        let raw_cfg = VusConfig {
+            adjustment: Adjustment::None,
+            ..VusConfig::default()
+        };
+        let pa_cfg = VusConfig {
+            adjustment: Adjustment::Pa,
+            ..VusConfig::default()
+        };
         let raw = vus_roc(&scores, &truth, &raw_cfg);
         let pa = vus_roc(&scores, &truth, &pa_cfg);
-        assert!(pa > raw, "PA should lift the single-hit detector: {raw} vs {pa}");
+        assert!(
+            pa > raw,
+            "PA should lift the single-hit detector: {raw} vs {pa}"
+        );
     }
 
     #[test]
     fn dpa_between_raw_and_pa() {
         let truth: Vec<bool> = (0..60).map(|i| (20..40).contains(&i)).collect();
         let scores: Vec<f64> = (0..60).map(|i| if i == 30 { 1.0 } else { 0.0 }).collect();
-        let mk = |adj| VusConfig { adjustment: adj, ..VusConfig::default() };
+        let mk = |adj| VusConfig {
+            adjustment: adj,
+            ..VusConfig::default()
+        };
         let raw = vus_pr(&scores, &truth, &mk(Adjustment::None));
         let dpa = vus_pr(&scores, &truth, &mk(Adjustment::Dpa));
         let pa = vus_pr(&scores, &truth, &mk(Adjustment::Pa));
@@ -303,7 +340,10 @@ mod tests {
     fn vus_bounded() {
         let (scores, truth) = sample();
         for adj in [Adjustment::None, Adjustment::Pa, Adjustment::Dpa] {
-            let cfg = VusConfig { adjustment: adj, ..VusConfig::default() };
+            let cfg = VusConfig {
+                adjustment: adj,
+                ..VusConfig::default()
+            };
             let r = vus_roc(&scores, &truth, &cfg);
             let p = vus_pr(&scores, &truth, &cfg);
             assert!((0.0..=1.0).contains(&r));

@@ -59,7 +59,12 @@ pub struct HnswConfig {
 
 impl Default for HnswConfig {
     fn default() -> Self {
-        Self { m: 12, ef_construction: 64, ef_search: 48, seed: 0x5ee_d }
+        Self {
+            m: 12,
+            ef_construction: 64,
+            ef_search: 48,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -118,7 +123,13 @@ impl<'a, D: Fn(usize, usize) -> f64> Hnsw<'a, D> {
 
     /// Greedy best-first search on one layer. Returns up to `ef` closest
     /// candidates as `(distance, id)`, ascending.
-    fn search_layer(&self, query: usize, entry: usize, ef: usize, layer: usize) -> Vec<(f64, usize)> {
+    fn search_layer(
+        &self,
+        query: usize,
+        entry: usize,
+        ef: usize,
+        layer: usize,
+    ) -> Vec<(f64, usize)> {
         let d0 = (self.dist)(query, entry);
         // Epoch-marked visited set (no O(n) clearing).
         let mut guard = self.visited.borrow_mut();
@@ -133,7 +144,10 @@ impl<'a, D: Fn(usize, usize) -> f64> Hnsw<'a, D> {
         let mut results: BinaryHeap<(Dist, usize)> = BinaryHeap::new();
         results.push((Dist(d0), entry));
         while let Some(Reverse((Dist(d_c), c))) = candidates.pop() {
-            let worst = results.peek().map(|&(Dist(d), _)| d).unwrap_or(f64::INFINITY);
+            let worst = results
+                .peek()
+                .map(|&(Dist(d), _)| d)
+                .unwrap_or(f64::INFINITY);
             if d_c > worst && results.len() >= ef {
                 break;
             }
@@ -143,7 +157,10 @@ impl<'a, D: Fn(usize, usize) -> f64> Hnsw<'a, D> {
                 }
                 marks[nb] = epoch;
                 let d = (self.dist)(query, nb);
-                let worst = results.peek().map(|&(Dist(dd), _)| dd).unwrap_or(f64::INFINITY);
+                let worst = results
+                    .peek()
+                    .map(|&(Dist(dd), _)| dd)
+                    .unwrap_or(f64::INFINITY);
                 if results.len() < ef || d < worst {
                     candidates.push(Reverse((Dist(d), nb)));
                     results.push((Dist(d), nb));
@@ -153,8 +170,7 @@ impl<'a, D: Fn(usize, usize) -> f64> Hnsw<'a, D> {
                 }
             }
         }
-        let mut out: Vec<(f64, usize)> =
-            results.into_iter().map(|(Dist(d), id)| (d, id)).collect();
+        let mut out: Vec<(f64, usize)> = results.into_iter().map(|(Dist(d), id)| (d, id)).collect();
         out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
         out
     }
@@ -194,7 +210,9 @@ impl<'a, D: Fn(usize, usize) -> f64> Hnsw<'a, D> {
     pub fn insert(&mut self, id: usize) {
         assert_eq!(id, self.nodes.len(), "insert ids in order");
         let level = self.random_level();
-        let node = Node { neighbors: vec![Vec::new(); level + 1] };
+        let node = Node {
+            neighbors: vec![Vec::new(); level + 1],
+        };
         self.nodes.push(node);
         let Some(mut entry) = self.entry else {
             self.entry = Some(id);
@@ -220,9 +238,8 @@ impl<'a, D: Fn(usize, usize) -> f64> Hnsw<'a, D> {
                         .iter()
                         .map(|&x| ((self.dist)(nb, x), x))
                         .collect();
-                    with_d.sort_by(|a, b| {
-                        a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1))
-                    });
+                    with_d
+                        .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
                     self.nodes[nb].neighbors[layer] = self.select_neighbors(&with_d, m);
                 }
             }
@@ -275,8 +292,10 @@ mod tests {
 
     fn exact_knn(pts: &[[f64; 2]], q: usize, k: usize) -> Vec<usize> {
         let d = euclid(pts);
-        let mut all: Vec<(f64, usize)> =
-            (0..pts.len()).filter(|&i| i != q).map(|i| (d(q, i), i)).collect();
+        let mut all: Vec<(f64, usize)> = (0..pts.len())
+            .filter(|&i| i != q)
+            .map(|i| (d(q, i), i))
+            .collect();
         all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
         all.truncate(k);
         all.into_iter().map(|(_, i)| i).collect()

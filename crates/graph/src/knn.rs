@@ -6,13 +6,20 @@
 //! whose |weight| falls below τ are pruned.
 //!
 //! The builder pre-z-normalises each sensor's window once, turning every
-//! pairwise correlation into a dot product (O(w)); total cost O(n²·w) per
-//! round plus an O(n·k log n) selection. The paper reaches O(n log n) with
-//! approximate HNSW search — exactness here only improves the graphs (see
-//! DESIGN.md substitution #3).
+//! pairwise correlation into a dot product (O(w)). The exact path then
+//! computes the round's correlation matrix over the upper triangle only —
+//! O(n²/2·w), parallel across the `cad-runtime` pool — and selects each
+//! vertex's top-k from its matrix row (O(n·k log n) total). The paper
+//! reaches O(n log n) with approximate HNSW search — exactness here only
+//! improves the graphs (see DESIGN.md substitution #3).
+//!
+//! Every parallel stage follows the `cad-runtime` determinism contract:
+//! per-pair/per-vertex results are pure and placed by index, so the TSG is
+//! bit-identical for any `CAD_RUNTIME_THREADS` value.
 
 use cad_mts::Mts;
-use cad_stats::correlation::{pearson_normalized, znorm_in_place};
+use cad_runtime::Timer;
+use cad_stats::correlation::{pearson_matrix_normalized, pearson_normalized, znorm_in_place};
 use cad_stats::rank_correlation::fractional_ranks;
 
 use crate::hnsw::{Hnsw, HnswConfig};
@@ -64,8 +71,16 @@ impl KnnConfig {
     /// Validated constructor with an explicit correlation kind.
     pub fn with_kind(k: usize, tau: f64, kind: CorrelationKind) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        assert!((0.0..=1.0).contains(&tau), "tau must be in [0,1], got {tau}");
-        Self { k, tau, kind, strategy: BuildStrategy::Exact }
+        assert!(
+            (0.0..=1.0).contains(&tau),
+            "tau must be in [0,1], got {tau}"
+        );
+        Self {
+            k,
+            tau,
+            kind,
+            strategy: BuildStrategy::Exact,
+        }
     }
 
     /// Switch to HNSW candidate search (see [`BuildStrategy::Hnsw`]).
@@ -75,26 +90,30 @@ impl KnnConfig {
     }
 }
 
-/// The k strongest (by |ρ|) τ-passing neighbours of vertex `u` over
-/// pre-normalised windows; ties break toward the lower vertex id so the
-/// TSG is fully deterministic.
-fn select_neighbors_for(
-    normalized: &[f64],
-    n: usize,
-    w: usize,
+/// Above this vertex count the O(n²) correlation matrix is skipped (its
+/// memory would dominate) and correlations are recomputed per vertex.
+const MATRIX_VERTEX_LIMIT: usize = 2048;
+
+/// Vertices per parallel selection chunk. Fixed, so chunk boundaries —
+/// hence scratch reuse and output placement — never depend on the thread
+/// layout.
+const SELECT_CHUNK: usize = 16;
+
+/// The k strongest (by |ρ|) τ-passing neighbours of vertex `u`, given the
+/// pre-computed correlations of `u` against every vertex; ties break toward
+/// the lower vertex id so the TSG is fully deterministic.
+fn select_neighbors_from_row(
+    correlations: &[f64],
     k: usize,
     tau: f64,
     u: usize,
     scratch: &mut Vec<(f64, usize)>,
 ) -> Vec<(f64, usize)> {
-    let row_u = &normalized[u * w..(u + 1) * w];
     scratch.clear();
-    for v in 0..n {
-        if v == u {
-            continue;
+    for (v, &c) in correlations.iter().enumerate() {
+        if v != u {
+            scratch.push((c, v));
         }
-        let row_v = &normalized[v * w..(v + 1) * w];
-        scratch.push((pearson_normalized(row_u, row_v), v));
     }
     scratch.sort_by(|a, b| {
         b.0.abs()
@@ -110,6 +129,14 @@ fn select_neighbors_for(
         .collect()
 }
 
+/// Correlations of `u` against all vertices, computed directly from the
+/// normalised windows (fallback for networks too wide for the matrix).
+fn correlation_row(normalized: &[f64], n: usize, w: usize, u: usize, out: &mut Vec<f64>) {
+    let row_u = &normalized[u * w..(u + 1) * w];
+    out.clear();
+    out.extend((0..n).map(|v| pearson_normalized(row_u, &normalized[v * w..(v + 1) * w])));
+}
+
 /// Reusable correlation k-NN builder. Holds scratch buffers so per-round
 /// TSG construction performs no allocations beyond the output graph.
 #[derive(Debug)]
@@ -117,14 +144,15 @@ pub struct CorrelationKnn {
     config: KnnConfig,
     /// Z-normalised windows, row-major `n × w`.
     normalized: Vec<f64>,
-    /// Scratch: correlation magnitudes+signs for one source vertex.
-    scratch: Vec<(f64, usize)>,
 }
 
 impl CorrelationKnn {
     /// New builder with the given parameters.
     pub fn new(config: KnnConfig) -> Self {
-        Self { config, normalized: Vec::new(), scratch: Vec::new() }
+        Self {
+            config,
+            normalized: Vec::new(),
+        }
     }
 
     /// Build parameters in use.
@@ -140,20 +168,24 @@ impl CorrelationKnn {
         // matrix. For Spearman, the window is replaced by its fractional
         // ranks first — Spearman's ρ is Pearson on ranks, so the dot-product
         // fast path applies unchanged.
-        self.normalized.clear();
-        self.normalized.reserve(n * w);
-        for s in 0..n {
-            match self.config.kind {
-                CorrelationKind::Pearson => {
-                    self.normalized.extend_from_slice(mts.sensor_window(s, start, w));
+        {
+            let _t = Timer::start("tsg.normalize");
+            self.normalized.clear();
+            self.normalized.reserve(n * w);
+            for s in 0..n {
+                match self.config.kind {
+                    CorrelationKind::Pearson => {
+                        self.normalized
+                            .extend_from_slice(mts.sensor_window(s, start, w));
+                    }
+                    CorrelationKind::Spearman => {
+                        self.normalized
+                            .extend_from_slice(&fractional_ranks(mts.sensor_window(s, start, w)));
+                    }
                 }
-                CorrelationKind::Spearman => {
-                    self.normalized
-                        .extend_from_slice(&fractional_ranks(mts.sensor_window(s, start, w)));
-                }
+                let row = &mut self.normalized[s * w..(s + 1) * w];
+                znorm_in_place(row);
             }
-            let row = &mut self.normalized[s * w..(s + 1) * w];
-            znorm_in_place(row);
         }
         // Phase 2: for each vertex pick the k largest |corr| neighbours.
         let mut graph = WeightedGraph::new(n);
@@ -165,44 +197,48 @@ impl CorrelationKnn {
                 return self.build_hnsw(n, w, k, hnsw_config);
             }
         }
-        // Per-vertex candidate selection is embarrassingly parallel; fan
-        // out across threads for wide networks. The per-vertex result is
-        // independent of the thread layout, so output stays deterministic.
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        let selections: Vec<Vec<(f64, usize)>> = if n >= 192 && threads > 1 {
-            let normalized = &self.normalized;
-            let tau = self.config.tau;
-            let chunk = n.div_ceil(threads);
-            let mut out: Vec<Vec<(f64, usize)>> = vec![Vec::new(); n];
-            std::thread::scope(|scope| {
-                for (t, slot) in out.chunks_mut(chunk).enumerate() {
-                    let start_u = t * chunk;
-                    scope.spawn(move || {
-                        let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(n);
-                        for (offset, cell) in slot.iter_mut().enumerate() {
-                            let u = start_u + offset;
-                            *cell = select_neighbors_for(
-                                normalized, n, w, k, tau, u, &mut scratch,
-                            );
-                        }
-                    });
-                }
+        // Per-vertex candidate selection is embarrassingly parallel and fans
+        // out across the cad-runtime pool. Each selection is a pure function
+        // of the correlation values placed by vertex index, so the TSG is
+        // bit-identical for every thread count. Typical networks share one
+        // upper-triangle correlation matrix; very wide ones recompute rows
+        // per vertex to cap memory at O(n·w).
+        let tau = self.config.tau;
+        let normalized = &self.normalized;
+        let selections: Vec<Vec<(f64, usize)>> = if n <= MATRIX_VERTEX_LIMIT {
+            let matrix = {
+                let _t = Timer::start("tsg.correlation");
+                pearson_matrix_normalized(normalized, n, w)
+            };
+            let _t = Timer::start("tsg.select");
+            let per_chunk = cad_runtime::par_map_ranges(n, SELECT_CHUNK, |range| {
+                let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(n);
+                range
+                    .map(|u| {
+                        select_neighbors_from_row(
+                            &matrix[u * n..(u + 1) * n],
+                            k,
+                            tau,
+                            u,
+                            &mut scratch,
+                        )
+                    })
+                    .collect::<Vec<_>>()
             });
-            out
+            per_chunk.into_iter().flatten().collect()
         } else {
-            let mut out: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
-            for u in 0..n {
-                out.push(select_neighbors_for(
-                    &self.normalized,
-                    n,
-                    w,
-                    k,
-                    self.config.tau,
-                    u,
-                    &mut self.scratch,
-                ));
-            }
-            out
+            let _t = Timer::start("tsg.select");
+            let per_chunk = cad_runtime::par_map_ranges(n, SELECT_CHUNK, |range| {
+                let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(n);
+                let mut row: Vec<f64> = Vec::with_capacity(n);
+                range
+                    .map(|u| {
+                        correlation_row(normalized, n, w, u, &mut row);
+                        select_neighbors_from_row(&row, k, tau, u, &mut scratch)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            per_chunk.into_iter().flatten().collect()
         };
         for (u, chosen) in selections.iter().enumerate() {
             for &(c, v) in chosen {
@@ -218,7 +254,10 @@ impl CorrelationKnn {
     fn build_hnsw(&self, n: usize, w: usize, k: usize, hnsw_config: HnswConfig) -> WeightedGraph {
         let normalized = &self.normalized;
         let corr = |a: usize, b: usize| -> f64 {
-            pearson_normalized(&normalized[a * w..(a + 1) * w], &normalized[b * w..(b + 1) * w])
+            pearson_normalized(
+                &normalized[a * w..(a + 1) * w],
+                &normalized[b * w..(b + 1) * w],
+            )
         };
         // Correlation distance: 0 for |ρ| = 1, 1 for uncorrelated.
         let dist = |a: usize, b: usize| -> f64 { 1.0 - corr(a, b).abs() };
@@ -398,10 +437,7 @@ mod tests {
             assert!(wt.abs() >= 0.6, "edge ({u},{v}) weight {wt}");
         }
         // …and edge recall against the exact TSG must be high.
-        let recalled = ge
-            .edges()
-            .filter(|&(u, v, _)| ga.has_edge(u, v))
-            .count();
+        let recalled = ge.edges().filter(|&(u, v, _)| ga.has_edge(u, v)).count();
         let recall = recalled as f64 / ge.n_edges().max(1) as f64;
         assert!(recall > 0.85, "edge recall = {recall:.3}");
     }
@@ -440,6 +476,29 @@ mod tests {
     }
 
     #[test]
+    fn tsg_identical_across_thread_counts() {
+        let len = 48usize;
+        let series: Vec<Vec<f64>> = (0..96)
+            .map(|s| {
+                (0..len)
+                    .map(|t| {
+                        ((t as f64) * (0.09 + 0.04 * (s % 6) as f64)).sin()
+                            + 0.05 * (((t * 29 + s * 13) % 11) as f64 - 5.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mts = Mts::from_series(series);
+        let serial = cad_runtime::with_thread_override(1, || {
+            CorrelationKnn::new(KnnConfig::new(4, 0.4)).build_full(&mts)
+        });
+        let parallel = cad_runtime::with_thread_override(8, || {
+            CorrelationKnn::new(KnnConfig::new(4, 0.4)).build_full(&mts)
+        });
+        assert_eq!(serial, parallel, "TSG must not depend on the thread count");
+    }
+
+    #[test]
     fn hnsw_strategy_falls_back_below_threshold() {
         // Under 64 sensors the exact path runs even with the HNSW flag.
         let mts = blocky_mts();
@@ -464,7 +523,10 @@ mod tests {
             CorrelationKnn::new(KnnConfig::with_kind(1, 0.8, CorrelationKind::Spearman));
         let gp = pearson_b.build_full(&mts);
         let gs = spearman_b.build_full(&mts);
-        assert!(!gp.has_edge(0, 1), "Pearson edge should be destroyed by the spike");
+        assert!(
+            !gp.has_edge(0, 1),
+            "Pearson edge should be destroyed by the spike"
+        );
         assert!(gs.has_edge(0, 1), "Spearman edge should survive the spike");
     }
 

@@ -48,12 +48,18 @@ impl Partition {
             };
             labels.push(id);
         }
-        Self { labels, n_communities: next }
+        Self {
+            labels,
+            n_communities: next,
+        }
     }
 
     /// Singleton partition: every vertex in its own community.
     pub fn singletons(n: usize) -> Self {
-        Self { labels: (0..n).collect(), n_communities: n }
+        Self {
+            labels: (0..n).collect(),
+            n_communities: n,
+        }
     }
 
     /// Number of vertices.
@@ -108,7 +114,10 @@ pub struct LouvainConfig {
 
 impl Default for LouvainConfig {
     fn default() -> Self {
-        Self { max_levels: 16, min_gain: 1e-7 }
+        Self {
+            max_levels: 16,
+            min_gain: 1e-7,
+        }
     }
 }
 
@@ -165,7 +174,12 @@ impl InnerGraph {
             degree[v] += w;
             total += w;
         }
-        Self { adj, self_loop: vec![0.0; n], degree, total_weight: total }
+        Self {
+            adj,
+            self_loop: vec![0.0; n],
+            degree,
+            total_weight: total,
+        }
     }
 
     fn n(&self) -> usize {
@@ -216,9 +230,7 @@ impl InnerGraph {
                         continue;
                     }
                     let gain = weight_to[c] - sigma_tot[c] * k_u / (2.0 * m);
-                    if gain > best_gain + 1e-12
-                        || (gain > best_gain - 1e-12 && c < best_c)
-                    {
+                    if gain > best_gain + 1e-12 || (gain > best_gain - 1e-12 && c < best_c) {
                         if gain > best_gain + 1e-12 {
                             best_gain = gain;
                             best_c = c;
@@ -278,7 +290,12 @@ impl InnerGraph {
             degree[b] += w;
             total += w;
         }
-        InnerGraph { adj, self_loop, degree, total_weight: total }
+        InnerGraph {
+            adj,
+            self_loop,
+            degree,
+            total_weight: total,
+        }
     }
 }
 
@@ -440,7 +457,11 @@ mod tests {
     fn modularity_bounds() {
         // Q is always in [-0.5, 1].
         let g = two_cliques();
-        for labels in [[0usize; 8].to_vec(), (0..8).collect::<Vec<_>>(), vec![0, 1, 0, 1, 0, 1, 0, 1]] {
+        for labels in [
+            [0usize; 8].to_vec(),
+            (0..8).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1, 0, 1, 0, 1],
+        ] {
             let q = modularity(&g, &Partition::from_labels(&labels));
             assert!((-0.5..=1.0).contains(&q), "Q={q} out of range");
         }

@@ -18,7 +18,11 @@ pub struct WeightedGraph {
 impl WeightedGraph {
     /// Empty graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        Self { n, adj: vec![Vec::new(); n], n_edges: 0 }
+        Self {
+            n,
+            adj: vec![Vec::new(); n],
+            n_edges: 0,
+        }
     }
 
     /// Number of vertices.
@@ -35,7 +39,11 @@ impl WeightedGraph {
     /// out-of-range vertices, or duplicate edges — all of which indicate a
     /// bug in the TSG builder rather than recoverable conditions.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for n={}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
         assert_ne!(u, v, "self-loops are not allowed");
         assert!(
             !self.has_edge(u, v),
@@ -53,7 +61,10 @@ impl WeightedGraph {
 
     /// Weight of `{u, v}` if present.
     pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
-        self.adj[u].iter().find(|&&(w, _)| w == v).map(|&(_, wt)| wt)
+        self.adj[u]
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, wt)| wt)
     }
 
     /// Neighbours of `u` with weights.

@@ -66,7 +66,10 @@ pub fn read_mts_csv(path: &Path) -> Result<Mts, CsvError> {
     let header = match lines.next() {
         Some(h) => h?,
         None => {
-            return Err(CsvError::Parse { line: 1, message: "empty file".into() });
+            return Err(CsvError::Parse {
+                line: 1,
+                message: "empty file".into(),
+            });
         }
     };
     let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
@@ -118,15 +121,24 @@ pub fn read_labels(path: &Path) -> Result<GroundTruth, CsvError> {
     let header = match lines.next() {
         Some(h) => h?,
         None => {
-            return Err(CsvError::Parse { line: 1, message: "empty label file".into() });
+            return Err(CsvError::Parse {
+                line: 1,
+                message: "empty label file".into(),
+            });
         }
     };
     let series_len: usize = header
         .strip_prefix("series_len,")
-        .ok_or_else(|| CsvError::Parse { line: 1, message: "missing series_len header".into() })?
+        .ok_or_else(|| CsvError::Parse {
+            line: 1,
+            message: "missing series_len header".into(),
+        })?
         .trim()
         .parse()
-        .map_err(|e| CsvError::Parse { line: 1, message: format!("bad series_len: {e}") })?;
+        .map_err(|e| CsvError::Parse {
+            line: 1,
+            message: format!("bad series_len: {e}"),
+        })?;
     let mut anomalies = Vec::new();
     for (lineno, line) in lines.enumerate() {
         let line = line?;

@@ -21,10 +21,17 @@ pub struct AnomalyLabel {
 impl AnomalyLabel {
     /// Validated constructor; sorts and dedups the sensor list.
     pub fn new(start: usize, end: usize, mut sensors: Vec<usize>) -> Self {
-        assert!(start < end, "anomaly span must be non-empty: [{start}, {end})");
+        assert!(
+            start < end,
+            "anomaly span must be non-empty: [{start}, {end})"
+        );
         sensors.sort_unstable();
         sensors.dedup();
-        Self { start, end, sensors }
+        Self {
+            start,
+            end,
+            sensors,
+        }
     }
 
     /// Span length in time points.
@@ -53,11 +60,22 @@ impl GroundTruth {
     pub fn new(series_len: usize, anomalies: Vec<AnomalyLabel>) -> Self {
         let mut prev_end = 0usize;
         for a in &anomalies {
-            assert!(a.end <= series_len, "anomaly [{}, {}) exceeds series length {series_len}", a.start, a.end);
-            assert!(a.start >= prev_end, "anomalies must be chronological and non-overlapping");
+            assert!(
+                a.end <= series_len,
+                "anomaly [{}, {}) exceeds series length {series_len}",
+                a.start,
+                a.end
+            );
+            assert!(
+                a.start >= prev_end,
+                "anomalies must be chronological and non-overlapping"
+            );
             prev_end = a.end;
         }
-        Self { series_len, anomalies }
+        Self {
+            series_len,
+            anomalies,
+        }
     }
 
     /// Number of labelled anomalies `I`.

@@ -27,7 +27,12 @@ impl Mts {
             len
         );
         let sensor_names = (0..n_sensors).map(|i| format!("s{}", i + 1)).collect();
-        Self { n_sensors, len, data, sensor_names }
+        Self {
+            n_sensors,
+            len,
+            data,
+            sensor_names,
+        }
     }
 
     /// Build from a list of per-sensor series (all must share a length).
@@ -130,7 +135,10 @@ impl Mts {
     /// counts must agree). Used to stitch a warm-up tail onto a detection
     /// segment so sliding windows stay contiguous across the boundary.
     pub fn concat_time(&self, other: &Mts) -> Mts {
-        assert_eq!(self.n_sensors, other.n_sensors, "concat_time sensor count mismatch");
+        assert_eq!(
+            self.n_sensors, other.n_sensors,
+            "concat_time sensor count mismatch"
+        );
         let len = self.len + other.len;
         let mut data = Vec::with_capacity(self.n_sensors * len);
         for s in 0..self.n_sensors {

@@ -80,7 +80,11 @@ pub struct WindowIter {
 impl WindowIter {
     /// Schedule for the rounds of `mts` under `spec`.
     pub fn new(mts: &Mts, spec: WindowSpec) -> Self {
-        Self { spec, total: spec.rounds(mts.len()), next: 0 }
+        Self {
+            spec,
+            total: spec.rounds(mts.len()),
+            next: 0,
+        }
     }
 }
 

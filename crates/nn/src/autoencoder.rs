@@ -213,11 +213,13 @@ mod tests {
         };
         let data = manifold_data(64);
         let mut ae = Autoencoder::new(&config, &mut rng);
-        let before: f64 =
-            ae.reconstruction_errors(&data).iter().sum::<f64>() / 64.0;
+        let before: f64 = ae.reconstruction_errors(&data).iter().sum::<f64>() / 64.0;
         let final_mse = ae.train_reconstruction(&data, &config);
         let after: f64 = ae.reconstruction_errors(&data).iter().sum::<f64>() / 64.0;
-        assert!(after < before, "training must reduce error: {before} → {after}");
+        assert!(
+            after < before,
+            "training must reduce error: {before} → {after}"
+        );
         assert!(final_mse < 0.05, "final MSE too high: {final_mse}");
     }
 
@@ -235,8 +237,7 @@ mod tests {
         let data = manifold_data(64);
         let mut ae = Autoencoder::new(&config, &mut rng);
         ae.train_reconstruction(&data, &config);
-        let normal_err: f64 =
-            ae.reconstruction_errors(&data).iter().sum::<f64>() / 64.0;
+        let normal_err: f64 = ae.reconstruction_errors(&data).iter().sum::<f64>() / 64.0;
         // Off-manifold points: the learned structure cannot reconstruct them.
         let weird = Mat::from_vec(2, 4, vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
         let weird_err: f64 = ae.reconstruction_errors(&weird).iter().sum::<f64>() / 2.0;

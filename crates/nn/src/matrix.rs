@@ -11,7 +11,11 @@ pub struct Mat {
 impl Mat {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from row-major data.
@@ -134,21 +138,43 @@ impl Mat {
 
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Mat {
-        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// `self - other`, elementwise.
     pub fn sub(&self, other: &Mat) -> Mat {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Mat { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// `self + other`, elementwise.
     pub fn add(&self, other: &Mat) -> Mat {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Mat { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scale by a constant.

@@ -119,7 +119,11 @@ mod tests {
     #[test]
     fn n_params_adds_up() {
         let mut rng = StdRng::seed_from_u64(3);
-        let net = Mlp::new(&[4, 8, 2], &[Activation::Relu, Activation::Linear], &mut rng);
+        let net = Mlp::new(
+            &[4, 8, 2],
+            &[Activation::Relu, Activation::Linear],
+            &mut rng,
+        );
         assert_eq!(net.n_params(), (4 * 8 + 8) + (8 * 2 + 2));
     }
 
@@ -132,7 +136,9 @@ mod tests {
         let x = Mat::from_vec(
             4,
             3,
-            vec![0.1, 0.2, 0.3, 0.5, -0.4, 0.2, -0.3, 0.8, 0.0, 0.9, 0.1, -0.6],
+            vec![
+                0.1, 0.2, 0.3, 0.5, -0.4, 0.2, -0.3, 0.8, 0.0, 0.9, 0.1, -0.6,
+            ],
         );
         let mut last = f64::INFINITY;
         for _ in 0..400 {
@@ -153,8 +159,9 @@ mod tests {
             &mut rng,
         );
         let mut opt = Adam::new(0.02);
-        let xs: Vec<(f64, f64)> =
-            (0..32).map(|i| ((i % 8) as f64 / 4.0 - 1.0, (i / 8) as f64 / 2.0 - 1.0)).collect();
+        let xs: Vec<(f64, f64)> = (0..32)
+            .map(|i| ((i % 8) as f64 / 4.0 - 1.0, (i / 8) as f64 / 2.0 - 1.0))
+            .collect();
         let x = Mat::from_vec(32, 2, xs.iter().flat_map(|&(a, b)| [a, b]).collect());
         let t = Mat::from_vec(32, 1, xs.iter().map(|&(a, b)| (a * b).tanh()).collect());
         let mut last = f64::INFINITY;

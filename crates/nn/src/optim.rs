@@ -52,7 +52,11 @@ impl Adam {
                 self.v_b.push(vec![0.0; layer.b.len()]);
             }
         }
-        assert_eq!(self.m_w.len(), layers.len(), "Adam bound to a different architecture");
+        assert_eq!(
+            self.m_w.len(),
+            layers.len(),
+            "Adam bound to a different architecture"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

@@ -1,0 +1,137 @@
+//! Per-phase timing/counter registry for bench reporters.
+//!
+//! Hot-path stages wrap themselves in a [`Timer`]; the accumulated
+//! [`PhaseStats`] live in a process-global registry that bench binaries
+//! snapshot ([`phase_snapshot`]) or serialize ([`phases_json`]) after a
+//! run. Phases are keyed by `&'static str` literals so recording stays
+//! allocation-free.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Accumulated cost of one named phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Number of completed timer scopes.
+    pub calls: u64,
+    /// Total wall-clock across those scopes, in nanoseconds.
+    pub nanos: u128,
+}
+
+impl PhaseStats {
+    /// Total seconds spent in the phase.
+    pub fn secs(&self) -> f64 {
+        self.nanos as f64 * 1e-9
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, PhaseStats>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, PhaseStats>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Record one completed scope of `phase` directly.
+pub fn record_phase(phase: &'static str, elapsed: Duration) {
+    let mut map = registry().lock().expect("phase registry poisoned");
+    let entry = map.entry(phase).or_default();
+    entry.calls += 1;
+    entry.nanos += elapsed.as_nanos();
+}
+
+/// RAII scope timer: created via [`Timer::start`], records on drop.
+#[derive(Debug)]
+pub struct Timer {
+    phase: &'static str,
+    started: Instant,
+}
+
+impl Timer {
+    /// Start timing `phase`; the scope ends when the timer drops.
+    #[must_use = "the timer records when dropped; binding it to _ ends the scope immediately"]
+    pub fn start(phase: &'static str) -> Self {
+        Self {
+            phase,
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        record_phase(self.phase, self.started.elapsed());
+    }
+}
+
+/// All phases recorded so far, sorted by name.
+pub fn phase_snapshot() -> Vec<(&'static str, PhaseStats)> {
+    let map = registry().lock().expect("phase registry poisoned");
+    map.iter().map(|(&name, &stats)| (name, stats)).collect()
+}
+
+/// Clear the registry (bench binaries call this between A/B runs).
+pub fn reset_phase_stats() {
+    registry().lock().expect("phase registry poisoned").clear();
+}
+
+/// The registry as a JSON object: `{"phase": {"calls": n, "secs": s}, …}`.
+pub fn phases_json() -> String {
+    let mut out = String::from("{");
+    for (i, (name, stats)) in phase_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "\"{name}\": {{\"calls\": {}, \"secs\": {:.6}}}",
+            stats.calls,
+            stats.secs()
+        ));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and the test harness is concurrent, so
+    // every assertion here reads its own uniquely named phase instead of
+    // relying on global counts.
+
+    #[test]
+    fn timer_accumulates_calls_and_time() {
+        for _ in 0..3 {
+            let _t = Timer::start("test.timer_accumulates");
+            std::hint::black_box(0u64);
+        }
+        let stats = phase_snapshot()
+            .into_iter()
+            .find(|(n, _)| *n == "test.timer_accumulates")
+            .map(|(_, s)| s)
+            .expect("phase recorded");
+        assert_eq!(stats.calls, 3);
+        assert!(stats.secs() >= 0.0);
+    }
+
+    #[test]
+    fn json_contains_recorded_phase() {
+        record_phase("test.json_phase", Duration::from_millis(2));
+        let json = phases_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"test.json_phase\": {\"calls\": "), "{json}");
+    }
+
+    #[test]
+    fn record_phase_sums_durations() {
+        record_phase("test.sum_phase", Duration::from_nanos(40));
+        record_phase("test.sum_phase", Duration::from_nanos(60));
+        let stats = phase_snapshot()
+            .into_iter()
+            .find(|(n, _)| *n == "test.sum_phase")
+            .map(|(_, s)| s)
+            .expect("phase recorded");
+        assert_eq!(stats.calls, 2);
+        assert_eq!(stats.nanos, 100);
+    }
+}

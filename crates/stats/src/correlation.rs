@@ -45,7 +45,10 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 /// precondition; `debug_assert`s check it in dev builds.
 pub fn pearson_normalized(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    debug_assert!(a.len() < 2 || mean(a).abs() < 1e-6, "input a not z-normalised");
+    debug_assert!(
+        a.len() < 2 || mean(a).abs() < 1e-6,
+        "input a not z-normalised"
+    );
     let n = a.len();
     if n < 2 {
         return 0.0;
@@ -77,6 +80,43 @@ pub fn znormed(xs: &[f64]) -> Vec<f64> {
     let mut out = xs.to_vec();
     znorm_in_place(&mut out);
     out
+}
+
+/// Full symmetric `n × n` Pearson matrix over `n` pre-z-normalised rows
+/// (row-major `rows`, each of length `w`), row-major output.
+///
+/// This is the per-round hot path of TSG construction: only the upper
+/// triangle is computed — O(n²/2·w) instead of the O(n²·w) of per-vertex
+/// rescans — in parallel across the `cad-runtime` pool, then mirrored.
+/// Each cell is a pure function of its pair, so the matrix is bit-identical
+/// for every thread count. The diagonal holds each row's self-correlation
+/// (1.0, or 0.0 for an all-zero row, matching [`pearson`]'s
+/// constant-input convention).
+pub fn pearson_matrix_normalized(rows: &[f64], n: usize, w: usize) -> Vec<f64> {
+    assert_eq!(rows.len(), n * w, "rows must be n × w row-major");
+    let mut matrix = vec![0.0; n * n];
+    if n == 0 {
+        return matrix;
+    }
+    // One work unit per source row: row i computes its pairs (i, j) for
+    // j > i. Work per row shrinks with i, which the pool's chunk stealing
+    // balances; the output placement depends only on indices.
+    let upper: Vec<Vec<f64>> = cad_runtime::par_map_indexed(n, |i| {
+        let row_i = &rows[i * w..(i + 1) * w];
+        ((i + 1)..n)
+            .map(|j| pearson_normalized(row_i, &rows[j * w..(j + 1) * w]))
+            .collect()
+    });
+    for (i, row_vals) in upper.iter().enumerate() {
+        let row = &rows[i * w..(i + 1) * w];
+        matrix[i * n + i] = pearson_normalized(row, row);
+        for (offset, &c) in row_vals.iter().enumerate() {
+            let j = i + 1 + offset;
+            matrix[i * n + j] = c;
+            matrix[j * n + i] = c;
+        }
+    }
+    matrix
 }
 
 #[cfg(test)]
@@ -143,6 +183,98 @@ mod tests {
     fn short_inputs_give_zero() {
         assert_eq!(pearson(&[], &[]), 0.0);
         assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn matrix_matches_pairwise_calls() {
+        let n = 7;
+        let w = 24;
+        let rows: Vec<f64> = (0..n)
+            .flat_map(|s| {
+                znormed(
+                    &(0..w)
+                        .map(|t| ((t + 3 * s) as f64 * (0.2 + 0.07 * s as f64)).sin())
+                        .collect::<Vec<f64>>(),
+                )
+            })
+            .collect();
+        let m = pearson_matrix_normalized(&rows, n, w);
+        for i in 0..n {
+            for j in 0..n {
+                let direct =
+                    pearson_normalized(&rows[i * w..(i + 1) * w], &rows[j * w..(j + 1) * w]);
+                assert_eq!(m[i * n + j].to_bits(), direct.to_bits(), "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let n = 5;
+        let w = 16;
+        let rows: Vec<f64> = (0..n)
+            .flat_map(|s| {
+                znormed(
+                    &(0..w)
+                        .map(|t| (t as f64 * 0.3 + s as f64).cos())
+                        .collect::<Vec<f64>>(),
+                )
+            })
+            .collect();
+        let m = pearson_matrix_normalized(&rows, n, w);
+        for i in 0..n {
+            assert!((m[i * n + i] - 1.0).abs() < 1e-12);
+            for j in 0..n {
+                assert_eq!(m[i * n + j].to_bits(), m[j * n + i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_zero_row_gives_zero_correlations() {
+        let n = 3;
+        let w = 8;
+        let mut rows = vec![0.0; n * w];
+        for (t, v) in rows[w..2 * w].iter_mut().enumerate() {
+            *v = (t as f64 * 0.9).sin();
+        }
+        znorm_in_place(&mut rows[w..2 * w]);
+        rows[2 * w..].copy_from_slice(&znormed(
+            &(0..w).map(|t| (t as f64 * 0.9).sin()).collect::<Vec<f64>>(),
+        ));
+        let m = pearson_matrix_normalized(&rows, n, w);
+        assert_eq!(m[0], 0.0, "all-zero row self-correlation");
+        assert_eq!(m[1], 0.0);
+        assert!((m[n + 2] - 1.0).abs() < 1e-9, "rows 1 and 2 identical");
+    }
+
+    #[test]
+    fn matrix_is_identical_across_thread_counts() {
+        let n = 40;
+        let w = 32;
+        let rows: Vec<f64> = (0..n)
+            .flat_map(|s| {
+                znormed(
+                    &(0..w)
+                        .map(|t| ((t * 17 + s * 31) % 23) as f64 + (t as f64 * 0.11).sin())
+                        .collect::<Vec<f64>>(),
+                )
+            })
+            .collect();
+        let serial =
+            cad_runtime::with_thread_override(1, || pearson_matrix_normalized(&rows, n, w));
+        let parallel =
+            cad_runtime::with_thread_override(8, || pearson_matrix_normalized(&rows, n, w));
+        let same = serial
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "matrix must be bit-identical for any thread count");
+    }
+
+    #[test]
+    fn empty_matrix_is_empty() {
+        assert!(pearson_matrix_normalized(&[], 0, 0).is_empty());
     }
 
     proptest! {

@@ -29,7 +29,10 @@ pub fn stddev(xs: &[f64]) -> f64 {
 /// Linear-interpolation quantile, `q` in `[0, 1]`. Sorts a copy; intended
 /// for evaluation-time use, not hot loops.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile q must be in [0,1], got {q}"
+    );
     if xs.is_empty() {
         return f64::NAN;
     }

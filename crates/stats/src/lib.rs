@@ -20,7 +20,9 @@ pub mod rank_correlation;
 pub mod running;
 pub mod sampling;
 
-pub use correlation::{pearson, pearson_normalized, znorm_in_place, znormed};
+pub use correlation::{
+    pearson, pearson_matrix_normalized, pearson_normalized, znorm_in_place, znormed,
+};
 pub use descriptive::{mean, median, quantile, stddev, variance};
 pub use ecdf::Ecdf;
 pub use periodicity::{autocorrelation, estimate_period};

@@ -52,7 +52,11 @@ fn main() {
     for (name, scores) in &rows {
         let pa = best_f1(scores, &truth, Adjustment::Pa, 1000);
         let dpa = best_f1(scores, &truth, Adjustment::Dpa, 1000);
-        println!("{name:<8}  {:>6.1}%  {:>6.1}%", 100.0 * pa.f1, 100.0 * dpa.f1);
+        println!(
+            "{name:<8}  {:>6.1}%  {:>6.1}%",
+            100.0 * pa.f1,
+            100.0 * dpa.f1
+        );
     }
 
     // --- Relative comparison: CAD as M1, each baseline as M2 ---
@@ -61,7 +65,11 @@ fn main() {
     for (name, scores) in rows.iter().skip(1) {
         let pred = best_threshold_preds(scores, &truth);
         let am = ahead_miss(&cad_pred, &pred, &truth);
-        println!("{name:<8}  {:>6.1}%  {:>6.1}%", 100.0 * am.ahead, 100.0 * am.miss);
+        println!(
+            "{name:<8}  {:>6.1}%  {:>6.1}%",
+            100.0 * am.ahead,
+            100.0 * am.miss
+        );
     }
     println!("\nAhead = share of CAD-detected anomalies found earlier than the baseline;");
     println!("Miss  = share of CAD-missed anomalies the baseline did find.");

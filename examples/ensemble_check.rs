@@ -21,7 +21,10 @@ struct CadAsDetector {
 
 impl CadAsDetector {
     fn new(config: CadConfig) -> Self {
-        Self { config, detector: None }
+        Self {
+            config,
+            detector: None,
+        }
     }
 }
 

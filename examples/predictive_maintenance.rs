@@ -37,8 +37,12 @@ fn main() {
     println!("\n=== MAINTENANCE WORK ORDERS ===");
     for (i, anomaly) in result.anomalies.iter().enumerate() {
         // Rank implicated sensors for the technician.
-        let sensors: Vec<String> =
-            anomaly.sensors.iter().take(8).map(|s| format!("s{}", s + 1)).collect();
+        let sensors: Vec<String> = anomaly
+            .sensors
+            .iter()
+            .take(8)
+            .map(|s| format!("s{}", s + 1))
+            .collect();
         let more = anomaly.sensors.len().saturating_sub(8);
         println!(
             "WO-{:03}: anomaly from t={} (detected within {} rounds of onset)",
@@ -49,7 +53,11 @@ fn main() {
         println!(
             "        inspect sensors: {}{}",
             sensors.join(", "),
-            if more > 0 { format!(" (+{more} more)") } else { String::new() }
+            if more > 0 {
+                format!(" (+{more} more)")
+            } else {
+                String::new()
+            }
         );
         // How early was this? Compare to the ground-truth onset if the
         // detection overlaps a labelled failure.
@@ -65,7 +73,11 @@ fn main() {
                 "        true onset t={} → alarm delay {delay} points ({frac:.0}% into the failure window)",
                 gt.start
             );
-            let hits = anomaly.sensors.iter().filter(|s| gt.sensors.contains(s)).count();
+            let hits = anomaly
+                .sensors
+                .iter()
+                .filter(|s| gt.sensors.contains(s))
+                .count();
             println!(
                 "        sensor localisation: {hits}/{} truly affected sensors implicated",
                 gt.sensors.len()

@@ -62,7 +62,12 @@ fn main() {
         .truth
         .anomalies
         .iter()
-        .filter(|gt| result.anomalies.iter().any(|d| d.start < gt.end && d.end > gt.start))
+        .filter(|gt| {
+            result
+                .anomalies
+                .iter()
+                .any(|d| d.start < gt.end && d.end > gt.start)
+        })
         .count();
     println!("outright catches: {caught}/{}", data.truth.count());
 }

@@ -60,7 +60,10 @@ fn main() {
     let justified = alarm_log
         .iter()
         .filter(|(a, b, _)| {
-            data.truth.anomalies.iter().any(|gt| gt.start < *b && gt.end > *a)
+            data.truth
+                .anomalies
+                .iter()
+                .any(|gt| gt.start < *b && gt.end > *a)
         })
         .count();
     println!("{justified}/{alarms} alarms overlap a labelled anomaly");

@@ -26,15 +26,18 @@ fn main() {
         })
         .collect();
     // The anomaly: s4 wanders off on its own from t = 160.
-    for t in 160..220 {
-        series[3][t] = (t as f64 * 1.3).sin() * 1.5 + 0.4;
+    for (t, v) in series[3].iter_mut().enumerate().take(220).skip(160) {
+        *v = (t as f64 * 1.3).sin() * 1.5 + 0.4;
     }
     let mts = Mts::from_series(series);
 
     // --- Figure 1: MTS → sequence of TSGs ---
     let spec = WindowSpec::new(40, 20);
     let knn_config = KnnConfig::new(2, 0.5);
-    println!("== TSGs per round (w = {}, s = {}, k = 2, tau = 0.5) ==", spec.w, spec.s);
+    println!(
+        "== TSGs per round (w = {}, s = {}, k = 2, tau = 0.5) ==",
+        spec.w, spec.s
+    );
     let mut builder = CorrelationKnn::new(knn_config);
     for r in 0..spec.rounds(mts.len()) {
         let tsg = builder.build(&mts, spec.start(r), spec.w);
@@ -72,7 +75,11 @@ fn main() {
             rec.zscore,
             if rec.abnormal { "ABNORMAL" } else { "        " },
             rec.outliers.iter().map(|&v| v + 1).collect::<Vec<_>>(),
-            rec.rc.iter().map(|r| format!("{r:.2}")).collect::<Vec<_>>().join(" ")
+            rec.rc
+                .iter()
+                .map(|r| format!("{r:.2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
     }
     println!("\ndetected anomalies (V_Z, R_Z):");

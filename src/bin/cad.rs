@@ -95,7 +95,11 @@ fn main() -> ExitCode {
         }
     };
     let n = test.n_sensors();
-    eprintln!("loaded {}: {n} sensors × {} points", args.test.display(), test.len());
+    eprintln!(
+        "loaded {}: {n} sensors × {} points",
+        args.test.display(),
+        test.len()
+    );
 
     let default_spec = WindowSpec::suggested(test.len());
     let w = args.w.unwrap_or(default_spec.w);
@@ -108,7 +112,10 @@ fn main() -> ExitCode {
         .theta(args.theta)
         .rc_horizon(args.horizon)
         .build();
-    eprintln!("config: w={w} s={s} k={k} tau={} theta={}", args.tau, args.theta);
+    eprintln!(
+        "config: w={w} s={s} k={k} tau={} theta={}",
+        args.tau, args.theta
+    );
 
     let mut detector = if let Some(state_path) = &args.load_state {
         if args.w.is_some()
@@ -134,7 +141,10 @@ fn main() -> ExitCode {
                     det.stats().stddev()
                 );
                 if det.n_sensors() != n {
-                    eprintln!("error: state has {} sensors, readings have {n}", det.n_sensors());
+                    eprintln!(
+                        "error: state has {} sensors, readings have {n}",
+                        det.n_sensors()
+                    );
                     return ExitCode::FAILURE;
                 }
                 det
@@ -151,7 +161,10 @@ fn main() -> ExitCode {
         match read_mts_csv(his_path) {
             Ok(his) => {
                 if his.n_sensors() != n {
-                    eprintln!("error: history has {} sensors, readings have {n}", his.n_sensors());
+                    eprintln!(
+                        "error: history has {} sensors, readings have {n}",
+                        his.n_sensors()
+                    );
                     return ExitCode::FAILURE;
                 }
                 detector.warm_up(&his);

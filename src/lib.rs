@@ -50,7 +50,9 @@ pub mod prelude {
     pub use cad_baselines::{
         Detector, Ecod, IsolationForest, Lof, NormA, RCoders, Sand, Series2Graph, Usad,
     };
-    pub use cad_core::{Anomaly, CadConfig, CadDetector, DetectionResult, RoundRecord, StreamingCad};
+    pub use cad_core::{
+        Anomaly, CadConfig, CadDetector, DetectionResult, RoundRecord, StreamingCad,
+    };
     pub use cad_datagen::{AnomalyKind, Dataset, DatasetProfile, GeneratorConfig};
     pub use cad_eval::{
         ahead_miss, best_f1, dpa_adjust, f1_score, pa_adjust, vus_pr, vus_roc, Adjustment,

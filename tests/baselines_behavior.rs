@@ -103,7 +103,9 @@ fn ecod_sensor_scores_have_full_shape() {
     let mut det = Ecod::new();
     det.fit(&data.his);
     det.score(&data.test);
-    let per_sensor = det.sensor_scores(&data.test).expect("ECOD localises sensors");
+    let per_sensor = det
+        .sensor_scores(&data.test)
+        .expect("ECOD localises sensors");
     assert_eq!(per_sensor.len(), data.test.n_sensors());
     assert!(per_sensor.iter().all(|row| row.len() == data.test.len()));
 }

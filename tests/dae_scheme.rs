@@ -7,7 +7,9 @@ use cad_suite::prelude::*;
 
 /// Ground truth with two anomalies over 200 points.
 fn truth() -> Vec<bool> {
-    (0..200).map(|t| (50..80).contains(&t) || (140..170).contains(&t)).collect()
+    (0..200)
+        .map(|t| (50..80).contains(&t) || (140..170).contains(&t))
+        .collect()
 }
 
 /// A detector that fires `delay` points into each anomaly and stays on for
@@ -31,7 +33,10 @@ fn pa_is_blind_to_delay_dpa_is_not() {
 
     let pa_early = f1_score(&pa_adjust(&early, &truth), &truth);
     let pa_late = f1_score(&pa_adjust(&late, &truth), &truth);
-    assert!((pa_early - pa_late).abs() < 1e-12, "PA cannot distinguish delays");
+    assert!(
+        (pa_early - pa_late).abs() < 1e-12,
+        "PA cannot distinguish delays"
+    );
     assert_eq!(pa_early, 1.0);
 
     let dpa_early = f1_score(&dpa_adjust(&early, &truth), &truth);

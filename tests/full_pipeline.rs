@@ -32,9 +32,19 @@ fn cad_beats_chance_under_pa_and_dpa() {
     // F1 = 2p/(1+p) with p the anomaly rate.
     let p = data.truth.anomaly_rate();
     let chance = 2.0 * p / (1.0 + p);
-    assert!(pa.f1 > chance + 0.15, "PA F1 {:.3} ≤ chance {:.3}", pa.f1, chance);
+    assert!(
+        pa.f1 > chance + 0.15,
+        "PA F1 {:.3} ≤ chance {:.3}",
+        pa.f1,
+        chance
+    );
     assert!(dpa.f1 <= pa.f1 + 1e-9, "DPA must not exceed PA");
-    assert!(dpa.f1 > chance, "DPA F1 {:.3} ≤ chance {:.3}", dpa.f1, chance);
+    assert!(
+        dpa.f1 > chance,
+        "DPA F1 {:.3} ≤ chance {:.3}",
+        dpa.f1,
+        chance
+    );
 }
 
 #[test]
@@ -90,7 +100,10 @@ fn vus_confirms_f1_ordering() {
     det.warm_up(&data.his);
     let result = det.detect(&data.test);
     let truth = data.truth.point_labels();
-    let cfg = VusConfig { adjustment: Adjustment::Pa, ..VusConfig::default() };
+    let cfg = VusConfig {
+        adjustment: Adjustment::Pa,
+        ..VusConfig::default()
+    };
     let roc = vus_roc(&result.point_scores, &truth, &cfg);
     assert!(roc > 0.6, "VUS-ROC after PA too low: {roc:.3}");
 }
@@ -114,7 +127,10 @@ fn different_seeds_give_different_but_valid_results() {
         det.warm_up(&data.his);
         let result = det.detect(&data.test);
         assert_eq!(result.point_scores.len(), data.test.len());
-        assert!(result.point_scores.iter().all(|s| s.is_finite() && *s >= 0.0));
+        assert!(result
+            .point_scores
+            .iter()
+            .all(|s| s.is_finite() && *s >= 0.0));
         assert!(result.rounds.len() > 10);
     }
 }

@@ -43,7 +43,12 @@ fn snapshot_between_detection_batches() {
     let first_half = data.test.slice_time(0, half);
     let second_half = data.test.slice_time(half, data.test.len() - half);
 
-    let cfg = CadConfig::builder(16).window(48, 8).k(4).theta(0.3).rc_horizon(Some(10)).build();
+    let cfg = CadConfig::builder(16)
+        .window(48, 8)
+        .k(4)
+        .theta(0.3)
+        .rc_horizon(Some(10))
+        .build();
 
     // Reference processes both halves in one life.
     let mut reference = CadDetector::new(16, cfg.clone());
@@ -76,7 +81,10 @@ fn snapshot_is_stable_text() {
     save_detector(&det, &mut a).expect("save a");
     save_detector(&det, &mut b).expect("save b");
     assert_eq!(a, b, "serialisation must be deterministic");
-    assert!(String::from_utf8(a).is_ok(), "snapshot must be valid UTF-8 text");
+    assert!(
+        String::from_utf8(a).is_ok(),
+        "snapshot must be valid UTF-8 text"
+    );
 }
 
 fn config_16() -> CadConfig {

@@ -1,0 +1,113 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+
+use rand::{Rng, StdRng};
+
+use crate::strategy::Strategy;
+
+/// A target size for a generated collection: either exact or a half-open
+/// range, mirroring proptest's `Into<SizeRange>` arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with element strategy and size (exact or range).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy producing `BTreeSet<S::Value>`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        // A narrow element domain may not contain `target` distinct values;
+        // bound the attempts and accept a smaller set, as upstream does.
+        let max_attempts = target * 10 + 16;
+        for _ in 0..max_attempts {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+/// `BTreeSet` strategy with element strategy and size (exact or range).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}

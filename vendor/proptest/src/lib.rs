@@ -1,0 +1,160 @@
+//! Vendored, offline subset of the `proptest` 1.x API.
+//!
+//! The build environment has no crates.io access, so this shim reimplements
+//! the slice of proptest the workspace uses: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`, range and tuple strategies,
+//! `any::<bool>()`, `proptest::collection::{vec, btree_set}` and
+//! `ProptestConfig::with_cases`.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! 1. **No shrinking.** A failing case panics with the generated inputs via
+//!    the standard assert message; there is no minimisation pass.
+//! 2. **Deterministic seeding.** Cases derive from a fixed per-test seed
+//!    (FNV-1a of the test name), so CI failures always reproduce locally.
+//!
+//! See `vendor/README.md` for the policy on these shims.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Everything a `use proptest::prelude::*;` consumer expects in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Upstream draws a replacement case; the shim simply moves on to the next
+/// one, which keeps the run deterministic.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let __config = $cfg;
+            let __seed = $crate::test_runner::seed_for(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::case_rng(__seed, __case);
+                $(let $arg = ($strat).generate(&mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let seed = crate::test_runner::seed_for("fixed");
+        let mut r1 = crate::test_runner::case_rng(seed, 3);
+        let mut r2 = crate::test_runner::case_rng(seed, 3);
+        let s = 0usize..100;
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_in_range(x in 5usize..10, y in -1.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn macro_supports_collections(
+            v in crate::collection::vec(0usize..50, 2..8),
+            s in crate::collection::btree_set(0usize..10, 0..5),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 50));
+            prop_assert!(s.len() < 5);
+        }
+
+        #[test]
+        fn macro_supports_assume(x in 0usize..100, y in 0usize..100) {
+            prop_assume!(x <= y);
+            prop_assert!(y - x < 100);
+        }
+
+        #[test]
+        fn macro_supports_tuples_and_any(
+            pair in crate::collection::vec((0.0f64..1.0, 0.0f64..1.0), 4),
+            flag in any::<bool>(),
+        ) {
+            prop_assert_eq!(pair.len(), 4);
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        fn config_caps_cases(x in 0u64..1000) {
+            let _ = x;
+        }
+    }
+}

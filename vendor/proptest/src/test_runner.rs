@@ -1,0 +1,41 @@
+//! Test-runner configuration and deterministic case seeding.
+
+use rand::{SeedableRng, StdRng};
+
+/// Per-test configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 32 keeps the heavier pipeline
+        // properties fast while still exploring the input space.
+        Self { cases: 32 }
+    }
+}
+
+/// Stable per-test seed: FNV-1a over the fully qualified test name, so every
+/// property has its own reproducible stream.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// RNG for one case of one property.
+pub fn case_rng(seed: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (u64::from(case) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
