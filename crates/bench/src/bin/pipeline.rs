@@ -1,25 +1,36 @@
 //! Full-pipeline benchmark: warm-up + streaming detection on one wide
-//! synthetic deployment, serial vs parallel, emitting machine-readable
+//! synthetic deployment, emitting machine-readable
 //! `results/BENCH_pipeline.json`.
 //!
-//! The serial pass pins `cad-runtime` to one thread; the parallel pass
-//! uses the effective thread count (`CAD_RUNTIME_THREADS` or the machine's
-//! parallelism). Both passes must produce bit-identical round outcomes —
-//! the benchmark asserts this, so it doubles as an end-to-end determinism
-//! check on real workload shapes.
+//! Two comparisons in one run:
+//!
+//! * **serial vs parallel** (exact engine) — pins `cad-runtime` to one
+//!   thread, then uses the effective thread count. Both passes must
+//!   produce bit-identical round outcomes; the benchmark asserts this, so
+//!   it doubles as an end-to-end determinism check on real workload
+//!   shapes.
+//! * **exact vs incremental engine** (both at the effective thread count)
+//!   — the O(n²·w) from-scratch path against the O(n²·s) sliding
+//!   co-moment path. The benchmark asserts verdict parity (identical
+//!   outlier sets, `n_r`, abnormal flags round-for-round), reports
+//!   rounds/sec for each and the incremental speedup, and samples the
+//!   maximum correlation divergence between a continuously-slid
+//!   accumulator and freshly computed matrices.
 //!
 //! ```text
 //! cargo run --release -p cad-bench --bin pipeline
 //! ```
 //!
 //! Size knobs (defaults reproduce the 256 × 20k reference run):
-//! `CAD_BENCH_SENSORS`, `CAD_BENCH_POINTS`, `CAD_BENCH_HIS`.
+//! `CAD_BENCH_SENSORS`, `CAD_BENCH_POINTS`, `CAD_BENCH_HIS`,
+//! `CAD_BENCH_W`, `CAD_BENCH_S`.
 
 use std::time::Instant;
 
-use cad_core::{CadConfig, CadDetector, RoundOutcome, StreamingCad};
+use cad_core::{CadConfig, CadDetector, EngineChoice, RoundOutcome, StreamingCad};
 use cad_datagen::{Dataset, GeneratorConfig};
 use cad_mts::Mts;
+use cad_stats::{pearson_matrix_normalized, znorm_in_place, SlidingCov};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -62,10 +73,73 @@ fn bit_identical(a: &[RoundOutcome], b: &[RoundOutcome]) -> bool {
         })
 }
 
+/// The discrete output the detector reports: outliers, `n_r`, verdicts.
+fn verdict_parity(a: &[RoundOutcome], b: &[RoundOutcome]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.n_r == y.n_r && x.abnormal == y.abnormal && x.outliers == y.outliers)
+}
+
+/// Slide one `SlidingCov` across every round of `test` and, at sampled
+/// rounds, compare its full matrix against a freshly computed exact one.
+/// Returns the maximum absolute divergence observed — the fp-drift figure
+/// the periodic rebuild (disabled here to measure worst case) bounds.
+fn max_correlation_divergence(test: &Mts, w: usize, s: usize, samples: usize) -> f64 {
+    let n = test.n_sensors();
+    let rounds = (test.len() - w) / s + 1;
+    let stride = (rounds / samples.max(1)).max(1);
+    let mut cov = SlidingCov::new(n, w);
+    let rows_at = |start: usize| {
+        let mut rows = Vec::with_capacity(n * w);
+        for i in 0..n {
+            rows.extend_from_slice(test.sensor_window(i, start, w));
+        }
+        rows
+    };
+    let mut incoming = vec![0.0; n * s];
+    let mut matrix = Vec::new();
+    let mut max_div = 0.0f64;
+    for r in 0..rounds {
+        let start = r * s;
+        if r == 0 {
+            cov.rebuild(&rows_at(0));
+        } else {
+            let prev_start = start - s;
+            for i in 0..n {
+                incoming[i * s..(i + 1) * s].copy_from_slice(test.sensor_window(
+                    i,
+                    start + w - s,
+                    s,
+                ));
+            }
+            let mut outgoing = vec![0.0; n * s];
+            for i in 0..n {
+                outgoing[i * s..(i + 1) * s].copy_from_slice(test.sensor_window(i, prev_start, s));
+            }
+            cov.slide(&incoming, &outgoing, s);
+        }
+        if r % stride == 0 || r == rounds - 1 {
+            let mut normed = rows_at(start);
+            for i in 0..n {
+                znorm_in_place(&mut normed[i * w..(i + 1) * w]);
+            }
+            let exact = pearson_matrix_normalized(&normed, n, w);
+            cov.correlation_matrix_into(&mut matrix);
+            for (a, b) in exact.iter().zip(&matrix) {
+                max_div = max_div.max((a - b).abs());
+            }
+        }
+    }
+    max_div
+}
+
 fn main() {
     let n_sensors = env_usize("CAD_BENCH_SENSORS", 256);
     let points = env_usize("CAD_BENCH_POINTS", 20_000);
     let his_len = env_usize("CAD_BENCH_HIS", points / 5);
+    let w = env_usize("CAD_BENCH_W", 256);
+    let s = env_usize("CAD_BENCH_S", 16).min(w);
     let threads = cad_runtime::effective_threads();
 
     eprintln!("[pipeline] generating {n_sensors} sensors × {points} points (his={his_len})");
@@ -75,31 +149,30 @@ fn main() {
     gen.n_anomalies = 8;
     let data = Dataset::generate(&gen);
 
-    let w = ((points as f64 * 0.012) as usize).clamp(32, 256);
-    let s = (w / 6).max(2);
-    let config = CadConfig::builder(n_sensors)
+    let base = CadConfig::builder(n_sensors)
         .window(w, s)
         .k(8.min(n_sensors - 1))
         .tau(0.3)
-        .theta(0.5)
-        .build();
+        .theta(0.5);
+    let config_exact = base.clone().build();
+    let config_incremental = base.engine(EngineChoice::incremental()).build();
     eprintln!("[pipeline] w={w} s={s} threads={threads}");
 
     cad_runtime::reset_phase_stats();
     let (serial, serial_warm, serial_detect) =
-        cad_runtime::with_thread_override(1, || run_pipeline(&config, &data.his, &data.test));
+        cad_runtime::with_thread_override(1, || run_pipeline(&config_exact, &data.his, &data.test));
     let phases_serial = cad_runtime::phases_json();
     let serial_secs = serial_warm + serial_detect;
     eprintln!(
-        "[pipeline] serial: {serial_secs:.3}s ({} rounds)",
+        "[pipeline] serial exact: {serial_secs:.3}s ({} rounds)",
         serial.len()
     );
 
     cad_runtime::reset_phase_stats();
-    let (parallel, par_warm, par_detect) = run_pipeline(&config, &data.his, &data.test);
+    let (parallel, par_warm, par_detect) = run_pipeline(&config_exact, &data.his, &data.test);
     let phases_parallel = cad_runtime::phases_json();
     let parallel_secs = par_warm + par_detect;
-    eprintln!("[pipeline] parallel ({threads} threads): {parallel_secs:.3}s");
+    eprintln!("[pipeline] parallel exact ({threads} threads): {parallel_secs:.3}s");
 
     let identical = bit_identical(&serial, &parallel);
     assert!(
@@ -107,9 +180,27 @@ fn main() {
         "serial and parallel outcome streams must be bit-identical"
     );
 
+    cad_runtime::reset_phase_stats();
+    let (incremental, inc_warm, inc_detect) =
+        run_pipeline(&config_incremental, &data.his, &data.test);
+    let phases_incremental = cad_runtime::phases_json();
+    let incremental_secs = inc_warm + inc_detect;
+    eprintln!("[pipeline] parallel incremental ({threads} threads): {incremental_secs:.3}s");
+
+    let parity = verdict_parity(&parallel, &incremental);
+    assert!(
+        parity,
+        "exact and incremental engines must report identical verdict streams"
+    );
+
+    eprintln!("[pipeline] sampling correlation divergence (no rebuilds)");
+    let max_div = max_correlation_divergence(&data.test, w, s, 16);
+
     let rounds = parallel.len();
-    let rounds_per_sec = rounds as f64 / parallel_secs.max(1e-12);
+    let rounds_per_sec = rounds as f64 / par_detect.max(1e-12);
     let speedup = serial_secs / parallel_secs.max(1e-12);
+    let incremental_rounds_per_sec = incremental.len() as f64 / inc_detect.max(1e-12);
+    let incremental_speedup = par_detect / inc_detect.max(1e-12);
 
     let json = format!(
         concat!(
@@ -130,9 +221,17 @@ fn main() {
             "  \"parallel_detect_secs\": {:.6},\n",
             "  \"speedup\": {:.4},\n",
             "  \"rounds_per_sec\": {:.3},\n",
+            "  \"incremental_secs\": {:.6},\n",
+            "  \"incremental_warm_secs\": {:.6},\n",
+            "  \"incremental_detect_secs\": {:.6},\n",
+            "  \"incremental_rounds_per_sec\": {:.3},\n",
+            "  \"incremental_speedup\": {:.4},\n",
+            "  \"verdict_parity\": {},\n",
+            "  \"max_correlation_divergence\": {:e},\n",
             "  \"bit_identical\": {},\n",
             "  \"phases_serial\": {},\n",
-            "  \"phases_parallel\": {}\n",
+            "  \"phases_parallel\": {},\n",
+            "  \"phases_incremental\": {}\n",
             "}}\n"
         ),
         n_sensors,
@@ -150,14 +249,24 @@ fn main() {
         par_detect,
         speedup,
         rounds_per_sec,
+        incremental_secs,
+        inc_warm,
+        inc_detect,
+        incremental_rounds_per_sec,
+        incremental_speedup,
+        parity,
+        max_div,
         identical,
         phases_serial,
         phases_parallel,
+        phases_incremental,
     );
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("{json}");
     eprintln!(
-        "[pipeline] speedup {speedup:.2}x on {threads} threads, {rounds_per_sec:.1} rounds/s → results/BENCH_pipeline.json"
+        "[pipeline] threads speedup {speedup:.2}x, engine speedup {incremental_speedup:.2}x \
+         ({rounds_per_sec:.1} → {incremental_rounds_per_sec:.1} rounds/s), \
+         max divergence {max_div:.2e} → results/BENCH_pipeline.json"
     );
 }

@@ -3,6 +3,38 @@
 use cad_graph::{BuildStrategy, CorrelationKind, KnnConfig, LouvainConfig};
 use cad_mts::WindowSpec;
 
+/// Which round engine builds each round's TSG (see `cad_core::engine`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// Recompute the correlation structure from scratch every round —
+    /// O(n²·w). The oracle; always valid.
+    #[default]
+    Exact,
+    /// Maintain sliding co-moment sums, updated by the `s` incoming and
+    /// `s` retiring points — O(n²·s) per round. An exact rebuild runs
+    /// every `rebuild_every` rounds to re-anchor the sums and bound
+    /// floating-point drift. Requires Pearson correlation with the exact
+    /// k-NN strategy.
+    Incremental {
+        /// Exact-rebuild period `R ≥ 1` (1 degenerates to `Exact`).
+        rebuild_every: usize,
+    },
+}
+
+impl EngineChoice {
+    /// Default rebuild period for the incremental engine: frequent enough
+    /// that drift never approaches the parity tolerance, rare enough that
+    /// the amortised rebuild cost is noise.
+    pub const DEFAULT_REBUILD_EVERY: usize = 64;
+
+    /// Incremental engine with the default rebuild period.
+    pub fn incremental() -> Self {
+        EngineChoice::Incremental {
+            rebuild_every: Self::DEFAULT_REBUILD_EVERY,
+        }
+    }
+}
+
 /// All CAD parameters: the sliding window `w`/step `s`, the TSG's `k` and
 /// τ, the outlier threshold θ, and the abnormality multiplier η (the paper
 /// fixes η = 3, giving the `|n_r − μ| ≥ 3σ` rule).
@@ -24,6 +56,8 @@ pub struct CadConfig {
     pub rc_horizon: Option<usize>,
     /// Louvain parameters.
     pub louvain: LouvainConfig,
+    /// Round engine producing each round's TSG.
+    pub engine: EngineChoice,
 }
 
 impl CadConfig {
@@ -55,6 +89,7 @@ pub struct CadConfigBuilder {
     eta: f64,
     rc_horizon: Option<usize>,
     louvain: LouvainConfig,
+    engine: EngineChoice,
 }
 
 impl CadConfigBuilder {
@@ -72,6 +107,7 @@ impl CadConfigBuilder {
             eta: 3.0,
             rc_horizon: None,
             louvain: LouvainConfig::default(),
+            engine: EngineChoice::Exact,
         }
     }
 
@@ -140,10 +176,30 @@ impl CadConfigBuilder {
         self
     }
 
+    /// Round engine (exact by default; [`EngineChoice::incremental`] turns
+    /// on the O(n²·s) sliding-correlation path).
+    pub fn engine(mut self, engine: EngineChoice) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Validate and build.
     pub fn build(self) -> CadConfig {
         assert!((0.0..=1.0).contains(&self.theta), "theta must be in [0,1]");
         assert!(self.eta > 0.0, "eta must be positive");
+        if let EngineChoice::Incremental { rebuild_every } = self.engine {
+            assert!(rebuild_every >= 1, "rebuild period must be at least 1");
+            assert!(
+                self.correlation == CorrelationKind::Pearson,
+                "the incremental engine supports Pearson correlation only \
+                 (Spearman ranks change wholesale each window)"
+            );
+            assert!(
+                self.strategy == BuildStrategy::Exact,
+                "the incremental engine maintains the full correlation matrix; \
+                 use the exact k-NN strategy"
+            );
+        }
         CadConfig {
             window: WindowSpec::new(self.w, self.s),
             knn: {
@@ -159,6 +215,7 @@ impl CadConfigBuilder {
             eta: self.eta,
             rc_horizon: self.rc_horizon,
             louvain: self.louvain,
+            engine: self.engine,
         }
     }
 }
@@ -223,6 +280,46 @@ mod tests {
     #[should_panic(expected = "theta must be in [0,1]")]
     fn bad_theta_rejected() {
         CadConfig::builder(4).theta(1.5).build();
+    }
+
+    #[test]
+    fn engine_defaults_to_exact() {
+        assert_eq!(CadConfig::builder(4).build().engine, EngineChoice::Exact);
+        let c = CadConfig::builder(4)
+            .engine(EngineChoice::incremental())
+            .build();
+        assert_eq!(
+            c.engine,
+            EngineChoice::Incremental {
+                rebuild_every: EngineChoice::DEFAULT_REBUILD_EVERY
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Pearson correlation only")]
+    fn incremental_rejects_spearman() {
+        CadConfig::builder(4)
+            .correlation(CorrelationKind::Spearman)
+            .engine(EngineChoice::incremental())
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "exact k-NN strategy")]
+    fn incremental_rejects_hnsw() {
+        CadConfig::builder(4)
+            .knn_strategy(BuildStrategy::Hnsw(cad_graph::HnswConfig::default()))
+            .engine(EngineChoice::incremental())
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild period")]
+    fn zero_rebuild_period_rejected() {
+        CadConfig::builder(4)
+            .engine(EngineChoice::Incremental { rebuild_every: 0 })
+            .build();
     }
 
     #[test]

@@ -8,12 +8,13 @@
 //! streaming API (§IV-F: "when a new round of data arrives, repeat lines
 //! 6–11").
 
-use cad_graph::{louvain, CorrelationKnn};
-use cad_mts::Mts;
+use cad_graph::louvain;
+use cad_mts::{Mts, WindowSource};
 use cad_stats::RunningStats;
 
 use crate::coappearance::{outlier_variations, CoappearanceTracker};
 use crate::config::CadConfig;
+use crate::engine::{Engine, RoundEngine};
 use crate::result::{Anomaly, DetectionResult, RoundRecord};
 
 /// Outcome of processing one round (Algorithm 1 plus the 3σ verdict).
@@ -37,7 +38,7 @@ pub struct RoundOutcome {
 pub struct CadDetector {
     config: CadConfig,
     n_sensors: usize,
-    knn: CorrelationKnn,
+    engine: Engine,
     tracker: CoappearanceTracker,
     /// Running statistics over the observed `n_r` series (the `N` of
     /// Algorithm 2).
@@ -50,12 +51,12 @@ impl CadDetector {
     /// Fresh detector for an `n_sensors`-wide MTS.
     pub fn new(n_sensors: usize, config: CadConfig) -> Self {
         assert!(n_sensors >= 2, "CAD needs at least two sensors");
-        let knn = CorrelationKnn::new(config.knn);
+        let engine = Engine::for_config(&config, n_sensors);
         let tracker = CoappearanceTracker::with_horizon(n_sensors, config.rc_horizon);
         Self {
             config,
             n_sensors,
-            knn,
+            engine,
             tracker,
             stats: RunningStats::new(),
             prev_outliers: Vec::new(),
@@ -77,6 +78,21 @@ impl CadDetector {
         (&self.tracker, &self.stats, &self.prev_outliers)
     }
 
+    /// Persistence access to the round engine.
+    pub(crate) fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Persistence access to the round engine (restore path).
+    pub(crate) fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Display name of the active round engine (`"exact"` / `"incremental"`).
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
     /// Rebuild a detector from persisted state (see `cad_core::state`).
     pub(crate) fn from_persisted(
         n_sensors: usize,
@@ -85,11 +101,11 @@ impl CadDetector {
         stats: RunningStats,
         prev_outliers: Vec<usize>,
     ) -> Self {
-        let knn = CorrelationKnn::new(config.knn);
+        let engine = Engine::for_config(&config, n_sensors);
         Self {
             config,
             n_sensors,
-            knn,
+            engine,
             tracker,
             stats,
             prev_outliers,
@@ -101,11 +117,12 @@ impl CadDetector {
         &self.stats
     }
 
-    /// Algorithm 1 — one round of outlier detection over the window of
-    /// `mts` starting at column `start`. Returns `(O_r, n_r)`.
-    fn outlier_detection(&mut self, mts: &Mts, start: usize) -> (Vec<usize>, usize) {
-        let w = self.config.window.w;
-        let tsg = self.knn.build(mts, start, w);
+    /// Algorithm 1 — one round of outlier detection over a window. The
+    /// engine turns the window into the TSG; everything downstream
+    /// (Louvain, co-appearance, variations) is engine-independent. Returns
+    /// `(O_r, n_r)`.
+    fn outlier_detection(&mut self, window: &dyn WindowSource) -> (Vec<usize>, usize) {
+        let tsg = self.engine.build_tsg(window);
         let partition = louvain(&tsg, self.config.louvain);
         self.tracker.push(&partition);
         let outliers = self.tracker.outliers(self.config.theta);
@@ -130,9 +147,10 @@ impl CadDetector {
             "warm-up sensor count mismatch"
         );
         let spec = self.config.window;
+        self.engine.reset();
         for r in 0..spec.rounds(his.len()) {
-            let start = spec.start(r);
-            let (outliers, n_r) = self.outlier_detection(his, start);
+            let window = his.window(spec.start(r), spec.w);
+            let (outliers, n_r) = self.outlier_detection(&window);
             self.stats.push(n_r as f64);
             self.prev_outliers = outliers;
         }
@@ -141,7 +159,16 @@ impl CadDetector {
     /// Process one detection round (Algorithm 2, lines 5–13) on the window
     /// of `mts` beginning at `start`. This is the streaming entry point.
     pub fn push_window(&mut self, mts: &Mts, start: usize) -> RoundOutcome {
-        self.process_round(mts, start, false)
+        assert_eq!(mts.n_sensors(), self.n_sensors, "sensor count mismatch");
+        let window = mts.window(start, self.config.window.w);
+        self.process_round(&window, false)
+    }
+
+    /// [`Self::push_window`] over any [`WindowSource`] — lets callers that
+    /// own non-contiguous storage (ring buffers, memory-mapped segments)
+    /// feed the round pipeline without materialising an [`Mts`].
+    pub fn push_window_source(&mut self, window: &impl WindowSource) -> RoundOutcome {
+        self.process_round(window, false)
     }
 
     /// One round with optional verdict suppression (used for the burn-in
@@ -150,9 +177,10 @@ impl CadDetector {
     /// reshuffles for spurious reasons). A suppressed round still updates
     /// the co-appearance state but contributes nothing to μ/σ and can
     /// never be abnormal.
-    fn process_round(&mut self, mts: &Mts, start: usize, suppress: bool) -> RoundOutcome {
-        assert_eq!(mts.n_sensors(), self.n_sensors, "sensor count mismatch");
-        let (outliers, n_r) = self.outlier_detection(mts, start);
+    fn process_round(&mut self, window: &dyn WindowSource, suppress: bool) -> RoundOutcome {
+        assert_eq!(window.n_sensors(), self.n_sensors, "sensor count mismatch");
+        assert_eq!(window.w(), self.config.window.w, "window length mismatch");
+        let (outliers, n_r) = self.outlier_detection(window);
         let rc = self.tracker.ratios();
         if suppress {
             self.prev_outliers = outliers.clone();
@@ -248,7 +276,7 @@ impl CadDetector {
 
         for r in 0..n_rounds {
             let start = spec.start(r);
-            let outcome = self.process_round(test, start, r < burn_in);
+            let outcome = self.process_round(&test.window(start, spec.w), r < burn_in);
             // Attribute the round's evidence to the *newly arrived* step —
             // the last `s` points of the window. Rounds overlap by `w − s`,
             // so span-wide attribution would mark up to `w − 1` points
@@ -428,6 +456,30 @@ mod tests {
             assert_eq!(outcome.abnormal, rec.abnormal, "round {r}");
             assert_eq!(outcome.outliers, rec.outliers, "round {r}");
         }
+    }
+
+    #[test]
+    fn incremental_engine_matches_exact_end_to_end() {
+        use crate::config::EngineChoice;
+        let (mts, _) = broken_mts(1200, 800, 950);
+        let his = mts.slice_time(0, 500);
+        let test = mts.slice_time(500, 700);
+        let run = |engine: EngineChoice| {
+            let cfg = CadConfig::builder(12)
+                .window(60, 10)
+                .k(3)
+                .tau(0.3)
+                .theta(0.24)
+                .rc_horizon(Some(8))
+                .engine(engine)
+                .build();
+            let mut det = CadDetector::new(12, cfg);
+            det.warm_up(&his);
+            det.detect(&test)
+        };
+        let exact = run(EngineChoice::Exact);
+        let incremental = run(EngineChoice::Incremental { rebuild_every: 8 });
+        assert_eq!(exact, incremental);
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! Round engines — the strategy that turns one round's window into a TSG.
+//!
+//! Every CAD round needs the window's correlation structure (§III-B). The
+//! seed implementation recomputed it from scratch each round — O(n²·w) —
+//! even though consecutive windows share `w − s` of their points. The
+//! [`RoundEngine`] abstraction makes that cost a pluggable choice:
+//!
+//! * [`ExactEngine`] — the from-scratch path (z-normalise, full Pearson
+//!   matrix, top-k selection). Always correct, no cross-round state; the
+//!   oracle the incremental engine is tested against.
+//! * [`IncrementalEngine`] — a [`SlidingCov`] co-moment accumulator updated
+//!   by the `s` incoming and `s` retiring points, O(n²·s) per round, with a
+//!   periodic exact rebuild every `R` rounds to bound floating-point drift
+//!   (see `cad_stats::sliding` for the conditioning story). Memory is
+//!   O(n²) sums + O(n·w) window copy.
+//!
+//! Batch detection, `push_window` streaming, [`StreamingCad`]
+//! (crate::StreamingCad) ring buffers and [`DetectorPool`]
+//! (crate::DetectorPool) shards all funnel through one engine-driven code
+//! path: the detector hands the engine a [`WindowSource`] and gets a TSG
+//! back.
+//!
+//! ## Continuity
+//!
+//! The incremental path is only valid when the new window really is the
+//! previous one advanced by `s`. Rather than trust callers to declare
+//! continuity (an unverifiable contract across `push_window`'s arbitrary
+//! `start` values), the engine keeps last round's window and *checks*: the
+//! overlap region must match bit-for-bit. A mismatch — warm-up/detect
+//! boundaries, schedule jumps, a brand-new stream — silently falls back to
+//! an exact rebuild. The check is O(n·w) comparisons, negligible next to
+//! the O(n²·s) update it guards, and makes the engine unconditionally
+//! correct.
+
+use cad_graph::{tsg_from_matrix, CorrelationKnn, KnnConfig, WeightedGraph};
+use cad_mts::WindowSource;
+use cad_runtime::Timer;
+use cad_stats::SlidingCov;
+
+use crate::config::{CadConfig, EngineChoice};
+
+/// Strategy producing each round's TSG from the round's window.
+pub trait RoundEngine: std::fmt::Debug + Send {
+    /// Build the TSG over `window`. Implementations may carry state from
+    /// the previous call, but must produce the same graph as an exact
+    /// rebuild would up to their documented numerical tolerance.
+    fn build_tsg(&mut self, window: &dyn WindowSource) -> WeightedGraph;
+
+    /// Drop all cross-round state (the stream is starting over).
+    fn reset(&mut self);
+
+    /// Engine display name (`"exact"` / `"incremental"`).
+    fn name(&self) -> &'static str;
+}
+
+/// From-scratch engine: the seed behaviour, kept as the oracle.
+#[derive(Debug)]
+pub struct ExactEngine {
+    knn: CorrelationKnn,
+}
+
+impl ExactEngine {
+    /// Exact engine with the given TSG parameters.
+    pub fn new(knn: KnnConfig) -> Self {
+        Self {
+            knn: CorrelationKnn::new(knn),
+        }
+    }
+}
+
+impl RoundEngine for ExactEngine {
+    fn build_tsg(&mut self, window: &dyn WindowSource) -> WeightedGraph {
+        let _t = Timer::start("engine.exact");
+        self.knn.build_from_source(window)
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+/// Sliding co-moment engine: O(n²·s) per round instead of O(n²·w).
+///
+/// Requires Pearson correlation with the exact k-NN strategy (Spearman
+/// ranks and HNSW search have no incremental formulation) —
+/// `CadConfigBuilder::build` enforces this.
+#[derive(Debug)]
+pub struct IncrementalEngine {
+    knn: KnnConfig,
+    w: usize,
+    step: usize,
+    rebuild_every: usize,
+    cov: SlidingCov,
+    /// Last round's window, row-major n×w: the retire source and the
+    /// bit-for-bit continuity witness.
+    prev: Vec<f64>,
+    primed: bool,
+    rounds_since_rebuild: usize,
+    // Scratch (not part of the logical state).
+    cur: Vec<f64>,
+    incoming: Vec<f64>,
+    outgoing: Vec<f64>,
+    matrix: Vec<f64>,
+}
+
+impl IncrementalEngine {
+    /// Incremental engine for `n_sensors` sensors under `w`/`step` windows,
+    /// rebuilding exactly every `rebuild_every` rounds.
+    pub fn new(
+        knn: KnnConfig,
+        n_sensors: usize,
+        w: usize,
+        step: usize,
+        rebuild_every: usize,
+    ) -> Self {
+        assert!(rebuild_every >= 1, "rebuild period must be at least 1");
+        Self {
+            knn,
+            w,
+            step,
+            rebuild_every,
+            cov: SlidingCov::new(n_sensors, w),
+            prev: Vec::new(),
+            primed: false,
+            rounds_since_rebuild: 0,
+            cur: Vec::new(),
+            incoming: Vec::new(),
+            outgoing: Vec::new(),
+            matrix: Vec::new(),
+        }
+    }
+
+    /// Rebuild period `R`.
+    pub fn rebuild_every(&self) -> usize {
+        self.rebuild_every
+    }
+
+    /// Whether the new window (`cur`) is the previous one advanced by
+    /// `step`: the overlap must match bit-for-bit per sensor.
+    fn is_continuation(&self) -> bool {
+        if !self.primed || self.prev.len() != self.cur.len() {
+            return false;
+        }
+        let (w, s) = (self.w, self.step);
+        let n = self.cov.n_sensors();
+        let overlap = w - s.min(w);
+        (0..n).all(|i| self.cur[i * w..i * w + overlap] == self.prev[i * w + s..(i + 1) * w])
+    }
+
+    /// Persistence view: `(rounds_since_rebuild, cov, prev_window)` once
+    /// the engine has processed at least one round.
+    pub(crate) fn persist_parts(&self) -> Option<(usize, &SlidingCov, &[f64])> {
+        self.primed
+            .then_some((self.rounds_since_rebuild, &self.cov, self.prev.as_slice()))
+    }
+
+    /// Restore state captured via [`Self::persist_parts`].
+    pub(crate) fn restore(&mut self, rounds_since_rebuild: usize, cov: SlidingCov, prev: Vec<f64>) {
+        assert_eq!(
+            cov.n_sensors(),
+            self.cov.n_sensors(),
+            "sensor count mismatch"
+        );
+        assert_eq!(cov.w(), self.w, "window length mismatch");
+        assert_eq!(
+            prev.len(),
+            self.cov.n_sensors() * self.w,
+            "window size mismatch"
+        );
+        assert!(cov.is_primed(), "restored engine state must be primed");
+        self.cov = cov;
+        self.prev = prev;
+        self.primed = true;
+        self.rounds_since_rebuild = rounds_since_rebuild;
+    }
+}
+
+impl RoundEngine for IncrementalEngine {
+    fn build_tsg(&mut self, window: &dyn WindowSource) -> WeightedGraph {
+        let _t = Timer::start("engine.incremental");
+        let n = self.cov.n_sensors();
+        let (w, s) = (self.w, self.step);
+        assert_eq!(window.n_sensors(), n, "sensor count mismatch");
+        assert_eq!(window.w(), w, "window length mismatch");
+        // Materialise the window contiguously: rebuilds, the continuity
+        // check and next round's retire source all want plain rows.
+        self.cur.clear();
+        self.cur.reserve(n * w);
+        for i in 0..n {
+            window.copy_sensor_into(i, &mut self.cur);
+        }
+        let slide_ok = self.rounds_since_rebuild + 1 < self.rebuild_every && self.is_continuation();
+        if slide_ok {
+            self.incoming.clear();
+            self.outgoing.clear();
+            for i in 0..n {
+                self.incoming
+                    .extend_from_slice(&self.cur[i * w + (w - s)..(i + 1) * w]);
+                self.outgoing
+                    .extend_from_slice(&self.prev[i * w..i * w + s]);
+            }
+            self.cov.slide(&self.incoming, &self.outgoing, s);
+            self.rounds_since_rebuild += 1;
+        } else {
+            self.cov.rebuild(&self.cur);
+            self.rounds_since_rebuild = 0;
+        }
+        std::mem::swap(&mut self.prev, &mut self.cur);
+        self.primed = true;
+        self.cov.correlation_matrix_into(&mut self.matrix);
+        tsg_from_matrix(&self.matrix, n, &self.knn)
+    }
+
+    fn reset(&mut self) {
+        self.prev.clear();
+        self.primed = false;
+        self.rounds_since_rebuild = 0;
+        self.cov = SlidingCov::new(self.cov.n_sensors(), self.w);
+    }
+
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+}
+
+/// The detector's engine slot: static dispatch over the two stock engines
+/// (keeps the detector allocation-free on the hot path and gives `state.rs`
+/// concrete access for persistence).
+#[derive(Debug)]
+pub(crate) enum Engine {
+    Exact(ExactEngine),
+    Incremental(Box<IncrementalEngine>),
+}
+
+impl Engine {
+    /// Engine mandated by `config` for an `n_sensors`-wide detector.
+    pub(crate) fn for_config(config: &CadConfig, n_sensors: usize) -> Self {
+        match config.engine {
+            EngineChoice::Exact => Engine::Exact(ExactEngine::new(config.knn)),
+            EngineChoice::Incremental { rebuild_every } => {
+                Engine::Incremental(Box::new(IncrementalEngine::new(
+                    config.knn,
+                    n_sensors,
+                    config.window.w,
+                    config.window.s,
+                    rebuild_every,
+                )))
+            }
+        }
+    }
+
+    pub(crate) fn as_incremental(&self) -> Option<&IncrementalEngine> {
+        match self {
+            Engine::Incremental(e) => Some(e),
+            Engine::Exact(_) => None,
+        }
+    }
+
+    pub(crate) fn as_incremental_mut(&mut self) -> Option<&mut IncrementalEngine> {
+        match self {
+            Engine::Incremental(e) => Some(e),
+            Engine::Exact(_) => None,
+        }
+    }
+}
+
+impl RoundEngine for Engine {
+    fn build_tsg(&mut self, window: &dyn WindowSource) -> WeightedGraph {
+        match self {
+            Engine::Exact(e) => e.build_tsg(window),
+            Engine::Incremental(e) => e.build_tsg(window),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Engine::Exact(e) => e.reset(),
+            Engine::Incremental(e) => e.reset(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Engine::Exact(e) => e.name(),
+            Engine::Incremental(e) => e.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad_mts::Mts;
+    use cad_stats::pearson;
+
+    /// Same vertices, same edges, weights within `tol` (the two engines
+    /// compute mathematically identical correlations along differently
+    /// rounded paths, so edge weights agree only to ~1e-15).
+    fn assert_graphs_match(a: &WeightedGraph, b: &WeightedGraph, tol: f64, ctx: &str) {
+        assert_eq!(a.n_vertices(), b.n_vertices(), "{ctx}: vertex count");
+        assert_eq!(a.n_edges(), b.n_edges(), "{ctx}: edge count");
+        for (u, v, wa) in a.edges() {
+            let wb = b
+                .edge_weight(u, v)
+                .unwrap_or_else(|| panic!("{ctx}: edge ({u},{v}) missing"));
+            assert!(
+                (wa - wb).abs() <= tol,
+                "{ctx}: edge ({u},{v}) weight {wa} vs {wb}"
+            );
+        }
+    }
+
+    fn mts(n: usize, len: usize) -> Mts {
+        let series: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..len)
+                    .map(|t| {
+                        ((t as f64) * (0.1 + 0.03 * (i % 3) as f64)).sin() * (1.0 + i as f64 * 0.1)
+                            + 0.02 * (((t * 31 + i * 17) % 13) as f64 - 6.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        Mts::from_series(series)
+    }
+
+    #[test]
+    fn incremental_matches_exact_over_contiguous_rounds() {
+        let n = 9;
+        let (w, s) = (40, 8);
+        let data = mts(n, 400);
+        let knn = KnnConfig::new(3, 0.3);
+        let mut exact = ExactEngine::new(knn);
+        let mut inc = IncrementalEngine::new(knn, n, w, s, 16);
+        for r in 0..((400 - w) / s + 1) {
+            let src = data.window(r * s, w);
+            let ge = exact.build_tsg(&src);
+            let gi = inc.build_tsg(&src);
+            assert_graphs_match(&ge, &gi, 1e-9, &format!("round {r}"));
+        }
+    }
+
+    #[test]
+    fn discontinuity_falls_back_to_rebuild() {
+        let n = 6;
+        let (w, s) = (32, 8);
+        let data = mts(n, 300);
+        let knn = KnnConfig::new(2, 0.3);
+        let mut exact = ExactEngine::new(knn);
+        let mut inc = IncrementalEngine::new(knn, n, w, s, 1000);
+        // A contiguous run, then a jump to an unrelated start, then more
+        // contiguous rounds from there: every graph must match the oracle.
+        let starts = [0, 8, 16, 24, 150, 158, 166];
+        for &start in &starts {
+            let src = data.window(start, w);
+            let ge = exact.build_tsg(&src);
+            let gi = inc.build_tsg(&src);
+            assert_graphs_match(&ge, &gi, 1e-9, &format!("start {start}"));
+        }
+    }
+
+    #[test]
+    fn rebuild_period_bounds_drift() {
+        // With R=4, every 4th round re-anchors: correlations after many
+        // rounds stay within 1e-9 of direct pearson.
+        let n = 5;
+        let (w, s) = (24, 6);
+        let data = mts(n, 600);
+        let knn = KnnConfig::new(2, 0.0);
+        let mut inc = IncrementalEngine::new(knn, n, w, s, 4);
+        let rounds = (600 - w) / s + 1;
+        for r in 0..rounds {
+            let src = data.window(r * s, w);
+            inc.build_tsg(&src);
+        }
+        let last_start = (rounds - 1) * s;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let direct = pearson(
+                    data.sensor_window(i, last_start, w),
+                    data.sensor_window(j, last_start, w),
+                );
+                let sliding = inc.cov.correlation(i, j);
+                assert!(
+                    (direct - sliding).abs() < 1e-9,
+                    "pair ({i},{j}): {direct} vs {sliding}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_forgets_continuity() {
+        let n = 4;
+        let (w, s) = (16, 4);
+        let data = mts(n, 100);
+        let knn = KnnConfig::new(2, 0.2);
+        let mut inc = IncrementalEngine::new(knn, n, w, s, 64);
+        inc.build_tsg(&data.window(0, w));
+        inc.build_tsg(&data.window(s, w));
+        assert!(inc.primed);
+        inc.reset();
+        assert!(!inc.primed);
+        assert!(inc.persist_parts().is_none());
+        // Still produces correct graphs afterwards.
+        let mut exact = ExactEngine::new(knn);
+        let src = data.window(2 * s, w);
+        let ge = exact.build_tsg(&src);
+        let gi = inc.build_tsg(&src);
+        assert_graphs_match(&ge, &gi, 1e-9, "after reset");
+    }
+}

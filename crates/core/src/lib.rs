@@ -49,14 +49,16 @@
 pub mod coappearance;
 pub mod config;
 pub mod detector;
+pub mod engine;
 pub mod pool;
 pub mod result;
 pub mod state;
 pub mod stream;
 
 pub use coappearance::CoappearanceTracker;
-pub use config::{CadConfig, CadConfigBuilder};
+pub use config::{CadConfig, CadConfigBuilder, EngineChoice};
 pub use detector::{CadDetector, RoundOutcome};
+pub use engine::{ExactEngine, IncrementalEngine, RoundEngine};
 pub use pool::DetectorPool;
 pub use result::{Anomaly, DetectionResult, RoundRecord};
 pub use state::{load_detector, save_detector, StateError};

@@ -171,6 +171,60 @@ mod tests {
     }
 
     #[test]
+    fn shards_with_different_window_specs_round_independently() {
+        // Shards need not share a schedule: one per (w, s) spec, so their
+        // rounds fire on different ticks. Each shard's outcome stream must
+        // still match a serial run of the same spec, and a tick that
+        // completes a round for one shard must not disturb the others.
+        use crate::config::EngineChoice;
+        let specs: [(usize, usize, EngineChoice); 3] = [
+            (32, 8, EngineChoice::Exact),
+            (48, 12, EngineChoice::Incremental { rebuild_every: 4 }),
+            (24, 6, EngineChoice::incremental()),
+        ];
+        let len = 240;
+        let make = |(w, s, engine): (usize, usize, EngineChoice)| {
+            let cfg = CadConfig::builder(4)
+                .window(w, s)
+                .k(1)
+                .tau(0.3)
+                .theta(0.2)
+                .engine(engine)
+                .build();
+            StreamingCad::new(CadDetector::new(4, cfg))
+        };
+        let data: Vec<Mts> = (0..specs.len()).map(|i| shard_mts(i, len)).collect();
+
+        // Serial references, one per spec.
+        let mut reference: Vec<Vec<(usize, RoundOutcome)>> = Vec::new();
+        for (i, &spec) in specs.iter().enumerate() {
+            let mut stream = make(spec);
+            let mut outs = Vec::new();
+            for t in 0..len {
+                if let Some(o) = stream.push_sample(&data[i].column(t)) {
+                    outs.push((t, o));
+                }
+            }
+            reference.push(outs);
+        }
+        // Rounds must genuinely land on different ticks across shards.
+        let first_ticks: Vec<usize> = reference.iter().map(|outs| outs[0].0).collect();
+        assert_eq!(first_ticks, vec![31, 47, 23]);
+
+        let mut pool = DetectorPool::new(specs.into_iter().map(make).collect());
+        let mut pooled: Vec<Vec<(usize, RoundOutcome)>> = vec![Vec::new(); reference.len()];
+        for t in 0..len {
+            let ticks: Vec<Vec<f64>> = data.iter().map(|m| m.column(t)).collect();
+            for (i, o) in pool.push_samples(&ticks).into_iter().enumerate() {
+                if let Some(o) = o {
+                    pooled[i].push((t, o));
+                }
+            }
+        }
+        assert_eq!(pooled, reference);
+    }
+
+    #[test]
     fn into_shards_returns_all() {
         let pool = build_pool(4);
         assert_eq!(pool.into_shards().len(), 4);

@@ -11,14 +11,19 @@
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 use cad_graph::{BuildStrategy, CorrelationKind, HnswConfig, LouvainConfig};
-use cad_stats::RunningStats;
+use cad_stats::{RunningStats, SlidingCov};
 
 use crate::coappearance::CoappearanceTracker;
-use crate::config::CadConfig;
+use crate::config::{CadConfig, EngineChoice};
 use crate::detector::CadDetector;
 
 const MAGIC: &str = "cad-state";
-const VERSION: u32 = 1;
+/// v1: config + tracker + stats. v2 adds the round-engine choice and, for
+/// the incremental engine, its co-moment snapshot (so a restored detector
+/// resumes *sliding* instead of paying a rebuild and, more importantly,
+/// produces bit-identical correlations to an uninterrupted run). v1 files
+/// still load, defaulting to the exact engine.
+const VERSION: u32 = 2;
 
 /// Errors surfaced when loading persisted state.
 #[derive(Debug)]
@@ -84,6 +89,12 @@ pub fn save_detector<W: Write>(detector: &CadDetector, mut out: W) -> io::Result
         "louvain {} {}",
         config.louvain.max_levels, config.louvain.min_gain
     )?;
+    match config.engine {
+        EngineChoice::Exact => writeln!(out, "engine exact")?,
+        EngineChoice::Incremental { rebuild_every } => {
+            writeln!(out, "engine incremental {rebuild_every}")?
+        }
+    }
     let (count, mean, m2) = stats.parts();
     writeln!(out, "stats {count} {mean} {m2}")?;
     let outliers: Vec<String> = prev_outliers.iter().map(|v| v.to_string()).collect();
@@ -104,7 +115,26 @@ pub fn save_detector<W: Write>(detector: &CadDetector, mut out: W) -> io::Result
         let row: Vec<String> = row.iter().map(|v| v.to_string()).collect();
         writeln!(out, "h {}", row.join(" "))?;
     }
+    if let Some(engine) = detector.engine().as_incremental() {
+        match engine.persist_parts() {
+            None => writeln!(out, "engine_state none")?,
+            Some((rounds_since_rebuild, cov, prev_window)) => {
+                let (anchors, s1, s2, sxy, _) = cov.state();
+                writeln!(out, "engine_state {rounds_since_rebuild}")?;
+                writeln!(out, "anchors {}", join_floats(anchors))?;
+                writeln!(out, "s1 {}", join_floats(s1))?;
+                writeln!(out, "s2 {}", join_floats(s2))?;
+                writeln!(out, "sxy {}", join_floats(sxy))?;
+                writeln!(out, "prev_window {}", join_floats(prev_window))?;
+            }
+        }
+    }
     Ok(())
+}
+
+fn join_floats(vals: &[f64]) -> String {
+    let vals: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+    vals.join(" ")
 }
 
 struct Lines<R: BufRead> {
@@ -154,8 +184,12 @@ pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
         buf: String::new(),
     };
     let header = lines.next()?.to_string();
-    if header != format!("{MAGIC} v{VERSION}") {
-        return Err(fmt_err(format!("unsupported header {header:?}")));
+    let version: u32 = match header.strip_prefix(MAGIC).map(str::trim_start) {
+        Some(rest) if rest.starts_with('v') => parse(&rest[1..], "version")?,
+        _ => return Err(fmt_err(format!("unsupported header {header:?}"))),
+    };
+    if version == 0 || version > VERSION {
+        return Err(fmt_err(format!("unsupported state version v{version}")));
     }
     let n_sensors: usize = parse(lines.expect("n_sensors")?, "n_sensors")?;
     let window = lines.expect("window")?.to_string();
@@ -200,6 +234,21 @@ pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
         max_levels: parse(it.next().unwrap_or(""), "louvain max_levels")?,
         min_gain: parse(it.next().unwrap_or(""), "louvain min_gain")?,
     };
+    // v1 predates round engines: those detectors were all exact.
+    let engine = if version >= 2 {
+        let engine_line = lines.expect("engine")?.to_string();
+        if engine_line == "exact" {
+            EngineChoice::Exact
+        } else if let Some(rest) = engine_line.strip_prefix("incremental") {
+            EngineChoice::Incremental {
+                rebuild_every: parse(rest, "rebuild_every")?,
+            }
+        } else {
+            return Err(fmt_err(format!("unknown engine {engine_line:?}")));
+        }
+    } else {
+        EngineChoice::Exact
+    };
 
     let stats_line = lines.expect("stats")?.to_string();
     let mut it = stats_line.split_whitespace();
@@ -241,14 +290,37 @@ pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
         .eta(eta)
         .rc_horizon(rc_horizon)
         .louvain(louvain)
+        .engine(engine)
         .build();
-    Ok(CadDetector::from_persisted(
-        n_sensors,
-        config,
-        tracker,
-        stats,
-        prev_outliers,
-    ))
+    let mut detector =
+        CadDetector::from_persisted(n_sensors, config, tracker, stats, prev_outliers);
+    if matches!(engine, EngineChoice::Incremental { .. }) {
+        let state_line = lines.expect("engine_state")?.to_string();
+        if state_line != "none" {
+            let rounds_since_rebuild: usize = parse(&state_line, "engine_state rounds")?;
+            let anchors: Vec<f64> = parse_list(lines.expect("anchors")?, "anchor")?;
+            let s1: Vec<f64> = parse_list(lines.expect("s1")?, "s1 value")?;
+            let s2: Vec<f64> = parse_list(lines.expect("s2")?, "s2 value")?;
+            let sxy: Vec<f64> = parse_list(lines.expect("sxy")?, "sxy value")?;
+            let prev: Vec<f64> = parse_list(lines.expect("prev_window")?, "window value")?;
+            let n_pairs = n_sensors.saturating_sub(1) * n_sensors / 2;
+            if anchors.len() != n_sensors
+                || s1.len() != n_sensors
+                || s2.len() != n_sensors
+                || sxy.len() != n_pairs
+                || prev.len() != n_sensors * w
+            {
+                return Err(fmt_err("engine state dimensions do not match detector"));
+            }
+            let cov = SlidingCov::from_state(n_sensors, w, anchors, s1, s2, sxy, true);
+            detector
+                .engine_mut()
+                .as_incremental_mut()
+                .expect("config built an incremental engine")
+                .restore(rounds_since_rebuild, cov, prev);
+        }
+    }
+    Ok(detector)
 }
 
 #[cfg(test)]
@@ -363,8 +435,129 @@ mod tests {
         let mut buf = Vec::new();
         save_detector(&det, &mut buf).expect("save");
         let text = String::from_utf8(buf).expect("UTF-8");
-        assert!(text.starts_with("cad-state v1\n"));
+        assert!(text.starts_with("cad-state v2\n"));
+        assert!(text.contains("engine exact"));
         assert!(text.contains("theta 0.2"));
         assert!(text.contains("rc_horizon 6"));
+    }
+
+    #[test]
+    fn incremental_engine_state_roundtrips_mid_stream() {
+        let data = mts(800);
+        let cfg = CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .rc_horizon(Some(6))
+            .engine(EngineChoice::Incremental { rebuild_every: 50 })
+            .build();
+        let mut det = CadDetector::new(4, cfg);
+        let spec = det.config().window;
+        // Deep into a slide run (rebuild_every is large), snapshot, and
+        // continue both copies: the restored one must keep *sliding* with
+        // the same co-moments and stay bit-identical to the original.
+        let half = spec.rounds(data.len()) / 2;
+        for r in 0..half {
+            det.push_window(&data, spec.start(r));
+        }
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let text = String::from_utf8(buf.clone()).expect("UTF-8");
+        assert!(text.contains("engine incremental 50"));
+        assert!(text.contains("\nsxy "));
+        assert!(text.contains("\nprev_window "));
+        let mut restored = load_detector(buf.as_slice()).expect("load");
+        for r in half..spec.rounds(data.len()) {
+            let a = det.push_window(&data, spec.start(r));
+            let b = restored.push_window(&data, spec.start(r));
+            assert_eq!(a, b, "round {r}");
+        }
+    }
+
+    #[test]
+    fn fresh_incremental_detector_roundtrips() {
+        // Never-primed engine: the snapshot records `engine_state none`
+        // and the restored detector behaves like a fresh one.
+        let cfg = CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .engine(EngineChoice::incremental())
+            .build();
+        let det = CadDetector::new(4, cfg);
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let text = String::from_utf8(buf.clone()).expect("UTF-8");
+        assert!(text.contains("engine_state none"));
+        let mut restored = load_detector(buf.as_slice()).expect("load");
+        let data = mts(400);
+        let spec = restored.config().window;
+        let mut fresh = CadDetector::new(4, det.config().clone());
+        for r in 0..spec.rounds(data.len()) {
+            assert_eq!(
+                fresh.push_window(&data, spec.start(r)),
+                restored.push_window(&data, spec.start(r)),
+                "round {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_state_loads_as_exact_engine() {
+        // A v1 snapshot has no engine lines; it must load with the exact
+        // engine and otherwise intact fields.
+        let det = CadDetector::new(4, config());
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let text = String::from_utf8(buf).expect("UTF-8");
+        let v1 = text
+            .replace("cad-state v2", "cad-state v1")
+            .replace("engine exact\n", "");
+        let restored = load_detector(v1.as_bytes()).expect("v1 load");
+        assert_eq!(restored.config().engine, EngineChoice::Exact);
+        assert_eq!(restored.config(), det.config());
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let err = load_detector("cad-state v99\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, StateError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_corrupt_engine_state_dimensions() {
+        let cfg = CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .engine(EngineChoice::incremental())
+            .build();
+        let mut det = CadDetector::new(4, cfg);
+        let data = mts(200);
+        let spec = det.config().window;
+        for r in 0..spec.rounds(data.len()) {
+            det.push_window(&data, spec.start(r));
+        }
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let text = String::from_utf8(buf).expect("UTF-8");
+        // Truncate the sxy vector: wrong pair count must be a clean error.
+        let corrupt: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("sxy ") {
+                    "sxy 1 2 3".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let err = load_detector(corrupt.as_bytes()).unwrap_err();
+        assert!(matches!(err, StateError::Format(_)), "{err}");
     }
 }

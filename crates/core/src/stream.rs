@@ -6,8 +6,13 @@
 //! [`RoundOutcome`] whenever a full step `s` of fresh data has arrived —
 //! exactly the "run concurrently with new data collection" deployment of
 //! §IV-F. Memory is O(n · w): only the active window is retained.
+//!
+//! Storage is a per-sensor ring buffer viewed through [`WindowSource`], so
+//! a round hands the detector the window *in place* — no per-round copy of
+//! the buffers into an `Mts`, and with the incremental engine the round
+//! cost is dominated by the O(n²·s) co-moment update alone.
 
-use cad_mts::Mts;
+use cad_mts::{Mts, WindowSource};
 
 use crate::detector::{CadDetector, RoundOutcome};
 
@@ -16,22 +21,65 @@ use crate::detector::{CadDetector, RoundOutcome};
 pub struct StreamingCad {
     detector: CadDetector,
     n_sensors: usize,
-    /// Per-sensor rolling buffers, at most `w` points each.
-    buffers: Vec<Vec<f64>>,
+    /// Window length `w` (cached from the detector's config).
+    w: usize,
+    /// Circular per-sensor storage, row-major `n × w`: sensor `i`'s slot
+    /// for ring position `p` is `ring[i * w + p]`.
+    ring: Vec<f64>,
+    /// Ring position the next sample is written to. Once the ring is full
+    /// this is also the position of the *oldest* retained sample.
+    next: usize,
+    /// Valid samples in the ring (saturates at `w`).
+    filled: usize,
     /// Samples received since the last processed round.
     fresh: usize,
     /// Total samples consumed (for reporting).
     total: usize,
 }
 
+/// A full ring as a [`WindowSource`]: each sensor's window is the segment
+/// from the oldest sample to the end of its row, then the wrapped prefix.
+#[derive(Debug, Clone, Copy)]
+struct RingWindow<'a> {
+    ring: &'a [f64],
+    n_sensors: usize,
+    w: usize,
+    /// Ring position of the oldest sample.
+    head: usize,
+}
+
+impl WindowSource for RingWindow<'_> {
+    fn n_sensors(&self) -> usize {
+        self.n_sensors
+    }
+
+    fn w(&self) -> usize {
+        self.w
+    }
+
+    fn segments(&self, s: usize) -> (&[f64], &[f64]) {
+        let row = &self.ring[s * self.w..(s + 1) * self.w];
+        let (wrapped, oldest_first) = row.split_at(self.head);
+        (oldest_first, wrapped)
+    }
+}
+
 impl StreamingCad {
     /// Wrap a (typically warmed-up) detector.
     pub fn new(detector: CadDetector) -> Self {
         let n_sensors = detector.n_sensors();
+        assert!(
+            n_sensors > 0,
+            "StreamingCad requires a detector with at least one sensor"
+        );
+        let w = detector.config().window.w;
         Self {
             detector,
             n_sensors,
-            buffers: vec![Vec::new(); n_sensors],
+            w,
+            ring: vec![0.0; n_sensors * w],
+            next: 0,
+            filled: 0,
             fresh: 0,
             total: 0,
         }
@@ -42,14 +90,17 @@ impl StreamingCad {
     /// very first live rounds are contiguous with the warm-up.
     pub fn warm_up(&mut self, his: &Mts) {
         self.detector.warm_up(his);
-        let w = self.detector.config().window.w;
-        let keep = w
+        let keep = self
+            .w
             .saturating_sub(self.detector.config().window.s)
             .min(his.len());
-        for (s, buf) in self.buffers.iter_mut().enumerate() {
-            buf.clear();
-            buf.extend_from_slice(&his.sensor(s)[his.len() - keep..]);
+        for i in 0..self.n_sensors {
+            let tail = &his.sensor(i)[his.len() - keep..];
+            self.ring[i * self.w..i * self.w + keep].copy_from_slice(tail);
         }
+        // keep < w always (s ≥ 1), so the write cursor never wraps here.
+        self.next = keep;
+        self.filled = keep;
         self.fresh = 0;
     }
 
@@ -74,25 +125,26 @@ impl StreamingCad {
             "one reading per sensor required"
         );
         let spec = self.detector.config().window;
-        for (buf, &v) in self.buffers.iter_mut().zip(readings) {
-            buf.push(v);
+        for (i, &v) in readings.iter().enumerate() {
+            self.ring[i * self.w + self.next] = v;
         }
+        self.next = (self.next + 1) % self.w;
+        self.filled = (self.filled + 1).min(self.w);
         self.fresh += 1;
         self.total += 1;
-        if self.buffers[0].len() < spec.w || self.fresh < spec.s {
+        if self.filled < self.w || self.fresh < spec.s {
             return None;
         }
         self.fresh = 0;
-        // Evict in bulk only when a round fires: O(s) amortised per tick
-        // instead of O(w) per tick with per-sample front removal.
-        for buf in &mut self.buffers {
-            let excess = buf.len().saturating_sub(spec.w);
-            if excess > 0 {
-                buf.drain(..excess);
-            }
-        }
-        let window = Mts::from_series(self.buffers.clone());
-        Some(self.detector.push_window(&window, 0))
+        // The ring is full, so the write cursor points at the oldest
+        // retained sample: the window starts there.
+        let window = RingWindow {
+            ring: &self.ring,
+            n_sensors: self.n_sensors,
+            w: self.w,
+            head: self.next,
+        };
+        Some(self.detector.push_window_source(&window))
     }
 }
 
@@ -106,7 +158,7 @@ impl CadDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::CadConfig;
+    use crate::config::{CadConfig, EngineChoice};
 
     /// Correlated pair + an independent pair, long enough for several
     /// rounds.
@@ -165,6 +217,36 @@ mod tests {
     }
 
     #[test]
+    fn ring_buffer_matches_batch_under_incremental_engine() {
+        // The ring hands the engine a two-segment window; the incremental
+        // engine must still see it as a contiguous continuation and agree
+        // with the batch run round-for-round.
+        let data = mts(400);
+        let cfg = CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .engine(EngineChoice::Incremental { rebuild_every: 6 })
+            .build();
+        let mut batch = CadDetector::new(4, config());
+        let batch_result = batch.detect(&data);
+        let mut stream = StreamingCad::new(CadDetector::new(4, cfg));
+        let mut outcomes = Vec::new();
+        for t in 0..data.len() {
+            if let Some(o) = stream.push_sample(&data.column(t)) {
+                outcomes.push(o);
+            }
+        }
+        assert_eq!(outcomes.len(), batch_result.rounds.len());
+        for (o, rec) in outcomes.iter().zip(&batch_result.rounds) {
+            assert_eq!(o.n_r, rec.n_r, "round {}", rec.round);
+            assert_eq!(o.outliers, rec.outliers, "round {}", rec.round);
+            assert_eq!(o.abnormal, rec.abnormal, "round {}", rec.round);
+        }
+    }
+
+    #[test]
     fn warm_up_prefills_buffer() {
         let data = mts(600);
         let his = data.slice_time(0, 300);
@@ -188,5 +270,26 @@ mod tests {
     fn wrong_width_sample_panics() {
         let mut stream = StreamingCad::new(CadDetector::new(4, config()));
         stream.push_sample(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sensor")]
+    fn zero_sensor_detector_rejected_up_front() {
+        // `CadDetector::new` and the config builder both refuse n < 2, but
+        // persisted state flows through `from_persisted`, which must not
+        // let a zero-sensor detector reach `push_sample` and fail with a
+        // bare index-out-of-bounds. The guard fires at construction with a
+        // clear message instead.
+        use crate::coappearance::CoappearanceTracker;
+        use cad_stats::RunningStats;
+        let cfg = config();
+        let det = CadDetector::from_persisted(
+            0,
+            cfg,
+            CoappearanceTracker::with_horizon(2, None),
+            RunningStats::new(),
+            Vec::new(),
+        );
+        StreamingCad::new(det);
     }
 }

@@ -17,7 +17,7 @@
 //! per-pair/per-vertex results are pure and placed by index, so the TSG is
 //! bit-identical for any `CAD_RUNTIME_THREADS` value.
 
-use cad_mts::Mts;
+use cad_mts::{Mts, WindowSource};
 use cad_runtime::Timer;
 use cad_stats::correlation::{pearson_matrix_normalized, pearson_normalized, znorm_in_place};
 use cad_stats::rank_correlation::fractional_ranks;
@@ -109,24 +109,70 @@ fn select_neighbors_from_row(
     u: usize,
     scratch: &mut Vec<(f64, usize)>,
 ) -> Vec<(f64, usize)> {
+    // τ-prune before ranking: sorting below-threshold candidates is wasted
+    // work, and dropping them first cannot change the surviving top-k.
     scratch.clear();
     for (v, &c) in correlations.iter().enumerate() {
-        if v != u {
+        if v != u && c.abs() >= tau {
             scratch.push((c, v));
         }
     }
-    scratch.sort_by(|a, b| {
+    let by_strength = |a: &(f64, usize), b: &(f64, usize)| {
         b.0.abs()
             .partial_cmp(&a.0.abs())
             .expect("correlations are finite")
             .then(a.1.cmp(&b.1))
-    });
-    scratch
-        .iter()
-        .take(k)
-        .take_while(|(c, _)| c.abs() >= tau)
-        .copied()
-        .collect()
+    };
+    if k == 0 || scratch.is_empty() {
+        return Vec::new();
+    }
+    // O(m) partial selection of the k strongest, then sort only those. The
+    // comparator is a strict total order (ids are distinct), so the result
+    // is independent of `select_nth_unstable_by`'s internal partitioning.
+    if scratch.len() > k {
+        scratch.select_nth_unstable_by(k - 1, by_strength);
+        scratch.truncate(k);
+    }
+    scratch.sort_by(by_strength);
+    scratch.clone()
+}
+
+/// TSG assembly from a pre-computed symmetric `n × n` correlation matrix:
+/// per-vertex top-k selection (by |ρ|, ties toward the lower id) with
+/// τ-pruning, fanned out across the `cad-runtime` pool. This is the entry
+/// the incremental round engine uses — its `SlidingCov` accumulator
+/// maintains the matrix across rounds, so TSG construction costs only the
+/// selection, never a correlation rescan. The exact path funnels through
+/// the same function once its matrix is built, so both engines share one
+/// selection code path (and its determinism contract).
+pub fn tsg_from_matrix(matrix: &[f64], n: usize, config: &KnnConfig) -> WeightedGraph {
+    assert_eq!(matrix.len(), n * n, "matrix must be n × n");
+    let mut graph = WeightedGraph::new(n);
+    let k = config.k.min(n.saturating_sub(1));
+    if k == 0 {
+        return graph;
+    }
+    let tau = config.tau;
+    let _t = Timer::start("tsg.select");
+    let selections: Vec<Vec<(f64, usize)>> = {
+        let per_chunk = cad_runtime::par_map_ranges(n, SELECT_CHUNK, |range| {
+            let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(n);
+            range
+                .map(|u| {
+                    select_neighbors_from_row(&matrix[u * n..(u + 1) * n], k, tau, u, &mut scratch)
+                })
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    };
+    for (u, chosen) in selections.iter().enumerate() {
+        for &(c, v) in chosen {
+            if !graph.has_edge(u, v) {
+                graph.add_edge(u, v, c);
+            }
+        }
+    }
+    graph
 }
 
 /// Correlations of `u` against all vertices, computed directly from the
@@ -162,7 +208,14 @@ impl CorrelationKnn {
 
     /// Build the TSG for the window `[start, start+w)` of `mts`.
     pub fn build(&mut self, mts: &Mts, start: usize, w: usize) -> WeightedGraph {
-        let n = mts.n_sensors();
+        self.build_from_source(&mts.window(start, w))
+    }
+
+    /// Build the TSG for any [`WindowSource`] — a contiguous `Mts` window
+    /// or a streaming ring buffer. This is the exact engine's round path.
+    pub fn build_from_source<S: WindowSource + ?Sized>(&mut self, src: &S) -> WeightedGraph {
+        let n = src.n_sensors();
+        let w = src.w();
         let k = self.config.k.min(n.saturating_sub(1));
         // Phase 1: z-normalise each sensor's window into the scratch
         // matrix. For Spearman, the window is replaced by its fractional
@@ -173,24 +226,18 @@ impl CorrelationKnn {
             self.normalized.clear();
             self.normalized.reserve(n * w);
             for s in 0..n {
-                match self.config.kind {
-                    CorrelationKind::Pearson => {
-                        self.normalized
-                            .extend_from_slice(mts.sensor_window(s, start, w));
-                    }
-                    CorrelationKind::Spearman => {
-                        self.normalized
-                            .extend_from_slice(&fractional_ranks(mts.sensor_window(s, start, w)));
-                    }
-                }
+                src.copy_sensor_into(s, &mut self.normalized);
                 let row = &mut self.normalized[s * w..(s + 1) * w];
+                if self.config.kind == CorrelationKind::Spearman {
+                    let ranks = fractional_ranks(row);
+                    row.copy_from_slice(&ranks);
+                }
                 znorm_in_place(row);
             }
         }
         // Phase 2: for each vertex pick the k largest |corr| neighbours.
-        let mut graph = WeightedGraph::new(n);
         if k == 0 {
-            return graph;
+            return WeightedGraph::new(n);
         }
         if let BuildStrategy::Hnsw(hnsw_config) = self.config.strategy {
             if n >= 64 {
@@ -201,32 +248,19 @@ impl CorrelationKnn {
         // out across the cad-runtime pool. Each selection is a pure function
         // of the correlation values placed by vertex index, so the TSG is
         // bit-identical for every thread count. Typical networks share one
-        // upper-triangle correlation matrix; very wide ones recompute rows
-        // per vertex to cap memory at O(n·w).
+        // upper-triangle correlation matrix (then funnel through
+        // [`tsg_from_matrix`], the selection path both engines share); very
+        // wide ones recompute rows per vertex to cap memory at O(n·w).
         let tau = self.config.tau;
         let normalized = &self.normalized;
-        let selections: Vec<Vec<(f64, usize)>> = if n <= MATRIX_VERTEX_LIMIT {
+        if n <= MATRIX_VERTEX_LIMIT {
             let matrix = {
                 let _t = Timer::start("tsg.correlation");
                 pearson_matrix_normalized(normalized, n, w)
             };
-            let _t = Timer::start("tsg.select");
-            let per_chunk = cad_runtime::par_map_ranges(n, SELECT_CHUNK, |range| {
-                let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(n);
-                range
-                    .map(|u| {
-                        select_neighbors_from_row(
-                            &matrix[u * n..(u + 1) * n],
-                            k,
-                            tau,
-                            u,
-                            &mut scratch,
-                        )
-                    })
-                    .collect::<Vec<_>>()
-            });
-            per_chunk.into_iter().flatten().collect()
-        } else {
+            return tsg_from_matrix(&matrix, n, &self.config);
+        }
+        let selections: Vec<Vec<(f64, usize)>> = {
             let _t = Timer::start("tsg.select");
             let per_chunk = cad_runtime::par_map_ranges(n, SELECT_CHUNK, |range| {
                 let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(n);
@@ -240,6 +274,7 @@ impl CorrelationKnn {
             });
             per_chunk.into_iter().flatten().collect()
         };
+        let mut graph = WeightedGraph::new(n);
         for (u, chosen) in selections.iter().enumerate() {
             for &(c, v) in chosen {
                 if !graph.has_edge(u, v) {

@@ -20,6 +20,6 @@ pub mod weighted;
 
 pub use components::connected_components;
 pub use hnsw::{Hnsw, HnswConfig};
-pub use knn::{BuildStrategy, CorrelationKind, CorrelationKnn, KnnConfig};
+pub use knn::{tsg_from_matrix, BuildStrategy, CorrelationKind, CorrelationKnn, KnnConfig};
 pub use louvain::{louvain, modularity, LouvainConfig, Partition};
 pub use weighted::WeightedGraph;

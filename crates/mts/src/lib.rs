@@ -19,4 +19,4 @@ pub mod windows;
 
 pub use labels::{AnomalyLabel, GroundTruth};
 pub use matrix::Mts;
-pub use windows::{round_count, round_span, WindowIter, WindowSpec};
+pub use windows::{round_count, round_span, MtsWindow, WindowIter, WindowSource, WindowSpec};

@@ -164,6 +164,12 @@ impl Mts {
     pub fn raw(&self) -> &[f64] {
         &self.data
     }
+
+    /// Borrowed [`WindowSource`](crate::WindowSource) view of the window
+    /// `[start, start+w)`.
+    pub fn window(&self, start: usize, w: usize) -> crate::windows::MtsWindow<'_> {
+        crate::windows::MtsWindow::new(self, start, w)
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,68 @@
 
 use crate::matrix::Mts;
 
+/// Borrowed view of one round's window contents, sensor by sensor.
+///
+/// Detectors consume windows from two physical layouts: a contiguous slice
+/// of an [`Mts`] (batch detection, warm-up) and a circular per-sensor ring
+/// buffer (live streaming, where copying the window every round would cost
+/// O(n·w) per tick). `WindowSource` abstracts over both: each sensor's
+/// window is exposed as up to two contiguous segments whose concatenation
+/// is the window in time order. Contiguous sources return an empty second
+/// segment, so the common case degenerates to a plain slice.
+pub trait WindowSource {
+    /// Number of sensors in the window.
+    fn n_sensors(&self) -> usize;
+    /// Window length `w`.
+    fn w(&self) -> usize;
+    /// Sensor `s`'s window as `(head, tail)` with `head ++ tail` the
+    /// readings in time order; `head.len() + tail.len() == w`.
+    fn segments(&self, s: usize) -> (&[f64], &[f64]);
+    /// Copy sensor `s`'s window into `out` in time order.
+    fn copy_sensor_into(&self, s: usize, out: &mut Vec<f64>) {
+        let (head, tail) = self.segments(s);
+        out.extend_from_slice(head);
+        out.extend_from_slice(tail);
+    }
+}
+
+/// The window `[start, start+w)` of an [`Mts`] — the contiguous
+/// [`WindowSource`] used by batch detection.
+#[derive(Debug, Clone, Copy)]
+pub struct MtsWindow<'a> {
+    mts: &'a Mts,
+    start: usize,
+    w: usize,
+}
+
+impl<'a> MtsWindow<'a> {
+    /// View of the window `[start, start+w)` (validated against the series
+    /// length).
+    pub fn new(mts: &'a Mts, start: usize, w: usize) -> Self {
+        assert!(
+            start + w <= mts.len(),
+            "window [{start}, {}) exceeds series length {}",
+            start + w,
+            mts.len()
+        );
+        Self { mts, start, w }
+    }
+}
+
+impl WindowSource for MtsWindow<'_> {
+    fn n_sensors(&self) -> usize {
+        self.mts.n_sensors()
+    }
+
+    fn w(&self) -> usize {
+        self.w
+    }
+
+    fn segments(&self, s: usize) -> (&[f64], &[f64]) {
+        (self.mts.sensor_window(s, self.start, self.w), &[])
+    }
+}
+
 /// Window and step parameters for partitioning, plus the CAD round
 /// semantics derived from them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -19,6 +19,7 @@ pub mod rank;
 pub mod rank_correlation;
 pub mod running;
 pub mod sampling;
+pub mod sliding;
 
 pub use correlation::{
     pearson, pearson_matrix_normalized, pearson_normalized, znorm_in_place, znormed,
@@ -30,6 +31,7 @@ pub use rank::{average_ranks, rank_descending};
 pub use rank_correlation::{fractional_ranks, spearman};
 pub use running::RunningStats;
 pub use sampling::GaussianSampler;
+pub use sliding::SlidingCov;
 
 /// Numerical tolerance used across the suite when comparing floating-point
 /// statistics in tests and guard conditions.

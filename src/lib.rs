@@ -51,7 +51,7 @@ pub mod prelude {
         Detector, Ecod, IsolationForest, Lof, NormA, RCoders, Sand, Series2Graph, Usad,
     };
     pub use cad_core::{
-        Anomaly, CadConfig, CadDetector, DetectionResult, RoundRecord, StreamingCad,
+        Anomaly, CadConfig, CadDetector, DetectionResult, EngineChoice, RoundRecord, StreamingCad,
     };
     pub use cad_datagen::{AnomalyKind, Dataset, DatasetProfile, GeneratorConfig};
     pub use cad_eval::{

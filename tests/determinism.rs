@@ -9,8 +9,18 @@
 //! suite is additionally run under `CAD_RUNTIME_THREADS=1` in CI, which
 //! exercises the env-var half of the thread-count plumbing.
 
-use cad_core::{CadConfig, CadDetector, DetectorPool, RoundOutcome, StreamingCad};
+use cad_core::{CadConfig, CadDetector, DetectorPool, EngineChoice, RoundOutcome, StreamingCad};
 use cad_datagen::{Dataset, GeneratorConfig};
+
+/// Round engine under test: `CAD_TEST_ENGINE=incremental` switches the
+/// whole suite onto the sliding-correlation path (CI runs it both ways);
+/// anything else (or unset) keeps the exact oracle.
+fn engine_under_test() -> EngineChoice {
+    match std::env::var("CAD_TEST_ENGINE").as_deref() {
+        Ok("incremental") => EngineChoice::incremental(),
+        _ => EngineChoice::Exact,
+    }
+}
 
 /// Warm up on the history, then stream the detection segment tick by
 /// tick, collecting every completed round.
@@ -53,6 +63,7 @@ fn wide_config() -> CadConfig {
         .k(6)
         .tau(0.3)
         .theta(0.5)
+        .engine(engine_under_test())
         .build()
 }
 
@@ -97,6 +108,7 @@ fn detector_pool_bit_identical_across_thread_counts() {
         .k(3)
         .tau(0.3)
         .theta(0.5)
+        .engine(engine_under_test())
         .build();
     let drive = || {
         let mut pool = DetectorPool::new(
