@@ -1,0 +1,274 @@
+//! Load generator for `cad-serve`: N client connections × M sessions
+//! each, pushing synthetic telemetry over loopback against an in-process
+//! server, emitting machine-readable `results/BENCH_serve.json`.
+//!
+//! Reported figures: aggregate ticks/sec and rounds/sec, per-push latency
+//! (p50/p99), and the server's own counters — queue high-water mark and
+//! backpressure events, which the default queue sizing deliberately
+//! provokes so the bounded-queue path is exercised, not just configured.
+//! A spot check replays a sample of sessions through a direct
+//! [`StreamingCad`] loop and asserts bit-identical outcome streams, so
+//! the numbers can't come from a server that quietly corrupts verdicts.
+//!
+//! ```text
+//! cargo run --release -p cad-bench --bin loadgen
+//! ```
+//!
+//! Size knobs: `CAD_LOADGEN_CLIENTS` (4), `CAD_LOADGEN_SESSIONS` (32,
+//! per client), `CAD_LOADGEN_TICKS` (1024), `CAD_LOADGEN_SENSORS` (8),
+//! `CAD_LOADGEN_W` (64), `CAD_LOADGEN_S` (8), `CAD_LOADGEN_QUEUE`
+//! (defaults to one batch — forces observable backpressure).
+
+use std::time::{Duration, Instant};
+
+use cad_core::{CadConfig, CadDetector, StreamingCad};
+use cad_serve::{CadServer, ServeClient, ServeConfig, SessionSpec, WireOutcome};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Deterministic reading for (session, tick, sensor) — must match the
+/// spot-check reference below.
+fn reading(session: u64, t: usize, sensor: usize) -> f64 {
+    let phase = session as f64 * 0.61 + sensor as f64 * 0.23;
+    (t as f64 * 0.17 + phase).sin() + 0.05 * sensor as f64
+}
+
+fn session_spec(n: usize, w: usize, s: usize) -> SessionSpec {
+    let mut spec = SessionSpec::new(n as u32, w as u32, s as u32);
+    spec.k = 2.min(n as u32 - 1);
+    spec
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct ClientReport {
+    ticks: u64,
+    rounds: u64,
+    latencies: Vec<f64>,
+    backpressure: u64,
+    sample_outcomes: Vec<(u64, Vec<WireOutcome>)>,
+}
+
+fn main() {
+    let n_clients = env_usize("CAD_LOADGEN_CLIENTS", 4);
+    let sessions_per_client = env_usize("CAD_LOADGEN_SESSIONS", 32);
+    let ticks = env_usize("CAD_LOADGEN_TICKS", 1024);
+    let n_sensors = env_usize("CAD_LOADGEN_SENSORS", 8);
+    let w = env_usize("CAD_LOADGEN_W", 64);
+    let s = env_usize("CAD_LOADGEN_S", 8).min(w);
+    let batch = s;
+    // One batch of capacity: concurrent pushers saturate the queue and
+    // the explicit-backpressure path runs under load.
+    let queue_capacity = env_usize("CAD_LOADGEN_QUEUE", batch);
+    let total_sessions = n_clients * sessions_per_client;
+    let threads = cad_runtime::effective_threads();
+
+    eprintln!(
+        "[loadgen] {n_clients} clients × {sessions_per_client} sessions \
+         ({total_sessions} total), {ticks} ticks × {n_sensors} sensors, \
+         w={w} s={s}, queue {queue_capacity} ticks, {threads} threads"
+    );
+
+    let server = CadServer::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_capacity,
+        max_sessions: total_sessions.max(16),
+        read_timeout: Duration::from_millis(100),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local_addr").to_string();
+    let server = std::thread::spawn(move || server.run());
+
+    let t0 = Instant::now();
+    let mut workers = Vec::new();
+    for c in 0..n_clients {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || -> ClientReport {
+            let mut client = ServeClient::connect(&addr, &format!("loadgen-{c}")).expect("connect");
+            let ids: Vec<u64> = (0..sessions_per_client)
+                .map(|i| (c * sessions_per_client + i) as u64)
+                .collect();
+            for &id in &ids {
+                client
+                    .create_session(id, session_spec(n_sensors, w, s))
+                    .expect("create");
+            }
+            let mut report = ClientReport {
+                ticks: 0,
+                rounds: 0,
+                latencies: Vec::with_capacity(ids.len() * ticks / batch),
+                backpressure: 0,
+                sample_outcomes: Vec::new(),
+            };
+            // First session of each client is spot-checked against a
+            // direct StreamingCad loop afterwards.
+            let sampled = ids[0];
+            let mut sample = Vec::new();
+            let mut t = 0usize;
+            while t < ticks {
+                let len = batch.min(ticks - t);
+                for &id in &ids {
+                    let samples: Vec<f64> = (t..t + len)
+                        .flat_map(|u| (0..n_sensors).map(move |v| reading(id, u, v)))
+                        .collect();
+                    let push_t0 = Instant::now();
+                    let res = client
+                        .push_samples(id, t as u64, n_sensors as u32, samples)
+                        .expect("push");
+                    report.latencies.push(push_t0.elapsed().as_secs_f64());
+                    report.ticks += len as u64;
+                    report.rounds += res.outcomes.len() as u64;
+                    if id == sampled {
+                        sample.extend(res.outcomes);
+                    }
+                }
+                t += len;
+            }
+            report.backpressure = client.backpressure_events();
+            report.sample_outcomes.push((sampled, sample));
+            report
+        }));
+    }
+
+    let reports: Vec<ClientReport> = workers
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    // Server-side counters before shutdown.
+    let mut admin = ServeClient::connect(&addr, "loadgen-admin").expect("connect");
+    let stats = admin.stats(None).expect("stats");
+    admin.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+
+    // Spot-check: sampled sessions must match a direct streaming loop
+    // bit for bit.
+    for report in &reports {
+        for (id, outs) in &report.sample_outcomes {
+            let config = CadConfig::builder(n_sensors)
+                .window(w, s)
+                .k(2.min(n_sensors - 1))
+                .tau(0.3)
+                .theta(0.3)
+                .build();
+            let mut stream = StreamingCad::new(CadDetector::new(n_sensors, config));
+            let mut reference = Vec::new();
+            for t in 0..ticks {
+                let row: Vec<f64> = (0..n_sensors).map(|v| reading(*id, t, v)).collect();
+                if let Some(o) = stream.push_sample(&row) {
+                    reference.push((t as u64, o));
+                }
+            }
+            assert_eq!(outs.len(), reference.len(), "session {id}: round count");
+            for (wire, (tick, o)) in outs.iter().zip(&reference) {
+                assert_eq!(wire.tick, *tick, "session {id}: tick");
+                assert_eq!(wire.n_r, o.n_r as u64, "session {id}: n_r");
+                assert_eq!(
+                    wire.zscore_bits,
+                    o.zscore.to_bits(),
+                    "session {id}: zscore bits"
+                );
+                assert_eq!(wire.abnormal, o.abnormal, "session {id}: abnormal");
+            }
+        }
+    }
+    eprintln!(
+        "[loadgen] spot check passed: {} sampled sessions bit-identical",
+        reports.len()
+    );
+
+    let total_ticks: u64 = reports.iter().map(|r| r.ticks).sum();
+    let total_rounds: u64 = reports.iter().map(|r| r.rounds).sum();
+    let client_backpressure: u64 = reports.iter().map(|r| r.backpressure).sum();
+    let mut latencies: Vec<f64> = reports.iter().flat_map(|r| r.latencies.clone()).collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let p50 = quantile(&latencies, 0.50);
+    let p99 = quantile(&latencies, 0.99);
+    let ticks_per_sec = total_ticks as f64 / wall_secs.max(1e-12);
+    let rounds_per_sec = total_rounds as f64 / wall_secs.max(1e-12);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve-loadgen\",\n",
+            "  \"clients\": {},\n",
+            "  \"sessions_per_client\": {},\n",
+            "  \"sessions\": {},\n",
+            "  \"ticks_per_session\": {},\n",
+            "  \"sensors\": {},\n",
+            "  \"window\": {},\n",
+            "  \"step\": {},\n",
+            "  \"batch\": {},\n",
+            "  \"queue_capacity\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"wall_secs\": {:.6},\n",
+            "  \"total_ticks\": {},\n",
+            "  \"total_rounds\": {},\n",
+            "  \"ticks_per_sec\": {:.3},\n",
+            "  \"rounds_per_sec\": {:.3},\n",
+            "  \"push_latency_p50_secs\": {:.6},\n",
+            "  \"push_latency_p99_secs\": {:.6},\n",
+            "  \"client_backpressure_events\": {},\n",
+            "  \"server_backpressure_events\": {},\n",
+            "  \"peak_queue_depth\": {},\n",
+            "  \"server_total_ticks\": {},\n",
+            "  \"server_total_rounds\": {},\n",
+            "  \"server_total_anomalies\": {},\n",
+            "  \"phases\": {}\n",
+            "}}\n"
+        ),
+        n_clients,
+        sessions_per_client,
+        total_sessions,
+        ticks,
+        n_sensors,
+        w,
+        s,
+        batch,
+        queue_capacity,
+        threads,
+        wall_secs,
+        total_ticks,
+        total_rounds,
+        ticks_per_sec,
+        rounds_per_sec,
+        p50,
+        p99,
+        client_backpressure,
+        stats.backpressure_events,
+        stats.peak_queue_depth,
+        stats.total_ticks,
+        stats.total_rounds,
+        stats.total_anomalies,
+        stats.phases_json,
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!(
+        "[loadgen] {total_sessions} sessions, {ticks_per_sec:.0} ticks/s, \
+         {rounds_per_sec:.0} rounds/s, p50 {:.2}ms p99 {:.2}ms, \
+         {} backpressure events (peak queue {}) → results/BENCH_serve.json",
+        p50 * 1e3,
+        p99 * 1e3,
+        stats.backpressure_events,
+        stats.peak_queue_depth,
+    );
+    assert!(
+        total_ticks == (total_sessions * ticks) as u64,
+        "every session must be fed to completion"
+    );
+}

@@ -114,12 +114,19 @@ fn main() {
                     }
                 }
             }
-            eprintln!(
-                "  {:<8} F1_PA={:.1} F1_DPA={:.1}",
-                cad_bench::method_names()[m],
-                pa[m].last().unwrap(),
-                dpa[m].last().unwrap()
-            );
+            // Not every arm records PA/DPA scores (the sensor-localisation
+            // path above pushes only `sensor`); a missing score is a
+            // skipped line, not a panic.
+            match (pa[m].last(), dpa[m].last()) {
+                (Some(f1_pa), Some(f1_dpa)) => eprintln!(
+                    "  {:<8} F1_PA={f1_pa:.1} F1_DPA={f1_dpa:.1}",
+                    cad_bench::method_names()[m],
+                ),
+                _ => eprintln!(
+                    "  {:<8} no PA/DPA scores for this subset (sensor-only run), skipping",
+                    cad_bench::method_names()[m],
+                ),
+            }
         }
     }
 

@@ -61,5 +61,5 @@ pub use detector::{CadDetector, RoundOutcome};
 pub use engine::{ExactEngine, IncrementalEngine, RoundEngine};
 pub use pool::DetectorPool;
 pub use result::{Anomaly, DetectionResult, RoundRecord};
-pub use state::{load_detector, save_detector, StateError};
+pub use state::{load_detector, load_stream, save_detector, save_stream, StateError};
 pub use stream::StreamingCad;

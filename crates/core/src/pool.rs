@@ -11,7 +11,11 @@
 //! shards would produce, and results always come back ordered by shard
 //! index (the `cad-runtime` determinism contract). A process-level pool
 //! like this one composes with process sharding — route users to processes
-//! by hash, then to a `DetectorPool` shard inside each.
+//! by hash, then to a `DetectorPool` shard inside each. The process
+//! boundary itself is the `cad-serve` crate (`crates/serve`): a TCP
+//! ingestion daemon whose session manager applies exactly this routing —
+//! sessions hash to worker shards, each shard drives its sessions the way
+//! this pool drives its detectors (see DESIGN.md, "Serving layer").
 
 use cad_mts::Mts;
 use cad_runtime::Timer;

@@ -323,6 +323,62 @@ pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
     Ok(detector)
 }
 
+const STREAM_MAGIC: &str = "cad-stream";
+const STREAM_VERSION: u32 = 1;
+
+/// Serialise a [`StreamingCad`] wrapper: the ring buffer and its cursors,
+/// followed by the complete embedded detector state ([`save_detector`]).
+/// A restored stream resumes mid-window and produces bit-identical round
+/// outcomes to an uninterrupted one — the property the `cad-serve`
+/// graceful-shutdown path relies on.
+pub fn save_stream<W: Write>(stream: &crate::StreamingCad, mut out: W) -> io::Result<()> {
+    let (detector, ring, next, filled, fresh, total) = stream.persist_parts();
+    writeln!(out, "{STREAM_MAGIC} v{STREAM_VERSION}")?;
+    writeln!(out, "cursor {next} {filled} {fresh} {total}")?;
+    writeln!(out, "ring {}", join_floats(ring))?;
+    save_detector(detector, out)
+}
+
+/// Restore a streaming wrapper previously written by [`save_stream`].
+pub fn load_stream<R: Read>(input: R) -> Result<crate::StreamingCad, StateError> {
+    let mut lines = Lines {
+        reader: BufReader::new(input),
+        buf: String::new(),
+    };
+    let header = lines.next()?.to_string();
+    let version: u32 = match header.strip_prefix(STREAM_MAGIC).map(str::trim_start) {
+        Some(rest) if rest.starts_with('v') => parse(&rest[1..], "stream version")?,
+        _ => return Err(fmt_err(format!("unsupported stream header {header:?}"))),
+    };
+    if version == 0 || version > STREAM_VERSION {
+        return Err(fmt_err(format!("unsupported stream version v{version}")));
+    }
+    let cursor = lines.expect("cursor")?.to_string();
+    let mut it = cursor.split_whitespace();
+    let next: usize = parse(it.next().unwrap_or(""), "cursor next")?;
+    let filled: usize = parse(it.next().unwrap_or(""), "cursor filled")?;
+    let fresh: usize = parse(it.next().unwrap_or(""), "cursor fresh")?;
+    let total: usize = parse(it.next().unwrap_or(""), "cursor total")?;
+    let ring: Vec<f64> = parse_list(lines.expect("ring")?, "ring value")?;
+    // The detector state follows in the same reader; `load_detector`
+    // consumes the remaining lines.
+    let detector = load_detector(lines.reader)?;
+    let w = detector.config().window.w;
+    let n = detector.n_sensors();
+    if ring.len() != n * w {
+        return Err(fmt_err(format!(
+            "ring length {} does not match detector dimensions {n}×{w}",
+            ring.len()
+        )));
+    }
+    if next >= w || filled > w || fresh > w {
+        return Err(fmt_err("stream cursor out of range"));
+    }
+    Ok(crate::StreamingCad::from_persisted(
+        detector, ring, next, filled, fresh, total,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +464,86 @@ mod tests {
         save_detector(&det, &mut buf).expect("save");
         let restored = load_detector(buf.as_slice()).expect("load");
         assert_eq!(restored.config(), &config);
+    }
+
+    /// Drive two copies of one stream — one through a save/load round-trip
+    /// mid-stream — and assert identical outcomes tick-for-tick.
+    fn assert_stream_roundtrip(engine: EngineChoice) {
+        use crate::StreamingCad;
+        let data = mts(700);
+        let cfg = CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .rc_horizon(Some(6))
+            .engine(engine)
+            .build();
+        let mut reference = StreamingCad::new(CadDetector::new(4, cfg.clone()));
+        let mut live = StreamingCad::new(CadDetector::new(4, cfg));
+        // Split at a tick that is neither a round boundary nor ring-aligned.
+        let split = 349;
+        for t in 0..split {
+            let col = data.column(t);
+            assert_eq!(reference.push_sample(&col), live.push_sample(&col));
+        }
+        let mut buf = Vec::new();
+        save_stream(&live, &mut buf).expect("save stream");
+        let mut restored = load_stream(buf.as_slice()).expect("load stream");
+        assert_eq!(restored.samples_seen(), split);
+        for t in split..data.len() {
+            let col = data.column(t);
+            assert_eq!(
+                reference.push_sample(&col),
+                restored.push_sample(&col),
+                "tick {t} diverged after stream restore"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_exact_engine() {
+        assert_stream_roundtrip(EngineChoice::Exact);
+    }
+
+    #[test]
+    fn stream_roundtrip_incremental_engine() {
+        assert_stream_roundtrip(EngineChoice::Incremental { rebuild_every: 50 });
+    }
+
+    #[test]
+    fn stream_state_rejects_corrupt_ring() {
+        use crate::StreamingCad;
+        let det = CadDetector::new(4, config());
+        let stream = StreamingCad::new(det);
+        let mut buf = Vec::new();
+        save_stream(&stream, &mut buf).expect("save stream");
+        let text = String::from_utf8(buf).expect("UTF-8");
+        assert!(text.starts_with("cad-stream v1\n"));
+        let corrupt: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("ring ") {
+                    "ring 1 2 3".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let err = load_stream(corrupt.as_bytes()).unwrap_err();
+        assert!(matches!(err, StateError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn stream_state_rejects_detector_header() {
+        // A bare detector snapshot is not a stream snapshot.
+        let det = CadDetector::new(4, config());
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let err = load_stream(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, StateError::Format(_)), "{err}");
     }
 
     #[test]

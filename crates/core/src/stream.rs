@@ -109,6 +109,49 @@ impl StreamingCad {
         &self.detector
     }
 
+    /// Persistence access: `(detector, ring, next, filled, fresh, total)`.
+    /// Everything `save_stream` (see `cad_core::state`) needs to rebuild a
+    /// bit-identical wrapper around the persisted detector.
+    pub(crate) fn persist_parts(&self) -> (&CadDetector, &[f64], usize, usize, usize, usize) {
+        (
+            &self.detector,
+            &self.ring,
+            self.next,
+            self.filled,
+            self.fresh,
+            self.total,
+        )
+    }
+
+    /// Rebuild a streaming wrapper from persisted parts (restore path of
+    /// `cad_core::state::load_stream`). Dimensions are validated against
+    /// the detector so corrupt state surfaces as a clear panic here rather
+    /// than an index error rounds later.
+    pub(crate) fn from_persisted(
+        detector: CadDetector,
+        ring: Vec<f64>,
+        next: usize,
+        filled: usize,
+        fresh: usize,
+        total: usize,
+    ) -> Self {
+        let mut stream = Self::new(detector);
+        assert_eq!(
+            ring.len(),
+            stream.ring.len(),
+            "persisted ring length does not match detector dimensions"
+        );
+        assert!(next < stream.w, "persisted ring cursor out of range");
+        assert!(filled <= stream.w, "persisted fill count exceeds window");
+        assert!(fresh <= stream.w, "persisted fresh count exceeds window");
+        stream.ring = ring;
+        stream.next = next;
+        stream.filled = filled;
+        stream.fresh = fresh;
+        stream.total = total;
+        stream
+    }
+
     /// Total samples consumed so far.
     pub fn samples_seen(&self) -> usize {
         self.total
@@ -263,6 +306,77 @@ mod tests {
             }
         }
         assert_eq!(first_at, Some(7), "first round after s samples");
+    }
+
+    /// Deterministic per-sensor reading for ring-content checks.
+    fn reading(t: usize, sensor: usize) -> f64 {
+        ((t * 31 + sensor * 17) % 23) as f64 * 0.1 + (t as f64 * 0.05).sin()
+    }
+
+    /// Drive a real `StreamingCad` for `ticks` samples and check that the
+    /// ring, viewed through `RingWindow::segments`, concatenates to exactly
+    /// the last `w` readings in time order for every sensor.
+    fn assert_ring_matches_logical_window(w: usize, s: usize, ticks: usize) {
+        let n = 3;
+        let cfg = CadConfig::builder(n)
+            .window(w, s)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .build();
+        let mut stream = StreamingCad::new(CadDetector::new(n, cfg));
+        for t in 0..ticks {
+            let sample: Vec<f64> = (0..n).map(|i| reading(t, i)).collect();
+            stream.push_sample(&sample);
+        }
+        assert!(ticks >= w, "test schedule must fill the ring");
+        let window = RingWindow {
+            ring: &stream.ring,
+            n_sensors: n,
+            w,
+            head: stream.next,
+        };
+        for i in 0..n {
+            let (head, tail) = window.segments(i);
+            assert_eq!(head.len() + tail.len(), w, "sensor {i}: segment sizes");
+            let mut got = Vec::with_capacity(w);
+            got.extend_from_slice(head);
+            got.extend_from_slice(tail);
+            let expected: Vec<f64> = (ticks - w..ticks).map(|t| reading(t, i)).collect();
+            assert_eq!(got, expected, "sensor {i}: w={w} s={s} ticks={ticks}");
+        }
+    }
+
+    #[test]
+    fn ring_segments_no_wrap_when_head_is_zero() {
+        // ticks a multiple of w parks the write cursor back at slot 0: the
+        // window is one contiguous segment and the wrapped half is empty.
+        for mult in 1..4 {
+            let w = 16;
+            assert_ring_matches_logical_window(w, 4, w * mult);
+        }
+    }
+
+    mod ring_fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            /// Arbitrary `(w, s, ticks)` schedules: the two segments of the
+            /// ring window must always concatenate to a contiguous copy of
+            /// the logical window (the `head == 0` no-wrap case included,
+            /// whenever `ticks % w == 0` is drawn).
+            #[test]
+            fn prop_ring_segments_match_contiguous_window(
+                w in 2usize..48,
+                s_raw in 1usize..48,
+                extra in 0usize..130,
+            ) {
+                let s = s_raw.min(w);
+                assert_ring_matches_logical_window(w, s, w + extra);
+            }
+        }
     }
 
     #[test]

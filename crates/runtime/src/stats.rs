@@ -24,6 +24,17 @@ impl PhaseStats {
     pub fn secs(&self) -> f64 {
         self.nanos as f64 * 1e-9
     }
+
+    /// The phase as a JSON object fragment: `{"calls": n, "secs": s}`.
+    /// Bench reporters embed these in their machine-readable result files
+    /// so per-phase timings travel with the totals.
+    pub fn to_json_fragment(&self) -> String {
+        format!(
+            "{{\"calls\": {}, \"secs\": {:.6}}}",
+            self.calls,
+            self.secs()
+        )
+    }
 }
 
 fn registry() -> &'static Mutex<BTreeMap<&'static str, PhaseStats>> {
@@ -81,11 +92,7 @@ pub fn phases_json() -> String {
         if i > 0 {
             out.push_str(", ");
         }
-        out.push_str(&format!(
-            "\"{name}\": {{\"calls\": {}, \"secs\": {:.6}}}",
-            stats.calls,
-            stats.secs()
-        ));
+        out.push_str(&format!("\"{name}\": {}", stats.to_json_fragment()));
     }
     out.push('}');
     out
@@ -120,6 +127,18 @@ mod tests {
         let json = phases_json();
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"test.json_phase\": {\"calls\": "), "{json}");
+    }
+
+    #[test]
+    fn json_fragment_is_machine_readable() {
+        let stats = PhaseStats {
+            calls: 7,
+            nanos: 1_500_000,
+        };
+        assert_eq!(
+            stats.to_json_fragment(),
+            "{\"calls\": 7, \"secs\": 0.001500}"
+        );
     }
 
     #[test]

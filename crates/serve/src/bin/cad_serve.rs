@@ -1,0 +1,71 @@
+//! The `cad-serve` daemon: bind, serve, persist on shutdown.
+//!
+//! Configuration is environment-driven (no CLI parser dependency):
+//!
+//! | variable                 | default          | meaning                         |
+//! |--------------------------|------------------|---------------------------------|
+//! | `CAD_SERVE_ADDR`         | `127.0.0.1:7464` | bind address                    |
+//! | `CAD_SERVE_SHARDS`       | runtime threads  | session worker shards           |
+//! | `CAD_SERVE_MAX_SESSIONS` | `4096`           | admission limit                 |
+//! | `CAD_SERVE_MAX_SENSORS`  | `1024`           | per-session sensor limit        |
+//! | `CAD_SERVE_QUEUE`        | `8192`           | ingress capacity in ticks       |
+//! | `CAD_SERVE_SNAPSHOT_DIR` | unset            | snapshot/restore directory      |
+//!
+//! Shutdown is graceful on a client `Shutdown` frame: the queue drains
+//! and every session is persisted before the process exits.
+
+use std::path::PathBuf;
+
+use cad_serve::{CadServer, ServeConfig};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    match std::env::var(key) {
+        Err(_) => default,
+        Ok(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("cad-serve: {key}={raw} is not a number");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    if let Ok(addr) = std::env::var("CAD_SERVE_ADDR") {
+        cfg.addr = addr;
+    }
+    cfg.shards = env_usize("CAD_SERVE_SHARDS", cfg.shards);
+    cfg.max_sessions = env_usize("CAD_SERVE_MAX_SESSIONS", cfg.max_sessions);
+    cfg.max_sensors = env_usize("CAD_SERVE_MAX_SENSORS", cfg.max_sensors);
+    cfg.queue_capacity = env_usize("CAD_SERVE_QUEUE", cfg.queue_capacity);
+    cfg.snapshot_dir = std::env::var("CAD_SERVE_SNAPSHOT_DIR")
+        .ok()
+        .map(PathBuf::from);
+
+    let server = match CadServer::bind(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cad-serve: bind {} failed: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("local_addr");
+    eprintln!(
+        "cad-serve: listening on {addr} ({} shards, {} max sessions, queue {} ticks, snapshots: {})",
+        cfg.shards,
+        cfg.max_sessions,
+        cfg.queue_capacity,
+        cfg.snapshot_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "disabled".into()),
+    );
+    match server.run() {
+        Ok(persisted) => {
+            eprintln!("cad-serve: shut down cleanly, {persisted} sessions persisted");
+        }
+        Err(e) => {
+            eprintln!("cad-serve: server failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,1047 @@
+//! The `cad-serve` wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is a fixed 12-byte header followed by a payload:
+//!
+//! ```text
+//! magic    u32  "CADS" (little-endian byte order on the wire)
+//! version  u16  protocol version (1)
+//! msg_type u8   frame discriminant (see the `Frame` table in DESIGN.md)
+//! flags    u8   reserved, must be 0
+//! len      u32  payload length in bytes
+//! ```
+//!
+//! All integers and floats are little-endian; strings are a `u32` length
+//! followed by UTF-8 bytes; vectors are a `u32` count followed by their
+//! elements. `zscore` travels as raw IEEE-754 bits so a round outcome is
+//! byte-identical across the wire — the e2e parity suite depends on it.
+//!
+//! Decoding is total: any malformed input yields a [`ProtoError`], never a
+//! panic, and payloads above [`MAX_PAYLOAD`] are rejected before being
+//! buffered (a garbage length prefix must not allocate gigabytes).
+
+use std::io::{self, Read, Write};
+
+/// Wire magic: the ASCII bytes `CADS`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"CADS");
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u16 = 1;
+/// Upper bound on a single frame's payload (16 MiB).
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// Error codes carried by [`Frame::Error`].
+pub mod codes {
+    /// Malformed frame or protocol-order violation (e.g. no `Hello`).
+    pub const BAD_REQUEST: u16 = 1;
+    /// The referenced session does not exist.
+    pub const UNKNOWN_SESSION: u16 = 2;
+    /// Admission denied: session/sensor limits reached.
+    pub const ADMISSION: u16 = 3;
+    /// Push rejected: wrong width or out-of-order `base_tick`.
+    pub const BAD_PUSH: u16 = 4;
+    /// The server is shutting down.
+    pub const SHUTTING_DOWN: u16 = 5;
+    /// Snapshots are disabled (no snapshot directory configured).
+    pub const NO_SNAPSHOTS: u16 = 6;
+    /// Invalid session specification.
+    pub const BAD_SPEC: u16 = 7;
+}
+
+/// Round-engine choice as it travels in a [`SessionSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireEngine {
+    /// Recompute the correlation structure every round.
+    Exact,
+    /// Sliding co-moment engine with the given exact-rebuild period.
+    Incremental {
+        /// Exact-rebuild period (≥ 1).
+        rebuild_every: u32,
+    },
+}
+
+/// Detector parameters a client supplies when creating a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Sensor count of the monitored group (≥ 2).
+    pub n_sensors: u32,
+    /// Sliding window length `w`.
+    pub w: u32,
+    /// Window step `s` (`1 ≤ s ≤ w`).
+    pub s: u32,
+    /// k-NN degree for the TSG.
+    pub k: u32,
+    /// Correlation threshold τ.
+    pub tau: f64,
+    /// Outlier threshold θ.
+    pub theta: f64,
+    /// Chebyshev multiplier η.
+    pub eta: f64,
+    /// Sliding RC horizon (`None` = cumulative).
+    pub rc_horizon: Option<u32>,
+    /// Round engine.
+    pub engine: WireEngine,
+}
+
+impl SessionSpec {
+    /// Paper-flavoured defaults for an `n_sensors`-wide session.
+    pub fn new(n_sensors: u32, w: u32, s: u32) -> Self {
+        Self {
+            n_sensors,
+            w,
+            s,
+            k: (n_sensors / 4).clamp(1, 50),
+            tau: 0.3,
+            theta: 0.3,
+            eta: 3.0,
+            rc_horizon: None,
+            engine: WireEngine::Exact,
+        }
+    }
+}
+
+/// One completed detection round as reported over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireOutcome {
+    /// 0-based index of the sample that completed this round.
+    pub tick: u64,
+    /// Outlier-variation count `n_r`.
+    pub n_r: u64,
+    /// `|n_r − μ|/σ` as raw IEEE-754 bits (bit-exact transport).
+    pub zscore_bits: u64,
+    /// The 3σ verdict.
+    pub abnormal: bool,
+    /// The outlier set `O_r`, sorted.
+    pub outliers: Vec<u32>,
+}
+
+impl WireOutcome {
+    /// The z-score as a float.
+    pub fn zscore(&self) -> f64 {
+        f64::from_bits(self.zscore_bits)
+    }
+}
+
+/// Per-session counters reported by [`Frame::StatsReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Session id.
+    pub session_id: u64,
+    /// Sensor count.
+    pub n_sensors: u32,
+    /// Samples consumed.
+    pub ticks: u64,
+    /// Rounds completed.
+    pub rounds: u64,
+    /// Rounds flagged abnormal.
+    pub anomalies: u64,
+}
+
+/// Server-wide counters reported by [`Frame::StatsReply`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Live sessions.
+    pub sessions: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Samples consumed across all sessions.
+    pub total_ticks: u64,
+    /// Rounds completed across all sessions.
+    pub total_rounds: u64,
+    /// Abnormal rounds across all sessions.
+    pub total_anomalies: u64,
+    /// Current ingress-queue depth, in ticks.
+    pub queue_depth: u64,
+    /// High-water mark of the ingress queue, in ticks.
+    pub peak_queue_depth: u64,
+    /// Backpressure frames emitted since start.
+    pub backpressure_events: u64,
+    /// Per-phase `cad_runtime` timings as a JSON object string.
+    pub phases_json: String,
+    /// Counters of one session, when the request named one.
+    pub session: Option<SessionStats>,
+}
+
+/// Every message in the protocol. The `u8` discriminants are the wire
+/// `msg_type` values and must never be reused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server greeting; must be the first frame on a connection.
+    Hello {
+        /// Free-form client identification (logged, never parsed).
+        client: String,
+    },
+    /// Server → client greeting response with the admission limits.
+    HelloAck {
+        /// Maximum concurrent sessions.
+        max_sessions: u32,
+        /// Maximum sensors per session.
+        max_sensors: u32,
+    },
+    /// Create (or re-attach to) the session with this id.
+    CreateSession {
+        /// Caller-chosen session id.
+        session_id: u64,
+        /// Detector parameters (ignored when re-attaching).
+        spec: SessionSpec,
+    },
+    /// Session created or re-attached.
+    SessionAck {
+        /// Echoed session id.
+        session_id: u64,
+        /// `true` when the session already existed (restored snapshot or
+        /// an earlier connection); the spec was ignored.
+        resumed: bool,
+        /// Samples the session has consumed so far — where to resume.
+        samples_seen: u64,
+    },
+    /// A batch of ticks for one session, tick-major
+    /// (`n_ticks × n_sensors` readings).
+    PushSamples {
+        /// Target session.
+        session_id: u64,
+        /// 0-based index of the first tick in this batch; must equal the
+        /// session's `samples_seen` (detects gaps and duplicates).
+        base_tick: u64,
+        /// Sensor count (validated against the session).
+        n_sensors: u32,
+        /// `n_ticks × n_sensors` readings, tick-major.
+        samples: Vec<f64>,
+    },
+    /// Outcomes of a processed batch.
+    PushAck {
+        /// Echoed session id.
+        session_id: u64,
+        /// Whether the ingress queue was saturated when this batch was
+        /// admitted — a hint to slow down.
+        throttled: bool,
+        /// Queue depth (ticks) right after admission.
+        queue_depth: u32,
+        /// Rounds completed by this batch, in tick order.
+        outcomes: Vec<WireOutcome>,
+    },
+    /// Request server-wide (and optionally one session's) counters.
+    StatsRequest {
+        /// Session to include, if any.
+        session_id: Option<u64>,
+    },
+    /// Counters snapshot.
+    StatsReply {
+        /// The counters.
+        stats: ServerStats,
+    },
+    /// Persist one session to the snapshot directory now.
+    Snapshot {
+        /// Session to persist.
+        session_id: u64,
+    },
+    /// Snapshot written.
+    SnapshotAck {
+        /// Echoed session id.
+        session_id: u64,
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
+    /// Drop a session (and its snapshot file, if any).
+    CloseSession {
+        /// Session to drop.
+        session_id: u64,
+    },
+    /// Session dropped.
+    CloseAck {
+        /// Echoed session id.
+        session_id: u64,
+    },
+    /// Request graceful shutdown: stop accepting, drain the queue, persist
+    /// every session.
+    Shutdown,
+    /// Shutdown acknowledged; teardown proceeds after this frame.
+    ShutdownAck {
+        /// Sessions that will be persisted.
+        sessions: u32,
+    },
+    /// Server → client, unsolicited: the ingress queue is full and the
+    /// server is about to block this connection until space frees up.
+    /// Slow down instead of pushing harder.
+    Backpressure {
+        /// Queue depth (ticks) at the time of the event.
+        queue_depth: u32,
+    },
+    /// Request failed.
+    Error {
+        /// One of [`codes`].
+        code: u16,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Frame {
+    /// Wire discriminant of this frame.
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::HelloAck { .. } => 2,
+            Frame::CreateSession { .. } => 3,
+            Frame::SessionAck { .. } => 4,
+            Frame::PushSamples { .. } => 5,
+            Frame::PushAck { .. } => 6,
+            Frame::StatsRequest { .. } => 7,
+            Frame::StatsReply { .. } => 8,
+            Frame::Snapshot { .. } => 9,
+            Frame::SnapshotAck { .. } => 10,
+            Frame::CloseSession { .. } => 11,
+            Frame::CloseAck { .. } => 12,
+            Frame::Shutdown => 13,
+            Frame::ShutdownAck { .. } => 14,
+            Frame::Backpressure { .. } => 15,
+            Frame::Error { .. } => 16,
+        }
+    }
+}
+
+/// Protocol-level failures.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying I/O failure (includes clean EOF between frames).
+    Io(io::Error),
+    /// Structurally invalid frame.
+    Corrupt(String),
+    /// The peer speaks a different protocol version.
+    Version(u16),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "I/O error: {e}"),
+            ProtoError::Corrupt(m) => write!(f, "corrupt frame: {m}"),
+            ProtoError::Version(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::TooLarge(n) => write!(f, "payload of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+fn corrupt(m: impl Into<String>) -> ProtoError {
+    ProtoError::Corrupt(m.into())
+}
+
+// ---------------------------------------------------------------- encoding
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn f64s(&mut self, vs: &[f64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+    fn u32s(&mut self, vs: &[u32]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+    fn spec(&mut self, spec: &SessionSpec) {
+        self.u32(spec.n_sensors);
+        self.u32(spec.w);
+        self.u32(spec.s);
+        self.u32(spec.k);
+        self.f64(spec.tau);
+        self.f64(spec.theta);
+        self.f64(spec.eta);
+        match spec.rc_horizon {
+            None => self.u8(0),
+            Some(h) => {
+                self.u8(1);
+                self.u32(h);
+            }
+        }
+        match spec.engine {
+            WireEngine::Exact => self.u8(0),
+            WireEngine::Incremental { rebuild_every } => {
+                self.u8(1);
+                self.u32(rebuild_every);
+            }
+        }
+    }
+    fn outcome(&mut self, o: &WireOutcome) {
+        self.u64(o.tick);
+        self.u64(o.n_r);
+        self.u64(o.zscore_bits);
+        self.u8(o.abnormal as u8);
+        self.u32s(&o.outliers);
+    }
+    fn session_stats(&mut self, s: &SessionStats) {
+        self.u64(s.session_id);
+        self.u32(s.n_sensors);
+        self.u64(s.ticks);
+        self.u64(s.rounds);
+        self.u64(s.anomalies);
+    }
+}
+
+// ---------------------------------------------------------------- decoding
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() - self.pos < n {
+            return Err(corrupt("payload truncated"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bool(&mut self) -> Result<bool, ProtoError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(corrupt(format!("bad bool byte {other}"))),
+        }
+    }
+    fn len(&mut self) -> Result<usize, ProtoError> {
+        let n = self.u32()? as usize;
+        // A count can never imply more bytes than remain (elements are at
+        // least one byte each), so bail before trying to allocate for it.
+        if n > self.buf.len() - self.pos {
+            return Err(corrupt(format!("length {n} exceeds remaining payload")));
+        }
+        Ok(n)
+    }
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("string is not UTF-8"))
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>, ProtoError> {
+        let n = self.len()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn u32s(&mut self) -> Result<Vec<u32>, ProtoError> {
+        let n = self.len()?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+    fn spec(&mut self) -> Result<SessionSpec, ProtoError> {
+        let n_sensors = self.u32()?;
+        let w = self.u32()?;
+        let s = self.u32()?;
+        let k = self.u32()?;
+        let tau = self.f64()?;
+        let theta = self.f64()?;
+        let eta = self.f64()?;
+        let rc_horizon = match self.u8()? {
+            0 => None,
+            1 => Some(self.u32()?),
+            other => return Err(corrupt(format!("bad rc_horizon tag {other}"))),
+        };
+        let engine = match self.u8()? {
+            0 => WireEngine::Exact,
+            1 => WireEngine::Incremental {
+                rebuild_every: self.u32()?,
+            },
+            other => return Err(corrupt(format!("bad engine tag {other}"))),
+        };
+        Ok(SessionSpec {
+            n_sensors,
+            w,
+            s,
+            k,
+            tau,
+            theta,
+            eta,
+            rc_horizon,
+            engine,
+        })
+    }
+    fn outcome(&mut self) -> Result<WireOutcome, ProtoError> {
+        Ok(WireOutcome {
+            tick: self.u64()?,
+            n_r: self.u64()?,
+            zscore_bits: self.u64()?,
+            abnormal: self.bool()?,
+            outliers: self.u32s()?,
+        })
+    }
+    fn session_stats(&mut self) -> Result<SessionStats, ProtoError> {
+        Ok(SessionStats {
+            session_id: self.u64()?,
+            n_sensors: self.u32()?,
+            ticks: self.u64()?,
+            rounds: self.u64()?,
+            anomalies: self.u64()?,
+        })
+    }
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos != self.buf.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Serialise `frame` into a complete wire message (header + payload).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut e = Enc { buf: Vec::new() };
+    match frame {
+        Frame::Hello { client } => e.string(client),
+        Frame::HelloAck {
+            max_sessions,
+            max_sensors,
+        } => {
+            e.u32(*max_sessions);
+            e.u32(*max_sensors);
+        }
+        Frame::CreateSession { session_id, spec } => {
+            e.u64(*session_id);
+            e.spec(spec);
+        }
+        Frame::SessionAck {
+            session_id,
+            resumed,
+            samples_seen,
+        } => {
+            e.u64(*session_id);
+            e.u8(*resumed as u8);
+            e.u64(*samples_seen);
+        }
+        Frame::PushSamples {
+            session_id,
+            base_tick,
+            n_sensors,
+            samples,
+        } => {
+            e.u64(*session_id);
+            e.u64(*base_tick);
+            e.u32(*n_sensors);
+            e.f64s(samples);
+        }
+        Frame::PushAck {
+            session_id,
+            throttled,
+            queue_depth,
+            outcomes,
+        } => {
+            e.u64(*session_id);
+            e.u8(*throttled as u8);
+            e.u32(*queue_depth);
+            e.u32(outcomes.len() as u32);
+            for o in outcomes {
+                e.outcome(o);
+            }
+        }
+        Frame::StatsRequest { session_id } => match session_id {
+            None => e.u8(0),
+            Some(id) => {
+                e.u8(1);
+                e.u64(*id);
+            }
+        },
+        Frame::StatsReply { stats } => {
+            e.u64(stats.sessions);
+            e.u64(stats.connections);
+            e.u64(stats.total_ticks);
+            e.u64(stats.total_rounds);
+            e.u64(stats.total_anomalies);
+            e.u64(stats.queue_depth);
+            e.u64(stats.peak_queue_depth);
+            e.u64(stats.backpressure_events);
+            e.string(&stats.phases_json);
+            match &stats.session {
+                None => e.u8(0),
+                Some(s) => {
+                    e.u8(1);
+                    e.session_stats(s);
+                }
+            }
+        }
+        Frame::Snapshot { session_id } => e.u64(*session_id),
+        Frame::SnapshotAck { session_id, bytes } => {
+            e.u64(*session_id);
+            e.u64(*bytes);
+        }
+        Frame::CloseSession { session_id } => e.u64(*session_id),
+        Frame::CloseAck { session_id } => e.u64(*session_id),
+        Frame::Shutdown => {}
+        Frame::ShutdownAck { sessions } => e.u32(*sessions),
+        Frame::Backpressure { queue_depth } => e.u32(*queue_depth),
+        Frame::Error { code, message } => {
+            e.u16(*code);
+            e.string(message);
+        }
+    }
+    let payload = e.buf;
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.push(frame.msg_type());
+    out.push(0); // flags
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode one frame's payload given its wire `msg_type`.
+pub fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
+    let mut d = Dec {
+        buf: payload,
+        pos: 0,
+    };
+    let frame = match msg_type {
+        1 => Frame::Hello {
+            client: d.string()?,
+        },
+        2 => Frame::HelloAck {
+            max_sessions: d.u32()?,
+            max_sensors: d.u32()?,
+        },
+        3 => Frame::CreateSession {
+            session_id: d.u64()?,
+            spec: d.spec()?,
+        },
+        4 => Frame::SessionAck {
+            session_id: d.u64()?,
+            resumed: d.bool()?,
+            samples_seen: d.u64()?,
+        },
+        5 => {
+            let session_id = d.u64()?;
+            let base_tick = d.u64()?;
+            let n_sensors = d.u32()?;
+            let samples = d.f64s()?;
+            if n_sensors == 0 || samples.len() % n_sensors as usize != 0 {
+                return Err(corrupt("sample count is not a multiple of n_sensors"));
+            }
+            Frame::PushSamples {
+                session_id,
+                base_tick,
+                n_sensors,
+                samples,
+            }
+        }
+        6 => {
+            let session_id = d.u64()?;
+            let throttled = d.bool()?;
+            let queue_depth = d.u32()?;
+            let n = d.len()?;
+            let outcomes = (0..n).map(|_| d.outcome()).collect::<Result<Vec<_>, _>>()?;
+            Frame::PushAck {
+                session_id,
+                throttled,
+                queue_depth,
+                outcomes,
+            }
+        }
+        7 => Frame::StatsRequest {
+            session_id: match d.u8()? {
+                0 => None,
+                1 => Some(d.u64()?),
+                other => return Err(corrupt(format!("bad stats tag {other}"))),
+            },
+        },
+        8 => {
+            let sessions = d.u64()?;
+            let connections = d.u64()?;
+            let total_ticks = d.u64()?;
+            let total_rounds = d.u64()?;
+            let total_anomalies = d.u64()?;
+            let queue_depth = d.u64()?;
+            let peak_queue_depth = d.u64()?;
+            let backpressure_events = d.u64()?;
+            let phases_json = d.string()?;
+            let session = match d.u8()? {
+                0 => None,
+                1 => Some(d.session_stats()?),
+                other => return Err(corrupt(format!("bad session-stats tag {other}"))),
+            };
+            Frame::StatsReply {
+                stats: ServerStats {
+                    sessions,
+                    connections,
+                    total_ticks,
+                    total_rounds,
+                    total_anomalies,
+                    queue_depth,
+                    peak_queue_depth,
+                    backpressure_events,
+                    phases_json,
+                    session,
+                },
+            }
+        }
+        9 => Frame::Snapshot {
+            session_id: d.u64()?,
+        },
+        10 => Frame::SnapshotAck {
+            session_id: d.u64()?,
+            bytes: d.u64()?,
+        },
+        11 => Frame::CloseSession {
+            session_id: d.u64()?,
+        },
+        12 => Frame::CloseAck {
+            session_id: d.u64()?,
+        },
+        13 => Frame::Shutdown,
+        14 => Frame::ShutdownAck { sessions: d.u32()? },
+        15 => Frame::Backpressure {
+            queue_depth: d.u32()?,
+        },
+        16 => Frame::Error {
+            code: d.u16()?,
+            message: d.string()?,
+        },
+        other => return Err(corrupt(format!("unknown msg_type {other}"))),
+    };
+    d.finish()?;
+    Ok(frame)
+}
+
+/// Write one frame to `out` (header + payload, single `write_all`).
+pub fn write_frame<W: Write>(mut out: W, frame: &Frame) -> io::Result<()> {
+    out.write_all(&encode_frame(frame))?;
+    out.flush()
+}
+
+/// Read one frame from `input`, validating magic, version and size before
+/// buffering the payload.
+pub fn read_frame<R: Read>(mut input: R) -> Result<Frame, ProtoError> {
+    let mut header = [0u8; 12];
+    input.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(corrupt(format!("bad magic {magic:#010x}")));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().unwrap());
+    if version != PROTOCOL_VERSION {
+        return Err(ProtoError::Version(version));
+    }
+    let msg_type = header[6];
+    if header[7] != 0 {
+        return Err(corrupt("non-zero flags"));
+    }
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    input.read_exact(&mut payload)?;
+    decode_payload(msg_type, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        let decoded = read_frame(bytes.as_slice()).expect("decode");
+        assert_eq!(decoded, frame);
+    }
+
+    fn sample_spec() -> SessionSpec {
+        SessionSpec {
+            n_sensors: 16,
+            w: 64,
+            s: 8,
+            k: 4,
+            tau: 0.3,
+            theta: 0.25,
+            eta: 3.0,
+            rc_horizon: Some(10),
+            engine: WireEngine::Incremental { rebuild_every: 64 },
+        }
+    }
+
+    fn sample_outcome() -> WireOutcome {
+        WireOutcome {
+            tick: 1234,
+            n_r: 7,
+            zscore_bits: 3.25f64.to_bits(),
+            abnormal: true,
+            outliers: vec![0, 3, 11],
+        }
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        roundtrip(Frame::Hello {
+            client: "loadgen/0.1 unicode: åß∂".into(),
+        });
+        roundtrip(Frame::HelloAck {
+            max_sessions: 4096,
+            max_sensors: 1024,
+        });
+        roundtrip(Frame::CreateSession {
+            session_id: u64::MAX,
+            spec: sample_spec(),
+        });
+        roundtrip(Frame::CreateSession {
+            session_id: 0,
+            spec: SessionSpec {
+                rc_horizon: None,
+                engine: WireEngine::Exact,
+                ..sample_spec()
+            },
+        });
+        roundtrip(Frame::SessionAck {
+            session_id: 9,
+            resumed: true,
+            samples_seen: 4242,
+        });
+        roundtrip(Frame::PushSamples {
+            session_id: 5,
+            base_tick: 640,
+            n_sensors: 4,
+            samples: vec![0.5, -1.25, f64::MIN_POSITIVE, 1e300, 0.0, -0.0, 3.5, 7.0],
+        });
+        roundtrip(Frame::PushAck {
+            session_id: 5,
+            throttled: true,
+            queue_depth: 129,
+            outcomes: vec![
+                sample_outcome(),
+                WireOutcome {
+                    outliers: vec![],
+                    abnormal: false,
+                    ..sample_outcome()
+                },
+            ],
+        });
+        roundtrip(Frame::StatsRequest { session_id: None });
+        roundtrip(Frame::StatsRequest {
+            session_id: Some(77),
+        });
+        roundtrip(Frame::StatsReply {
+            stats: ServerStats {
+                sessions: 100,
+                connections: 12,
+                total_ticks: 1 << 40,
+                total_rounds: 999,
+                total_anomalies: 3,
+                queue_depth: 17,
+                peak_queue_depth: 4096,
+                backpressure_events: 21,
+                phases_json: "{\"serve.pump\": {\"calls\": 3, \"secs\": 0.000010}}".into(),
+                session: Some(SessionStats {
+                    session_id: 77,
+                    n_sensors: 16,
+                    ticks: 640,
+                    rounds: 73,
+                    anomalies: 2,
+                }),
+            },
+        });
+        roundtrip(Frame::StatsReply {
+            stats: ServerStats {
+                sessions: 0,
+                connections: 0,
+                total_ticks: 0,
+                total_rounds: 0,
+                total_anomalies: 0,
+                queue_depth: 0,
+                peak_queue_depth: 0,
+                backpressure_events: 0,
+                phases_json: "{}".into(),
+                session: None,
+            },
+        });
+        roundtrip(Frame::Snapshot { session_id: 8 });
+        roundtrip(Frame::SnapshotAck {
+            session_id: 8,
+            bytes: 123456,
+        });
+        roundtrip(Frame::CloseSession { session_id: 8 });
+        roundtrip(Frame::CloseAck { session_id: 8 });
+        roundtrip(Frame::Shutdown);
+        roundtrip(Frame::ShutdownAck { sessions: 128 });
+        roundtrip(Frame::Backpressure { queue_depth: 4096 });
+        roundtrip(Frame::Error {
+            code: codes::ADMISSION,
+            message: "session limit reached".into(),
+        });
+    }
+
+    #[test]
+    fn zscore_travels_bit_exact() {
+        for v in [0.0, -0.0, f64::NAN, f64::INFINITY, 1.0 / 3.0, -2.5e-308] {
+            let frame = Frame::PushAck {
+                session_id: 1,
+                throttled: false,
+                queue_depth: 0,
+                outcomes: vec![WireOutcome {
+                    tick: 0,
+                    n_r: 0,
+                    zscore_bits: v.to_bits(),
+                    abnormal: false,
+                    outliers: vec![],
+                }],
+            };
+            match read_frame(encode_frame(&frame).as_slice()).expect("decode") {
+                Frame::PushAck { outcomes, .. } => {
+                    assert_eq!(outcomes[0].zscore_bits, v.to_bits());
+                }
+                other => panic!("wrong frame {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode_frame(&Frame::Shutdown);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(ProtoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = encode_frame(&Frame::Shutdown);
+        bytes[4] = 99;
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(ProtoError::Version(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_nonzero_flags() {
+        let mut bytes = encode_frame(&Frame::Shutdown);
+        bytes[7] = 1;
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(ProtoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_payload_before_buffering() {
+        let mut bytes = encode_frame(&Frame::Shutdown);
+        bytes[8..12].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(ProtoError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let bytes = encode_frame(&Frame::Error {
+            code: 1,
+            message: "hello".into(),
+        });
+        // Cut the payload short but leave the declared length intact.
+        assert!(matches!(
+            read_frame(&bytes[..bytes.len() - 2]),
+            Err(ProtoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = encode_frame(&Frame::Snapshot { session_id: 1 });
+        // Grow the payload by one byte and fix up the declared length.
+        bytes.push(0xAB);
+        let len = (bytes.len() - 12) as u32;
+        bytes[8..12].copy_from_slice(&len.to_le_bytes());
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(ProtoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_msg_type() {
+        let mut bytes = encode_frame(&Frame::Shutdown);
+        bytes[6] = 250;
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(ProtoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_ragged_push_batch() {
+        // 3 samples for 2 sensors: not a whole number of ticks.
+        let mut e = Vec::new();
+        e.extend_from_slice(&5u64.to_le_bytes());
+        e.extend_from_slice(&0u64.to_le_bytes());
+        e.extend_from_slice(&2u32.to_le_bytes());
+        e.extend_from_slice(&3u32.to_le_bytes());
+        for v in [1.0f64, 2.0, 3.0] {
+            e.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(matches!(decode_payload(5, &e), Err(ProtoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_absurd_element_count() {
+        // A declared vector length far beyond the actual payload must fail
+        // fast instead of allocating.
+        let mut e = Vec::new();
+        e.extend_from_slice(&5u64.to_le_bytes());
+        e.extend_from_slice(&0u64.to_le_bytes());
+        e.extend_from_slice(&2u32.to_le_bytes());
+        e.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_payload(5, &e), Err(ProtoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn clean_eof_surfaces_as_io() {
+        assert!(matches!(read_frame(&[][..]), Err(ProtoError::Io(_))));
+    }
+}

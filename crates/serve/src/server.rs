@@ -1,0 +1,423 @@
+//! The TCP server: accept loop, per-connection handlers, graceful
+//! shutdown.
+//!
+//! The listener runs nonblocking and polls a shared shutdown flag, so a
+//! `Shutdown` frame (or [`ShutdownHandle::request`] from a signal
+//! handler) stops the accept loop within one poll interval. Each
+//! connection gets a handler thread that speaks the framed protocol and
+//! routes commands through the shared [`SessionManager`]; socket
+//! read/write timeouts keep a stalled peer from pinning a handler, and
+//! the read timeout doubles as the handlers' shutdown poll. Teardown
+//! closes the ingress queue, lets the pump drain every queued command,
+//! persists all sessions, and only then returns.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::{
+    codes, read_frame, write_frame, Frame, ProtoError, ServerStats, SessionStats,
+};
+use crate::session::{Command, EnqueueError, ManagerConfig, Reply, SessionManager, SessionPump};
+
+/// Configuration for [`CadServer::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7464`. Port 0 picks a free port.
+    pub addr: String,
+    /// Worker shards (defaults to the `cad-runtime` thread count).
+    pub shards: usize,
+    /// Maximum live sessions.
+    pub max_sessions: usize,
+    /// Maximum sensors per session.
+    pub max_sensors: usize,
+    /// Ingress-queue capacity in ticks.
+    pub queue_capacity: usize,
+    /// Socket read timeout (also the handlers' shutdown poll interval).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Snapshot directory; `None` disables persistence.
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let m = ManagerConfig::default();
+        Self {
+            addr: "127.0.0.1:7464".into(),
+            shards: m.shards,
+            max_sessions: m.max_sessions,
+            max_sensors: m.max_sensors,
+            queue_capacity: m.queue_capacity,
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(5),
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// Flag that stops a running server; cloneable into signal handlers and
+/// frames alike.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Request shutdown; idempotent.
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn requested(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound, not-yet-running CAD ingestion server.
+pub struct CadServer {
+    listener: TcpListener,
+    manager: SessionManager,
+    pump: SessionPump,
+    shutdown: ShutdownHandle,
+    cfg: ServeConfig,
+}
+
+impl CadServer {
+    /// Bind the listener and restore any snapshots found in
+    /// `cfg.snapshot_dir`.
+    pub fn bind(cfg: ServeConfig) -> io::Result<CadServer> {
+        let (manager, pump) = SessionManager::new(ManagerConfig {
+            shards: cfg.shards,
+            max_sessions: cfg.max_sessions,
+            max_sensors: cfg.max_sensors,
+            queue_capacity: cfg.queue_capacity,
+            snapshot_dir: cfg.snapshot_dir.clone(),
+        })?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(CadServer {
+            listener,
+            manager,
+            pump,
+            shutdown: ShutdownHandle(Arc::new(AtomicBool::new(false))),
+            cfg,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Handle that stops [`CadServer::run`] from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
+    /// Accept and serve connections until shutdown is requested, then
+    /// drain the queue and persist every session. Returns the number of
+    /// sessions persisted.
+    pub fn run(self) -> io::Result<usize> {
+        let CadServer {
+            listener,
+            manager,
+            pump,
+            shutdown,
+            cfg,
+        } = self;
+        let pump_thread = std::thread::Builder::new()
+            .name("cad-serve-pump".into())
+            .spawn(move || pump.run())?;
+        let mut handlers = Vec::new();
+        while !shutdown.requested() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    manager
+                        .counters()
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let manager = manager.clone();
+                    let shutdown = shutdown.clone();
+                    let cfg = cfg.clone();
+                    handlers.push(
+                        std::thread::Builder::new()
+                            .name("cad-serve-conn".into())
+                            .spawn(move || handle_connection(stream, manager, shutdown, cfg))?,
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Let in-flight handlers finish their requests (their read
+        // timeouts observe the flag), then drain and persist.
+        for h in handlers {
+            let _ = h.join();
+        }
+        manager.close();
+        let persisted = pump_thread
+            .join()
+            .map_err(|_| io::Error::other("pump thread panicked"))?;
+        Ok(persisted)
+    }
+}
+
+/// Build a `StatsReply` from the shared counters (plus one session's
+/// stats when the request named one).
+fn server_stats(manager: &SessionManager, session: Option<SessionStats>) -> ServerStats {
+    let c = manager.counters();
+    ServerStats {
+        sessions: c.sessions.load(Ordering::Relaxed),
+        connections: c.connections.load(Ordering::Relaxed),
+        total_ticks: c.total_ticks.load(Ordering::Relaxed),
+        total_rounds: c.total_rounds.load(Ordering::Relaxed),
+        total_anomalies: c.total_anomalies.load(Ordering::Relaxed),
+        queue_depth: manager.queue_depth() as u64,
+        peak_queue_depth: c.peak_queue_depth.load(Ordering::Relaxed),
+        backpressure_events: c.backpressure_events.load(Ordering::Relaxed),
+        phases_json: cad_runtime::phases_json(),
+        session,
+    }
+}
+
+/// Submit one command and wait for its reply; maps a closed queue to the
+/// protocol's `SHUTTING_DOWN` error.
+fn submit(
+    manager: &SessionManager,
+    cmd: Command,
+    rx: &mpsc::Receiver<Reply>,
+) -> Result<Reply, u16> {
+    match manager.enqueue(cmd) {
+        Err(EnqueueError::ShuttingDown) => Err(codes::SHUTTING_DOWN),
+        Ok(_) => rx.recv().map_err(|_| codes::SHUTTING_DOWN),
+    }
+}
+
+fn error_frame(code: u16, message: impl Into<String>) -> Frame {
+    Frame::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+/// Serve one connection until EOF, protocol error, or shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    manager: SessionManager,
+    shutdown: ShutdownHandle,
+    cfg: ServeConfig,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = io::BufWriter::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut reader = io::BufReader::new(stream);
+    let mut greeted = false;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(ProtoError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.requested() {
+                    return;
+                }
+                continue;
+            }
+            Err(ProtoError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => return,
+            Err(e) => {
+                let _ = write_frame(&mut writer, &error_frame(codes::BAD_REQUEST, e.to_string()));
+                return;
+            }
+        };
+        let reply = handle_frame(frame, &mut greeted, &manager, &shutdown, &mut writer);
+        let Some(reply) = reply else { return };
+        if write_frame(&mut writer, &reply).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if matches!(reply, Frame::ShutdownAck { .. }) {
+            return;
+        }
+    }
+}
+
+/// Handle one decoded frame and produce the reply; `None` means drop the
+/// connection without replying. A saturated push additionally writes an
+/// interim [`Frame::Backpressure`] through `writer` before blocking.
+fn handle_frame<W: Write>(
+    frame: Frame,
+    greeted: &mut bool,
+    manager: &SessionManager,
+    shutdown: &ShutdownHandle,
+    writer: &mut W,
+) -> Option<Frame> {
+    if !*greeted {
+        return match frame {
+            Frame::Hello { .. } => {
+                *greeted = true;
+                let (max_sessions, max_sensors) = manager.limits();
+                Some(Frame::HelloAck {
+                    max_sessions: max_sessions as u32,
+                    max_sensors: max_sensors as u32,
+                })
+            }
+            _ => Some(error_frame(codes::BAD_REQUEST, "first frame must be Hello")),
+        };
+    }
+    let (tx, rx) = mpsc::channel();
+    let reply = match frame {
+        Frame::Hello { .. } => error_frame(codes::BAD_REQUEST, "duplicate Hello"),
+        Frame::CreateSession { session_id, spec } => {
+            match submit(
+                manager,
+                Command::Create {
+                    session_id,
+                    spec,
+                    reply: tx,
+                },
+                &rx,
+            ) {
+                Err(code) => error_frame(code, "server is shutting down"),
+                Ok(Reply::Created {
+                    resumed,
+                    samples_seen,
+                }) => Frame::SessionAck {
+                    session_id,
+                    resumed,
+                    samples_seen,
+                },
+                Ok(Reply::Failed { code, message }) => error_frame(code, message),
+                Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
+            }
+        }
+        Frame::PushSamples {
+            session_id,
+            base_tick,
+            n_sensors,
+            samples,
+        } => {
+            if n_sensors == 0 || samples.len() % n_sensors as usize != 0 {
+                return Some(error_frame(codes::BAD_PUSH, "ragged sample batch"));
+            }
+            let cost = samples.len() / n_sensors as usize;
+            // Saturated queue: tell the client explicitly before we block
+            // on admission — its ack will be delayed by exactly this
+            // wait, so the signal must precede it on the wire.
+            let throttled = manager.would_block(cost);
+            if throttled {
+                manager
+                    .counters()
+                    .backpressure_events
+                    .fetch_add(1, Ordering::Relaxed);
+                let bp = Frame::Backpressure {
+                    queue_depth: manager.queue_depth().min(u32::MAX as usize) as u32,
+                };
+                if write_frame(&mut *writer, &bp).is_err() {
+                    return None;
+                }
+            }
+            let cmd = Command::Push {
+                session_id,
+                base_tick,
+                n_sensors,
+                samples,
+                reply: tx,
+            };
+            match manager.enqueue(cmd) {
+                Err(EnqueueError::ShuttingDown) => {
+                    error_frame(codes::SHUTTING_DOWN, "server is shutting down")
+                }
+                Ok(depth) => match rx.recv() {
+                    Err(_) => error_frame(codes::SHUTTING_DOWN, "server is shutting down"),
+                    Ok(Reply::Pushed(outcomes)) => Frame::PushAck {
+                        session_id,
+                        throttled,
+                        queue_depth: depth.min(u32::MAX as usize) as u32,
+                        outcomes,
+                    },
+                    Ok(Reply::Failed { code, message }) => error_frame(code, message),
+                    Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
+                },
+            }
+        }
+        Frame::StatsRequest { session_id } => match session_id {
+            None => Frame::StatsReply {
+                stats: server_stats(manager, None),
+            },
+            Some(id) => match submit(
+                manager,
+                Command::Stats {
+                    session_id: id,
+                    reply: tx,
+                },
+                &rx,
+            ) {
+                Err(code) => error_frame(code, "server is shutting down"),
+                Ok(Reply::Stats(s)) => Frame::StatsReply {
+                    stats: server_stats(manager, Some(s)),
+                },
+                Ok(Reply::Failed { code, message }) => error_frame(code, message),
+                Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
+            },
+        },
+        Frame::Snapshot { session_id } => match submit(
+            manager,
+            Command::Snapshot {
+                session_id,
+                reply: tx,
+            },
+            &rx,
+        ) {
+            Err(code) => error_frame(code, "server is shutting down"),
+            Ok(Reply::Snapshotted(bytes)) => Frame::SnapshotAck { session_id, bytes },
+            Ok(Reply::Failed { code, message }) => error_frame(code, message),
+            Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
+        },
+        Frame::CloseSession { session_id } => match submit(
+            manager,
+            Command::Close {
+                session_id,
+                reply: tx,
+            },
+            &rx,
+        ) {
+            Err(code) => error_frame(code, "server is shutting down"),
+            Ok(Reply::Closed) => Frame::CloseAck { session_id },
+            Ok(Reply::Failed { code, message }) => error_frame(code, message),
+            Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
+        },
+        Frame::Shutdown => {
+            shutdown.request();
+            Frame::ShutdownAck {
+                sessions: manager
+                    .counters()
+                    .sessions
+                    .load(Ordering::Relaxed)
+                    .min(u32::MAX as u64) as u32,
+            }
+        }
+        // Server-to-client frames arriving at the server are protocol
+        // violations.
+        Frame::HelloAck { .. }
+        | Frame::SessionAck { .. }
+        | Frame::PushAck { .. }
+        | Frame::StatsReply { .. }
+        | Frame::SnapshotAck { .. }
+        | Frame::CloseAck { .. }
+        | Frame::ShutdownAck { .. }
+        | Frame::Backpressure { .. }
+        | Frame::Error { .. } => error_frame(codes::BAD_REQUEST, "unexpected client frame"),
+    };
+    Some(reply)
+}

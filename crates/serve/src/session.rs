@@ -1,0 +1,707 @@
+//! Session manager: many independent [`StreamingCad`] detectors behind a
+//! bounded ingress queue, sharded across worker threads.
+//!
+//! ## Routing and determinism
+//!
+//! Every session is owned by exactly one shard (`session_id % n_shards`).
+//! Connection handlers enqueue commands into a single bounded queue; a
+//! dedicated pump thread drains it in arrival order, groups the batch by
+//! shard (stable — preserves per-session order) and processes the shards
+//! in parallel through [`cad_runtime::par_map_mut`]. Sessions never share
+//! state across shards, and one session's commands are only ever handled
+//! by its own shard in FIFO order, so each session's outcome stream is
+//! exactly what a serial loop over the same pushes would produce — the
+//! same contract [`cad_core::DetectorPool`] keeps, lifted to a process
+//! boundary.
+//!
+//! ## Backpressure
+//!
+//! The queue is bounded in *ticks* (pending samples), not commands, so
+//! memory stays proportional to the configured capacity no matter how the
+//! clients batch. [`SessionManager::would_block`] lets a connection
+//! handler emit an explicit [`Backpressure`](crate::protocol::Frame)
+//! frame before it parks in [`SessionManager::enqueue`]; a client that
+//! keeps pushing is throttled by its own unacknowledged request, never by
+//! unbounded server-side buffering. One exception keeps the system live:
+//! a batch larger than the whole capacity is admitted alone into an empty
+//! queue instead of deadlocking.
+//!
+//! ## Shutdown
+//!
+//! Closing the queue wakes the pump, which drains every remaining
+//! command, replies to the waiting handlers, persists all sessions to the
+//! snapshot directory (state format: `cad-stream v1`, see
+//! `cad_core::state`) and exits. A server restarted over the same
+//! directory restores each session mid-window and resumes bit-identically.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use cad_core::{load_stream, save_stream, CadConfig, CadDetector, EngineChoice, StreamingCad};
+use cad_runtime::Timer;
+
+use crate::protocol::{codes, SessionSpec, SessionStats, WireEngine, WireOutcome};
+
+/// Admission and queue limits for a [`SessionManager`].
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Worker shards (defaults to the `cad-runtime` thread count).
+    pub shards: usize,
+    /// Maximum live sessions across all shards.
+    pub max_sessions: usize,
+    /// Maximum sensors per session.
+    pub max_sensors: usize,
+    /// Ingress-queue capacity in ticks (pending samples).
+    pub queue_capacity: usize,
+    /// Directory session snapshots are written to; `None` disables
+    /// snapshots (and restart recovery).
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        Self {
+            shards: cad_runtime::effective_threads(),
+            max_sessions: 4096,
+            max_sensors: 1024,
+            queue_capacity: 8192,
+            snapshot_dir: None,
+        }
+    }
+}
+
+/// Reply to one command, delivered through the command's own channel.
+#[derive(Debug)]
+pub enum Reply {
+    /// Session created or re-attached.
+    Created {
+        /// Whether the session already existed.
+        resumed: bool,
+        /// Samples consumed so far.
+        samples_seen: u64,
+    },
+    /// Batch processed; rounds it completed, in tick order.
+    Pushed(Vec<WireOutcome>),
+    /// Snapshot written (bytes).
+    Snapshotted(u64),
+    /// Session dropped.
+    Closed,
+    /// Per-session counters.
+    Stats(SessionStats),
+    /// Command failed with a protocol error code.
+    Failed {
+        /// One of [`codes`].
+        code: u16,
+        /// Description for the client.
+        message: String,
+    },
+}
+
+/// A command routed through the ingress queue to a session's shard.
+#[derive(Debug)]
+pub enum Command {
+    /// Create or re-attach.
+    Create {
+        /// Caller-chosen id.
+        session_id: u64,
+        /// Detector parameters.
+        spec: SessionSpec,
+        /// Reply channel.
+        reply: Sender<Reply>,
+    },
+    /// Feed a batch of ticks.
+    Push {
+        /// Target session.
+        session_id: u64,
+        /// Expected `samples_seen` at admission.
+        base_tick: u64,
+        /// Claimed width.
+        n_sensors: u32,
+        /// `n_ticks × n_sensors` readings, tick-major.
+        samples: Vec<f64>,
+        /// Reply channel.
+        reply: Sender<Reply>,
+    },
+    /// Persist one session now.
+    Snapshot {
+        /// Target session.
+        session_id: u64,
+        /// Reply channel.
+        reply: Sender<Reply>,
+    },
+    /// Drop one session.
+    Close {
+        /// Target session.
+        session_id: u64,
+        /// Reply channel.
+        reply: Sender<Reply>,
+    },
+    /// Read one session's counters.
+    Stats {
+        /// Target session.
+        session_id: u64,
+        /// Reply channel.
+        reply: Sender<Reply>,
+    },
+}
+
+impl Command {
+    fn session_id(&self) -> u64 {
+        match self {
+            Command::Create { session_id, .. }
+            | Command::Push { session_id, .. }
+            | Command::Snapshot { session_id, .. }
+            | Command::Close { session_id, .. }
+            | Command::Stats { session_id, .. } => *session_id,
+        }
+    }
+
+    /// Queue cost in ticks (only pushes occupy capacity).
+    fn cost(&self) -> usize {
+        match self {
+            Command::Push {
+                samples, n_sensors, ..
+            } => samples.len() / (*n_sensors).max(1) as usize,
+            _ => 0,
+        }
+    }
+}
+
+/// Server-wide counters, shared between shards, handlers and stats frames.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Live sessions.
+    pub sessions: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Samples consumed.
+    pub total_ticks: AtomicU64,
+    /// Rounds completed.
+    pub total_rounds: AtomicU64,
+    /// Abnormal rounds.
+    pub total_anomalies: AtomicU64,
+    /// Backpressure frames emitted.
+    pub backpressure_events: AtomicU64,
+    /// High-water mark of the ingress queue, in ticks.
+    pub peak_queue_depth: AtomicU64,
+}
+
+/// One monitored deployment: a streaming detector plus its counters.
+#[derive(Debug)]
+struct Session {
+    stream: StreamingCad,
+    rounds: u64,
+    anomalies: u64,
+}
+
+impl Session {
+    fn stats(&self, session_id: u64) -> SessionStats {
+        SessionStats {
+            session_id,
+            n_sensors: self.stream.detector().n_sensors() as u32,
+            ticks: self.stream.samples_seen() as u64,
+            rounds: self.rounds,
+            anomalies: self.anomalies,
+        }
+    }
+}
+
+/// One worker shard: the sessions it owns, keyed by id.
+#[derive(Debug, Default)]
+struct Shard {
+    sessions: BTreeMap<u64, Session>,
+}
+
+struct IngressQueue {
+    jobs: VecDeque<Command>,
+    pending_ticks: usize,
+    closed: bool,
+}
+
+struct Shared {
+    cfg: ManagerConfig,
+    queue: Mutex<IngressQueue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    counters: Counters,
+}
+
+/// Handle used by connection handlers to submit commands and read
+/// counters. Cloneable; the pump thread holds the shards.
+#[derive(Clone)]
+pub struct SessionManager {
+    shared: Arc<Shared>,
+}
+
+/// The pump half: owns the shards, drains the queue until it is closed,
+/// then persists every session.
+pub struct SessionPump {
+    shared: Arc<Shared>,
+    shards: Vec<Shard>,
+}
+
+/// Errors surfaced by [`SessionManager::enqueue`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The queue is closed: the server is shutting down.
+    ShuttingDown,
+}
+
+fn validate_spec(spec: &SessionSpec, max_sensors: usize) -> Result<CadConfig, (u16, String)> {
+    let n = spec.n_sensors as usize;
+    if n < 2 {
+        return Err((codes::BAD_SPEC, "a session needs at least 2 sensors".into()));
+    }
+    if n > max_sensors {
+        return Err((
+            codes::ADMISSION,
+            format!("{n} sensors exceeds the per-session limit of {max_sensors}"),
+        ));
+    }
+    if spec.w == 0 || spec.s == 0 || spec.s > spec.w {
+        return Err((
+            codes::BAD_SPEC,
+            format!(
+                "window must satisfy 1 <= s <= w, got w={} s={}",
+                spec.w, spec.s
+            ),
+        ));
+    }
+    if !(0.0..=1.0).contains(&spec.theta) {
+        return Err((
+            codes::BAD_SPEC,
+            format!("theta {} not in [0,1]", spec.theta),
+        ));
+    }
+    // NaN η must be refused too, hence the negated comparison shape.
+    if spec.eta.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err((
+            codes::BAD_SPEC,
+            format!("eta {} must be positive", spec.eta),
+        ));
+    }
+    if !spec.tau.is_finite() {
+        return Err((codes::BAD_SPEC, "tau must be finite".into()));
+    }
+    let engine = match spec.engine {
+        WireEngine::Exact => EngineChoice::Exact,
+        WireEngine::Incremental { rebuild_every } => {
+            if rebuild_every == 0 {
+                return Err((codes::BAD_SPEC, "rebuild_every must be at least 1".into()));
+            }
+            EngineChoice::Incremental {
+                rebuild_every: rebuild_every as usize,
+            }
+        }
+    };
+    Ok(CadConfig::builder(n)
+        .window(spec.w as usize, spec.s as usize)
+        .k((spec.k as usize).max(1))
+        .tau(spec.tau)
+        .theta(spec.theta)
+        .eta(spec.eta)
+        .rc_horizon(spec.rc_horizon.map(|h| h as usize))
+        .engine(engine)
+        .build())
+}
+
+fn snapshot_path(dir: &Path, session_id: u64) -> PathBuf {
+    dir.join(format!("session-{session_id}.cads"))
+}
+
+/// Write one session's snapshot atomically (tmp file + rename) and return
+/// its size in bytes.
+fn write_snapshot(dir: &Path, session_id: u64, session: &Session) -> std::io::Result<u64> {
+    let mut buf = Vec::new();
+    save_stream(&session.stream, &mut buf)?;
+    let tmp = dir.join(format!("session-{session_id}.cads.tmp"));
+    std::fs::write(&tmp, &buf)?;
+    std::fs::rename(&tmp, snapshot_path(dir, session_id))?;
+    Ok(buf.len() as u64)
+}
+
+impl Shard {
+    /// Process this shard's slice of the drained batch, in arrival order.
+    fn run(&mut self, cmds: Vec<Command>, shared: &Shared) -> Vec<(Sender<Reply>, Reply)> {
+        let _t = Timer::start("serve.shard");
+        let counters = &shared.counters;
+        let mut out = Vec::with_capacity(cmds.len());
+        for cmd in cmds {
+            let (reply_to, reply) = match cmd {
+                Command::Create {
+                    session_id,
+                    spec,
+                    reply,
+                } => {
+                    let r = if let Some(session) = self.sessions.get(&session_id) {
+                        Reply::Created {
+                            resumed: true,
+                            samples_seen: session.stream.samples_seen() as u64,
+                        }
+                    } else {
+                        match validate_spec(&spec, shared.cfg.max_sensors) {
+                            Err((code, message)) => Reply::Failed { code, message },
+                            Ok(config) => {
+                                // Optimistic global admission: shards run in
+                                // parallel, so reserve first, undo on refusal.
+                                let prev = counters.sessions.fetch_add(1, Ordering::Relaxed);
+                                if prev >= shared.cfg.max_sessions as u64 {
+                                    counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                                    Reply::Failed {
+                                        code: codes::ADMISSION,
+                                        message: format!(
+                                            "session limit of {} reached",
+                                            shared.cfg.max_sessions
+                                        ),
+                                    }
+                                } else {
+                                    let n = spec.n_sensors as usize;
+                                    let stream = StreamingCad::new(CadDetector::new(n, config));
+                                    self.sessions.insert(
+                                        session_id,
+                                        Session {
+                                            stream,
+                                            rounds: 0,
+                                            anomalies: 0,
+                                        },
+                                    );
+                                    Reply::Created {
+                                        resumed: false,
+                                        samples_seen: 0,
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    (reply, r)
+                }
+                Command::Push {
+                    session_id,
+                    base_tick,
+                    n_sensors,
+                    samples,
+                    reply,
+                } => {
+                    let r = match self.sessions.get_mut(&session_id) {
+                        None => Reply::Failed {
+                            code: codes::UNKNOWN_SESSION,
+                            message: format!("no session {session_id}"),
+                        },
+                        Some(session) => {
+                            let width = session.stream.detector().n_sensors();
+                            if n_sensors as usize != width {
+                                Reply::Failed {
+                                    code: codes::BAD_PUSH,
+                                    message: format!(
+                                        "push width {n_sensors} != session width {width}"
+                                    ),
+                                }
+                            } else if base_tick != session.stream.samples_seen() as u64 {
+                                Reply::Failed {
+                                    code: codes::BAD_PUSH,
+                                    message: format!(
+                                        "base_tick {base_tick} != samples_seen {}",
+                                        session.stream.samples_seen()
+                                    ),
+                                }
+                            } else {
+                                let mut outcomes = Vec::new();
+                                for (i, tick) in samples.chunks_exact(width).enumerate() {
+                                    if let Some(o) = session.stream.push_sample(tick) {
+                                        session.rounds += 1;
+                                        session.anomalies += o.abnormal as u64;
+                                        outcomes.push(WireOutcome {
+                                            tick: base_tick + i as u64,
+                                            n_r: o.n_r as u64,
+                                            zscore_bits: o.zscore.to_bits(),
+                                            abnormal: o.abnormal,
+                                            outliers: o
+                                                .outliers
+                                                .iter()
+                                                .map(|&v| v as u32)
+                                                .collect(),
+                                        });
+                                    }
+                                }
+                                let n_ticks = (samples.len() / width) as u64;
+                                counters.total_ticks.fetch_add(n_ticks, Ordering::Relaxed);
+                                counters
+                                    .total_rounds
+                                    .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
+                                counters.total_anomalies.fetch_add(
+                                    outcomes.iter().filter(|o| o.abnormal).count() as u64,
+                                    Ordering::Relaxed,
+                                );
+                                Reply::Pushed(outcomes)
+                            }
+                        }
+                    };
+                    (reply, r)
+                }
+                Command::Snapshot { session_id, reply } => {
+                    let r = match (&shared.cfg.snapshot_dir, self.sessions.get(&session_id)) {
+                        (None, _) => Reply::Failed {
+                            code: codes::NO_SNAPSHOTS,
+                            message: "server has no snapshot directory".into(),
+                        },
+                        (_, None) => Reply::Failed {
+                            code: codes::UNKNOWN_SESSION,
+                            message: format!("no session {session_id}"),
+                        },
+                        (Some(dir), Some(session)) => {
+                            match write_snapshot(dir, session_id, session) {
+                                Ok(bytes) => Reply::Snapshotted(bytes),
+                                Err(e) => Reply::Failed {
+                                    code: codes::BAD_REQUEST,
+                                    message: format!("snapshot failed: {e}"),
+                                },
+                            }
+                        }
+                    };
+                    (reply, r)
+                }
+                Command::Close { session_id, reply } => {
+                    let r = match self.sessions.remove(&session_id) {
+                        None => Reply::Failed {
+                            code: codes::UNKNOWN_SESSION,
+                            message: format!("no session {session_id}"),
+                        },
+                        Some(_) => {
+                            counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                            if let Some(dir) = &shared.cfg.snapshot_dir {
+                                // Best-effort: a closed session must not be
+                                // resurrected by the next restart.
+                                let _ = std::fs::remove_file(snapshot_path(dir, session_id));
+                            }
+                            Reply::Closed
+                        }
+                    };
+                    (reply, r)
+                }
+                Command::Stats { session_id, reply } => {
+                    let r = match self.sessions.get(&session_id) {
+                        None => Reply::Failed {
+                            code: codes::UNKNOWN_SESSION,
+                            message: format!("no session {session_id}"),
+                        },
+                        Some(session) => Reply::Stats(session.stats(session_id)),
+                    };
+                    (reply, r)
+                }
+            };
+            out.push((reply_to, reply));
+        }
+        out
+    }
+}
+
+impl SessionManager {
+    /// Build a manager plus its pump. When `cfg.snapshot_dir` holds
+    /// snapshots from an earlier run, those sessions are restored before
+    /// any command is accepted.
+    pub fn new(cfg: ManagerConfig) -> std::io::Result<(SessionManager, SessionPump)> {
+        let shards_n = cfg.shards.max(1);
+        let mut shards: Vec<Shard> = (0..shards_n).map(|_| Shard::default()).collect();
+        let mut restored = 0u64;
+        if let Some(dir) = &cfg.snapshot_dir {
+            std::fs::create_dir_all(dir)?;
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .collect();
+            entries.sort();
+            for path in entries {
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                let Some(id) = name
+                    .strip_prefix("session-")
+                    .and_then(|r| r.strip_suffix(".cads"))
+                    .and_then(|r| r.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                let file = std::fs::File::open(&path)?;
+                let stream = load_stream(std::io::BufReader::new(file)).map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("restoring {}: {e}", path.display()),
+                    )
+                })?;
+                shards[(id % shards_n as u64) as usize].sessions.insert(
+                    id,
+                    Session {
+                        stream,
+                        rounds: 0,
+                        anomalies: 0,
+                    },
+                );
+                restored += 1;
+            }
+        }
+        let shared = Arc::new(Shared {
+            cfg,
+            queue: Mutex::new(IngressQueue {
+                jobs: VecDeque::new(),
+                pending_ticks: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            counters: Counters::default(),
+        });
+        shared.counters.sessions.store(restored, Ordering::Relaxed);
+        Ok((
+            SessionManager {
+                shared: Arc::clone(&shared),
+            },
+            SessionPump { shared, shards },
+        ))
+    }
+
+    /// Server-wide counters.
+    pub fn counters(&self) -> &Counters {
+        &self.shared.counters
+    }
+
+    /// Admission limits (echoed in `HelloAck`).
+    pub fn limits(&self) -> (usize, usize) {
+        (self.shared.cfg.max_sessions, self.shared.cfg.max_sensors)
+    }
+
+    /// Current ingress-queue depth in ticks.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("ingress queue poisoned")
+            .pending_ticks
+    }
+
+    /// Whether enqueueing a command of this cost would block right now —
+    /// the handler's cue to send an explicit `Backpressure` frame first.
+    pub fn would_block(&self, cost: usize) -> bool {
+        let q = self.shared.queue.lock().expect("ingress queue poisoned");
+        !q.closed
+            && cost > 0
+            && q.pending_ticks > 0
+            && q.pending_ticks + cost > self.shared.cfg.queue_capacity
+    }
+
+    /// Submit a command, blocking while the queue is over capacity. The
+    /// bound is in ticks; control commands (cost 0) are always admitted.
+    /// Returns the queue depth (ticks) right after admission.
+    pub fn enqueue(&self, cmd: Command) -> Result<usize, EnqueueError> {
+        let cost = cmd.cost();
+        let mut q = self.shared.queue.lock().expect("ingress queue poisoned");
+        loop {
+            if q.closed {
+                return Err(EnqueueError::ShuttingDown);
+            }
+            // An oversized batch may enter an *empty* queue so a client
+            // whose batch exceeds the capacity still makes progress.
+            let fits = cost == 0
+                || q.pending_ticks == 0
+                || q.pending_ticks + cost <= self.shared.cfg.queue_capacity;
+            if fits {
+                q.pending_ticks += cost;
+                let depth = q.pending_ticks;
+                let peak = &self.shared.counters.peak_queue_depth;
+                peak.fetch_max(depth as u64, Ordering::Relaxed);
+                q.jobs.push_back(cmd);
+                self.shared.not_empty.notify_all();
+                return Ok(depth);
+            }
+            q = self
+                .shared
+                .not_full
+                .wait_timeout(q, Duration::from_millis(50))
+                .expect("ingress queue poisoned")
+                .0;
+        }
+    }
+
+    /// Close the queue: wakes the pump for its final drain-and-persist
+    /// pass and makes every later [`SessionManager::enqueue`] fail.
+    pub fn close(&self) {
+        let mut q = self.shared.queue.lock().expect("ingress queue poisoned");
+        q.closed = true;
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl SessionPump {
+    /// Drain the queue until it is closed and empty, then persist every
+    /// session. Returns the number of sessions persisted.
+    pub fn run(mut self) -> usize {
+        loop {
+            let batch = {
+                let mut q = self.shared.queue.lock().expect("ingress queue poisoned");
+                while q.jobs.is_empty() && !q.closed {
+                    q = self
+                        .shared
+                        .not_empty
+                        .wait_timeout(q, Duration::from_millis(100))
+                        .expect("ingress queue poisoned")
+                        .0;
+                }
+                if q.jobs.is_empty() && q.closed {
+                    break;
+                }
+                q.pending_ticks = 0;
+                self.shared.not_full.notify_all();
+                std::mem::take(&mut q.jobs)
+            };
+            self.pump_batch(batch);
+        }
+        self.persist_all()
+    }
+
+    /// Group one drained batch by owning shard (stable, so per-session
+    /// order is preserved) and process the shards in parallel.
+    fn pump_batch(&mut self, batch: VecDeque<Command>) {
+        let n_shards = self.shards.len();
+        let mut per_shard: Vec<Vec<Command>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for cmd in batch {
+            per_shard[(cmd.session_id() % n_shards as u64) as usize].push(cmd);
+        }
+        let _t = Timer::start("serve.pump");
+        let shared = &self.shared;
+        // par_map_mut takes a shared closure; each slot is taken by exactly
+        // one shard index, so a Mutex per slot adds no ordering hazard.
+        let slots: Vec<Mutex<Vec<Command>>> = per_shard.into_iter().map(Mutex::new).collect();
+        let replies = cad_runtime::par_map_mut(&mut self.shards, |i, shard| {
+            let cmds = std::mem::take(&mut *slots[i].lock().expect("command slot poisoned"));
+            shard.run(cmds, shared)
+        });
+        for shard_replies in replies {
+            for (tx, reply) in shard_replies {
+                // A handler that gave up (dead connection) is not an error.
+                let _ = tx.send(reply);
+            }
+        }
+    }
+
+    /// Persist every live session to the snapshot directory (no-op when
+    /// snapshots are disabled). Returns the number persisted.
+    fn persist_all(&mut self) -> usize {
+        let Some(dir) = self.shared.cfg.snapshot_dir.clone() else {
+            return 0;
+        };
+        let _t = Timer::start("serve.persist");
+        let persisted = cad_runtime::par_map_mut(&mut self.shards, |_, shard| {
+            let mut n = 0usize;
+            for (&id, session) in &shard.sessions {
+                if write_snapshot(&dir, id, session).is_ok() {
+                    n += 1;
+                }
+            }
+            n
+        });
+        persisted.into_iter().sum()
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`eval`] — the Delay-aware Evaluation scheme (PA, DPA,
 //!   Ahead/Miss) plus VUS and sensor-localisation scoring;
 //! * [`datagen`] — synthetic dataset profiles mirroring the
-//!   paper's Table II.
+//!   paper's Table II;
+//! * [`serve`] — the TCP serving layer: framed protocol, sharded
+//!   session multiplexing with bounded ingress and backpressure, and
+//!   graceful snapshot shutdown (see DESIGN.md, "Serving layer").
 //!
 //! ```
 //! use cad_suite::prelude::*;
@@ -43,6 +46,7 @@ pub use cad_eval as eval;
 pub use cad_graph as graph;
 pub use cad_mts as mts;
 pub use cad_nn as nn;
+pub use cad_serve as serve;
 pub use cad_stats as stats;
 
 /// The most common imports in one place.

@@ -1,0 +1,456 @@
+//! End-to-end suite for the `cad-serve` layer: server and clients in one
+//! process over loopback.
+//!
+//! The property under test is the serving layer's whole reason to exist:
+//! a session's outcome stream over the wire must be **bit-identical**
+//! (zscore compared as raw IEEE-754 bits) to a direct [`StreamingCad`]
+//! loop over the same readings — across many concurrent sessions, across
+//! explicit backpressure, and across a kill/restart splice that restores
+//! sessions from snapshots mid-window.
+//!
+//! Like the determinism suite, the whole file honours `CAD_TEST_ENGINE`
+//! (CI runs it under both engines × both thread configs), and one test
+//! exercises both engines explicitly regardless of the env.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cad_core::{CadConfig, CadDetector, EngineChoice, StreamingCad};
+use cad_serve::{
+    codes, CadServer, ClientError, ServeClient, ServeConfig, SessionSpec, WireEngine, WireOutcome,
+};
+
+/// Round engine under test (`CAD_TEST_ENGINE=incremental` switches the
+/// suite onto the sliding-correlation path; CI runs both).
+fn wire_engine_under_test() -> WireEngine {
+    match std::env::var("CAD_TEST_ENGINE").as_deref() {
+        Ok("incremental") => WireEngine::Incremental { rebuild_every: 16 },
+        _ => WireEngine::Exact,
+    }
+}
+
+fn core_engine(engine: WireEngine) -> EngineChoice {
+    match engine {
+        WireEngine::Exact => EngineChoice::Exact,
+        WireEngine::Incremental { rebuild_every } => EngineChoice::Incremental {
+            rebuild_every: rebuild_every as usize,
+        },
+    }
+}
+
+/// Deterministic readings for (session, tick, sensor): correlated enough
+/// for a k-NN graph, distinct per session.
+fn reading(session: u64, t: usize, sensor: usize) -> f64 {
+    let phase = session as f64 * 0.61 + sensor as f64 * 0.23;
+    (t as f64 * 0.17 + phase).sin() + 0.05 * sensor as f64
+}
+
+fn tick_row(session: u64, t: usize, n: usize) -> Vec<f64> {
+    (0..n).map(|s| reading(session, t, s)).collect()
+}
+
+const N_SENSORS: usize = 6;
+const W: u32 = 48;
+const S: u32 = 8;
+
+fn spec(engine: WireEngine) -> SessionSpec {
+    let mut spec = SessionSpec::new(N_SENSORS as u32, W, S);
+    spec.k = 2;
+    spec.engine = engine;
+    spec
+}
+
+/// The reference: drive a plain `StreamingCad` over the same readings and
+/// report `(tick, n_r, zscore_bits, abnormal, outliers)` per round.
+fn reference_outcomes(
+    session: u64,
+    ticks: usize,
+    engine: WireEngine,
+) -> Vec<(u64, u64, u64, bool, Vec<u32>)> {
+    let config = CadConfig::builder(N_SENSORS)
+        .window(W as usize, S as usize)
+        .k(2)
+        .tau(0.3)
+        .theta(0.3)
+        .engine(core_engine(engine))
+        .build();
+    let mut stream = StreamingCad::new(CadDetector::new(N_SENSORS, config));
+    let mut outs = Vec::new();
+    for t in 0..ticks {
+        if let Some(o) = stream.push_sample(&tick_row(session, t, N_SENSORS)) {
+            outs.push((
+                t as u64,
+                o.n_r as u64,
+                o.zscore.to_bits(),
+                o.abnormal,
+                o.outliers.iter().map(|&v| v as u32).collect(),
+            ));
+        }
+    }
+    outs
+}
+
+fn as_tuples(outs: &[WireOutcome]) -> Vec<(u64, u64, u64, bool, Vec<u32>)> {
+    outs.iter()
+        .map(|o| (o.tick, o.n_r, o.zscore_bits, o.abnormal, o.outliers.clone()))
+        .collect()
+}
+
+/// Bind on an ephemeral port, run the server on a background thread, and
+/// hand back the address plus the join handle (which yields the number of
+/// sessions persisted at shutdown).
+fn start_server(cfg: ServeConfig) -> (String, std::thread::JoinHandle<std::io::Result<usize>>) {
+    let server = CadServer::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("local_addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cad-serve-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Many concurrent sessions, uneven batching, verdicts must match the
+/// serial reference bit for bit.
+#[test]
+fn concurrent_sessions_match_serial_reference() {
+    let engine = wire_engine_under_test();
+    let (addr, server) = start_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let ticks = 400usize;
+    let n_clients = 3u64;
+    let sessions_per_client = 4u64;
+
+    let mut workers = Vec::new();
+    for c in 0..n_clients {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = ServeClient::connect(&addr, &format!("e2e-{c}")).expect("connect");
+            let ids: Vec<u64> = (0..sessions_per_client)
+                .map(|i| c * sessions_per_client + i)
+                .collect();
+            for &id in &ids {
+                let h = client.create_session(id, spec(engine)).expect("create");
+                assert!(!h.resumed);
+            }
+            // Interleave sessions with uneven batch sizes.
+            let mut cursor: BTreeMap<u64, usize> = ids.iter().map(|&id| (id, 0)).collect();
+            let mut got: BTreeMap<u64, Vec<WireOutcome>> =
+                ids.iter().map(|&id| (id, Vec::new())).collect();
+            let batches = [5usize, 17, 3, 29, 11];
+            let mut b = 0usize;
+            loop {
+                let mut progressed = false;
+                for &id in &ids {
+                    let t = cursor[&id];
+                    if t >= ticks {
+                        continue;
+                    }
+                    let len = batches[b % batches.len()].min(ticks - t);
+                    b += 1;
+                    let samples: Vec<f64> = (t..t + len)
+                        .flat_map(|u| tick_row(id, u, N_SENSORS))
+                        .collect();
+                    let res = client
+                        .push_samples(id, t as u64, N_SENSORS as u32, samples)
+                        .expect("push");
+                    got.get_mut(&id).unwrap().extend(res.outcomes);
+                    cursor.insert(id, t + len);
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            got
+        }));
+    }
+    for worker in workers {
+        let got = worker.join().expect("client thread");
+        for (id, outs) in got {
+            assert_eq!(
+                as_tuples(&outs),
+                reference_outcomes(id, ticks, engine),
+                "session {id} diverged from the serial reference"
+            );
+        }
+    }
+    let mut admin = ServeClient::connect(&addr, "e2e-admin").expect("connect");
+    let stats = admin.stats(Some(2)).expect("stats");
+    assert_eq!(stats.sessions, n_clients * sessions_per_client);
+    assert_eq!(
+        stats.total_ticks,
+        n_clients * sessions_per_client * ticks as u64
+    );
+    let per_session = stats.session.expect("session stats");
+    assert_eq!(per_session.ticks, ticks as u64);
+    assert!(per_session.rounds > 0);
+    assert!(stats.phases_json.contains("serve.pump"));
+    admin.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
+/// Kill the server mid-stream, restart it over the same snapshot
+/// directory, re-attach, push the rest: the full spliced outcome stream
+/// must equal an uninterrupted run — under both engines explicitly.
+#[test]
+fn splice_across_restart_is_bit_identical_under_both_engines() {
+    for engine in [
+        WireEngine::Exact,
+        WireEngine::Incremental { rebuild_every: 16 },
+    ] {
+        splice_one(engine);
+    }
+    // And whatever CI selected via CAD_TEST_ENGINE, for symmetry with the
+    // rest of the suite (redundant for Exact, cheap either way).
+    splice_one(wire_engine_under_test());
+}
+
+fn splice_one(engine: WireEngine) {
+    let tag = match engine {
+        WireEngine::Exact => "exact",
+        WireEngine::Incremental { .. } => "incr",
+    };
+    let dir = unique_dir(tag);
+    let ticks = 500usize;
+    // Split at a tick that is NOT round-aligned: the ring must restore
+    // mid-window, partial fill and all.
+    let split = 261usize;
+    let session_ids = [3u64, 8, 11];
+
+    let cfg = || ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    // Phase 1: push the first half in odd-sized batches, then Shutdown.
+    let (addr, server) = start_server(cfg());
+    let mut first_half: BTreeMap<u64, Vec<WireOutcome>> = BTreeMap::new();
+    {
+        let mut client = ServeClient::connect(&addr, "splice-1").expect("connect");
+        for &id in &session_ids {
+            assert!(
+                !client
+                    .create_session(id, spec(engine))
+                    .expect("create")
+                    .resumed
+            );
+        }
+        for &id in &session_ids {
+            let mut t = 0usize;
+            let mut outs = Vec::new();
+            while t < split {
+                let len = 37usize.min(split - t);
+                let samples: Vec<f64> = (t..t + len)
+                    .flat_map(|u| tick_row(id, u, N_SENSORS))
+                    .collect();
+                outs.extend(
+                    client
+                        .push_samples(id, t as u64, N_SENSORS as u32, samples)
+                        .expect("push")
+                        .outcomes,
+                );
+                t += len;
+            }
+            first_half.insert(id, outs);
+        }
+        let persisting = client.shutdown_server().expect("shutdown");
+        assert_eq!(persisting as usize, session_ids.len());
+    }
+    let persisted = server.join().expect("server thread").expect("server run");
+    assert_eq!(persisted, session_ids.len(), "all sessions persisted");
+
+    // Phase 2: fresh server over the same directory; re-attach and finish.
+    let (addr, server) = start_server(cfg());
+    {
+        let mut client = ServeClient::connect(&addr, "splice-2").expect("connect");
+        for &id in &session_ids {
+            let h = client.create_session(id, spec(engine)).expect("re-attach");
+            assert!(h.resumed, "session {id} should resume from its snapshot");
+            assert_eq!(h.samples_seen as usize, split);
+            let mut outs = first_half.remove(&id).expect("first half");
+            let mut t = split;
+            while t < ticks {
+                let len = 37usize.min(ticks - t);
+                let samples: Vec<f64> = (t..t + len)
+                    .flat_map(|u| tick_row(id, u, N_SENSORS))
+                    .collect();
+                outs.extend(
+                    client
+                        .push_samples(id, t as u64, N_SENSORS as u32, samples)
+                        .expect("push")
+                        .outcomes,
+                );
+                t += len;
+            }
+            assert_eq!(
+                as_tuples(&outs),
+                reference_outcomes(id, ticks, engine),
+                "spliced stream for session {id} ({tag}) diverged from the \
+                 uninterrupted reference"
+            );
+        }
+        client.shutdown_server().expect("shutdown");
+    }
+    server.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A tiny ingress queue must produce explicit backpressure frames without
+/// corrupting the outcome stream.
+#[test]
+fn backpressure_is_explicit_and_lossless() {
+    let engine = wire_engine_under_test();
+    let (addr, server) = start_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_capacity: S as usize, // one round per admission — saturates
+        ..ServeConfig::default()
+    });
+    let ticks = 320usize;
+    // Two pushers keep the queue contended while each still observes
+    // per-session FIFO.
+    let mut workers = Vec::new();
+    for id in [21u64, 22] {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = ServeClient::connect(&addr, "bp").expect("connect");
+            client.create_session(id, spec(engine)).expect("create");
+            let mut outs = Vec::new();
+            let mut t = 0usize;
+            while t < ticks {
+                let len = (S as usize * 2).min(ticks - t);
+                let samples: Vec<f64> = (t..t + len)
+                    .flat_map(|u| tick_row(id, u, N_SENSORS))
+                    .collect();
+                outs.extend(
+                    client
+                        .push_samples(id, t as u64, N_SENSORS as u32, samples)
+                        .expect("push")
+                        .outcomes,
+                );
+                t += len;
+            }
+            (id, outs, client.backpressure_events())
+        }));
+    }
+    let mut _seen_backpressure = 0u64;
+    for worker in workers {
+        let (id, outs, bp) = worker.join().expect("worker");
+        _seen_backpressure += bp;
+        assert_eq!(
+            as_tuples(&outs),
+            reference_outcomes(id, ticks, engine),
+            "backpressured session {id} diverged"
+        );
+    }
+    let mut admin = ServeClient::connect(&addr, "bp-admin").expect("connect");
+    let stats = admin.stats(None).expect("stats");
+    // The queue's high-water mark must have hit (or legally overshot, via
+    // the empty-queue exception) its tiny capacity.
+    assert!(
+        stats.peak_queue_depth >= S as u64,
+        "peak queue depth {} never reached capacity {}",
+        stats.peak_queue_depth,
+        S
+    );
+    admin.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
+/// Admission control over the wire: session and sensor limits surface as
+/// protocol errors, not panics; closing frees a slot.
+#[test]
+fn admission_limits_surface_as_protocol_errors() {
+    let engine = wire_engine_under_test();
+    let (addr, server) = start_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        max_sessions: 2,
+        max_sensors: 8,
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(&addr, "limits").expect("connect");
+    assert_eq!(client.limits(), (2, 8));
+    client.create_session(1, spec(engine)).expect("create 1");
+    client.create_session(2, spec(engine)).expect("create 2");
+    match client.create_session(3, spec(engine)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::ADMISSION),
+        other => panic!("expected admission error, got {other:?}"),
+    }
+    match client.create_session(4, SessionSpec::new(9, W, S)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::ADMISSION),
+        other => panic!("expected sensor-limit error, got {other:?}"),
+    }
+    match client.create_session(5, SessionSpec::new(1, W, S)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::BAD_SPEC),
+        other => panic!("expected BAD_SPEC error, got {other:?}"),
+    }
+    client.close_session(2).expect("close");
+    client.create_session(3, spec(engine)).expect("slot freed");
+    // Pushing to a closed session is UNKNOWN_SESSION.
+    match client.push_samples(2, 0, N_SENSORS as u32, vec![0.0; N_SENSORS]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::UNKNOWN_SESSION),
+        other => panic!("expected unknown-session error, got {other:?}"),
+    }
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
+/// On-demand snapshots round-trip through the wire and land on disk.
+#[test]
+fn snapshot_on_demand_writes_a_restorable_file() {
+    let engine = wire_engine_under_test();
+    let dir = unique_dir("ondemand");
+    let (addr, server) = start_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(&addr, "snap").expect("connect");
+    client.create_session(42, spec(engine)).expect("create");
+    let samples: Vec<f64> = (0..100).flat_map(|t| tick_row(42, t, N_SENSORS)).collect();
+    client
+        .push_samples(42, 0, N_SENSORS as u32, samples)
+        .expect("push");
+    let bytes = client.snapshot(42).expect("snapshot");
+    assert!(bytes > 0);
+    let path = dir.join("session-42.cads");
+    let file = std::fs::File::open(&path).expect("snapshot file exists");
+    let restored = cad_core::load_stream(std::io::BufReader::new(file)).expect("restorable");
+    assert_eq!(restored.samples_seen(), 100);
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Handshake discipline: a frame before `Hello` is refused.
+#[test]
+fn server_requires_hello_first() {
+    use cad_serve::protocol::{read_frame, write_frame, Frame};
+    let (addr, server) = start_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    write_frame(&stream, &Frame::StatsRequest { session_id: None }).expect("write");
+    match read_frame(&stream).expect("reply") {
+        Frame::Error { code, .. } => assert_eq!(code, codes::BAD_REQUEST),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    drop(stream);
+    let mut admin = ServeClient::connect(&addr, "hello").expect("connect");
+    admin.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
