@@ -9,6 +9,7 @@
 //! | `CAD_SERVE_MAX_SESSIONS` | `4096`           | admission limit                 |
 //! | `CAD_SERVE_MAX_SENSORS`  | `1024`           | per-session sensor limit        |
 //! | `CAD_SERVE_QUEUE`        | `8192`           | ingress capacity in ticks       |
+//! | `CAD_SERVE_MAX_CONNS`    | `1024`           | concurrent connection cap       |
 //! | `CAD_SERVE_SNAPSHOT_DIR` | unset            | snapshot/restore directory      |
 //!
 //! Shutdown is graceful on a client `Shutdown` frame: the queue drains
@@ -37,6 +38,7 @@ fn main() {
     cfg.max_sessions = env_usize("CAD_SERVE_MAX_SESSIONS", cfg.max_sessions);
     cfg.max_sensors = env_usize("CAD_SERVE_MAX_SENSORS", cfg.max_sensors);
     cfg.queue_capacity = env_usize("CAD_SERVE_QUEUE", cfg.queue_capacity);
+    cfg.max_connections = env_usize("CAD_SERVE_MAX_CONNS", cfg.max_connections);
     cfg.snapshot_dir = std::env::var("CAD_SERVE_SNAPSHOT_DIR")
         .ok()
         .map(PathBuf::from);

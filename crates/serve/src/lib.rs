@@ -23,7 +23,10 @@ pub mod server;
 pub mod session;
 
 pub use client::{ClientError, PushResult, ServeClient, SessionHandle};
-pub use protocol::{codes, Frame, ServerStats, SessionSpec, SessionStats, WireEngine, WireOutcome};
+pub use protocol::{
+    codes, max_push_ticks, Frame, FrameReader, ServerStats, SessionSpec, SessionStats, WireEngine,
+    WireOutcome,
+};
 pub use server::{CadServer, ServeConfig, ShutdownHandle};
 pub use session::{Command, Counters, EnqueueError, ManagerConfig, Reply, SessionManager};
 
@@ -186,6 +189,11 @@ mod tests {
             bad_spec(&|s| s.theta = 1.5),
             bad_spec(&|s| s.eta = 0.0),
             bad_spec(&|s| s.tau = f64::NAN),
+            // τ outside [0,1] and a zero RC horizon feed asserting
+            // constructors downstream — refusal here, not a shard panic.
+            bad_spec(&|s| s.tau = 1.5),
+            bad_spec(&|s| s.tau = -0.25),
+            bad_spec(&|s| s.rc_horizon = Some(0)),
             bad_spec(&|s| s.engine = WireEngine::Incremental { rebuild_every: 0 }),
         ] {
             match create(&mgr, 9, spec) {

@@ -27,6 +27,22 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"CADS");
 pub const PROTOCOL_VERSION: u16 = 1;
 /// Upper bound on a single frame's payload (16 MiB).
 pub const MAX_PAYLOAD: usize = 16 << 20;
+/// Size of the fixed frame header.
+pub const HEADER_LEN: usize = 12;
+
+/// Largest number of ticks one `PushSamples` may carry for an
+/// `n_sensors`-wide session such that the worst-case `PushAck` — every
+/// tick completes a round (`s = 1`) and every sensor is an outlier —
+/// still fits in [`MAX_PAYLOAD`]. The server refuses larger batches with
+/// [`codes::BAD_PUSH`] instead of emitting a reply the client would have
+/// to reject as `TooLarge`.
+pub fn max_push_ticks(n_sensors: u32) -> usize {
+    // PushAck payload: session_id u64 + throttled u8 + queue_depth u32 +
+    // outcome count u32 = 17 bytes, then per outcome: tick/n_r/zscore
+    // (3 × u64) + abnormal u8 + outlier count u32 + n_sensors × u32.
+    let per_outcome = 8 + 8 + 8 + 1 + 4 + 4 * n_sensors as usize;
+    (MAX_PAYLOAD - 17) / per_outcome
+}
 
 /// Error codes carried by [`Frame::Error`].
 pub mod codes {
@@ -44,6 +60,9 @@ pub mod codes {
     pub const NO_SNAPSHOTS: u16 = 6;
     /// Invalid session specification.
     pub const BAD_SPEC: u16 = 7;
+    /// The server hit an internal error processing the command; the
+    /// session was dropped rather than left in an unknown state.
+    pub const INTERNAL: u16 = 8;
 }
 
 /// Round-engine choice as it travels in a [`SessionSpec`].
@@ -750,16 +769,25 @@ pub fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Frame, ProtoError>
 }
 
 /// Write one frame to `out` (header + payload, single `write_all`).
+/// A payload over [`MAX_PAYLOAD`] is refused here — the peer could never
+/// read it, so emitting it would only desync the stream.
 pub fn write_frame<W: Write>(mut out: W, frame: &Frame) -> io::Result<()> {
-    out.write_all(&encode_frame(frame))?;
+    let bytes = encode_frame(frame);
+    if bytes.len() - HEADER_LEN > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_PAYLOAD}-byte limit",
+                bytes.len() - HEADER_LEN
+            ),
+        ));
+    }
+    out.write_all(&bytes)?;
     out.flush()
 }
 
-/// Read one frame from `input`, validating magic, version and size before
-/// buffering the payload.
-pub fn read_frame<R: Read>(mut input: R) -> Result<Frame, ProtoError> {
-    let mut header = [0u8; 12];
-    input.read_exact(&mut header)?;
+/// Validate a complete frame header; returns `(msg_type, payload_len)`.
+fn validate_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize), ProtoError> {
     let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
     if magic != MAGIC {
         return Err(corrupt(format!("bad magic {magic:#010x}")));
@@ -776,9 +804,87 @@ pub fn read_frame<R: Read>(mut input: R) -> Result<Frame, ProtoError> {
     if len > MAX_PAYLOAD {
         return Err(ProtoError::TooLarge(len));
     }
+    Ok((msg_type, len))
+}
+
+/// Read one frame from `input`, validating magic, version and size before
+/// buffering the payload. Bytes consumed before an error are lost, so on
+/// a stream with a read timeout use [`FrameReader`] instead — a timeout
+/// mid-frame here would desync the connection.
+pub fn read_frame<R: Read>(mut input: R) -> Result<Frame, ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    input.read_exact(&mut header)?;
+    let (msg_type, len) = validate_header(&header)?;
     let mut payload = vec![0u8; len];
     input.read_exact(&mut payload)?;
     decode_payload(msg_type, &payload)
+}
+
+/// Incremental frame reader that is safe under socket read timeouts.
+///
+/// [`read_frame`] discards bytes already consumed when a read times out
+/// mid-frame, desyncing the stream; this reader keeps partial header and
+/// payload bytes across calls, so a `WouldBlock`/`TimedOut` error is a
+/// pause, not a protocol failure — call again with the same reader and it
+/// resumes exactly where the stream stalled.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Bytes of the current frame accumulated so far, header first.
+    buf: Vec<u8>,
+    /// Full frame size (header + payload), known once the header is in.
+    frame_len: Option<usize>,
+}
+
+impl FrameReader {
+    /// A fresh reader with no partial frame.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether some bytes of a frame have been consumed without
+    /// completing it — a timeout now is a mid-frame stall, not idleness.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Read one frame, resuming any partial progress from earlier calls.
+    pub fn read_frame<R: Read>(&mut self, input: &mut R) -> Result<Frame, ProtoError> {
+        loop {
+            let target = self.frame_len.unwrap_or(HEADER_LEN);
+            while self.buf.len() < target {
+                let mut chunk = [0u8; 4096];
+                let want = (target - self.buf.len()).min(chunk.len());
+                match input.read(&mut chunk[..want]) {
+                    Ok(0) => {
+                        return Err(ProtoError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            if self.mid_frame() {
+                                "connection closed mid-frame"
+                            } else {
+                                "connection closed between frames"
+                            },
+                        )))
+                    }
+                    Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(ProtoError::Io(e)),
+                }
+            }
+            if self.frame_len.is_none() {
+                // Header complete: validate before buffering the payload,
+                // so a garbage length never allocates.
+                let header: [u8; HEADER_LEN] = self.buf[..HEADER_LEN].try_into().unwrap();
+                let (_, len) = validate_header(&header)?;
+                self.frame_len = Some(HEADER_LEN + len);
+                continue;
+            }
+            let msg_type = self.buf[6];
+            let frame = decode_payload(msg_type, &self.buf[HEADER_LEN..]);
+            self.buf.clear();
+            self.frame_len = None;
+            return frame;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1043,5 +1149,133 @@ mod tests {
     #[test]
     fn clean_eof_surfaces_as_io() {
         assert!(matches!(read_frame(&[][..]), Err(ProtoError::Io(_))));
+    }
+
+    /// A reader that times out between every chunk it yields — the worst
+    /// case a socket with a read timeout can present.
+    struct Stutter<'a> {
+        data: &'a [u8],
+        pos: usize,
+        step: usize,
+        ready: bool,
+    }
+
+    impl Read for Stutter<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stutter"));
+            }
+            self.ready = false;
+            let n = self.step.min(self.data.len() - self.pos).min(buf.len());
+            if n == 0 {
+                return Ok(0);
+            }
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_at_every_offset() {
+        let frames = [
+            Frame::PushSamples {
+                session_id: 5,
+                base_tick: 640,
+                n_sensors: 2,
+                samples: vec![0.5, -1.25, 1e300, 0.0],
+            },
+            Frame::Shutdown, // empty payload
+            Frame::Error {
+                code: codes::BAD_PUSH,
+                message: "after the pause".into(),
+            },
+        ];
+        let bytes: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
+        for step in [1usize, 3, 7, 64] {
+            let mut input = Stutter {
+                data: &bytes,
+                pos: 0,
+                step,
+                ready: false,
+            };
+            let mut reader = FrameReader::new();
+            let mut got = Vec::new();
+            while got.len() < frames.len() {
+                match reader.read_frame(&mut input) {
+                    Ok(f) => got.push(f),
+                    Err(ProtoError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                    Err(e) => panic!("step {step}: {e}"),
+                }
+            }
+            assert_eq!(got.as_slice(), frames.as_slice(), "step {step}");
+            assert!(!reader.mid_frame());
+        }
+    }
+
+    #[test]
+    fn frame_reader_reports_mid_frame_progress() {
+        let bytes = encode_frame(&Frame::Snapshot { session_id: 1 });
+        let mut reader = FrameReader::new();
+        // Half the header, then a timeout.
+        let mut half = Stutter {
+            data: &bytes[..6],
+            pos: 0,
+            step: 6,
+            ready: true,
+        };
+        assert!(matches!(
+            reader.read_frame(&mut half),
+            Err(ProtoError::Io(_))
+        ));
+        assert!(reader.mid_frame());
+        // The rest completes the same frame.
+        let mut rest = &bytes[6..];
+        let frame = reader.read_frame(&mut rest).expect("resume");
+        assert_eq!(frame, Frame::Snapshot { session_id: 1 });
+        assert!(!reader.mid_frame());
+    }
+
+    #[test]
+    fn write_frame_refuses_oversized_payload() {
+        let frame = Frame::Error {
+            code: 1,
+            message: "x".repeat(MAX_PAYLOAD + 1),
+        };
+        let err = write_frame(io::sink(), &frame).expect_err("must refuse");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn push_ack_size_model_matches_encoder() {
+        // max_push_ticks budgets 17 fixed bytes plus (29 + 4·n) per
+        // worst-case outcome; the encoder must agree or the cap is wrong.
+        let n = 5u32;
+        let empty = Frame::PushAck {
+            session_id: 0,
+            throttled: false,
+            queue_depth: 0,
+            outcomes: vec![],
+        };
+        let full = Frame::PushAck {
+            session_id: 0,
+            throttled: false,
+            queue_depth: 0,
+            outcomes: vec![WireOutcome {
+                tick: 0,
+                n_r: 0,
+                zscore_bits: 0,
+                abnormal: true,
+                outliers: (0..n).collect(),
+            }],
+        };
+        let base = encode_frame(&empty).len();
+        assert_eq!(base - HEADER_LEN, 17);
+        assert_eq!(encode_frame(&full).len() - base, 29 + 4 * n as usize);
+        let per_outcome = 29 + 4 * n as usize;
+        let ticks = max_push_ticks(n);
+        assert!(17 + ticks * per_outcome <= MAX_PAYLOAD);
+        assert!(17 + (ticks + 1) * per_outcome > MAX_PAYLOAD);
     }
 }

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::protocol::{
-    codes, read_frame, write_frame, Frame, ProtoError, ServerStats, SessionStats,
+    codes, max_push_ticks, write_frame, Frame, FrameReader, ProtoError, ServerStats, SessionStats,
 };
 use crate::session::{Command, EnqueueError, ManagerConfig, Reply, SessionManager, SessionPump};
 
@@ -43,6 +43,9 @@ pub struct ServeConfig {
     pub write_timeout: Duration,
     /// Snapshot directory; `None` disables persistence.
     pub snapshot_dir: Option<PathBuf>,
+    /// Maximum concurrent connections; accepts beyond this are refused
+    /// with an `ADMISSION` error frame instead of spawning a handler.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +60,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_millis(200),
             write_timeout: Duration::from_secs(5),
             snapshot_dir: None,
+            max_connections: 1024,
         }
     }
 }
@@ -133,10 +137,18 @@ impl CadServer {
         let pump_thread = std::thread::Builder::new()
             .name("cad-serve-pump".into())
             .spawn(move || pump.run())?;
-        let mut handlers = Vec::new();
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !shutdown.requested() {
+            // Reap finished handlers so a long-lived server holds one
+            // JoinHandle per *live* connection, not per connection ever
+            // accepted — and so the cap below counts only live ones.
+            handlers.retain(|h| !h.is_finished());
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    if handlers.len() >= cfg.max_connections {
+                        refuse_connection(stream, &cfg);
+                        continue;
+                    }
                     manager
                         .counters()
                         .connections
@@ -208,6 +220,16 @@ fn error_frame(code: u16, message: impl Into<String>) -> Frame {
     }
 }
 
+/// Tell a peer over the connection cap why it is being dropped (best
+/// effort — the peer may already be gone).
+fn refuse_connection(stream: TcpStream, cfg: &ServeConfig) {
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = write_frame(
+        &stream,
+        &error_frame(codes::ADMISSION, "connection limit reached"),
+    );
+}
+
 /// Serve one connection until EOF, protocol error, or shutdown.
 fn handle_connection(
     stream: TcpStream,
@@ -223,13 +245,16 @@ fn handle_connection(
         Err(_) => return,
     });
     let mut reader = io::BufReader::new(stream);
+    let mut frames = FrameReader::new();
     let mut greeted = false;
     loop {
-        let frame = match read_frame(&mut reader) {
+        let frame = match frames.read_frame(&mut reader) {
             Ok(f) => f,
             Err(ProtoError::Io(e))
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                // Idle poll or a peer pausing mid-frame: FrameReader kept
+                // any partial bytes, so retrying cannot desync the stream.
                 if shutdown.requested() {
                     return;
                 }
@@ -241,6 +266,16 @@ fn handle_connection(
                 return;
             }
         };
+        // A peer that streams continuously never idles into the timeout
+        // arm above; checking between frames too keeps one busy
+        // connection from stalling graceful shutdown indefinitely.
+        if shutdown.requested() && !matches!(frame, Frame::Shutdown) {
+            let _ = write_frame(
+                &mut writer,
+                &error_frame(codes::SHUTTING_DOWN, "server is shutting down"),
+            );
+            return;
+        }
         let reply = handle_frame(frame, &mut greeted, &manager, &shutdown, &mut writer);
         let Some(reply) = reply else { return };
         if write_frame(&mut writer, &reply).is_err() || writer.flush().is_err() {
@@ -311,6 +346,18 @@ fn handle_frame<W: Write>(
                 return Some(error_frame(codes::BAD_PUSH, "ragged sample batch"));
             }
             let cost = samples.len() / n_sensors as usize;
+            // A batch whose worst-case PushAck would not fit in a frame
+            // is refused up front: the client could never read the reply.
+            let max_ticks = max_push_ticks(n_sensors);
+            if cost > max_ticks {
+                return Some(error_frame(
+                    codes::BAD_PUSH,
+                    format!(
+                        "batch of {cost} ticks could overflow the reply frame; \
+                         push at most {max_ticks} ticks for {n_sensors} sensors"
+                    ),
+                ));
+            }
             // Saturated queue: tell the client explicitly before we block
             // on admission — its ack will be delayed by exactly this
             // wait, so the signal must precede it on the wire.

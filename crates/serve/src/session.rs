@@ -149,6 +149,22 @@ pub enum Command {
     },
 }
 
+/// The work half of a [`Command`], split from its reply channel so a
+/// panicking command can still be answered (see [`Shard::run`]).
+enum Work {
+    Create {
+        spec: SessionSpec,
+    },
+    Push {
+        base_tick: u64,
+        n_sensors: u32,
+        samples: Vec<f64>,
+    },
+    Snapshot,
+    Close,
+    Stats,
+}
+
 impl Command {
     fn session_id(&self) -> u64 {
         match self {
@@ -167,6 +183,34 @@ impl Command {
                 samples, n_sensors, ..
             } => samples.len() / (*n_sensors).max(1) as usize,
             _ => 0,
+        }
+    }
+
+    fn into_parts(self) -> (u64, Work, Sender<Reply>) {
+        match self {
+            Command::Create {
+                session_id,
+                spec,
+                reply,
+            } => (session_id, Work::Create { spec }, reply),
+            Command::Push {
+                session_id,
+                base_tick,
+                n_sensors,
+                samples,
+                reply,
+            } => (
+                session_id,
+                Work::Push {
+                    base_tick,
+                    n_sensors,
+                    samples,
+                },
+                reply,
+            ),
+            Command::Snapshot { session_id, reply } => (session_id, Work::Snapshot, reply),
+            Command::Close { session_id, reply } => (session_id, Work::Close, reply),
+            Command::Stats { session_id, reply } => (session_id, Work::Stats, reply),
         }
     }
 }
@@ -284,8 +328,18 @@ fn validate_spec(spec: &SessionSpec, max_sensors: usize) -> Result<CadConfig, (u
             format!("eta {} must be positive", spec.eta),
         ));
     }
-    if !spec.tau.is_finite() {
-        return Err((codes::BAD_SPEC, "tau must be finite".into()));
+    // KnnConfig asserts τ ∈ [0,1]; refusing the same range here (NaN
+    // fails contains() too) keeps a well-formed frame from panicking a
+    // shard worker and taking the pump thread down with it.
+    if !(0.0..=1.0).contains(&spec.tau) {
+        return Err((codes::BAD_SPEC, format!("tau {} not in [0,1]", spec.tau)));
+    }
+    // CoappearanceTracker asserts a horizon of at least one round.
+    if spec.rc_horizon == Some(0) {
+        return Err((
+            codes::BAD_SPEC,
+            "rc_horizon must be at least 1 round".into(),
+        ));
     }
     let engine = match spec.engine {
         WireEngine::Exact => EngineChoice::Exact,
@@ -328,174 +382,173 @@ impl Shard {
     /// Process this shard's slice of the drained batch, in arrival order.
     fn run(&mut self, cmds: Vec<Command>, shared: &Shared) -> Vec<(Sender<Reply>, Reply)> {
         let _t = Timer::start("serve.shard");
-        let counters = &shared.counters;
         let mut out = Vec::with_capacity(cmds.len());
         for cmd in cmds {
-            let (reply_to, reply) = match cmd {
-                Command::Create {
-                    session_id,
-                    spec,
-                    reply,
-                } => {
-                    let r = if let Some(session) = self.sessions.get(&session_id) {
-                        Reply::Created {
-                            resumed: true,
-                            samples_seen: session.stream.samples_seen() as u64,
-                        }
-                    } else {
-                        match validate_spec(&spec, shared.cfg.max_sensors) {
-                            Err((code, message)) => Reply::Failed { code, message },
-                            Ok(config) => {
-                                // Optimistic global admission: shards run in
-                                // parallel, so reserve first, undo on refusal.
-                                let prev = counters.sessions.fetch_add(1, Ordering::Relaxed);
-                                if prev >= shared.cfg.max_sessions as u64 {
-                                    counters.sessions.fetch_sub(1, Ordering::Relaxed);
-                                    Reply::Failed {
-                                        code: codes::ADMISSION,
-                                        message: format!(
-                                            "session limit of {} reached",
-                                            shared.cfg.max_sessions
-                                        ),
-                                    }
-                                } else {
-                                    let n = spec.n_sensors as usize;
-                                    let stream = StreamingCad::new(CadDetector::new(n, config));
-                                    self.sessions.insert(
-                                        session_id,
-                                        Session {
-                                            stream,
-                                            rounds: 0,
-                                            anomalies: 0,
-                                        },
-                                    );
-                                    Reply::Created {
-                                        resumed: false,
-                                        samples_seen: 0,
-                                    }
-                                }
-                            }
-                        }
-                    };
-                    (reply, r)
+            let (session_id, work, reply_to) = cmd.into_parts();
+            // validate_spec screens every known panic path, but detector
+            // internals assert their own invariants; a panic must cost
+            // one command, not the pump thread (and with it the server).
+            let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.exec(session_id, work, shared)
+            }))
+            .unwrap_or_else(|_| {
+                // The session may be mid-mutation; drop it rather than
+                // keep serving a detector in an unknown state.
+                if self.sessions.remove(&session_id).is_some() {
+                    shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
                 }
-                Command::Push {
-                    session_id,
-                    base_tick,
-                    n_sensors,
-                    samples,
-                    reply,
-                } => {
-                    let r = match self.sessions.get_mut(&session_id) {
-                        None => Reply::Failed {
-                            code: codes::UNKNOWN_SESSION,
-                            message: format!("no session {session_id}"),
-                        },
-                        Some(session) => {
-                            let width = session.stream.detector().n_sensors();
-                            if n_sensors as usize != width {
-                                Reply::Failed {
-                                    code: codes::BAD_PUSH,
-                                    message: format!(
-                                        "push width {n_sensors} != session width {width}"
-                                    ),
-                                }
-                            } else if base_tick != session.stream.samples_seen() as u64 {
-                                Reply::Failed {
-                                    code: codes::BAD_PUSH,
-                                    message: format!(
-                                        "base_tick {base_tick} != samples_seen {}",
-                                        session.stream.samples_seen()
-                                    ),
-                                }
-                            } else {
-                                let mut outcomes = Vec::new();
-                                for (i, tick) in samples.chunks_exact(width).enumerate() {
-                                    if let Some(o) = session.stream.push_sample(tick) {
-                                        session.rounds += 1;
-                                        session.anomalies += o.abnormal as u64;
-                                        outcomes.push(WireOutcome {
-                                            tick: base_tick + i as u64,
-                                            n_r: o.n_r as u64,
-                                            zscore_bits: o.zscore.to_bits(),
-                                            abnormal: o.abnormal,
-                                            outliers: o
-                                                .outliers
-                                                .iter()
-                                                .map(|&v| v as u32)
-                                                .collect(),
-                                        });
-                                    }
-                                }
-                                let n_ticks = (samples.len() / width) as u64;
-                                counters.total_ticks.fetch_add(n_ticks, Ordering::Relaxed);
-                                counters
-                                    .total_rounds
-                                    .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
-                                counters.total_anomalies.fetch_add(
-                                    outcomes.iter().filter(|o| o.abnormal).count() as u64,
-                                    Ordering::Relaxed,
-                                );
-                                Reply::Pushed(outcomes)
-                            }
-                        }
-                    };
-                    (reply, r)
+                Reply::Failed {
+                    code: codes::INTERNAL,
+                    message: format!(
+                        "internal error while processing session {session_id}; session dropped"
+                    ),
                 }
-                Command::Snapshot { session_id, reply } => {
-                    let r = match (&shared.cfg.snapshot_dir, self.sessions.get(&session_id)) {
-                        (None, _) => Reply::Failed {
-                            code: codes::NO_SNAPSHOTS,
-                            message: "server has no snapshot directory".into(),
-                        },
-                        (_, None) => Reply::Failed {
-                            code: codes::UNKNOWN_SESSION,
-                            message: format!("no session {session_id}"),
-                        },
-                        (Some(dir), Some(session)) => {
-                            match write_snapshot(dir, session_id, session) {
-                                Ok(bytes) => Reply::Snapshotted(bytes),
-                                Err(e) => Reply::Failed {
-                                    code: codes::BAD_REQUEST,
-                                    message: format!("snapshot failed: {e}"),
-                                },
-                            }
-                        }
-                    };
-                    (reply, r)
-                }
-                Command::Close { session_id, reply } => {
-                    let r = match self.sessions.remove(&session_id) {
-                        None => Reply::Failed {
-                            code: codes::UNKNOWN_SESSION,
-                            message: format!("no session {session_id}"),
-                        },
-                        Some(_) => {
-                            counters.sessions.fetch_sub(1, Ordering::Relaxed);
-                            if let Some(dir) = &shared.cfg.snapshot_dir {
-                                // Best-effort: a closed session must not be
-                                // resurrected by the next restart.
-                                let _ = std::fs::remove_file(snapshot_path(dir, session_id));
-                            }
-                            Reply::Closed
-                        }
-                    };
-                    (reply, r)
-                }
-                Command::Stats { session_id, reply } => {
-                    let r = match self.sessions.get(&session_id) {
-                        None => Reply::Failed {
-                            code: codes::UNKNOWN_SESSION,
-                            message: format!("no session {session_id}"),
-                        },
-                        Some(session) => Reply::Stats(session.stats(session_id)),
-                    };
-                    (reply, r)
-                }
-            };
+            });
             out.push((reply_to, reply));
         }
         out
+    }
+
+    /// Execute one command against this shard's sessions.
+    fn exec(&mut self, session_id: u64, work: Work, shared: &Shared) -> Reply {
+        let counters = &shared.counters;
+        match work {
+            Work::Create { spec } => {
+                if let Some(session) = self.sessions.get(&session_id) {
+                    Reply::Created {
+                        resumed: true,
+                        samples_seen: session.stream.samples_seen() as u64,
+                    }
+                } else {
+                    match validate_spec(&spec, shared.cfg.max_sensors) {
+                        Err((code, message)) => Reply::Failed { code, message },
+                        Ok(config) => {
+                            // Optimistic global admission: shards run in
+                            // parallel, so reserve first, undo on refusal.
+                            let prev = counters.sessions.fetch_add(1, Ordering::Relaxed);
+                            if prev >= shared.cfg.max_sessions as u64 {
+                                counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                                Reply::Failed {
+                                    code: codes::ADMISSION,
+                                    message: format!(
+                                        "session limit of {} reached",
+                                        shared.cfg.max_sessions
+                                    ),
+                                }
+                            } else {
+                                let n = spec.n_sensors as usize;
+                                let stream = StreamingCad::new(CadDetector::new(n, config));
+                                self.sessions.insert(
+                                    session_id,
+                                    Session {
+                                        stream,
+                                        rounds: 0,
+                                        anomalies: 0,
+                                    },
+                                );
+                                Reply::Created {
+                                    resumed: false,
+                                    samples_seen: 0,
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Work::Push {
+                base_tick,
+                n_sensors,
+                samples,
+            } => match self.sessions.get_mut(&session_id) {
+                None => Reply::Failed {
+                    code: codes::UNKNOWN_SESSION,
+                    message: format!("no session {session_id}"),
+                },
+                Some(session) => {
+                    let width = session.stream.detector().n_sensors();
+                    if n_sensors as usize != width {
+                        Reply::Failed {
+                            code: codes::BAD_PUSH,
+                            message: format!("push width {n_sensors} != session width {width}"),
+                        }
+                    } else if base_tick != session.stream.samples_seen() as u64 {
+                        Reply::Failed {
+                            code: codes::BAD_PUSH,
+                            message: format!(
+                                "base_tick {base_tick} != samples_seen {}",
+                                session.stream.samples_seen()
+                            ),
+                        }
+                    } else {
+                        let mut outcomes = Vec::new();
+                        for (i, tick) in samples.chunks_exact(width).enumerate() {
+                            if let Some(o) = session.stream.push_sample(tick) {
+                                session.rounds += 1;
+                                session.anomalies += o.abnormal as u64;
+                                outcomes.push(WireOutcome {
+                                    tick: base_tick + i as u64,
+                                    n_r: o.n_r as u64,
+                                    zscore_bits: o.zscore.to_bits(),
+                                    abnormal: o.abnormal,
+                                    outliers: o.outliers.iter().map(|&v| v as u32).collect(),
+                                });
+                            }
+                        }
+                        let n_ticks = (samples.len() / width) as u64;
+                        counters.total_ticks.fetch_add(n_ticks, Ordering::Relaxed);
+                        counters
+                            .total_rounds
+                            .fetch_add(outcomes.len() as u64, Ordering::Relaxed);
+                        counters.total_anomalies.fetch_add(
+                            outcomes.iter().filter(|o| o.abnormal).count() as u64,
+                            Ordering::Relaxed,
+                        );
+                        Reply::Pushed(outcomes)
+                    }
+                }
+            },
+            Work::Snapshot => match (&shared.cfg.snapshot_dir, self.sessions.get(&session_id)) {
+                (None, _) => Reply::Failed {
+                    code: codes::NO_SNAPSHOTS,
+                    message: "server has no snapshot directory".into(),
+                },
+                (_, None) => Reply::Failed {
+                    code: codes::UNKNOWN_SESSION,
+                    message: format!("no session {session_id}"),
+                },
+                (Some(dir), Some(session)) => match write_snapshot(dir, session_id, session) {
+                    Ok(bytes) => Reply::Snapshotted(bytes),
+                    Err(e) => Reply::Failed {
+                        code: codes::BAD_REQUEST,
+                        message: format!("snapshot failed: {e}"),
+                    },
+                },
+            },
+            Work::Close => {
+                match self.sessions.remove(&session_id) {
+                    None => Reply::Failed {
+                        code: codes::UNKNOWN_SESSION,
+                        message: format!("no session {session_id}"),
+                    },
+                    Some(_) => {
+                        counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                        if let Some(dir) = &shared.cfg.snapshot_dir {
+                            // Best-effort: a closed session must not be
+                            // resurrected by the next restart.
+                            let _ = std::fs::remove_file(snapshot_path(dir, session_id));
+                        }
+                        Reply::Closed
+                    }
+                }
+            }
+            Work::Stats => match self.sessions.get(&session_id) {
+                None => Reply::Failed {
+                    code: codes::UNKNOWN_SESSION,
+                    message: format!("no session {session_id}"),
+                },
+                Some(session) => Reply::Stats(session.stats(session_id)),
+            },
+        }
     }
 }
 

@@ -432,6 +432,219 @@ fn snapshot_on_demand_writes_a_restorable_file() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Specs that would satisfy naive finiteness checks but panic the
+/// detector's asserting constructors (τ out of range, zero RC horizon)
+/// must surface as `BAD_SPEC` — and the server must keep serving
+/// afterwards, proving no shard worker or pump thread died.
+#[test]
+fn hostile_specs_are_refused_and_server_survives() {
+    let engine = wire_engine_under_test();
+    let (addr, server) = start_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(&addr, "hostile").expect("connect");
+    let hostile = |f: &dyn Fn(&mut SessionSpec)| {
+        let mut s = spec(engine);
+        f(&mut s);
+        s
+    };
+    for bad in [
+        hostile(&|s| s.tau = 1.5),
+        hostile(&|s| s.tau = -0.25),
+        hostile(&|s| s.tau = f64::INFINITY),
+        hostile(&|s| s.rc_horizon = Some(0)),
+    ] {
+        match client.create_session(99, bad) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::BAD_SPEC),
+            other => panic!("expected BAD_SPEC, got {other:?}"),
+        }
+    }
+    // The pump must still be alive: a well-formed session works end to
+    // end on the same connection.
+    client.create_session(1, spec(engine)).expect("create");
+    let samples: Vec<f64> = (0..100).flat_map(|t| tick_row(1, t, N_SENSORS)).collect();
+    let res = client
+        .push_samples(1, 0, N_SENSORS as u32, samples)
+        .expect("push after refusals");
+    assert!(!res.outcomes.is_empty());
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
+/// A client that pauses longer than the server's read timeout mid-frame
+/// must not desync the stream: the partial bytes are kept and the frame
+/// completes normally once the peer resumes.
+#[test]
+fn mid_frame_pause_does_not_desync_the_connection() {
+    use cad_serve::protocol::{encode_frame, read_frame, write_frame, Frame};
+    use std::io::Write;
+    let read_timeout = Duration::from_millis(100);
+    let (addr, server) = start_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        read_timeout,
+        ..ServeConfig::default()
+    });
+    let engine = wire_engine_under_test();
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    write_frame(
+        &stream,
+        &Frame::Hello {
+            client: "pause".into(),
+        },
+    )
+    .expect("hello");
+    assert!(matches!(
+        read_frame(&stream).expect("hello ack"),
+        Frame::HelloAck { .. }
+    ));
+    write_frame(
+        &stream,
+        &Frame::CreateSession {
+            session_id: 1,
+            spec: spec(engine),
+        },
+    )
+    .expect("create");
+    assert!(matches!(
+        read_frame(&stream).expect("session ack"),
+        Frame::SessionAck { .. }
+    ));
+    let ticks = W as usize + S as usize;
+    let push = Frame::PushSamples {
+        session_id: 1,
+        base_tick: 0,
+        n_sensors: N_SENSORS as u32,
+        samples: (0..ticks).flat_map(|t| tick_row(1, t, N_SENSORS)).collect(),
+    };
+    let bytes = encode_frame(&push);
+    // Stall twice per frame — inside the header and inside the payload —
+    // each pause several read-timeouts long.
+    for split in [5usize, 40] {
+        stream.write_all(&bytes[..split]).expect("first half");
+        stream.flush().expect("flush");
+        std::thread::sleep(read_timeout * 4);
+        stream.write_all(&bytes[split..]).expect("second half");
+        stream.flush().expect("flush");
+        match read_frame(&stream).expect("push ack after pause") {
+            Frame::PushAck { outcomes, .. } => {
+                assert_eq!(as_tuples(&outcomes), reference_outcomes(1, ticks, engine));
+            }
+            Frame::Error { code, message } => panic!("server error {code}: {message}"),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Reset the session so the next split pushes from tick 0 again.
+        write_frame(&stream, &Frame::CloseSession { session_id: 1 }).expect("close");
+        assert!(matches!(
+            read_frame(&stream).expect("close ack"),
+            Frame::CloseAck { .. }
+        ));
+        write_frame(
+            &stream,
+            &Frame::CreateSession {
+                session_id: 1,
+                spec: spec(engine),
+            },
+        )
+        .expect("recreate");
+        assert!(matches!(
+            read_frame(&stream).expect("session ack"),
+            Frame::SessionAck { .. }
+        ));
+    }
+    write_frame(&stream, &Frame::Shutdown).expect("shutdown");
+    assert!(matches!(
+        read_frame(&stream).expect("shutdown ack"),
+        Frame::ShutdownAck { .. }
+    ));
+    server.join().expect("server thread").expect("server run");
+}
+
+/// A connection that streams frames back to back never idles into the
+/// read-timeout path; graceful shutdown must still interrupt it after
+/// its current frame instead of stalling until the client gives up.
+#[test]
+fn busy_connection_cannot_stall_shutdown() {
+    let engine = wire_engine_under_test();
+    let (addr, server) = start_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let pusher = {
+        let addr = addr.clone();
+        std::thread::spawn(move || -> u16 {
+            let mut client = ServeClient::connect(&addr, "busy").expect("connect");
+            client.create_session(7, spec(engine)).expect("create");
+            let mut t = 0usize;
+            loop {
+                let len = S as usize;
+                let samples: Vec<f64> = (t..t + len)
+                    .flat_map(|u| tick_row(7, u, N_SENSORS))
+                    .collect();
+                match client.push_samples(7, t as u64, N_SENSORS as u32, samples) {
+                    Ok(_) => t += len,
+                    Err(ClientError::Server { code, .. }) => return code,
+                    Err(other) => panic!("unexpected failure: {other:?}"),
+                }
+            }
+        })
+    };
+    // Let the pusher saturate its connection, then ask for shutdown from
+    // another one. The joins below would hang (and time the test out) if
+    // a busy handler could stall teardown.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut admin = ServeClient::connect(&addr, "stopper").expect("connect");
+    admin.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+    assert_eq!(pusher.join().expect("pusher"), codes::SHUTTING_DOWN);
+}
+
+/// A legal `PushSamples` whose worst-case reply could not fit in a frame
+/// is refused up front with `BAD_PUSH`, not answered with an ack the
+/// client would have to reject as oversized.
+#[test]
+fn oversized_push_batches_are_refused_before_processing() {
+    use cad_serve::max_push_ticks;
+    let (addr, server) = start_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(&addr, "oversize").expect("connect");
+    let n = 2u32;
+    let ticks = max_push_ticks(n) + 1;
+    // The request itself is legal (~6.5 MiB payload, under MAX_PAYLOAD);
+    // size screening happens before session routing, so no session is
+    // needed and nothing is processed.
+    match client.push_samples(1, 0, n, vec![0.0; ticks * n as usize]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::BAD_PUSH),
+        other => panic!("expected BAD_PUSH, got {other:?}"),
+    }
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
+/// Connections over the configured cap are refused with an explicit
+/// `ADMISSION` error frame instead of an unbounded handler pile-up.
+#[test]
+fn connection_cap_refuses_extra_connections() {
+    let (addr, server) = start_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        max_connections: 1,
+        ..ServeConfig::default()
+    });
+    let mut first = ServeClient::connect(&addr, "first").expect("connect");
+    match ServeClient::connect(&addr, "second") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::ADMISSION),
+        Err(other) => panic!("expected ADMISSION refusal, got {other:?}"),
+        Ok(_) => panic!("second connection should have been refused"),
+    }
+    first.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
 /// Handshake discipline: a frame before `Hello` is refused.
 #[test]
 fn server_requires_hello_first() {
