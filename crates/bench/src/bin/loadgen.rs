@@ -3,9 +3,13 @@
 //! server, emitting machine-readable `results/BENCH_serve.json`.
 //!
 //! Reported figures: aggregate ticks/sec and rounds/sec, per-push latency
-//! (p50/p99), and the server's own counters — queue high-water mark and
-//! backpressure events, which the default queue sizing deliberately
-//! provokes so the bounded-queue path is exercised, not just configured.
+//! (p50/p99/p999 from the server's `serve_push_latency_nanos` histogram,
+//! fetched over the wire via `ServeClient::metrics()`, plus client-side
+//! wall-clock p50/p99), and the server's own counters — queue high-water
+//! mark and backpressure events, which the default queue sizing
+//! deliberately provokes so the bounded-queue path is exercised, not just
+//! configured. The full metrics registry is also written as Prometheus
+//! text to `results/BENCH_serve_metrics.txt`.
 //! A spot check replays a sample of sessions through a direct
 //! [`StreamingCad`] loop and asserts bit-identical outcome streams, so
 //! the numbers can't come from a server that quietly corrupts verdicts.
@@ -148,9 +152,10 @@ fn main() {
         .collect();
     let wall_secs = t0.elapsed().as_secs_f64();
 
-    // Server-side counters before shutdown.
+    // Server-side counters and the full metrics registry before shutdown.
     let mut admin = ServeClient::connect(&addr, "loadgen-admin").expect("connect");
     let stats = admin.stats(None).expect("stats");
+    let metrics = admin.metrics().expect("metrics");
     admin.shutdown_server().expect("shutdown");
     server.join().expect("server thread").expect("server run");
 
@@ -195,10 +200,22 @@ fn main() {
     let client_backpressure: u64 = reports.iter().map(|r| r.backpressure).sum();
     let mut latencies: Vec<f64> = reports.iter().flat_map(|r| r.latencies.clone()).collect();
     latencies.sort_by(|a, b| a.total_cmp(b));
-    let p50 = quantile(&latencies, 0.50);
-    let p99 = quantile(&latencies, 0.99);
+    let client_p50 = quantile(&latencies, 0.50);
+    let client_p99 = quantile(&latencies, 0.99);
     let ticks_per_sec = total_ticks as f64 / wall_secs.max(1e-12);
     let rounds_per_sec = total_rounds as f64 / wall_secs.max(1e-12);
+
+    // Authoritative push latency: the server's own log-bucketed histogram,
+    // fetched over the wire. Frame-in to reply-ready, so it excludes
+    // loopback round-trips the client-side numbers include.
+    let push_hist = metrics
+        .histograms
+        .iter()
+        .find(|h| h.name == "serve_push_latency_nanos")
+        .expect("server must expose serve_push_latency_nanos");
+    let p50 = push_hist.quantile(0.50) as f64 * 1e-9;
+    let p99 = push_hist.quantile(0.99) as f64 * 1e-9;
+    let p999 = push_hist.quantile(0.999) as f64 * 1e-9;
 
     let json = format!(
         concat!(
@@ -219,8 +236,11 @@ fn main() {
             "  \"total_rounds\": {},\n",
             "  \"ticks_per_sec\": {:.3},\n",
             "  \"rounds_per_sec\": {:.3},\n",
-            "  \"push_latency_p50_secs\": {:.6},\n",
-            "  \"push_latency_p99_secs\": {:.6},\n",
+            "  \"push_latency_p50_secs\": {:.9},\n",
+            "  \"push_latency_p99_secs\": {:.9},\n",
+            "  \"push_latency_p999_secs\": {:.9},\n",
+            "  \"client_push_latency_p50_secs\": {:.6},\n",
+            "  \"client_push_latency_p99_secs\": {:.6},\n",
             "  \"client_backpressure_events\": {},\n",
             "  \"server_backpressure_events\": {},\n",
             "  \"peak_queue_depth\": {},\n",
@@ -247,6 +267,9 @@ fn main() {
         rounds_per_sec,
         p50,
         p99,
+        p999,
+        client_p50,
+        client_p99,
         client_backpressure,
         stats.backpressure_events,
         stats.peak_queue_depth,
@@ -257,13 +280,17 @@ fn main() {
     );
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    std::fs::write("results/BENCH_serve_metrics.txt", metrics.render_text())
+        .expect("write BENCH_serve_metrics.txt");
     println!("{json}");
     eprintln!(
         "[loadgen] {total_sessions} sessions, {ticks_per_sec:.0} ticks/s, \
-         {rounds_per_sec:.0} rounds/s, p50 {:.2}ms p99 {:.2}ms, \
-         {} backpressure events (peak queue {}) → results/BENCH_serve.json",
+         {rounds_per_sec:.0} rounds/s, p50 {:.2}ms p99 {:.2}ms p999 {:.2}ms, \
+         {} backpressure events (peak queue {}) → results/BENCH_serve.json \
+         (+ BENCH_serve_metrics.txt)",
         p50 * 1e3,
         p99 * 1e3,
+        p999 * 1e3,
         stats.backpressure_events,
         stats.peak_queue_depth,
     );

@@ -151,6 +151,9 @@ impl CadDetector {
         for r in 0..spec.rounds(his.len()) {
             let window = his.window(spec.start(r), spec.w);
             let (outliers, n_r) = self.outlier_detection(&window);
+            crate::metrics::observe_warmup_round(
+                self.stats.count() >= 2 && self.stats.is_outlier(n_r as f64, self.config.eta),
+            );
             self.stats.push(n_r as f64);
             self.prev_outliers = outliers;
         }
@@ -182,6 +185,8 @@ impl CadDetector {
         assert_eq!(window.w(), self.config.window.w, "window length mismatch");
         let (outliers, n_r) = self.outlier_detection(window);
         let rc = self.tracker.ratios();
+        let crossed = self.stats.count() >= 2 && self.stats.is_outlier(n_r as f64, self.config.eta);
+        crate::metrics::observe_round(n_r as u64, crossed, !suppress && crossed);
         if suppress {
             self.prev_outliers = outliers.clone();
             return RoundOutcome {

@@ -71,6 +71,7 @@ impl ExactEngine {
 impl RoundEngine for ExactEngine {
     fn build_tsg(&mut self, window: &dyn WindowSource) -> WeightedGraph {
         let _t = Timer::start("engine.exact");
+        crate::metrics::exact_rebuilds_total().inc();
         self.knn.build_from_source(window)
     }
 
@@ -203,7 +204,12 @@ impl RoundEngine for IncrementalEngine {
             }
             self.cov.slide(&self.incoming, &self.outgoing, s);
             self.rounds_since_rebuild += 1;
+            crate::metrics::incremental_slides_total().inc();
         } else {
+            crate::metrics::incremental_rebuilds_total().inc();
+            cad_obs::tracer().emit(cad_obs::TraceEvent::RebuildTriggered {
+                rounds_since_rebuild: self.rounds_since_rebuild as u64,
+            });
             self.cov.rebuild(&self.cur);
             self.rounds_since_rebuild = 0;
         }

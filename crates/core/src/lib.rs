@@ -50,6 +50,7 @@ pub mod coappearance;
 pub mod config;
 pub mod detector;
 pub mod engine;
+pub(crate) mod metrics;
 pub mod pool;
 pub mod result;
 pub mod state;

@@ -1,0 +1,106 @@
+//! Cached handles into the `cad-obs` global registry for the detector
+//! hot path.
+//!
+//! Every accessor lazily registers its metric once and caches the `Arc`
+//! in a `OnceLock`, so a detection round costs a handful of relaxed
+//! atomic increments — no registry lookups, no allocation. Because
+//! `cad_obs::global().reset()` zeroes metrics in place (never drops
+//! them), the cached handles stay wired to the registry across resets.
+//!
+//! Metric inventory (all counters):
+//!
+//! | name                          | labels   | incremented when            |
+//! |-------------------------------|----------|-----------------------------|
+//! | `cad_rounds_total`            | —        | a detection round completes |
+//! | `cad_round_anomalies_total`   | —        | the round verdict is abnormal |
+//! | `cad_threshold_crossings_total` | —      | `\|n_r − μ\| ≥ η·σ` fires, including warm-up and suppressed rounds where no verdict is emitted |
+//! | `cad_engine_rebuilds_total`   | `engine` | a full covariance (re)build |
+//! | `cad_engine_slides_total`     | `engine` | an O(n²·s) incremental slide |
+
+use std::sync::{Arc, OnceLock};
+
+use cad_obs::Counter;
+
+macro_rules! cached_counter {
+    ($fn_name:ident, $metric:expr, $labels:expr) => {
+        pub(crate) fn $fn_name() -> &'static Arc<Counter> {
+            static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+            HANDLE.get_or_init(|| cad_obs::global().counter($metric, $labels))
+        }
+    };
+}
+
+cached_counter!(rounds_total, "cad_rounds_total", &[]);
+cached_counter!(round_anomalies_total, "cad_round_anomalies_total", &[]);
+cached_counter!(
+    threshold_crossings_total,
+    "cad_threshold_crossings_total",
+    &[]
+);
+cached_counter!(
+    exact_rebuilds_total,
+    "cad_engine_rebuilds_total",
+    &[("engine", "exact")]
+);
+cached_counter!(
+    incremental_rebuilds_total,
+    "cad_engine_rebuilds_total",
+    &[("engine", "incremental")]
+);
+cached_counter!(
+    incremental_slides_total,
+    "cad_engine_slides_total",
+    &[("engine", "incremental")]
+);
+
+/// One call per detection round from `CadDetector::process_round`:
+/// bumps the round counters and emits the round trace events.
+/// `crossed` is the raw η·σ threshold test; `abnormal` is the emitted
+/// verdict (false for suppressed burn-in rounds even when `crossed`).
+pub(crate) fn observe_round(n_r: u64, crossed: bool, abnormal: bool) {
+    rounds_total().inc();
+    if crossed {
+        threshold_crossings_total().inc();
+    }
+    if abnormal {
+        round_anomalies_total().inc();
+    }
+    let tracer = cad_obs::tracer();
+    if tracer.enabled() {
+        tracer.emit(cad_obs::TraceEvent::RoundEvaluated { n_r, abnormal });
+        if abnormal {
+            tracer.emit(cad_obs::TraceEvent::AnomalyFlagged { n_r });
+        }
+    }
+}
+
+/// One call per warm-up round: only the threshold-crossing counter moves
+/// (warm-up emits no verdicts and is not a detection round).
+pub(crate) fn observe_warmup_round(crossed: bool) {
+    if crossed {
+        threshold_crossings_total().inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_survive_a_registry_reset() {
+        let c = rounds_total();
+        c.inc();
+        cad_obs::global().reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        // The registry still sees the cached handle's increments.
+        let snap = cad_obs::global().snapshot();
+        let sample = snap
+            .counters
+            .iter()
+            .find(|s| s.name == "cad_rounds_total")
+            .expect("registered");
+        // Concurrent tests may also bump it; >= 1 is the invariant.
+        assert!(sample.value >= 1);
+    }
+}

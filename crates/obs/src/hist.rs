@@ -1,0 +1,335 @@
+//! Fixed-layout log-bucketed histogram for latency-style `u64` samples.
+//!
+//! # Bucket layout
+//!
+//! The value space is covered by `N_BUCKETS = 1920` buckets in two regions:
+//!
+//! * **Exact region** — values `0..32` each get their own bucket
+//!   (`index == value`), so small sample counts (ticks, rounds) are stored
+//!   without any rounding.
+//! * **Log region** — every power-of-two octave `[2^k, 2^(k+1))` for
+//!   `k in 5..64` is split into `2^SUB_BITS = 32` equal sub-buckets
+//!   (base-2 sub-bucketing). A value with most-significant bit `k` lands in
+//!   `index = (k - 5) * 32 + (v >> (k - 5))`.
+//!
+//! The two regions are continuous: bucket 31 holds exactly `31`, bucket 32
+//! starts the `[32, 64)` octave one value later, and every bucket's range
+//! starts where the previous one ends.
+//!
+//! # Error bound
+//!
+//! [`Histogram::quantile`] walks the cumulative counts and reports the
+//! *upper bound* of the bucket holding the requested rank (clamped to the
+//! recorded maximum). A log-region bucket with lower bound `L >= 2^k * 32`
+//! spans `2^(k-5)` values, so the reported value `e` for a true quantile
+//! `v` satisfies `v <= e < v * (1 + 2^-SUB_BITS)`: the estimate never
+//! undershoots and overshoots by **less than 2^-5 ≈ 3.125 %** relative.
+//! Values below 32 are reported exactly. The property tests in
+//! `tests/histogram_props.rs` hold this bound against a sorted-vector
+//! oracle for arbitrary sample streams.
+//!
+//! All state is atomic with relaxed ordering; histograms are shared via
+//! `Arc` and mergeable ([`Histogram::merge_from`]), and a merged histogram
+//! is bucket-for-bucket identical to one that recorded the concatenated
+//! stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-buckets per power-of-two octave, as a bit count (`32` sub-buckets).
+pub const SUB_BITS: u32 = 5;
+
+/// Total bucket count: 32 exact + 59 octaves x 32 sub-buckets.
+pub const N_BUCKETS: usize = 1920;
+
+/// Relative overshoot bound of [`Histogram::quantile`]: `2^-SUB_BITS`.
+pub const QUANTILE_RELATIVE_ERROR: f64 = 1.0 / (1u64 << SUB_BITS) as f64;
+
+/// The bucket index covering `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    (shift as usize) * (1 << SUB_BITS) + (v >> shift) as usize
+}
+
+/// The inclusive `[lower, upper]` value range of bucket `index`.
+///
+/// Panics if `index >= N_BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < N_BUCKETS, "bucket index {index} out of range");
+    if index < (1 << SUB_BITS) {
+        return (index as u64, index as u64);
+    }
+    let shift = (index / (1 << SUB_BITS)) as u32 - 1;
+    let top = (index - (shift as usize) * (1 << SUB_BITS)) as u64;
+    let lower = top << shift;
+    let upper = lower | ((1u64 << shift) - 1);
+    (lower, upper)
+}
+
+/// A mergeable, thread-safe log-bucketed histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole nanoseconds (saturating past ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on u64 overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the recorded samples.
+    ///
+    /// Returns the upper bound of the bucket holding rank
+    /// `ceil(q * count)`, clamped to the recorded maximum — never below
+    /// the exact quantile, and less than `(1 + 2^-5)x` above it (see the
+    /// module docs). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return bucket_bounds(i).1.min(self.max());
+            }
+        }
+        // Reachable only if a concurrent writer bumped `count` between the
+        // load above and the bucket walk; the max is the honest fallback.
+        self.max()
+    }
+
+    /// Fold `other`'s samples into `self`.
+    ///
+    /// Equivalent to having recorded both streams into one histogram
+    /// (bucket counts, count, sum, min and max all add/combine exactly).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = other.count.load(Ordering::Relaxed);
+        if n > 0 {
+            self.count.fetch_add(n, Ordering::Relaxed);
+            self.sum
+                .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.min
+                .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.max
+                .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// Zero the histogram in place (registry reset path).
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Non-empty buckets as `(index, count)` pairs, sorted by index.
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_is_identity() {
+        for v in 0..32u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_cover_u64() {
+        let mut expected_lower = 0u64;
+        for i in 0..N_BUCKETS {
+            let (lower, upper) = bucket_bounds(i);
+            assert_eq!(lower, expected_lower, "gap before bucket {i}");
+            assert!(lower <= upper, "bucket {i} inverted");
+            // Every value in the range maps back to this bucket.
+            assert_eq!(bucket_index(lower), i);
+            assert_eq!(bucket_index(upper), i);
+            if i + 1 < N_BUCKETS {
+                expected_lower = upper + 1;
+            } else {
+                assert_eq!(upper, u64::MAX, "last bucket must end at u64::MAX");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_width_respects_error_bound() {
+        for i in (1 << SUB_BITS)..N_BUCKETS {
+            let (lower, upper) = bucket_bounds(i);
+            let width = upper - lower + 1;
+            assert!(
+                (width as f64) <= lower as f64 * QUANTILE_RELATIVE_ERROR + 1.0,
+                "bucket {i}: width {width} too wide for lower bound {lower}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_small_exact_values() {
+        let h = Histogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 55);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(0.99), 10);
+        assert_eq!(h.quantile(0.999), 10);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 10);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_matches_concatenated_stream() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for v in [0u64, 1, 31, 32, 1000, u64::MAX] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [5u64, 77, 1 << 40] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.nonzero_buckets(), both.nonzero_buckets());
+    }
+
+    #[test]
+    fn clear_resets_in_place() {
+        let h = Histogram::new();
+        h.record(12345);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(7);
+        assert_eq!(h.min(), 7);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn quantile_never_undershoots_and_bounds_overshoot() {
+        let h = Histogram::new();
+        let vals: Vec<u64> = (0..500).map(|i| 1000 + i * 7919).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            assert!(
+                (est - exact) as f64 <= exact as f64 * QUANTILE_RELATIVE_ERROR,
+                "q={q}: est {est} overshoots exact {exact} beyond bound"
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # cad-obs — observability primitives for the CAD stack
+//!
+//! Std-only, zero-dependency leaf crate providing:
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed-atomic scalars.
+//! * [`Histogram`] — fixed-layout log-bucketed latency histogram
+//!   (base-2 sub-buckets, mergeable, p50/p99/p999 readout with a
+//!   documented `< 2^-5` relative-error bound; see [`hist`]).
+//! * [`Registry`] — sharded `RwLock<HashMap>` keyed by static name +
+//!   label set, with a process-global instance at [`global`]. Reset zeroes
+//!   metrics in place so cached handles survive.
+//! * [`Tracer`] — bounded ring-buffer event tracer ([`TraceEvent`]),
+//!   enabled via `CAD_OBS_TRACE=<capacity>`, timestamp-free so event
+//!   streams are bit-reproducible under `CAD_RUNTIME_THREADS=1`.
+//! * [`MetricsSnapshot`] — point-in-time copy of a registry with a
+//!   versioned binary wire dump (`CADM` v1, [`snapshot`]) and a
+//!   Prometheus-style [`MetricsSnapshot::render_text`] exposition.
+//!
+//! The rest of the workspace records into [`global`]; `cad-serve` ships
+//! the binary dump over the wire (`ServeClient::metrics()`) and the
+//! `cad-serve` daemon writes the text form to `CAD_OBS_DUMP=path` during
+//! snapshot shutdown.
+
+pub mod counter;
+pub mod hist;
+pub mod registry;
+pub mod snapshot;
+pub mod trace;
+
+pub use counter::{Counter, Gauge};
+pub use hist::{
+    bucket_bounds, bucket_index, Histogram, N_BUCKETS, QUANTILE_RELATIVE_ERROR, SUB_BITS,
+};
+pub use registry::{global, Registry};
+pub use snapshot::{
+    CounterSample, DecodeError, GaugeSample, HistogramSample, MetricsSnapshot, DUMP_MAGIC,
+    DUMP_VERSION,
+};
+pub use trace::{tracer, TraceEvent, TracedEvent, Tracer, ENV_TRACE};

@@ -1,0 +1,277 @@
+//! Sharded metric registry keyed by static name + label set.
+//!
+//! Lookups take a shard read lock on the hot path and only upgrade to a
+//! write lock on first registration, so concurrent recorders on different
+//! metrics rarely contend. Hot loops should still cache the returned
+//! `Arc` handle and skip the lookup entirely.
+//!
+//! [`Registry::reset`] zeroes every metric **in place** rather than
+//! dropping entries: cached handles stay live across resets, which is what
+//! lets bench A/B arms and the determinism tests diff counter states
+//! without re-plumbing every instrumentation site.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::counter::{Counter, Gauge};
+use crate::hist::Histogram;
+use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};
+
+const N_SHARDS: usize = 16;
+
+/// A metric identity: static name plus sorted `(key, value)` labels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Key {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+}
+
+impl Key {
+    fn new(name: &'static str, labels: &[(&'static str, &str)]) -> Self {
+        let mut labels: Vec<(&'static str, String)> =
+            labels.iter().map(|&(k, v)| (k, v.to_string())).collect();
+        labels.sort();
+        Self { name, labels }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A sharded name→metric map; see the module docs.
+#[derive(Debug, Default)]
+pub struct Registry {
+    shards: [RwLock<HashMap<Key, Metric>>; N_SHARDS],
+}
+
+/// The process-global registry every CAD crate records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+fn shard_of(key: &Key) -> usize {
+    // FNV-1a over the name bytes only: cheap, and label cardinality per
+    // name is low so spreading by name is what matters.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key.name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % N_SHARDS
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests and local aggregation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T, F, G>(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        extract: F,
+        make: G,
+    ) -> Arc<T>
+    where
+        F: Fn(&Metric) -> Option<Arc<T>>,
+        G: FnOnce() -> Metric,
+    {
+        let key = Key::new(name, labels);
+        let shard = &self.shards[shard_of(&key)];
+        let mismatch = |m: &Metric| -> ! {
+            panic!(
+                "metric {name} already registered as a {}, requested as a different kind",
+                m.kind()
+            )
+        };
+        if let Some(m) = shard.read().expect("registry shard poisoned").get(&key) {
+            return extract(m).unwrap_or_else(|| mismatch(m));
+        }
+        let mut map = shard.write().expect("registry shard poisoned");
+        let m = map.entry(key).or_insert_with(make);
+        extract(m).unwrap_or_else(|| mismatch(m))
+    }
+
+    /// The counter `name{labels}`, registering it on first use.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            labels,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || Metric::Counter(Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge `name{labels}`, registering it on first use.
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            labels,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || Metric::Gauge(Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram `name{labels}`, registering it on first use.
+    pub fn histogram(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || Metric::Histogram(Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Zero every registered metric in place. Cached handles stay valid.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            for metric in shard.read().expect("registry shard poisoned").values() {
+                match metric {
+                    Metric::Counter(c) => c.reset(),
+                    Metric::Gauge(g) => g.reset(),
+                    Metric::Histogram(h) => h.clear(),
+                }
+            }
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by `(name, labels)`.
+    ///
+    /// Weakly consistent under concurrent writers (each metric is read
+    /// atomically but not the set as a whole) — fine for exposition,
+    /// not a synchronisation point.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries: Vec<(Key, Metric)> = Vec::new();
+        for shard in &self.shards {
+            for (k, m) in shard.read().expect("registry shard poisoned").iter() {
+                entries.push((k.clone(), m.clone()));
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut snap = MetricsSnapshot::default();
+        for (key, metric) in entries {
+            let name = key.name.to_string();
+            let labels: Vec<(String, String)> = key
+                .labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect();
+            match metric {
+                Metric::Counter(c) => snap.counters.push(CounterSample {
+                    name,
+                    labels,
+                    value: c.get(),
+                }),
+                Metric::Gauge(g) => snap.gauges.push(GaugeSample {
+                    name,
+                    labels,
+                    value: g.get(),
+                }),
+                Metric::Histogram(h) => snap.histograms.push(HistogramSample {
+                    name,
+                    labels,
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                    buckets: h.nonzero_buckets(),
+                }),
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_returns_same_instance() {
+        let r = Registry::new();
+        let a = r.counter("test_total", &[("engine", "exact")]);
+        let b = r.counter("test_total", &[("engine", "exact")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        // Different label value is a different metric.
+        let c = r.counter("test_total", &[("engine", "incremental")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter("test_labels", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("test_labels", &[("b", "2"), ("a", "1")]);
+        a.add(5);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("test_kind", &[]);
+        let _ = r.gauge("test_kind", &[]);
+    }
+
+    #[test]
+    fn reset_keeps_cached_handles_live() {
+        let r = Registry::new();
+        let c = r.counter("test_reset", &[]);
+        let h = r.histogram("test_reset_hist", &[]);
+        c.add(3);
+        h.record(42);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        // The cached handle still feeds the registered metric.
+        c.inc();
+        h.record(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].value, 1);
+        assert_eq!(snap.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("zz_total", &[]).inc();
+        r.counter("aa_total", &[]).add(2);
+        r.gauge("mid_gauge", &[("shard", "0")]).set(-4);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["aa_total", "zz_total"]);
+        assert_eq!(snap.gauges[0].value, -4);
+        assert_eq!(
+            snap.gauges[0].labels,
+            [("shard".to_string(), "0".to_string())]
+        );
+    }
+}

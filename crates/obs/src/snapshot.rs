@@ -1,0 +1,477 @@
+//! Point-in-time metric snapshots: versioned binary wire dump and
+//! Prometheus-style text exposition.
+//!
+//! # Wire format (`CADM` v1)
+//!
+//! Little-endian throughout, mirroring the cad-serve frame conventions:
+//!
+//! ```text
+//! magic   u32   0x4d444143 ("CADM")
+//! version u16   1
+//! flags   u16   0 (reserved)
+//! counters   u32 n, then n x { name: str, labels, value: u64 }
+//! gauges     u32 n, then n x { name: str, labels, value: i64 }
+//! histograms u32 n, then n x { name: str, labels,
+//!                              count/sum/min/max: u64,
+//!                              buckets: u32 n, then n x (index: u32, count: u64) }
+//! str    = u32 byte length + UTF-8 bytes
+//! labels = u32 pair count, then pairs of str key + str value
+//! ```
+//!
+//! Encoding a snapshot is deterministic (entries arrive sorted from
+//! [`Registry::snapshot`](crate::Registry::snapshot)), so
+//! `encode(decode(bytes)) == bytes` holds for any dump we produced — the
+//! serve e2e suite asserts exactly that across the wire.
+
+use crate::hist::{bucket_bounds, N_BUCKETS};
+
+/// Magic prefix of a binary metrics dump: `"CADM"` little-endian.
+pub const DUMP_MAGIC: u32 = u32::from_le_bytes(*b"CADM");
+/// Current dump format version.
+pub const DUMP_VERSION: u16 = 1;
+
+/// One counter reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: u64,
+}
+
+/// One gauge reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: i64,
+}
+
+/// One histogram reading with its sparse non-zero buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `(bucket index, count)` pairs, sorted by index, zeros omitted.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSample {
+    /// The `q`-quantile read from the sparse buckets, with the same
+    /// contract as [`Histogram::quantile`](crate::Histogram::quantile).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(index, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                return bucket_bounds(index as usize).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Every metric in a registry at one point in time, sorted by
+/// `(name, labels)` within each family.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<CounterSample>,
+    pub gauges: Vec<GaugeSample>,
+    pub histograms: Vec<HistogramSample>,
+}
+
+/// Why a binary dump failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// First four bytes are not `"CADM"`.
+    BadMagic(u32),
+    /// Version field we do not understand.
+    BadVersion(u16),
+    /// Payload ended before a field completed.
+    Truncated,
+    /// A string field was not UTF-8.
+    BadUtf8,
+    /// A histogram bucket index outside the fixed layout.
+    BadBucketIndex(u32),
+    /// Bytes left over after the last field.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad dump magic {m:#010x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported dump version {v}"),
+            DecodeError::Truncated => write!(f, "dump truncated"),
+            DecodeError::BadUtf8 => write!(f, "dump contains non-UTF-8 string"),
+            DecodeError::BadBucketIndex(i) => write!(f, "bucket index {i} out of layout"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after dump"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.at < n {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn labels(&mut self) -> Result<Vec<(String, String)>, DecodeError> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let k = self.string()?;
+            let v = self.string()?;
+            out.push((k, v));
+        }
+        Ok(out)
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_labels(out: &mut Vec<u8>, labels: &[(String, String)]) {
+    out.extend_from_slice(&(labels.len() as u32).to_le_bytes());
+    for (k, v) in labels {
+        put_string(out, k);
+        put_string(out, v);
+    }
+}
+
+impl MetricsSnapshot {
+    /// Serialize to the versioned `CADM` binary dump.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(&DUMP_MAGIC.to_le_bytes());
+        out.extend_from_slice(&DUMP_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+
+        out.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for c in &self.counters {
+            put_string(&mut out, &c.name);
+            put_labels(&mut out, &c.labels);
+            out.extend_from_slice(&c.value.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.gauges.len() as u32).to_le_bytes());
+        for g in &self.gauges {
+            put_string(&mut out, &g.name);
+            put_labels(&mut out, &g.labels);
+            out.extend_from_slice(&(g.value as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.histograms.len() as u32).to_le_bytes());
+        for h in &self.histograms {
+            put_string(&mut out, &h.name);
+            put_labels(&mut out, &h.labels);
+            out.extend_from_slice(&h.count.to_le_bytes());
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            out.extend_from_slice(&h.min.to_le_bytes());
+            out.extend_from_slice(&h.max.to_le_bytes());
+            out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+            for &(index, n) in &h.buckets {
+                out.extend_from_slice(&index.to_le_bytes());
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse a `CADM` binary dump. Total: every malformed input returns a
+    /// [`DecodeError`], never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut cur = Cursor { buf: bytes, at: 0 };
+        let magic = cur.u32()?;
+        if magic != DUMP_MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let version = cur.u16()?;
+        if version != DUMP_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let _flags = cur.u16()?;
+
+        let mut snap = MetricsSnapshot::default();
+        let n = cur.u32()? as usize;
+        for _ in 0..n {
+            snap.counters.push(CounterSample {
+                name: cur.string()?,
+                labels: cur.labels()?,
+                value: cur.u64()?,
+            });
+        }
+        let n = cur.u32()? as usize;
+        for _ in 0..n {
+            snap.gauges.push(GaugeSample {
+                name: cur.string()?,
+                labels: cur.labels()?,
+                value: cur.i64()?,
+            });
+        }
+        let n = cur.u32()? as usize;
+        for _ in 0..n {
+            let name = cur.string()?;
+            let labels = cur.labels()?;
+            let count = cur.u64()?;
+            let sum = cur.u64()?;
+            let min = cur.u64()?;
+            let max = cur.u64()?;
+            let n_buckets = cur.u32()? as usize;
+            let mut buckets = Vec::with_capacity(n_buckets.min(N_BUCKETS));
+            for _ in 0..n_buckets {
+                let index = cur.u32()?;
+                if index as usize >= N_BUCKETS {
+                    return Err(DecodeError::BadBucketIndex(index));
+                }
+                buckets.push((index, cur.u64()?));
+            }
+            snap.histograms.push(HistogramSample {
+                name,
+                labels,
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            });
+        }
+        if cur.at != bytes.len() {
+            return Err(DecodeError::TrailingBytes(bytes.len() - cur.at));
+        }
+        Ok(snap)
+    }
+
+    /// Prometheus-style text exposition.
+    ///
+    /// Counters and gauges render one line per label set; histograms
+    /// render summary-style `_count`/`_sum` plus `quantile`-labelled
+    /// p50/p99/p999 lines (the fixed bucket layout is too fine to dump as
+    /// `le` buckets).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut last: Option<(String, &'static str)> = None;
+        let mut emit_type = |out: &mut String, name: &str, kind: &'static str| {
+            if last.as_ref().map(|(n, k)| (n.as_str(), *k)) != Some((name, kind)) {
+                out.push_str("# TYPE ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(kind);
+                out.push('\n');
+                last = Some((name.to_string(), kind));
+            }
+        };
+
+        for c in &self.counters {
+            emit_type(&mut out, &c.name, "counter");
+            out.push_str(&c.name);
+            out.push_str(&render_labels(&c.labels, None));
+            out.push_str(&format!(" {}\n", c.value));
+        }
+        for g in &self.gauges {
+            emit_type(&mut out, &g.name, "gauge");
+            out.push_str(&g.name);
+            out.push_str(&render_labels(&g.labels, None));
+            out.push_str(&format!(" {}\n", g.value));
+        }
+        for h in &self.histograms {
+            emit_type(&mut out, &h.name, "summary");
+            for (q, qs) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                out.push_str(&h.name);
+                out.push_str(&render_labels(&h.labels, Some(qs)));
+                out.push_str(&format!(" {}\n", h.quantile(q)));
+            }
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                h.name,
+                render_labels(&h.labels, None),
+                h.count
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                h.name,
+                render_labels(&h.labels, None),
+                h.sum
+            ));
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)], quantile: Option<&str>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
+    if let Some(q) = quantile {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("quantile=\"{q}\""));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![CounterSample {
+                name: "cad_rounds_total".into(),
+                labels: vec![("engine".into(), "exact".into())],
+                value: 128,
+            }],
+            gauges: vec![GaugeSample {
+                name: "serve_queue_depth_ticks".into(),
+                labels: vec![],
+                value: -3,
+            }],
+            histograms: vec![HistogramSample {
+                name: "serve_push_latency_nanos".into(),
+                labels: vec![("shard".into(), "1".into())],
+                count: 3,
+                sum: 1234,
+                min: 10,
+                max: 1000,
+                buckets: vec![(10, 1), (224, 2)],
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample_snapshot();
+        let bytes = snap.encode();
+        let back = MetricsSnapshot::decode(&bytes).expect("decode");
+        assert_eq!(back, snap);
+        // Lossless in the byte direction too.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_without_panicking() {
+        assert_eq!(MetricsSnapshot::decode(b"no"), Err(DecodeError::Truncated));
+        assert!(matches!(
+            MetricsSnapshot::decode(b"XXXXxxxx"),
+            Err(DecodeError::BadMagic(_))
+        ));
+        let mut bytes = sample_snapshot().encode();
+        bytes[4] = 99; // version
+        assert_eq!(
+            MetricsSnapshot::decode(&bytes),
+            Err(DecodeError::BadVersion(99))
+        );
+        // Truncate at every prefix: must never panic.
+        let bytes = sample_snapshot().encode();
+        for cut in 0..bytes.len() {
+            assert!(MetricsSnapshot::decode(&bytes[..cut]).is_err());
+        }
+        // Trailing garbage is flagged.
+        let mut bytes = sample_snapshot().encode();
+        bytes.push(0);
+        assert_eq!(
+            MetricsSnapshot::decode(&bytes),
+            Err(DecodeError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped() {
+        let text = sample_snapshot().render_text();
+        assert!(text.contains("# TYPE cad_rounds_total counter\n"), "{text}");
+        assert!(
+            text.contains("cad_rounds_total{engine=\"exact\"} 128\n"),
+            "{text}"
+        );
+        assert!(text.contains("serve_queue_depth_ticks -3\n"), "{text}");
+        assert!(
+            text.contains("# TYPE serve_push_latency_nanos summary"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_push_latency_nanos{shard=\"1\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_push_latency_nanos_count{shard=\"1\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_push_latency_nanos_sum{shard=\"1\"} 1234\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn sample_quantile_uses_sparse_buckets() {
+        let h = &sample_snapshot().histograms[0];
+        // Bucket 10 holds the value 10 exactly; rank 1 lands there.
+        assert_eq!(h.quantile(0.1), 10);
+        // p99 lands in bucket 224 and clamps to the recorded max.
+        assert_eq!(h.quantile(0.99), 1000);
+        assert!((h.mean() - 1234.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the log-bucketed histogram (vendored proptest).
+//!
+//! Three laws from ISSUE 4, each held for 256+ generated cases:
+//!
+//! 1. recorded count == sum of bucket counts,
+//! 2. every quantile readout is within the documented relative-error
+//!    bound of the exact sorted-vector quantile,
+//! 3. `merge_from` is indistinguishable from recording the concatenated
+//!    stream.
+
+use cad_obs::{bucket_bounds, bucket_index, Histogram, N_BUCKETS, QUANTILE_RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// The exact oracle: rank `ceil(q*n)` (1-based) of the sorted samples.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Mixed-scale sample stream: small exact-region values, mid-range
+/// latencies, and full-range u64s so every bucket regime is exercised.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![0u64..64, 1_000u64..10_000_000, 0u64..=u64::MAX,],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn count_equals_sum_of_bucket_counts(vals in samples()) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(h.count(), vals.len() as u64);
+        prop_assert_eq!(bucket_total, vals.len() as u64);
+        // Sum/min/max agree with the stream too (sum wraps, so compare wrapped).
+        let mut sum = 0u64;
+        for &v in &vals {
+            sum = sum.wrapping_add(v);
+        }
+        prop_assert_eq!(h.sum(), sum);
+        prop_assert_eq!(h.min(), *vals.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *vals.iter().max().unwrap());
+    }
+
+    #[test]
+    fn quantiles_stay_within_error_bound(vals in samples(), q in 0.0f64..1.0) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [q, 0.5, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            prop_assert!(est >= exact, "q={} est {} < exact {}", q, est, exact);
+            let overshoot = (est - exact) as f64;
+            prop_assert!(
+                overshoot <= exact as f64 * QUANTILE_RELATIVE_ERROR,
+                "q={} est {} exceeds exact {} by more than the bound",
+                q, est, exact
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream(a in samples(), b in samples()) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hc = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge_from(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.sum(), hc.sum());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        prop_assert_eq!(ha.nonzero_buckets(), hc.nonzero_buckets());
+        // And the merged quantiles match the concatenated-stream quantiles.
+        for q in [0.5, 0.99, 0.999] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q));
+        }
+    }
+
+    #[test]
+    fn every_value_lands_in_a_valid_self_consistent_bucket(v in 0u64..=u64::MAX) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < N_BUCKETS);
+        let (lower, upper) = bucket_bounds(idx);
+        prop_assert!(lower <= v && v <= upper, "{} outside [{}, {}]", v, lower, upper);
+    }
+}

@@ -11,9 +11,13 @@
 //! | `CAD_SERVE_QUEUE`        | `8192`           | ingress capacity in ticks       |
 //! | `CAD_SERVE_MAX_CONNS`    | `1024`           | concurrent connection cap       |
 //! | `CAD_SERVE_SNAPSHOT_DIR` | unset            | snapshot/restore directory      |
+//! | `CAD_OBS_DUMP`           | unset            | write metrics text here on exit |
 //!
 //! Shutdown is graceful on a client `Shutdown` frame: the queue drains
-//! and every session is persisted before the process exits.
+//! and every session is persisted before the process exits. With
+//! `CAD_OBS_DUMP=path` set, the final state of the `cad-obs` registry is
+//! written to `path` in Prometheus-style text exposition after the drain,
+//! so a scrape survives the process.
 
 use std::path::PathBuf;
 
@@ -63,6 +67,14 @@ fn main() {
     );
     match server.run() {
         Ok(persisted) => {
+            if let Ok(path) = std::env::var("CAD_OBS_DUMP") {
+                let text = cad_obs::global().snapshot().render_text();
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("cad-serve: writing metrics dump to {path} failed: {e}");
+                } else {
+                    eprintln!("cad-serve: metrics dump written to {path}");
+                }
+            }
             eprintln!("cad-serve: shut down cleanly, {persisted} sessions persisted");
         }
         Err(e) => {

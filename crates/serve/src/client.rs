@@ -225,6 +225,23 @@ impl ServeClient {
         }
     }
 
+    /// The server's metrics registry as a raw `CADM` binary dump — the
+    /// exact bytes the server encoded, useful when the caller wants to
+    /// persist or forward the dump without re-encoding.
+    pub fn metrics_raw(&mut self) -> Result<Vec<u8>, ClientError> {
+        match self.request(&Frame::MetricsRequest)? {
+            Frame::MetricsReply { dump } => Ok(dump),
+            _ => Err(ClientError::Unexpected("metrics")),
+        }
+    }
+
+    /// The server's metrics registry, decoded into a
+    /// [`cad_obs::MetricsSnapshot`].
+    pub fn metrics(&mut self) -> Result<cad_obs::MetricsSnapshot, ClientError> {
+        let dump = self.metrics_raw()?;
+        cad_obs::MetricsSnapshot::decode(&dump).map_err(|_| ClientError::Unexpected("metrics dump"))
+    }
+
     /// Request graceful shutdown. Returns the number of live sessions the
     /// server will persist.
     pub fn shutdown_server(&mut self) -> Result<u32, ClientError> {

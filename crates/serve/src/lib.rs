@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub(crate) mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod session;

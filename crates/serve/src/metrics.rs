@@ -1,0 +1,51 @@
+//! Cached `cad-obs` handles for the serving layer.
+//!
+//! Same pattern as `cad-core`: each handle registers once in the global
+//! registry and is cached in a `OnceLock`, so the connection handlers and
+//! the pump pay a relaxed atomic op per event, not a registry lookup.
+//!
+//! Metric inventory:
+//!
+//! | name                           | kind      | labels  | meaning                                  |
+//! |--------------------------------|-----------|---------|------------------------------------------|
+//! | `serve_queue_depth_ticks`      | gauge     | —       | ingress queue depth after the last enqueue/drain |
+//! | `serve_push_latency_nanos`     | histogram | —       | PushSamples handling, frame-in to reply-ready |
+//! | `serve_backpressure_wait_nanos`| histogram | —       | time a throttled push waited for queue admission |
+//! | `serve_error_frames_total`     | counter   | `code`  | error frames produced, by protocol code  |
+//! | `serve_shard_sessions`         | gauge     | `shard` | live sessions owned by each shard        |
+
+use std::sync::{Arc, OnceLock};
+
+use cad_obs::{Gauge, Histogram};
+
+pub(crate) fn queue_depth_gauge() -> &'static Arc<Gauge> {
+    static HANDLE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().gauge("serve_queue_depth_ticks", &[]))
+}
+
+pub(crate) fn push_latency() -> &'static Arc<Histogram> {
+    static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().histogram("serve_push_latency_nanos", &[]))
+}
+
+pub(crate) fn backpressure_wait() -> &'static Arc<Histogram> {
+    static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().histogram("serve_backpressure_wait_nanos", &[]))
+}
+
+/// Count one produced error frame under its protocol code. Error paths
+/// are cold, so the per-call registry lookup (and label allocation) is
+/// acceptable here.
+pub(crate) fn count_error_frame(code: u16) {
+    let label = code.to_string();
+    cad_obs::global()
+        .counter("serve_error_frames_total", &[("code", &label)])
+        .inc();
+}
+
+/// The live-session gauge for one shard; cached per [`Shard`] at
+/// construction.
+pub(crate) fn shard_sessions_gauge(shard_index: usize) -> Arc<Gauge> {
+    let label = shard_index.to_string();
+    cad_obs::global().gauge("serve_shard_sessions", &[("shard", &label)])
+}

@@ -291,6 +291,16 @@ pub enum Frame {
         /// Human-readable description.
         message: String,
     },
+    /// Request the server's full metrics registry as a binary dump.
+    MetricsRequest,
+    /// A versioned `cad-obs` metrics dump (`CADM` v1). The protocol
+    /// carries the bytes opaquely; decode with
+    /// `cad_obs::MetricsSnapshot::decode` (or re-serve them verbatim —
+    /// the dump round-trips losslessly).
+    MetricsReply {
+        /// Encoded [`cad_obs::MetricsSnapshot`] bytes.
+        dump: Vec<u8>,
+    },
 }
 
 impl Frame {
@@ -313,6 +323,8 @@ impl Frame {
             Frame::ShutdownAck { .. } => 14,
             Frame::Backpressure { .. } => 15,
             Frame::Error { .. } => 16,
+            Frame::MetricsRequest => 17,
+            Frame::MetricsReply { .. } => 18,
         }
     }
 }
@@ -378,6 +390,10 @@ impl Enc {
     fn string(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
     }
     fn f64s(&mut self, vs: &[f64]) {
         self.u32(vs.len() as u32);
@@ -481,6 +497,10 @@ impl<'a> Dec<'a> {
         let n = self.len()?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("string is not UTF-8"))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let n = self.len()?;
+        Ok(self.take(n)?.to_vec())
     }
     fn f64s(&mut self) -> Result<Vec<f64>, ProtoError> {
         let n = self.len()?;
@@ -636,6 +656,8 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Shutdown => {}
         Frame::ShutdownAck { sessions } => e.u32(*sessions),
         Frame::Backpressure { queue_depth } => e.u32(*queue_depth),
+        Frame::MetricsRequest => {}
+        Frame::MetricsReply { dump } => e.bytes(dump),
         Frame::Error { code, message } => {
             e.u16(*code);
             e.string(message);
@@ -762,6 +784,8 @@ pub fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Frame, ProtoError>
             code: d.u16()?,
             message: d.string()?,
         },
+        17 => Frame::MetricsRequest,
+        18 => Frame::MetricsReply { dump: d.bytes()? },
         other => return Err(corrupt(format!("unknown msg_type {other}"))),
     };
     d.finish()?;
@@ -1018,6 +1042,34 @@ mod tests {
             code: codes::ADMISSION,
             message: "session limit reached".into(),
         });
+        roundtrip(Frame::MetricsRequest);
+        roundtrip(Frame::MetricsReply { dump: vec![] });
+        roundtrip(Frame::MetricsReply {
+            dump: (0..=255u8).collect(),
+        });
+    }
+
+    #[test]
+    fn metrics_reply_carries_an_obs_dump_losslessly() {
+        // The protocol treats the dump as opaque bytes; a real cad-obs
+        // dump must survive the frame round trip byte-for-byte.
+        let registry = cad_obs::Registry::new();
+        registry.counter("cad_rounds_total", &[]).add(42);
+        registry
+            .histogram("serve_push_latency_nanos", &[("shard", "0")])
+            .record(12_345);
+        let dump = registry.snapshot().encode();
+        match read_frame(encode_frame(&Frame::MetricsReply { dump: dump.clone() }).as_slice())
+            .expect("decode")
+        {
+            Frame::MetricsReply { dump: back } => {
+                assert_eq!(back, dump);
+                let snap = cad_obs::MetricsSnapshot::decode(&back).expect("valid dump");
+                assert_eq!(snap.counters[0].value, 42);
+                assert_eq!(snap.encode(), dump);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
     }
 
     #[test]

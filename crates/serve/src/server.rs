@@ -17,8 +17,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use cad_obs::TraceEvent;
+
+use crate::metrics;
 use crate::protocol::{
     codes, max_push_ticks, write_frame, Frame, FrameReader, ProtoError, ServerStats, SessionStats,
 };
@@ -214,6 +217,9 @@ fn submit(
 }
 
 fn error_frame(code: u16, message: impl Into<String>) -> Frame {
+    // The single construction point for error frames, so every error the
+    // server emits is counted under its protocol code.
+    metrics::count_error_frame(code);
     Frame::Error {
         code,
         message: message.into(),
@@ -276,7 +282,14 @@ fn handle_connection(
             );
             return;
         }
+        // Push latency is frame-in to reply-ready: it includes queue
+        // admission (and thus any backpressure wait) plus the detector
+        // rounds the batch completed, but not the reply write.
+        let push_started = matches!(frame, Frame::PushSamples { .. }).then(Instant::now);
         let reply = handle_frame(frame, &mut greeted, &manager, &shutdown, &mut writer);
+        if let Some(started) = push_started {
+            metrics::push_latency().record_duration(started.elapsed());
+        }
         let Some(reply) = reply else { return };
         if write_frame(&mut writer, &reply).is_err() || writer.flush().is_err() {
             return;
@@ -367,8 +380,12 @@ fn handle_frame<W: Write>(
                     .counters()
                     .backpressure_events
                     .fetch_add(1, Ordering::Relaxed);
+                let depth = manager.queue_depth();
+                cad_obs::tracer().emit(TraceEvent::BackpressureEntered {
+                    queue_depth: depth as u64,
+                });
                 let bp = Frame::Backpressure {
-                    queue_depth: manager.queue_depth().min(u32::MAX as usize) as u32,
+                    queue_depth: depth.min(u32::MAX as usize) as u32,
                 };
                 if write_frame(&mut *writer, &bp).is_err() {
                     return None;
@@ -444,6 +461,11 @@ fn handle_frame<W: Write>(
             Ok(Reply::Failed { code, message }) => error_frame(code, message),
             Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
         },
+        // Served inline: the registry is process-global, so the dump
+        // needs no trip through the ingress queue.
+        Frame::MetricsRequest => Frame::MetricsReply {
+            dump: cad_obs::global().snapshot().encode(),
+        },
         Frame::Shutdown => {
             shutdown.request();
             Frame::ShutdownAck {
@@ -464,6 +486,7 @@ fn handle_frame<W: Write>(
         | Frame::CloseAck { .. }
         | Frame::ShutdownAck { .. }
         | Frame::Backpressure { .. }
+        | Frame::MetricsReply { .. }
         | Frame::Error { .. } => error_frame(codes::BAD_REQUEST, "unexpected client frame"),
     };
     Some(reply)

@@ -39,11 +39,13 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cad_core::{load_stream, save_stream, CadConfig, CadDetector, EngineChoice, StreamingCad};
+use cad_obs::{Gauge, TraceEvent};
 use cad_runtime::Timer;
 
+use crate::metrics;
 use crate::protocol::{codes, SessionSpec, SessionStats, WireEngine, WireOutcome};
 
 /// Admission and queue limits for a [`SessionManager`].
@@ -255,9 +257,21 @@ impl Session {
 }
 
 /// One worker shard: the sessions it owns, keyed by id.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shard {
     sessions: BTreeMap<u64, Session>,
+    /// Live-session gauge for this shard (`serve_shard_sessions{shard=i}`),
+    /// resolved once at construction.
+    sessions_gauge: Arc<Gauge>,
+}
+
+impl Shard {
+    fn new(index: usize) -> Self {
+        Self {
+            sessions: BTreeMap::new(),
+            sessions_gauge: metrics::shard_sessions_gauge(index),
+        }
+    }
 }
 
 struct IngressQueue {
@@ -375,6 +389,7 @@ fn write_snapshot(dir: &Path, session_id: u64, session: &Session) -> std::io::Re
     let tmp = dir.join(format!("session-{session_id}.cads.tmp"));
     std::fs::write(&tmp, &buf)?;
     std::fs::rename(&tmp, snapshot_path(dir, session_id))?;
+    cad_obs::tracer().emit(TraceEvent::SnapshotSaved { session_id });
     Ok(buf.len() as u64)
 }
 
@@ -396,6 +411,8 @@ impl Shard {
                 // keep serving a detector in an unknown state.
                 if self.sessions.remove(&session_id).is_some() {
                     shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                    self.sessions_gauge.sub(1);
+                    cad_obs::tracer().emit(TraceEvent::SessionPanicked { session_id });
                 }
                 Reply::Failed {
                     code: codes::INTERNAL,
@@ -446,6 +463,8 @@ impl Shard {
                                         anomalies: 0,
                                     },
                                 );
+                                self.sessions_gauge.add(1);
+                                cad_obs::tracer().emit(TraceEvent::SessionCreated { session_id });
                                 Reply::Created {
                                     resumed: false,
                                     samples_seen: 0,
@@ -532,6 +551,8 @@ impl Shard {
                     },
                     Some(_) => {
                         counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                        self.sessions_gauge.sub(1);
+                        cad_obs::tracer().emit(TraceEvent::SessionDropped { session_id });
                         if let Some(dir) = &shared.cfg.snapshot_dir {
                             // Best-effort: a closed session must not be
                             // resurrected by the next restart.
@@ -558,7 +579,7 @@ impl SessionManager {
     /// any command is accepted.
     pub fn new(cfg: ManagerConfig) -> std::io::Result<(SessionManager, SessionPump)> {
         let shards_n = cfg.shards.max(1);
-        let mut shards: Vec<Shard> = (0..shards_n).map(|_| Shard::default()).collect();
+        let mut shards: Vec<Shard> = (0..shards_n).map(Shard::new).collect();
         let mut restored = 0u64;
         if let Some(dir) = &cfg.snapshot_dir {
             std::fs::create_dir_all(dir)?;
@@ -584,7 +605,8 @@ impl SessionManager {
                         format!("restoring {}: {e}", path.display()),
                     )
                 })?;
-                shards[(id % shards_n as u64) as usize].sessions.insert(
+                let shard = &mut shards[(id % shards_n as u64) as usize];
+                shard.sessions.insert(
                     id,
                     Session {
                         stream,
@@ -592,6 +614,8 @@ impl SessionManager {
                         anomalies: 0,
                     },
                 );
+                shard.sessions_gauge.add(1);
+                cad_obs::tracer().emit(TraceEvent::SnapshotLoaded { session_id: id });
                 restored += 1;
             }
         }
@@ -650,6 +674,7 @@ impl SessionManager {
     pub fn enqueue(&self, cmd: Command) -> Result<usize, EnqueueError> {
         let cost = cmd.cost();
         let mut q = self.shared.queue.lock().expect("ingress queue poisoned");
+        let mut blocked_since: Option<Instant> = None;
         loop {
             if q.closed {
                 return Err(EnqueueError::ShuttingDown);
@@ -664,10 +689,19 @@ impl SessionManager {
                 let depth = q.pending_ticks;
                 let peak = &self.shared.counters.peak_queue_depth;
                 peak.fetch_max(depth as u64, Ordering::Relaxed);
+                metrics::queue_depth_gauge().set(depth as i64);
                 q.jobs.push_back(cmd);
                 self.shared.not_empty.notify_all();
+                if let Some(since) = blocked_since {
+                    let waited = since.elapsed();
+                    metrics::backpressure_wait().record_duration(waited);
+                    cad_obs::tracer().emit(TraceEvent::BackpressureExited {
+                        waited_nanos: waited.as_nanos().min(u64::MAX as u128) as u64,
+                    });
+                }
                 return Ok(depth);
             }
+            blocked_since.get_or_insert_with(Instant::now);
             q = self
                 .shared
                 .not_full
@@ -706,6 +740,7 @@ impl SessionPump {
                     break;
                 }
                 q.pending_ticks = 0;
+                metrics::queue_depth_gauge().set(0);
                 self.shared.not_full.notify_all();
                 std::mem::take(&mut q.jobs)
             };

@@ -367,6 +367,100 @@ fn backpressure_is_explicit_and_lossless() {
     server.join().expect("server thread").expect("server run");
 }
 
+/// A `Shutdown` frame arriving while other sessions are mid-backpressure
+/// (pushers parked on the saturated ingress queue) must not lose work:
+/// every already-admitted push is processed and acknowledged during the
+/// drain, and **every** session's snapshot lands on disk — restoring with
+/// exactly the progress its client saw acknowledged.
+#[test]
+fn shutdown_during_backpressure_persists_every_session() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let engine = wire_engine_under_test();
+    let dir = unique_dir("bp-shutdown");
+    let cfg = || ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_capacity: S as usize, // tiny — concurrent pushers saturate it
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let (addr, server) = start_server(cfg());
+
+    // Two pushers stream forever; each publishes its acknowledged tick
+    // high-water mark, so the restart check below can pin each restored
+    // session to exactly what its client saw acked.
+    let session_ids = [30u64, 31];
+    let acked: Vec<Arc<AtomicU64>> = session_ids
+        .iter()
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+    let mut pushers = Vec::new();
+    for (i, &id) in session_ids.iter().enumerate() {
+        let addr = addr.clone();
+        let acked = Arc::clone(&acked[i]);
+        pushers.push(std::thread::spawn(move || -> u16 {
+            let mut client = ServeClient::connect(&addr, &format!("bp-{id}")).expect("connect");
+            client.create_session(id, spec(engine)).expect("create");
+            let mut t = 0usize;
+            loop {
+                let len = S as usize * 2;
+                let samples: Vec<f64> = (t..t + len)
+                    .flat_map(|u| tick_row(id, u, N_SENSORS))
+                    .collect();
+                match client.push_samples(id, t as u64, N_SENSORS as u32, samples) {
+                    Ok(_) => {
+                        t += len;
+                        acked.store(t as u64, Ordering::SeqCst);
+                    }
+                    Err(ClientError::Server { code, .. }) => return code,
+                    Err(other) => panic!("unexpected failure: {other:?}"),
+                }
+            }
+        }));
+    }
+
+    // Wait until the queue has actually produced backpressure, so the
+    // shutdown below races against pushers genuinely parked on admission.
+    let mut admin = ServeClient::connect(&addr, "bp-stopper").expect("connect");
+    loop {
+        let stats = admin.stats(None).expect("stats");
+        if stats.backpressure_events >= 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    admin.shutdown_server().expect("shutdown");
+    let persisted = server.join().expect("server thread").expect("server run");
+    assert_eq!(
+        persisted,
+        session_ids.len(),
+        "the drain must persist every session, including backpressured ones"
+    );
+    for pusher in pushers {
+        assert_eq!(pusher.join().expect("pusher"), codes::SHUTTING_DOWN);
+    }
+
+    // Restart over the same directory: each session resumes with its
+    // acknowledged progress — nothing admitted was dropped by the drain,
+    // nothing unacknowledged was half-applied.
+    let (addr, server) = start_server(cfg());
+    let mut client = ServeClient::connect(&addr, "bp-reattach").expect("connect");
+    for (i, &id) in session_ids.iter().enumerate() {
+        let h = client.create_session(id, spec(engine)).expect("re-attach");
+        assert!(h.resumed, "session {id} should resume from its snapshot");
+        assert_eq!(
+            h.samples_seen,
+            acked[i].load(std::sync::atomic::Ordering::SeqCst),
+            "session {id} restored with different progress than its \
+             client saw acknowledged"
+        );
+    }
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Admission control over the wire: session and sensor limits surface as
 /// protocol errors, not panics; closing frees a slot.
 #[test]

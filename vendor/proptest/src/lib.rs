@@ -19,14 +19,27 @@ pub mod collection;
 pub mod strategy;
 pub mod test_runner;
 
-pub use strategy::{any, Arbitrary, Strategy};
+pub use strategy::{any, Arbitrary, Strategy, Union};
 pub use test_runner::ProptestConfig;
 
 /// Everything a `use proptest::prelude::*;` consumer expects in scope.
 pub mod prelude {
-    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::strategy::{any, Arbitrary, Strategy, Union};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Choose uniformly among same-typed strategies each case. Upstream
+/// weights (`n => strategy`) are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let arms: Vec<Box<dyn $crate::strategy::Strategy<Value = _>>> =
+            vec![$(Box::new($strategy)),+];
+        $crate::strategy::Union::new(arms)
+    }};
 }
 
 /// Assert a condition inside a [`proptest!`] body.

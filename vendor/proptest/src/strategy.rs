@@ -61,6 +61,30 @@ impl_tuple_strategy! {
     (A.0, B.1, C.2, D.3, E.4)
 }
 
+/// A choice between same-typed strategies, each picked uniformly.
+/// Built by the [`prop_oneof!`](crate::prop_oneof) macro. Upstream
+/// supports per-arm weights; the shim draws every arm with equal
+/// probability, which is all the workspace uses.
+pub struct Union<T> {
+    strategies: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `strategies`; panics if empty.
+    pub fn new(strategies: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!strategies.is_empty(), "prop_oneof! needs at least one arm");
+        Self { strategies }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let arm = rng.gen_range(0..self.strategies.len());
+        self.strategies[arm].generate(rng)
+    }
+}
+
 /// Types with a canonical whole-domain strategy (`any::<T>()`).
 pub trait Arbitrary: Sized {
     /// One draw from the type's full domain.
