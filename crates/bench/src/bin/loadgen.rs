@@ -10,6 +10,12 @@
 //! deliberately provokes so the bounded-queue path is exercised, not just
 //! configured. The full metrics registry is also written as Prometheus
 //! text to `results/BENCH_serve_metrics.txt`.
+//!
+//! The HTTP ops plane runs alongside: `/metrics` is scraped repeatedly
+//! *mid-run* (latencies reported, proving scrapes stay responsive under
+//! backpressure) and once more after the workers quiesce, where the body
+//! must be byte-identical to `render_text()` of the CADM snapshot
+//! fetched over the native protocol in the same state.
 //! A spot check replays a sample of sessions through a direct
 //! [`StreamingCad`] loop and asserts bit-identical outcome streams, so
 //! the numbers can't come from a server that quietly corrupts verdicts.
@@ -46,6 +52,30 @@ fn session_spec(n: usize, w: usize, s: usize) -> SessionSpec {
     let mut spec = SessionSpec::new(n as u32, w as u32, s as u32);
     spec.k = 2.min(n as u32 - 1);
     spec
+}
+
+/// Minimal HTTP GET against the ops plane; returns `(status, body)`.
+fn http_get(ops_addr: &str, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(ops_addr).expect("ops connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
 }
 
 fn quantile(sorted: &[f64], q: f64) -> f64 {
@@ -89,10 +119,12 @@ fn main() {
         queue_capacity,
         max_sessions: total_sessions.max(16),
         read_timeout: Duration::from_millis(100),
+        ops_addr: Some("127.0.0.1:0".into()),
         ..ServeConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr().expect("local_addr").to_string();
+    let ops_addr = server.local_ops_addr().expect("ops bound").to_string();
     let server = std::thread::spawn(move || server.run());
 
     let t0 = Instant::now();
@@ -146,6 +178,18 @@ fn main() {
         }));
     }
 
+    // Scrape the ops plane while the workers hammer the data plane: each
+    // GET must come back 200 even with the ingress queue in backpressure.
+    let mut scrape_latencies: Vec<f64> = Vec::new();
+    while workers.iter().any(|h| !h.is_finished()) {
+        let scrape_t0 = Instant::now();
+        let (status, body) = http_get(&ops_addr, "/metrics");
+        scrape_latencies.push(scrape_t0.elapsed().as_secs_f64());
+        assert_eq!(status, 200, "mid-run /metrics scrape failed");
+        assert!(!body.is_empty());
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
     let reports: Vec<ClientReport> = workers
         .into_iter()
         .map(|h| h.join().expect("client thread"))
@@ -156,6 +200,26 @@ fn main() {
     let mut admin = ServeClient::connect(&addr, "loadgen-admin").expect("connect");
     let stats = admin.stats(None).expect("stats");
     let metrics = admin.metrics().expect("metrics");
+
+    // Quiesced parity: nothing records between the native fetch above and
+    // this scrape, so the HTTP body must be byte-identical to the native
+    // snapshot's text rendering — one registry, two transports.
+    let quiesced_t0 = Instant::now();
+    let (status, scraped) = http_get(&ops_addr, "/metrics");
+    let quiesced_scrape_secs = quiesced_t0.elapsed().as_secs_f64();
+    assert_eq!(status, 200);
+    assert_eq!(
+        scraped,
+        metrics.render_text(),
+        "quiesced /metrics scrape diverged from the native CADM snapshot"
+    );
+    eprintln!(
+        "[loadgen] ops parity ok: /metrics == native render_text ({} bytes), \
+         {} mid-run scrapes",
+        scraped.len(),
+        scrape_latencies.len()
+    );
+
     admin.shutdown_server().expect("shutdown");
     server.join().expect("server thread").expect("server run");
 
@@ -204,6 +268,10 @@ fn main() {
     let client_p99 = quantile(&latencies, 0.99);
     let ticks_per_sec = total_ticks as f64 / wall_secs.max(1e-12);
     let rounds_per_sec = total_rounds as f64 / wall_secs.max(1e-12);
+    let mut sorted_scrapes = scrape_latencies.clone();
+    sorted_scrapes.sort_by(|a, b| a.total_cmp(b));
+    let scrape_p50 = quantile(&sorted_scrapes, 0.50);
+    let scrape_p99 = quantile(&sorted_scrapes, 0.99);
 
     // Authoritative push latency: the server's own log-bucketed histogram,
     // fetched over the wire. Frame-in to reply-ready, so it excludes
@@ -241,6 +309,10 @@ fn main() {
             "  \"push_latency_p999_secs\": {:.9},\n",
             "  \"client_push_latency_p50_secs\": {:.6},\n",
             "  \"client_push_latency_p99_secs\": {:.6},\n",
+            "  \"ops_scrapes_mid_run\": {},\n",
+            "  \"ops_scrape_p50_secs\": {:.6},\n",
+            "  \"ops_scrape_p99_secs\": {:.6},\n",
+            "  \"ops_quiesced_scrape_secs\": {:.6},\n",
             "  \"client_backpressure_events\": {},\n",
             "  \"server_backpressure_events\": {},\n",
             "  \"peak_queue_depth\": {},\n",
@@ -270,6 +342,10 @@ fn main() {
         p999,
         client_p50,
         client_p99,
+        scrape_latencies.len(),
+        scrape_p50,
+        scrape_p99,
+        quiesced_scrape_secs,
         client_backpressure,
         stats.backpressure_events,
         stats.peak_queue_depth,

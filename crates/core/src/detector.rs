@@ -15,6 +15,7 @@ use cad_stats::RunningStats;
 use crate::coappearance::{outlier_variations, CoappearanceTracker};
 use crate::config::CadConfig;
 use crate::engine::{Engine, RoundEngine};
+use crate::explain::ExplainJournal;
 use crate::result::{Anomaly, DetectionResult, RoundRecord};
 
 /// Outcome of processing one round (Algorithm 1 plus the 3σ verdict).
@@ -45,6 +46,8 @@ pub struct CadDetector {
     stats: RunningStats,
     /// `O_{r−1}`, sorted.
     prev_outliers: Vec<usize>,
+    /// Bounded per-round forensics ring (see [`crate::explain`]).
+    journal: ExplainJournal,
 }
 
 impl CadDetector {
@@ -60,6 +63,7 @@ impl CadDetector {
             tracker,
             stats: RunningStats::new(),
             prev_outliers: Vec::new(),
+            journal: ExplainJournal::from_env(),
         }
     }
 
@@ -109,12 +113,30 @@ impl CadDetector {
             tracker,
             stats,
             prev_outliers,
+            journal: ExplainJournal::from_env(),
         }
     }
 
     /// Observed variation-count statistics (μ, σ, count).
     pub fn stats(&self) -> &RunningStats {
         &self.stats
+    }
+
+    /// The per-round forensics journal (empty unless enabled via
+    /// `CAD_EXPLAIN` or [`Self::set_explain_capacity`]).
+    pub fn explain(&self) -> &ExplainJournal {
+        &self.journal
+    }
+
+    /// Resize the forensics ring: retain the most recent `capacity`
+    /// detection rounds (0 disables journaling; see [`crate::explain`]).
+    pub fn set_explain_capacity(&mut self, capacity: usize) {
+        self.journal.set_capacity(capacity);
+    }
+
+    /// Replace the journal wholesale (snapshot restore path).
+    pub(crate) fn restore_explain(&mut self, journal: ExplainJournal) {
+        self.journal = journal;
     }
 
     /// Algorithm 1 — one round of outlier detection over a window. The
@@ -187,7 +209,27 @@ impl CadDetector {
         let rc = self.tracker.ratios();
         let crossed = self.stats.count() >= 2 && self.stats.is_outlier(n_r as f64, self.config.eta);
         crate::metrics::observe_round(n_r as u64, crossed, !suppress && crossed);
+        // The verdict is computed against the pre-update μ/σ; snapshot them
+        // for the forensics record before `stats.push` below. The round
+        // counter advances even while journaling is off, so records keep
+        // meaningful indices if it is enabled mid-stream.
+        let round = self.journal.advance();
+        let journal_pre = self
+            .journal
+            .enabled()
+            .then(|| (self.stats.mean(), self.stats.stddev()));
         if suppress {
+            if let Some((mu_pre, sigma_pre)) = journal_pre {
+                self.journal.push(crate::explain::RoundRecord {
+                    round,
+                    n_r: n_r as u64,
+                    mu_pre,
+                    sigma_pre,
+                    eta_sigma: self.config.eta * sigma_pre,
+                    abnormal: false,
+                    outlier_sensors: outliers.iter().map(|&v| v as u32).collect(),
+                });
+            }
             self.prev_outliers = outliers.clone();
             return RoundOutcome {
                 n_r,
@@ -206,6 +248,17 @@ impl CadDetector {
             0.0
         };
         let abnormal = have_history && self.stats.is_outlier(n_r as f64, self.config.eta);
+        if let Some((mu_pre, sigma_pre)) = journal_pre {
+            self.journal.push(crate::explain::RoundRecord {
+                round,
+                n_r: n_r as u64,
+                mu_pre,
+                sigma_pre,
+                eta_sigma: self.config.eta * sigma_pre,
+                abnormal,
+                outlier_sensors: outliers.iter().map(|&v| v as u32).collect(),
+            });
+        }
         // Lines 12–13: fold n_r into N and refresh μ/σ.
         self.stats.push(n_r as f64);
         self.prev_outliers = outliers.clone();

@@ -1,0 +1,229 @@
+//! Per-round detection forensics — the journal behind `/explain`.
+//!
+//! A flagged anomaly is a bare verdict; the paper's output `Z = (V_Z, R_Z)`
+//! names the rounds and sensors responsible, so the detector should be able
+//! to show its work after the fact. [`ExplainJournal`] is a bounded ring of
+//! [`RoundRecord`]s, one per detection round, capturing everything the η·σ
+//! verdict of Algorithm 2 line 7 was computed from: the variation count
+//! `n_r`, the μ/σ statistics *before* `n_r` was folded in, the resulting
+//! threshold `η·σ`, the verdict, and the outlier set `O_r`.
+//!
+//! The enable pattern mirrors `cad_obs::Tracer`: a journal with capacity 0
+//! is disabled and costs one predicted branch per round — no allocation, no
+//! formatting, no lock (the journal is owned by its detector, so there is
+//! nothing to lock). The default capacity comes from the `CAD_EXPLAIN`
+//! environment variable (rounds to retain; unset or unparsable means 0 =
+//! disabled), read once per process; [`CadDetector::set_explain_capacity`]
+//! overrides it per detector.
+//!
+//! Records are engine-independent by construction — `n_r`, the outlier set
+//! and the running statistics are identical under the exact and incremental
+//! engines (the parity suites assert this), so the journal is too. It
+//! persists through the `cad-stream` snapshot format (version 2); version 1
+//! snapshots load with an empty journal.
+//!
+//! [`CadDetector::set_explain_capacity`]: crate::CadDetector::set_explain_capacity
+
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// Environment variable naming the default journal capacity in rounds.
+pub const ENV_EXPLAIN: &str = "CAD_EXPLAIN";
+
+/// Everything the η·σ verdict of one detection round was computed from.
+///
+/// `mu_pre`/`sigma_pre` are the running statistics *before* this round's
+/// `n_r` was pushed (the verdict of Algorithm 2 line 7 compares against
+/// exactly these), so `abnormal ⇔ |n_r − mu_pre| ≥ eta_sigma` whenever at
+/// least two prior counts existed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Detection round index (0-based; warm-up rounds are not journaled).
+    pub round: u64,
+    /// Outlier-variation count `n_r = |O_{r−1} Δ O_r|`.
+    pub n_r: u64,
+    /// Mean of the variation-count series before this round's update.
+    pub mu_pre: f64,
+    /// Standard deviation before this round's update.
+    pub sigma_pre: f64,
+    /// The verdict threshold `η·σ` (with `σ = sigma_pre`).
+    pub eta_sigma: f64,
+    /// Whether the round was declared abnormal. Always `false` for
+    /// suppressed (burn-in) rounds and while fewer than two prior counts
+    /// existed.
+    pub abnormal: bool,
+    /// The outlier set `O_r`, sorted ascending.
+    pub outlier_sensors: Vec<u32>,
+}
+
+/// Bounded ring of [`RoundRecord`]s owned by one detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainJournal {
+    capacity: usize,
+    /// Round index the *next* journaled round will get. Advances even while
+    /// the journal is disabled, so records keep meaningful round numbers
+    /// when journaling is switched on mid-stream.
+    next_round: u64,
+    records: VecDeque<RoundRecord>,
+}
+
+fn default_capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var(ENV_EXPLAIN)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    })
+}
+
+impl ExplainJournal {
+    /// Journal with capacity from [`ENV_EXPLAIN`] (0 = disabled).
+    pub fn from_env() -> Self {
+        Self::with_capacity(default_capacity())
+    }
+
+    /// Journal retaining the most recent `capacity` rounds.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            next_round: 0,
+            records: VecDeque::new(),
+        }
+    }
+
+    /// Whether rounds are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Ring bound in rounds (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Round index the next journaled round will receive.
+    pub fn next_round(&self) -> u64 {
+        self.next_round
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &RoundRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Resize the ring. Retained records are kept (newest-first preference
+    /// when shrinking); capacity 0 clears and disables. The round counter
+    /// is never reset — records stay aligned with the detector's history.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.records.len() > capacity {
+            self.records.pop_front();
+        }
+    }
+
+    /// Record one detection round. Called by the detector with the round
+    /// number pre-assigned via [`Self::advance`].
+    pub(crate) fn push(&mut self, record: RoundRecord) {
+        debug_assert!(self.capacity > 0, "push on a disabled journal");
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+    }
+
+    /// Claim the next round number (advances the counter).
+    pub(crate) fn advance(&mut self) -> u64 {
+        let round = self.next_round;
+        self.next_round += 1;
+        round
+    }
+
+    /// Restore persisted state (snapshot load path).
+    pub(crate) fn restore(capacity: usize, next_round: u64, records: Vec<RoundRecord>) -> Self {
+        let mut journal = Self::with_capacity(capacity);
+        journal.next_round = next_round;
+        for record in records {
+            if journal.capacity > 0 {
+                journal.push(record);
+            }
+        }
+        journal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: u64) -> RoundRecord {
+        RoundRecord {
+            round,
+            n_r: round * 2,
+            mu_pre: 1.5,
+            sigma_pre: 0.5,
+            eta_sigma: 1.5,
+            abnormal: round.is_multiple_of(2),
+            outlier_sensors: vec![1, 4],
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut journal = ExplainJournal::with_capacity(3);
+        for r in 0..5 {
+            let round = journal.advance();
+            journal.push(record(round));
+            let _ = r;
+        }
+        let rounds: Vec<u64> = journal.records().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![2, 3, 4]);
+        assert_eq!(journal.next_round(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let journal = ExplainJournal::with_capacity(0);
+        assert!(!journal.enabled());
+        assert!(journal.is_empty());
+    }
+
+    #[test]
+    fn shrink_keeps_newest() {
+        let mut journal = ExplainJournal::with_capacity(4);
+        for _ in 0..4 {
+            let round = journal.advance();
+            journal.push(record(round));
+        }
+        journal.set_capacity(2);
+        let rounds: Vec<u64> = journal.records().map(|r| r.round).collect();
+        assert_eq!(rounds, vec![2, 3]);
+        // Growing back does not resurrect evicted records.
+        journal.set_capacity(4);
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal.next_round(), 4);
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let mut journal = ExplainJournal::with_capacity(3);
+        for _ in 0..5 {
+            let round = journal.advance();
+            journal.push(record(round));
+        }
+        let records: Vec<RoundRecord> = journal.records().cloned().collect();
+        let restored = ExplainJournal::restore(journal.capacity(), journal.next_round(), records);
+        assert_eq!(restored, journal);
+    }
+}

@@ -50,6 +50,7 @@ pub mod coappearance;
 pub mod config;
 pub mod detector;
 pub mod engine;
+pub mod explain;
 pub(crate) mod metrics;
 pub mod pool;
 pub mod result;
@@ -60,6 +61,9 @@ pub use coappearance::CoappearanceTracker;
 pub use config::{CadConfig, CadConfigBuilder, EngineChoice};
 pub use detector::{CadDetector, RoundOutcome};
 pub use engine::{ExactEngine, IncrementalEngine, RoundEngine};
+// `explain::RoundRecord` stays module-scoped: `result::RoundRecord` (the
+// batch report row) already owns the top-level name.
+pub use explain::ExplainJournal;
 pub use pool::DetectorPool;
 pub use result::{Anomaly, DetectionResult, RoundRecord};
 pub use state::{load_detector, load_stream, save_detector, save_stream, StateError};

@@ -324,18 +324,43 @@ pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
 }
 
 const STREAM_MAGIC: &str = "cad-stream";
-const STREAM_VERSION: u32 = 1;
+/// v1: cursors + ring + embedded detector. v2 adds the forensics journal
+/// (`cad_core::explain`) so `/explain` survives a daemon restart. v1 files
+/// still load, with an empty journal.
+const STREAM_VERSION: u32 = 2;
 
 /// Serialise a [`StreamingCad`] wrapper: the ring buffer and its cursors,
-/// followed by the complete embedded detector state ([`save_detector`]).
-/// A restored stream resumes mid-window and produces bit-identical round
-/// outcomes to an uninterrupted one — the property the `cad-serve`
-/// graceful-shutdown path relies on.
+/// the forensics journal, then the complete embedded detector state
+/// ([`save_detector`]). A restored stream resumes mid-window and produces
+/// bit-identical round outcomes to an uninterrupted one — the property the
+/// `cad-serve` graceful-shutdown path relies on.
 pub fn save_stream<W: Write>(stream: &crate::StreamingCad, mut out: W) -> io::Result<()> {
     let (detector, ring, next, filled, fresh, total) = stream.persist_parts();
     writeln!(out, "{STREAM_MAGIC} v{STREAM_VERSION}")?;
     writeln!(out, "cursor {next} {filled} {fresh} {total}")?;
     writeln!(out, "ring {}", join_floats(ring))?;
+    let journal = detector.explain();
+    writeln!(
+        out,
+        "journal {} {} {}",
+        journal.capacity(),
+        journal.next_round(),
+        journal.len()
+    )?;
+    for rec in journal.records() {
+        let outliers: Vec<String> = rec.outlier_sensors.iter().map(|v| v.to_string()).collect();
+        writeln!(
+            out,
+            "jr {} {} {} {} {} {} {}",
+            rec.round,
+            rec.n_r,
+            u8::from(rec.abnormal),
+            rec.mu_pre,
+            rec.sigma_pre,
+            rec.eta_sigma,
+            outliers.join(" ")
+        )?;
+    }
     save_detector(detector, out)
 }
 
@@ -360,9 +385,45 @@ pub fn load_stream<R: Read>(input: R) -> Result<crate::StreamingCad, StateError>
     let fresh: usize = parse(it.next().unwrap_or(""), "cursor fresh")?;
     let total: usize = parse(it.next().unwrap_or(""), "cursor total")?;
     let ring: Vec<f64> = parse_list(lines.expect("ring")?, "ring value")?;
+    // v1 predates the forensics journal: those streams load with an empty,
+    // disabled journal (capacity can be raised after restore).
+    let journal = if version >= 2 {
+        let header = lines.expect("journal")?.to_string();
+        let mut it = header.split_whitespace();
+        let capacity: usize = parse(it.next().unwrap_or(""), "journal capacity")?;
+        let next_round: u64 = parse(it.next().unwrap_or(""), "journal next_round")?;
+        let len: usize = parse(it.next().unwrap_or(""), "journal len")?;
+        if len > capacity {
+            return Err(fmt_err("journal holds more records than its capacity"));
+        }
+        let mut records = Vec::with_capacity(len);
+        for _ in 0..len {
+            let line = lines.expect("jr")?.to_string();
+            let mut it = line.split_whitespace();
+            records.push(crate::explain::RoundRecord {
+                round: parse(it.next().unwrap_or(""), "jr round")?,
+                n_r: parse(it.next().unwrap_or(""), "jr n_r")?,
+                abnormal: match it.next().unwrap_or("") {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(fmt_err(format!("bad jr abnormal flag {other:?}"))),
+                },
+                mu_pre: parse(it.next().unwrap_or(""), "jr mu_pre")?,
+                sigma_pre: parse(it.next().unwrap_or(""), "jr sigma_pre")?,
+                eta_sigma: parse(it.next().unwrap_or(""), "jr eta_sigma")?,
+                outlier_sensors: it
+                    .map(|tok| parse(tok, "jr outlier id"))
+                    .collect::<Result<Vec<u32>, _>>()?,
+            });
+        }
+        crate::explain::ExplainJournal::restore(capacity, next_round, records)
+    } else {
+        crate::explain::ExplainJournal::with_capacity(0)
+    };
     // The detector state follows in the same reader; `load_detector`
     // consumes the remaining lines.
-    let detector = load_detector(lines.reader)?;
+    let mut detector = load_detector(lines.reader)?;
+    detector.restore_explain(journal);
     let w = detector.config().window.w;
     let n = detector.n_sensors();
     if ring.len() != n * w {
@@ -507,6 +568,47 @@ mod tests {
     }
 
     #[test]
+    fn stream_journal_roundtrips() {
+        use crate::StreamingCad;
+        let data = mts(700);
+        let mut det = CadDetector::new(4, config());
+        det.set_explain_capacity(8);
+        let mut live = StreamingCad::new(det);
+        for t in 0..500 {
+            live.push_sample(&data.column(t));
+        }
+        assert!(
+            !live.detector().explain().is_empty(),
+            "journal should have captured rounds"
+        );
+        let mut buf = Vec::new();
+        save_stream(&live, &mut buf).expect("save stream");
+        let restored = load_stream(buf.as_slice()).expect("load stream");
+        assert_eq!(restored.detector().explain(), live.detector().explain());
+    }
+
+    #[test]
+    fn v1_stream_loads_with_empty_journal() {
+        use crate::StreamingCad;
+        let det = CadDetector::new(4, config());
+        let stream = StreamingCad::new(det);
+        let mut buf = Vec::new();
+        save_stream(&stream, &mut buf).expect("save stream");
+        let text = String::from_utf8(buf).expect("UTF-8");
+        // Rewrite as a v1 snapshot: drop the journal section.
+        let v1: String = text
+            .replace("cad-stream v2", "cad-stream v1")
+            .lines()
+            .filter(|l| !l.starts_with("journal") && !l.starts_with("jr "))
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let restored = load_stream(v1.as_bytes()).expect("v1 stream load");
+        assert_eq!(restored.detector().explain().capacity(), 0);
+        assert!(restored.detector().explain().is_empty());
+    }
+
+    #[test]
     fn stream_roundtrip_incremental_engine() {
         assert_stream_roundtrip(EngineChoice::Incremental { rebuild_every: 50 });
     }
@@ -519,7 +621,7 @@ mod tests {
         let mut buf = Vec::new();
         save_stream(&stream, &mut buf).expect("save stream");
         let text = String::from_utf8(buf).expect("UTF-8");
-        assert!(text.starts_with("cad-stream v1\n"));
+        assert!(text.starts_with("cad-stream v2\n"));
         let corrupt: String = text
             .lines()
             .map(|l| {

@@ -109,6 +109,13 @@ impl StreamingCad {
         &self.detector
     }
 
+    /// Resize the embedded detector's forensics ring (see
+    /// [`crate::explain`]): retain the most recent `capacity` detection
+    /// rounds, 0 disables journaling.
+    pub fn set_explain_capacity(&mut self, capacity: usize) {
+        self.detector.set_explain_capacity(capacity);
+    }
+
     /// Persistence access: `(detector, ring, next, filled, fresh, total)`.
     /// Everything `save_stream` (see `cad_core::state`) needs to rebuild a
     /// bit-identical wrapper around the persisted detector.

@@ -1,0 +1,104 @@
+//! Minimal JSON rendering helpers for the ops plane.
+//!
+//! `cad-serve`'s HTTP endpoints (`/tracez`, `/sessions`, `/explain`)
+//! emit JSON without a serialization dependency; these helpers keep the
+//! escaping rules and number formatting in one audited place instead of
+//! scattered `format!` calls. Only *rendering* is provided — the stack
+//! never parses JSON.
+
+use std::fmt::Write;
+
+/// Append `s` to `out` as a JSON string literal (including the
+/// surrounding quotes), escaping `"`, `\`, the two-character escapes for
+/// common control characters, and `\u00XX` for the rest of C0.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render `s` as a standalone JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_json_str(&mut out, s);
+    out
+}
+
+/// Render an `f64` as a JSON value. JSON has no NaN/Infinity tokens, so
+/// non-finite values render as strings (`"NaN"`, `"inf"`, `"-inf"`) —
+/// lossy for machines but unambiguous, and the native protocol carries
+/// the exact bits for callers that need them.
+pub fn json_f64(v: f64) -> String {
+    if v.is_nan() {
+        "\"NaN\"".into()
+    } else if v.is_infinite() {
+        if v > 0.0 { "\"inf\"" } else { "\"-inf\"" }.into()
+    } else {
+        // `Display` for f64 is the shortest representation that parses
+        // back to the same bits — valid JSON for every finite value.
+        v.to_string()
+    }
+}
+
+/// Render an iterator of pre-rendered JSON values as a JSON array.
+pub fn json_array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_quotes_backslashes_and_controls() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("a\\b"), "\"a\\\\b\"");
+        assert_eq!(
+            json_str("line\nbreak\ttab\rcr"),
+            "\"line\\nbreak\\ttab\\rcr\""
+        );
+        assert_eq!(json_str("\u{1}\u{1f}"), "\"\\u0001\\u001f\"");
+        // Non-ASCII passes through unescaped (JSON is UTF-8).
+        assert_eq!(json_str("µ±η"), "\"µ±η\"");
+    }
+
+    #[test]
+    fn floats_render_finite_values_and_tag_nonfinite() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.0), "0");
+        assert_eq!(json_f64(-0.25), "-0.25");
+        assert_eq!(json_f64(f64::NAN), "\"NaN\"");
+        assert_eq!(json_f64(f64::INFINITY), "\"inf\"");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "\"-inf\"");
+    }
+
+    #[test]
+    fn arrays_join_with_commas() {
+        assert_eq!(json_array(Vec::<String>::new()), "[]");
+        assert_eq!(
+            json_array(vec!["1".to_string(), "\"x\"".to_string()]),
+            "[1,\"x\"]"
+        );
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod counter;
 pub mod hist;
+pub mod json;
 pub mod registry;
 pub mod snapshot;
 pub mod trace;
@@ -31,6 +32,7 @@ pub use counter::{Counter, Gauge};
 pub use hist::{
     bucket_bounds, bucket_index, Histogram, N_BUCKETS, QUANTILE_RELATIVE_ERROR, SUB_BITS,
 };
+pub use json::{json_array, json_f64, json_str, push_json_str};
 pub use registry::{global, Registry};
 pub use snapshot::{
     CounterSample, DecodeError, GaugeSample, HistogramSample, MetricsSnapshot, DUMP_MAGIC,

@@ -358,9 +358,14 @@ fn render_labels(labels: &[(String, String)], quantile: Option<&str>) -> String 
             out.push(',');
         }
         first = false;
+        // Prometheus exposition escapes exactly backslash, double quote
+        // and newline inside label values — backslash first, or the
+        // escapes it introduces would be escaped again.
         out.push_str(&format!(
             "{k}=\"{}\"",
-            v.replace('\\', "\\\\").replace('"', "\\\"")
+            v.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
         ));
     }
     if let Some(q) = quantile {
@@ -463,6 +468,37 @@ mod tests {
             text.contains("serve_push_latency_nanos_sum{shard=\"1\"} 1234\n"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        let snap = MetricsSnapshot {
+            counters: vec![CounterSample {
+                name: "cad_test_total".into(),
+                labels: vec![("path".into(), "a\\b \"quoted\"\nnext \\n literal".into())],
+                value: 1,
+            }],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        let text = snap.render_text();
+        // The exposition format escapes exactly \, " and newline; a
+        // pre-existing `\n` in the value must come out as `\\n`, not be
+        // confused with an escaped newline.
+        assert!(
+            text.contains(
+                "cad_test_total{path=\"a\\\\b \\\"quoted\\\"\\nnext \\\\n literal\"} 1\n"
+            ),
+            "{text}"
+        );
+        // No raw newline may survive inside a label value: every line is
+        // either a comment or ends after the sample value.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.ends_with(" 1"),
+                "sample line split by unescaped newline: {line:?}"
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! | `CAD_SERVE_QUEUE`        | `8192`           | ingress capacity in ticks       |
 //! | `CAD_SERVE_MAX_CONNS`    | `1024`           | concurrent connection cap       |
 //! | `CAD_SERVE_SNAPSHOT_DIR` | unset            | snapshot/restore directory      |
+//! | `CAD_OPS_ADDR`           | unset            | HTTP ops-plane bind address     |
+//! | `CAD_EXPLAIN_ROUNDS`     | `256`            | forensics journal bound (0 off) |
 //! | `CAD_OBS_DUMP`           | unset            | write metrics text here on exit |
 //!
 //! Shutdown is graceful on a client `Shutdown` frame: the queue drains
@@ -46,6 +48,8 @@ fn main() {
     cfg.snapshot_dir = std::env::var("CAD_SERVE_SNAPSHOT_DIR")
         .ok()
         .map(PathBuf::from);
+    cfg.ops_addr = std::env::var("CAD_OPS_ADDR").ok();
+    cfg.explain_rounds = env_usize("CAD_EXPLAIN_ROUNDS", cfg.explain_rounds);
 
     let server = match CadServer::bind(cfg.clone()) {
         Ok(s) => s,
@@ -55,6 +59,9 @@ fn main() {
         }
     };
     let addr = server.local_addr().expect("local_addr");
+    if let Some(ops) = server.local_ops_addr() {
+        eprintln!("cad-serve: ops plane on http://{ops} (/metrics /healthz /readyz /tracez /sessions /explain)");
+    }
     eprintln!(
         "cad-serve: listening on {addr} ({} shards, {} max sessions, queue {} ticks, snapshots: {})",
         cfg.shards,

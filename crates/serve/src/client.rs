@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use crate::protocol::{
     read_frame, write_frame, Frame, ProtoError, ServerStats, SessionSpec, WireOutcome,
+    WireRoundRecord,
 };
 
 /// Outcome of one [`ServeClient::push_samples`] call.
@@ -240,6 +241,17 @@ impl ServeClient {
     pub fn metrics(&mut self) -> Result<cad_obs::MetricsSnapshot, ClientError> {
         let dump = self.metrics_raw()?;
         cad_obs::MetricsSnapshot::decode(&dump).map_err(|_| ClientError::Unexpected("metrics dump"))
+    }
+
+    /// One session's forensics journal: the most recent per-round
+    /// records (μ/σ before the update, the η·σ bound, the verdict and
+    /// the outlier sensor set), oldest first. Empty when the server runs
+    /// with journaling disabled.
+    pub fn explain(&mut self, session_id: u64) -> Result<Vec<WireRoundRecord>, ClientError> {
+        match self.request(&Frame::ExplainRequest { session_id })? {
+            Frame::ExplainReply { records, .. } => Ok(records),
+            _ => Err(ClientError::Unexpected("explain")),
+        }
     }
 
     /// Request graceful shutdown. Returns the number of live sessions the

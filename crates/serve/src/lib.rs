@@ -19,6 +19,7 @@
 
 pub mod client;
 pub(crate) mod metrics;
+pub mod ops;
 pub mod protocol;
 pub mod server;
 pub mod session;
@@ -26,10 +27,12 @@ pub mod session;
 pub use client::{ClientError, PushResult, ServeClient, SessionHandle};
 pub use protocol::{
     codes, max_push_ticks, Frame, FrameReader, ServerStats, SessionSpec, SessionStats, WireEngine,
-    WireOutcome,
+    WireOutcome, WireRoundRecord,
 };
 pub use server::{CadServer, ServeConfig, ShutdownHandle};
-pub use session::{Command, Counters, EnqueueError, ManagerConfig, Reply, SessionManager};
+pub use session::{
+    Command, Counters, EnqueueError, ManagerConfig, Reply, SessionManager, SessionRow,
+};
 
 #[cfg(test)]
 mod tests {

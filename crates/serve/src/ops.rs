@@ -1,0 +1,621 @@
+//! The ops plane: a std-only HTTP/1.1 GET endpoint for scrapes and
+//! forensics.
+//!
+//! `cad-serve` exposes a *second* listener (config `ops_addr`, daemon
+//! env `CAD_OPS_ADDR`, off by default) speaking just enough HTTP for
+//! `curl` and a Prometheus scraper:
+//!
+//! | Path                     | Body                                           |
+//! |--------------------------|------------------------------------------------|
+//! | `/healthz`               | `ok` while the process is up                   |
+//! | `/readyz`                | `ready`, or 503 `draining` once shutdown began |
+//! | `/metrics`               | Prometheus text exposition of the global registry |
+//! | `/tracez`                | JSON dump of the trace ring (with seq numbers) |
+//! | `/sessions`              | JSON per-shard session table                   |
+//! | `/explain/<session_id>`  | JSON forensics journal for one session         |
+//!
+//! The accept loop runs on its own thread with one short-lived thread
+//! per connection, so scrapes stay responsive while every ingress queue
+//! sits in backpressure: `/healthz`, `/readyz`, `/metrics` and `/tracez`
+//! never touch the session queue at all, and `/sessions` / `/explain`
+//! give up with a 503 after [`QUEUE_REPLY_TIMEOUT`] instead of blocking
+//! a scraper behind a saturated pump. Handlers deliberately record **no
+//! metrics**: a `/metrics` scrape must render byte-identically to a
+//! native-protocol `MetricsRequest` taken in the same quiesced state.
+//!
+//! Request parsing is bounded and defensive: request lines over
+//! [`MAX_REQUEST_LINE`] bytes earn a 431, heads over [`MAX_HEAD_BYTES`]
+//! likewise, non-GET methods a 405, unknown paths a 404, and a peer that
+//! stalls mid-request (slow loris) hits the socket read timeout and is
+//! dropped with a best-effort 408 — without wedging the accept thread.
+//! Every response carries `Connection: close`; keep-alive is
+//! intentionally not offered.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use cad_obs::{json_array, json_f64, json_str, TraceEvent, TracedEvent};
+
+use crate::protocol::{codes, WireRoundRecord};
+use crate::server::ShutdownHandle;
+use crate::session::{Command, EnqueueError, Reply, SessionManager, SessionRow};
+
+/// Longest accepted request line (method + path + version), in bytes.
+pub const MAX_REQUEST_LINE: usize = 2048;
+/// Longest accepted request head (request line + all headers), in bytes.
+pub const MAX_HEAD_BYTES: usize = 8192;
+/// How long `/sessions` and `/explain` wait for the session pump before
+/// answering 503; keeps scrapers from queuing behind backpressure.
+pub const QUEUE_REPLY_TIMEOUT: Duration = Duration::from_secs(2);
+/// Concurrent ops connections; beyond this, accepts are dropped.
+const MAX_OPS_CONNECTIONS: usize = 32;
+
+/// Everything an ops handler needs, cloneable per connection.
+#[derive(Clone)]
+pub(crate) struct OpsShared {
+    pub(crate) manager: SessionManager,
+    pub(crate) shutdown: ShutdownHandle,
+    pub(crate) read_timeout: Duration,
+    pub(crate) write_timeout: Duration,
+}
+
+/// Run the ops accept loop until shutdown; one thread per connection,
+/// reaped as they finish. Mirrors the main accept loop's structure.
+pub(crate) fn run_ops(listener: TcpListener, shared: OpsShared) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.requested() {
+        handlers.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if handlers.len() >= MAX_OPS_CONNECTIONS {
+                    // Scrapers retry; dropping beats queueing unboundedly.
+                    drop(stream);
+                    continue;
+                }
+                let shared = shared.clone();
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("cad-serve-ops-conn".into())
+                    .spawn(move || handle_ops_connection(stream, &shared))
+                {
+                    handlers.push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// Serve exactly one request on `stream`, then close.
+pub(crate) fn handle_ops_connection(stream: TcpStream, shared: &OpsShared) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (status, reason, content_type, body) = match read_request(&stream) {
+        Ok(request) => respond(&request, shared),
+        Err(RequestError::LineTooLong) => http_431(),
+        Err(RequestError::TimedOut) => (408, "Request Timeout", TEXT, "timeout\n".into()),
+        Err(RequestError::Io) => return,
+    };
+    let _ = write_response(&mut writer, status, reason, content_type, body.as_bytes());
+}
+
+const TEXT: &str = "text/plain; charset=utf-8";
+/// The content type Prometheus scrapers negotiate for the text format.
+const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+const JSON: &str = "application/json";
+
+type Response = (u16, &'static str, &'static str, String);
+
+fn http_431() -> Response {
+    (
+        431,
+        "Request Header Fields Too Large",
+        TEXT,
+        "request line or headers too large\n".into(),
+    )
+}
+
+struct Request {
+    method: String,
+    /// Path with any query string stripped.
+    path: String,
+}
+
+enum RequestError {
+    /// Request line or head exceeded its bound.
+    LineTooLong,
+    /// The peer stalled mid-request (slow loris) past the read timeout.
+    TimedOut,
+    /// Any other transport failure — not worth a response.
+    Io,
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => RequestError::TimedOut,
+            _ => RequestError::Io,
+        }
+    }
+}
+
+/// Read one bounded request head: the request line, then headers until
+/// the blank line (discarded — no header influences routing).
+fn read_request(stream: &TcpStream) -> Result<Request, RequestError> {
+    // The `take` bounds the whole head; hitting it mid-line shows up as
+    // an unterminated (hence "too long") line below.
+    let mut reader = BufReader::new(stream.take(MAX_HEAD_BYTES as u64));
+    let request_line = read_head_line(&mut reader, MAX_REQUEST_LINE)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("");
+    let path = target.split('?').next().unwrap_or("").to_string();
+    loop {
+        let line = read_head_line(&mut reader, MAX_HEAD_BYTES)?;
+        if line.is_empty() {
+            break;
+        }
+    }
+    Ok(Request { method, path })
+}
+
+/// Read one CRLF- (or LF-) terminated line of at most `max` bytes.
+fn read_head_line<R: BufRead>(reader: &mut R, max: usize) -> Result<String, RequestError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf().map_err(RequestError::from)?;
+        if buf.is_empty() {
+            // EOF before the terminator: either a truncated request or
+            // the head bound was exhausted — both read as oversized.
+            return Err(RequestError::LineTooLong);
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let upto = newline.map(|i| i + 1).unwrap_or(buf.len());
+        if line.len() + upto > max + 2 {
+            return Err(RequestError::LineTooLong);
+        }
+        line.extend_from_slice(&buf[..upto]);
+        reader.consume(upto);
+        if newline.is_some() {
+            break;
+        }
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    if line.len() > max {
+        return Err(RequestError::LineTooLong);
+    }
+    Ok(String::from_utf8_lossy(&line).into_owned())
+}
+
+/// Route one parsed request. Pure except for the queue round-trips.
+fn respond(request: &Request, shared: &OpsShared) -> Response {
+    if request.method != "GET" {
+        return (
+            405,
+            "Method Not Allowed",
+            TEXT,
+            "only GET is supported\n".into(),
+        );
+    }
+    match request.path.as_str() {
+        "/healthz" => (200, "OK", TEXT, "ok\n".into()),
+        "/readyz" => {
+            if shared.shutdown.requested() {
+                (503, "Service Unavailable", TEXT, "draining\n".into())
+            } else {
+                (200, "OK", TEXT, "ready\n".into())
+            }
+        }
+        "/metrics" => (
+            200,
+            "OK",
+            PROM_TEXT,
+            cad_obs::global().snapshot().render_text(),
+        ),
+        "/tracez" => (200, "OK", JSON, render_tracez()),
+        "/sessions" => sessions_response(shared),
+        path => match path.strip_prefix("/explain/") {
+            Some(id) => explain_response(id, shared),
+            None => (404, "Not Found", TEXT, "unknown path\n".into()),
+        },
+    }
+}
+
+/// Submit one pump command and wait briefly; a saturated or shutting
+/// down pump answers 503 rather than blocking the scraper.
+fn queue_round_trip(
+    shared: &OpsShared,
+    cmd: Command,
+    rx: &mpsc::Receiver<Reply>,
+) -> Result<Reply, Response> {
+    match shared.manager.enqueue(cmd) {
+        Err(EnqueueError::ShuttingDown) => Err((
+            503,
+            "Service Unavailable",
+            TEXT,
+            "server is shutting down\n".into(),
+        )),
+        Ok(_) => rx.recv_timeout(QUEUE_REPLY_TIMEOUT).map_err(|_| {
+            (
+                503,
+                "Service Unavailable",
+                TEXT,
+                "session pump did not answer in time\n".into(),
+            )
+        }),
+    }
+}
+
+fn sessions_response(shared: &OpsShared) -> Response {
+    let (tx, rx) = mpsc::channel();
+    match queue_round_trip(shared, Command::SessionTable { reply: tx }, &rx) {
+        Err(resp) => resp,
+        Ok(Reply::Sessions(rows)) => (
+            200,
+            "OK",
+            JSON,
+            format!(
+                "{{\"queue_depth\":{},\"sessions\":{}}}",
+                shared.manager.queue_depth(),
+                json_array(rows.iter().map(render_session_row))
+            ),
+        ),
+        Ok(_) => internal_error(),
+    }
+}
+
+fn explain_response(raw_id: &str, shared: &OpsShared) -> Response {
+    let Ok(session_id) = raw_id.parse::<u64>() else {
+        return (
+            400,
+            "Bad Request",
+            TEXT,
+            "session id must be a decimal u64\n".into(),
+        );
+    };
+    let (tx, rx) = mpsc::channel();
+    match queue_round_trip(
+        shared,
+        Command::Explain {
+            session_id,
+            reply: tx,
+        },
+        &rx,
+    ) {
+        Err(resp) => resp,
+        Ok(Reply::Explained(records)) => (
+            200,
+            "OK",
+            JSON,
+            format!(
+                "{{\"session_id\":{},\"records\":{}}}",
+                session_id,
+                json_array(records.iter().map(render_round_record))
+            ),
+        ),
+        Ok(Reply::Failed { code, message }) if code == codes::UNKNOWN_SESSION => {
+            (404, "Not Found", TEXT, format!("{message}\n"))
+        }
+        Ok(Reply::Failed { message, .. }) => {
+            (503, "Service Unavailable", TEXT, format!("{message}\n"))
+        }
+        Ok(_) => internal_error(),
+    }
+}
+
+fn internal_error() -> Response {
+    (
+        500,
+        "Internal Server Error",
+        TEXT,
+        "unexpected pump reply\n".into(),
+    )
+}
+
+/// One forensics record as a JSON object; floats render via `Display`
+/// (shortest round-trip form), so parsing them back recovers the bits.
+fn render_round_record(r: &WireRoundRecord) -> String {
+    format!(
+        "{{\"round\":{},\"n_r\":{},\"mu_pre\":{},\"sigma_pre\":{},\"eta_sigma\":{},\
+         \"abnormal\":{},\"outlier_sensors\":{}}}",
+        r.round,
+        r.n_r,
+        json_f64(r.mu_pre()),
+        json_f64(r.sigma_pre()),
+        json_f64(r.eta_sigma()),
+        r.abnormal,
+        json_array(r.outlier_sensors.iter().map(|s| s.to_string())),
+    )
+}
+
+fn render_session_row(row: &SessionRow) -> String {
+    format!(
+        "{{\"shard\":{},\"session_id\":{},\"n_sensors\":{},\"samples_seen\":{},\
+         \"rounds\":{},\"anomalies\":{},\"resumed\":{}}}",
+        row.shard,
+        row.session_id,
+        row.n_sensors,
+        row.samples_seen,
+        row.rounds,
+        row.anomalies,
+        row.resumed,
+    )
+}
+
+/// The trace ring as JSON, newest last, without draining it.
+fn render_tracez() -> String {
+    let events = cad_obs::tracer().events();
+    format!(
+        "{{\"enabled\":{},\"events\":{}}}",
+        cad_obs::tracer().enabled(),
+        json_array(events.iter().map(render_traced_event))
+    )
+}
+
+fn render_traced_event(e: &TracedEvent) -> String {
+    let (name, field, value) = match e.event {
+        TraceEvent::RoundEvaluated { n_r, abnormal } => {
+            return format!(
+                "{{\"seq\":{},\"type\":\"RoundEvaluated\",\"n_r\":{n_r},\"abnormal\":{abnormal}}}",
+                e.seq
+            );
+        }
+        TraceEvent::AnomalyFlagged { n_r } => ("AnomalyFlagged", "n_r", n_r),
+        TraceEvent::RebuildTriggered {
+            rounds_since_rebuild,
+        } => (
+            "RebuildTriggered",
+            "rounds_since_rebuild",
+            rounds_since_rebuild,
+        ),
+        TraceEvent::BackpressureEntered { queue_depth } => {
+            ("BackpressureEntered", "queue_depth", queue_depth)
+        }
+        TraceEvent::BackpressureExited { waited_nanos } => {
+            ("BackpressureExited", "waited_nanos", waited_nanos)
+        }
+        TraceEvent::SessionCreated { session_id } => ("SessionCreated", "session_id", session_id),
+        TraceEvent::SessionDropped { session_id } => ("SessionDropped", "session_id", session_id),
+        TraceEvent::SessionPanicked { session_id } => ("SessionPanicked", "session_id", session_id),
+        TraceEvent::SnapshotSaved { session_id } => ("SnapshotSaved", "session_id", session_id),
+        TraceEvent::SnapshotLoaded { session_id } => ("SnapshotLoaded", "session_id", session_id),
+    };
+    format!(
+        "{{\"seq\":{},\"type\":{},{}:{value}}}",
+        e.seq,
+        json_str(name),
+        json_str(field)
+    )
+}
+
+/// Write one complete response; always `Connection: close`.
+fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::SessionSpec;
+    use crate::session::{ManagerConfig, SessionManager};
+    use std::net::TcpListener;
+
+    /// A live ops listener over a real manager + pump; returns the
+    /// address, the manager (for seeding sessions), and the teardown.
+    struct OpsFixture {
+        addr: std::net::SocketAddr,
+        manager: SessionManager,
+        shutdown: ShutdownHandle,
+        ops: Option<std::thread::JoinHandle<io::Result<()>>>,
+        pump: Option<std::thread::JoinHandle<usize>>,
+    }
+
+    fn fixture() -> OpsFixture {
+        let (manager, pump) = SessionManager::new(ManagerConfig {
+            shards: 1,
+            explain_rounds: 16,
+            ..ManagerConfig::default()
+        })
+        .expect("manager");
+        let pump = std::thread::spawn(move || pump.run());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shutdown = ShutdownHandle::new();
+        let shared = OpsShared {
+            manager: manager.clone(),
+            shutdown: shutdown.clone(),
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(5),
+        };
+        let ops = std::thread::spawn(move || run_ops(listener, shared));
+        OpsFixture {
+            addr,
+            manager,
+            shutdown,
+            ops: Some(ops),
+            pump: Some(pump),
+        }
+    }
+
+    impl Drop for OpsFixture {
+        fn drop(&mut self) {
+            self.shutdown.request();
+            if let Some(h) = self.ops.take() {
+                let _ = h.join();
+            }
+            self.manager.close();
+            if let Some(h) = self.pump.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Send raw bytes, read the whole response, return it as a string.
+    fn raw_request(addr: std::net::SocketAddr, bytes: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        stream.write_all(bytes).expect("write");
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        out
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        raw_request(
+            addr,
+            format!("GET {path} HTTP/1.1\r\nHost: cad\r\n\r\n").as_bytes(),
+        )
+    }
+
+    fn status_of(response: &str) -> u16 {
+        response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn health_ready_and_metrics_answer_200() {
+        let fx = fixture();
+        assert_eq!(status_of(&get(fx.addr, "/healthz")), 200);
+        assert_eq!(status_of(&get(fx.addr, "/readyz")), 200);
+        let metrics = get(fx.addr, "/metrics");
+        assert_eq!(status_of(&metrics), 200);
+        assert!(metrics.contains("Connection: close"), "{metrics}");
+    }
+
+    #[test]
+    fn readyz_reports_draining_after_shutdown_request() {
+        let fx = fixture();
+        fx.shutdown.request();
+        // The accept loop may exit before we connect; only assert when a
+        // response made it back.
+        if let Ok(mut stream) = TcpStream::connect(fx.addr) {
+            let _ = stream.write_all(b"GET /readyz HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            let _ = stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .and_then(|_| stream.read_to_string(&mut out).map(|_| ()));
+            if !out.is_empty() {
+                assert_eq!(status_of(&out), 503);
+                assert!(out.contains("draining"), "{out}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_non_get_is_405() {
+        let fx = fixture();
+        assert_eq!(status_of(&get(fx.addr, "/nope")), 404);
+        let post = raw_request(fx.addr, b"POST /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(status_of(&post), 405);
+    }
+
+    #[test]
+    fn oversized_request_line_is_431() {
+        let fx = fixture();
+        let long_path = "a".repeat(MAX_REQUEST_LINE + 10);
+        let response = raw_request(
+            fx.addr,
+            format!("GET /{long_path} HTTP/1.1\r\n\r\n").as_bytes(),
+        );
+        assert_eq!(status_of(&response), 431);
+        // Oversized heads (many headers) hit the same bound.
+        let many_headers = format!(
+            "GET /healthz HTTP/1.1\r\n{}\r\n",
+            "X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n".repeat(400)
+        );
+        assert_eq!(
+            status_of(&raw_request(fx.addr, many_headers.as_bytes())),
+            431
+        );
+    }
+
+    #[test]
+    fn slow_loris_times_out_without_wedging_the_ops_plane() {
+        let fx = fixture();
+        // A partial request line, then silence past the read timeout.
+        let mut loris = TcpStream::connect(fx.addr).expect("connect");
+        loris.write_all(b"GET /heal").expect("write");
+        loris
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut out = String::new();
+        let _ = loris.read_to_string(&mut out);
+        // The handler dropped it — either silently or with a 408.
+        if !out.is_empty() {
+            assert_eq!(status_of(&out), 408);
+        }
+        // And the plane still answers fresh requests.
+        assert_eq!(status_of(&get(fx.addr, "/healthz")), 200);
+    }
+
+    #[test]
+    fn explain_rejects_bad_ids_and_unknown_sessions() {
+        let fx = fixture();
+        assert_eq!(status_of(&get(fx.addr, "/explain/not-a-number")), 400);
+        assert_eq!(status_of(&get(fx.addr, "/explain/999")), 404);
+    }
+
+    #[test]
+    fn sessions_and_explain_render_live_state() {
+        let fx = fixture();
+        let (tx, rx) = mpsc::channel();
+        fx.manager
+            .enqueue(Command::Create {
+                session_id: 7,
+                spec: SessionSpec::new(4, 16, 4),
+                reply: tx,
+            })
+            .expect("enqueue");
+        assert!(matches!(rx.recv().expect("reply"), Reply::Created { .. }));
+        let sessions = get(fx.addr, "/sessions");
+        assert_eq!(status_of(&sessions), 200);
+        assert!(sessions.contains("\"session_id\":7"), "{sessions}");
+        assert!(sessions.contains("\"queue_depth\":"), "{sessions}");
+        let explain = get(fx.addr, "/explain/7");
+        assert_eq!(status_of(&explain), 200);
+        assert!(explain.contains("\"records\":["), "{explain}");
+    }
+
+    #[test]
+    fn tracez_is_json_shaped() {
+        let fx = fixture();
+        let tracez = get(fx.addr, "/tracez");
+        assert_eq!(status_of(&tracez), 200);
+        assert!(tracez.contains("\"events\":["), "{tracez}");
+    }
+}

@@ -139,6 +139,60 @@ impl WireOutcome {
     }
 }
 
+/// One forensics-journal entry as it travels in a [`Frame::ExplainReply`].
+///
+/// Mirrors `cad_core::explain::RoundRecord`; the three statistics travel
+/// as raw IEEE-754 bits so the record is byte-identical across the wire
+/// (the `/explain` parity suite depends on it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRoundRecord {
+    /// Detection round index (0-based).
+    pub round: u64,
+    /// Outlier-variation count `n_r`.
+    pub n_r: u64,
+    /// Pre-update mean μ as raw bits.
+    pub mu_pre_bits: u64,
+    /// Pre-update standard deviation σ as raw bits.
+    pub sigma_pre_bits: u64,
+    /// The verdict threshold η·σ as raw bits.
+    pub eta_sigma_bits: u64,
+    /// The η·σ verdict.
+    pub abnormal: bool,
+    /// The outlier set `O_r`, sorted.
+    pub outlier_sensors: Vec<u32>,
+}
+
+impl WireRoundRecord {
+    /// Pre-update mean μ as a float.
+    pub fn mu_pre(&self) -> f64 {
+        f64::from_bits(self.mu_pre_bits)
+    }
+
+    /// Pre-update standard deviation σ as a float.
+    pub fn sigma_pre(&self) -> f64 {
+        f64::from_bits(self.sigma_pre_bits)
+    }
+
+    /// The verdict threshold η·σ as a float.
+    pub fn eta_sigma(&self) -> f64 {
+        f64::from_bits(self.eta_sigma_bits)
+    }
+}
+
+impl From<&cad_core::explain::RoundRecord> for WireRoundRecord {
+    fn from(rec: &cad_core::explain::RoundRecord) -> Self {
+        Self {
+            round: rec.round,
+            n_r: rec.n_r,
+            mu_pre_bits: rec.mu_pre.to_bits(),
+            sigma_pre_bits: rec.sigma_pre.to_bits(),
+            eta_sigma_bits: rec.eta_sigma.to_bits(),
+            abnormal: rec.abnormal,
+            outlier_sensors: rec.outlier_sensors.clone(),
+        }
+    }
+}
+
 /// Per-session counters reported by [`Frame::StatsReply`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionStats {
@@ -301,6 +355,20 @@ pub enum Frame {
         /// Encoded [`cad_obs::MetricsSnapshot`] bytes.
         dump: Vec<u8>,
     },
+    /// Request one session's forensics journal (per-round detection
+    /// records; see `cad_core::explain`).
+    ExplainRequest {
+        /// Session to explain.
+        session_id: u64,
+    },
+    /// The retained forensics records, oldest first. Empty when journaling
+    /// is disabled for the session.
+    ExplainReply {
+        /// Echoed session id.
+        session_id: u64,
+        /// Retained per-round records, oldest first.
+        records: Vec<WireRoundRecord>,
+    },
 }
 
 impl Frame {
@@ -325,6 +393,8 @@ impl Frame {
             Frame::Error { .. } => 16,
             Frame::MetricsRequest => 17,
             Frame::MetricsReply { .. } => 18,
+            Frame::ExplainRequest { .. } => 19,
+            Frame::ExplainReply { .. } => 20,
         }
     }
 }
@@ -444,6 +514,15 @@ impl Enc {
         self.u64(s.rounds);
         self.u64(s.anomalies);
     }
+    fn round_record(&mut self, r: &WireRoundRecord) {
+        self.u64(r.round);
+        self.u64(r.n_r);
+        self.u64(r.mu_pre_bits);
+        self.u64(r.sigma_pre_bits);
+        self.u64(r.eta_sigma_bits);
+        self.u8(r.abnormal as u8);
+        self.u32s(&r.outlier_sensors);
+    }
 }
 
 // ---------------------------------------------------------------- decoding
@@ -560,6 +639,17 @@ impl<'a> Dec<'a> {
             anomalies: self.u64()?,
         })
     }
+    fn round_record(&mut self) -> Result<WireRoundRecord, ProtoError> {
+        Ok(WireRoundRecord {
+            round: self.u64()?,
+            n_r: self.u64()?,
+            mu_pre_bits: self.u64()?,
+            sigma_pre_bits: self.u64()?,
+            eta_sigma_bits: self.u64()?,
+            abnormal: self.bool()?,
+            outlier_sensors: self.u32s()?,
+        })
+    }
     fn finish(self) -> Result<(), ProtoError> {
         if self.pos != self.buf.len() {
             return Err(corrupt(format!(
@@ -658,6 +748,17 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Backpressure { queue_depth } => e.u32(*queue_depth),
         Frame::MetricsRequest => {}
         Frame::MetricsReply { dump } => e.bytes(dump),
+        Frame::ExplainRequest { session_id } => e.u64(*session_id),
+        Frame::ExplainReply {
+            session_id,
+            records,
+        } => {
+            e.u64(*session_id);
+            e.u32(records.len() as u32);
+            for r in records {
+                e.round_record(r);
+            }
+        }
         Frame::Error { code, message } => {
             e.u16(*code);
             e.string(message);
@@ -786,6 +887,20 @@ pub fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Frame, ProtoError>
         },
         17 => Frame::MetricsRequest,
         18 => Frame::MetricsReply { dump: d.bytes()? },
+        19 => Frame::ExplainRequest {
+            session_id: d.u64()?,
+        },
+        20 => {
+            let session_id = d.u64()?;
+            let n = d.len()?;
+            let records = (0..n)
+                .map(|_| d.round_record())
+                .collect::<Result<Vec<_>, _>>()?;
+            Frame::ExplainReply {
+                session_id,
+                records,
+            }
+        }
         other => return Err(corrupt(format!("unknown msg_type {other}"))),
     };
     d.finish()?;
@@ -1046,6 +1161,35 @@ mod tests {
         roundtrip(Frame::MetricsReply { dump: vec![] });
         roundtrip(Frame::MetricsReply {
             dump: (0..=255u8).collect(),
+        });
+        roundtrip(Frame::ExplainRequest { session_id: 77 });
+        roundtrip(Frame::ExplainReply {
+            session_id: 77,
+            records: vec![],
+        });
+        roundtrip(Frame::ExplainReply {
+            session_id: 77,
+            records: vec![
+                WireRoundRecord {
+                    round: 12,
+                    n_r: 4,
+                    mu_pre_bits: 2.75f64.to_bits(),
+                    sigma_pre_bits: 0.5f64.to_bits(),
+                    eta_sigma_bits: 1.5f64.to_bits(),
+                    abnormal: true,
+                    outlier_sensors: vec![1, 7, 9],
+                },
+                WireRoundRecord {
+                    round: 13,
+                    n_r: 0,
+                    // NaN and negative zero must travel bit-exactly.
+                    mu_pre_bits: f64::NAN.to_bits(),
+                    sigma_pre_bits: (-0.0f64).to_bits(),
+                    eta_sigma_bits: 0,
+                    abnormal: false,
+                    outlier_sensors: vec![],
+                },
+            ],
         });
     }
 

@@ -49,6 +49,12 @@ pub struct ServeConfig {
     /// Maximum concurrent connections; accepts beyond this are refused
     /// with an `ADMISSION` error frame instead of spawning a handler.
     pub max_connections: usize,
+    /// Ops-plane (HTTP) bind address, e.g. `127.0.0.1:7465`; `None`
+    /// (the default) disables the ops listener entirely.
+    pub ops_addr: Option<String>,
+    /// Per-session forensics journal bound in rounds (0 disables
+    /// journaling; see [`cad_core::ExplainJournal`]).
+    pub explain_rounds: usize,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +70,8 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(5),
             snapshot_dir: None,
             max_connections: 1024,
+            ops_addr: None,
+            explain_rounds: m.explain_rounds,
         }
     }
 }
@@ -74,6 +82,10 @@ impl Default for ServeConfig {
 pub struct ShutdownHandle(Arc<AtomicBool>);
 
 impl ShutdownHandle {
+    pub(crate) fn new() -> Self {
+        ShutdownHandle(Arc::new(AtomicBool::new(false)))
+    }
+
     /// Request shutdown; idempotent.
     pub fn request(&self) {
         self.0.store(true, Ordering::SeqCst);
@@ -88,6 +100,9 @@ impl ShutdownHandle {
 /// A bound, not-yet-running CAD ingestion server.
 pub struct CadServer {
     listener: TcpListener,
+    /// The ops-plane (HTTP) listener, bound eagerly so port 0 resolves
+    /// before `run` and scrape addresses are known up front.
+    ops_listener: Option<TcpListener>,
     manager: SessionManager,
     pump: SessionPump,
     shutdown: ShutdownHandle,
@@ -104,14 +119,20 @@ impl CadServer {
             max_sensors: cfg.max_sensors,
             queue_capacity: cfg.queue_capacity,
             snapshot_dir: cfg.snapshot_dir.clone(),
+            explain_rounds: cfg.explain_rounds,
         })?;
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
+        let ops_listener = match &cfg.ops_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
         Ok(CadServer {
             listener,
+            ops_listener,
             manager,
             pump,
-            shutdown: ShutdownHandle(Arc::new(AtomicBool::new(false))),
+            shutdown: ShutdownHandle::new(),
             cfg,
         })
     }
@@ -119,6 +140,11 @@ impl CadServer {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound ops-plane address, when `ops_addr` was configured.
+    pub fn local_ops_addr(&self) -> Option<SocketAddr> {
+        self.ops_listener.as_ref().and_then(|l| l.local_addr().ok())
     }
 
     /// Handle that stops [`CadServer::run`] from another thread.
@@ -132,6 +158,7 @@ impl CadServer {
     pub fn run(self) -> io::Result<usize> {
         let CadServer {
             listener,
+            ops_listener,
             manager,
             pump,
             shutdown,
@@ -140,6 +167,25 @@ impl CadServer {
         let pump_thread = std::thread::Builder::new()
             .name("cad-serve-pump".into())
             .spawn(move || pump.run())?;
+        // The ops plane accepts on its own thread so scrapes stay
+        // responsive while the data plane sits in backpressure; it polls
+        // the same shutdown flag and winds down with the accept loop.
+        let ops_thread = match ops_listener {
+            Some(l) => {
+                let shared = crate::ops::OpsShared {
+                    manager: manager.clone(),
+                    shutdown: shutdown.clone(),
+                    read_timeout: cfg.read_timeout,
+                    write_timeout: cfg.write_timeout,
+                };
+                Some(
+                    std::thread::Builder::new()
+                        .name("cad-serve-ops".into())
+                        .spawn(move || crate::ops::run_ops(l, shared))?,
+                )
+            }
+            None => None,
+        };
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !shutdown.requested() {
             // Reap finished handlers so a long-lived server holds one
@@ -175,6 +221,9 @@ impl CadServer {
         // Let in-flight handlers finish their requests (their read
         // timeouts observe the flag), then drain and persist.
         for h in handlers {
+            let _ = h.join();
+        }
+        if let Some(h) = ops_thread {
             let _ = h.join();
         }
         manager.close();
@@ -461,6 +510,22 @@ fn handle_frame<W: Write>(
             Ok(Reply::Failed { code, message }) => error_frame(code, message),
             Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
         },
+        Frame::ExplainRequest { session_id } => match submit(
+            manager,
+            Command::Explain {
+                session_id,
+                reply: tx,
+            },
+            &rx,
+        ) {
+            Err(code) => error_frame(code, "server is shutting down"),
+            Ok(Reply::Explained(records)) => Frame::ExplainReply {
+                session_id,
+                records,
+            },
+            Ok(Reply::Failed { code, message }) => error_frame(code, message),
+            Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
+        },
         // Served inline: the registry is process-global, so the dump
         // needs no trip through the ingress queue.
         Frame::MetricsRequest => Frame::MetricsReply {
@@ -487,6 +552,7 @@ fn handle_frame<W: Write>(
         | Frame::ShutdownAck { .. }
         | Frame::Backpressure { .. }
         | Frame::MetricsReply { .. }
+        | Frame::ExplainReply { .. }
         | Frame::Error { .. } => error_frame(codes::BAD_REQUEST, "unexpected client frame"),
     };
     Some(reply)

@@ -30,7 +30,7 @@
 //!
 //! Closing the queue wakes the pump, which drains every remaining
 //! command, replies to the waiting handlers, persists all sessions to the
-//! snapshot directory (state format: `cad-stream v1`, see
+//! snapshot directory (state format: `cad-stream v2`, see
 //! `cad_core::state`) and exits. A server restarted over the same
 //! directory restores each session mid-window and resumes bit-identically.
 
@@ -46,7 +46,7 @@ use cad_obs::{Gauge, TraceEvent};
 use cad_runtime::Timer;
 
 use crate::metrics;
-use crate::protocol::{codes, SessionSpec, SessionStats, WireEngine, WireOutcome};
+use crate::protocol::{codes, SessionSpec, SessionStats, WireEngine, WireOutcome, WireRoundRecord};
 
 /// Admission and queue limits for a [`SessionManager`].
 #[derive(Debug, Clone)]
@@ -62,6 +62,11 @@ pub struct ManagerConfig {
     /// Directory session snapshots are written to; `None` disables
     /// snapshots (and restart recovery).
     pub snapshot_dir: Option<PathBuf>,
+    /// Forensics-journal capacity applied to every session (rounds
+    /// retained for `/explain`; 0 disables journaling). Applied on create
+    /// *and* after snapshot restore, so the server configuration is
+    /// authoritative regardless of what a snapshot recorded.
+    pub explain_rounds: usize,
 }
 
 impl Default for ManagerConfig {
@@ -72,6 +77,7 @@ impl Default for ManagerConfig {
             max_sensors: 1024,
             queue_capacity: 8192,
             snapshot_dir: None,
+            explain_rounds: 256,
         }
     }
 }
@@ -94,6 +100,11 @@ pub enum Reply {
     Closed,
     /// Per-session counters.
     Stats(SessionStats),
+    /// The session's forensics journal, oldest record first.
+    Explained(Vec<WireRoundRecord>),
+    /// One row per live session across all shards (see
+    /// [`Command::SessionTable`]).
+    Sessions(Vec<SessionRow>),
     /// Command failed with a protocol error code.
     Failed {
         /// One of [`codes`].
@@ -149,6 +160,39 @@ pub enum Command {
         /// Reply channel.
         reply: Sender<Reply>,
     },
+    /// Read one session's forensics journal.
+    Explain {
+        /// Target session.
+        session_id: u64,
+        /// Reply channel.
+        reply: Sender<Reply>,
+    },
+    /// Read the cross-shard session table. Unlike every other command this
+    /// is not owned by one shard; the pump answers it itself after the
+    /// batch's shard fan-out, when it has exclusive access to all shards.
+    SessionTable {
+        /// Reply channel.
+        reply: Sender<Reply>,
+    },
+}
+
+/// One live session as reported by [`Reply::Sessions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRow {
+    /// Shard that owns the session.
+    pub shard: u32,
+    /// Session id.
+    pub session_id: u64,
+    /// Sensor count.
+    pub n_sensors: u32,
+    /// Samples consumed so far.
+    pub samples_seen: u64,
+    /// Rounds completed since this process started serving the session.
+    pub rounds: u64,
+    /// Abnormal rounds since this process started serving the session.
+    pub anomalies: u64,
+    /// Whether the session was restored from a snapshot at startup.
+    pub resumed: bool,
 }
 
 /// The work half of a [`Command`], split from its reply channel so a
@@ -165,6 +209,7 @@ enum Work {
     Snapshot,
     Close,
     Stats,
+    Explain,
 }
 
 impl Command {
@@ -174,7 +219,10 @@ impl Command {
             | Command::Push { session_id, .. }
             | Command::Snapshot { session_id, .. }
             | Command::Close { session_id, .. }
-            | Command::Stats { session_id, .. } => *session_id,
+            | Command::Stats { session_id, .. }
+            | Command::Explain { session_id, .. } => *session_id,
+            // Routed nowhere: the pump intercepts it before sharding.
+            Command::SessionTable { .. } => 0,
         }
     }
 
@@ -213,6 +261,10 @@ impl Command {
             Command::Snapshot { session_id, reply } => (session_id, Work::Snapshot, reply),
             Command::Close { session_id, reply } => (session_id, Work::Close, reply),
             Command::Stats { session_id, reply } => (session_id, Work::Stats, reply),
+            Command::Explain { session_id, reply } => (session_id, Work::Explain, reply),
+            Command::SessionTable { .. } => {
+                unreachable!("SessionTable is answered by the pump, never by a shard")
+            }
         }
     }
 }
@@ -242,6 +294,9 @@ struct Session {
     stream: StreamingCad,
     rounds: u64,
     anomalies: u64,
+    /// Restored from a snapshot at startup (surfaces in the `/sessions`
+    /// table so an operator can tell recovered state from fresh state).
+    resumed: bool,
 }
 
 impl Session {
@@ -252,6 +307,18 @@ impl Session {
             ticks: self.stream.samples_seen() as u64,
             rounds: self.rounds,
             anomalies: self.anomalies,
+        }
+    }
+
+    fn row(&self, shard: u32, session_id: u64) -> SessionRow {
+        SessionRow {
+            shard,
+            session_id,
+            n_sensors: self.stream.detector().n_sensors() as u32,
+            samples_seen: self.stream.samples_seen() as u64,
+            rounds: self.rounds,
+            anomalies: self.anomalies,
+            resumed: self.resumed,
         }
     }
 }
@@ -454,13 +521,15 @@ impl Shard {
                                 }
                             } else {
                                 let n = spec.n_sensors as usize;
-                                let stream = StreamingCad::new(CadDetector::new(n, config));
+                                let mut stream = StreamingCad::new(CadDetector::new(n, config));
+                                stream.set_explain_capacity(shared.cfg.explain_rounds);
                                 self.sessions.insert(
                                     session_id,
                                     Session {
                                         stream,
                                         rounds: 0,
                                         anomalies: 0,
+                                        resumed: false,
                                     },
                                 );
                                 self.sessions_gauge.add(1);
@@ -569,6 +638,21 @@ impl Shard {
                 },
                 Some(session) => Reply::Stats(session.stats(session_id)),
             },
+            Work::Explain => match self.sessions.get(&session_id) {
+                None => Reply::Failed {
+                    code: codes::UNKNOWN_SESSION,
+                    message: format!("no session {session_id}"),
+                },
+                Some(session) => Reply::Explained(
+                    session
+                        .stream
+                        .detector()
+                        .explain()
+                        .records()
+                        .map(WireRoundRecord::from)
+                        .collect(),
+                ),
+            },
         }
     }
 }
@@ -599,12 +683,15 @@ impl SessionManager {
                     continue;
                 };
                 let file = std::fs::File::open(&path)?;
-                let stream = load_stream(std::io::BufReader::new(file)).map_err(|e| {
+                let mut stream = load_stream(std::io::BufReader::new(file)).map_err(|e| {
                     std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
                         format!("restoring {}: {e}", path.display()),
                     )
                 })?;
+                // The server configuration owns the journal bound; a v1
+                // snapshot (no journal) restores with journaling re-enabled.
+                stream.set_explain_capacity(cfg.explain_rounds);
                 let shard = &mut shards[(id % shards_n as u64) as usize];
                 shard.sessions.insert(
                     id,
@@ -612,6 +699,7 @@ impl SessionManager {
                         stream,
                         rounds: 0,
                         anomalies: 0,
+                        resumed: true,
                     },
                 );
                 shard.sessions_gauge.add(1);
@@ -750,11 +838,19 @@ impl SessionPump {
     }
 
     /// Group one drained batch by owning shard (stable, so per-session
-    /// order is preserved) and process the shards in parallel.
+    /// order is preserved) and process the shards in parallel. Cross-shard
+    /// [`Command::SessionTable`] reads are answered afterwards, when the
+    /// pump again has exclusive access to every shard — so the table is a
+    /// consistent snapshot that includes this batch's effects.
     fn pump_batch(&mut self, batch: VecDeque<Command>) {
         let n_shards = self.shards.len();
         let mut per_shard: Vec<Vec<Command>> = (0..n_shards).map(|_| Vec::new()).collect();
+        let mut table_requests = Vec::new();
         for cmd in batch {
+            if let Command::SessionTable { reply } = cmd {
+                table_requests.push(reply);
+                continue;
+            }
             per_shard[(cmd.session_id() % n_shards as u64) as usize].push(cmd);
         }
         let _t = Timer::start("serve.pump");
@@ -772,6 +868,23 @@ impl SessionPump {
                 let _ = tx.send(reply);
             }
         }
+        if !table_requests.is_empty() {
+            let rows = self.session_table();
+            for tx in table_requests {
+                let _ = tx.send(Reply::Sessions(rows.clone()));
+            }
+        }
+    }
+
+    /// One row per live session, ordered by shard then session id.
+    fn session_table(&self) -> Vec<SessionRow> {
+        let mut rows = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            for (&id, session) in &shard.sessions {
+                rows.push(session.row(i as u32, id));
+            }
+        }
+        rows
     }
 
     /// Persist every live session to the snapshot directory (no-op when

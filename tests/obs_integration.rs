@@ -179,6 +179,124 @@ fn counter_and_trace_streams_are_bit_reproducible() {
     cad_obs::tracer().set_capacity(0);
 }
 
+/// Run the standard workload with the forensics journal enabled and
+/// return the captured records (cloned out of the ring).
+fn run_journaled_workload(engine: EngineChoice) -> Vec<cad_core::explain::RoundRecord> {
+    let data = dataset();
+    let config = CadConfig::builder(24)
+        .window(48, 8)
+        .k(5)
+        .tau(0.4)
+        .theta(0.27)
+        .rc_horizon(Some(10))
+        .engine(engine)
+        .build();
+    let mut stream = StreamingCad::new(CadDetector::new(24, config));
+    stream.set_explain_capacity(4096);
+    stream.warm_up(&data.his);
+    for t in 0..data.test.len() {
+        stream.push_sample(&data.test.column(t));
+    }
+    stream.detector().explain().records().cloned().collect()
+}
+
+#[test]
+fn forensics_journal_is_bit_identical_across_engines() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    cad_obs::global().reset();
+
+    let exact = run_journaled_workload(EngineChoice::Exact);
+    let incr = run_journaled_workload(EngineChoice::Incremental { rebuild_every: 16 });
+
+    assert!(!exact.is_empty(), "journal captured no rounds");
+    // `RoundRecord` holds f64s compared via PartialEq, so equality here
+    // is bit-equality of μ/σ/η·σ, not approximate agreement.
+    assert_eq!(
+        exact, incr,
+        "forensics journal must not depend on the round engine"
+    );
+    // Sanity: the η·σ verdict recorded per round is self-consistent with
+    // the recorded inputs once σ is established (Chebyshev rule).
+    let mut verdicts = 0usize;
+    for r in exact.iter().filter(|r| r.sigma_pre > 0.0) {
+        let crossed = (r.n_r as f64 - r.mu_pre).abs() >= r.eta_sigma;
+        assert_eq!(
+            r.abnormal, crossed,
+            "round {}: abnormal flag disagrees with |n_r − μ| vs η·σ",
+            r.round
+        );
+        verdicts += 1;
+    }
+    assert!(verdicts > 0, "no rounds had established deviation");
+}
+
+#[test]
+fn forensics_journal_is_bit_identical_across_thread_counts() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    cad_obs::global().reset();
+    let engine = engine_under_test();
+
+    let single = cad_runtime::with_thread_override(1, || run_journaled_workload(engine));
+    let multi = cad_runtime::with_thread_override(4, || run_journaled_workload(engine));
+
+    assert!(!single.is_empty());
+    assert_eq!(
+        single, multi,
+        "forensics journal must not depend on CAD_RUNTIME_THREADS"
+    );
+}
+
+#[test]
+fn forensics_journal_survives_a_mid_stream_snapshot() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    cad_obs::global().reset();
+
+    let data = dataset();
+    let config = CadConfig::builder(24)
+        .window(48, 8)
+        .k(5)
+        .tau(0.4)
+        .theta(0.27)
+        .rc_horizon(Some(10))
+        .engine(engine_under_test())
+        .build();
+
+    // Reference: one uninterrupted run.
+    let mut reference = StreamingCad::new(CadDetector::new(24, config.clone()));
+    reference.set_explain_capacity(64);
+    reference.warm_up(&data.his);
+    for t in 0..data.test.len() {
+        reference.push_sample(&data.test.column(t));
+    }
+
+    // Same run, save/load mid-stream at an un-aligned tick.
+    let mut first = StreamingCad::new(CadDetector::new(24, config));
+    first.set_explain_capacity(64);
+    first.warm_up(&data.his);
+    let split = data.test.len() / 2 + 3;
+    for t in 0..split {
+        first.push_sample(&data.test.column(t));
+    }
+    let mut blob = Vec::new();
+    cad_core::save_stream(&first, &mut blob).expect("save");
+    let mut second = cad_core::load_stream(&blob[..]).expect("load");
+    for t in split..data.test.len() {
+        second.push_sample(&data.test.column(t));
+    }
+
+    let direct: Vec<_> = reference.detector().explain().records().cloned().collect();
+    let resumed: Vec<_> = second.detector().explain().records().cloned().collect();
+    assert!(!direct.is_empty());
+    assert_eq!(
+        direct, resumed,
+        "journal diverged across a save/load round-trip"
+    );
+    assert_eq!(
+        reference.detector().explain().next_round(),
+        second.detector().explain().next_round()
+    );
+}
+
 #[test]
 fn server_metrics_dump_round_trips_losslessly_over_the_wire() {
     use cad_serve::{CadServer, ServeClient, ServeConfig, SessionSpec};

@@ -739,6 +739,244 @@ fn connection_cap_refuses_extra_connections() {
     server.join().expect("server thread").expect("server run");
 }
 
+/// Like [`start_server`], but with the HTTP ops plane enabled on an
+/// ephemeral port; returns `(native_addr, ops_addr, handle)`.
+fn start_server_with_ops(
+    mut cfg: ServeConfig,
+) -> (
+    String,
+    String,
+    std::thread::JoinHandle<std::io::Result<usize>>,
+) {
+    cfg.ops_addr = Some("127.0.0.1:0".into());
+    let server = CadServer::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("local_addr").to_string();
+    let ops = server.local_ops_addr().expect("ops bound").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, ops, handle)
+}
+
+/// Minimal HTTP GET over a fresh connection; returns `(status, body)`.
+fn http_get(ops_addr: &str, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(ops_addr).expect("ops connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: cad\r\n\r\n").as_bytes())
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Acceptance: in a quiesced state, `GET /metrics` must return the exact
+/// bytes `render_text()` produces for the CADM snapshot fetched over the
+/// native protocol — one registry, two transports, zero drift.
+#[test]
+fn http_metrics_scrape_matches_native_snapshot_byte_for_byte() {
+    let engine = wire_engine_under_test();
+    let (addr, ops, server) = start_server_with_ops(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(&addr, "parity").expect("connect");
+    client.create_session(5, spec(engine)).expect("create");
+    let samples: Vec<f64> = (0..200).flat_map(|t| tick_row(5, t, N_SENSORS)).collect();
+    client
+        .push_samples(5, 0, N_SENSORS as u32, samples)
+        .expect("push");
+
+    // The push ack means the pump finished the batch and neither fetch
+    // below records anything itself — but the registry is process-global,
+    // so sibling tests running in this binary can record between the two
+    // captures. Retry until a native/HTTP pair lands on a quiescent
+    // registry; a genuine transport-level divergence never converges.
+    let mut last = None;
+    for _ in 0..100 {
+        let native = cad_obs::MetricsSnapshot::decode(&client.metrics_raw().expect("metrics_raw"))
+            .expect("decode")
+            .render_text();
+        let (status, scraped) = http_get(&ops, "/metrics");
+        assert_eq!(status, 200);
+        if scraped == native {
+            last = None;
+            break;
+        }
+        last = Some((scraped, native));
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if let Some((scraped, native)) = last {
+        assert_eq!(
+            scraped, native,
+            "HTTP /metrics body diverged from the native snapshot's render_text()"
+        );
+    }
+
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
+/// Acceptance: `/explain/<id>` returns the per-round forensics journal,
+/// its records agree with the `RoundOutcome`s the client observed, and
+/// the journal is bit-identical across both engines.
+#[test]
+fn explain_matches_outcomes_and_is_engine_independent() {
+    let run = |engine: WireEngine| -> (Vec<cad_serve::WireRoundRecord>, String) {
+        let (addr, ops, server) = start_server_with_ops(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        });
+        let mut client = ServeClient::connect(&addr, "explain").expect("connect");
+        client.create_session(9, spec(engine)).expect("create");
+        let ticks = 400usize;
+        let samples: Vec<f64> = (0..ticks).flat_map(|t| tick_row(9, t, N_SENSORS)).collect();
+        let outcomes = client
+            .push_samples(9, 0, N_SENSORS as u32, samples)
+            .expect("push")
+            .outcomes;
+        assert!(!outcomes.is_empty());
+
+        // Native protocol: the journal must mirror the acked outcomes
+        // one-to-one (same rounds, same n_r, same verdicts, same outlier
+        // sensors) and add the μ/σ/η·σ evidence behind each verdict.
+        let records = client.explain(9).expect("explain");
+        assert_eq!(records.len(), outcomes.len());
+        for (i, (r, o)) in records.iter().zip(&outcomes).enumerate() {
+            assert_eq!(r.round, i as u64);
+            assert_eq!(r.n_r, o.n_r, "round {i}");
+            assert_eq!(r.abnormal, o.abnormal, "round {i}");
+            assert_eq!(r.outlier_sensors, o.outliers, "round {i}");
+            if r.sigma_pre() > 0.0 {
+                assert_eq!(
+                    r.abnormal,
+                    (r.n_r as f64 - r.mu_pre()).abs() >= r.eta_sigma(),
+                    "round {i}: recorded verdict disagrees with recorded evidence"
+                );
+            }
+        }
+
+        // HTTP plane: same source of truth, rendered as JSON.
+        let (status, body) = http_get(&ops, "/explain/9");
+        assert_eq!(status, 200);
+        assert_eq!(body.matches("\"round\":").count(), records.len(), "{body}");
+        for r in &records {
+            assert!(
+                body.contains(&format!("\"round\":{},\"n_r\":{}", r.round, r.n_r)),
+                "record {} missing from HTTP body",
+                r.round
+            );
+        }
+
+        client.shutdown_server().expect("shutdown");
+        server.join().expect("server thread").expect("server run");
+        (records, body)
+    };
+
+    let (exact, exact_body) = run(WireEngine::Exact);
+    let (incr, incr_body) = run(WireEngine::Incremental { rebuild_every: 16 });
+    // WireRoundRecord carries μ/σ/η·σ as raw IEEE-754 bits, so equality
+    // here is bit-equality of the whole journal.
+    assert_eq!(exact, incr, "forensics journal depends on the engine");
+    assert_eq!(exact_body, incr_body);
+}
+
+/// Acceptance: the ops plane stays responsive while the data plane is
+/// saturated — `/healthz` (and `/readyz`, `/metrics`) answer 200 while
+/// pushers are parked in backpressure on a tiny ingress queue.
+#[test]
+fn healthz_answers_while_ingress_queues_are_saturated() {
+    let engine = wire_engine_under_test();
+    let (addr, ops, server) = start_server_with_ops(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_capacity: S as usize, // one round per admission — saturates
+        ..ServeConfig::default()
+    });
+    let mut pushers = Vec::new();
+    for id in [61u64, 62] {
+        let addr = addr.clone();
+        pushers.push(std::thread::spawn(move || -> u16 {
+            let mut client = ServeClient::connect(&addr, "sat").expect("connect");
+            client.create_session(id, spec(engine)).expect("create");
+            let mut t = 0usize;
+            loop {
+                let len = S as usize * 2;
+                let samples: Vec<f64> = (t..t + len)
+                    .flat_map(|u| tick_row(id, u, N_SENSORS))
+                    .collect();
+                match client.push_samples(id, t as u64, N_SENSORS as u32, samples) {
+                    Ok(_) => t += len,
+                    Err(ClientError::Server { code, .. }) => return code,
+                    Err(other) => panic!("unexpected failure: {other:?}"),
+                }
+            }
+        }));
+    }
+    // Wait until pushers are genuinely parked on admission.
+    let mut admin = ServeClient::connect(&addr, "sat-admin").expect("connect");
+    loop {
+        let stats = admin.stats(None).expect("stats");
+        if stats.backpressure_events >= 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The scrape endpoints never touch the ingress queue, so saturation
+    // must not slow them down, let alone block them.
+    for _ in 0..3 {
+        let (status, body) = http_get(&ops, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+        assert_eq!(http_get(&ops, "/readyz").0, 200);
+        assert_eq!(http_get(&ops, "/metrics").0, 200);
+    }
+    let (status, tracez) = http_get(&ops, "/tracez");
+    assert_eq!(status, 200);
+    assert!(tracez.contains("\"events\":"), "{tracez}");
+    admin.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+    for pusher in pushers {
+        assert_eq!(pusher.join().expect("pusher"), codes::SHUTTING_DOWN);
+    }
+}
+
+/// The `/sessions` table reflects live per-shard state over HTTP.
+#[test]
+fn sessions_endpoint_lists_live_sessions() {
+    let engine = wire_engine_under_test();
+    let (addr, ops, server) = start_server_with_ops(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(&addr, "table").expect("connect");
+    for id in [1u64, 2, 3] {
+        client.create_session(id, spec(engine)).expect("create");
+    }
+    let samples: Vec<f64> = (0..100).flat_map(|t| tick_row(2, t, N_SENSORS)).collect();
+    client
+        .push_samples(2, 0, N_SENSORS as u32, samples)
+        .expect("push");
+    let (status, body) = http_get(&ops, "/sessions");
+    assert_eq!(status, 200);
+    for id in [1u64, 2, 3] {
+        assert!(body.contains(&format!("\"session_id\":{id}")), "{body}");
+    }
+    assert!(body.contains("\"samples_seen\":100"), "{body}");
+    assert!(body.contains("\"resumed\":false"), "{body}");
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
 /// Handshake discipline: a frame before `Hello` is refused.
 #[test]
 fn server_requires_hello_first() {
