@@ -30,7 +30,7 @@ use std::time::Instant;
 use cad_core::{CadConfig, CadDetector, EngineChoice, RoundOutcome, StreamingCad};
 use cad_datagen::{Dataset, GeneratorConfig};
 use cad_mts::Mts;
-use cad_stats::{pearson_matrix_normalized, znorm_in_place, SlidingCov};
+use cad_stats::{active_kernel, pearson_matrix_normalized, znorm_in_place, SlidingCov};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -212,6 +212,7 @@ fn main() {
             "  \"window\": {},\n",
             "  \"step\": {},\n",
             "  \"threads\": {},\n",
+            "  \"kernel\": \"{}\",\n",
             "  \"rounds\": {},\n",
             "  \"serial_secs\": {:.6},\n",
             "  \"serial_warm_secs\": {:.6},\n",
@@ -240,6 +241,7 @@ fn main() {
         w,
         s,
         threads,
+        active_kernel().name(),
         rounds,
         serial_secs,
         serial_warm,

@@ -6,7 +6,10 @@
 //! and then calls [`pearson_normalized`] per pair. [`pearson`] is the
 //! self-contained variant for callers that have raw readings.
 
+use cad_runtime::Timer;
+
 use crate::descriptive::mean;
+use crate::tiled::{active_kernel, gram_upper_tiled, Kernel};
 
 /// Pearson correlation coefficient of two equal-length slices.
 ///
@@ -92,8 +95,72 @@ pub fn znormed(xs: &[f64]) -> Vec<f64> {
 /// for every thread count. The diagonal holds each row's self-correlation
 /// (1.0, or 0.0 for an all-zero row, matching [`pearson`]'s
 /// constant-input convention).
+///
+/// Dispatches on [`active_kernel`]: the default tiled SIMD kernel
+/// (`crate::tiled`, 32×32 upper-triangle tiles, lane-parallel dots,
+/// tile-chunked parallelism) or the seed scalar kernel (`CAD_KERNEL=scalar`:
+/// sequential per-pair sums, row-chunked parallelism). Both are
+/// thread-count invariant; they differ only in floating-point summation
+/// order (~1e-14).
 pub fn pearson_matrix_normalized(rows: &[f64], n: usize, w: usize) -> Vec<f64> {
     assert_eq!(rows.len(), n * w, "rows must be n × w row-major");
+    match active_kernel() {
+        Kernel::Tiled => pearson_matrix_tiled(rows, n, w),
+        Kernel::Scalar => pearson_matrix_scalar(rows, n, w),
+    }
+}
+
+/// Tiled-kernel matrix path: one `Z·Zᵀ` Gram over the contiguous
+/// z-normalised buffer, tile-parallel, then scale/clamp/mirror.
+fn pearson_matrix_tiled(rows: &[f64], n: usize, w: usize) -> Vec<f64> {
+    let mut matrix = vec![0.0; n * n];
+    if n == 0 {
+        return matrix;
+    }
+    let _t = Timer::start("tsg.correlation.tiled");
+    if w < 2 {
+        // Degenerate windows carry no correlation information — the same
+        // `n < 2 → 0.0` convention as [`pearson_normalized`].
+        return matrix;
+    }
+    let packed = gram_upper_tiled(rows, n, w, true);
+    let w_f = w as f64;
+    // Scale/clamp into the upper triangle first — contiguous row writes —
+    // then mirror with a block transpose. A naive `matrix[j*n+i] = c` in
+    // the scale loop touches a fresh cache line per store (~n²/2 strided
+    // writes); 64×64 blocks keep both the read rows and the write columns
+    // resident, which is worth ~10% of the whole correlation phase at
+    // n = 256.
+    let mut idx = 0;
+    for i in 0..n {
+        let row = &mut matrix[i * n + i..(i + 1) * n];
+        for c in row.iter_mut() {
+            *c = (packed[idx] / w_f).clamp(-1.0, 1.0);
+            idx += 1;
+        }
+    }
+    const MIRROR_BLOCK: usize = 64;
+    let mut ib = 0;
+    while ib < n {
+        let i1 = (ib + MIRROR_BLOCK).min(n);
+        let mut jb = ib;
+        while jb < n {
+            let j1 = (jb + MIRROR_BLOCK).min(n);
+            for i in ib..i1 {
+                for j in jb.max(i + 1)..j1 {
+                    matrix[j * n + i] = matrix[i * n + j];
+                }
+            }
+            jb = j1;
+        }
+        ib = i1;
+    }
+    matrix
+}
+
+/// Seed-arithmetic matrix path (`CAD_KERNEL=scalar`): sequential per-pair
+/// sums, one row-chunked work unit per source row.
+fn pearson_matrix_scalar(rows: &[f64], n: usize, w: usize) -> Vec<f64> {
     let mut matrix = vec![0.0; n * n];
     if n == 0 {
         return matrix;
@@ -186,7 +253,7 @@ mod tests {
     }
 
     #[test]
-    fn matrix_matches_pairwise_calls() {
+    fn scalar_matrix_matches_pairwise_calls() {
         let n = 7;
         let w = 24;
         let rows: Vec<f64> = (0..n)
@@ -198,13 +265,25 @@ mod tests {
                 )
             })
             .collect();
-        let m = pearson_matrix_normalized(&rows, n, w);
+        // The scalar kernel is the seed arithmetic: each cell must be
+        // bit-for-bit the direct pairwise call.
+        let m = crate::tiled::with_kernel_override(Kernel::Scalar, || {
+            pearson_matrix_normalized(&rows, n, w)
+        });
         for i in 0..n {
             for j in 0..n {
                 let direct =
                     pearson_normalized(&rows[i * w..(i + 1) * w], &rows[j * w..(j + 1) * w]);
                 assert_eq!(m[i * n + j].to_bits(), direct.to_bits(), "cell ({i},{j})");
             }
+        }
+        // The tiled kernel sums in lane order instead: same maths, agreement
+        // to well under 1e-12.
+        let tiled = crate::tiled::with_kernel_override(Kernel::Tiled, || {
+            pearson_matrix_normalized(&rows, n, w)
+        });
+        for (a, b) in m.iter().zip(&tiled) {
+            assert!((a - b).abs() < 1e-12, "scalar {a} vs tiled {b}");
         }
     }
 
@@ -277,6 +356,106 @@ mod tests {
         assert!(pearson_matrix_normalized(&[], 0, 0).is_empty());
     }
 
+    /// Raw (un-normalised) test sensor: archetype 0 is an ordinary signal,
+    /// 1 is exactly constant, 2 is near-constant (large level, σ ≈ 1e-7) —
+    /// the same degenerate shapes the sliding-accumulator suite stresses.
+    fn raw_sensor(archetype: usize, s: usize, w: usize) -> Vec<f64> {
+        (0..w)
+            .map(|t| match archetype % 3 {
+                0 => {
+                    ((t + 3 * s) as f64 * (0.13 + 0.07 * (s % 5) as f64)).sin() * 40.0
+                        + ((t * 31 + s * 17) % 13) as f64
+                }
+                1 => 7.5 + s as f64,
+                // Near-constant: σ/level ≈ 2e-9, but σ itself stays far
+                // enough above f64::EPSILON that the flatness tests of
+                // `pearson` (Σd² ≤ ε) and `znorm_in_place` (√(Σd²/w) ≤ ε)
+                // agree even at the smallest windows — right between those
+                // thresholds the two paths legitimately classify a sensor
+                // differently, which is a property of the seed conventions,
+                // not of the kernels under test.
+                _ => 500.0 + s as f64 + 1e-6 * ((t as f64 * 0.53) + s as f64).sin(),
+            })
+            .collect()
+    }
+
+    fn edge_case_rows(n: usize, w: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Sensor 0 constant and sensor 1 near-constant (when present) so
+        // every tile-boundary shape also sees the degenerate conventions.
+        let raw: Vec<Vec<f64>> = (0..n)
+            .map(|s| {
+                raw_sensor(
+                    if s == 0 {
+                        1
+                    } else if s == 1 {
+                        2
+                    } else {
+                        0
+                    },
+                    s,
+                    w,
+                )
+            })
+            .collect();
+        let normed: Vec<f64> = raw.iter().flat_map(|r| znormed(r)).collect();
+        (raw, normed)
+    }
+
+    /// Satellite: the tiled kernel against the direct [`pearson`] oracle at
+    /// every awkward `n` around the 32-row tile size — 1, 2, 31, 33, 255,
+    /// 257 — with constant and near-constant sensors included, at ≤ 1e-12.
+    #[test]
+    fn tiled_matrix_matches_pearson_oracle_at_tile_edges() {
+        let w = 48; // not a multiple of the 16-element dot chunk either
+        for n in [1usize, 2, 31, 33, 255, 257] {
+            let (raw, normed) = edge_case_rows(n, w);
+            let m = crate::tiled::with_kernel_override(Kernel::Tiled, || {
+                pearson_matrix_normalized(&normed, n, w)
+            });
+            for i in 0..n {
+                for j in 0..n {
+                    let direct = pearson(&raw[i], &raw[j]);
+                    let got = m[i * n + j];
+                    assert!(
+                        (direct - got).abs() <= 1e-12,
+                        "n={n} cell ({i},{j}): oracle={direct} tiled={got}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The two kernels must agree to ≤ 1e-12 everywhere and both be
+    /// thread-count invariant at non-tile-multiple sizes.
+    #[test]
+    fn kernels_agree_and_are_thread_invariant_at_tile_edges() {
+        let w = 33;
+        for n in [31usize, 33] {
+            let (_, normed) = edge_case_rows(n, w);
+            let tiled = crate::tiled::with_kernel_override(Kernel::Tiled, || {
+                pearson_matrix_normalized(&normed, n, w)
+            });
+            let scalar = crate::tiled::with_kernel_override(Kernel::Scalar, || {
+                pearson_matrix_normalized(&normed, n, w)
+            });
+            for (a, b) in tiled.iter().zip(&scalar) {
+                assert!((a - b).abs() <= 1e-12, "n={n}: tiled {a} vs scalar {b}");
+            }
+            let parallel = cad_runtime::with_thread_override(8, || {
+                crate::tiled::with_kernel_override(Kernel::Tiled, || {
+                    pearson_matrix_normalized(&normed, n, w)
+                })
+            });
+            assert!(
+                tiled
+                    .iter()
+                    .zip(&parallel)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "n={n}: tiled kernel must be bit-identical across thread counts"
+            );
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_pearson_bounded(
@@ -303,6 +482,38 @@ mod tests {
             let r = pearson(&a, &a);
             // 1.0 for any non-constant vector; 0.0 for a (near-)constant one.
             prop_assert!((r - 1.0).abs() < 1e-9 || r == 0.0);
+        }
+
+        /// Satellite property: the tiled kernel tracks the direct
+        /// [`pearson`] oracle at ≤ 1e-12 for arbitrary sensor mixes —
+        /// ordinary, exactly-constant and near-constant — at any `n`/`w`,
+        /// divisible by the tile/lane sizes or not.
+        #[test]
+        fn prop_tiled_matrix_matches_pearson_oracle(
+            archetypes in proptest::collection::vec(0usize..3, 1..40),
+            w in 4usize..70,
+        ) {
+            let n = archetypes.len();
+            let raw: Vec<Vec<f64>> = archetypes
+                .iter()
+                .enumerate()
+                .map(|(s, &a)| raw_sensor(a, s, w))
+                .collect();
+            let normed: Vec<f64> = raw.iter().flat_map(|r| znormed(r)).collect();
+            let m = crate::tiled::with_kernel_override(Kernel::Tiled, || {
+                pearson_matrix_normalized(&normed, n, w)
+            });
+            for i in 0..n {
+                for j in 0..n {
+                    let direct = pearson(&raw[i], &raw[j]);
+                    let got = m[i * n + j];
+                    prop_assert!(
+                        (direct - got).abs() <= 1e-12,
+                        "n={} w={} cell ({},{}): oracle={} tiled={}",
+                        n, w, i, j, direct, got
+                    );
+                }
+            }
         }
 
         #[test]

@@ -20,6 +20,7 @@ pub mod rank_correlation;
 pub mod running;
 pub mod sampling;
 pub mod sliding;
+pub mod tiled;
 
 pub use correlation::{
     pearson, pearson_matrix_normalized, pearson_normalized, znorm_in_place, znormed,
@@ -32,6 +33,7 @@ pub use rank_correlation::{fractional_ranks, spearman};
 pub use running::RunningStats;
 pub use sampling::GaussianSampler;
 pub use sliding::SlidingCov;
+pub use tiled::{active_kernel, with_kernel_override, Kernel, ENV_KERNEL};
 
 /// Numerical tolerance used across the suite when comparing floating-point
 /// statistics in tests and guard conditions.

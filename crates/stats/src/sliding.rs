@@ -24,6 +24,8 @@
 
 use cad_runtime::Timer;
 
+use crate::tiled::{active_kernel, dot8, gram_upper_tiled, pair_upper_tiled, Kernel};
+
 /// Per-pair sliding covariance/correlation state over an `n`-sensor window
 /// of length `w`.
 #[derive(Debug, Clone)]
@@ -100,6 +102,7 @@ impl SlidingCov {
         assert_eq!(rows.len(), self.n * self.w, "rows must be n × w row-major");
         let _t = Timer::start("sliding.rebuild");
         let (n, w) = (self.n, self.w);
+        let kernel = active_kernel();
         // Centred copy of the window: dev[i][t] = x − c_i.
         let mut dev = vec![0.0; n * w];
         for i in 0..n {
@@ -111,20 +114,35 @@ impl SlidingCov {
                 *d = x - c;
             }
             self.s1[i] = out.iter().sum();
-            self.s2[i] = out.iter().map(|d| d * d).sum();
+            self.s2[i] = match kernel {
+                Kernel::Tiled => dot8(out, out),
+                Kernel::Scalar => out.iter().map(|d| d * d).sum(),
+            };
         }
-        let upper: Vec<Vec<f64>> = cad_runtime::par_map_indexed(n, |i| {
-            let di = &dev[i * w..(i + 1) * w];
-            ((i + 1)..n)
-                .map(|j| {
-                    let dj = &dev[j * w..(j + 1) * w];
-                    di.iter().zip(dj).map(|(a, b)| a * b).sum()
-                })
-                .collect()
-        });
-        for (i, row) in upper.iter().enumerate() {
-            let start = row_start(n, i);
-            self.sxy[start..start + row.len()].copy_from_slice(row);
+        match kernel {
+            // Tiled SIMD kernel: one Gram over the centred rows, the same
+            // 32×32 tile-chunked `Z·Zᵀ` the exact correlation path uses —
+            // the packed output layout *is* the sxy triangle.
+            Kernel::Tiled => {
+                let sxy = gram_upper_tiled(&dev, n, w, false);
+                self.sxy.copy_from_slice(&sxy);
+            }
+            // Seed arithmetic: sequential per-pair sums, row-chunked.
+            Kernel::Scalar => {
+                let upper: Vec<Vec<f64>> = cad_runtime::par_map_indexed(n, |i| {
+                    let di = &dev[i * w..(i + 1) * w];
+                    ((i + 1)..n)
+                        .map(|j| {
+                            let dj = &dev[j * w..(j + 1) * w];
+                            di.iter().zip(dj).map(|(a, b)| a * b).sum()
+                        })
+                        .collect()
+                });
+                for (i, row) in upper.iter().enumerate() {
+                    let start = row_start(n, i);
+                    self.sxy[start..start + row.len()].copy_from_slice(row);
+                }
+            }
         }
         self.primed = true;
     }
@@ -155,31 +173,54 @@ impl SlidingCov {
                 self.s2[i] += di * di - do_ * do_;
             }
         }
-        // Disjoint mutable views of the triangle rows fan out across the
-        // pool; each row's update is a pure function of (i, cin, cout).
-        let mut rows: Vec<(usize, &mut [f64])> = Vec::with_capacity(n);
-        let mut rest: &mut [f64] = &mut self.sxy;
-        for i in 0..n {
-            let (head, tail) = rest.split_at_mut(n - 1 - i);
-            rows.push((i, head));
-            rest = tail;
-        }
         let (cin, cout) = (&*cin, &*cout);
-        cad_runtime::par_map_mut(&mut rows, |_, (i, row)| {
-            let i = *i;
-            let in_i = &cin[i * cols..(i + 1) * cols];
-            let out_i = &cout[i * cols..(i + 1) * cols];
-            for (offset, acc) in row.iter_mut().enumerate() {
-                let j = i + 1 + offset;
-                let in_j = &cin[j * cols..(j + 1) * cols];
-                let out_j = &cout[j * cols..(j + 1) * cols];
-                let mut delta = 0.0;
-                for t in 0..cols {
-                    delta += in_i[t] * in_j[t] - out_i[t] * out_j[t];
+        match active_kernel() {
+            // Tiled SIMD kernel: per-pair deltas are two lane-parallel dots
+            // (incoming Gram minus outgoing Gram), computed tile-chunked
+            // like every other kernel path, then folded into the triangle
+            // in packed order.
+            Kernel::Tiled => {
+                let deltas = pair_upper_tiled(n, false, |i, j| {
+                    dot8(
+                        &cin[i * cols..(i + 1) * cols],
+                        &cin[j * cols..(j + 1) * cols],
+                    ) - dot8(
+                        &cout[i * cols..(i + 1) * cols],
+                        &cout[j * cols..(j + 1) * cols],
+                    )
+                });
+                for (acc, d) in self.sxy.iter_mut().zip(&deltas) {
+                    *acc += d;
                 }
-                *acc += delta;
             }
-        });
+            // Seed arithmetic: disjoint mutable views of the triangle rows
+            // fan out across the pool; each row's update is a pure function
+            // of (i, cin, cout), sequentially summed.
+            Kernel::Scalar => {
+                let mut rows: Vec<(usize, &mut [f64])> = Vec::with_capacity(n);
+                let mut rest: &mut [f64] = &mut self.sxy;
+                for i in 0..n {
+                    let (head, tail) = rest.split_at_mut(n - 1 - i);
+                    rows.push((i, head));
+                    rest = tail;
+                }
+                cad_runtime::par_map_mut(&mut rows, |_, (i, row)| {
+                    let i = *i;
+                    let in_i = &cin[i * cols..(i + 1) * cols];
+                    let out_i = &cout[i * cols..(i + 1) * cols];
+                    for (offset, acc) in row.iter_mut().enumerate() {
+                        let j = i + 1 + offset;
+                        let in_j = &cin[j * cols..(j + 1) * cols];
+                        let out_j = &cout[j * cols..(j + 1) * cols];
+                        let mut delta = 0.0;
+                        for t in 0..cols {
+                            delta += in_i[t] * in_j[t] - out_i[t] * out_j[t];
+                        }
+                        *acc += delta;
+                    }
+                });
+            }
+        }
     }
 
     /// Centred variance sum `Σ(x − m)²` of sensor `i` (non-negative).
@@ -451,6 +492,59 @@ mod tests {
                 .zip(&parallel)
                 .all(|(a, b)| a.to_bits() == b.to_bits()),
             "sliding matrix must be bit-identical for any thread count"
+        );
+    }
+
+    #[test]
+    fn kernels_agree_across_rebuild_and_slides() {
+        // The tiled SIMD kernel and the seed scalar arithmetic must track
+        // each other through a rebuild and a long slide run — including at
+        // a sensor count straddling the 32-row tile boundary — and the
+        // tiled path must stay thread-count invariant.
+        let n = 33;
+        let (w, s) = (40, 7);
+        let total = w + 6 * s;
+        let series: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..total)
+                    .map(|t| ((t * 13 + i * 7) % 29) as f64 + (t as f64 * 0.21 + i as f64).sin())
+                    .collect()
+            })
+            .collect();
+        let drive = || {
+            let mut cov = SlidingCov::new(n, w);
+            let first: Vec<f64> = series.iter().flat_map(|r| r[..w].iter().copied()).collect();
+            cov.rebuild(&first);
+            for k in 0..6 {
+                let a = k * s;
+                let incoming: Vec<f64> = series
+                    .iter()
+                    .flat_map(|r| r[a + w..a + w + s].iter().copied())
+                    .collect();
+                let outgoing: Vec<f64> = series
+                    .iter()
+                    .flat_map(|r| r[a..a + s].iter().copied())
+                    .collect();
+                cov.slide(&incoming, &outgoing, s);
+            }
+            let mut m = Vec::new();
+            cov.correlation_matrix_into(&mut m);
+            m
+        };
+        let tiled = crate::tiled::with_kernel_override(crate::tiled::Kernel::Tiled, drive);
+        let scalar = crate::tiled::with_kernel_override(crate::tiled::Kernel::Scalar, drive);
+        for (a, b) in tiled.iter().zip(&scalar) {
+            assert!((a - b).abs() <= 1e-12, "tiled {a} vs scalar {b}");
+        }
+        let parallel = cad_runtime::with_thread_override(8, || {
+            crate::tiled::with_kernel_override(crate::tiled::Kernel::Tiled, drive)
+        });
+        assert!(
+            tiled
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "tiled sliding path must be bit-identical for any thread count"
         );
     }
 

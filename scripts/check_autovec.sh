@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Autovectorisation check for the portable correlation kernel.
+#
+# Builds cad-stats with `-C target-cpu=x86-64-v3 --emit asm` and greps the
+# body of the exported probe symbol `cad_stats_autovec_probe` (a thin
+# wrapper around `dot8_portable`, see crates/stats/src/tiled.rs) for packed
+# double-precision multiplies: `vmulpd`/`vfmadd*` on ymm/zmm registers.
+# A refactor that reintroduces a loop-carried sequential sum silently
+# drops the kernel back to scalar `vmulsd` — this script turns that into
+# a CI failure instead of a 4x perf regression discovered later.
+#
+# On non-x86_64 hosts the check is skipped with a warning (exit 0): the
+# probe asm is ISA-specific and CI runs this on x86_64 runners.
+set -euo pipefail
+
+arch="$(uname -m)"
+case "$arch" in
+x86_64 | amd64) ;;
+*)
+    echo "check_autovec: WARN: host is $arch, not x86_64 — skipping asm check" >&2
+    exit 0
+    ;;
+esac
+
+# Separate target dir: the -C target-cpu flag would otherwise poison the
+# shared incremental cache for every later baseline build.
+export CARGO_TARGET_DIR="${CARGO_TARGET_DIR:-target/autovec}"
+export RUSTFLAGS="${RUSTFLAGS:-} -C target-cpu=x86-64-v3"
+
+echo "check_autovec: building cad-stats with --emit asm (RUSTFLAGS: $RUSTFLAGS)"
+cargo rustc -p cad-stats --release --locked -- --emit asm -C codegen-units=1
+
+asm_files=("$CARGO_TARGET_DIR"/release/deps/cad_stats-*.s)
+if [ ! -e "${asm_files[0]}" ]; then
+    echo "check_autovec: FAIL: no emitted asm found under $CARGO_TARGET_DIR/release/deps" >&2
+    exit 1
+fi
+
+# The probe either inlines `dot8_portable` or calls its standalone
+# (mangled) symbol, depending on rustc's inlining mood — slice both
+# bodies and require packed ops in at least one of them.
+body=""
+for asm in "${asm_files[@]}"; do
+    body="$(awk '
+        /^cad_stats_autovec_probe:/ || /dot8_portable.*:$/ {found=1}
+        found {print}
+        found && /^[[:space:]]*\.size[[:space:]]/ {found=0}
+    ' "$asm")"
+    [ -n "$body" ] && break
+done
+
+if [ -z "$body" ]; then
+    echo "check_autovec: FAIL: neither cad_stats_autovec_probe nor dot8_portable found in emitted asm" >&2
+    exit 1
+fi
+
+packed="$(printf '%s\n' "$body" | grep -Ec 'v(mulpd|fmadd[0-9]*pd)[[:space:]].*(ymm|zmm)' || true)"
+if [ "$packed" -gt 0 ]; then
+    echo "check_autovec: PASS: $packed packed vmulpd/vfmadd in the portable dot kernel ($asm)"
+    exit 0
+fi
+echo "check_autovec: FAIL: the portable dot kernel contains no packed vmulpd/vfmadd — the lane loop no longer autovectorises" >&2
+printf '%s\n' "$body" | head -n 60 >&2
+exit 1

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the pipeline benchmark.
+
+Compares a freshly produced ``results/BENCH_pipeline.json`` against the
+committed baseline ``results/BENCH_baseline.json`` (same reduced CI size,
+tiled kernel) and fails when the hot metrics regress beyond tolerance:
+
+* ``tsg.correlation`` serial seconds (``phases_serial``) — the kernel this
+  gate exists to protect; a revert to row-by-row sequential sums roughly
+  quadruples it.
+* ``rounds_per_sec`` — end-to-end throughput of the parallel exact pass,
+  which catches regressions outside the correlation phase.
+
+Tolerance is 25% by default (CI runners are noisy; the regressions this
+gate is for are 2–4×) and can be overridden via ``CAD_PERF_GATE_TOL``.
+A machine-readable verdict is always written to ``results/PERF_GATE.json``
+so CI can upload it as an artifact whether the gate passes or fails.
+
+Usage: scripts/perf_gate.py [current.json [baseline.json]]
+Exit status: 0 pass, 1 regression, 2 missing/corrupt input.
+"""
+
+import json
+import os
+import sys
+
+
+def phase_secs(report, phase_key, name):
+    phases = report.get(phase_key, {})
+    entry = phases.get(name)
+    if entry is None:
+        raise KeyError(f"{phase_key}[{name!r}] missing from report")
+    return float(entry["secs"])
+
+
+def main(argv):
+    current_path = argv[1] if len(argv) > 1 else "results/BENCH_pipeline.json"
+    baseline_path = argv[2] if len(argv) > 2 else "results/BENCH_baseline.json"
+    tolerance = float(os.environ.get("CAD_PERF_GATE_TOL", "0.25"))
+
+    verdict = {
+        "gate": "perf",
+        "current": current_path,
+        "baseline": baseline_path,
+        "tolerance": tolerance,
+        "checks": [],
+        "pass": False,
+    }
+
+    try:
+        with open(current_path) as f:
+            current = json.load(f)
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+
+        checks = [
+            # (label, current value, baseline value, higher_is_better)
+            (
+                "tsg.correlation serial secs",
+                phase_secs(current, "phases_serial", "tsg.correlation"),
+                phase_secs(baseline, "phases_serial", "tsg.correlation"),
+                False,
+            ),
+            (
+                "rounds_per_sec",
+                float(current["rounds_per_sec"]),
+                float(baseline["rounds_per_sec"]),
+                True,
+            ),
+        ]
+    except (OSError, ValueError, KeyError) as err:
+        verdict["error"] = f"{type(err).__name__}: {err}"
+        write_verdict(verdict)
+        print(f"perf-gate: cannot compare: {verdict['error']}", file=sys.stderr)
+        return 2
+
+    ok = True
+    for label, cur, base, higher_is_better in checks:
+        if base <= 0.0:
+            ratio = float("inf")
+        elif higher_is_better:
+            ratio = base / cur if cur > 0.0 else float("inf")
+        else:
+            ratio = cur / base
+        # ratio > 1 means "worse than baseline" in both orientations.
+        passed = ratio <= 1.0 + tolerance
+        ok = ok and passed
+        verdict["checks"].append(
+            {
+                "metric": label,
+                "current": cur,
+                "baseline": base,
+                "regression_ratio": ratio,
+                "pass": passed,
+            }
+        )
+        state = "ok" if passed else "REGRESSION"
+        print(
+            f"perf-gate: {label}: current={cur:.6g} baseline={base:.6g} "
+            f"ratio={ratio:.3f} (tol {1.0 + tolerance:.2f}) {state}"
+        )
+
+    verdict["pass"] = ok
+    write_verdict(verdict)
+    if not ok:
+        print(
+            "perf-gate: FAIL — performance regressed beyond tolerance; "
+            "see results/PERF_GATE.json",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf-gate: PASS")
+    return 0
+
+
+def write_verdict(verdict):
+    os.makedirs("results", exist_ok=True)
+    with open("results/PERF_GATE.json", "w") as f:
+        json.dump(verdict, f, indent=2)
+        f.write("\n")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -90,6 +90,31 @@ fn pipeline_outcomes_match_under_ambient_thread_count() {
 }
 
 #[test]
+fn pipeline_verdicts_identical_across_kernels() {
+    // The tiled SIMD kernel and the seed scalar kernel sum in different
+    // orders (~1e-14 apart on raw correlations), but every discrete output
+    // the detector reports — outlier sets, n_r, abnormal verdicts, and the
+    // z-score/rc streams derived from them — must be identical. Each CI
+    // cell of the kernel matrix runs this test, so all four
+    // (kernel × thread) cells are pinned to one verdict stream.
+    let data = wide_dataset();
+    let config = wide_config();
+    let tiled = cad_stats::with_kernel_override(cad_stats::Kernel::Tiled, || {
+        stream_pipeline(&config, &data)
+    });
+    let scalar = cad_stats::with_kernel_override(cad_stats::Kernel::Scalar, || {
+        stream_pipeline(&config, &data)
+    });
+    assert_eq!(tiled.len(), scalar.len(), "round counts differ");
+    assert!(tiled.len() > 10, "expected a meaningful number of rounds");
+    for (r, (t, s)) in tiled.iter().zip(&scalar).enumerate() {
+        assert_eq!(t.n_r, s.n_r, "round {r}: n_r");
+        assert_eq!(t.abnormal, s.abnormal, "round {r}: abnormal");
+        assert_eq!(t.outliers, s.outliers, "round {r}: outliers");
+    }
+}
+
+#[test]
 fn detector_pool_bit_identical_across_thread_counts() {
     // Sharded deployment: several independent detectors driven in
     // lock-step through the pool must also be thread-count-invariant.
