@@ -2,32 +2,54 @@
 //! each, pushing synthetic telemetry over loopback against an in-process
 //! server, emitting machine-readable `results/BENCH_serve.json`.
 //!
-//! Reported figures: aggregate ticks/sec and rounds/sec, per-push latency
-//! (p50/p99/p999 from the server's `serve_push_latency_nanos` histogram,
-//! fetched over the wire via `ServeClient::metrics()`, plus client-side
-//! wall-clock p50/p99), and the server's own counters — queue high-water
-//! mark and backpressure events, which the default queue sizing
-//! deliberately provokes so the bounded-queue path is exercised, not just
-//! configured. The full metrics registry is also written as Prometheus
-//! text to `results/BENCH_serve_metrics.txt`.
+//! Two profiles:
 //!
-//! The HTTP ops plane runs alongside: `/metrics` is scraped repeatedly
-//! *mid-run* (latencies reported, proving scrapes stay responsive under
-//! backpressure) and once more after the workers quiesce, where the body
-//! must be byte-identical to `render_text()` of the CADM snapshot
-//! fetched over the native protocol in the same state.
-//! A spot check replays a sample of sessions through a direct
-//! [`StreamingCad`] loop and asserts bit-identical outcome streams, so
-//! the numbers can't come from a server that quietly corrupts verdicts.
+//! * **steady** (default) — every session pushes continuously for a
+//!   fixed tick budget. Reported figures: aggregate ticks/sec and
+//!   rounds/sec, per-push latency (p50/p99/p999 from the server's
+//!   `serve_push_latency_nanos` histogram, fetched over the wire via
+//!   `ServeClient::metrics()`, plus client-side wall-clock p50/p99), and
+//!   the server's own counters — queue high-water mark and backpressure
+//!   events, which the default queue sizing deliberately provokes so the
+//!   bounded-queue path is exercised, not just configured.
+//! * **idle-heavy** — a large session population (the scale knob; tens
+//!   of thousands) is created and warmed with one full window of data,
+//!   then only a small active subset keeps pushing for `--duration`
+//!   seconds while the rest sit idle, hibernate to the spill dir, and
+//!   are finally resurrected by one more push each (a sample), asserting
+//!   bit-identical outcome streams across the spill round-trip. Adds
+//!   resident-memory-per-session and hibernation/resurrection figures.
+//!
+//! Both profiles report the I/O plane shape (`poller` backend, worker
+//! count, pump groups) and scrape the HTTP ops plane *mid-run*
+//! (latencies reported, proving scrapes stay responsive under load). A
+//! final quiesced scrape must render byte-identical to the CADM snapshot
+//! fetched over the native protocol — retried briefly, since hibernation
+//! sweeps may land between the two fetches. A spot check replays sampled
+//! sessions through a direct [`StreamingCad`] loop and asserts
+//! bit-identical outcome streams, so the numbers can't come from a
+//! server that quietly corrupts verdicts.
 //!
 //! ```text
-//! cargo run --release -p cad-bench --bin loadgen
+//! cargo run --release -p cad-bench --bin loadgen -- \
+//!     --profile idle-heavy --clients 4 --sessions 12500 --duration 10
 //! ```
 //!
-//! Size knobs: `CAD_LOADGEN_CLIENTS` (4), `CAD_LOADGEN_SESSIONS` (32,
-//! per client), `CAD_LOADGEN_TICKS` (1024), `CAD_LOADGEN_SENSORS` (8),
-//! `CAD_LOADGEN_W` (64), `CAD_LOADGEN_S` (8), `CAD_LOADGEN_QUEUE`
-//! (defaults to one batch — forces observable backpressure).
+//! Every flag mirrors an environment variable, and the **environment
+//! wins** when both are set — CI pins runs through env vars, flags are
+//! for humans: `--clients`/`CAD_LOADGEN_CLIENTS` (4),
+//! `--sessions`/`CAD_LOADGEN_SESSIONS` (32, per client),
+//! `--ticks`/`CAD_LOADGEN_TICKS` (1024, steady),
+//! `--profile`/`CAD_LOADGEN_PROFILE` (steady),
+//! `--duration`/`CAD_LOADGEN_DURATION` (10s, idle-heavy). Further
+//! env-only knobs: `CAD_LOADGEN_SENSORS` (8), `CAD_LOADGEN_W` (64),
+//! `CAD_LOADGEN_S` (8), `CAD_LOADGEN_QUEUE` (steady: one batch — forces
+//! observable backpressure; idle-heavy: 32 batches),
+//! `CAD_LOADGEN_ACTIVE` (64, idle-heavy active subset),
+//! `CAD_LOADGEN_HIBERNATE_AFTER` (8 × the active set, min 64 — a sweep
+//! advances with every in-flight push, so the threshold scales with the
+//! hot set or the hot set itself would thrash),
+//! `CAD_LOADGEN_RESURRECT_SAMPLE` (64, idle-heavy).
 
 use std::time::{Duration, Instant};
 
@@ -41,6 +63,112 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Profile {
+    Steady,
+    IdleHeavy,
+}
+
+struct Opts {
+    clients: usize,
+    sessions_per_client: usize,
+    ticks: usize,
+    profile: Profile,
+    duration_secs: f64,
+    n_sensors: usize,
+    w: usize,
+    s: usize,
+}
+
+const USAGE: &str = "usage: loadgen [--profile steady|idle-heavy] [--clients N] \
+                     [--sessions N] [--ticks N] [--duration SECS]";
+
+/// Parse CLI flags, then let the environment override — env vars are
+/// authoritative so CI-pinned runs can't be skewed by a stray flag.
+fn parse_opts() -> Opts {
+    let mut clients = 4usize;
+    let mut sessions = 32usize;
+    let mut ticks = 1024usize;
+    let mut profile = Profile::Steady;
+    let mut duration = 10.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("loadgen: {name} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--clients" => clients = parse_num(&take("--clients"), "--clients"),
+            "--sessions" => sessions = parse_num(&take("--sessions"), "--sessions"),
+            "--ticks" => ticks = parse_num(&take("--ticks"), "--ticks"),
+            "--duration" => {
+                let raw = take("--duration");
+                duration = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("loadgen: --duration {raw} is not a number\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--profile" => {
+                profile = match take("--profile").as_str() {
+                    "steady" => Profile::Steady,
+                    "idle-heavy" => Profile::IdleHeavy,
+                    other => {
+                        eprintln!("loadgen: unknown profile {other:?}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("loadgen: unknown argument {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Ok(raw) = std::env::var("CAD_LOADGEN_PROFILE") {
+        profile = match raw.as_str() {
+            "steady" => Profile::Steady,
+            "idle-heavy" => Profile::IdleHeavy,
+            other => {
+                eprintln!("loadgen: CAD_LOADGEN_PROFILE={other:?} is not a profile");
+                std::process::exit(2);
+            }
+        };
+    }
+    let w = env_usize("CAD_LOADGEN_W", 64);
+    Opts {
+        clients: env_usize("CAD_LOADGEN_CLIENTS", clients),
+        sessions_per_client: env_usize("CAD_LOADGEN_SESSIONS", sessions),
+        ticks: env_usize("CAD_LOADGEN_TICKS", ticks),
+        profile,
+        duration_secs: env_f64("CAD_LOADGEN_DURATION", duration),
+        n_sensors: env_usize("CAD_LOADGEN_SENSORS", 8),
+        w,
+        s: env_usize("CAD_LOADGEN_S", 8).min(w),
+    }
+}
+
+fn parse_num(raw: &str, flag: &str) -> usize {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("loadgen: {flag} {raw} is not a number\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
 /// Deterministic reading for (session, tick, sensor) — must match the
 /// spot-check reference below.
 fn reading(session: u64, t: usize, sensor: usize) -> f64 {
@@ -52,6 +180,36 @@ fn session_spec(n: usize, w: usize, s: usize) -> SessionSpec {
     let mut spec = SessionSpec::new(n as u32, w as u32, s as u32);
     spec.k = 2.min(n as u32 - 1);
     spec
+}
+
+/// Replay `ticks` of a session through a direct streaming loop and
+/// assert the wire outcomes match bit for bit.
+fn spot_check(id: u64, ticks: usize, n: usize, w: usize, s: usize, outs: &[WireOutcome]) {
+    let config = CadConfig::builder(n)
+        .window(w, s)
+        .k(2.min(n - 1))
+        .tau(0.3)
+        .theta(0.3)
+        .build();
+    let mut stream = StreamingCad::new(CadDetector::new(n, config));
+    let mut reference = Vec::new();
+    for t in 0..ticks {
+        let row: Vec<f64> = (0..n).map(|v| reading(id, t, v)).collect();
+        if let Some(o) = stream.push_sample(&row) {
+            reference.push((t as u64, o));
+        }
+    }
+    assert_eq!(outs.len(), reference.len(), "session {id}: round count");
+    for (wire, (tick, o)) in outs.iter().zip(&reference) {
+        assert_eq!(wire.tick, *tick, "session {id}: tick");
+        assert_eq!(wire.n_r, o.n_r as u64, "session {id}: n_r");
+        assert_eq!(
+            wire.zscore_bits,
+            o.zscore.to_bits(),
+            "session {id}: zscore bits"
+        );
+        assert_eq!(wire.abnormal, o.abnormal, "session {id}: abnormal");
+    }
 }
 
 /// Minimal HTTP GET against the ops plane; returns `(status, body)`.
@@ -78,6 +236,32 @@ fn http_get(ops_addr: &str, path: &str) -> (u16, String) {
     (status, body)
 }
 
+/// Fetch the registry over both transports until they agree byte for
+/// byte. With hibernation enabled an idle-sweep can mutate counters
+/// between the two fetches, so parity is eventually-consistent — but it
+/// must settle fast once the server quiesces.
+fn assert_metrics_parity(admin: &mut ServeClient, ops_addr: &str) -> cad_obs::MetricsSnapshot {
+    let mut last_diff = 0usize;
+    for _ in 0..100 {
+        let metrics = admin.metrics().expect("metrics");
+        let (status, scraped) = http_get(ops_addr, "/metrics");
+        assert_eq!(status, 200);
+        if scraped == metrics.render_text() {
+            eprintln!(
+                "[loadgen] ops parity ok: /metrics == native render_text ({} bytes)",
+                scraped.len()
+            );
+            return metrics;
+        }
+        last_diff = scraped.len();
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!(
+        "quiesced /metrics scrape never converged with the native CADM \
+         snapshot (last scrape {last_diff} bytes)"
+    );
+}
+
 fn quantile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -86,21 +270,104 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
+fn counter_value(metrics: &cad_obs::MetricsSnapshot, name: &str) -> u64 {
+    metrics
+        .counters
+        .iter()
+        .find(|c| c.name == name)
+        .map(|c| c.value)
+        .unwrap_or(0)
+}
+
+fn gauge_value(metrics: &cad_obs::MetricsSnapshot, name: &str) -> i64 {
+    metrics
+        .gauges
+        .iter()
+        .find(|g| g.name == name)
+        .map(|g| g.value)
+        .unwrap_or(0)
+}
+
+/// The server histogram that is the authoritative push-latency source:
+/// frame-in to reply-ready, excluding loopback round-trips.
+fn push_latency_quantiles(metrics: &cad_obs::MetricsSnapshot) -> (f64, f64, f64) {
+    let h = metrics
+        .histograms
+        .iter()
+        .find(|h| h.name == "serve_push_latency_nanos")
+        .expect("server must expose serve_push_latency_nanos");
+    (
+        h.quantile(0.50) as f64 * 1e-9,
+        h.quantile(0.99) as f64 * 1e-9,
+        h.quantile(0.999) as f64 * 1e-9,
+    )
+}
+
+/// Scrape `/metrics` in a loop until every worker handle finishes;
+/// returns scrape latencies. Proves the ops plane stays responsive while
+/// the data plane is saturated.
+fn scrape_until_done<T>(ops_addr: &str, workers: &[std::thread::JoinHandle<T>]) -> Vec<f64> {
+    let mut scrape_latencies = Vec::new();
+    while workers.iter().any(|h| !h.is_finished()) {
+        let scrape_t0 = Instant::now();
+        let (status, body) = http_get(ops_addr, "/metrics");
+        scrape_latencies.push(scrape_t0.elapsed().as_secs_f64());
+        assert_eq!(status, 200, "mid-run /metrics scrape failed");
+        assert!(!body.is_empty());
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    scrape_latencies
+}
+
+/// The I/O plane shape as a JSON object (captured before `run` consumes
+/// the server).
+struct IoPlane {
+    poller: &'static str,
+    io_workers: usize,
+    pump_groups: usize,
+}
+
+impl IoPlane {
+    fn of(server: &CadServer) -> IoPlane {
+        IoPlane {
+            poller: server.poller_kind(),
+            io_workers: server.io_workers(),
+            pump_groups: server.pump_groups(),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"kind\": \"{}\", \"io_workers\": {}, \"pump_groups\": {}}}",
+            self.poller, self.io_workers, self.pump_groups
+        )
+    }
+}
+
 struct ClientReport {
     ticks: u64,
     rounds: u64,
     latencies: Vec<f64>,
     backpressure: u64,
     sample_outcomes: Vec<(u64, Vec<WireOutcome>)>,
+    /// Final tick horizon of this client's sampled *active* session —
+    /// idle-heavy runs a wall-clock loop, so the replay length varies.
+    ticks_hint: usize,
 }
 
 fn main() {
-    let n_clients = env_usize("CAD_LOADGEN_CLIENTS", 4);
-    let sessions_per_client = env_usize("CAD_LOADGEN_SESSIONS", 32);
-    let ticks = env_usize("CAD_LOADGEN_TICKS", 1024);
-    let n_sensors = env_usize("CAD_LOADGEN_SENSORS", 8);
-    let w = env_usize("CAD_LOADGEN_W", 64);
-    let s = env_usize("CAD_LOADGEN_S", 8).min(w);
+    let opts = parse_opts();
+    match opts.profile {
+        Profile::Steady => run_steady(&opts),
+        Profile::IdleHeavy => run_idle_heavy(&opts),
+    }
+}
+
+fn run_steady(opts: &Opts) {
+    let n_clients = opts.clients;
+    let sessions_per_client = opts.sessions_per_client;
+    let ticks = opts.ticks;
+    let (n_sensors, w, s) = (opts.n_sensors, opts.w, opts.s);
     let batch = s;
     // One batch of capacity: concurrent pushers saturate the queue and
     // the explicit-backpressure path runs under load.
@@ -109,7 +376,7 @@ fn main() {
     let threads = cad_runtime::effective_threads();
 
     eprintln!(
-        "[loadgen] {n_clients} clients × {sessions_per_client} sessions \
+        "[loadgen] steady: {n_clients} clients × {sessions_per_client} sessions \
          ({total_sessions} total), {ticks} ticks × {n_sensors} sensors, \
          w={w} s={s}, queue {queue_capacity} ticks, {threads} threads"
     );
@@ -125,12 +392,14 @@ fn main() {
     .expect("bind");
     let addr = server.local_addr().expect("local_addr").to_string();
     let ops_addr = server.local_ops_addr().expect("ops bound").to_string();
+    let io_plane = IoPlane::of(&server);
     let server = std::thread::spawn(move || server.run());
 
     let t0 = Instant::now();
     let mut workers = Vec::new();
     for c in 0..n_clients {
         let addr = addr.clone();
+        let (n_sensors, w, s) = (n_sensors, w, s);
         workers.push(std::thread::spawn(move || -> ClientReport {
             let mut client = ServeClient::connect(&addr, &format!("loadgen-{c}")).expect("connect");
             let ids: Vec<u64> = (0..sessions_per_client)
@@ -147,6 +416,7 @@ fn main() {
                 latencies: Vec::with_capacity(ids.len() * ticks / batch),
                 backpressure: 0,
                 sample_outcomes: Vec::new(),
+                ticks_hint: ticks,
             };
             // First session of each client is spot-checked against a
             // direct StreamingCad loop afterwards.
@@ -180,15 +450,7 @@ fn main() {
 
     // Scrape the ops plane while the workers hammer the data plane: each
     // GET must come back 200 even with the ingress queue in backpressure.
-    let mut scrape_latencies: Vec<f64> = Vec::new();
-    while workers.iter().any(|h| !h.is_finished()) {
-        let scrape_t0 = Instant::now();
-        let (status, body) = http_get(&ops_addr, "/metrics");
-        scrape_latencies.push(scrape_t0.elapsed().as_secs_f64());
-        assert_eq!(status, 200, "mid-run /metrics scrape failed");
-        assert!(!body.is_empty());
-        std::thread::sleep(Duration::from_millis(50));
-    }
+    let scrape_latencies = scrape_until_done(&ops_addr, &workers);
 
     let reports: Vec<ClientReport> = workers
         .into_iter()
@@ -196,27 +458,13 @@ fn main() {
         .collect();
     let wall_secs = t0.elapsed().as_secs_f64();
 
-    // Server-side counters and the full metrics registry before shutdown.
+    // Server-side counters and the full metrics registry before shutdown,
+    // once both transports agree on the quiesced state.
     let mut admin = ServeClient::connect(&addr, "loadgen-admin").expect("connect");
     let stats = admin.stats(None).expect("stats");
-    let metrics = admin.metrics().expect("metrics");
-
-    // Quiesced parity: nothing records between the native fetch above and
-    // this scrape, so the HTTP body must be byte-identical to the native
-    // snapshot's text rendering — one registry, two transports.
-    let quiesced_t0 = Instant::now();
-    let (status, scraped) = http_get(&ops_addr, "/metrics");
-    let quiesced_scrape_secs = quiesced_t0.elapsed().as_secs_f64();
-    assert_eq!(status, 200);
-    assert_eq!(
-        scraped,
-        metrics.render_text(),
-        "quiesced /metrics scrape diverged from the native CADM snapshot"
-    );
+    let metrics = assert_metrics_parity(&mut admin, &ops_addr);
     eprintln!(
-        "[loadgen] ops parity ok: /metrics == native render_text ({} bytes), \
-         {} mid-run scrapes",
-        scraped.len(),
+        "[loadgen] {} mid-run scrapes stayed 200",
         scrape_latencies.len()
     );
 
@@ -227,31 +475,7 @@ fn main() {
     // bit for bit.
     for report in &reports {
         for (id, outs) in &report.sample_outcomes {
-            let config = CadConfig::builder(n_sensors)
-                .window(w, s)
-                .k(2.min(n_sensors - 1))
-                .tau(0.3)
-                .theta(0.3)
-                .build();
-            let mut stream = StreamingCad::new(CadDetector::new(n_sensors, config));
-            let mut reference = Vec::new();
-            for t in 0..ticks {
-                let row: Vec<f64> = (0..n_sensors).map(|v| reading(*id, t, v)).collect();
-                if let Some(o) = stream.push_sample(&row) {
-                    reference.push((t as u64, o));
-                }
-            }
-            assert_eq!(outs.len(), reference.len(), "session {id}: round count");
-            for (wire, (tick, o)) in outs.iter().zip(&reference) {
-                assert_eq!(wire.tick, *tick, "session {id}: tick");
-                assert_eq!(wire.n_r, o.n_r as u64, "session {id}: n_r");
-                assert_eq!(
-                    wire.zscore_bits,
-                    o.zscore.to_bits(),
-                    "session {id}: zscore bits"
-                );
-                assert_eq!(wire.abnormal, o.abnormal, "session {id}: abnormal");
-            }
+            spot_check(*id, ticks, n_sensors, w, s, outs);
         }
     }
     eprintln!(
@@ -272,23 +496,14 @@ fn main() {
     sorted_scrapes.sort_by(|a, b| a.total_cmp(b));
     let scrape_p50 = quantile(&sorted_scrapes, 0.50);
     let scrape_p99 = quantile(&sorted_scrapes, 0.99);
-
-    // Authoritative push latency: the server's own log-bucketed histogram,
-    // fetched over the wire. Frame-in to reply-ready, so it excludes
-    // loopback round-trips the client-side numbers include.
-    let push_hist = metrics
-        .histograms
-        .iter()
-        .find(|h| h.name == "serve_push_latency_nanos")
-        .expect("server must expose serve_push_latency_nanos");
-    let p50 = push_hist.quantile(0.50) as f64 * 1e-9;
-    let p99 = push_hist.quantile(0.99) as f64 * 1e-9;
-    let p999 = push_hist.quantile(0.999) as f64 * 1e-9;
+    let (p50, p99, p999) = push_latency_quantiles(&metrics);
+    let resident_bytes = cad_obs::read_process_rss().unwrap_or(0);
 
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"serve-loadgen\",\n",
+            "  \"profile\": \"steady\",\n",
             "  \"clients\": {},\n",
             "  \"sessions_per_client\": {},\n",
             "  \"sessions\": {},\n",
@@ -299,6 +514,7 @@ fn main() {
             "  \"batch\": {},\n",
             "  \"queue_capacity\": {},\n",
             "  \"threads\": {},\n",
+            "  \"poller\": {},\n",
             "  \"wall_secs\": {:.6},\n",
             "  \"total_ticks\": {},\n",
             "  \"total_rounds\": {},\n",
@@ -312,10 +528,15 @@ fn main() {
             "  \"ops_scrapes_mid_run\": {},\n",
             "  \"ops_scrape_p50_secs\": {:.6},\n",
             "  \"ops_scrape_p99_secs\": {:.6},\n",
-            "  \"ops_quiesced_scrape_secs\": {:.6},\n",
             "  \"client_backpressure_events\": {},\n",
             "  \"server_backpressure_events\": {},\n",
             "  \"peak_queue_depth\": {},\n",
+            "  \"resident_bytes\": {},\n",
+            "  \"resident_bytes_per_session\": {:.1},\n",
+            "  \"hibernated_sessions\": {},\n",
+            "  \"resident_sessions\": {},\n",
+            "  \"hibernations\": {},\n",
+            "  \"resurrections\": {},\n",
             "  \"server_total_ticks\": {},\n",
             "  \"server_total_rounds\": {},\n",
             "  \"server_total_anomalies\": {},\n",
@@ -332,6 +553,7 @@ fn main() {
         batch,
         queue_capacity,
         threads,
+        io_plane.json(),
         wall_secs,
         total_ticks,
         total_rounds,
@@ -345,20 +567,21 @@ fn main() {
         scrape_latencies.len(),
         scrape_p50,
         scrape_p99,
-        quiesced_scrape_secs,
         client_backpressure,
         stats.backpressure_events,
         stats.peak_queue_depth,
+        resident_bytes,
+        resident_bytes as f64 / total_sessions.max(1) as f64,
+        gauge_value(&metrics, "serve_hibernated_sessions"),
+        gauge_value(&metrics, "serve_resident_sessions"),
+        counter_value(&metrics, "serve_hibernations_total"),
+        counter_value(&metrics, "serve_resurrections_total"),
         stats.total_ticks,
         stats.total_rounds,
         stats.total_anomalies,
         stats.phases_json,
     );
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/BENCH_serve.json", &json).expect("write BENCH_serve.json");
-    std::fs::write("results/BENCH_serve_metrics.txt", metrics.render_text())
-        .expect("write BENCH_serve_metrics.txt");
-    println!("{json}");
+    write_results(&json, &metrics);
     eprintln!(
         "[loadgen] {total_sessions} sessions, {ticks_per_sec:.0} ticks/s, \
          {rounds_per_sec:.0} rounds/s, p50 {:.2}ms p99 {:.2}ms p999 {:.2}ms, \
@@ -374,4 +597,335 @@ fn main() {
         total_ticks == (total_sessions * ticks) as u64,
         "every session must be fed to completion"
     );
+}
+
+fn run_idle_heavy(opts: &Opts) {
+    let n_clients = opts.clients;
+    let sessions_per_client = opts.sessions_per_client;
+    let (n_sensors, w, s) = (opts.n_sensors, opts.w, opts.s);
+    let batch = s;
+    let duration = Duration::from_secs_f64(opts.duration_secs);
+    // Roomier queue than the steady default: this profile measures the
+    // hibernation tier and tail latency, not forced backpressure.
+    let queue_capacity = env_usize("CAD_LOADGEN_QUEUE", batch * 32);
+    let total_sessions = n_clients * sessions_per_client;
+    let active_total = env_usize("CAD_LOADGEN_ACTIVE", 64).min(total_sessions);
+    let active_per_client = (active_total / n_clients).max(1);
+    // A sweep is one pump drain iteration, so under load the clock runs
+    // fast: every push in flight advances it. Between one hot session's
+    // consecutive pushes the other active_total - 1 pushers each drain a
+    // batch, so the threshold must clear active_total with margin or the
+    // hot set itself thrashes hibernate→resurrect on every cycle. Idle
+    // sessions rack up thousands of sweeps in well under a second, so the
+    // higher threshold costs the idle tier nothing.
+    let hibernate_after = env_usize("CAD_LOADGEN_HIBERNATE_AFTER", (active_total * 8).max(64));
+    let resurrect_sample = env_usize("CAD_LOADGEN_RESURRECT_SAMPLE", 64)
+        .min(total_sessions.saturating_sub(active_per_client * n_clients));
+    let resurrect_per_client = (resurrect_sample / n_clients).max(1);
+    let threads = cad_runtime::effective_threads();
+
+    let spill_dir = std::env::temp_dir().join(format!("cad-loadgen-spill-{}", std::process::id()));
+    std::fs::create_dir_all(&spill_dir).expect("spill dir");
+    let rss_baseline = cad_obs::read_process_rss().unwrap_or(0);
+
+    eprintln!(
+        "[loadgen] idle-heavy: {n_clients} clients × {sessions_per_client} sessions \
+         ({total_sessions} total, {} active), warmup {w} ticks, run {:.1}s, \
+         hibernate after {hibernate_after} idle sweeps → {}, queue {queue_capacity} \
+         ticks, {threads} threads",
+        active_per_client * n_clients,
+        duration.as_secs_f64(),
+        spill_dir.display(),
+    );
+
+    let server = CadServer::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_capacity,
+        max_sessions: total_sessions.max(16),
+        read_timeout: Duration::from_millis(100),
+        ops_addr: Some("127.0.0.1:0".into()),
+        hibernate_after_rounds: hibernate_after,
+        spill_dir: Some(spill_dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local_addr").to_string();
+    let ops_addr = server.local_ops_addr().expect("ops bound").to_string();
+    let io_plane = IoPlane::of(&server);
+    let server = std::thread::spawn(move || server.run());
+
+    let t0 = Instant::now();
+    let mut workers = Vec::new();
+    for c in 0..n_clients {
+        let addr = addr.clone();
+        let (n_sensors, w, s) = (n_sensors, w, s);
+        workers.push(std::thread::spawn(move || -> ClientReport {
+            let mut client = ServeClient::connect(&addr, &format!("loadgen-{c}")).expect("connect");
+            let ids: Vec<u64> = (0..sessions_per_client)
+                .map(|i| (c * sessions_per_client + i) as u64)
+                .collect();
+            // The first `active_per_client` ids stay hot; the rest go
+            // idle after warmup and are expected to hibernate.
+            let (active, idle) = ids.split_at(active_per_client.min(ids.len()));
+            let mut report = ClientReport {
+                ticks: 0,
+                rounds: 0,
+                latencies: Vec::new(),
+                backpressure: 0,
+                sample_outcomes: Vec::new(),
+                ticks_hint: 0,
+            };
+            let sampled_active = active[0];
+            let sampled_idle = idle.first().copied();
+            let mut active_sample = Vec::new();
+            let mut idle_sample = Vec::new();
+
+            // Create + warm in one pass — one full window per session, so
+            // each has a real detector state worth spilling (and at least
+            // one round). Creating all sessions up front instead would let
+            // the early ones hibernate *empty* before their warmup push
+            // arrives (creates drive the sweep clock too), inflating the
+            // hibernation counters with trivial round trips.
+            for &id in &ids {
+                client
+                    .create_session(id, session_spec(n_sensors, w, s))
+                    .expect("create");
+                let samples: Vec<f64> = (0..w)
+                    .flat_map(|u| (0..n_sensors).map(move |v| reading(id, u, v)))
+                    .collect();
+                let push_t0 = Instant::now();
+                let res = client
+                    .push_samples(id, 0, n_sensors as u32, samples)
+                    .expect("warmup push");
+                report.latencies.push(push_t0.elapsed().as_secs_f64());
+                report.ticks += w as u64;
+                report.rounds += res.outcomes.len() as u64;
+                if id == sampled_active {
+                    active_sample.extend(res.outcomes.clone());
+                }
+                if Some(id) == sampled_idle {
+                    idle_sample.extend(res.outcomes);
+                }
+            }
+
+            // Active phase: only the hot subset pushes; everyone else
+            // sits idle while the sweep clock hibernates them.
+            let deadline = Instant::now() + duration;
+            let mut t = w;
+            while Instant::now() < deadline {
+                for &id in active {
+                    let samples: Vec<f64> = (t..t + s)
+                        .flat_map(|u| (0..n_sensors).map(move |v| reading(id, u, v)))
+                        .collect();
+                    let push_t0 = Instant::now();
+                    let res = client
+                        .push_samples(id, t as u64, n_sensors as u32, samples)
+                        .expect("active push");
+                    report.latencies.push(push_t0.elapsed().as_secs_f64());
+                    report.ticks += s as u64;
+                    report.rounds += res.outcomes.len() as u64;
+                    if id == sampled_active {
+                        active_sample.extend(res.outcomes);
+                    }
+                }
+                t += s;
+            }
+
+            // Resurrect a sample of the idle population: one more batch
+            // each, transparently pulling them back off disk.
+            for &id in idle.iter().take(resurrect_per_client) {
+                let samples: Vec<f64> = (w..w + s)
+                    .flat_map(|u| (0..n_sensors).map(move |v| reading(id, u, v)))
+                    .collect();
+                let push_t0 = Instant::now();
+                let res = client
+                    .push_samples(id, w as u64, n_sensors as u32, samples)
+                    .expect("resurrect push");
+                report.latencies.push(push_t0.elapsed().as_secs_f64());
+                report.ticks += s as u64;
+                report.rounds += res.outcomes.len() as u64;
+                if Some(id) == sampled_idle {
+                    idle_sample.extend(res.outcomes);
+                }
+            }
+
+            report.backpressure = client.backpressure_events();
+            report.sample_outcomes.push((sampled_active, active_sample));
+            if let Some(id) = sampled_idle {
+                report.sample_outcomes.push((id, idle_sample));
+            }
+            report.ticks_hint = t;
+            report
+        }));
+    }
+
+    let scrape_latencies = scrape_until_done(&ops_addr, &workers);
+    let reports: Vec<ClientReport> = workers
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let mut admin = ServeClient::connect(&addr, "loadgen-admin").expect("connect");
+    let stats = admin.stats(None).expect("stats");
+    let metrics = assert_metrics_parity(&mut admin, &ops_addr);
+
+    let hibernated = gauge_value(&metrics, "serve_hibernated_sessions");
+    let resident = gauge_value(&metrics, "serve_resident_sessions");
+    let hibernations = counter_value(&metrics, "serve_hibernations_total");
+    let resurrections = counter_value(&metrics, "serve_resurrections_total");
+    assert!(
+        hibernations > 0,
+        "idle-heavy run produced no hibernations (total {total_sessions}, \
+         active {active_total})"
+    );
+    assert!(
+        resurrections as usize >= resurrect_per_client,
+        "resurrect sample did not resurrect: {resurrections} resurrections"
+    );
+    let resident_bytes = cad_obs::read_process_rss().unwrap_or(0);
+
+    admin.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    // Spot checks: the always-hot session against its full horizon, and
+    // the hibernated→resurrected session against warmup + one batch.
+    for report in &reports {
+        let (active_id, active_outs) = &report.sample_outcomes[0];
+        spot_check(*active_id, report.ticks_hint, n_sensors, w, s, active_outs);
+        if let Some((idle_id, idle_outs)) = report.sample_outcomes.get(1) {
+            spot_check(*idle_id, w + s, n_sensors, w, s, idle_outs);
+        }
+    }
+    eprintln!(
+        "[loadgen] spot check passed: hot and resurrected sessions bit-identical \
+         across the spill round-trip"
+    );
+
+    let total_ticks: u64 = reports.iter().map(|r| r.ticks).sum();
+    let total_rounds: u64 = reports.iter().map(|r| r.rounds).sum();
+    let client_backpressure: u64 = reports.iter().map(|r| r.backpressure).sum();
+    let mut latencies: Vec<f64> = reports.iter().flat_map(|r| r.latencies.clone()).collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let client_p50 = quantile(&latencies, 0.50);
+    let client_p99 = quantile(&latencies, 0.99);
+    let ticks_per_sec = total_ticks as f64 / wall_secs.max(1e-12);
+    let rounds_per_sec = total_rounds as f64 / wall_secs.max(1e-12);
+    let mut sorted_scrapes = scrape_latencies.clone();
+    sorted_scrapes.sort_by(|a, b| a.total_cmp(b));
+    let scrape_p50 = quantile(&sorted_scrapes, 0.50);
+    let scrape_p99 = quantile(&sorted_scrapes, 0.99);
+    let (p50, p99, p999) = push_latency_quantiles(&metrics);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve-loadgen\",\n",
+            "  \"profile\": \"idle-heavy\",\n",
+            "  \"clients\": {},\n",
+            "  \"sessions_per_client\": {},\n",
+            "  \"sessions\": {},\n",
+            "  \"active_sessions\": {},\n",
+            "  \"resurrect_sample\": {},\n",
+            "  \"duration_secs\": {:.3},\n",
+            "  \"sensors\": {},\n",
+            "  \"window\": {},\n",
+            "  \"step\": {},\n",
+            "  \"batch\": {},\n",
+            "  \"queue_capacity\": {},\n",
+            "  \"hibernate_after_sweeps\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"poller\": {},\n",
+            "  \"wall_secs\": {:.6},\n",
+            "  \"total_ticks\": {},\n",
+            "  \"total_rounds\": {},\n",
+            "  \"ticks_per_sec\": {:.3},\n",
+            "  \"rounds_per_sec\": {:.3},\n",
+            "  \"push_latency_p50_secs\": {:.9},\n",
+            "  \"push_latency_p99_secs\": {:.9},\n",
+            "  \"push_latency_p999_secs\": {:.9},\n",
+            "  \"client_push_latency_p50_secs\": {:.6},\n",
+            "  \"client_push_latency_p99_secs\": {:.6},\n",
+            "  \"ops_scrapes_mid_run\": {},\n",
+            "  \"ops_scrape_p50_secs\": {:.6},\n",
+            "  \"ops_scrape_p99_secs\": {:.6},\n",
+            "  \"client_backpressure_events\": {},\n",
+            "  \"server_backpressure_events\": {},\n",
+            "  \"peak_queue_depth\": {},\n",
+            "  \"rss_baseline_bytes\": {},\n",
+            "  \"resident_bytes\": {},\n",
+            "  \"resident_bytes_per_session\": {:.1},\n",
+            "  \"hibernated_sessions\": {},\n",
+            "  \"resident_sessions\": {},\n",
+            "  \"hibernations\": {},\n",
+            "  \"resurrections\": {},\n",
+            "  \"server_total_ticks\": {},\n",
+            "  \"server_total_rounds\": {},\n",
+            "  \"server_total_anomalies\": {},\n",
+            "  \"phases\": {}\n",
+            "}}\n"
+        ),
+        n_clients,
+        sessions_per_client,
+        total_sessions,
+        active_per_client * n_clients,
+        resurrect_per_client * n_clients,
+        duration.as_secs_f64(),
+        n_sensors,
+        w,
+        s,
+        batch,
+        queue_capacity,
+        hibernate_after,
+        threads,
+        io_plane.json(),
+        wall_secs,
+        total_ticks,
+        total_rounds,
+        ticks_per_sec,
+        rounds_per_sec,
+        p50,
+        p99,
+        p999,
+        client_p50,
+        client_p99,
+        scrape_latencies.len(),
+        scrape_p50,
+        scrape_p99,
+        client_backpressure,
+        stats.backpressure_events,
+        stats.peak_queue_depth,
+        rss_baseline,
+        resident_bytes,
+        resident_bytes as f64 / total_sessions.max(1) as f64,
+        hibernated,
+        resident,
+        hibernations,
+        resurrections,
+        stats.total_ticks,
+        stats.total_rounds,
+        stats.total_anomalies,
+        stats.phases_json,
+    );
+    write_results(&json, &metrics);
+    eprintln!(
+        "[loadgen] {total_sessions} sessions ({} active), {hibernations} hibernations, \
+         {resurrections} resurrections, {hibernated} still hibernated, \
+         p50 {:.2}ms p99 {:.2}ms p999 {:.2}ms, {:.0} bytes resident/session \
+         → results/BENCH_serve.json (+ BENCH_serve_metrics.txt)",
+        active_per_client * n_clients,
+        p50 * 1e3,
+        p99 * 1e3,
+        p999 * 1e3,
+        resident_bytes as f64 / total_sessions.max(1) as f64,
+    );
+}
+
+fn write_results(json: &str, metrics: &cad_obs::MetricsSnapshot) {
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_serve.json", json).expect("write BENCH_serve.json");
+    std::fs::write("results/BENCH_serve_metrics.txt", metrics.render_text())
+        .expect("write BENCH_serve_metrics.txt");
+    println!("{json}");
 }

@@ -24,6 +24,7 @@
 pub mod counter;
 pub mod hist;
 pub mod json;
+pub mod process;
 pub mod registry;
 pub mod snapshot;
 pub mod trace;
@@ -33,6 +34,7 @@ pub use hist::{
     bucket_bounds, bucket_index, Histogram, N_BUCKETS, QUANTILE_RELATIVE_ERROR, SUB_BITS,
 };
 pub use json::{json_array, json_f64, json_str, push_json_str};
+pub use process::{read_process_rss, sample_process_rss, PROCESS_RSS_METRIC};
 pub use registry::{global, Registry};
 pub use snapshot::{
     CounterSample, DecodeError, GaugeSample, HistogramSample, MetricsSnapshot, DUMP_MAGIC,

@@ -1,0 +1,70 @@
+//! Process-level resource sampling.
+//!
+//! One gauge today: `cad_process_resident_bytes`, the process RSS read
+//! from `/proc/self/statm`. Linux-only by construction — on other
+//! targets [`sample_process_rss`] is a no-op that never registers the
+//! gauge, so the metric is *absent* rather than zero where it cannot be
+//! measured. Callers decide the cadence; the read is two syscalls and a
+//! small parse, cheap enough for a per-batch sample but not meant for a
+//! per-request hot path.
+
+/// Metric name for the resident-set-size gauge.
+pub const PROCESS_RSS_METRIC: &str = "cad_process_resident_bytes";
+
+/// Sample the process resident set size into the global registry's
+/// `cad_process_resident_bytes` gauge. Returns the sampled size in
+/// bytes, or `None` where it cannot be measured (non-Linux, or a
+/// malformed `/proc/self/statm`).
+pub fn sample_process_rss() -> Option<u64> {
+    let bytes = read_process_rss()?;
+    crate::global()
+        .gauge(PROCESS_RSS_METRIC, &[])
+        .set(bytes.min(i64::MAX as u64) as i64);
+    Some(bytes)
+}
+
+/// Read the process RSS in bytes without touching the registry.
+#[cfg(target_os = "linux")]
+pub fn read_process_rss() -> Option<u64> {
+    // statm: size resident shared text lib data dt — all in pages.
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * page_size())
+}
+
+/// Read the process RSS in bytes without touching the registry.
+#[cfg(not(target_os = "linux"))]
+pub fn read_process_rss() -> Option<u64> {
+    None
+}
+
+#[cfg(target_os = "linux")]
+fn page_size() -> u64 {
+    // std never exposes the page size; ask libc (which std already
+    // links) directly. _SC_PAGESIZE is 30 on every Linux libc.
+    extern "C" {
+        fn sysconf(name: i32) -> i64;
+    }
+    const _SC_PAGESIZE: i32 = 30;
+    let sz = unsafe { sysconf(_SC_PAGESIZE) };
+    if sz > 0 {
+        sz as u64
+    } else {
+        4096
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_sampled_and_plausible() {
+        let bytes = sample_process_rss().expect("linux has /proc/self/statm");
+        // A running test binary is at least a page and well under a TiB.
+        assert!(bytes >= 4096, "rss {bytes} implausibly small");
+        assert!(bytes < 1 << 40, "rss {bytes} implausibly large");
+        let g = crate::global().gauge(PROCESS_RSS_METRIC, &[]);
+        assert!(g.get() > 0);
+    }
+}

@@ -45,6 +45,10 @@ pub enum TraceEvent {
     SnapshotSaved { session_id: u64 },
     /// A session snapshot was restored.
     SnapshotLoaded { session_id: u64 },
+    /// An idle session spilled its state to the hibernation tier.
+    SessionHibernated { session_id: u64 },
+    /// A hibernated session was loaded back into memory.
+    SessionResurrected { session_id: u64 },
 }
 
 /// An event plus its position in the global emission order.

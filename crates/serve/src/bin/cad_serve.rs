@@ -13,6 +13,11 @@
 //! | `CAD_SERVE_SNAPSHOT_DIR` | unset            | snapshot/restore directory      |
 //! | `CAD_OPS_ADDR`           | unset            | HTTP ops-plane bind address     |
 //! | `CAD_EXPLAIN_ROUNDS`     | `256`            | forensics journal bound (0 off) |
+//! | `CAD_SERVE_PUMP_GROUPS`  | `0` (auto)       | pump groups (0 = min(shards, cores)) |
+//! | `CAD_HIBERNATE_AFTER`    | `0` (off)        | idle sweeps before hibernation  |
+//! | `CAD_SPILL_DIR`          | unset            | hibernation spill directory     |
+//! | `CAD_SERVE_IO_WORKERS`   | `0` (auto)       | connection I/O worker threads   |
+//! | `CAD_SERVE_POLLER`       | platform default | poller backend: `epoll`\|`poll` |
 //! | `CAD_OBS_DUMP`           | unset            | write metrics text here on exit |
 //!
 //! Shutdown is graceful on a client `Shutdown` frame: the queue drains
@@ -50,6 +55,13 @@ fn main() {
         .map(PathBuf::from);
     cfg.ops_addr = std::env::var("CAD_OPS_ADDR").ok();
     cfg.explain_rounds = env_usize("CAD_EXPLAIN_ROUNDS", cfg.explain_rounds);
+    cfg.pump_groups = env_usize("CAD_SERVE_PUMP_GROUPS", cfg.pump_groups);
+    cfg.hibernate_after_rounds = env_usize("CAD_HIBERNATE_AFTER", cfg.hibernate_after_rounds);
+    cfg.spill_dir = std::env::var("CAD_SPILL_DIR").ok().map(PathBuf::from);
+    cfg.io_workers = env_usize("CAD_SERVE_IO_WORKERS", cfg.io_workers);
+    // The Poller also reads CAD_SERVE_POLLER itself; mirroring it into
+    // the config keeps the startup banner honest.
+    cfg.poller = std::env::var("CAD_SERVE_POLLER").ok();
 
     let server = match CadServer::bind(cfg.clone()) {
         Ok(s) => s,
@@ -63,7 +75,7 @@ fn main() {
         eprintln!("cad-serve: ops plane on http://{ops} (/metrics /healthz /readyz /tracez /sessions /explain)");
     }
     eprintln!(
-        "cad-serve: listening on {addr} ({} shards, {} max sessions, queue {} ticks, snapshots: {})",
+        "cad-serve: listening on {addr} ({} shards, {} max sessions, queue {} ticks, snapshots: {}, hibernation: {})",
         cfg.shards,
         cfg.max_sessions,
         cfg.queue_capacity,
@@ -71,6 +83,10 @@ fn main() {
             .as_deref()
             .map(|p| p.display().to_string())
             .unwrap_or_else(|| "disabled".into()),
+        match (&cfg.spill_dir, cfg.hibernate_after_rounds) {
+            (Some(dir), n) if n > 0 => format!("after {n} idle sweeps -> {}", dir.display()),
+            _ => "disabled".into(),
+        },
     );
     match server.run() {
         Ok(persisted) => {

@@ -2,21 +2,29 @@
 //!
 //! Same pattern as `cad-core`: each handle registers once in the global
 //! registry and is cached in a `OnceLock`, so the connection handlers and
-//! the pump pay a relaxed atomic op per event, not a registry lookup.
+//! the pumps pay a relaxed atomic op per event, not a registry lookup.
 //!
 //! Metric inventory:
 //!
 //! | name                           | kind      | labels  | meaning                                  |
 //! |--------------------------------|-----------|---------|------------------------------------------|
-//! | `serve_queue_depth_ticks`      | gauge     | —       | ingress queue depth after the last enqueue/drain |
+//! | `serve_queue_depth_ticks`      | gauge     | —       | total pending ticks across the group queues after the last enqueue/drain |
 //! | `serve_push_latency_nanos`     | histogram | —       | PushSamples handling, frame-in to reply-ready |
 //! | `serve_backpressure_wait_nanos`| histogram | —       | time a throttled push waited for queue admission |
 //! | `serve_error_frames_total`     | counter   | `code`  | error frames produced, by protocol code  |
-//! | `serve_shard_sessions`         | gauge     | `shard` | live sessions owned by each shard        |
+//! | `serve_shard_sessions`         | gauge     | `shard` | resident sessions owned by each shard    |
+//! | `serve_resident_sessions`      | gauge     | —       | sessions resident in memory, all shards  |
+//! | `serve_hibernated_sessions`    | gauge     | —       | sessions spilled to the hibernation tier |
+//! | `serve_hibernations_total`     | counter   | —       | sessions spilled since process start     |
+//! | `serve_resurrections_total`    | counter   | —       | sessions resurrected since process start |
+//! | `serve_resurrect_latency_nanos`| histogram | —       | spill-read-to-resident resurrection time |
+//! | `serve_poller_ready_depth`     | gauge     | —       | connections awaiting a worker after the last poll wake |
+//! | `serve_poller_ready_peak`      | gauge     | —       | high-water mark of the ready backlog     |
+//! | `cad_process_resident_bytes`   | gauge     | —       | process RSS (Linux; sampled by the pumps, see `cad-obs`) |
 
 use std::sync::{Arc, OnceLock};
 
-use cad_obs::{Gauge, Histogram};
+use cad_obs::{Counter, Gauge, Histogram};
 
 pub(crate) fn queue_depth_gauge() -> &'static Arc<Gauge> {
     static HANDLE: OnceLock<Arc<Gauge>> = OnceLock::new();
@@ -33,6 +41,41 @@ pub(crate) fn backpressure_wait() -> &'static Arc<Histogram> {
     HANDLE.get_or_init(|| cad_obs::global().histogram("serve_backpressure_wait_nanos", &[]))
 }
 
+pub(crate) fn resident_sessions_gauge() -> &'static Arc<Gauge> {
+    static HANDLE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().gauge("serve_resident_sessions", &[]))
+}
+
+pub(crate) fn hibernated_sessions_gauge() -> &'static Arc<Gauge> {
+    static HANDLE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().gauge("serve_hibernated_sessions", &[]))
+}
+
+pub(crate) fn hibernations_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().counter("serve_hibernations_total", &[]))
+}
+
+pub(crate) fn resurrections_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().counter("serve_resurrections_total", &[]))
+}
+
+pub(crate) fn resurrect_latency() -> &'static Arc<Histogram> {
+    static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().histogram("serve_resurrect_latency_nanos", &[]))
+}
+
+pub(crate) fn poller_ready_depth() -> &'static Arc<Gauge> {
+    static HANDLE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().gauge("serve_poller_ready_depth", &[]))
+}
+
+pub(crate) fn poller_ready_peak() -> &'static Arc<Gauge> {
+    static HANDLE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().gauge("serve_poller_ready_peak", &[]))
+}
+
 /// Count one produced error frame under its protocol code. Error paths
 /// are cold, so the per-call registry lookup (and label allocation) is
 /// acceptable here.
@@ -43,7 +86,7 @@ pub(crate) fn count_error_frame(code: u16) {
         .inc();
 }
 
-/// The live-session gauge for one shard; cached per [`Shard`] at
+/// The resident-session gauge for one shard; cached per [`Shard`] at
 /// construction.
 pub(crate) fn shard_sessions_gauge(shard_index: usize) -> Arc<Gauge> {
     let label = shard_index.to_string();

@@ -40,7 +40,9 @@ use cad_obs::{json_array, json_f64, json_str, TraceEvent, TracedEvent};
 
 use crate::protocol::{codes, WireRoundRecord};
 use crate::server::ShutdownHandle;
-use crate::session::{Command, EnqueueError, Reply, SessionManager, SessionRow};
+use crate::session::{
+    Command, EnqueueError, Reply, SessionManager, SessionRow, SessionState, SessionTableError,
+};
 
 /// Longest accepted request line (method + path + version), in bytes.
 pub const MAX_REQUEST_LINE: usize = 2048;
@@ -264,10 +266,10 @@ fn queue_round_trip(
 }
 
 fn sessions_response(shared: &OpsShared) -> Response {
-    let (tx, rx) = mpsc::channel();
-    match queue_round_trip(shared, Command::SessionTable { reply: tx }, &rx) {
-        Err(resp) => resp,
-        Ok(Reply::Sessions(rows)) => (
+    // Broadcasts to every pump group and merges, so the table is
+    // consistent across groups even while other shards are busy.
+    match shared.manager.session_table(QUEUE_REPLY_TIMEOUT) {
+        Ok(rows) => (
             200,
             "OK",
             JSON,
@@ -277,7 +279,18 @@ fn sessions_response(shared: &OpsShared) -> Response {
                 json_array(rows.iter().map(render_session_row))
             ),
         ),
-        Ok(_) => internal_error(),
+        Err(SessionTableError::ShuttingDown) => (
+            503,
+            "Service Unavailable",
+            TEXT,
+            "server is shutting down\n".into(),
+        ),
+        Err(SessionTableError::Timeout) => (
+            503,
+            "Service Unavailable",
+            TEXT,
+            "session pump did not answer in time\n".into(),
+        ),
     }
 }
 
@@ -295,7 +308,7 @@ fn explain_response(raw_id: &str, shared: &OpsShared) -> Response {
         shared,
         Command::Explain {
             session_id,
-            reply: tx,
+            reply: tx.into(),
         },
         &rx,
     ) {
@@ -346,9 +359,14 @@ fn render_round_record(r: &WireRoundRecord) -> String {
 }
 
 fn render_session_row(row: &SessionRow) -> String {
+    let state = match row.state {
+        SessionState::Active => "active",
+        SessionState::Hibernated => "hibernated",
+    };
     format!(
         "{{\"shard\":{},\"session_id\":{},\"n_sensors\":{},\"samples_seen\":{},\
-         \"rounds\":{},\"anomalies\":{},\"resumed\":{}}}",
+         \"rounds\":{},\"anomalies\":{},\"resumed\":{},\"state\":{},\
+         \"last_push_round\":{}}}",
         row.shard,
         row.session_id,
         row.n_sensors,
@@ -356,6 +374,8 @@ fn render_session_row(row: &SessionRow) -> String {
         row.rounds,
         row.anomalies,
         row.resumed,
+        json_str(state),
+        row.last_push_round,
     )
 }
 
@@ -396,6 +416,12 @@ fn render_traced_event(e: &TracedEvent) -> String {
         TraceEvent::SessionPanicked { session_id } => ("SessionPanicked", "session_id", session_id),
         TraceEvent::SnapshotSaved { session_id } => ("SnapshotSaved", "session_id", session_id),
         TraceEvent::SnapshotLoaded { session_id } => ("SnapshotLoaded", "session_id", session_id),
+        TraceEvent::SessionHibernated { session_id } => {
+            ("SessionHibernated", "session_id", session_id)
+        }
+        TraceEvent::SessionResurrected { session_id } => {
+            ("SessionResurrected", "session_id", session_id)
+        }
     };
     format!(
         "{{\"seq\":{},\"type\":{},{}:{value}}}",
@@ -598,7 +624,7 @@ mod tests {
             .enqueue(Command::Create {
                 session_id: 7,
                 spec: SessionSpec::new(4, 16, 4),
-                reply: tx,
+                reply: tx.into(),
             })
             .expect("enqueue");
         assert!(matches!(rx.recv().expect("reply"), Reply::Created { .. }));

@@ -1,0 +1,639 @@
+//! Readiness polling for the connection I/O core: a std-only syscall
+//! shim over `epoll` (Linux) with a portable `poll(2)` fallback.
+//!
+//! No `libc` crate: the handful of symbols needed are declared
+//! `extern "C"` against the platform libc that `std` already links. The
+//! two backends share one contract:
+//!
+//! * **One-shot delivery.** After an event is reported for a token the
+//!   registration is disarmed; nothing fires again until
+//!   [`Poller::rearm`] re-registers interest. This is what lets a fixed
+//!   worker pool service many connections without two workers entering
+//!   the same connection: a token in flight simply cannot fire.
+//! * **Thread-safe rearm.** Workers (and the reply router) rearm from
+//!   their own threads while the poller thread sits in `wait`. The epoll
+//!   backend leans on the kernel (`epoll_ctl` is safe against a
+//!   concurrent `epoll_wait`); the poll backend keeps a mutexed interest
+//!   table and wakes the waiter through a self-pipe (a `UnixStream`
+//!   pair, so even the wake channel stays std-only).
+//!
+//! Backend choice: `epoll` on Linux, `poll(2)` elsewhere;
+//! `CAD_SERVE_POLLER=poll` forces the portable backend on Linux so CI
+//! can exercise both paths on one platform.
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What a registration wants to hear about next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Fire when the fd is readable (or closed by the peer).
+    pub read: bool,
+    /// Fire when the fd is writable again.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable (includes EOF/hangup — a read will not block).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+/// Token reserved for the internal wake channel; never surfaced.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// A one-shot readiness poller over one of the two backends.
+pub struct Poller {
+    backend: Backend,
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(Epoll),
+    Poll(PollFallback),
+}
+
+impl Poller {
+    /// Build the default backend for this platform, honouring
+    /// `CAD_SERVE_POLLER` (`epoll` | `poll`) when set.
+    pub fn new() -> io::Result<Poller> {
+        let forced = std::env::var("CAD_SERVE_POLLER").ok();
+        Poller::with_kind(forced.as_deref())
+    }
+
+    /// Build a specific backend (`None` = platform default).
+    pub fn with_kind(kind: Option<&str>) -> io::Result<Poller> {
+        match kind {
+            Some("poll") => Ok(Poller {
+                backend: Backend::Poll(PollFallback::new()?),
+            }),
+            #[cfg(target_os = "linux")]
+            Some("epoll") | None => Ok(Poller {
+                backend: Backend::Epoll(Epoll::new()?),
+            }),
+            #[cfg(not(target_os = "linux"))]
+            None => Ok(Poller {
+                backend: Backend::Poll(PollFallback::new()?),
+            }),
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unknown poller backend {other:?} (expected \"epoll\" or \"poll\")"),
+            )),
+        }
+    }
+
+    /// Which backend is live (surfaced in benches and `/metrics` labels).
+    pub fn kind(&self) -> &'static str {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(_) => "epoll",
+            Backend::Poll(_) => "poll",
+        }
+    }
+
+    /// Register `fd` under `token`, armed for `interest`; one-shot.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.register(fd, token, interest),
+            Backend::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Re-arm an existing registration with a new interest set.
+    pub fn rearm(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.rearm(fd, token, interest),
+            Backend::Poll(p) => p.rearm(fd, token, interest),
+        }
+    }
+
+    /// Remove a registration entirely (before closing the fd).
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.deregister(fd),
+            Backend::Poll(p) => p.deregister(fd),
+        }
+    }
+
+    /// Block until events arrive or `timeout` passes; appends to
+    /// `events` and returns how many were appended.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<usize> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.wait(events, timeout),
+            Backend::Poll(p) => p.wait(events, timeout),
+        }
+    }
+
+    /// Wake a blocked [`Poller::wait`] early (shutdown, interest change
+    /// on the poll backend).
+    pub fn wake(&self) {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.wake(),
+            Backend::Poll(p) => p.wake(),
+        }
+    }
+}
+
+fn timeout_ms(timeout: Duration) -> i32 {
+    timeout.as_millis().min(i32::MAX as u128) as i32
+}
+
+/// Self-pipe built from a socketpair so waking a blocked wait needs no
+/// extra syscall surface. Both halves nonblocking: a full pipe must
+/// never block a waker, and draining must never block the poller.
+struct WakePipe {
+    rx: UnixStream,
+    tx: UnixStream,
+}
+
+impl WakePipe {
+    fn new() -> io::Result<WakePipe> {
+        let (rx, tx) = UnixStream::pair()?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        Ok(WakePipe { rx, tx })
+    }
+
+    fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// epoll backend (Linux)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod epoll_sys {
+    use std::os::raw::c_int;
+
+    // x86_64 Linux declares epoll_event packed; repr(C, packed) matches
+    // the kernel ABI on every Linux target rustc supports.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLONESHOT: u32 = 1 << 30;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+#[cfg(target_os = "linux")]
+struct Epoll {
+    epfd: RawFd,
+    wake: WakePipe,
+}
+
+#[cfg(target_os = "linux")]
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        use epoll_sys::*;
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let poller = Epoll {
+            epfd,
+            wake: WakePipe::new()?,
+        };
+        // The wake fd is level-triggered and never disarmed: a wake must
+        // get through even while events are in flight.
+        let mut ev = EpollEvent {
+            events: EPOLLIN,
+            data: WAKE_TOKEN,
+        };
+        let rc = unsafe {
+            epoll_ctl(
+                poller.epfd,
+                EPOLL_CTL_ADD,
+                poller.wake.rx.as_raw_fd(),
+                &mut ev,
+            )
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(poller)
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        use epoll_sys::*;
+        let mut m = EPOLLONESHOT | EPOLLRDHUP;
+        if interest.read {
+            m |= EPOLLIN;
+        }
+        if interest.write {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    fn ctl(&self, op: std::os::raw::c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = epoll_sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { epoll_sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(epoll_sys::EPOLL_CTL_ADD, fd, Self::mask(interest), token)
+    }
+
+    fn rearm(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(epoll_sys::EPOLL_CTL_MOD, fd, Self::mask(interest), token)
+    }
+
+    fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(epoll_sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn wait(&self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<usize> {
+        use epoll_sys::*;
+        let mut raw = [EpollEvent { events: 0, data: 0 }; 256];
+        let n = unsafe {
+            epoll_wait(
+                self.epfd,
+                raw.as_mut_ptr(),
+                raw.len() as i32,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        let mut added = 0;
+        for ev in raw.iter().take(n as usize) {
+            let bits = ev.events;
+            let token = ev.data;
+            if token == WAKE_TOKEN {
+                self.wake.drain();
+                continue;
+            }
+            // Errors and hangups surface as readable: the next read
+            // returns the error or EOF and the connection unwinds there.
+            let readable = bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+            let writable = bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0;
+            events.push(Event {
+                token,
+                readable,
+                writable,
+            });
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    fn wake(&self) {
+        self.wake.wake();
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            epoll_sys::close(self.epfd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// poll(2) fallback (portable unix)
+// ---------------------------------------------------------------------------
+
+mod poll_sys {
+    use std::os::raw::{c_int, c_short, c_ulong};
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+}
+
+#[derive(Clone, Copy)]
+struct PollEntry {
+    token: u64,
+    interest: Interest,
+    /// One-shot emulation: cleared when an event is delivered, set again
+    /// by `rearm`.
+    armed: bool,
+}
+
+struct PollFallback {
+    /// fd → registration; the whole pollfd array is rebuilt per wait,
+    /// which is exactly the O(n) cost that motivates the epoll backend.
+    entries: Mutex<HashMap<RawFd, PollEntry>>,
+    wake: WakePipe,
+}
+
+impl PollFallback {
+    fn new() -> io::Result<PollFallback> {
+        Ok(PollFallback {
+            entries: Mutex::new(HashMap::new()),
+            wake: WakePipe::new()?,
+        })
+    }
+
+    fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut entries = self.entries.lock().expect("poll entries poisoned");
+        entries.insert(
+            fd,
+            PollEntry {
+                token,
+                interest,
+                armed: true,
+            },
+        );
+        drop(entries);
+        self.wake.wake();
+        Ok(())
+    }
+
+    fn rearm(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.register(fd, token, interest)
+    }
+
+    fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.entries
+            .lock()
+            .expect("poll entries poisoned")
+            .remove(&fd);
+        self.wake.wake();
+        Ok(())
+    }
+
+    fn wait(&self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<usize> {
+        use poll_sys::*;
+        let mut fds: Vec<PollFd> = Vec::new();
+        fds.push(PollFd {
+            fd: self.wake.rx.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        {
+            let entries = self.entries.lock().expect("poll entries poisoned");
+            for (&fd, entry) in entries.iter() {
+                if !entry.armed {
+                    continue;
+                }
+                let mut mask: std::os::raw::c_short = 0;
+                if entry.interest.read {
+                    mask |= POLLIN;
+                }
+                if entry.interest.write {
+                    mask |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd,
+                    events: mask,
+                    revents: 0,
+                });
+            }
+        }
+        let n = unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as std::os::raw::c_ulong,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        if fds[0].revents & POLLIN != 0 {
+            self.wake.drain();
+        }
+        let mut added = 0;
+        let mut entries = self.entries.lock().expect("poll entries poisoned");
+        for pfd in fds.iter().skip(1) {
+            if pfd.revents == 0 {
+                continue;
+            }
+            let Some(entry) = entries.get_mut(&pfd.fd) else {
+                continue;
+            };
+            // A registration replaced between wait and here belongs to a
+            // newer arming; skip stale results rather than double-fire.
+            if !entry.armed {
+                continue;
+            }
+            entry.armed = false;
+            let readable = pfd.revents & (POLLIN | POLLERR | POLLHUP) != 0;
+            let writable = pfd.revents & (POLLOUT | POLLERR | POLLHUP) != 0;
+            events.push(Event {
+                token: entry.token,
+                readable,
+                writable,
+            });
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    fn wake(&self) {
+        self.wake.wake();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn backends() -> Vec<Poller> {
+        let mut out = vec![Poller::with_kind(Some("poll")).expect("poll backend")];
+        #[cfg(target_os = "linux")]
+        out.push(Poller::with_kind(Some("epoll")).expect("epoll backend"));
+        out
+    }
+
+    /// A connected nonblocking socket pair over loopback TCP.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        client.set_nonblocking(true).expect("nonblocking");
+        server.set_nonblocking(true).expect("nonblocking");
+        (client, server)
+    }
+
+    fn wait_for_token(poller: &Poller, token: u64) -> Event {
+        let mut events = Vec::new();
+        for _ in 0..100 {
+            poller
+                .wait(&mut events, Duration::from_millis(100))
+                .expect("wait");
+            if let Some(ev) = events.iter().find(|e| e.token == token) {
+                return *ev;
+            }
+            events.clear();
+        }
+        panic!("token {token} never became ready");
+    }
+
+    #[test]
+    fn readable_fires_once_until_rearmed() {
+        for poller in backends() {
+            let (client, server) = tcp_pair();
+            poller
+                .register(server.as_raw_fd(), 7, Interest::READ)
+                .expect("register");
+            // Nothing to read yet: a short wait stays quiet.
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Duration::from_millis(10))
+                .expect("wait");
+            assert!(
+                events.iter().all(|e| e.token != 7),
+                "{}: spurious readiness",
+                poller.kind()
+            );
+            (&client).write_all(b"x").expect("write");
+            let ev = wait_for_token(&poller, 7);
+            assert!(ev.readable, "{}: expected readable", poller.kind());
+            // One-shot: the same data must not fire again until rearm.
+            events.clear();
+            poller
+                .wait(&mut events, Duration::from_millis(20))
+                .expect("wait");
+            assert!(
+                events.iter().all(|e| e.token != 7),
+                "{}: one-shot violated",
+                poller.kind()
+            );
+            poller
+                .rearm(server.as_raw_fd(), 7, Interest::READ)
+                .expect("rearm");
+            let ev = wait_for_token(&poller, 7);
+            assert!(ev.readable, "{}: rearm did not restore", poller.kind());
+            poller.deregister(server.as_raw_fd()).expect("deregister");
+        }
+    }
+
+    #[test]
+    fn writable_and_hangup_surface() {
+        for poller in backends() {
+            let (client, server) = tcp_pair();
+            poller
+                .register(server.as_raw_fd(), 3, Interest::WRITE)
+                .expect("register");
+            let ev = wait_for_token(&poller, 3);
+            assert!(ev.writable, "{}: fresh socket not writable", poller.kind());
+            // Peer hangs up; read interest must fire so the server can
+            // observe the EOF.
+            poller
+                .rearm(server.as_raw_fd(), 3, Interest::READ)
+                .expect("rearm");
+            drop(client);
+            let ev = wait_for_token(&poller, 3);
+            assert!(ev.readable, "{}: hangup not readable", poller.kind());
+            poller.deregister(server.as_raw_fd()).expect("deregister");
+        }
+    }
+
+    #[test]
+    fn wake_interrupts_a_long_wait() {
+        for poller in backends() {
+            let started = std::time::Instant::now();
+            poller.wake();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Duration::from_secs(5))
+                .expect("wait");
+            assert!(
+                started.elapsed() < Duration::from_secs(4),
+                "{}: wake did not interrupt",
+                poller.kind()
+            );
+            assert!(events.is_empty(), "{}: wake leaked a token", poller.kind());
+        }
+    }
+}

@@ -63,6 +63,10 @@ pub mod codes {
     /// The server hit an internal error processing the command; the
     /// session was dropped rather than left in an unknown state.
     pub const INTERNAL: u16 = 8;
+    /// A hibernated session's spill file was missing, truncated or
+    /// corrupt; the session was dropped rather than left resurrecting
+    /// forever. The client may re-create it.
+    pub const RESURRECT_FAILED: u16 = 9;
 }
 
 /// Round-engine choice as it travels in a [`SessionSpec`].

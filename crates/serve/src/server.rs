@@ -1,31 +1,67 @@
-//! The TCP server: accept loop, per-connection handlers, graceful
+//! The TCP server: accept loop, readiness-driven connection I/O, graceful
 //! shutdown.
 //!
-//! The listener runs nonblocking and polls a shared shutdown flag, so a
-//! `Shutdown` frame (or [`ShutdownHandle::request`] from a signal
-//! handler) stops the accept loop within one poll interval. Each
-//! connection gets a handler thread that speaks the framed protocol and
-//! routes commands through the shared [`SessionManager`]; socket
-//! read/write timeouts keep a stalled peer from pinning a handler, and
-//! the read timeout doubles as the handlers' shutdown poll. Teardown
-//! closes the ingress queue, lets the pump drain every queued command,
-//! persists all sessions, and only then returns.
+//! ## I/O core
+//!
+//! Connections are serviced by a fixed worker pool driven by a one-shot
+//! readiness [`Poller`](crate::poll::Poller) (epoll on Linux, `poll(2)`
+//! elsewhere) instead of one thread per connection:
+//!
+//! * an **accept thread** (the caller of [`CadServer::run`]) admits
+//!   sockets, makes them nonblocking and registers them with the poller;
+//! * a **poller thread** waits for readiness and feeds connection tokens
+//!   to a bounded ready queue;
+//! * **I/O workers** pop tokens, flush any queued reply bytes and decode
+//!   frames through the resumable `FrameReader` (which survives partial
+//!   reads across `WouldBlock` — the seam that makes readiness-driven
+//!   reads safe). A command frame is submitted to the session manager
+//!   with a *routed* reply and the connection's read interest stays off
+//!   until the reply is written — one command in flight per connection,
+//!   exactly the old thread-per-connection discipline without the thread;
+//! * a **reply router** receives `(token, reply)` pairs from the pumps,
+//!   encodes the reply into the connection's write queue, flushes what
+//!   the socket accepts and re-arms interest (write interest while bytes
+//!   remain — backpressure parks the *connection*, never a worker).
+//!
+//! One-shot delivery means a token in flight cannot fire again, so two
+//! workers never enter the same connection; a wedged peer (mid-frame
+//! stall, slow-loris) owns no thread and stalls nobody.
+//!
+//! A push that would overrun the ingress queue is *deferred*: the client
+//! has already seen an explicit `Backpressure` frame, the command waits
+//! at the connection (read off), and the poller retries admission every
+//! few milliseconds — the same lossless throttling the blocking path
+//! provided, without occupying a worker.
+//!
+//! ## Shutdown
+//!
+//! Teardown stops accepting, gives live connections a grace window to
+//! finish their in-flight command, closes the ingress queues, lets the
+//! pumps drain every queued command (replies still flow through the
+//! router), persists all sessions, then retires the router, workers and
+//! poller. A `Shutdown` frame is acknowledged before the flag takes
+//! effect; later frames are refused with `SHUTTING_DOWN`.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use cad_obs::TraceEvent;
 
 use crate::metrics;
+use crate::poll::{Interest, Poller};
 use crate::protocol::{
     codes, max_push_ticks, write_frame, Frame, FrameReader, ProtoError, ServerStats, SessionStats,
 };
-use crate::session::{Command, EnqueueError, ManagerConfig, Reply, SessionManager, SessionPump};
+use crate::session::{
+    Command, ManagerConfig, Reply, ReplyTo, SessionManager, SessionPump, TryEnqueueError,
+};
 
 /// Configuration for [`CadServer::bind`].
 #[derive(Debug, Clone)]
@@ -38,16 +74,16 @@ pub struct ServeConfig {
     pub max_sessions: usize,
     /// Maximum sensors per session.
     pub max_sensors: usize,
-    /// Ingress-queue capacity in ticks.
+    /// Per-group ingress-queue capacity in ticks.
     pub queue_capacity: usize,
-    /// Socket read timeout (also the handlers' shutdown poll interval).
+    /// Socket read timeout (ops plane; the data plane is nonblocking).
     pub read_timeout: Duration,
-    /// Socket write timeout.
+    /// Socket write timeout (ops plane and connection refusals).
     pub write_timeout: Duration,
     /// Snapshot directory; `None` disables persistence.
     pub snapshot_dir: Option<PathBuf>,
     /// Maximum concurrent connections; accepts beyond this are refused
-    /// with an `ADMISSION` error frame instead of spawning a handler.
+    /// with an `ADMISSION` error frame instead of being registered.
     pub max_connections: usize,
     /// Ops-plane (HTTP) bind address, e.g. `127.0.0.1:7465`; `None`
     /// (the default) disables the ops listener entirely.
@@ -55,6 +91,18 @@ pub struct ServeConfig {
     /// Per-session forensics journal bound in rounds (0 disables
     /// journaling; see [`cad_core::ExplainJournal`]).
     pub explain_rounds: usize,
+    /// Pump groups draining the shards (0 = auto: `min(shards, cores)`).
+    pub pump_groups: usize,
+    /// Hibernate a session after this many pump sweeps without a push
+    /// (0 disables; requires `spill_dir`).
+    pub hibernate_after_rounds: usize,
+    /// Hibernation spill directory; `None` disables hibernation.
+    pub spill_dir: Option<PathBuf>,
+    /// I/O worker threads (0 = auto: `min(cores, 8)`, at least 2).
+    pub io_workers: usize,
+    /// Poller backend override (`"epoll"` | `"poll"`); `None` honours
+    /// `CAD_SERVE_POLLER` and falls back to the platform default.
+    pub poller: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +120,22 @@ impl Default for ServeConfig {
             max_connections: 1024,
             ops_addr: None,
             explain_rounds: m.explain_rounds,
+            pump_groups: 0,
+            hibernate_after_rounds: 0,
+            spill_dir: None,
+            io_workers: 0,
+            poller: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn effective_io_workers(&self) -> usize {
+        match self.io_workers {
+            // At least 2 so one connection mid-service can never starve
+            // the pool on a single-core host.
+            0 => cad_runtime::effective_threads().clamp(2, 8),
+            n => n.max(1),
         }
     }
 }
@@ -106,12 +170,90 @@ pub struct CadServer {
     manager: SessionManager,
     pump: SessionPump,
     shutdown: ShutdownHandle,
+    /// Built at bind so the backend choice is visible (and fails) before
+    /// `run`.
+    poller: Poller,
     cfg: ServeConfig,
 }
 
+/// What the connection is waiting on from the pumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    Create,
+    Push,
+    Stats,
+    Snapshot,
+    Close,
+    Explain,
+}
+
+/// One command in flight: enough context to turn the eventual [`Reply`]
+/// back into the right wire frame.
+struct Pending {
+    kind: PendingKind,
+    session_id: u64,
+    /// Push only: the client was warned with a `Backpressure` frame.
+    throttled: bool,
+    /// Push only: queue depth at admission, echoed in the ack.
+    queue_depth: u32,
+    /// Push only: frame-decoded instant, for the latency histogram.
+    started: Option<Instant>,
+}
+
+/// A push the ingress queue refused: it waits at the connection (read
+/// interest off) until the poller's retry tick re-attempts admission.
+struct Deferred {
+    cmd: Command,
+    throttled: bool,
+    started: Instant,
+}
+
+/// Per-connection state. All mutation happens under the connection's own
+/// mutex; one-shot readiness plus the in-flight flags keep the protocol's
+/// one-command-at-a-time discipline.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    frames: FrameReader,
+    /// Encoded reply bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    greeted: bool,
+    awaiting: Option<Pending>,
+    deferred: Option<Deferred>,
+    /// Write out the queued bytes, then drop the connection.
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn quiesced(&self) -> bool {
+        self.awaiting.is_none() && self.deferred.is_none() && self.out_pos >= self.out.len()
+    }
+}
+
+/// Everything the poller, workers, router and accept loop share.
+struct IoShared {
+    poller: Poller,
+    conns: Mutex<HashMap<u64, Arc<Mutex<Conn>>>>,
+    ready: Mutex<VecDeque<u64>>,
+    ready_cv: Condvar,
+    /// Tokens with a deferred push awaiting an admission retry.
+    deferred: Mutex<Vec<u64>>,
+    manager: SessionManager,
+    shutdown: ShutdownHandle,
+    reply_tx: Sender<(u64, Reply)>,
+    /// Workers and the poller exit when set (after the pumps drained).
+    done: AtomicBool,
+    ready_peak: AtomicI64,
+}
+
+/// Router sentinel: no connection ever gets this token (it is the
+/// poller's reserved wake token too).
+const ROUTER_STOP: u64 = u64::MAX;
+
 impl CadServer {
     /// Bind the listener and restore any snapshots found in
-    /// `cfg.snapshot_dir`.
+    /// `cfg.snapshot_dir` (plus hibernated sessions in `cfg.spill_dir`).
     pub fn bind(cfg: ServeConfig) -> io::Result<CadServer> {
         let (manager, pump) = SessionManager::new(ManagerConfig {
             shards: cfg.shards,
@@ -120,6 +262,9 @@ impl CadServer {
             queue_capacity: cfg.queue_capacity,
             snapshot_dir: cfg.snapshot_dir.clone(),
             explain_rounds: cfg.explain_rounds,
+            pump_groups: cfg.pump_groups,
+            hibernate_after_rounds: cfg.hibernate_after_rounds,
+            spill_dir: cfg.spill_dir.clone(),
         })?;
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
@@ -127,12 +272,19 @@ impl CadServer {
             Some(addr) => Some(TcpListener::bind(addr)?),
             None => None,
         };
+        // An explicit config override wins; otherwise Poller::new honours
+        // CAD_SERVE_POLLER and falls back to the platform default.
+        let poller = match cfg.poller.as_deref() {
+            Some(kind) => Poller::with_kind(Some(kind))?,
+            None => Poller::new()?,
+        };
         Ok(CadServer {
             listener,
             ops_listener,
             manager,
             pump,
             shutdown: ShutdownHandle::new(),
+            poller,
             cfg,
         })
     }
@@ -152,8 +304,24 @@ impl CadServer {
         self.shutdown.clone()
     }
 
+    /// Which poller backend connection I/O will run on (`"epoll"` or
+    /// `"poll"`).
+    pub fn poller_kind(&self) -> &'static str {
+        self.poller.kind()
+    }
+
+    /// The effective pump-group count draining the shards.
+    pub fn pump_groups(&self) -> usize {
+        self.manager.pump_groups()
+    }
+
+    /// The effective connection I/O worker-pool size.
+    pub fn io_workers(&self) -> usize {
+        self.cfg.effective_io_workers()
+    }
+
     /// Accept and serve connections until shutdown is requested, then
-    /// drain the queue and persist every session. Returns the number of
+    /// drain the queues and persist every session. Returns the number of
     /// sessions persisted.
     pub fn run(self) -> io::Result<usize> {
         let CadServer {
@@ -162,6 +330,7 @@ impl CadServer {
             manager,
             pump,
             shutdown,
+            poller,
             cfg,
         } = self;
         let pump_thread = std::thread::Builder::new()
@@ -186,15 +355,47 @@ impl CadServer {
             }
             None => None,
         };
-        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let shared = Arc::new(IoShared {
+            poller,
+            conns: Mutex::new(HashMap::new()),
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            deferred: Mutex::new(Vec::new()),
+            manager: manager.clone(),
+            shutdown: shutdown.clone(),
+            reply_tx,
+            done: AtomicBool::new(false),
+            ready_peak: AtomicI64::new(0),
+        });
+        let poller_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cad-serve-poll".into())
+                .spawn(move || run_poller(&shared))?
+        };
+        let router_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cad-serve-router".into())
+                .spawn(move || run_router(&shared, reply_rx))?
+        };
+        let mut workers = Vec::new();
+        for i in 0..cfg.effective_io_workers() {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("cad-serve-io-{i}"))
+                    .spawn(move || run_worker(&shared))?,
+            );
+        }
+
+        let mut next_token: u64 = 0;
         while !shutdown.requested() {
-            // Reap finished handlers so a long-lived server holds one
-            // JoinHandle per *live* connection, not per connection ever
-            // accepted — and so the cap below counts only live ones.
-            handlers.retain(|h| !h.is_finished());
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    if handlers.len() >= cfg.max_connections {
+                    let live = shared.conns.lock().expect("conn table poisoned").len();
+                    if live >= cfg.max_connections {
                         refuse_connection(stream, &cfg);
                         continue;
                     }
@@ -202,14 +403,16 @@ impl CadServer {
                         .counters()
                         .connections
                         .fetch_add(1, Ordering::Relaxed);
-                    let manager = manager.clone();
-                    let shutdown = shutdown.clone();
-                    let cfg = cfg.clone();
-                    handlers.push(
-                        std::thread::Builder::new()
-                            .name("cad-serve-conn".into())
-                            .spawn(move || handle_connection(stream, manager, shutdown, cfg))?,
-                    );
+                    let token = next_token;
+                    next_token = next_token.wrapping_add(1);
+                    if next_token == ROUTER_STOP {
+                        next_token = 0;
+                    }
+                    if let Err(e) = admit_connection(&shared, stream, token) {
+                        // Registration failures (fd pressure) cost one
+                        // connection, never the server.
+                        let _ = e;
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(20));
@@ -218,10 +421,23 @@ impl CadServer {
                 Err(e) => return Err(e),
             }
         }
-        // Let in-flight handlers finish their requests (their read
-        // timeouts observe the flag), then drain and persist.
-        for h in handlers {
-            let _ = h.join();
+
+        // Grace window: let connections finish the command they have in
+        // flight (replies still flow) before the queues close. Quiesced
+        // connections are the common case, so this usually exits in one
+        // probe.
+        let grace_deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let busy = {
+                let conns = shared.conns.lock().expect("conn table poisoned");
+                conns
+                    .values()
+                    .any(|c| c.lock().map(|conn| !conn.quiesced()).unwrap_or(false))
+            };
+            if !busy || Instant::now() >= grace_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
         }
         if let Some(h) = ops_thread {
             let _ = h.join();
@@ -230,7 +446,740 @@ impl CadServer {
         let persisted = pump_thread
             .join()
             .map_err(|_| io::Error::other("pump thread panicked"))?;
+        // The pumps answered everything they will ever answer; stop the
+        // router, then the workers and the poller.
+        let _ = shared.reply_tx.send((
+            ROUTER_STOP,
+            Reply::Failed {
+                code: codes::SHUTTING_DOWN,
+                message: String::new(),
+            },
+        ));
+        let _ = router_thread.join();
+        shared.done.store(true, Ordering::SeqCst);
+        shared.poller.wake();
+        {
+            let _ready = shared.ready.lock().expect("ready queue poisoned");
+            shared.ready_cv.notify_all();
+        }
+        for h in workers {
+            let _ = h.join();
+        }
+        let _ = poller_thread.join();
         Ok(persisted)
+    }
+}
+
+/// Make an accepted socket nonblocking, register it and seed its state.
+fn admit_connection(shared: &Arc<IoShared>, stream: TcpStream, token: u64) -> io::Result<()> {
+    stream.set_nonblocking(true)?;
+    let _ = stream.set_nodelay(true);
+    let fd = stream.as_raw_fd();
+    let conn = Arc::new(Mutex::new(Conn {
+        stream,
+        token,
+        frames: FrameReader::new(),
+        out: Vec::new(),
+        out_pos: 0,
+        greeted: false,
+        awaiting: None,
+        deferred: None,
+        close_after_flush: false,
+    }));
+    shared
+        .conns
+        .lock()
+        .expect("conn table poisoned")
+        .insert(token, Arc::clone(&conn));
+    if let Err(e) = shared.poller.register(fd, token, Interest::READ) {
+        shared
+            .conns
+            .lock()
+            .expect("conn table poisoned")
+            .remove(&token);
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Remove a connection entirely: interest, table entry, socket.
+fn drop_connection(shared: &IoShared, token: u64) {
+    let conn = shared
+        .conns
+        .lock()
+        .expect("conn table poisoned")
+        .remove(&token);
+    if let Some(conn) = conn {
+        if let Ok(c) = conn.lock() {
+            let _ = shared.poller.deregister(c.stream.as_raw_fd());
+            let _ = c.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+    shared
+        .deferred
+        .lock()
+        .expect("deferred list poisoned")
+        .retain(|&t| t != token);
+}
+
+/// The poller loop: waits for readiness, feeds tokens to the workers and
+/// re-dispatches deferred pushes on a short tick.
+fn run_poller(shared: &IoShared) {
+    let mut events = Vec::new();
+    loop {
+        if shared.done.load(Ordering::SeqCst) {
+            return;
+        }
+        let has_deferred = !shared
+            .deferred
+            .lock()
+            .expect("deferred list poisoned")
+            .is_empty();
+        let timeout = if has_deferred {
+            Duration::from_millis(10)
+        } else {
+            Duration::from_millis(100)
+        };
+        events.clear();
+        if let Err(e) = shared.poller.wait(&mut events, timeout) {
+            // A dying poller would strand every connection; treat wait
+            // errors as fatal-for-io and let shutdown unwind the rest.
+            let _ = e;
+            shared.shutdown.request();
+            return;
+        }
+        let retries: Vec<u64> = {
+            let deferred = shared.deferred.lock().expect("deferred list poisoned");
+            deferred.clone()
+        };
+        let mut ready = shared.ready.lock().expect("ready queue poisoned");
+        for ev in &events {
+            ready.push_back(ev.token);
+        }
+        for token in retries {
+            if !ready.contains(&token) {
+                ready.push_back(token);
+            }
+        }
+        let depth = ready.len() as i64;
+        metrics::poller_ready_depth().set(depth);
+        let peak = shared
+            .ready_peak
+            .fetch_max(depth, Ordering::Relaxed)
+            .max(depth);
+        metrics::poller_ready_peak().set(peak);
+        if depth > 0 {
+            shared.ready_cv.notify_all();
+        }
+        drop(ready);
+    }
+}
+
+/// One I/O worker: pops ready tokens and services the connection.
+fn run_worker(shared: &IoShared) {
+    loop {
+        let token = {
+            let mut ready = shared.ready.lock().expect("ready queue poisoned");
+            loop {
+                if let Some(t) = ready.pop_front() {
+                    break t;
+                }
+                if shared.done.load(Ordering::SeqCst) {
+                    return;
+                }
+                ready = shared
+                    .ready_cv
+                    .wait_timeout(ready, Duration::from_millis(100))
+                    .expect("ready queue poisoned")
+                    .0;
+            }
+        };
+        service_connection(shared, token);
+    }
+}
+
+/// Outcome of a socket flush attempt.
+enum FlushState {
+    /// Everything queued was written.
+    Clean,
+    /// The socket would block; bytes remain queued.
+    Blocked,
+}
+
+/// Write queued bytes until the socket blocks or the queue empties.
+fn flush_out(conn: &mut Conn) -> io::Result<FlushState> {
+    while conn.out_pos < conn.out.len() {
+        match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(FlushState::Blocked),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+    Ok(FlushState::Clean)
+}
+
+/// Flush, then either drop the connection (flush error / close requested)
+/// or re-arm poller interest to match the connection's state. Called with
+/// the connection lock held; returns `false` when the connection died.
+fn finish_io(shared: &IoShared, conn: &mut Conn) -> bool {
+    let fd = conn.stream.as_raw_fd();
+    match flush_out(conn) {
+        Err(_) => {
+            let _ = shared.poller.deregister(fd);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            conn.close_after_flush = true;
+            false
+        }
+        Ok(FlushState::Blocked) => {
+            // Keep write interest until the queue drains; reads stay off
+            // while a command is in flight or a close is pending.
+            let read =
+                conn.awaiting.is_none() && conn.deferred.is_none() && !conn.close_after_flush;
+            let interest = if read {
+                Interest::BOTH
+            } else {
+                Interest::WRITE
+            };
+            if shared.poller.rearm(fd, conn.token, interest).is_err() {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                conn.close_after_flush = true;
+                return false;
+            }
+            true
+        }
+        Ok(FlushState::Clean) => {
+            if conn.close_after_flush {
+                let _ = shared.poller.deregister(fd);
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                return false;
+            }
+            if conn.awaiting.is_none()
+                && conn.deferred.is_none()
+                && shared.poller.rearm(fd, conn.token, Interest::READ).is_err()
+            {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                conn.close_after_flush = true;
+                return false;
+            }
+            true
+        }
+    }
+}
+
+/// Service one ready connection: flush queued bytes, retry a deferred
+/// push, then decode and dispatch frames until the socket runs dry.
+fn service_connection(shared: &IoShared, token: u64) {
+    let conn = {
+        let conns = shared.conns.lock().expect("conn table poisoned");
+        match conns.get(&token) {
+            Some(c) => Arc::clone(c),
+            None => return,
+        }
+    };
+    let mut conn = match conn.lock() {
+        Ok(c) => c,
+        Err(_) => {
+            drop_connection(shared, token);
+            return;
+        }
+    };
+    let alive = service_locked(shared, &mut conn);
+    drop(conn);
+    if !alive {
+        drop_connection(shared, token);
+    }
+}
+
+fn service_locked(shared: &IoShared, conn: &mut Conn) -> bool {
+    // Queued bytes first: readiness may be the writability we asked for.
+    match flush_out(conn) {
+        Err(_) => return false,
+        Ok(FlushState::Blocked) => return finish_io(shared, conn),
+        Ok(FlushState::Clean) => {}
+    }
+    if conn.close_after_flush {
+        return false;
+    }
+    // A deferred push blocks the read path until it is admitted: pushes
+    // must reach the queue in arrival order.
+    if conn.deferred.is_some() && !retry_deferred(shared, conn) {
+        return !conn.close_after_flush && finish_io(shared, conn);
+    }
+    if conn.awaiting.is_some() || conn.deferred.is_some() {
+        // Reply (or admission) still outstanding: interest stays off.
+        return true;
+    }
+    read_frames(shared, conn)
+}
+
+/// Try to admit the deferred push. Returns `true` when the connection no
+/// longer has a deferred command (admitted, or refused with an error).
+fn retry_deferred(shared: &IoShared, conn: &mut Conn) -> bool {
+    let Some(deferred) = conn.deferred.take() else {
+        return true;
+    };
+    let session_id = deferred.cmd.session_id();
+    match shared.manager.try_enqueue(deferred.cmd) {
+        Ok(depth) => {
+            conn.awaiting = Some(Pending {
+                kind: PendingKind::Push,
+                session_id,
+                throttled: deferred.throttled,
+                queue_depth: depth.min(u32::MAX as usize) as u32,
+                started: Some(deferred.started),
+            });
+            shared
+                .deferred
+                .lock()
+                .expect("deferred list poisoned")
+                .retain(|&t| t != conn.token);
+            true
+        }
+        Err(TryEnqueueError::Full(cmd)) => {
+            conn.deferred = Some(Deferred { cmd, ..deferred });
+            false
+        }
+        Err(TryEnqueueError::ShuttingDown(_)) => {
+            metrics::push_latency().record_duration(deferred.started.elapsed());
+            queue_reply(
+                conn,
+                &error_frame(codes::SHUTTING_DOWN, "server is shutting down"),
+            );
+            conn.close_after_flush = true;
+            shared
+                .deferred
+                .lock()
+                .expect("deferred list poisoned")
+                .retain(|&t| t != conn.token);
+            true
+        }
+    }
+}
+
+/// Append one frame to the connection's write queue.
+fn queue_reply(conn: &mut Conn, frame: &Frame) {
+    // Encoding into a Vec cannot fail.
+    let _ = write_frame(&mut conn.out, frame);
+}
+
+/// Decode and dispatch frames until the socket would block (rearm read),
+/// a command goes in flight (interest off), or the connection dies.
+fn read_frames(shared: &IoShared, conn: &mut Conn) -> bool {
+    loop {
+        let frame = {
+            // Split borrows: the reader state and the socket are separate
+            // fields.
+            let Conn { frames, stream, .. } = conn;
+            match frames.read_frame(&mut (&*stream)) {
+                Ok(f) => f,
+                Err(ProtoError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return finish_io(shared, conn);
+                }
+                Err(ProtoError::Io(e)) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(ProtoError::Io(_)) => return false,
+                Err(e) => {
+                    queue_reply(conn, &error_frame(codes::BAD_REQUEST, e.to_string()));
+                    conn.close_after_flush = true;
+                    return finish_io(shared, conn);
+                }
+            }
+        };
+        match dispatch_frame(shared, conn, frame) {
+            Dispatch::Continue => {
+                // Opportunistic flush keeps the write queue small while a
+                // client pipelines control frames.
+                if flush_out(conn).is_err() {
+                    return false;
+                }
+            }
+            Dispatch::Submitted => return true,
+            Dispatch::CloseNow => {
+                conn.close_after_flush = true;
+                return finish_io(shared, conn);
+            }
+        }
+    }
+}
+
+/// What a dispatched frame did to the connection's control flow.
+enum Dispatch {
+    /// Reply queued (or nothing to do); keep reading.
+    Continue,
+    /// Command in flight (queued or deferred); stop reading until the
+    /// reply is written.
+    Submitted,
+    /// Write out what is queued, then close.
+    CloseNow,
+}
+
+/// Handle one decoded frame. Inline frames queue their reply directly;
+/// session commands are submitted with a routed reply and park the read
+/// side until the router answers.
+fn dispatch_frame(shared: &IoShared, conn: &mut Conn, frame: Frame) -> Dispatch {
+    let manager = &shared.manager;
+    if !conn.greeted {
+        return match frame {
+            Frame::Hello { .. } => {
+                conn.greeted = true;
+                let (max_sessions, max_sensors) = manager.limits();
+                queue_reply(
+                    conn,
+                    &Frame::HelloAck {
+                        max_sessions: max_sessions as u32,
+                        max_sensors: max_sensors as u32,
+                    },
+                );
+                Dispatch::Continue
+            }
+            _ => {
+                queue_reply(
+                    conn,
+                    &error_frame(codes::BAD_REQUEST, "first frame must be Hello"),
+                );
+                Dispatch::CloseNow
+            }
+        };
+    }
+    // A peer that streams continuously must not stall graceful shutdown:
+    // everything but the Shutdown frame itself is refused once the flag
+    // is up.
+    if shared.shutdown.requested() && !matches!(frame, Frame::Shutdown) {
+        queue_reply(
+            conn,
+            &error_frame(codes::SHUTTING_DOWN, "server is shutting down"),
+        );
+        return Dispatch::CloseNow;
+    }
+    match frame {
+        Frame::Hello { .. } => {
+            queue_reply(conn, &error_frame(codes::BAD_REQUEST, "duplicate Hello"));
+            Dispatch::Continue
+        }
+        Frame::PushSamples {
+            session_id,
+            base_tick,
+            n_sensors,
+            samples,
+        } => {
+            let started = Instant::now();
+            if n_sensors == 0 || samples.len() % n_sensors as usize != 0 {
+                metrics::push_latency().record_duration(started.elapsed());
+                queue_reply(conn, &error_frame(codes::BAD_PUSH, "ragged sample batch"));
+                return Dispatch::Continue;
+            }
+            let cost = samples.len() / n_sensors as usize;
+            // A batch whose worst-case PushAck would not fit in a frame
+            // is refused up front: the client could never read the reply.
+            let max_ticks = max_push_ticks(n_sensors);
+            if cost > max_ticks {
+                metrics::push_latency().record_duration(started.elapsed());
+                queue_reply(
+                    conn,
+                    &error_frame(
+                        codes::BAD_PUSH,
+                        format!(
+                            "batch of {cost} ticks could overflow the reply frame; \
+                             push at most {max_ticks} ticks for {n_sensors} sensors"
+                        ),
+                    ),
+                );
+                return Dispatch::Continue;
+            }
+            // Saturated queue: tell the client explicitly before the push
+            // is parked — its ack will be delayed by exactly this wait,
+            // so the signal must precede it on the wire.
+            let throttled = manager.would_block(session_id, cost);
+            if throttled {
+                manager
+                    .counters()
+                    .backpressure_events
+                    .fetch_add(1, Ordering::Relaxed);
+                let depth = manager.queue_depth();
+                cad_obs::tracer().emit(TraceEvent::BackpressureEntered {
+                    queue_depth: depth as u64,
+                });
+                queue_reply(
+                    conn,
+                    &Frame::Backpressure {
+                        queue_depth: depth.min(u32::MAX as usize) as u32,
+                    },
+                );
+            }
+            let cmd = Command::Push {
+                session_id,
+                base_tick,
+                n_sensors,
+                samples,
+                reply: ReplyTo::Routed {
+                    tx: shared.reply_tx.clone(),
+                    token: conn.token,
+                },
+            };
+            match manager.try_enqueue(cmd) {
+                Ok(depth) => {
+                    conn.awaiting = Some(Pending {
+                        kind: PendingKind::Push,
+                        session_id,
+                        throttled,
+                        queue_depth: depth.min(u32::MAX as usize) as u32,
+                        started: Some(started),
+                    });
+                    Dispatch::Submitted
+                }
+                Err(TryEnqueueError::Full(cmd)) => {
+                    // Park the push at the connection; the poller's retry
+                    // tick re-attempts admission. The client already saw
+                    // the Backpressure frame above (a full queue implies
+                    // would_block was true).
+                    conn.deferred = Some(Deferred {
+                        cmd,
+                        throttled,
+                        started,
+                    });
+                    shared
+                        .deferred
+                        .lock()
+                        .expect("deferred list poisoned")
+                        .push(conn.token);
+                    Dispatch::Submitted
+                }
+                Err(TryEnqueueError::ShuttingDown(_)) => {
+                    metrics::push_latency().record_duration(started.elapsed());
+                    queue_reply(
+                        conn,
+                        &error_frame(codes::SHUTTING_DOWN, "server is shutting down"),
+                    );
+                    Dispatch::CloseNow
+                }
+            }
+        }
+        Frame::CreateSession { session_id, spec } => submit(
+            shared,
+            conn,
+            Command::Create {
+                session_id,
+                spec,
+                reply: routed(shared, conn),
+            },
+            PendingKind::Create,
+            session_id,
+        ),
+        Frame::StatsRequest { session_id } => match session_id {
+            None => {
+                queue_reply(
+                    conn,
+                    &Frame::StatsReply {
+                        stats: server_stats(manager, None),
+                    },
+                );
+                Dispatch::Continue
+            }
+            Some(id) => submit(
+                shared,
+                conn,
+                Command::Stats {
+                    session_id: id,
+                    reply: routed(shared, conn),
+                },
+                PendingKind::Stats,
+                id,
+            ),
+        },
+        Frame::Snapshot { session_id } => submit(
+            shared,
+            conn,
+            Command::Snapshot {
+                session_id,
+                reply: routed(shared, conn),
+            },
+            PendingKind::Snapshot,
+            session_id,
+        ),
+        Frame::CloseSession { session_id } => submit(
+            shared,
+            conn,
+            Command::Close {
+                session_id,
+                reply: routed(shared, conn),
+            },
+            PendingKind::Close,
+            session_id,
+        ),
+        Frame::ExplainRequest { session_id } => submit(
+            shared,
+            conn,
+            Command::Explain {
+                session_id,
+                reply: routed(shared, conn),
+            },
+            PendingKind::Explain,
+            session_id,
+        ),
+        // Served inline: the registry is process-global, so the dump
+        // needs no trip through the ingress queue.
+        Frame::MetricsRequest => {
+            queue_reply(
+                conn,
+                &Frame::MetricsReply {
+                    dump: cad_obs::global().snapshot().encode(),
+                },
+            );
+            Dispatch::Continue
+        }
+        Frame::Shutdown => {
+            shared.shutdown.request();
+            queue_reply(
+                conn,
+                &Frame::ShutdownAck {
+                    sessions: manager
+                        .counters()
+                        .sessions
+                        .load(Ordering::Relaxed)
+                        .min(u32::MAX as u64) as u32,
+                },
+            );
+            Dispatch::CloseNow
+        }
+        // Server-to-client frames arriving at the server are protocol
+        // violations.
+        Frame::HelloAck { .. }
+        | Frame::SessionAck { .. }
+        | Frame::PushAck { .. }
+        | Frame::StatsReply { .. }
+        | Frame::SnapshotAck { .. }
+        | Frame::CloseAck { .. }
+        | Frame::ShutdownAck { .. }
+        | Frame::Backpressure { .. }
+        | Frame::MetricsReply { .. }
+        | Frame::ExplainReply { .. }
+        | Frame::Error { .. } => {
+            queue_reply(
+                conn,
+                &error_frame(codes::BAD_REQUEST, "unexpected client frame"),
+            );
+            Dispatch::Continue
+        }
+    }
+}
+
+fn routed(shared: &IoShared, conn: &Conn) -> ReplyTo {
+    ReplyTo::Routed {
+        tx: shared.reply_tx.clone(),
+        token: conn.token,
+    }
+}
+
+/// Submit a control command (cost 0 — always admitted unless the manager
+/// is closed) and park the read side until the router writes the reply.
+fn submit(
+    shared: &IoShared,
+    conn: &mut Conn,
+    cmd: Command,
+    kind: PendingKind,
+    session_id: u64,
+) -> Dispatch {
+    match shared.manager.try_enqueue(cmd) {
+        Ok(_) => {
+            conn.awaiting = Some(Pending {
+                kind,
+                session_id,
+                throttled: false,
+                queue_depth: 0,
+                started: None,
+            });
+            Dispatch::Submitted
+        }
+        Err(_) => {
+            queue_reply(
+                conn,
+                &error_frame(codes::SHUTTING_DOWN, "server is shutting down"),
+            );
+            Dispatch::CloseNow
+        }
+    }
+}
+
+/// The reply router: turns `(token, reply)` pairs from the pumps back
+/// into wire frames on the owning connection and re-arms its read side.
+fn run_router(shared: &IoShared, rx: Receiver<(u64, Reply)>) {
+    while let Ok((token, reply)) = rx.recv() {
+        if token == ROUTER_STOP {
+            return;
+        }
+        let conn = {
+            let conns = shared.conns.lock().expect("conn table poisoned");
+            match conns.get(&token) {
+                Some(c) => Arc::clone(c),
+                None => continue,
+            }
+        };
+        let mut conn = match conn.lock() {
+            Ok(c) => c,
+            Err(_) => {
+                drop_connection(shared, token);
+                continue;
+            }
+        };
+        let Some(pending) = conn.awaiting.take() else {
+            continue;
+        };
+        if let Some(started) = pending.started {
+            // Push latency is frame-in to reply-ready: queue admission
+            // (including any deferred wait) plus the detector rounds the
+            // batch completed, but not the reply write.
+            metrics::push_latency().record_duration(started.elapsed());
+        }
+        let frame = reply_frame(&shared.manager, &pending, reply);
+        queue_reply(&mut conn, &frame);
+        if matches!(frame, Frame::ShutdownAck { .. }) {
+            conn.close_after_flush = true;
+        }
+        let alive = finish_io(shared, &mut conn);
+        drop(conn);
+        if !alive {
+            drop_connection(shared, token);
+        }
+    }
+}
+
+/// Turn a pump reply into the wire frame the pending command expects.
+fn reply_frame(manager: &SessionManager, pending: &Pending, reply: Reply) -> Frame {
+    let session_id = pending.session_id;
+    match (pending.kind, reply) {
+        (_, Reply::Failed { code, message }) => error_frame(code, message),
+        (
+            PendingKind::Create,
+            Reply::Created {
+                resumed,
+                samples_seen,
+            },
+        ) => Frame::SessionAck {
+            session_id,
+            resumed,
+            samples_seen,
+        },
+        (PendingKind::Push, Reply::Pushed(outcomes)) => Frame::PushAck {
+            session_id,
+            throttled: pending.throttled,
+            queue_depth: pending.queue_depth,
+            outcomes,
+        },
+        (PendingKind::Stats, Reply::Stats(s)) => Frame::StatsReply {
+            stats: server_stats(manager, Some(s)),
+        },
+        (PendingKind::Snapshot, Reply::Snapshotted(bytes)) => {
+            Frame::SnapshotAck { session_id, bytes }
+        }
+        (PendingKind::Close, Reply::Closed) => Frame::CloseAck { session_id },
+        (PendingKind::Explain, Reply::Explained(records)) => Frame::ExplainReply {
+            session_id,
+            records,
+        },
+        _ => error_frame(codes::BAD_REQUEST, "unexpected reply"),
     }
 }
 
@@ -252,19 +1201,6 @@ fn server_stats(manager: &SessionManager, session: Option<SessionStats>) -> Serv
     }
 }
 
-/// Submit one command and wait for its reply; maps a closed queue to the
-/// protocol's `SHUTTING_DOWN` error.
-fn submit(
-    manager: &SessionManager,
-    cmd: Command,
-    rx: &mpsc::Receiver<Reply>,
-) -> Result<Reply, u16> {
-    match manager.enqueue(cmd) {
-        Err(EnqueueError::ShuttingDown) => Err(codes::SHUTTING_DOWN),
-        Ok(_) => rx.recv().map_err(|_| codes::SHUTTING_DOWN),
-    }
-}
-
 fn error_frame(code: u16, message: impl Into<String>) -> Frame {
     // The single construction point for error frames, so every error the
     // server emits is counted under its protocol code.
@@ -283,277 +1219,4 @@ fn refuse_connection(stream: TcpStream, cfg: &ServeConfig) {
         &stream,
         &error_frame(codes::ADMISSION, "connection limit reached"),
     );
-}
-
-/// Serve one connection until EOF, protocol error, or shutdown.
-fn handle_connection(
-    stream: TcpStream,
-    manager: SessionManager,
-    shutdown: ShutdownHandle,
-    cfg: ServeConfig,
-) {
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut writer = io::BufWriter::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut reader = io::BufReader::new(stream);
-    let mut frames = FrameReader::new();
-    let mut greeted = false;
-    loop {
-        let frame = match frames.read_frame(&mut reader) {
-            Ok(f) => f,
-            Err(ProtoError::Io(e))
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                // Idle poll or a peer pausing mid-frame: FrameReader kept
-                // any partial bytes, so retrying cannot desync the stream.
-                if shutdown.requested() {
-                    return;
-                }
-                continue;
-            }
-            Err(ProtoError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => return,
-            Err(e) => {
-                let _ = write_frame(&mut writer, &error_frame(codes::BAD_REQUEST, e.to_string()));
-                return;
-            }
-        };
-        // A peer that streams continuously never idles into the timeout
-        // arm above; checking between frames too keeps one busy
-        // connection from stalling graceful shutdown indefinitely.
-        if shutdown.requested() && !matches!(frame, Frame::Shutdown) {
-            let _ = write_frame(
-                &mut writer,
-                &error_frame(codes::SHUTTING_DOWN, "server is shutting down"),
-            );
-            return;
-        }
-        // Push latency is frame-in to reply-ready: it includes queue
-        // admission (and thus any backpressure wait) plus the detector
-        // rounds the batch completed, but not the reply write.
-        let push_started = matches!(frame, Frame::PushSamples { .. }).then(Instant::now);
-        let reply = handle_frame(frame, &mut greeted, &manager, &shutdown, &mut writer);
-        if let Some(started) = push_started {
-            metrics::push_latency().record_duration(started.elapsed());
-        }
-        let Some(reply) = reply else { return };
-        if write_frame(&mut writer, &reply).is_err() || writer.flush().is_err() {
-            return;
-        }
-        if matches!(reply, Frame::ShutdownAck { .. }) {
-            return;
-        }
-    }
-}
-
-/// Handle one decoded frame and produce the reply; `None` means drop the
-/// connection without replying. A saturated push additionally writes an
-/// interim [`Frame::Backpressure`] through `writer` before blocking.
-fn handle_frame<W: Write>(
-    frame: Frame,
-    greeted: &mut bool,
-    manager: &SessionManager,
-    shutdown: &ShutdownHandle,
-    writer: &mut W,
-) -> Option<Frame> {
-    if !*greeted {
-        return match frame {
-            Frame::Hello { .. } => {
-                *greeted = true;
-                let (max_sessions, max_sensors) = manager.limits();
-                Some(Frame::HelloAck {
-                    max_sessions: max_sessions as u32,
-                    max_sensors: max_sensors as u32,
-                })
-            }
-            _ => Some(error_frame(codes::BAD_REQUEST, "first frame must be Hello")),
-        };
-    }
-    let (tx, rx) = mpsc::channel();
-    let reply = match frame {
-        Frame::Hello { .. } => error_frame(codes::BAD_REQUEST, "duplicate Hello"),
-        Frame::CreateSession { session_id, spec } => {
-            match submit(
-                manager,
-                Command::Create {
-                    session_id,
-                    spec,
-                    reply: tx,
-                },
-                &rx,
-            ) {
-                Err(code) => error_frame(code, "server is shutting down"),
-                Ok(Reply::Created {
-                    resumed,
-                    samples_seen,
-                }) => Frame::SessionAck {
-                    session_id,
-                    resumed,
-                    samples_seen,
-                },
-                Ok(Reply::Failed { code, message }) => error_frame(code, message),
-                Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
-            }
-        }
-        Frame::PushSamples {
-            session_id,
-            base_tick,
-            n_sensors,
-            samples,
-        } => {
-            if n_sensors == 0 || samples.len() % n_sensors as usize != 0 {
-                return Some(error_frame(codes::BAD_PUSH, "ragged sample batch"));
-            }
-            let cost = samples.len() / n_sensors as usize;
-            // A batch whose worst-case PushAck would not fit in a frame
-            // is refused up front: the client could never read the reply.
-            let max_ticks = max_push_ticks(n_sensors);
-            if cost > max_ticks {
-                return Some(error_frame(
-                    codes::BAD_PUSH,
-                    format!(
-                        "batch of {cost} ticks could overflow the reply frame; \
-                         push at most {max_ticks} ticks for {n_sensors} sensors"
-                    ),
-                ));
-            }
-            // Saturated queue: tell the client explicitly before we block
-            // on admission — its ack will be delayed by exactly this
-            // wait, so the signal must precede it on the wire.
-            let throttled = manager.would_block(cost);
-            if throttled {
-                manager
-                    .counters()
-                    .backpressure_events
-                    .fetch_add(1, Ordering::Relaxed);
-                let depth = manager.queue_depth();
-                cad_obs::tracer().emit(TraceEvent::BackpressureEntered {
-                    queue_depth: depth as u64,
-                });
-                let bp = Frame::Backpressure {
-                    queue_depth: depth.min(u32::MAX as usize) as u32,
-                };
-                if write_frame(&mut *writer, &bp).is_err() {
-                    return None;
-                }
-            }
-            let cmd = Command::Push {
-                session_id,
-                base_tick,
-                n_sensors,
-                samples,
-                reply: tx,
-            };
-            match manager.enqueue(cmd) {
-                Err(EnqueueError::ShuttingDown) => {
-                    error_frame(codes::SHUTTING_DOWN, "server is shutting down")
-                }
-                Ok(depth) => match rx.recv() {
-                    Err(_) => error_frame(codes::SHUTTING_DOWN, "server is shutting down"),
-                    Ok(Reply::Pushed(outcomes)) => Frame::PushAck {
-                        session_id,
-                        throttled,
-                        queue_depth: depth.min(u32::MAX as usize) as u32,
-                        outcomes,
-                    },
-                    Ok(Reply::Failed { code, message }) => error_frame(code, message),
-                    Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
-                },
-            }
-        }
-        Frame::StatsRequest { session_id } => match session_id {
-            None => Frame::StatsReply {
-                stats: server_stats(manager, None),
-            },
-            Some(id) => match submit(
-                manager,
-                Command::Stats {
-                    session_id: id,
-                    reply: tx,
-                },
-                &rx,
-            ) {
-                Err(code) => error_frame(code, "server is shutting down"),
-                Ok(Reply::Stats(s)) => Frame::StatsReply {
-                    stats: server_stats(manager, Some(s)),
-                },
-                Ok(Reply::Failed { code, message }) => error_frame(code, message),
-                Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
-            },
-        },
-        Frame::Snapshot { session_id } => match submit(
-            manager,
-            Command::Snapshot {
-                session_id,
-                reply: tx,
-            },
-            &rx,
-        ) {
-            Err(code) => error_frame(code, "server is shutting down"),
-            Ok(Reply::Snapshotted(bytes)) => Frame::SnapshotAck { session_id, bytes },
-            Ok(Reply::Failed { code, message }) => error_frame(code, message),
-            Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
-        },
-        Frame::CloseSession { session_id } => match submit(
-            manager,
-            Command::Close {
-                session_id,
-                reply: tx,
-            },
-            &rx,
-        ) {
-            Err(code) => error_frame(code, "server is shutting down"),
-            Ok(Reply::Closed) => Frame::CloseAck { session_id },
-            Ok(Reply::Failed { code, message }) => error_frame(code, message),
-            Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
-        },
-        Frame::ExplainRequest { session_id } => match submit(
-            manager,
-            Command::Explain {
-                session_id,
-                reply: tx,
-            },
-            &rx,
-        ) {
-            Err(code) => error_frame(code, "server is shutting down"),
-            Ok(Reply::Explained(records)) => Frame::ExplainReply {
-                session_id,
-                records,
-            },
-            Ok(Reply::Failed { code, message }) => error_frame(code, message),
-            Ok(_) => error_frame(codes::BAD_REQUEST, "unexpected reply"),
-        },
-        // Served inline: the registry is process-global, so the dump
-        // needs no trip through the ingress queue.
-        Frame::MetricsRequest => Frame::MetricsReply {
-            dump: cad_obs::global().snapshot().encode(),
-        },
-        Frame::Shutdown => {
-            shutdown.request();
-            Frame::ShutdownAck {
-                sessions: manager
-                    .counters()
-                    .sessions
-                    .load(Ordering::Relaxed)
-                    .min(u32::MAX as u64) as u32,
-            }
-        }
-        // Server-to-client frames arriving at the server are protocol
-        // violations.
-        Frame::HelloAck { .. }
-        | Frame::SessionAck { .. }
-        | Frame::PushAck { .. }
-        | Frame::StatsReply { .. }
-        | Frame::SnapshotAck { .. }
-        | Frame::CloseAck { .. }
-        | Frame::ShutdownAck { .. }
-        | Frame::Backpressure { .. }
-        | Frame::MetricsReply { .. }
-        | Frame::ExplainReply { .. }
-        | Frame::Error { .. } => error_frame(codes::BAD_REQUEST, "unexpected client frame"),
-    };
-    Some(reply)
 }

@@ -1,44 +1,76 @@
-//! Session manager: many independent [`StreamingCad`] detectors behind a
-//! bounded ingress queue, sharded across worker threads.
+//! Session manager: many independent [`StreamingCad`] detectors behind
+//! bounded ingress queues, sharded across worker threads and pumped by
+//! one drain loop per shard *group*.
 //!
 //! ## Routing and determinism
 //!
-//! Every session is owned by exactly one shard (`session_id % n_shards`).
-//! Connection handlers enqueue commands into a single bounded queue; a
-//! dedicated pump thread drains it in arrival order, groups the batch by
-//! shard (stable — preserves per-session order) and processes the shards
-//! in parallel through [`cad_runtime::par_map_mut`]. Sessions never share
-//! state across shards, and one session's commands are only ever handled
-//! by its own shard in FIFO order, so each session's outcome stream is
-//! exactly what a serial loop over the same pushes would produce — the
-//! same contract [`cad_core::DetectorPool`] keeps, lifted to a process
-//! boundary.
+//! Every session is owned by exactly one shard (`session_id % n_shards`)
+//! and every shard by exactly one pump group (`shard * n_groups /
+//! n_shards` — contiguous ranges, monotone in the shard index). Each
+//! group owns a bounded queue; connection handlers enqueue commands into
+//! the owning group's queue, and that group's pump thread drains it in
+//! arrival order, groups the batch by shard (stable — preserves
+//! per-session order) and processes its shards in parallel through
+//! [`cad_runtime::par_map_mut`]. Sessions never share state across
+//! shards, and one session's commands are only ever handled by its own
+//! shard in FIFO order, so each session's outcome stream is exactly what
+//! a serial loop over the same pushes would produce — regardless of the
+//! group count. `pump_groups = 1` reproduces the old single-pump layout
+//! bit for bit; any other grouping produces the same per-session streams.
 //!
 //! ## Backpressure
 //!
-//! The queue is bounded in *ticks* (pending samples), not commands, so
-//! memory stays proportional to the configured capacity no matter how the
-//! clients batch. [`SessionManager::would_block`] lets a connection
-//! handler emit an explicit [`Backpressure`](crate::protocol::Frame)
-//! frame before it parks in [`SessionManager::enqueue`]; a client that
-//! keeps pushing is throttled by its own unacknowledged request, never by
-//! unbounded server-side buffering. One exception keeps the system live:
-//! a batch larger than the whole capacity is admitted alone into an empty
-//! queue instead of deadlocking.
+//! Each group queue is bounded in *ticks* (pending samples), not
+//! commands, so memory stays proportional to the configured capacity no
+//! matter how the clients batch. [`SessionManager::would_block`] lets a
+//! connection handler emit an explicit
+//! [`Backpressure`](crate::protocol::Frame) frame before it parks in
+//! [`SessionManager::enqueue`]; the poller path uses the non-blocking
+//! [`SessionManager::try_enqueue`] instead and parks the *connection*
+//! (interest off) rather than a thread. One exception keeps the system
+//! live: a batch larger than the whole capacity is admitted alone into an
+//! empty queue instead of deadlocking.
+//!
+//! ## Hibernation
+//!
+//! With `hibernate_after_rounds > 0` and a `spill_dir`, a session that
+//! sees no push for that many pump sweeps (a sweep is one drain iteration
+//! of its group — roughly one batch under load, one 100 ms idle tick
+//! otherwise) is spilled: its full `cad-stream v2` snapshot (ring
+//! cursors, ExplainJournal and all) is written to a checksummed
+//! `session-<id>.cadh` file and the in-memory state is dropped, leaving
+//! only a small metadata stub. The next command for that id transparently
+//! resurrects it — bit-identical to a never-hibernated run, because the
+//! spill payload is the exact state format restarts already round-trip. A
+//! corrupted spill surfaces as [`codes::RESURRECT_FAILED`], never a
+//! panic, and the session is dropped. Restart scans `spill_dir` too:
+//! hibernated sessions survive a kill/restart without ever being loaded
+//! until their next command.
+//!
+//! ## Rebalance
+//!
+//! [`SessionManager::rebalance`] changes the group count on a quiesced
+//! manager (all queues empty): it retires the current queue generation,
+//! swaps in a fresh one, and the pump master joins its group threads and
+//! respawns them over the new layout. Producers that raced into a retired
+//! queue re-route; producers never park on a non-empty retired queue
+//! because retirement requires empty queues.
 //!
 //! ## Shutdown
 //!
-//! Closing the queue wakes the pump, which drains every remaining
-//! command, replies to the waiting handlers, persists all sessions to the
-//! snapshot directory (state format: `cad-stream v2`, see
-//! `cad_core::state`) and exits. A server restarted over the same
-//! directory restores each session mid-window and resumes bit-identically.
+//! Closing the manager wakes every group, which drains its remaining
+//! commands, replies to the waiting handlers and exits; the master then
+//! persists all resident sessions to the snapshot directory (state
+//! format: `cad-stream v2`, see `cad_core::state`). A server restarted
+//! over the same directories restores each session mid-window and resumes
+//! bit-identically.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::io::BufRead;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use cad_core::{load_stream, save_stream, CadConfig, CadDetector, EngineChoice, StreamingCad};
@@ -48,16 +80,16 @@ use cad_runtime::Timer;
 use crate::metrics;
 use crate::protocol::{codes, SessionSpec, SessionStats, WireEngine, WireOutcome, WireRoundRecord};
 
-/// Admission and queue limits for a [`SessionManager`].
+/// Admission, queue, pump and hibernation limits for a [`SessionManager`].
 #[derive(Debug, Clone)]
 pub struct ManagerConfig {
     /// Worker shards (defaults to the `cad-runtime` thread count).
     pub shards: usize,
-    /// Maximum live sessions across all shards.
+    /// Maximum live sessions (resident + hibernated) across all shards.
     pub max_sessions: usize,
     /// Maximum sensors per session.
     pub max_sensors: usize,
-    /// Ingress-queue capacity in ticks (pending samples).
+    /// Per-group ingress-queue capacity in ticks (pending samples).
     pub queue_capacity: usize,
     /// Directory session snapshots are written to; `None` disables
     /// snapshots (and restart recovery).
@@ -67,6 +99,16 @@ pub struct ManagerConfig {
     /// *and* after snapshot restore, so the server configuration is
     /// authoritative regardless of what a snapshot recorded.
     pub explain_rounds: usize,
+    /// Pump groups draining the shards (0 = auto:
+    /// `min(shards, cad_runtime::effective_threads())`). Clamped to
+    /// `1..=shards`.
+    pub pump_groups: usize,
+    /// Hibernate a session after this many pump sweeps without a push
+    /// (0 disables hibernation). Requires `spill_dir`.
+    pub hibernate_after_rounds: usize,
+    /// Directory hibernated sessions spill their state to; `None`
+    /// disables hibernation.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for ManagerConfig {
@@ -78,8 +120,28 @@ impl Default for ManagerConfig {
             queue_capacity: 8192,
             snapshot_dir: None,
             explain_rounds: 256,
+            pump_groups: 0,
+            hibernate_after_rounds: 0,
+            spill_dir: None,
         }
     }
+}
+
+impl ManagerConfig {
+    fn effective_groups(&self) -> usize {
+        let shards = self.shards.max(1);
+        let auto = cad_runtime::effective_threads().min(shards).max(1);
+        match self.pump_groups {
+            0 => auto,
+            g => g.clamp(1, shards),
+        }
+    }
+}
+
+/// Which pump group drains `shard` when `n_shards` are split across
+/// `n_groups`. Contiguous and monotone, so each group owns a range.
+fn group_of(shard: usize, n_shards: usize, n_groups: usize) -> usize {
+    shard * n_groups / n_shards
 }
 
 /// Reply to one command, delivered through the command's own channel.
@@ -102,8 +164,7 @@ pub enum Reply {
     Stats(SessionStats),
     /// The session's forensics journal, oldest record first.
     Explained(Vec<WireRoundRecord>),
-    /// One row per live session across all shards (see
-    /// [`Command::SessionTable`]).
+    /// One row per live session (see [`Command::SessionTable`]).
     Sessions(Vec<SessionRow>),
     /// Command failed with a protocol error code.
     Failed {
@@ -114,7 +175,44 @@ pub enum Reply {
     },
 }
 
-/// A command routed through the ingress queue to a session's shard.
+/// Where a [`Reply`] goes: a blocking handler's private channel, or the
+/// poller path's shared reply router keyed by connection token.
+#[derive(Debug, Clone)]
+pub enum ReplyTo {
+    /// One-shot channel a blocking caller is `recv`ing on.
+    Channel(Sender<Reply>),
+    /// Shared router channel; the reply is tagged with the token so the
+    /// router can find the connection it belongs to.
+    Routed {
+        /// The reply router's ingress.
+        tx: Sender<(u64, Reply)>,
+        /// Connection token the router resolves.
+        token: u64,
+    },
+}
+
+impl From<Sender<Reply>> for ReplyTo {
+    fn from(tx: Sender<Reply>) -> Self {
+        ReplyTo::Channel(tx)
+    }
+}
+
+impl ReplyTo {
+    /// Deliver the reply. A receiver that gave up (dead connection) is
+    /// not an error.
+    pub fn send(&self, reply: Reply) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplyTo::Routed { tx, token } => {
+                let _ = tx.send((*token, reply));
+            }
+        }
+    }
+}
+
+/// A command routed through the ingress queues to a session's shard.
 #[derive(Debug)]
 pub enum Command {
     /// Create or re-attach.
@@ -123,8 +221,8 @@ pub enum Command {
         session_id: u64,
         /// Detector parameters.
         spec: SessionSpec,
-        /// Reply channel.
-        reply: Sender<Reply>,
+        /// Reply destination.
+        reply: ReplyTo,
     },
     /// Feed a batch of ticks.
     Push {
@@ -136,44 +234,55 @@ pub enum Command {
         n_sensors: u32,
         /// `n_ticks × n_sensors` readings, tick-major.
         samples: Vec<f64>,
-        /// Reply channel.
-        reply: Sender<Reply>,
+        /// Reply destination.
+        reply: ReplyTo,
     },
     /// Persist one session now.
     Snapshot {
         /// Target session.
         session_id: u64,
-        /// Reply channel.
-        reply: Sender<Reply>,
+        /// Reply destination.
+        reply: ReplyTo,
     },
     /// Drop one session.
     Close {
         /// Target session.
         session_id: u64,
-        /// Reply channel.
-        reply: Sender<Reply>,
+        /// Reply destination.
+        reply: ReplyTo,
     },
     /// Read one session's counters.
     Stats {
         /// Target session.
         session_id: u64,
-        /// Reply channel.
-        reply: Sender<Reply>,
+        /// Reply destination.
+        reply: ReplyTo,
     },
     /// Read one session's forensics journal.
     Explain {
         /// Target session.
         session_id: u64,
-        /// Reply channel.
-        reply: Sender<Reply>,
+        /// Reply destination.
+        reply: ReplyTo,
     },
-    /// Read the cross-shard session table. Unlike every other command this
-    /// is not owned by one shard; the pump answers it itself after the
-    /// batch's shard fan-out, when it has exclusive access to all shards.
+    /// Read the session table of the *receiving group's* shards. The
+    /// group pump answers it after the batch's shard fan-out, when it has
+    /// exclusive access to its shards; [`SessionManager::session_table`]
+    /// broadcasts one per group and merges the rows into the cross-shard
+    /// table.
     SessionTable {
-        /// Reply channel.
-        reply: Sender<Reply>,
+        /// Reply destination.
+        reply: ReplyTo,
     },
+}
+
+/// Residency of one session as reported by [`SessionRow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Detector state resident in memory.
+    Active,
+    /// State spilled to `spill_dir`; resurrects on the next command.
+    Hibernated,
 }
 
 /// One live session as reported by [`Reply::Sessions`].
@@ -193,6 +302,10 @@ pub struct SessionRow {
     pub anomalies: u64,
     /// Whether the session was restored from a snapshot at startup.
     pub resumed: bool,
+    /// Resident in memory or spilled to disk.
+    pub state: SessionState,
+    /// `rounds` as of the last accepted push (how stale the stream is).
+    pub last_push_round: u64,
 }
 
 /// The work half of a [`Command`], split from its reply channel so a
@@ -213,7 +326,8 @@ enum Work {
 }
 
 impl Command {
-    fn session_id(&self) -> u64 {
+    /// The target session (drives shard + group routing).
+    pub fn session_id(&self) -> u64 {
         match self {
             Command::Create { session_id, .. }
             | Command::Push { session_id, .. }
@@ -221,13 +335,13 @@ impl Command {
             | Command::Close { session_id, .. }
             | Command::Stats { session_id, .. }
             | Command::Explain { session_id, .. } => *session_id,
-            // Routed nowhere: the pump intercepts it before sharding.
+            // Routed like session 0: lands on the first group.
             Command::SessionTable { .. } => 0,
         }
     }
 
     /// Queue cost in ticks (only pushes occupy capacity).
-    fn cost(&self) -> usize {
+    pub fn cost(&self) -> usize {
         match self {
             Command::Push {
                 samples, n_sensors, ..
@@ -236,7 +350,7 @@ impl Command {
         }
     }
 
-    fn into_parts(self) -> (u64, Work, Sender<Reply>) {
+    fn into_parts(self) -> (u64, Work, ReplyTo) {
         match self {
             Command::Create {
                 session_id,
@@ -263,7 +377,7 @@ impl Command {
             Command::Stats { session_id, reply } => (session_id, Work::Stats, reply),
             Command::Explain { session_id, reply } => (session_id, Work::Explain, reply),
             Command::SessionTable { .. } => {
-                unreachable!("SessionTable is answered by the pump, never by a shard")
+                unreachable!("SessionTable is answered by the group pump, never by a shard")
             }
         }
     }
@@ -272,7 +386,7 @@ impl Command {
 /// Server-wide counters, shared between shards, handlers and stats frames.
 #[derive(Debug, Default)]
 pub struct Counters {
-    /// Live sessions.
+    /// Live sessions (resident + hibernated).
     pub sessions: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
@@ -284,8 +398,12 @@ pub struct Counters {
     pub total_anomalies: AtomicU64,
     /// Backpressure frames emitted.
     pub backpressure_events: AtomicU64,
-    /// High-water mark of the ingress queue, in ticks.
+    /// High-water mark of total pending ticks across all group queues.
     pub peak_queue_depth: AtomicU64,
+    /// Sessions spilled to the hibernation tier.
+    pub hibernations: AtomicU64,
+    /// Sessions resurrected from the hibernation tier.
+    pub resurrections: AtomicU64,
 }
 
 /// One monitored deployment: a streaming detector plus its counters.
@@ -297,6 +415,11 @@ struct Session {
     /// Restored from a snapshot at startup (surfaces in the `/sessions`
     /// table so an operator can tell recovered state from fresh state).
     resumed: bool,
+    /// Owning shard's sweep counter at the last accepted push (or
+    /// create/resurrect); drives the hibernation idle test.
+    last_push_sweep: u64,
+    /// `rounds` as of the last accepted push.
+    last_push_round: u64,
 }
 
 impl Session {
@@ -319,6 +442,48 @@ impl Session {
             rounds: self.rounds,
             anomalies: self.anomalies,
             resumed: self.resumed,
+            state: SessionState::Active,
+            last_push_round: self.last_push_round,
+        }
+    }
+}
+
+/// What a shard remembers about a hibernated session without loading it:
+/// enough to answer the `/sessions` table and to restore the non-stream
+/// counters bit-identically on resurrection.
+#[derive(Debug, Clone, Copy)]
+struct HibernatedMeta {
+    n_sensors: u32,
+    samples_seen: u64,
+    rounds: u64,
+    anomalies: u64,
+    resumed: bool,
+    last_push_round: u64,
+}
+
+impl HibernatedMeta {
+    fn of(session: &Session) -> Self {
+        Self {
+            n_sensors: session.stream.detector().n_sensors() as u32,
+            samples_seen: session.stream.samples_seen() as u64,
+            rounds: session.rounds,
+            anomalies: session.anomalies,
+            resumed: session.resumed,
+            last_push_round: session.last_push_round,
+        }
+    }
+
+    fn row(&self, shard: u32, session_id: u64) -> SessionRow {
+        SessionRow {
+            shard,
+            session_id,
+            n_sensors: self.n_sensors,
+            samples_seen: self.samples_seen,
+            rounds: self.rounds,
+            anomalies: self.anomalies,
+            resumed: self.resumed,
+            state: SessionState::Hibernated,
+            last_push_round: self.last_push_round,
         }
     }
 }
@@ -326,33 +491,91 @@ impl Session {
 /// One worker shard: the sessions it owns, keyed by id.
 #[derive(Debug)]
 struct Shard {
+    /// Global shard index (`session_id % n_shards` routes here).
+    index: usize,
     sessions: BTreeMap<u64, Session>,
-    /// Live-session gauge for this shard (`serve_shard_sessions{shard=i}`),
-    /// resolved once at construction.
+    /// Hibernated sessions: metadata stub only, state lives on disk.
+    hibernated: BTreeMap<u64, HibernatedMeta>,
+    /// Resident-session gauge for this shard
+    /// (`serve_shard_sessions{shard=i}`), resolved once at construction.
     sessions_gauge: Arc<Gauge>,
+    /// Drain iterations of the owning group since process start; the
+    /// hibernation clock.
+    sweep: u64,
 }
 
 impl Shard {
     fn new(index: usize) -> Self {
         Self {
+            index,
             sessions: BTreeMap::new(),
+            hibernated: BTreeMap::new(),
             sessions_gauge: metrics::shard_sessions_gauge(index),
+            sweep: 0,
         }
+    }
+
+    /// All rows this shard owns, ordered by session id.
+    fn rows(&self) -> Vec<SessionRow> {
+        let shard = self.index as u32;
+        let mut rows: Vec<SessionRow> = self
+            .sessions
+            .iter()
+            .map(|(&id, s)| s.row(shard, id))
+            .chain(self.hibernated.iter().map(|(&id, m)| m.row(shard, id)))
+            .collect();
+        rows.sort_by_key(|r| r.session_id);
+        rows
     }
 }
 
 struct IngressQueue {
     jobs: VecDeque<Command>,
     pending_ticks: usize,
-    closed: bool,
+    /// Set by [`SessionManager::rebalance`]: this queue generation is
+    /// dead, producers must re-route and the group pump must exit.
+    retired: bool,
+}
+
+/// One pump group's bounded ingress queue.
+struct GroupQueue {
+    q: Mutex<IngressQueue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl GroupQueue {
+    fn new() -> Self {
+        Self {
+            q: Mutex::new(IngressQueue {
+                jobs: VecDeque::new(),
+                pending_ticks: 0,
+                retired: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
 }
 
 struct Shared {
     cfg: ManagerConfig,
-    queue: Mutex<IngressQueue>,
-    not_empty: Condvar,
-    not_full: Condvar,
+    n_shards: usize,
+    /// Current queue generation, one queue per pump group. Swapped whole
+    /// by [`SessionManager::rebalance`]; readers clone the `Arc`s and
+    /// never hold the lock across a wait.
+    queues: RwLock<Vec<Arc<GroupQueue>>>,
+    closed: AtomicBool,
+    /// Total pending ticks across all group queues — the global depth
+    /// gauge without any cross-queue lock ordering.
+    pending_total: AtomicI64,
     counters: Counters,
+}
+
+impl Shared {
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
 }
 
 /// Handle used by connection handlers to submit commands and read
@@ -362,8 +585,8 @@ pub struct SessionManager {
     shared: Arc<Shared>,
 }
 
-/// The pump half: owns the shards, drains the queue until it is closed,
-/// then persists every session.
+/// The pump half: owns the shards, spawns one drain loop per group until
+/// the manager is closed, then persists every resident session.
 pub struct SessionPump {
     shared: Arc<Shared>,
     shards: Vec<Shard>,
@@ -374,6 +597,34 @@ pub struct SessionPump {
 pub enum EnqueueError {
     /// The queue is closed: the server is shutting down.
     ShuttingDown,
+}
+
+/// Errors surfaced by [`SessionManager::try_enqueue`]; both hand the
+/// command back so the caller can defer it without cloning.
+#[derive(Debug)]
+pub enum TryEnqueueError {
+    /// The manager is closed: the server is shutting down.
+    ShuttingDown(Command),
+    /// Admission would block; retry after the group drains.
+    Full(Command),
+}
+
+/// Errors surfaced by [`SessionManager::rebalance`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RebalanceError {
+    /// The manager is closed.
+    ShuttingDown,
+    /// At least one group queue still holds commands; quiesce first.
+    NotQuiesced,
+}
+
+/// Errors surfaced by [`SessionManager::session_table`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum SessionTableError {
+    /// The manager is closed.
+    ShuttingDown,
+    /// A group did not answer within the deadline.
+    Timeout,
 }
 
 fn validate_spec(spec: &SessionSpec, max_sensors: usize) -> Result<CadConfig, (u16, String)> {
@@ -460,9 +711,139 @@ fn write_snapshot(dir: &Path, session_id: u64, session: &Session) -> std::io::Re
     Ok(buf.len() as u64)
 }
 
+// ---------------------------------------------------------------------
+// Hibernation spill files
+//
+// `session-<id>.cadh`: a single ASCII header line
+//
+//   cad-spill v1 <payload_len> <fnv1a64 hex16> <n_sensors> \
+//     <samples_seen> <rounds> <anomalies> <resumed 0|1> <last_push_round>
+//
+// followed by the raw `cad-stream v2` payload. The header carries the
+// shard counters the stream format does not (rounds/anomalies are
+// process-relative) plus length + checksum so a truncated or bit-flipped
+// spill is detected before `load_stream` ever parses it. Metadata is in
+// the header so a restart can register hibernated sessions without
+// reading the payload.
+// ---------------------------------------------------------------------
+
+const SPILL_MAGIC: &str = "cad-spill v1";
+
+fn spill_path(dir: &Path, session_id: u64) -> PathBuf {
+    dir.join(format!("session-{session_id}.cadh"))
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn spill_header(payload: &[u8], meta: &HibernatedMeta) -> String {
+    format!(
+        "{SPILL_MAGIC} {} {:016x} {} {} {} {} {} {}\n",
+        payload.len(),
+        fnv1a64(payload),
+        meta.n_sensors,
+        meta.samples_seen,
+        meta.rounds,
+        meta.anomalies,
+        meta.resumed as u8,
+        meta.last_push_round,
+    )
+}
+
+/// Parse a spill header line into `(payload_len, checksum, meta)`.
+fn parse_spill_header(line: &str) -> Option<(usize, u64, HibernatedMeta)> {
+    let rest = line.strip_prefix(SPILL_MAGIC)?;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    if fields.len() != 8 {
+        return None;
+    }
+    let payload_len = fields[0].parse::<usize>().ok()?;
+    let checksum = u64::from_str_radix(fields[1], 16).ok()?;
+    let resumed = match fields[6] {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    Some((
+        payload_len,
+        checksum,
+        HibernatedMeta {
+            n_sensors: fields[2].parse().ok()?,
+            samples_seen: fields[3].parse().ok()?,
+            rounds: fields[4].parse().ok()?,
+            anomalies: fields[5].parse().ok()?,
+            resumed,
+            last_push_round: fields[7].parse().ok()?,
+        },
+    ))
+}
+
+fn bad_spill(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Write one session's spill atomically; returns bytes written.
+fn write_spill(dir: &Path, session_id: u64, session: &Session) -> std::io::Result<u64> {
+    let mut payload = Vec::new();
+    save_stream(&session.stream, &mut payload)?;
+    let mut buf = spill_header(&payload, &HibernatedMeta::of(session)).into_bytes();
+    buf.extend_from_slice(&payload);
+    let tmp = dir.join(format!("session-{session_id}.cadh.tmp"));
+    std::fs::write(&tmp, &buf)?;
+    std::fs::rename(&tmp, spill_path(dir, session_id))?;
+    Ok(buf.len() as u64)
+}
+
+/// Read only a spill file's header line (restart registration: the
+/// payload stays on disk until the session's next command).
+fn read_spill_meta(path: &Path) -> std::io::Result<HibernatedMeta> {
+    let file = std::fs::File::open(path)?;
+    let mut line = String::new();
+    std::io::BufReader::new(file).read_line(&mut line)?;
+    parse_spill_header(line.trim_end_matches('\n'))
+        .map(|(_, _, meta)| meta)
+        .ok_or_else(|| bad_spill(format!("{}: malformed spill header", path.display())))
+}
+
+/// Read, verify and decode a full spill file.
+fn read_spill(path: &Path, explain_rounds: usize) -> std::io::Result<StreamingCad> {
+    let bytes = std::fs::read(path)?;
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| bad_spill("spill file has no header line"))?;
+    let header =
+        std::str::from_utf8(&bytes[..nl]).map_err(|_| bad_spill("spill header is not UTF-8"))?;
+    let (payload_len, checksum, _) =
+        parse_spill_header(header).ok_or_else(|| bad_spill("malformed spill header"))?;
+    let payload = &bytes[nl + 1..];
+    if payload.len() != payload_len {
+        return Err(bad_spill(format!(
+            "spill payload is {} bytes, header says {payload_len}",
+            payload.len()
+        )));
+    }
+    let got = fnv1a64(payload);
+    if got != checksum {
+        return Err(bad_spill(format!(
+            "spill checksum mismatch: file says {checksum:016x}, payload hashes to {got:016x}"
+        )));
+    }
+    let mut stream = load_stream(payload)
+        .map_err(|e| bad_spill(format!("spill payload does not decode: {e}")))?;
+    stream.set_explain_capacity(explain_rounds);
+    Ok(stream)
+}
+
 impl Shard {
     /// Process this shard's slice of the drained batch, in arrival order.
-    fn run(&mut self, cmds: Vec<Command>, shared: &Shared) -> Vec<(Sender<Reply>, Reply)> {
+    fn run(&mut self, cmds: Vec<Command>, shared: &Shared) -> Vec<(ReplyTo, Reply)> {
         let _t = Timer::start("serve.shard");
         let mut out = Vec::with_capacity(cmds.len());
         for cmd in cmds {
@@ -479,6 +860,7 @@ impl Shard {
                 if self.sessions.remove(&session_id).is_some() {
                     shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
                     self.sessions_gauge.sub(1);
+                    metrics::resident_sessions_gauge().sub(1);
                     cad_obs::tracer().emit(TraceEvent::SessionPanicked { session_id });
                 }
                 Reply::Failed {
@@ -493,9 +875,123 @@ impl Shard {
         out
     }
 
+    /// Load a hibernated session back into memory. On failure the spill
+    /// is discarded and the session is gone — the caller gets the
+    /// [`codes::RESURRECT_FAILED`] reply to forward.
+    fn resurrect(&mut self, session_id: u64, shared: &Shared) -> Result<(), Reply> {
+        let started = Instant::now();
+        let meta = self
+            .hibernated
+            .remove(&session_id)
+            .expect("resurrect caller checked the hibernated map");
+        let dir = shared
+            .cfg
+            .spill_dir
+            .as_ref()
+            .expect("hibernated sessions imply a spill_dir");
+        let path = spill_path(dir, session_id);
+        match read_spill(&path, shared.cfg.explain_rounds) {
+            Ok(stream) => {
+                let _ = std::fs::remove_file(&path);
+                self.sessions.insert(
+                    session_id,
+                    Session {
+                        stream,
+                        rounds: meta.rounds,
+                        anomalies: meta.anomalies,
+                        resumed: meta.resumed,
+                        last_push_sweep: self.sweep,
+                        last_push_round: meta.last_push_round,
+                    },
+                );
+                self.sessions_gauge.add(1);
+                metrics::resident_sessions_gauge().add(1);
+                metrics::hibernated_sessions_gauge().sub(1);
+                metrics::resurrections_total().inc();
+                metrics::resurrect_latency().record_duration(started.elapsed());
+                shared
+                    .counters
+                    .resurrections
+                    .fetch_add(1, Ordering::Relaxed);
+                cad_obs::tracer().emit(TraceEvent::SessionResurrected { session_id });
+                Ok(())
+            }
+            Err(e) => {
+                // The spill is unusable; keeping it (or the stub) would
+                // make every later command fail the same way. Drop the
+                // session so the client can re-create it.
+                let _ = std::fs::remove_file(&path);
+                shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                metrics::hibernated_sessions_gauge().sub(1);
+                cad_obs::tracer().emit(TraceEvent::SessionDropped { session_id });
+                Err(Reply::Failed {
+                    code: codes::RESURRECT_FAILED,
+                    message: format!("session {session_id}: resurrect failed: {e}"),
+                })
+            }
+        }
+    }
+
+    /// Spill every session that has not seen a push for `after` sweeps.
+    fn hibernate_idle(&mut self, shared: &Shared, after: u64) {
+        let Some(dir) = &shared.cfg.spill_dir else {
+            return;
+        };
+        let sweep = self.sweep;
+        let idle: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| sweep.saturating_sub(s.last_push_sweep) >= after)
+            .map(|(&id, _)| id)
+            .collect();
+        for session_id in idle {
+            let session = &self.sessions[&session_id];
+            // A failed spill (disk full, …) keeps the session resident;
+            // the next sweep retries.
+            if write_spill(dir, session_id, session).is_err() {
+                continue;
+            }
+            let session = self
+                .sessions
+                .remove(&session_id)
+                .expect("session present above");
+            self.hibernated
+                .insert(session_id, HibernatedMeta::of(&session));
+            // The spill now supersedes any earlier snapshot; a stale
+            // `.cads` left behind would win over the `.cadh` at restart.
+            if let Some(snap) = &shared.cfg.snapshot_dir {
+                let _ = std::fs::remove_file(snapshot_path(snap, session_id));
+            }
+            self.sessions_gauge.sub(1);
+            metrics::resident_sessions_gauge().sub(1);
+            metrics::hibernated_sessions_gauge().add(1);
+            metrics::hibernations_total().inc();
+            shared.counters.hibernations.fetch_add(1, Ordering::Relaxed);
+            cad_obs::tracer().emit(TraceEvent::SessionHibernated { session_id });
+        }
+    }
+
     /// Execute one command against this shard's sessions.
     fn exec(&mut self, session_id: u64, work: Work, shared: &Shared) -> Reply {
+        // Hibernated sessions resurrect on any command except Close,
+        // which drops the spill without ever loading it.
+        if !self.sessions.contains_key(&session_id) && self.hibernated.contains_key(&session_id) {
+            if matches!(work, Work::Close) {
+                self.hibernated.remove(&session_id);
+                if let Some(dir) = &shared.cfg.spill_dir {
+                    let _ = std::fs::remove_file(spill_path(dir, session_id));
+                }
+                shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                metrics::hibernated_sessions_gauge().sub(1);
+                cad_obs::tracer().emit(TraceEvent::SessionDropped { session_id });
+                return Reply::Closed;
+            }
+            if let Err(reply) = self.resurrect(session_id, shared) {
+                return reply;
+            }
+        }
         let counters = &shared.counters;
+        let sweep = self.sweep;
         match work {
             Work::Create { spec } => {
                 if let Some(session) = self.sessions.get(&session_id) {
@@ -530,9 +1026,12 @@ impl Shard {
                                         rounds: 0,
                                         anomalies: 0,
                                         resumed: false,
+                                        last_push_sweep: sweep,
+                                        last_push_round: 0,
                                     },
                                 );
                                 self.sessions_gauge.add(1);
+                                metrics::resident_sessions_gauge().add(1);
                                 cad_obs::tracer().emit(TraceEvent::SessionCreated { session_id });
                                 Reply::Created {
                                     resumed: false,
@@ -582,6 +1081,8 @@ impl Shard {
                                 });
                             }
                         }
+                        session.last_push_sweep = sweep;
+                        session.last_push_round = session.rounds;
                         let n_ticks = (samples.len() / width) as u64;
                         counters.total_ticks.fetch_add(n_ticks, Ordering::Relaxed);
                         counters
@@ -621,6 +1122,7 @@ impl Shard {
                     Some(_) => {
                         counters.sessions.fetch_sub(1, Ordering::Relaxed);
                         self.sessions_gauge.sub(1);
+                        metrics::resident_sessions_gauge().sub(1);
                         cad_obs::tracer().emit(TraceEvent::SessionDropped { session_id });
                         if let Some(dir) = &shared.cfg.snapshot_dir {
                             // Best-effort: a closed session must not be
@@ -660,28 +1162,16 @@ impl Shard {
 impl SessionManager {
     /// Build a manager plus its pump. When `cfg.snapshot_dir` holds
     /// snapshots from an earlier run, those sessions are restored before
-    /// any command is accepted.
+    /// any command is accepted; when `cfg.spill_dir` holds spills,
+    /// those sessions are registered as hibernated (header only — the
+    /// payload stays on disk until their next command).
     pub fn new(cfg: ManagerConfig) -> std::io::Result<(SessionManager, SessionPump)> {
         let shards_n = cfg.shards.max(1);
         let mut shards: Vec<Shard> = (0..shards_n).map(Shard::new).collect();
         let mut restored = 0u64;
         if let Some(dir) = &cfg.snapshot_dir {
             std::fs::create_dir_all(dir)?;
-            let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
-                .filter_map(|e| e.ok().map(|e| e.path()))
-                .collect();
-            entries.sort();
-            for path in entries {
-                let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-                    continue;
-                };
-                let Some(id) = name
-                    .strip_prefix("session-")
-                    .and_then(|r| r.strip_suffix(".cads"))
-                    .and_then(|r| r.parse::<u64>().ok())
-                else {
-                    continue;
-                };
+            for (id, path) in scan_session_files(dir, ".cads")? {
                 let file = std::fs::File::open(&path)?;
                 let mut stream = load_stream(std::io::BufReader::new(file)).map_err(|e| {
                     std::io::Error::new(
@@ -700,22 +1190,47 @@ impl SessionManager {
                         rounds: 0,
                         anomalies: 0,
                         resumed: true,
+                        last_push_sweep: 0,
+                        last_push_round: 0,
                     },
                 );
                 shard.sessions_gauge.add(1);
+                metrics::resident_sessions_gauge().add(1);
                 cad_obs::tracer().emit(TraceEvent::SnapshotLoaded { session_id: id });
                 restored += 1;
             }
         }
+        if let Some(dir) = &cfg.spill_dir {
+            std::fs::create_dir_all(dir)?;
+            for (id, path) in scan_session_files(dir, ".cadh")? {
+                let shard = &mut shards[(id % shards_n as u64) as usize];
+                if shard.sessions.contains_key(&id) {
+                    // A snapshot restored this id already. Snapshots are
+                    // written at shutdown (after any resurrection, which
+                    // deletes its spill), so a surviving spill next to a
+                    // snapshot is stale — drop it.
+                    let _ = std::fs::remove_file(&path);
+                    continue;
+                }
+                // A malformed header means we could never resurrect this
+                // spill; leave the file for the operator and do not
+                // register the session.
+                let Ok(meta) = read_spill_meta(&path) else {
+                    continue;
+                };
+                shard.hibernated.insert(id, meta);
+                metrics::hibernated_sessions_gauge().add(1);
+                restored += 1;
+            }
+        }
+        let n_groups = cfg.effective_groups();
+        let queues = (0..n_groups).map(|_| Arc::new(GroupQueue::new())).collect();
         let shared = Arc::new(Shared {
             cfg,
-            queue: Mutex::new(IngressQueue {
-                jobs: VecDeque::new(),
-                pending_ticks: 0,
-                closed: false,
-            }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
+            n_shards: shards_n,
+            queues: RwLock::new(queues),
+            closed: AtomicBool::new(false),
+            pending_total: AtomicI64::new(0),
             counters: Counters::default(),
         });
         shared.counters.sessions.store(restored, Ordering::Relaxed);
@@ -737,158 +1252,314 @@ impl SessionManager {
         (self.shared.cfg.max_sessions, self.shared.cfg.max_sensors)
     }
 
-    /// Current ingress-queue depth in ticks.
-    pub fn queue_depth(&self) -> usize {
-        self.shared
-            .queue
-            .lock()
-            .expect("ingress queue poisoned")
-            .pending_ticks
+    /// Current pump-group count.
+    pub fn pump_groups(&self) -> usize {
+        self.shared.queues.read().expect("queue set poisoned").len()
     }
 
-    /// Whether enqueueing a command of this cost would block right now —
-    /// the handler's cue to send an explicit `Backpressure` frame first.
-    pub fn would_block(&self, cost: usize) -> bool {
-        let q = self.shared.queue.lock().expect("ingress queue poisoned");
-        !q.closed
+    /// Total pending ticks across all group queues.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.pending_total.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// The group queue a session's commands route to, under the current
+    /// queue generation.
+    fn queue_for(&self, session_id: u64) -> Arc<GroupQueue> {
+        let queues = self.shared.queues.read().expect("queue set poisoned");
+        let n_shards = self.shared.n_shards;
+        let shard = (session_id % n_shards as u64) as usize;
+        Arc::clone(&queues[group_of(shard, n_shards, queues.len())])
+    }
+
+    /// Whether enqueueing a command of this cost for this session would
+    /// block right now — the handler's cue to send an explicit
+    /// `Backpressure` frame first.
+    pub fn would_block(&self, session_id: u64, cost: usize) -> bool {
+        let queue = self.queue_for(session_id);
+        let q = queue.q.lock().expect("ingress queue poisoned");
+        !self.shared.is_closed()
             && cost > 0
             && q.pending_ticks > 0
             && q.pending_ticks + cost > self.shared.cfg.queue_capacity
     }
 
-    /// Submit a command, blocking while the queue is over capacity. The
-    /// bound is in ticks; control commands (cost 0) are always admitted.
-    /// Returns the queue depth (ticks) right after admission.
+    /// Admit `cmd` into `q`, which the caller verified it fits. Returns
+    /// the *global* queue depth after admission.
+    fn admit(&self, queue: &GroupQueue, q: &mut IngressQueue, cmd: Command, cost: usize) -> usize {
+        q.pending_ticks += cost;
+        let total = self
+            .shared
+            .pending_total
+            .fetch_add(cost as i64, Ordering::Relaxed)
+            + cost as i64;
+        let depth = total.max(0) as usize;
+        self.shared
+            .counters
+            .peak_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+        metrics::queue_depth_gauge().set(depth as i64);
+        q.jobs.push_back(cmd);
+        queue.not_empty.notify_all();
+        depth
+    }
+
+    /// Submit a command, blocking while its group queue is over capacity.
+    /// The bound is in ticks; control commands (cost 0) are always
+    /// admitted. Returns the global queue depth (ticks) after admission.
     pub fn enqueue(&self, cmd: Command) -> Result<usize, EnqueueError> {
         let cost = cmd.cost();
-        let mut q = self.shared.queue.lock().expect("ingress queue poisoned");
+        let session_id = cmd.session_id();
         let mut blocked_since: Option<Instant> = None;
-        loop {
-            if q.closed {
+        let mut cmd = Some(cmd);
+        'route: loop {
+            if self.shared.is_closed() {
                 return Err(EnqueueError::ShuttingDown);
             }
-            // An oversized batch may enter an *empty* queue so a client
-            // whose batch exceeds the capacity still makes progress.
+            let queue = self.queue_for(session_id);
+            let mut q = queue.q.lock().expect("ingress queue poisoned");
+            loop {
+                if self.shared.is_closed() {
+                    return Err(EnqueueError::ShuttingDown);
+                }
+                if q.retired {
+                    // Rebalanced under us: re-route to the new generation.
+                    continue 'route;
+                }
+                // An oversized batch may enter an *empty* queue so a
+                // client whose batch exceeds the capacity still makes
+                // progress.
+                let fits = cost == 0
+                    || q.pending_ticks == 0
+                    || q.pending_ticks + cost <= self.shared.cfg.queue_capacity;
+                if fits {
+                    let depth = self.admit(
+                        &queue,
+                        &mut q,
+                        cmd.take().expect("command admitted once"),
+                        cost,
+                    );
+                    if let Some(since) = blocked_since {
+                        let waited = since.elapsed();
+                        metrics::backpressure_wait().record_duration(waited);
+                        cad_obs::tracer().emit(TraceEvent::BackpressureExited {
+                            waited_nanos: waited.as_nanos().min(u64::MAX as u128) as u64,
+                        });
+                    }
+                    return Ok(depth);
+                }
+                blocked_since.get_or_insert_with(Instant::now);
+                q = queue
+                    .not_full
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .expect("ingress queue poisoned")
+                    .0;
+            }
+        }
+    }
+
+    /// Non-blocking admission for the poller path: either the command is
+    /// queued, or it comes back in the error so the caller can park the
+    /// *connection* (not a thread) and retry after the group drains.
+    pub fn try_enqueue(&self, cmd: Command) -> Result<usize, TryEnqueueError> {
+        let cost = cmd.cost();
+        let session_id = cmd.session_id();
+        loop {
+            if self.shared.is_closed() {
+                return Err(TryEnqueueError::ShuttingDown(cmd));
+            }
+            let queue = self.queue_for(session_id);
+            let mut q = queue.q.lock().expect("ingress queue poisoned");
+            if self.shared.is_closed() {
+                return Err(TryEnqueueError::ShuttingDown(cmd));
+            }
+            if q.retired {
+                continue;
+            }
             let fits = cost == 0
                 || q.pending_ticks == 0
                 || q.pending_ticks + cost <= self.shared.cfg.queue_capacity;
             if fits {
-                q.pending_ticks += cost;
-                let depth = q.pending_ticks;
-                let peak = &self.shared.counters.peak_queue_depth;
-                peak.fetch_max(depth as u64, Ordering::Relaxed);
-                metrics::queue_depth_gauge().set(depth as i64);
-                q.jobs.push_back(cmd);
-                self.shared.not_empty.notify_all();
-                if let Some(since) = blocked_since {
-                    let waited = since.elapsed();
-                    metrics::backpressure_wait().record_duration(waited);
-                    cad_obs::tracer().emit(TraceEvent::BackpressureExited {
-                        waited_nanos: waited.as_nanos().min(u64::MAX as u128) as u64,
-                    });
-                }
-                return Ok(depth);
+                return Ok(self.admit(&queue, &mut q, cmd, cost));
             }
-            blocked_since.get_or_insert_with(Instant::now);
-            q = self
-                .shared
-                .not_full
-                .wait_timeout(q, Duration::from_millis(50))
-                .expect("ingress queue poisoned")
-                .0;
+            return Err(TryEnqueueError::Full(cmd));
         }
     }
 
-    /// Close the queue: wakes the pump for its final drain-and-persist
-    /// pass and makes every later [`SessionManager::enqueue`] fail.
+    /// Change the pump-group count on a quiesced manager. Every current
+    /// queue must be empty; the old generation is retired (its pump
+    /// threads exit and the master respawns over the new layout) and a
+    /// fresh queue per group is installed. Returns the effective group
+    /// count (clamped to `1..=shards`).
+    pub fn rebalance(&self, groups: usize) -> Result<usize, RebalanceError> {
+        let mut queues = self.shared.queues.write().expect("queue set poisoned");
+        if self.shared.is_closed() {
+            return Err(RebalanceError::ShuttingDown);
+        }
+        let old: Vec<Arc<GroupQueue>> = queues.clone();
+        {
+            let mut guards = Vec::with_capacity(old.len());
+            for queue in &old {
+                guards.push(queue.q.lock().expect("ingress queue poisoned"));
+            }
+            if guards.iter().any(|g| !g.jobs.is_empty()) {
+                return Err(RebalanceError::NotQuiesced);
+            }
+            for (guard, queue) in guards.iter_mut().zip(&old) {
+                guard.retired = true;
+                queue.not_empty.notify_all();
+                queue.not_full.notify_all();
+            }
+        }
+        let n = groups.clamp(1, self.shared.n_shards);
+        *queues = (0..n).map(|_| Arc::new(GroupQueue::new())).collect();
+        Ok(n)
+    }
+
+    /// A consistent cross-shard session table: broadcasts a
+    /// [`Command::SessionTable`] to every group and merges the rows,
+    /// ordered by shard then session id.
+    pub fn session_table(&self, timeout: Duration) -> Result<Vec<SessionRow>, SessionTableError> {
+        let deadline = Instant::now() + timeout;
+        let queues: Vec<Arc<GroupQueue>> = self
+            .shared
+            .queues
+            .read()
+            .expect("queue set poisoned")
+            .clone();
+        let mut receivers = Vec::with_capacity(queues.len());
+        for queue in &queues {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let mut q = queue.q.lock().expect("ingress queue poisoned");
+            if self.shared.is_closed() {
+                return Err(SessionTableError::ShuttingDown);
+            }
+            if q.retired {
+                // Raced a rebalance; the caller retries against the new
+                // generation (rebalances only happen quiesced, so this is
+                // rare).
+                return Err(SessionTableError::Timeout);
+            }
+            q.jobs.push_back(Command::SessionTable { reply: tx.into() });
+            queue.not_empty.notify_all();
+            receivers.push(rx);
+        }
+        let mut rows = Vec::new();
+        for rx in receivers {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(Reply::Sessions(mut group_rows)) => rows.append(&mut group_rows),
+                Ok(_) => return Err(SessionTableError::Timeout),
+                Err(_) => {
+                    if self.shared.is_closed() {
+                        return Err(SessionTableError::ShuttingDown);
+                    }
+                    return Err(SessionTableError::Timeout);
+                }
+            }
+        }
+        rows.sort_by_key(|a| (a.shard, a.session_id));
+        Ok(rows)
+    }
+
+    /// Close every queue: wakes the group pumps for their final
+    /// drain-and-persist pass and makes every later
+    /// [`SessionManager::enqueue`] fail.
     pub fn close(&self) {
-        let mut q = self.shared.queue.lock().expect("ingress queue poisoned");
-        q.closed = true;
-        self.shared.not_empty.notify_all();
-        self.shared.not_full.notify_all();
+        self.shared.closed.store(true, Ordering::Release);
+        let queues = self.shared.queues.read().expect("queue set poisoned");
+        for queue in queues.iter() {
+            // Take the lock so a waiter between its closed-check and its
+            // wait cannot miss the wakeup.
+            let _q = queue.q.lock().expect("ingress queue poisoned");
+            queue.not_empty.notify_all();
+            queue.not_full.notify_all();
+        }
     }
 }
 
+/// Enumerate `session-<id><suffix>` files in `dir`, sorted by path (so
+/// restore order — and with it shard routing — is deterministic).
+fn scan_session_files(dir: &Path, suffix: &str) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    Ok(entries
+        .into_iter()
+        .filter_map(|path| {
+            let id = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|name| name.strip_prefix("session-"))
+                .and_then(|rest| rest.strip_suffix(suffix))
+                .and_then(|rest| rest.parse::<u64>().ok())?;
+            Some((id, path))
+        })
+        .collect())
+}
+
+/// Why a group drain loop returned.
+enum GroupExit {
+    /// The manager closed; the queue was drained to empty first.
+    Closed,
+    /// The queue generation was retired by a rebalance.
+    Retired,
+}
+
 impl SessionPump {
-    /// Drain the queue until it is closed and empty, then persist every
-    /// session. Returns the number of sessions persisted.
+    /// Drain the queues until the manager is closed, then persist every
+    /// resident session. Returns the number of sessions persisted.
+    ///
+    /// Each queue generation gets one scoped thread per group; a
+    /// rebalance retires the generation, the threads hand their shards
+    /// back, and the master respawns them over the new layout.
     pub fn run(mut self) -> usize {
         loop {
-            let batch = {
-                let mut q = self.shared.queue.lock().expect("ingress queue poisoned");
-                while q.jobs.is_empty() && !q.closed {
-                    q = self
-                        .shared
-                        .not_empty
-                        .wait_timeout(q, Duration::from_millis(100))
-                        .expect("ingress queue poisoned")
-                        .0;
+            let queues: Vec<Arc<GroupQueue>> = self
+                .shared
+                .queues
+                .read()
+                .expect("queue set poisoned")
+                .clone();
+            let n_groups = queues.len();
+            let n_shards = self.shared.n_shards;
+            let mut buckets: Vec<Vec<Shard>> = (0..n_groups).map(|_| Vec::new()).collect();
+            for shard in self.shards.drain(..) {
+                buckets[group_of(shard.index, n_shards, n_groups)].push(shard);
+            }
+            let shared = &self.shared;
+            let results: Vec<(Vec<Shard>, GroupExit)> = std::thread::scope(|s| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .zip(&queues)
+                    .map(|(bucket, queue)| {
+                        let queue = Arc::clone(queue);
+                        s.spawn(move || run_group(&queue, bucket, shared))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pump group panicked"))
+                    .collect()
+            });
+            let mut closed = false;
+            for (bucket, exit) in results {
+                if matches!(exit, GroupExit::Closed) {
+                    closed = true;
                 }
-                if q.jobs.is_empty() && q.closed {
-                    break;
-                }
-                q.pending_ticks = 0;
-                metrics::queue_depth_gauge().set(0);
-                self.shared.not_full.notify_all();
-                std::mem::take(&mut q.jobs)
-            };
-            self.pump_batch(batch);
+                self.shards.extend(bucket);
+            }
+            self.shards.sort_by_key(|shard| shard.index);
+            if closed || self.shared.is_closed() {
+                break;
+            }
         }
         self.persist_all()
     }
 
-    /// Group one drained batch by owning shard (stable, so per-session
-    /// order is preserved) and process the shards in parallel. Cross-shard
-    /// [`Command::SessionTable`] reads are answered afterwards, when the
-    /// pump again has exclusive access to every shard — so the table is a
-    /// consistent snapshot that includes this batch's effects.
-    fn pump_batch(&mut self, batch: VecDeque<Command>) {
-        let n_shards = self.shards.len();
-        let mut per_shard: Vec<Vec<Command>> = (0..n_shards).map(|_| Vec::new()).collect();
-        let mut table_requests = Vec::new();
-        for cmd in batch {
-            if let Command::SessionTable { reply } = cmd {
-                table_requests.push(reply);
-                continue;
-            }
-            per_shard[(cmd.session_id() % n_shards as u64) as usize].push(cmd);
-        }
-        let _t = Timer::start("serve.pump");
-        let shared = &self.shared;
-        // par_map_mut takes a shared closure; each slot is taken by exactly
-        // one shard index, so a Mutex per slot adds no ordering hazard.
-        let slots: Vec<Mutex<Vec<Command>>> = per_shard.into_iter().map(Mutex::new).collect();
-        let replies = cad_runtime::par_map_mut(&mut self.shards, |i, shard| {
-            let cmds = std::mem::take(&mut *slots[i].lock().expect("command slot poisoned"));
-            shard.run(cmds, shared)
-        });
-        for shard_replies in replies {
-            for (tx, reply) in shard_replies {
-                // A handler that gave up (dead connection) is not an error.
-                let _ = tx.send(reply);
-            }
-        }
-        if !table_requests.is_empty() {
-            let rows = self.session_table();
-            for tx in table_requests {
-                let _ = tx.send(Reply::Sessions(rows.clone()));
-            }
-        }
-    }
-
-    /// One row per live session, ordered by shard then session id.
-    fn session_table(&self) -> Vec<SessionRow> {
-        let mut rows = Vec::new();
-        for (i, shard) in self.shards.iter().enumerate() {
-            for (&id, session) in &shard.sessions {
-                rows.push(session.row(i as u32, id));
-            }
-        }
-        rows
-    }
-
-    /// Persist every live session to the snapshot directory (no-op when
-    /// snapshots are disabled). Returns the number persisted.
+    /// Persist every resident session to the snapshot directory (no-op
+    /// when snapshots are disabled; hibernated sessions already live on
+    /// disk in the spill tier). Returns the number persisted.
     fn persist_all(&mut self) -> usize {
         let Some(dir) = self.shared.cfg.snapshot_dir.clone() else {
             return 0;
@@ -904,5 +1575,122 @@ impl SessionPump {
             n
         });
         persisted.into_iter().sum()
+    }
+}
+
+/// One group's drain loop: blocks on its queue, pumps batches through its
+/// shards, and advances the hibernation clock. Returns the shards so the
+/// master can regroup them.
+fn run_group(
+    queue: &GroupQueue,
+    mut shards: Vec<Shard>,
+    shared: &Shared,
+) -> (Vec<Shard>, GroupExit) {
+    let hibernate_after = shared.cfg.hibernate_after_rounds as u64;
+    let hibernation = hibernate_after > 0 && shared.cfg.spill_dir.is_some();
+    let mut batches = 0u64;
+    loop {
+        let mut exit = None;
+        let batch = {
+            let mut q = queue.q.lock().expect("ingress queue poisoned");
+            loop {
+                if !q.jobs.is_empty() {
+                    let drained = q.pending_ticks as i64;
+                    q.pending_ticks = 0;
+                    let total =
+                        shared.pending_total.fetch_sub(drained, Ordering::Relaxed) - drained;
+                    metrics::queue_depth_gauge().set(total.max(0));
+                    queue.not_full.notify_all();
+                    break std::mem::take(&mut q.jobs);
+                }
+                if q.retired {
+                    exit = Some(GroupExit::Retired);
+                    break VecDeque::new();
+                }
+                if shared.is_closed() {
+                    exit = Some(GroupExit::Closed);
+                    break VecDeque::new();
+                }
+                let (guard, wait) = queue
+                    .not_empty
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("ingress queue poisoned");
+                q = guard;
+                if wait.timed_out() && hibernation {
+                    // Idle tick: no work, but the hibernation clock must
+                    // advance or idle sessions never spill.
+                    break VecDeque::new();
+                }
+            }
+        };
+        let had_work = !batch.is_empty();
+        if had_work {
+            pump_group_batch(&mut shards, batch, shared);
+            batches += 1;
+            // Keep the RSS gauge warm under load but never touch it while
+            // quiesced — scrape-to-scrape byte parity (the loadgen
+            // /metrics assertion) depends on an idle registry staying
+            // frozen.
+            if batches % 32 == 1 {
+                let _ = cad_obs::sample_process_rss();
+            }
+        }
+        for shard in shards.iter_mut() {
+            shard.sweep += 1;
+        }
+        if hibernation {
+            for shard in shards.iter_mut() {
+                shard.hibernate_idle(shared, hibernate_after);
+            }
+        }
+        if let Some(exit) = exit {
+            return (shards, exit);
+        }
+    }
+}
+
+/// Group one drained batch by owning shard (stable, so per-session order
+/// is preserved) and process this group's shards in parallel. Group-local
+/// [`Command::SessionTable`] reads are answered afterwards, when the
+/// group again has exclusive access to its shards — so the rows are a
+/// consistent snapshot that includes this batch's effects.
+fn pump_group_batch(shards: &mut [Shard], batch: VecDeque<Command>, shared: &Shared) {
+    // This group's shards are a contiguous index range (see `group_of`).
+    let base = shards.first().map(|s| s.index).unwrap_or(0);
+    let mut per_shard: Vec<Vec<Command>> = shards.iter().map(|_| Vec::new()).collect();
+    let mut table_requests = Vec::new();
+    for cmd in batch {
+        if let Command::SessionTable { reply } = cmd {
+            table_requests.push(reply);
+            continue;
+        }
+        let shard_ix = (cmd.session_id() % shared.n_shards as u64) as usize;
+        debug_assert!(
+            shard_ix >= base && shard_ix - base < per_shard.len(),
+            "command routed to a queue whose group does not own shard {shard_ix}"
+        );
+        per_shard[shard_ix - base].push(cmd);
+    }
+    let _t = Timer::start("serve.pump");
+    // par_map_mut takes a shared closure; each slot is taken by exactly
+    // one shard index, so a Mutex per slot adds no ordering hazard.
+    let slots: Vec<Mutex<Vec<Command>>> = per_shard.into_iter().map(Mutex::new).collect();
+    let replies = cad_runtime::par_map_mut(shards, |i, shard| {
+        let cmds = std::mem::take(&mut *slots[i].lock().expect("command slot poisoned"));
+        shard.run(cmds, shared)
+    });
+    for shard_replies in replies {
+        for (reply_to, reply) in shard_replies {
+            reply_to.send(reply);
+        }
+    }
+    if !table_requests.is_empty() {
+        let mut rows = Vec::new();
+        for shard in shards.iter() {
+            rows.extend(shard.rows());
+        }
+        for reply_to in table_requests {
+            reply_to.send(Reply::Sessions(rows.clone()));
+        }
     }
 }

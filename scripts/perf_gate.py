@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the pipeline benchmark.
+"""Perf-regression gate for the pipeline and serving benchmarks.
 
-Compares a freshly produced ``results/BENCH_pipeline.json`` against the
-committed baseline ``results/BENCH_baseline.json`` (same reduced CI size,
-tiled kernel) and fails when the hot metrics regress beyond tolerance:
+Default (pipeline) mode compares a freshly produced
+``results/BENCH_pipeline.json`` against the committed baseline
+``results/BENCH_baseline.json`` (same reduced CI size, tiled kernel) and
+fails when the hot metrics regress beyond tolerance:
 
 * ``tsg.correlation`` serial seconds (``phases_serial``) — the kernel this
   gate exists to protect; a revert to row-by-row sequential sums roughly
@@ -11,12 +12,21 @@ tiled kernel) and fails when the hot metrics regress beyond tolerance:
 * ``rounds_per_sec`` — end-to-end throughput of the parallel exact pass,
   which catches regressions outside the correlation phase.
 
-Tolerance is 25% by default (CI runners are noisy; the regressions this
-gate is for are 2–4×) and can be overridden via ``CAD_PERF_GATE_TOL``.
-A machine-readable verdict is always written to ``results/PERF_GATE.json``
-so CI can upload it as an artifact whether the gate passes or fails.
+``--serve`` mode compares ``results/BENCH_serve.json`` (written by the
+loadgen at the reduced CI profile) against the committed
+``results/BENCH_serve_baseline.json``:
 
-Usage: scripts/perf_gate.py [current.json [baseline.json]]
+* ``push_latency_p99_secs`` — the server's own frame-in→reply-ready p99,
+  the latency promise of the poller-driven serving core.
+* ``ticks_per_sec`` — aggregate ingest throughput across all sessions.
+
+Tolerance is 25% by default (CI runners are noisy; the regressions these
+gates are for are 2–4×) and can be overridden via ``CAD_PERF_GATE_TOL``.
+A machine-readable verdict is always written (``results/PERF_GATE.json``,
+or ``results/PERF_GATE_SERVE.json`` in serve mode) so CI can upload it as
+an artifact whether the gate passes or fails.
+
+Usage: scripts/perf_gate.py [--serve] [current.json [baseline.json]]
 Exit status: 0 pass, 1 regression, 2 missing/corrupt input.
 """
 
@@ -33,13 +43,62 @@ def phase_secs(report, phase_key, name):
     return float(entry["secs"])
 
 
+def pipeline_checks(current, baseline):
+    return [
+        # (label, current value, baseline value, higher_is_better)
+        (
+            "tsg.correlation serial secs",
+            phase_secs(current, "phases_serial", "tsg.correlation"),
+            phase_secs(baseline, "phases_serial", "tsg.correlation"),
+            False,
+        ),
+        (
+            "rounds_per_sec",
+            float(current["rounds_per_sec"]),
+            float(baseline["rounds_per_sec"]),
+            True,
+        ),
+    ]
+
+
+def serve_checks(current, baseline):
+    return [
+        (
+            "push_latency_p99_secs",
+            float(current["push_latency_p99_secs"]),
+            float(baseline["push_latency_p99_secs"]),
+            False,
+        ),
+        (
+            "ticks_per_sec",
+            float(current["ticks_per_sec"]),
+            float(baseline["ticks_per_sec"]),
+            True,
+        ),
+    ]
+
+
 def main(argv):
-    current_path = argv[1] if len(argv) > 1 else "results/BENCH_pipeline.json"
-    baseline_path = argv[2] if len(argv) > 2 else "results/BENCH_baseline.json"
+    args = list(argv[1:])
+    serve = "--serve" in args
+    if serve:
+        args.remove("--serve")
+    if serve:
+        current_path = args[0] if args else "results/BENCH_serve.json"
+        baseline_path = args[1] if len(args) > 1 else "results/BENCH_serve_baseline.json"
+        gate_name = "perf-serve"
+        verdict_path = "results/PERF_GATE_SERVE.json"
+        make_checks = serve_checks
+    else:
+        current_path = args[0] if args else "results/BENCH_pipeline.json"
+        baseline_path = args[1] if len(args) > 1 else "results/BENCH_baseline.json"
+        gate_name = "perf"
+        verdict_path = "results/PERF_GATE.json"
+        make_checks = pipeline_checks
     tolerance = float(os.environ.get("CAD_PERF_GATE_TOL", "0.25"))
 
     verdict = {
-        "gate": "perf",
+        "gate": gate_name,
         "current": current_path,
         "baseline": baseline_path,
         "tolerance": tolerance,
@@ -52,26 +111,11 @@ def main(argv):
             current = json.load(f)
         with open(baseline_path) as f:
             baseline = json.load(f)
-
-        checks = [
-            # (label, current value, baseline value, higher_is_better)
-            (
-                "tsg.correlation serial secs",
-                phase_secs(current, "phases_serial", "tsg.correlation"),
-                phase_secs(baseline, "phases_serial", "tsg.correlation"),
-                False,
-            ),
-            (
-                "rounds_per_sec",
-                float(current["rounds_per_sec"]),
-                float(baseline["rounds_per_sec"]),
-                True,
-            ),
-        ]
+        checks = make_checks(current, baseline)
     except (OSError, ValueError, KeyError) as err:
         verdict["error"] = f"{type(err).__name__}: {err}"
-        write_verdict(verdict)
-        print(f"perf-gate: cannot compare: {verdict['error']}", file=sys.stderr)
+        write_verdict(verdict, verdict_path)
+        print(f"{gate_name}: cannot compare: {verdict['error']}", file=sys.stderr)
         return 2
 
     ok = True
@@ -96,26 +140,26 @@ def main(argv):
         )
         state = "ok" if passed else "REGRESSION"
         print(
-            f"perf-gate: {label}: current={cur:.6g} baseline={base:.6g} "
+            f"{gate_name}: {label}: current={cur:.6g} baseline={base:.6g} "
             f"ratio={ratio:.3f} (tol {1.0 + tolerance:.2f}) {state}"
         )
 
     verdict["pass"] = ok
-    write_verdict(verdict)
+    write_verdict(verdict, verdict_path)
     if not ok:
         print(
-            "perf-gate: FAIL — performance regressed beyond tolerance; "
-            "see results/PERF_GATE.json",
+            f"{gate_name}: FAIL — performance regressed beyond tolerance; "
+            f"see {verdict_path}",
             file=sys.stderr,
         )
         return 1
-    print("perf-gate: PASS")
+    print(f"{gate_name}: PASS")
     return 0
 
 
-def write_verdict(verdict):
+def write_verdict(verdict, path="results/PERF_GATE.json"):
     os.makedirs("results", exist_ok=True)
-    with open("results/PERF_GATE.json", "w") as f:
+    with open(path, "w") as f:
         json.dump(verdict, f, indent=2)
         f.write("\n")
 

@@ -977,6 +977,364 @@ fn sessions_endpoint_lists_live_sessions() {
     server.join().expect("server thread").expect("server run");
 }
 
+/// Poll `/sessions` until the predicate matches the body (or panic after
+/// ~10s). Hibernation is driven by the pump's idle sweeps, so state
+/// transitions are asynchronous to any client action.
+fn wait_for_sessions_body(ops: &str, what: &str, pred: impl Fn(&str) -> bool) -> String {
+    for _ in 0..200 {
+        let (status, body) = http_get(ops, "/sessions");
+        assert_eq!(status, 200);
+        if pred(&body) {
+            return body;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("/sessions never showed {what}");
+}
+
+/// Acceptance: a session that hibernates to the spill tier and is
+/// transparently resurrected by its next push produces an outcome stream
+/// bit-identical to an always-resident run — under both engines
+/// explicitly, plus whatever CI selected.
+#[test]
+fn hibernation_roundtrip_is_bit_identical_under_both_engines() {
+    for engine in [
+        WireEngine::Exact,
+        WireEngine::Incremental { rebuild_every: 16 },
+    ] {
+        hibernate_one(engine);
+    }
+    hibernate_one(wire_engine_under_test());
+}
+
+fn hibernate_one(engine: WireEngine) {
+    let tag = match engine {
+        WireEngine::Exact => "hib-exact",
+        WireEngine::Incremental { .. } => "hib-incr",
+    };
+    let dir = unique_dir(tag);
+    let ticks = 300usize;
+    // Not round-aligned: the spill must round-trip a partially filled ring.
+    let split = 151usize;
+    let (addr, ops, server) = start_server_with_ops(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        hibernate_after_rounds: 2,
+        spill_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(&addr, "hib").expect("connect");
+    client.create_session(70, spec(engine)).expect("create");
+    let samples: Vec<f64> = (0..split)
+        .flat_map(|t| tick_row(70, t, N_SENSORS))
+        .collect();
+    let mut outs = client
+        .push_samples(70, 0, N_SENSORS as u32, samples)
+        .expect("push first half")
+        .outcomes;
+
+    // Idle pump sweeps (~100ms apiece) tick the hibernation clock; the
+    // session must spill without any further client action.
+    wait_for_sessions_body(&ops, "session 70 hibernated", |b| {
+        b.contains("\"session_id\":70") && b.contains("\"state\":\"hibernated\"")
+    });
+    assert!(
+        dir.join("session-70.cadh").exists(),
+        "hibernated session left no spill file"
+    );
+
+    // The next push transparently resurrects — no client-visible seam.
+    let samples: Vec<f64> = (split..ticks)
+        .flat_map(|t| tick_row(70, t, N_SENSORS))
+        .collect();
+    outs.extend(
+        client
+            .push_samples(70, split as u64, N_SENSORS as u32, samples)
+            .expect("push after hibernate")
+            .outcomes,
+    );
+    assert_eq!(
+        as_tuples(&outs),
+        reference_outcomes(70, ticks, engine),
+        "hibernate→resurrect stream ({tag}) diverged from the \
+         always-resident reference"
+    );
+    // And the table reflects the round trip: active again, with the
+    // last-push round advanced past the resurrection.
+    let body = wait_for_sessions_body(&ops, "session 70 active again", |b| {
+        b.contains("\"session_id\":70") && b.contains("\"state\":\"active\"")
+    });
+    assert!(body.contains("\"last_push_round\":"), "{body}");
+
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill the daemon while sessions sit in the hibernation tier, restart
+/// over the same spill directory: the restart scan must register the
+/// spills, `CreateSession` re-attaches (`resumed`, correct progress), and
+/// the finished stream is bit-identical to an uninterrupted run.
+#[test]
+fn restart_scans_spill_dir_and_resumes_hibernated_sessions() {
+    let engine = wire_engine_under_test();
+    let dir = unique_dir("hib-restart");
+    let ticks = 300usize;
+    let split = 151usize;
+    let cfg = || ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        hibernate_after_rounds: 2,
+        spill_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    // Phase 1: feed, hibernate, shut down with the session still spilled.
+    let (addr, ops, server) = start_server_with_ops(cfg());
+    let mut first_half = {
+        let mut client = ServeClient::connect(&addr, "hib-1").expect("connect");
+        client.create_session(80, spec(engine)).expect("create");
+        let samples: Vec<f64> = (0..split)
+            .flat_map(|t| tick_row(80, t, N_SENSORS))
+            .collect();
+        let outs = client
+            .push_samples(80, 0, N_SENSORS as u32, samples)
+            .expect("push")
+            .outcomes;
+        wait_for_sessions_body(&ops, "session 80 hibernated", |b| {
+            b.contains("\"state\":\"hibernated\"")
+        });
+        client.shutdown_server().expect("shutdown");
+        outs
+    };
+    server.join().expect("server thread").expect("server run");
+    assert!(
+        dir.join("session-80.cadh").exists(),
+        "shutdown must leave the hibernated session's spill in place"
+    );
+
+    // Phase 2: fresh daemon, same spill dir. The scan registers the
+    // spill; re-attach resumes exactly where the client left off.
+    let (addr, _ops, server) = start_server_with_ops(cfg());
+    {
+        let mut client = ServeClient::connect(&addr, "hib-2").expect("connect");
+        let h = client.create_session(80, spec(engine)).expect("re-attach");
+        assert!(h.resumed, "session 80 should resume from its spill");
+        assert_eq!(h.samples_seen as usize, split);
+        let samples: Vec<f64> = (split..ticks)
+            .flat_map(|t| tick_row(80, t, N_SENSORS))
+            .collect();
+        first_half.extend(
+            client
+                .push_samples(80, split as u64, N_SENSORS as u32, samples)
+                .expect("push rest")
+                .outcomes,
+        );
+        assert_eq!(
+            as_tuples(&first_half),
+            reference_outcomes(80, ticks, engine),
+            "stream spliced across a restart of the hibernation tier \
+             diverged from the uninterrupted reference"
+        );
+        client.shutdown_server().expect("shutdown");
+    }
+    server.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted spill file must surface as a `RESURRECT_FAILED` error
+/// frame — never a panic — and the server must keep serving: the broken
+/// session is dropped, new sessions work, other traffic is unaffected.
+#[test]
+fn corrupted_spill_surfaces_resurrect_failed_not_panic() {
+    let engine = wire_engine_under_test();
+    let dir = unique_dir("hib-corrupt");
+    let (addr, ops, server) = start_server_with_ops(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        hibernate_after_rounds: 2,
+        spill_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut client = ServeClient::connect(&addr, "corrupt").expect("connect");
+    client.create_session(85, spec(engine)).expect("create");
+    let samples: Vec<f64> = (0..100).flat_map(|t| tick_row(85, t, N_SENSORS)).collect();
+    client
+        .push_samples(85, 0, N_SENSORS as u32, samples)
+        .expect("push");
+    wait_for_sessions_body(&ops, "session 85 hibernated", |b| {
+        b.contains("\"state\":\"hibernated\"")
+    });
+
+    // Flip a payload byte: the header still parses, the checksum doesn't.
+    let path = dir.join("session-85.cadh");
+    let mut bytes = std::fs::read(&path).expect("read spill");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("corrupt spill");
+
+    match client.push_samples(85, 100, N_SENSORS as u32, vec![0.0; N_SENSORS]) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, codes::RESURRECT_FAILED);
+            assert!(message.contains("resurrect failed"), "{message}");
+        }
+        other => panic!("expected RESURRECT_FAILED, got {other:?}"),
+    }
+    // The unusable session is gone — subsequent pushes are UNKNOWN_SESSION,
+    // not repeated resurrection attempts against a deleted spill.
+    match client.push_samples(85, 100, N_SENSORS as u32, vec![0.0; N_SENSORS]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::UNKNOWN_SESSION),
+        other => panic!("expected UNKNOWN_SESSION, got {other:?}"),
+    }
+    // And the server is still healthy: a fresh session runs end to end on
+    // the same connection.
+    client
+        .create_session(86, spec(engine))
+        .expect("create after corruption");
+    let ticks = 120usize;
+    let samples: Vec<f64> = (0..ticks)
+        .flat_map(|t| tick_row(86, t, N_SENSORS))
+        .collect();
+    let outs = client
+        .push_samples(86, 0, N_SENSORS as u32, samples)
+        .expect("push after corruption")
+        .outcomes;
+    assert_eq!(as_tuples(&outs), reference_outcomes(86, ticks, engine));
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Wedged connections must not wedge the server: one peer stalls
+/// mid-frame indefinitely and another drips its handshake a byte at a
+/// time (slow loris) while a third pushes a full workload. Under the
+/// readiness-driven I/O plane the stalled peers simply stop producing
+/// events — they cannot pin an I/O worker, so the busy session makes
+/// full-speed progress and both laggards still complete once they
+/// finally deliver their bytes.
+#[test]
+fn stalled_and_slow_loris_peers_do_not_stall_other_sessions() {
+    use cad_serve::protocol::{encode_frame, read_frame, write_frame, Frame};
+    use std::io::Write;
+    let engine = wire_engine_under_test();
+    let (addr, server) = start_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        read_timeout: Duration::from_millis(100),
+        ..ServeConfig::default()
+    });
+
+    // Peer 1: handshake, create a session, then send only the first 5
+    // bytes of a push frame and go silent.
+    let mut stalled = std::net::TcpStream::connect(&addr).expect("connect");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    write_frame(
+        &stalled,
+        &Frame::Hello {
+            client: "stalled".into(),
+        },
+    )
+    .expect("hello");
+    assert!(matches!(
+        read_frame(&stalled).expect("hello ack"),
+        Frame::HelloAck { .. }
+    ));
+    write_frame(
+        &stalled,
+        &Frame::CreateSession {
+            session_id: 90,
+            spec: spec(engine),
+        },
+    )
+    .expect("create");
+    assert!(matches!(
+        read_frame(&stalled).expect("session ack"),
+        Frame::SessionAck { .. }
+    ));
+    let stall_ticks = W as usize + S as usize;
+    let push = Frame::PushSamples {
+        session_id: 90,
+        base_tick: 0,
+        n_sensors: N_SENSORS as u32,
+        samples: (0..stall_ticks)
+            .flat_map(|t| tick_row(90, t, N_SENSORS))
+            .collect(),
+    };
+    let push_bytes = encode_frame(&push);
+    stalled.write_all(&push_bytes[..5]).expect("stall prefix");
+    stalled.flush().expect("flush");
+
+    // Peer 2: a slow loris dripping its Hello one byte every 20ms from a
+    // background thread — alive the whole time the busy session runs.
+    let loris = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("timeout");
+            let hello = encode_frame(&Frame::Hello {
+                client: "loris".into(),
+            });
+            for b in hello {
+                stream.write_all(&[b]).expect("drip");
+                stream.flush().expect("flush");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            assert!(matches!(
+                read_frame(&stream).expect("loris hello ack"),
+                Frame::HelloAck { .. }
+            ));
+        })
+    };
+
+    // Peer 3: a normal client pushes a real workload while both laggards
+    // are wedged. If a stalled peer could pin an I/O worker (let alone
+    // the pump), this would crawl or hang outright.
+    let busy_t0 = std::time::Instant::now();
+    let mut client = ServeClient::connect(&addr, "busy").expect("connect");
+    client.create_session(91, spec(engine)).expect("create");
+    let ticks = 400usize;
+    let mut outs = Vec::new();
+    let mut t = 0usize;
+    while t < ticks {
+        let len = (S as usize * 3).min(ticks - t);
+        let samples: Vec<f64> = (t..t + len)
+            .flat_map(|u| tick_row(91, u, N_SENSORS))
+            .collect();
+        outs.extend(
+            client
+                .push_samples(91, t as u64, N_SENSORS as u32, samples)
+                .expect("busy push")
+                .outcomes,
+        );
+        t += len;
+    }
+    assert_eq!(as_tuples(&outs), reference_outcomes(91, ticks, engine));
+    assert!(
+        busy_t0.elapsed() < Duration::from_secs(20),
+        "busy session took {:?} alongside two wedged peers",
+        busy_t0.elapsed()
+    );
+
+    // The mid-frame stall was never dropped: completing the frame now
+    // must yield a normal, bit-identical ack.
+    stalled.write_all(&push_bytes[5..]).expect("stall rest");
+    stalled.flush().expect("flush");
+    match read_frame(&stalled).expect("push ack after stall") {
+        Frame::PushAck { outcomes, .. } => {
+            assert_eq!(
+                as_tuples(&outcomes),
+                reference_outcomes(90, stall_ticks, engine)
+            );
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    loris.join().expect("loris thread");
+
+    let mut admin = ServeClient::connect(&addr, "wedge-admin").expect("connect");
+    admin.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
 /// Handshake discipline: a frame before `Hello` is refused.
 #[test]
 fn server_requires_hello_first() {
