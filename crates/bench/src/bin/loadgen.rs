@@ -50,6 +50,14 @@
 //! advances with every in-flight push, so the threshold scales with the
 //! hot set or the hot set itself would thrash),
 //! `CAD_LOADGEN_RESURRECT_SAMPLE` (64, idle-heavy).
+//!
+//! **WAL-on profile** (steady only): setting `CAD_LOADGEN_WAL_DIR=path`
+//! runs the steady profile with the durable tick log enabled at `path`
+//! (created if absent, left on disk afterwards so `cad-replay` can chew
+//! on it). `CAD_WAL_FSYNC` selects the fsync policy exactly as it does
+//! for the daemon (default `every_batch`). The report gains a `"wal"`
+//! object with the server-side append-latency quantiles — p99 is the
+//! headline durability-tax figure — plus fsync/segment/byte counters.
 
 use std::time::{Duration, Instant};
 
@@ -288,6 +296,42 @@ fn gauge_value(metrics: &cad_obs::MetricsSnapshot, name: &str) -> i64 {
         .unwrap_or(0)
 }
 
+/// The `"wal"` report object: append-latency quantiles from the server's
+/// `serve_wal_append_nanos` histogram plus durability counters, or
+/// `{"enabled": false}` when the run had no WAL.
+fn wal_json(
+    metrics: &cad_obs::MetricsSnapshot,
+    dir: Option<&std::path::Path>,
+    fsync: cad_wal::FsyncPolicy,
+) -> String {
+    let Some(dir) = dir else {
+        return "{\"enabled\": false}".into();
+    };
+    let h = metrics
+        .histograms
+        .iter()
+        .find(|h| h.name == "serve_wal_append_nanos")
+        .expect("WAL-on run must expose serve_wal_append_nanos");
+    assert!(h.count > 0, "WAL-on run recorded no appends");
+    format!(
+        concat!(
+            "{{\"enabled\": true, \"dir\": \"{}\", \"fsync\": \"{}\", ",
+            "\"appends\": {}, \"append_p50_secs\": {:.9}, ",
+            "\"append_p99_secs\": {:.9}, \"append_p999_secs\": {:.9}, ",
+            "\"fsyncs\": {}, \"segments\": {}, \"bytes\": {}}}"
+        ),
+        dir.display(),
+        fsync,
+        h.count,
+        h.quantile(0.50) as f64 * 1e-9,
+        h.quantile(0.99) as f64 * 1e-9,
+        h.quantile(0.999) as f64 * 1e-9,
+        counter_value(metrics, "serve_wal_fsyncs_total"),
+        gauge_value(metrics, "serve_wal_segments"),
+        gauge_value(metrics, "serve_wal_bytes"),
+    )
+}
+
 /// The server histogram that is the authoritative push-latency source:
 /// frame-in to reply-ready, excluding loopback round-trips.
 fn push_latency_quantiles(metrics: &cad_obs::MetricsSnapshot) -> (f64, f64, f64) {
@@ -375,10 +419,29 @@ fn run_steady(opts: &Opts) {
     let total_sessions = n_clients * sessions_per_client;
     let threads = cad_runtime::effective_threads();
 
+    // WAL-on profile: durable tick log under CAD_LOADGEN_WAL_DIR, fsync
+    // policy shared with the daemon's CAD_WAL_FSYNC knob. The directory
+    // is left behind on purpose — it is a valid `cad-replay` input.
+    let wal_dir = std::env::var("CAD_LOADGEN_WAL_DIR")
+        .ok()
+        .filter(|p| !p.is_empty())
+        .map(std::path::PathBuf::from);
+    let wal_fsync = match std::env::var("CAD_WAL_FSYNC") {
+        Ok(raw) => cad_wal::FsyncPolicy::parse(&raw).unwrap_or_else(|| {
+            eprintln!("loadgen: CAD_WAL_FSYNC={raw} is not never|every_batch|<n>");
+            std::process::exit(2);
+        }),
+        Err(_) => ServeConfig::default().wal_fsync,
+    };
+
     eprintln!(
         "[loadgen] steady: {n_clients} clients × {sessions_per_client} sessions \
          ({total_sessions} total), {ticks} ticks × {n_sensors} sensors, \
-         w={w} s={s}, queue {queue_capacity} ticks, {threads} threads"
+         w={w} s={s}, queue {queue_capacity} ticks, {threads} threads, WAL {}",
+        match &wal_dir {
+            Some(dir) => format!("{} (fsync {wal_fsync})", dir.display()),
+            None => "off".into(),
+        }
     );
 
     let server = CadServer::bind(ServeConfig {
@@ -387,6 +450,8 @@ fn run_steady(opts: &Opts) {
         max_sessions: total_sessions.max(16),
         read_timeout: Duration::from_millis(100),
         ops_addr: Some("127.0.0.1:0".into()),
+        wal_dir: wal_dir.clone(),
+        wal_fsync,
         ..ServeConfig::default()
     })
     .expect("bind");
@@ -498,6 +563,7 @@ fn run_steady(opts: &Opts) {
     let scrape_p99 = quantile(&sorted_scrapes, 0.99);
     let (p50, p99, p999) = push_latency_quantiles(&metrics);
     let resident_bytes = cad_obs::read_process_rss().unwrap_or(0);
+    let wal = wal_json(&metrics, wal_dir.as_deref(), wal_fsync);
 
     let json = format!(
         concat!(
@@ -540,6 +606,7 @@ fn run_steady(opts: &Opts) {
             "  \"server_total_ticks\": {},\n",
             "  \"server_total_rounds\": {},\n",
             "  \"server_total_anomalies\": {},\n",
+            "  \"wal\": {},\n",
             "  \"phases\": {}\n",
             "}}\n"
         ),
@@ -579,6 +646,7 @@ fn run_steady(opts: &Opts) {
         stats.total_ticks,
         stats.total_rounds,
         stats.total_anomalies,
+        wal,
         stats.phases_json,
     );
     write_results(&json, &metrics);

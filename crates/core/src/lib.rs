@@ -53,6 +53,7 @@ pub mod engine;
 pub mod explain;
 pub(crate) mod metrics;
 pub mod pool;
+pub mod replay;
 pub mod result;
 pub mod state;
 pub mod stream;
@@ -65,6 +66,7 @@ pub use engine::{ExactEngine, IncrementalEngine, RoundEngine};
 // batch report row) already owns the top-level name.
 pub use explain::ExplainJournal;
 pub use pool::DetectorPool;
+pub use replay::{splice_batch, SpliceError, SplicedRound};
 pub use result::{Anomaly, DetectionResult, RoundRecord};
 pub use state::{load_detector, load_stream, save_detector, save_stream, StateError};
 pub use stream::StreamingCad;

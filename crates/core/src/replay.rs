@@ -1,0 +1,214 @@
+//! Recovery-splice and replay helpers for durable tick logs.
+//!
+//! A write-ahead log (see `cad-wal`) records accepted push batches as
+//! `(base_tick, samples)` pairs. After a crash the serving layer restores a
+//! session from its newest snapshot/spill — which covers some prefix of the
+//! stream — and then replays the WAL suffix. Because a checkpoint rarely
+//! lands exactly on a batch boundary, the first replayed batch usually
+//! *overlaps* the restored prefix; [`splice_batch`] applies only the ticks
+//! the restored state has not seen yet, preserving bit-identical outcomes
+//! versus an uninterrupted run (the detector is deterministic, so feeding
+//! the exact same suffix of rows reproduces the exact same rounds).
+//!
+//! The same helper drives offline what-if re-detection (`cad-replay`),
+//! where the "restored state" is a freshly built [`StreamingCad`] and every
+//! batch is spliced from tick 0.
+
+use crate::detector::RoundOutcome;
+use crate::stream::StreamingCad;
+
+/// Why a logged batch could not be spliced into a restored stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpliceError {
+    /// The batch starts past the stream's next tick: ticks in between were
+    /// lost (e.g. compacted or corrupt WAL records) and outcomes could no
+    /// longer be bit-identical.
+    Gap {
+        /// The stream's next expected tick (`samples_seen`).
+        expected: u64,
+        /// The batch's base tick.
+        got: u64,
+    },
+    /// The batch's row width does not match the stream's sensor count.
+    Width {
+        /// The stream's sensor count.
+        expected: usize,
+        /// The batch's row width.
+        got: usize,
+    },
+    /// `samples.len()` is not a multiple of the row width.
+    Ragged,
+}
+
+impl std::fmt::Display for SpliceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpliceError::Gap { expected, got } => {
+                write!(
+                    f,
+                    "tick gap: stream expects tick {expected}, batch starts at {got}"
+                )
+            }
+            SpliceError::Width { expected, got } => {
+                write!(f, "row width {got} != stream width {expected}")
+            }
+            SpliceError::Ragged => write!(f, "sample payload is not a whole number of rows"),
+        }
+    }
+}
+
+/// One detection round produced while splicing a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplicedRound {
+    /// Tick index of the row that completed the round.
+    pub tick: u64,
+    /// The round's outcome.
+    pub outcome: RoundOutcome,
+}
+
+/// Apply a logged batch to `stream`, skipping any leading rows the stream
+/// has already consumed (ticks `< samples_seen`). Returns the rounds the
+/// new rows completed, tagged with the tick that closed each round.
+///
+/// Overlap is fine (that is the point); a *gap* is not — restoring from a
+/// checkpoint and then skipping ticks would silently diverge from the
+/// uninterrupted run, so it is surfaced as an error instead.
+pub fn splice_batch(
+    stream: &mut StreamingCad,
+    base_tick: u64,
+    n_sensors: usize,
+    samples: &[f64],
+) -> Result<Vec<SplicedRound>, SpliceError> {
+    if n_sensors == 0 || !samples.len().is_multiple_of(n_sensors) {
+        return Err(SpliceError::Ragged);
+    }
+    if n_sensors != stream.detector().n_sensors() {
+        return Err(SpliceError::Width {
+            expected: stream.detector().n_sensors(),
+            got: n_sensors,
+        });
+    }
+    let seen = stream.samples_seen() as u64;
+    if base_tick > seen {
+        return Err(SpliceError::Gap {
+            expected: seen,
+            got: base_tick,
+        });
+    }
+    let n_ticks = (samples.len() / n_sensors) as u64;
+    let skip = (seen - base_tick).min(n_ticks);
+    let mut rounds = Vec::new();
+    for i in skip..n_ticks {
+        let tick = base_tick + i;
+        let row = &samples[(i as usize) * n_sensors..(i as usize + 1) * n_sensors];
+        if let Some(outcome) = stream.push_sample(row) {
+            rounds.push(SplicedRound { tick, outcome });
+        }
+    }
+    Ok(rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CadConfig;
+    use crate::detector::CadDetector;
+
+    fn stream(n: usize) -> StreamingCad {
+        let config = CadConfig::builder(n).window(16, 4).k(2).build();
+        StreamingCad::new(CadDetector::new(n, config))
+    }
+
+    fn row(t: u64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|v| ((t as f64) * 0.37 + v as f64).sin())
+            .collect()
+    }
+
+    fn rows(from: u64, count: u64, n: usize) -> Vec<f64> {
+        (from..from + count).flat_map(|t| row(t, n)).collect()
+    }
+
+    #[test]
+    fn overlapping_splice_matches_uninterrupted() {
+        let n = 4;
+        let mut reference = stream(n);
+        let mut ref_rounds = Vec::new();
+        for t in 0..60 {
+            if let Some(o) = reference.push_sample(&row(t, n)) {
+                ref_rounds.push((t, o));
+            }
+        }
+
+        // Restored state covers ticks [0, 22); the "WAL" batches overlap it.
+        let mut restored = stream(n);
+        for t in 0..22 {
+            restored.push_sample(&row(t, n));
+        }
+        let mut spliced = Vec::new();
+        for base in [16u64, 28, 40, 52] {
+            let batch = rows(base, 12.min(60 - base), n);
+            for r in splice_batch(&mut restored, base, n, &batch).unwrap() {
+                spliced.push((r.tick, r.outcome));
+            }
+        }
+        let expect: Vec<_> = ref_rounds
+            .iter()
+            .filter(|(t, _)| *t >= 22)
+            .cloned()
+            .collect();
+        assert_eq!(spliced.len(), expect.len());
+        for ((ta, a), (tb, b)) in spliced.iter().zip(&expect) {
+            assert_eq!(ta, tb);
+            assert_eq!(a.n_r, b.n_r);
+            assert_eq!(a.zscore.to_bits(), b.zscore.to_bits());
+            assert_eq!(a.abnormal, b.abnormal);
+            assert_eq!(a.outliers, b.outliers);
+        }
+    }
+
+    #[test]
+    fn gap_is_an_error() {
+        let mut s = stream(3);
+        let err = splice_batch(&mut s, 5, 3, &rows(5, 2, 3)).unwrap_err();
+        assert_eq!(
+            err,
+            SpliceError::Gap {
+                expected: 0,
+                got: 5
+            }
+        );
+    }
+
+    #[test]
+    fn width_and_ragged_are_errors() {
+        let mut s = stream(3);
+        assert_eq!(
+            splice_batch(&mut s, 0, 4, &rows(0, 2, 4)).unwrap_err(),
+            SpliceError::Width {
+                expected: 3,
+                got: 4
+            }
+        );
+        assert_eq!(
+            splice_batch(&mut s, 0, 3, &[1.0, 2.0]).unwrap_err(),
+            SpliceError::Ragged
+        );
+        assert_eq!(
+            splice_batch(&mut s, 0, 0, &[]).unwrap_err(),
+            SpliceError::Ragged
+        );
+    }
+
+    #[test]
+    fn fully_covered_batch_is_a_no_op() {
+        let mut s = stream(3);
+        for t in 0..10 {
+            s.push_sample(&row(t, 3));
+        }
+        let before = s.samples_seen();
+        let rounds = splice_batch(&mut s, 2, 3, &rows(2, 5, 3)).unwrap();
+        assert!(rounds.is_empty());
+        assert_eq!(s.samples_seen(), before);
+    }
+}

@@ -18,6 +18,9 @@
 //! | `CAD_SPILL_DIR`          | unset            | hibernation spill directory     |
 //! | `CAD_SERVE_IO_WORKERS`   | `0` (auto)       | connection I/O worker threads   |
 //! | `CAD_SERVE_POLLER`       | platform default | poller backend: `epoll`\|`poll` |
+//! | `CAD_WAL_DIR`            | unset            | write-ahead-log directory (off by default) |
+//! | `CAD_WAL_FSYNC`          | `every_batch`    | WAL fsync policy: `never`\|`every_batch`\|`<n>` |
+//! | `CAD_WAL_SEGMENT_BYTES`  | 4 MiB            | WAL segment size cap            |
 //! | `CAD_OBS_DUMP`           | unset            | write metrics text here on exit |
 //!
 //! Shutdown is graceful on a client `Shutdown` frame: the queue drains
@@ -62,6 +65,15 @@ fn main() {
     // The Poller also reads CAD_SERVE_POLLER itself; mirroring it into
     // the config keeps the startup banner honest.
     cfg.poller = std::env::var("CAD_SERVE_POLLER").ok();
+    cfg.wal_dir = std::env::var("CAD_WAL_DIR").ok().map(PathBuf::from);
+    if let Ok(raw) = std::env::var("CAD_WAL_FSYNC") {
+        cfg.wal_fsync = cad_wal::FsyncPolicy::parse(&raw).unwrap_or_else(|| {
+            eprintln!("cad-serve: CAD_WAL_FSYNC={raw} is not never|every_batch|<n>");
+            std::process::exit(2);
+        });
+    }
+    cfg.wal_segment_bytes =
+        env_usize("CAD_WAL_SEGMENT_BYTES", cfg.wal_segment_bytes as usize) as u64;
 
     let server = match CadServer::bind(cfg.clone()) {
         Ok(s) => s,
@@ -72,7 +84,7 @@ fn main() {
     };
     let addr = server.local_addr().expect("local_addr");
     if let Some(ops) = server.local_ops_addr() {
-        eprintln!("cad-serve: ops plane on http://{ops} (/metrics /healthz /readyz /tracez /sessions /explain)");
+        eprintln!("cad-serve: ops plane on http://{ops} (/metrics /healthz /readyz /tracez /wal /sessions /explain)");
     }
     eprintln!(
         "cad-serve: listening on {addr} ({} shards, {} max sessions, queue {} ticks, snapshots: {}, hibernation: {})",
@@ -86,6 +98,18 @@ fn main() {
         match (&cfg.spill_dir, cfg.hibernate_after_rounds) {
             (Some(dir), n) if n > 0 => format!("after {n} idle sweeps -> {}", dir.display()),
             _ => "disabled".into(),
+        },
+    );
+    eprintln!(
+        "cad-serve: WAL: {}",
+        match &cfg.wal_dir {
+            Some(dir) => format!(
+                "{} (fsync {}, segments {} bytes)",
+                dir.display(),
+                cfg.wal_fsync,
+                cfg.wal_segment_bytes
+            ),
+            None => "disabled".into(),
         },
     );
     match server.run() {

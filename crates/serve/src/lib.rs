@@ -33,8 +33,9 @@ pub use protocol::{
 };
 pub use server::{CadServer, ServeConfig, ShutdownHandle};
 pub use session::{
-    Command, Counters, EnqueueError, ManagerConfig, RebalanceError, Reply, ReplyTo, SessionManager,
-    SessionPump, SessionRow, SessionState, SessionTableError, TryEnqueueError,
+    config_from_wal_spec, session_spec_from_wal, Command, Counters, EnqueueError, ManagerConfig,
+    RebalanceError, Reply, ReplyTo, SessionManager, SessionPump, SessionRow, SessionState,
+    SessionTableError, TryEnqueueError, WalCounters, WalStatus,
 };
 
 #[cfg(test)]

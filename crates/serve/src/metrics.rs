@@ -21,6 +21,16 @@
 //! | `serve_poller_ready_depth`     | gauge     | —       | connections awaiting a worker after the last poll wake |
 //! | `serve_poller_ready_peak`      | gauge     | —       | high-water mark of the ready backlog     |
 //! | `cad_process_resident_bytes`   | gauge     | —       | process RSS (Linux; sampled by the pumps, see `cad-obs`) |
+//! | `serve_wal_append_nanos`       | histogram | —       | one WAL append, encode to (optional) fsync return |
+//! | `serve_wal_fsyncs_total`       | counter   | —       | fsync calls issued by WAL appends        |
+//! | `serve_wal_append_errors_total`| counter   | —       | WAL appends that failed (serving continued) |
+//! | `serve_wal_segments`           | gauge     | —       | live WAL segment files across all shards |
+//! | `serve_wal_bytes`              | gauge     | —       | bytes across all live WAL segments       |
+//! | `serve_wal_compacted_segments_total` | counter | —   | sealed segments reclaimed by compaction  |
+//! | `serve_wal_recovered_records_total`  | counter | —   | WAL records replayed at startup          |
+//! | `serve_wal_recovered_ticks_total`    | counter | —   | ticks spliced into sessions at startup   |
+//! | `serve_wal_recovery_dropped_total`   | counter | —   | WAL records dropped during recovery      |
+//! | `serve_wal_recovery_gaps_total`      | counter | —   | tick-gap splice failures during recovery |
 
 use std::sync::{Arc, OnceLock};
 
@@ -74,6 +84,56 @@ pub(crate) fn poller_ready_depth() -> &'static Arc<Gauge> {
 pub(crate) fn poller_ready_peak() -> &'static Arc<Gauge> {
     static HANDLE: OnceLock<Arc<Gauge>> = OnceLock::new();
     HANDLE.get_or_init(|| cad_obs::global().gauge("serve_poller_ready_peak", &[]))
+}
+
+pub(crate) fn wal_append_latency() -> &'static Arc<Histogram> {
+    static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().histogram("serve_wal_append_nanos", &[]))
+}
+
+pub(crate) fn wal_fsyncs_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().counter("serve_wal_fsyncs_total", &[]))
+}
+
+pub(crate) fn wal_append_errors_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().counter("serve_wal_append_errors_total", &[]))
+}
+
+pub(crate) fn wal_segments_gauge() -> &'static Arc<Gauge> {
+    static HANDLE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().gauge("serve_wal_segments", &[]))
+}
+
+pub(crate) fn wal_bytes_gauge() -> &'static Arc<Gauge> {
+    static HANDLE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().gauge("serve_wal_bytes", &[]))
+}
+
+pub(crate) fn wal_compactions_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().counter("serve_wal_compacted_segments_total", &[]))
+}
+
+pub(crate) fn wal_recovered_records_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().counter("serve_wal_recovered_records_total", &[]))
+}
+
+pub(crate) fn wal_recovered_ticks_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().counter("serve_wal_recovered_ticks_total", &[]))
+}
+
+pub(crate) fn wal_recovery_dropped_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().counter("serve_wal_recovery_dropped_total", &[]))
+}
+
+pub(crate) fn wal_recovery_gaps_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().counter("serve_wal_recovery_gaps_total", &[]))
 }
 
 /// Count one produced error frame under its protocol code. Error paths

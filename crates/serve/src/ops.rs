@@ -11,6 +11,7 @@
 //! | `/readyz`                | `ready`, or 503 `draining` once shutdown began |
 //! | `/metrics`               | Prometheus text exposition of the global registry |
 //! | `/tracez`                | JSON dump of the trace ring (with seq numbers) |
+//! | `/wal`                   | JSON WAL health (404 when the WAL is disabled) |
 //! | `/sessions`              | JSON per-shard session table                   |
 //! | `/explain/<session_id>`  | JSON forensics journal for one session         |
 //!
@@ -232,6 +233,7 @@ fn respond(request: &Request, shared: &OpsShared) -> Response {
             cad_obs::global().snapshot().render_text(),
         ),
         "/tracez" => (200, "OK", JSON, render_tracez()),
+        "/wal" => wal_response(shared),
         "/sessions" => sessions_response(shared),
         path => match path.strip_prefix("/explain/") {
             Some(id) => explain_response(id, shared),
@@ -263,6 +265,37 @@ fn queue_round_trip(
             )
         }),
     }
+}
+
+/// WAL health straight from the shared counters: no pump round trip, so
+/// the endpoint answers even while every ingress queue is saturated.
+fn wal_response(shared: &OpsShared) -> Response {
+    let Some(wal) = shared.manager.wal_status() else {
+        return (404, "Not Found", TEXT, "WAL is disabled\n".into());
+    };
+    let body = format!(
+        "{{\"dir\":{},\"fsync\":{},\"segment_bytes\":{},\"segments\":{},\
+         \"bytes\":{},\"appends\":{},\"appended_bytes\":{},\"fsyncs\":{},\
+         \"append_errors\":{},\"compacted_segments\":{},\
+         \"recovery\":{{\"records\":{},\"ticks\":{},\"dropped_records\":{},\
+         \"dropped_bytes\":{},\"gaps\":{}}}}}",
+        json_str(&wal.dir.display().to_string()),
+        json_str(&wal.fsync),
+        wal.segment_bytes,
+        wal.segments,
+        wal.bytes,
+        wal.appends,
+        wal.appended_bytes,
+        wal.fsyncs,
+        wal.append_errors,
+        wal.compacted_segments,
+        wal.recovery_records,
+        wal.recovery_ticks,
+        wal.recovery_dropped_records,
+        wal.recovery_dropped_bytes,
+        wal.recovery_gaps,
+    );
+    (200, "OK", JSON, body)
 }
 
 fn sessions_response(shared: &OpsShared) -> Response {
@@ -467,12 +500,15 @@ mod tests {
     }
 
     fn fixture() -> OpsFixture {
-        let (manager, pump) = SessionManager::new(ManagerConfig {
+        fixture_with(ManagerConfig {
             shards: 1,
             explain_rounds: 16,
             ..ManagerConfig::default()
         })
-        .expect("manager");
+    }
+
+    fn fixture_with(cfg: ManagerConfig) -> OpsFixture {
+        let (manager, pump) = SessionManager::new(cfg).expect("manager");
         let pump = std::thread::spawn(move || pump.run());
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
@@ -643,5 +679,39 @@ mod tests {
         let tracez = get(fx.addr, "/tracez");
         assert_eq!(status_of(&tracez), 200);
         assert!(tracez.contains("\"events\":["), "{tracez}");
+    }
+
+    #[test]
+    fn wal_endpoint_is_404_when_disabled() {
+        let fx = fixture();
+        assert_eq!(status_of(&get(fx.addr, "/wal")), 404);
+    }
+
+    #[test]
+    fn wal_endpoint_reports_health_when_enabled() {
+        let dir = std::env::temp_dir().join(format!("cad-ops-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fx = fixture_with(ManagerConfig {
+            shards: 1,
+            explain_rounds: 16,
+            wal_dir: Some(dir.clone()),
+            ..ManagerConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        fx.manager
+            .enqueue(Command::Create {
+                session_id: 3,
+                spec: SessionSpec::new(4, 16, 4),
+                reply: tx.into(),
+            })
+            .expect("enqueue");
+        assert!(matches!(rx.recv().expect("reply"), Reply::Created { .. }));
+        let wal = get(fx.addr, "/wal");
+        assert_eq!(status_of(&wal), 200);
+        assert!(wal.contains("\"fsync\":"), "{wal}");
+        assert!(wal.contains("\"appends\":1"), "{wal}");
+        assert!(wal.contains("\"recovery\":{"), "{wal}");
+        drop(fx);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

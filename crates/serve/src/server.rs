@@ -103,6 +103,12 @@ pub struct ServeConfig {
     /// Poller backend override (`"epoll"` | `"poll"`); `None` honours
     /// `CAD_SERVE_POLLER` and falls back to the platform default.
     pub poller: Option<String>,
+    /// Write-ahead-log directory; `None` (the default) disables the WAL.
+    pub wal_dir: Option<PathBuf>,
+    /// WAL fsync policy (`CAD_WAL_FSYNC` syntax).
+    pub wal_fsync: cad_wal::FsyncPolicy,
+    /// WAL segment size cap in bytes.
+    pub wal_segment_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +131,9 @@ impl Default for ServeConfig {
             spill_dir: None,
             io_workers: 0,
             poller: None,
+            wal_dir: None,
+            wal_fsync: m.wal_fsync,
+            wal_segment_bytes: m.wal_segment_bytes,
         }
     }
 }
@@ -265,6 +274,9 @@ impl CadServer {
             pump_groups: cfg.pump_groups,
             hibernate_after_rounds: cfg.hibernate_after_rounds,
             spill_dir: cfg.spill_dir.clone(),
+            wal_dir: cfg.wal_dir.clone(),
+            wal_fsync: cfg.wal_fsync,
+            wal_segment_bytes: cfg.wal_segment_bytes,
         })?;
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;

@@ -76,6 +76,7 @@ use std::time::{Duration, Instant};
 use cad_core::{load_stream, save_stream, CadConfig, CadDetector, EngineChoice, StreamingCad};
 use cad_obs::{Gauge, TraceEvent};
 use cad_runtime::Timer;
+use cad_wal::{FsyncPolicy, SessionDurability, ShardWal, WalConfig, WalEngine, WalRecord, WalSpec};
 
 use crate::metrics;
 use crate::protocol::{codes, SessionSpec, SessionStats, WireEngine, WireOutcome, WireRoundRecord};
@@ -109,6 +110,15 @@ pub struct ManagerConfig {
     /// Directory hibernated sessions spill their state to; `None`
     /// disables hibernation.
     pub spill_dir: Option<PathBuf>,
+    /// Directory for the per-shard write-ahead log of accepted pushes;
+    /// `None` disables the WAL (and with it crash recovery between
+    /// snapshots).
+    pub wal_dir: Option<PathBuf>,
+    /// Fsync policy for WAL appends (see [`cad_wal::FsyncPolicy`]).
+    pub wal_fsync: FsyncPolicy,
+    /// WAL segment size cap in bytes; appends past it roll to a new
+    /// segment file.
+    pub wal_segment_bytes: u64,
 }
 
 impl Default for ManagerConfig {
@@ -123,6 +133,9 @@ impl Default for ManagerConfig {
             pump_groups: 0,
             hibernate_after_rounds: 0,
             spill_dir: None,
+            wal_dir: None,
+            wal_fsync: FsyncPolicy::EveryBatch,
+            wal_segment_bytes: cad_wal::DEFAULT_SEGMENT_BYTES,
         }
     }
 }
@@ -406,7 +419,75 @@ pub struct Counters {
     pub resurrections: AtomicU64,
 }
 
-/// One monitored deployment: a streaming detector plus its counters.
+/// Aggregate WAL counters shared across shards (the `/wal` ops endpoint
+/// and `ServerStats` read these; the authoritative per-event metrics live
+/// in the registry).
+#[derive(Debug, Default)]
+pub struct WalCounters {
+    /// Records appended across all shards.
+    pub appends: AtomicU64,
+    /// Bytes appended (framing included).
+    pub appended_bytes: AtomicU64,
+    /// fsync calls issued.
+    pub fsyncs: AtomicU64,
+    /// Appends that failed with an I/O error (served anyway; logged).
+    pub append_errors: AtomicU64,
+    /// Live segment files across all shards.
+    pub segments: AtomicI64,
+    /// Bytes across all live segments.
+    pub bytes: AtomicI64,
+    /// Sealed segments removed by compaction.
+    pub compacted_segments: AtomicU64,
+    /// Records replayed during recovery at startup.
+    pub recovery_records: AtomicU64,
+    /// Ticks applied to sessions during recovery replay.
+    pub recovery_ticks: AtomicU64,
+    /// Records dropped during recovery (corruption, torn tails,
+    /// undecodable specs).
+    pub recovery_dropped_records: AtomicU64,
+    /// Bytes dropped during recovery.
+    pub recovery_dropped_bytes: AtomicU64,
+    /// Tick-gap splice failures during recovery (batches skipped because
+    /// preceding ticks were missing).
+    pub recovery_gaps: AtomicU64,
+}
+
+/// Point-in-time WAL health, as served by the `/wal` ops endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalStatus {
+    /// Base WAL directory.
+    pub dir: PathBuf,
+    /// Configured fsync policy (display form).
+    pub fsync: String,
+    /// Configured segment size cap.
+    pub segment_bytes: u64,
+    /// Records appended since start.
+    pub appends: u64,
+    /// Bytes appended since start.
+    pub appended_bytes: u64,
+    /// fsyncs issued since start.
+    pub fsyncs: u64,
+    /// Failed appends since start.
+    pub append_errors: u64,
+    /// Live segment files.
+    pub segments: u64,
+    /// Bytes across live segments.
+    pub bytes: u64,
+    /// Segments removed by compaction.
+    pub compacted_segments: u64,
+    /// Records replayed at startup.
+    pub recovery_records: u64,
+    /// Ticks applied at startup.
+    pub recovery_ticks: u64,
+    /// Records dropped at startup.
+    pub recovery_dropped_records: u64,
+    /// Bytes dropped at startup.
+    pub recovery_dropped_bytes: u64,
+    /// Splice gaps hit at startup.
+    pub recovery_gaps: u64,
+}
+
+///// One monitored deployment: a streaming detector plus its counters.
 #[derive(Debug)]
 struct Session {
     stream: StreamingCad,
@@ -502,6 +583,20 @@ struct Shard {
     /// Drain iterations of the owning group since process start; the
     /// hibernation clock.
     sweep: u64,
+    /// Earliest sweep at which the hibernation scan could find an idle
+    /// session; while `sweep < hibernate_check_at` the O(resident) scan is
+    /// skipped entirely. Pulled earlier on every push/create/resurrect,
+    /// recomputed after every scan.
+    hibernate_check_at: u64,
+    /// This shard's write-ahead log; `None` when the WAL is disabled.
+    wal: Option<ShardWal>,
+    /// Per-session durable watermark: `samples_seen` covered by the last
+    /// successfully written snapshot or spill. Presence implies a durable
+    /// file exists; drives WAL checkpoint skipping and compaction.
+    durable: BTreeMap<u64, u64>,
+    /// Set when an append rolled a segment: a compaction pass may now be
+    /// able to reclaim the sealed file.
+    wal_compact_pending: bool,
 }
 
 impl Shard {
@@ -512,6 +607,10 @@ impl Shard {
             hibernated: BTreeMap::new(),
             sessions_gauge: metrics::shard_sessions_gauge(index),
             sweep: 0,
+            hibernate_check_at: 0,
+            wal: None,
+            durable: BTreeMap::new(),
+            wal_compact_pending: false,
         }
     }
 
@@ -570,6 +669,8 @@ struct Shared {
     /// gauge without any cross-queue lock ordering.
     pending_total: AtomicI64,
     counters: Counters,
+    /// Aggregate WAL counters; `Some` iff the WAL is enabled.
+    wal: Option<WalCounters>,
 }
 
 impl Shared {
@@ -693,6 +794,51 @@ fn validate_spec(spec: &SessionSpec, max_sensors: usize) -> Result<CadConfig, (u
         .rc_horizon(spec.rc_horizon.map(|h| h as usize))
         .engine(engine)
         .build())
+}
+
+/// The WAL's self-describing copy of a wire spec (recorded in `Create`).
+fn wal_spec_of(spec: &SessionSpec) -> WalSpec {
+    WalSpec {
+        n_sensors: spec.n_sensors,
+        w: spec.w,
+        s: spec.s,
+        k: spec.k,
+        tau: spec.tau,
+        theta: spec.theta,
+        eta: spec.eta,
+        rc_horizon: spec.rc_horizon.unwrap_or(0),
+        engine: match spec.engine {
+            WireEngine::Exact => WalEngine::Exact,
+            WireEngine::Incremental { rebuild_every } => WalEngine::Incremental { rebuild_every },
+        },
+    }
+}
+
+/// Map a logged [`WalSpec`] back to the wire spec it was recorded from.
+pub fn session_spec_from_wal(spec: &WalSpec) -> SessionSpec {
+    SessionSpec {
+        n_sensors: spec.n_sensors,
+        w: spec.w,
+        s: spec.s,
+        k: spec.k,
+        tau: spec.tau,
+        theta: spec.theta,
+        eta: spec.eta,
+        rc_horizon: (spec.rc_horizon != 0).then_some(spec.rc_horizon),
+        engine: match spec.engine {
+            WalEngine::Exact => WireEngine::Exact,
+            WalEngine::Incremental { rebuild_every } => WireEngine::Incremental { rebuild_every },
+        },
+    }
+}
+
+/// Validate a logged spec and build its detector config. Mirrors the wire
+/// path's screening so a corrupt-but-CRC-valid `Create` record fails
+/// recovery (or replay) gracefully instead of panicking a constructor.
+/// Public for `cad-replay`, which re-runs logged sessions without ever
+/// speaking the wire protocol.
+pub fn config_from_wal_spec(spec: &WalSpec) -> Result<CadConfig, String> {
+    validate_spec(&session_spec_from_wal(spec), usize::MAX).map_err(|(_, msg)| msg)
 }
 
 fn snapshot_path(dir: &Path, session_id: u64) -> PathBuf {
@@ -842,6 +988,130 @@ fn read_spill(path: &Path, explain_rounds: usize) -> std::io::Result<StreamingCa
 }
 
 impl Shard {
+    /// Append one record to this shard's WAL. An I/O failure is counted
+    /// and logged but never takes serving down: the WAL degrades to a
+    /// shorter recoverable suffix, it does not become an availability
+    /// dependency.
+    fn wal_append(&mut self, shared: &Shared, rec: &WalRecord) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        let started = Instant::now();
+        match wal.append(rec) {
+            Ok(out) => {
+                metrics::wal_append_latency().record_duration(started.elapsed());
+                if out.synced {
+                    metrics::wal_fsyncs_total().inc();
+                }
+                if out.rolled {
+                    self.wal_compact_pending = true;
+                    metrics::wal_segments_gauge().add(1);
+                }
+                metrics::wal_bytes_gauge().add(out.bytes as i64);
+                if let Some(w) = &shared.wal {
+                    w.appends.fetch_add(1, Ordering::Relaxed);
+                    w.appended_bytes.fetch_add(out.bytes, Ordering::Relaxed);
+                    if out.synced {
+                        w.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if out.rolled {
+                        w.segments.fetch_add(1, Ordering::Relaxed);
+                    }
+                    w.bytes.fetch_add(out.bytes as i64, Ordering::Relaxed);
+                }
+            }
+            Err(e) => {
+                metrics::wal_append_errors_total().inc();
+                if let Some(w) = &shared.wal {
+                    w.append_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                eprintln!("cad-serve: shard {}: WAL append failed: {e}", self.index);
+            }
+        }
+    }
+
+    /// Record that a durable snapshot/spill covering `samples_seen` ticks
+    /// now exists for the session: advance the compaction watermark and
+    /// log a `Checkpoint` so the next recovery can skip the covered
+    /// prefix.
+    fn wal_checkpoint(&mut self, shared: &Shared, session_id: u64, samples_seen: u64) {
+        if self.wal.is_none() {
+            return;
+        }
+        self.durable.insert(session_id, samples_seen);
+        self.wal_append(
+            shared,
+            &WalRecord::Checkpoint {
+                session_id,
+                samples_seen,
+            },
+        );
+    }
+
+    /// Log a session's removal and forget its durable watermark.
+    fn wal_close(&mut self, shared: &Shared, session_id: u64) {
+        if self.wal.is_none() {
+            return;
+        }
+        self.durable.remove(&session_id);
+        self.wal_append(shared, &WalRecord::Close { session_id });
+    }
+
+    /// Reclaim sealed segments whose every tick has aged out of every
+    /// referenced session's recovery window (durable state covers it, or
+    /// the session is gone). Cheap no-op unless an append rolled a segment
+    /// since the last pass.
+    fn wal_compact(&mut self, shared: &Shared) {
+        if !self.wal_compact_pending {
+            return;
+        }
+        self.wal_compact_pending = false;
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        let sessions = &self.sessions;
+        let hibernated = &self.hibernated;
+        let durable = &self.durable;
+        match wal.compact(|sid| {
+            if sessions.contains_key(&sid) || hibernated.contains_key(&sid) {
+                SessionDurability::Durable(durable.get(&sid).copied())
+            } else {
+                SessionDurability::Gone
+            }
+        }) {
+            Ok(out) if out.removed_segments > 0 => {
+                metrics::wal_compactions_total().add(out.removed_segments);
+                metrics::wal_segments_gauge().sub(out.removed_segments as i64);
+                metrics::wal_bytes_gauge().sub(out.removed_bytes as i64);
+                if let Some(w) = &shared.wal {
+                    w.compacted_segments
+                        .fetch_add(out.removed_segments, Ordering::Relaxed);
+                    w.segments
+                        .fetch_sub(out.removed_segments as i64, Ordering::Relaxed);
+                    w.bytes
+                        .fetch_sub(out.removed_bytes as i64, Ordering::Relaxed);
+                }
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!(
+                    "cad-serve: shard {}: WAL compaction failed: {e}",
+                    self.index
+                );
+            }
+        }
+    }
+
+    /// A push/create/resurrect just reset a session's idle clock: the
+    /// hibernation scan cannot find work before `sweep + after`, but must
+    /// run by then.
+    fn note_activity(&mut self, shared: &Shared) {
+        let after = shared.cfg.hibernate_after_rounds as u64;
+        if after > 0 && shared.cfg.spill_dir.is_some() {
+            self.hibernate_check_at = self.hibernate_check_at.min(self.sweep + after);
+        }
+    }
+
     /// Process this shard's slice of the drained batch, in arrival order.
     fn run(&mut self, cmds: Vec<Command>, shared: &Shared) -> Vec<(ReplyTo, Reply)> {
         let _t = Timer::start("serve.shard");
@@ -861,6 +1131,9 @@ impl Shard {
                     shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
                     self.sessions_gauge.sub(1);
                     metrics::resident_sessions_gauge().sub(1);
+                    // The WAL must agree the session is gone, or recovery
+                    // would rebuild a detector we just declared poisoned.
+                    self.wal_close(shared, session_id);
                     cad_obs::tracer().emit(TraceEvent::SessionPanicked { session_id });
                 }
                 Reply::Failed {
@@ -892,7 +1165,15 @@ impl Shard {
         let path = spill_path(dir, session_id);
         match read_spill(&path, shared.cfg.explain_rounds) {
             Ok(stream) => {
-                let _ = std::fs::remove_file(&path);
+                if self.wal.is_none() {
+                    let _ = std::fs::remove_file(&path);
+                } else {
+                    // With a WAL the spill stays on disk: it is the durable
+                    // base the next crash recovery splices the log suffix
+                    // onto. Hibernating again overwrites it; Close deletes
+                    // it.
+                    self.durable.entry(session_id).or_insert(meta.samples_seen);
+                }
                 self.sessions.insert(
                     session_id,
                     Session {
@@ -904,6 +1185,7 @@ impl Shard {
                         last_push_round: meta.last_push_round,
                     },
                 );
+                self.note_activity(shared);
                 self.sessions_gauge.add(1);
                 metrics::resident_sessions_gauge().add(1);
                 metrics::hibernated_sessions_gauge().sub(1);
@@ -923,6 +1205,7 @@ impl Shard {
                 let _ = std::fs::remove_file(&path);
                 shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
                 metrics::hibernated_sessions_gauge().sub(1);
+                self.wal_close(shared, session_id);
                 cad_obs::tracer().emit(TraceEvent::SessionDropped { session_id });
                 Err(Reply::Failed {
                     code: codes::RESURRECT_FAILED,
@@ -937,6 +1220,12 @@ impl Shard {
         let Some(dir) = &shared.cfg.spill_dir else {
             return;
         };
+        // No session's idle counter can have crossed the threshold before
+        // `hibernate_check_at` (activity pulls it earlier, every scan
+        // recomputes it), so idle sweeps skip the O(resident) scan.
+        if self.sweep < self.hibernate_check_at {
+            return;
+        }
         let sweep = self.sweep;
         let idle: Vec<u64> = self
             .sessions
@@ -946,6 +1235,7 @@ impl Shard {
             .collect();
         for session_id in idle {
             let session = &self.sessions[&session_id];
+            let samples_seen = session.stream.samples_seen() as u64;
             // A failed spill (disk full, …) keeps the session resident;
             // the next sweep retries.
             if write_spill(dir, session_id, session).is_err() {
@@ -957,6 +1247,8 @@ impl Shard {
                 .expect("session present above");
             self.hibernated
                 .insert(session_id, HibernatedMeta::of(&session));
+            // The spill is this session's durable base from here on.
+            self.wal_checkpoint(shared, session_id, samples_seen);
             // The spill now supersedes any earlier snapshot; a stale
             // `.cads` left behind would win over the `.cadh` at restart.
             if let Some(snap) = &shared.cfg.snapshot_dir {
@@ -969,6 +1261,15 @@ impl Shard {
             shared.counters.hibernations.fetch_add(1, Ordering::Relaxed);
             cad_obs::tracer().emit(TraceEvent::SessionHibernated { session_id });
         }
+        // Earliest sweep at which a remaining resident could next become
+        // idle. Sessions whose spill just failed keep a deadline in the
+        // past, so the retry happens on the very next sweep.
+        self.hibernate_check_at = self
+            .sessions
+            .values()
+            .map(|s| s.last_push_sweep + after)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 
     /// Execute one command against this shard's sessions.
@@ -983,6 +1284,7 @@ impl Shard {
                 }
                 shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
                 metrics::hibernated_sessions_gauge().sub(1);
+                self.wal_close(shared, session_id);
                 cad_obs::tracer().emit(TraceEvent::SessionDropped { session_id });
                 return Reply::Closed;
             }
@@ -1019,6 +1321,16 @@ impl Shard {
                                 let n = spec.n_sensors as usize;
                                 let mut stream = StreamingCad::new(CadDetector::new(n, config));
                                 stream.set_explain_capacity(shared.cfg.explain_rounds);
+                                // Logged before the ack: if we crash after
+                                // replying Created, recovery rebuilds the
+                                // session from this record.
+                                self.wal_append(
+                                    shared,
+                                    &WalRecord::Create {
+                                        session_id,
+                                        spec: wal_spec_of(&spec),
+                                    },
+                                );
                                 self.sessions.insert(
                                     session_id,
                                     Session {
@@ -1030,6 +1342,7 @@ impl Shard {
                                         last_push_round: 0,
                                     },
                                 );
+                                self.note_activity(shared);
                                 self.sessions_gauge.add(1);
                                 metrics::resident_sessions_gauge().add(1);
                                 cad_obs::tracer().emit(TraceEvent::SessionCreated { session_id });
@@ -1046,27 +1359,59 @@ impl Shard {
                 base_tick,
                 n_sensors,
                 samples,
-            } => match self.sessions.get_mut(&session_id) {
-                None => Reply::Failed {
-                    code: codes::UNKNOWN_SESSION,
-                    message: format!("no session {session_id}"),
-                },
-                Some(session) => {
-                    let width = session.stream.detector().n_sensors();
-                    if n_sensors as usize != width {
-                        Reply::Failed {
-                            code: codes::BAD_PUSH,
-                            message: format!("push width {n_sensors} != session width {width}"),
+            } => {
+                // Validate against the session before logging: only batches
+                // the detector will actually consume reach the WAL, so
+                // replay never re-faces a rejected push.
+                let check = match self.sessions.get(&session_id) {
+                    None => Err(Reply::Failed {
+                        code: codes::UNKNOWN_SESSION,
+                        message: format!("no session {session_id}"),
+                    }),
+                    Some(session) => {
+                        let width = session.stream.detector().n_sensors();
+                        if n_sensors as usize != width {
+                            Err(Reply::Failed {
+                                code: codes::BAD_PUSH,
+                                message: format!("push width {n_sensors} != session width {width}"),
+                            })
+                        } else if base_tick != session.stream.samples_seen() as u64 {
+                            Err(Reply::Failed {
+                                code: codes::BAD_PUSH,
+                                message: format!(
+                                    "base_tick {base_tick} != samples_seen {}",
+                                    session.stream.samples_seen()
+                                ),
+                            })
+                        } else {
+                            Ok(width)
                         }
-                    } else if base_tick != session.stream.samples_seen() as u64 {
-                        Reply::Failed {
-                            code: codes::BAD_PUSH,
-                            message: format!(
-                                "base_tick {base_tick} != samples_seen {}",
-                                session.stream.samples_seen()
-                            ),
-                        }
-                    } else {
+                    }
+                };
+                match check {
+                    Err(reply) => reply,
+                    Ok(width) => {
+                        // Append before the ack. The samples move into the
+                        // record and back out — no copy of the batch.
+                        let samples = if self.wal.is_some() {
+                            let rec = WalRecord::Push {
+                                session_id,
+                                base_tick,
+                                n_sensors: width as u32,
+                                samples,
+                            };
+                            self.wal_append(shared, &rec);
+                            match rec {
+                                WalRecord::Push { samples, .. } => samples,
+                                _ => unreachable!("record built as Push above"),
+                            }
+                        } else {
+                            samples
+                        };
+                        let session = self
+                            .sessions
+                            .get_mut(&session_id)
+                            .expect("session presence checked above");
                         let mut outcomes = Vec::new();
                         for (i, tick) in samples.chunks_exact(width).enumerate() {
                             if let Some(o) = session.stream.push_sample(tick) {
@@ -1084,6 +1429,7 @@ impl Shard {
                         session.last_push_sweep = sweep;
                         session.last_push_round = session.rounds;
                         let n_ticks = (samples.len() / width) as u64;
+                        self.note_activity(shared);
                         counters.total_ticks.fetch_add(n_ticks, Ordering::Relaxed);
                         counters
                             .total_rounds
@@ -1095,24 +1441,36 @@ impl Shard {
                         Reply::Pushed(outcomes)
                     }
                 }
-            },
-            Work::Snapshot => match (&shared.cfg.snapshot_dir, self.sessions.get(&session_id)) {
-                (None, _) => Reply::Failed {
-                    code: codes::NO_SNAPSHOTS,
-                    message: "server has no snapshot directory".into(),
-                },
-                (_, None) => Reply::Failed {
-                    code: codes::UNKNOWN_SESSION,
-                    message: format!("no session {session_id}"),
-                },
-                (Some(dir), Some(session)) => match write_snapshot(dir, session_id, session) {
-                    Ok(bytes) => Reply::Snapshotted(bytes),
-                    Err(e) => Reply::Failed {
-                        code: codes::BAD_REQUEST,
-                        message: format!("snapshot failed: {e}"),
+            }
+            Work::Snapshot => {
+                let written = match (&shared.cfg.snapshot_dir, self.sessions.get(&session_id)) {
+                    (None, _) => Err(Reply::Failed {
+                        code: codes::NO_SNAPSHOTS,
+                        message: "server has no snapshot directory".into(),
+                    }),
+                    (_, None) => Err(Reply::Failed {
+                        code: codes::UNKNOWN_SESSION,
+                        message: format!("no session {session_id}"),
+                    }),
+                    (Some(dir), Some(session)) => match write_snapshot(dir, session_id, session) {
+                        Ok(bytes) => Ok((bytes, session.stream.samples_seen() as u64)),
+                        Err(e) => Err(Reply::Failed {
+                            code: codes::BAD_REQUEST,
+                            message: format!("snapshot failed: {e}"),
+                        }),
                     },
-                },
-            },
+                };
+                match written {
+                    Ok((bytes, samples_seen)) => {
+                        // The snapshot now covers the prefix up to
+                        // `samples_seen`; the checkpoint lets compaction
+                        // reclaim segments whose pushes it subsumes.
+                        self.wal_checkpoint(shared, session_id, samples_seen);
+                        Reply::Snapshotted(bytes)
+                    }
+                    Err(reply) => reply,
+                }
+            }
             Work::Close => {
                 match self.sessions.remove(&session_id) {
                     None => Reply::Failed {
@@ -1123,11 +1481,17 @@ impl Shard {
                         counters.sessions.fetch_sub(1, Ordering::Relaxed);
                         self.sessions_gauge.sub(1);
                         metrics::resident_sessions_gauge().sub(1);
+                        self.wal_close(shared, session_id);
                         cad_obs::tracer().emit(TraceEvent::SessionDropped { session_id });
                         if let Some(dir) = &shared.cfg.snapshot_dir {
                             // Best-effort: a closed session must not be
                             // resurrected by the next restart.
                             let _ = std::fs::remove_file(snapshot_path(dir, session_id));
+                        }
+                        if let Some(dir) = &shared.cfg.spill_dir {
+                            // In WAL mode a resurrect leaves the spill on
+                            // disk as its recovery base; closing ends that.
+                            let _ = std::fs::remove_file(spill_path(dir, session_id));
                         }
                         Reply::Closed
                     }
@@ -1159,6 +1523,195 @@ impl Shard {
     }
 }
 
+/// Counters accumulated while replaying the WAL suffix at startup.
+#[derive(Debug, Default, Clone, Copy)]
+struct WalRecoverySummary {
+    records: u64,
+    ticks: u64,
+    dropped_records: u64,
+    dropped_bytes: u64,
+    gaps: u64,
+}
+
+/// Splice one shard's recovered WAL records on top of its restored
+/// snapshot/spill state. Replay is total: anything that cannot be applied
+/// (unknown session, undecodable spec, tick gap) is counted and logged,
+/// never a panic — a damaged log costs data, not the process.
+fn replay_wal_records(
+    shard: &mut Shard,
+    records: Vec<WalRecord>,
+    cfg: &ManagerConfig,
+    summary: &mut WalRecoverySummary,
+) {
+    for rec in records {
+        summary.records += 1;
+        match rec {
+            WalRecord::Create { session_id, spec } => {
+                if shard.sessions.contains_key(&session_id)
+                    || shard.hibernated.contains_key(&session_id)
+                {
+                    // Durable state already embodies this create.
+                    continue;
+                }
+                match config_from_wal_spec(&spec) {
+                    Ok(config) => {
+                        let n = spec.n_sensors as usize;
+                        let mut stream = StreamingCad::new(CadDetector::new(n, config));
+                        stream.set_explain_capacity(cfg.explain_rounds);
+                        shard.sessions.insert(
+                            session_id,
+                            Session {
+                                stream,
+                                rounds: 0,
+                                anomalies: 0,
+                                resumed: true,
+                                last_push_sweep: 0,
+                                last_push_round: 0,
+                            },
+                        );
+                        shard.sessions_gauge.add(1);
+                        metrics::resident_sessions_gauge().add(1);
+                    }
+                    Err(msg) => {
+                        summary.dropped_records += 1;
+                        eprintln!(
+                            "cad-serve: shard {}: WAL replay: session {session_id}: \
+                             undecodable spec dropped: {msg}",
+                            shard.index
+                        );
+                    }
+                }
+            }
+            WalRecord::Push {
+                session_id,
+                base_tick,
+                n_sensors,
+                samples,
+            } => {
+                if !shard.sessions.contains_key(&session_id) {
+                    let Some(meta) = shard.hibernated.get(&session_id) else {
+                        // No create survived for this id (e.g. its segment
+                        // was corrupt): the push has nothing to land on.
+                        summary.dropped_records += 1;
+                        summary.dropped_bytes += (samples.len() * 8) as u64;
+                        eprintln!(
+                            "cad-serve: shard {}: WAL replay: push for unknown \
+                             session {session_id} dropped",
+                            shard.index
+                        );
+                        continue;
+                    };
+                    let rows = if n_sensors == 0 {
+                        0
+                    } else {
+                        (samples.len() / n_sensors as usize) as u64
+                    };
+                    if base_tick + rows <= meta.samples_seen {
+                        // The spill already covers every tick in the batch;
+                        // leave the session hibernated.
+                        continue;
+                    }
+                    // The batch extends past the spill: resurrect now so the
+                    // suffix can be spliced in.
+                    let dir = cfg
+                        .spill_dir
+                        .as_ref()
+                        .expect("hibernated sessions imply a spill_dir");
+                    let path = spill_path(dir, session_id);
+                    match read_spill(&path, cfg.explain_rounds) {
+                        Ok(stream) => {
+                            let meta = shard.hibernated.remove(&session_id).expect("checked above");
+                            shard.sessions.insert(
+                                session_id,
+                                Session {
+                                    stream,
+                                    rounds: meta.rounds,
+                                    anomalies: meta.anomalies,
+                                    resumed: meta.resumed,
+                                    last_push_sweep: 0,
+                                    last_push_round: meta.last_push_round,
+                                },
+                            );
+                            shard.sessions_gauge.add(1);
+                            metrics::resident_sessions_gauge().add(1);
+                            metrics::hibernated_sessions_gauge().sub(1);
+                        }
+                        Err(e) => {
+                            shard.hibernated.remove(&session_id);
+                            shard.durable.remove(&session_id);
+                            let _ = std::fs::remove_file(&path);
+                            metrics::hibernated_sessions_gauge().sub(1);
+                            summary.dropped_records += 1;
+                            eprintln!(
+                                "cad-serve: shard {}: WAL replay: session \
+                                 {session_id}: spill unusable, session dropped: {e}",
+                                shard.index
+                            );
+                            continue;
+                        }
+                    }
+                }
+                let session = shard
+                    .sessions
+                    .get_mut(&session_id)
+                    .expect("resident or just resurrected");
+                let before = session.stream.samples_seen();
+                match cad_core::splice_batch(
+                    &mut session.stream,
+                    base_tick,
+                    n_sensors as usize,
+                    &samples,
+                ) {
+                    Ok(rounds) => {
+                        summary.ticks += (session.stream.samples_seen() - before) as u64;
+                        for r in &rounds {
+                            session.rounds += 1;
+                            session.anomalies += r.outcome.abnormal as u64;
+                        }
+                        session.last_push_round = session.rounds;
+                    }
+                    Err(e) => {
+                        if matches!(e, cad_core::SpliceError::Gap { .. }) {
+                            summary.gaps += 1;
+                        }
+                        summary.dropped_records += 1;
+                        summary.dropped_bytes += (samples.len() * 8) as u64;
+                        eprintln!(
+                            "cad-serve: shard {}: WAL replay: session {session_id}: \
+                             batch at tick {base_tick} dropped: {e}",
+                            shard.index
+                        );
+                    }
+                }
+            }
+            WalRecord::Close { session_id } => {
+                let was_resident = shard.sessions.remove(&session_id).is_some();
+                let was_hibernated = shard.hibernated.remove(&session_id).is_some();
+                if was_resident {
+                    shard.sessions_gauge.sub(1);
+                    metrics::resident_sessions_gauge().sub(1);
+                } else if was_hibernated {
+                    metrics::hibernated_sessions_gauge().sub(1);
+                }
+                if was_resident || was_hibernated {
+                    shard.durable.remove(&session_id);
+                    if let Some(dir) = &cfg.snapshot_dir {
+                        let _ = std::fs::remove_file(snapshot_path(dir, session_id));
+                    }
+                    if let Some(dir) = &cfg.spill_dir {
+                        let _ = std::fs::remove_file(spill_path(dir, session_id));
+                    }
+                }
+            }
+            WalRecord::Checkpoint { .. } => {
+                // Durable watermarks are re-seeded from the files actually
+                // on disk; a checkpoint from a past process proves nothing
+                // about the present directory contents.
+            }
+        }
+    }
+}
+
 impl SessionManager {
     /// Build a manager plus its pump. When `cfg.snapshot_dir` holds
     /// snapshots from an earlier run, those sessions are restored before
@@ -1183,6 +1736,11 @@ impl SessionManager {
                 // snapshot (no journal) restores with journaling re-enabled.
                 stream.set_explain_capacity(cfg.explain_rounds);
                 let shard = &mut shards[(id % shards_n as u64) as usize];
+                if cfg.wal_dir.is_some() {
+                    // The snapshot on disk covers this prefix: WAL replay
+                    // splices from here, compaction may reclaim below it.
+                    shard.durable.insert(id, stream.samples_seen() as u64);
+                }
                 shard.sessions.insert(
                     id,
                     Session {
@@ -1218,13 +1776,46 @@ impl SessionManager {
                 let Ok(meta) = read_spill_meta(&path) else {
                     continue;
                 };
+                if cfg.wal_dir.is_some() {
+                    shard.durable.insert(id, meta.samples_seen);
+                }
                 shard.hibernated.insert(id, meta);
                 metrics::hibernated_sessions_gauge().add(1);
                 restored += 1;
             }
         }
+        let mut total_sessions = restored;
+        let mut wal_summary = WalRecoverySummary::default();
+        let (mut wal_segments, mut wal_bytes) = (0i64, 0i64);
+        if let Some(base) = &cfg.wal_dir {
+            std::fs::create_dir_all(base)?;
+            for shard in shards.iter_mut() {
+                let (wal, report) = ShardWal::open(WalConfig {
+                    dir: base.clone(),
+                    shard: shard.index as u32,
+                    segment_bytes: cfg.wal_segment_bytes,
+                    fsync: cfg.wal_fsync,
+                })?;
+                wal_summary.dropped_records += report.dropped_records;
+                wal_summary.dropped_bytes += report.dropped_bytes;
+                for note in &report.notes {
+                    eprintln!("cad-serve: shard {}: WAL: {note}", shard.index);
+                }
+                replay_wal_records(shard, report.records, &cfg, &mut wal_summary);
+                wal_segments += wal.segments() as i64;
+                wal_bytes += wal.bytes() as i64;
+                shard.wal = Some(wal);
+            }
+            // Replay may have rebuilt sessions (creates past the last
+            // durable write) or removed them (closes); recount.
+            total_sessions = shards
+                .iter()
+                .map(|s| (s.sessions.len() + s.hibernated.len()) as u64)
+                .sum();
+        }
         let n_groups = cfg.effective_groups();
         let queues = (0..n_groups).map(|_| Arc::new(GroupQueue::new())).collect();
+        let wal_enabled = cfg.wal_dir.is_some();
         let shared = Arc::new(Shared {
             cfg,
             n_shards: shards_n,
@@ -1232,8 +1823,30 @@ impl SessionManager {
             closed: AtomicBool::new(false),
             pending_total: AtomicI64::new(0),
             counters: Counters::default(),
+            wal: wal_enabled.then(WalCounters::default),
         });
-        shared.counters.sessions.store(restored, Ordering::Relaxed);
+        shared
+            .counters
+            .sessions
+            .store(total_sessions, Ordering::Relaxed);
+        if let Some(w) = &shared.wal {
+            w.segments.store(wal_segments, Ordering::Relaxed);
+            w.bytes.store(wal_bytes, Ordering::Relaxed);
+            w.recovery_records
+                .store(wal_summary.records, Ordering::Relaxed);
+            w.recovery_ticks.store(wal_summary.ticks, Ordering::Relaxed);
+            w.recovery_dropped_records
+                .store(wal_summary.dropped_records, Ordering::Relaxed);
+            w.recovery_dropped_bytes
+                .store(wal_summary.dropped_bytes, Ordering::Relaxed);
+            w.recovery_gaps.store(wal_summary.gaps, Ordering::Relaxed);
+            metrics::wal_segments_gauge().set(wal_segments);
+            metrics::wal_bytes_gauge().set(wal_bytes);
+            metrics::wal_recovered_records_total().add(wal_summary.records);
+            metrics::wal_recovered_ticks_total().add(wal_summary.ticks);
+            metrics::wal_recovery_dropped_total().add(wal_summary.dropped_records);
+            metrics::wal_recovery_gaps_total().add(wal_summary.gaps);
+        }
         Ok((
             SessionManager {
                 shared: Arc::clone(&shared),
@@ -1245,6 +1858,29 @@ impl SessionManager {
     /// Server-wide counters.
     pub fn counters(&self) -> &Counters {
         &self.shared.counters
+    }
+
+    /// Point-in-time WAL health; `None` when the WAL is disabled.
+    pub fn wal_status(&self) -> Option<WalStatus> {
+        let w = self.shared.wal.as_ref()?;
+        let cfg = &self.shared.cfg;
+        Some(WalStatus {
+            dir: cfg.wal_dir.clone().expect("wal counters imply a wal_dir"),
+            fsync: cfg.wal_fsync.to_string(),
+            segment_bytes: cfg.wal_segment_bytes,
+            appends: w.appends.load(Ordering::Relaxed),
+            appended_bytes: w.appended_bytes.load(Ordering::Relaxed),
+            fsyncs: w.fsyncs.load(Ordering::Relaxed),
+            append_errors: w.append_errors.load(Ordering::Relaxed),
+            segments: w.segments.load(Ordering::Relaxed).max(0) as u64,
+            bytes: w.bytes.load(Ordering::Relaxed).max(0) as u64,
+            compacted_segments: w.compacted_segments.load(Ordering::Relaxed),
+            recovery_records: w.recovery_records.load(Ordering::Relaxed),
+            recovery_ticks: w.recovery_ticks.load(Ordering::Relaxed),
+            recovery_dropped_records: w.recovery_dropped_records.load(Ordering::Relaxed),
+            recovery_dropped_bytes: w.recovery_dropped_bytes.load(Ordering::Relaxed),
+            recovery_gaps: w.recovery_gaps.load(Ordering::Relaxed),
+        })
     }
 
     /// Admission limits (echoed in `HelloAck`).
@@ -1559,17 +2195,34 @@ impl SessionPump {
 
     /// Persist every resident session to the snapshot directory (no-op
     /// when snapshots are disabled; hibernated sessions already live on
-    /// disk in the spill tier). Returns the number persisted.
+    /// disk in the spill tier), checkpoint the WAL behind the snapshots,
+    /// and flush every shard's log. Returns the number persisted.
     fn persist_all(&mut self) -> usize {
-        let Some(dir) = self.shared.cfg.snapshot_dir.clone() else {
+        let dir = self.shared.cfg.snapshot_dir.clone();
+        let shared = Arc::clone(&self.shared);
+        if dir.is_none() && shared.wal.is_none() {
             return 0;
-        };
+        }
         let _t = Timer::start("serve.persist");
         let persisted = cad_runtime::par_map_mut(&mut self.shards, |_, shard| {
             let mut n = 0usize;
-            for (&id, session) in &shard.sessions {
-                if write_snapshot(&dir, id, session).is_ok() {
-                    n += 1;
+            if let Some(dir) = &dir {
+                let mut written: Vec<(u64, u64)> = Vec::new();
+                for (&id, session) in &shard.sessions {
+                    if write_snapshot(dir, id, session).is_ok() {
+                        n += 1;
+                        written.push((id, session.stream.samples_seen() as u64));
+                    }
+                }
+                for (id, samples_seen) in written {
+                    shard.wal_checkpoint(&shared, id, samples_seen);
+                }
+            }
+            if let Some(wal) = shard.wal.as_mut() {
+                // Graceful shutdown leaves nothing in the page cache even
+                // under `never`/`every_n` policies.
+                if let Err(e) = wal.sync() {
+                    eprintln!("cad-serve: shard {}: WAL sync failed: {e}", shard.index);
                 }
             }
             n
@@ -1642,6 +2295,10 @@ fn run_group(
             for shard in shards.iter_mut() {
                 shard.hibernate_idle(shared, hibernate_after);
             }
+        }
+        // No-op unless an append rolled a segment since the last pass.
+        for shard in shards.iter_mut() {
+            shard.wal_compact(shared);
         }
         if let Some(exit) = exit {
             return (shards, exit);

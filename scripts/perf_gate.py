@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """Perf-regression gate for the pipeline and serving benchmarks.
 
+Both modes run through ONE gate function; the only difference between
+them is a declarative spec (default file paths, verdict path, and the
+list of guarded metrics with their baseline JSON keys).
+
 Default (pipeline) mode compares a freshly produced
 ``results/BENCH_pipeline.json`` against the committed baseline
-``results/BENCH_baseline.json`` (same reduced CI size, tiled kernel) and
-fails when the hot metrics regress beyond tolerance:
+``results/BENCH_baseline.json`` (same reduced CI size, tiled kernel):
 
-* ``tsg.correlation`` serial seconds (``phases_serial``) — the kernel this
-  gate exists to protect; a revert to row-by-row sequential sums roughly
-  quadruples it.
+* ``phases_serial['tsg.correlation'].secs`` — the kernel this gate exists
+  to protect; a revert to row-by-row sequential sums roughly quadruples
+  it.
 * ``rounds_per_sec`` — end-to-end throughput of the parallel exact pass,
   which catches regressions outside the correlation phase.
 
@@ -22,9 +25,11 @@ loadgen at the reduced CI profile) against the committed
 
 Tolerance is 25% by default (CI runners are noisy; the regressions these
 gates are for are 2–4×) and can be overridden via ``CAD_PERF_GATE_TOL``.
-A machine-readable verdict is always written (``results/PERF_GATE.json``,
-or ``results/PERF_GATE_SERVE.json`` in serve mode) so CI can upload it as
-an artifact whether the gate passes or fails.
+On failure every offending metric is named with its regression ratio and
+the baseline key it was compared against. A machine-readable verdict is
+always written (``results/PERF_GATE.json``, or
+``results/PERF_GATE_SERVE.json`` in serve mode) so CI can upload it as an
+artifact whether the gate passes or fails.
 
 Usage: scripts/perf_gate.py [--serve] [current.json [baseline.json]]
 Exit status: 0 pass, 1 regression, 2 missing/corrupt input.
@@ -35,68 +40,64 @@ import os
 import sys
 
 
-def phase_secs(report, phase_key, name):
-    phases = report.get(phase_key, {})
+def phase_secs(report, name):
+    phases = report.get("phases_serial", {})
     entry = phases.get(name)
     if entry is None:
-        raise KeyError(f"{phase_key}[{name!r}] missing from report")
+        raise KeyError(f"phases_serial[{name!r}] missing from report")
     return float(entry["secs"])
 
 
-def pipeline_checks(current, baseline):
-    return [
-        # (label, current value, baseline value, higher_is_better)
-        (
-            "tsg.correlation serial secs",
-            phase_secs(current, "phases_serial", "tsg.correlation"),
-            phase_secs(baseline, "phases_serial", "tsg.correlation"),
-            False,
-        ),
-        (
-            "rounds_per_sec",
-            float(current["rounds_per_sec"]),
-            float(baseline["rounds_per_sec"]),
-            True,
-        ),
-    ]
+def top_level(report, key):
+    if key not in report:
+        raise KeyError(f"{key!r} missing from report")
+    return float(report[key])
 
 
-def serve_checks(current, baseline):
-    return [
-        (
-            "push_latency_p99_secs",
-            float(current["push_latency_p99_secs"]),
-            float(baseline["push_latency_p99_secs"]),
-            False,
-        ),
-        (
-            "ticks_per_sec",
-            float(current["ticks_per_sec"]),
-            float(baseline["ticks_per_sec"]),
-            True,
-        ),
-    ]
+# Each guarded metric: (baseline_key, extractor, higher_is_better). The
+# baseline_key is the JSON path the number came from — it is what a
+# failure message points at, so keep it copy-pasteable into jq/python.
+GATES = {
+    "perf": {
+        "current_default": "results/BENCH_pipeline.json",
+        "baseline_default": "results/BENCH_baseline.json",
+        "verdict_path": "results/PERF_GATE.json",
+        "metrics": [
+            (
+                "phases_serial['tsg.correlation'].secs",
+                lambda r: phase_secs(r, "tsg.correlation"),
+                False,
+            ),
+            ("rounds_per_sec", lambda r: top_level(r, "rounds_per_sec"), True),
+        ],
+    },
+    "perf-serve": {
+        "current_default": "results/BENCH_serve.json",
+        "baseline_default": "results/BENCH_serve_baseline.json",
+        "verdict_path": "results/PERF_GATE_SERVE.json",
+        "metrics": [
+            (
+                "push_latency_p99_secs",
+                lambda r: top_level(r, "push_latency_p99_secs"),
+                False,
+            ),
+            ("ticks_per_sec", lambda r: top_level(r, "ticks_per_sec"), True),
+        ],
+    },
+}
 
 
-def main(argv):
-    args = list(argv[1:])
-    serve = "--serve" in args
-    if serve:
-        args.remove("--serve")
-    if serve:
-        current_path = args[0] if args else "results/BENCH_serve.json"
-        baseline_path = args[1] if len(args) > 1 else "results/BENCH_serve_baseline.json"
-        gate_name = "perf-serve"
-        verdict_path = "results/PERF_GATE_SERVE.json"
-        make_checks = serve_checks
-    else:
-        current_path = args[0] if args else "results/BENCH_pipeline.json"
-        baseline_path = args[1] if len(args) > 1 else "results/BENCH_baseline.json"
-        gate_name = "perf"
-        verdict_path = "results/PERF_GATE.json"
-        make_checks = pipeline_checks
-    tolerance = float(os.environ.get("CAD_PERF_GATE_TOL", "0.25"))
+def regression_ratio(cur, base, higher_is_better):
+    """> 1.0 means "worse than baseline", in both orientations."""
+    if base <= 0.0:
+        return float("inf")
+    if higher_is_better:
+        return base / cur if cur > 0.0 else float("inf")
+    return cur / base
 
+
+def run_gate(gate_name, spec, current_path, baseline_path, tolerance):
+    """The single gate path both modes share. Returns the exit status."""
     verdict = {
         "gate": gate_name,
         "current": current_path,
@@ -111,27 +112,25 @@ def main(argv):
             current = json.load(f)
         with open(baseline_path) as f:
             baseline = json.load(f)
-        checks = make_checks(current, baseline)
+        checks = [
+            (key, extract(current), extract(baseline), higher_is_better)
+            for key, extract, higher_is_better in spec["metrics"]
+        ]
     except (OSError, ValueError, KeyError) as err:
         verdict["error"] = f"{type(err).__name__}: {err}"
-        write_verdict(verdict, verdict_path)
+        write_verdict(verdict, spec["verdict_path"])
         print(f"{gate_name}: cannot compare: {verdict['error']}", file=sys.stderr)
         return 2
 
-    ok = True
-    for label, cur, base, higher_is_better in checks:
-        if base <= 0.0:
-            ratio = float("inf")
-        elif higher_is_better:
-            ratio = base / cur if cur > 0.0 else float("inf")
-        else:
-            ratio = cur / base
-        # ratio > 1 means "worse than baseline" in both orientations.
+    failures = []
+    for key, cur, base, higher_is_better in checks:
+        ratio = regression_ratio(cur, base, higher_is_better)
         passed = ratio <= 1.0 + tolerance
-        ok = ok and passed
+        if not passed:
+            failures.append((key, ratio))
         verdict["checks"].append(
             {
-                "metric": label,
+                "metric": key,
                 "current": cur,
                 "baseline": base,
                 "regression_ratio": ratio,
@@ -140,28 +139,46 @@ def main(argv):
         )
         state = "ok" if passed else "REGRESSION"
         print(
-            f"{gate_name}: {label}: current={cur:.6g} baseline={base:.6g} "
+            f"{gate_name}: {key}: current={cur:.6g} baseline={base:.6g} "
             f"ratio={ratio:.3f} (tol {1.0 + tolerance:.2f}) {state}"
         )
 
-    verdict["pass"] = ok
-    write_verdict(verdict, verdict_path)
-    if not ok:
-        print(
-            f"{gate_name}: FAIL — performance regressed beyond tolerance; "
-            f"see {verdict_path}",
-            file=sys.stderr,
-        )
+    verdict["pass"] = not failures
+    write_verdict(verdict, spec["verdict_path"])
+    if failures:
+        # Name every offender with its ratio and the baseline key it was
+        # measured against — the failure line alone must be actionable.
+        for key, ratio in failures:
+            print(
+                f"{gate_name}: FAIL — {key}: regression ratio {ratio:.3f} "
+                f"exceeds tolerance {1.0 + tolerance:.2f} against "
+                f"baseline[{key!r}] in {baseline_path}",
+                file=sys.stderr,
+            )
+        print(f"{gate_name}: see {spec['verdict_path']}", file=sys.stderr)
         return 1
     print(f"{gate_name}: PASS")
     return 0
 
 
-def write_verdict(verdict, path="results/PERF_GATE.json"):
+def write_verdict(verdict, path):
     os.makedirs("results", exist_ok=True)
     with open(path, "w") as f:
         json.dump(verdict, f, indent=2)
         f.write("\n")
+
+
+def main(argv):
+    args = list(argv[1:])
+    gate_name = "perf"
+    if "--serve" in args:
+        args.remove("--serve")
+        gate_name = "perf-serve"
+    spec = GATES[gate_name]
+    current_path = args[0] if args else spec["current_default"]
+    baseline_path = args[1] if len(args) > 1 else spec["baseline_default"]
+    tolerance = float(os.environ.get("CAD_PERF_GATE_TOL", "0.25"))
+    return run_gate(gate_name, spec, current_path, baseline_path, tolerance)
 
 
 if __name__ == "__main__":
