@@ -2,7 +2,7 @@
 //! each, pushing synthetic telemetry over loopback against an in-process
 //! server, emitting machine-readable `results/BENCH_serve.json`.
 //!
-//! Two profiles:
+//! Three profiles:
 //!
 //! * **steady** (default) — every session pushes continuously for a
 //!   fixed tick budget. Reported figures: aggregate ticks/sec and
@@ -19,6 +19,20 @@
 //!   are finally resurrected by one more push each (a sample), asserting
 //!   bit-identical outcome streams across the spill round-trip. Adds
 //!   resident-memory-per-session and hibernation/resurrection figures.
+//! * **chaos** — every session's telemetry is wrapped in the full
+//!   `cad-datagen` hostile-stream pipeline (drift, duty-cycle, NaN
+//!   bursts, drops, reordering and sensor churn, seeded per session).
+//!   Each client resolves the hostility at the edge exactly the way
+//!   `StreamingCad::push_tick` would — reorder buffer, late-tick
+//!   rejection, NaN gap fill — and drives the resulting in-order wire
+//!   stream, including mid-stream `ReshapeSensors`, against Skip-policy
+//!   sessions. Waves of fresh sessions repeat until `--duration`
+//!   elapses. The run asserts **no silent tick loss** (committed +
+//!   buffered + late-dropped reconciles exactly with the mutator truth
+//!   track, per session and in aggregate), zero protocol errors, and a
+//!   per-client spot check replays the raw hostile events through a
+//!   direct `StreamingCad` and demands bit-identical wire outcomes.
+//!   Writes `results/CHAOS_truth.json` next to the usual report.
 //!
 //! Both profiles report the I/O plane shape (`poller` backend, worker
 //! count, pump groups) and scrape the HTTP ops plane *mid-run*
@@ -59,10 +73,13 @@
 //! object with the server-side append-latency quantiles — p99 is the
 //! headline durability-tax figure — plus fsync/segment/byte counters.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use cad_core::{CadConfig, CadDetector, StreamingCad};
-use cad_serve::{CadServer, ServeClient, ServeConfig, SessionSpec, WireOutcome};
+use cad_core::{CadConfig, CadDetector, GapPolicy, StreamingCad};
+use cad_datagen::{Churn, Drift, DutyCycle, Gap, HostileStream, NanBurst, Reorder, StreamEvent};
+use cad_mts::Mts;
+use cad_serve::{CadServer, ServeClient, ServeConfig, SessionSpec, WireGapPolicy, WireOutcome};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -82,6 +99,7 @@ fn env_f64(key: &str, default: f64) -> f64 {
 enum Profile {
     Steady,
     IdleHeavy,
+    Chaos,
 }
 
 struct Opts {
@@ -95,7 +113,7 @@ struct Opts {
     s: usize,
 }
 
-const USAGE: &str = "usage: loadgen [--profile steady|idle-heavy] [--clients N] \
+const USAGE: &str = "usage: loadgen [--profile steady|idle-heavy|chaos] [--clients N] \
                      [--sessions N] [--ticks N] [--duration SECS]";
 
 /// Parse CLI flags, then let the environment override — env vars are
@@ -130,6 +148,7 @@ fn parse_opts() -> Opts {
                 profile = match take("--profile").as_str() {
                     "steady" => Profile::Steady,
                     "idle-heavy" => Profile::IdleHeavy,
+                    "chaos" => Profile::Chaos,
                     other => {
                         eprintln!("loadgen: unknown profile {other:?}\n{USAGE}");
                         std::process::exit(2);
@@ -151,6 +170,7 @@ fn parse_opts() -> Opts {
         profile = match raw.as_str() {
             "steady" => Profile::Steady,
             "idle-heavy" => Profile::IdleHeavy,
+            "chaos" => Profile::Chaos,
             other => {
                 eprintln!("loadgen: CAD_LOADGEN_PROFILE={other:?} is not a profile");
                 std::process::exit(2);
@@ -287,6 +307,25 @@ fn counter_value(metrics: &cad_obs::MetricsSnapshot, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// Like [`counter_value`], but selects one label set of a labelled family.
+fn labeled_counter_value(
+    metrics: &cad_obs::MetricsSnapshot,
+    name: &str,
+    label: (&str, &str),
+) -> u64 {
+    metrics
+        .counters
+        .iter()
+        .find(|c| {
+            c.name == name
+                && c.labels
+                    .iter()
+                    .any(|(k, v)| (k.as_str(), v.as_str()) == label)
+        })
+        .map(|c| c.value)
+        .unwrap_or(0)
+}
+
 fn gauge_value(metrics: &cad_obs::MetricsSnapshot, name: &str) -> i64 {
     metrics
         .gauges
@@ -404,6 +443,7 @@ fn main() {
     match opts.profile {
         Profile::Steady => run_steady(&opts),
         Profile::IdleHeavy => run_idle_heavy(&opts),
+        Profile::Chaos => run_chaos(&opts),
     }
 }
 
@@ -987,6 +1027,525 @@ fn run_idle_heavy(opts: &Opts) {
         p99 * 1e3,
         p999 * 1e3,
         resident_bytes as f64 / total_sessions.max(1) as f64,
+    );
+}
+
+/// Per-session ledger of what the chaos adapter did with the hostile
+/// event stream. The reconciliation invariant (asserted per session):
+///
+/// ```text
+/// (sent − gaps_filled) + late_dropped + width_dropped + pending_left == emitted
+/// ```
+///
+/// i.e. every tick the mutators emitted was either committed to the wire
+/// as itself, replaced by a synthesised NaN column it arrived too late
+/// for, rejected with the wrong width, or still in the reorder buffer at
+/// end of stream — nothing vanishes.
+#[derive(Default, Clone, Copy)]
+struct ChaosLedger {
+    /// Tick events the mutator pipeline emitted.
+    emitted: u64,
+    /// Ticks pushed over the wire (real + synthesised NaN columns).
+    sent: u64,
+    /// Missing slots synthesised as all-NaN columns.
+    gaps_filled: u64,
+    /// Ticks rejected because their slot was already committed.
+    late_dropped: u64,
+    /// Ticks rejected because their width predates a reshape fence.
+    width_dropped: u64,
+    /// Ticks still in the reorder buffer at end of stream.
+    pending_left: u64,
+    /// `ReshapeSensors` round-trips.
+    reshapes: u64,
+}
+
+impl ChaosLedger {
+    fn add(&mut self, other: &ChaosLedger) {
+        self.emitted += other.emitted;
+        self.sent += other.sent;
+        self.gaps_filled += other.gaps_filled;
+        self.late_dropped += other.late_dropped;
+        self.width_dropped += other.width_dropped;
+        self.pending_left += other.pending_left;
+        self.reshapes += other.reshapes;
+    }
+
+    fn reconciles(&self) -> bool {
+        (self.sent - self.gaps_filled) + self.late_dropped + self.width_dropped + self.pending_left
+            == self.emitted
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"emitted\": {}, \"sent\": {}, \"gaps_filled\": {}, ",
+                "\"late_dropped\": {}, \"width_dropped\": {}, ",
+                "\"pending_left\": {}, \"reshapes\": {}}}"
+            ),
+            self.emitted,
+            self.sent,
+            self.gaps_filled,
+            self.late_dropped,
+            self.width_dropped,
+            self.pending_left,
+            self.reshapes,
+        )
+    }
+}
+
+struct ChaosReport {
+    ledger: ChaosLedger,
+    rounds: u64,
+    waves: u64,
+    checked: u64,
+    latencies: Vec<f64>,
+    backpressure: u64,
+}
+
+/// The hostile pipeline for one chaos session. Churn runs *last* so the
+/// reshape fences it emits are consistent with the width of every tick
+/// that follows them on the wire, whatever the earlier stages reordered.
+fn chaos_events(id: u64, n: usize, ticks: usize) -> Vec<StreamEvent> {
+    let clean = Mts::from_series(
+        (0..n)
+            .map(|v| (0..ticks).map(|t| reading(id, t, v)).collect())
+            .collect(),
+    );
+    let (events, _truth) = HostileStream::new(id.wrapping_add(1))
+        .with(Drift::new(2 % n, 0.002))
+        .with(DutyCycle::new(1 % n, 24, 8))
+        .with(NanBurst::new(0.05, 2))
+        .with(Gap::new(0.04, 2))
+        .with(Reorder::new(0.12, 2))
+        .with(Churn::new(ticks as u64 / 3, ticks as u64 * 2 / 3))
+        .run(&clean);
+    events
+}
+
+/// The mirror configuration for a chaos session: must match what
+/// `validate_spec` derives from [`chaos_spec`] so the spot check compares
+/// like with like.
+fn chaos_mirror(n: usize, w: usize, s: usize, slack: usize) -> StreamingCad {
+    let config = CadConfig::builder(n)
+        .window(w, s)
+        .k(2.min(n - 1))
+        .tau(0.3)
+        .theta(0.3)
+        .gap_policy(GapPolicy::Skip)
+        .reorder_slack(slack)
+        .build();
+    StreamingCad::new(CadDetector::new(n, config))
+}
+
+fn chaos_spec(n: usize, w: usize, s: usize, slack: usize) -> SessionSpec {
+    let mut spec = session_spec(n, w, s);
+    spec.gap_policy = WireGapPolicy::Skip;
+    spec.reorder_slack = slack as u32;
+    spec
+}
+
+/// Drive one session's hostile event stream against the server,
+/// resolving reorder/gaps at the edge exactly as `StreamingCad::push_tick`
+/// does, so the wire sees the identical committed column sequence. When
+/// `check` is set, the raw events are also replayed through a direct
+/// [`StreamingCad`] and the wire outcomes must match bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn run_chaos_session(
+    client: &mut ServeClient,
+    id: u64,
+    events: &[StreamEvent],
+    n: usize,
+    w: usize,
+    s: usize,
+    slack: usize,
+    check: bool,
+    latencies: &mut Vec<f64>,
+) -> (ChaosLedger, u64) {
+    client
+        .create_session(id, chaos_spec(n, w, s, slack))
+        .expect("create chaos session");
+
+    let mut ledger = ChaosLedger::default();
+    let mut mirror = check.then(|| chaos_mirror(n, w, s, slack));
+    let mut mirror_outcomes = Vec::new();
+
+    let mut next = 0u64;
+    let mut pending: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    let mut width = n;
+    let mut batch: Vec<f64> = Vec::new();
+    let mut batch_ticks = 0usize;
+    let mut wire_outcomes: Vec<WireOutcome> = Vec::new();
+    let mut rounds = 0u64;
+
+    macro_rules! flush {
+        () => {
+            if batch_ticks > 0 {
+                let push_t0 = Instant::now();
+                let res = client
+                    .push_samples(id, ledger.sent, width as u32, std::mem::take(&mut batch))
+                    .expect("chaos push");
+                latencies.push(push_t0.elapsed().as_secs_f64());
+                ledger.sent += batch_ticks as u64;
+                rounds += res.outcomes.len() as u64;
+                if check {
+                    wire_outcomes.extend(res.outcomes);
+                }
+                batch_ticks = 0;
+            }
+        };
+    }
+    macro_rules! commit {
+        ($row:expr) => {
+            batch.extend_from_slice($row);
+            batch_ticks += 1;
+            if batch_ticks == s {
+                flush!();
+            }
+        };
+    }
+
+    for ev in events {
+        match ev {
+            StreamEvent::Reshape { n_sensors } => {
+                flush!();
+                let acked = client
+                    .reshape_sensors(id, *n_sensors as u32)
+                    .expect("chaos reshape");
+                assert_eq!(acked as usize, *n_sensors, "reshape ack width");
+                ledger.reshapes += 1;
+                width = *n_sensors;
+                for row in pending.values_mut() {
+                    row.truncate(width);
+                    row.resize(width, f64::NAN);
+                }
+                if let Some(m) = mirror.as_mut() {
+                    m.reshape_sensors(width);
+                }
+            }
+            StreamEvent::Tick { seq, values } => {
+                ledger.emitted += 1;
+                if let Some(m) = mirror.as_mut() {
+                    if let Ok(outs) = m.push_tick(*seq, values) {
+                        mirror_outcomes.extend(outs);
+                    }
+                }
+                if values.len() != width {
+                    ledger.width_dropped += 1;
+                    continue;
+                }
+                if *seq < next {
+                    ledger.late_dropped += 1;
+                    continue;
+                }
+                if *seq > next {
+                    if *seq - next <= slack as u64 {
+                        pending.insert(*seq, values.clone());
+                        continue;
+                    }
+                    while next < *seq {
+                        match pending.remove(&next) {
+                            Some(row) => {
+                                commit!(&row);
+                            }
+                            None => {
+                                ledger.gaps_filled += 1;
+                                commit!(&vec![f64::NAN; width]);
+                            }
+                        }
+                        next += 1;
+                    }
+                }
+                commit!(values);
+                next += 1;
+                while let Some(row) = pending.remove(&next) {
+                    commit!(&row);
+                    next += 1;
+                }
+            }
+        }
+    }
+    flush!();
+    assert_eq!(batch_ticks, 0, "final flush must drain the batch");
+    ledger.pending_left = pending.len() as u64;
+
+    assert!(
+        ledger.reconciles(),
+        "session {id}: tick accounting does not reconcile: {}",
+        ledger.json()
+    );
+    if check {
+        assert_eq!(
+            wire_outcomes.len(),
+            mirror_outcomes.len(),
+            "session {id}: round count vs direct replay"
+        );
+        for (i, (wire, o)) in wire_outcomes.iter().zip(&mirror_outcomes).enumerate() {
+            // Rounds fire on commit cadence alone (reshape does not
+            // disturb it), so the i-th round sits at tick w−1+i·s.
+            assert_eq!(wire.tick, (w - 1 + i * s) as u64, "session {id}: tick");
+            assert_eq!(wire.n_r, o.n_r as u64, "session {id}: n_r");
+            assert_eq!(
+                wire.zscore_bits,
+                o.zscore.to_bits(),
+                "session {id}: zscore bits"
+            );
+            assert_eq!(wire.abnormal, o.abnormal, "session {id}: abnormal");
+        }
+    }
+    client.close_session(id).expect("close chaos session");
+    (ledger, rounds)
+}
+
+fn run_chaos(opts: &Opts) {
+    let n_clients = opts.clients;
+    let sessions_per_client = opts.sessions_per_client;
+    let ticks = opts.ticks;
+    let (n_sensors, w, s) = (opts.n_sensors, opts.w, opts.s);
+    let slack = env_usize("CAD_LOADGEN_SLACK", 4);
+    let queue_capacity = env_usize("CAD_LOADGEN_QUEUE", s);
+    let duration = Duration::from_secs_f64(opts.duration_secs);
+    let total_sessions = n_clients * sessions_per_client;
+    let threads = cad_runtime::effective_threads();
+    assert!(
+        n_sensors >= 3,
+        "chaos needs ≥ 3 sensors (drift hits sensor 2)"
+    );
+    assert!(
+        ticks >= 3 * w,
+        "chaos needs ≥ 3·w ticks for the churn window"
+    );
+
+    eprintln!(
+        "[loadgen] chaos: {n_clients} clients × {sessions_per_client} sessions/wave, \
+         {ticks} ticks × {n_sensors} sensors (churn to {}), w={w} s={s} slack={slack}, \
+         waves for {:.1}s, queue {queue_capacity} ticks, {threads} threads",
+        n_sensors + 1,
+        duration.as_secs_f64(),
+    );
+
+    let server = CadServer::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_capacity,
+        max_sessions: total_sessions.max(16),
+        // The churn joiner needs headroom above the base width.
+        max_sensors: n_sensors + 1,
+        read_timeout: Duration::from_millis(100),
+        ops_addr: Some("127.0.0.1:0".into()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local_addr").to_string();
+    let ops_addr = server.local_ops_addr().expect("ops bound").to_string();
+    let io_plane = IoPlane::of(&server);
+    let server = std::thread::spawn(move || server.run());
+
+    let t0 = Instant::now();
+    let deadline = t0 + duration;
+    let mut workers = Vec::new();
+    for c in 0..n_clients {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || -> ChaosReport {
+            let mut client = ServeClient::connect(&addr, &format!("chaos-{c}")).expect("connect");
+            let mut report = ChaosReport {
+                ledger: ChaosLedger::default(),
+                rounds: 0,
+                waves: 0,
+                checked: 0,
+                latencies: Vec::new(),
+                backpressure: 0,
+            };
+            loop {
+                for i in 0..sessions_per_client {
+                    let id =
+                        ((report.waves as usize * n_clients + c) * sessions_per_client + i) as u64;
+                    let events = chaos_events(id, n_sensors, ticks);
+                    // Spot-check the first session of every wave against a
+                    // direct replay of the raw hostile events.
+                    let check = i == 0;
+                    let (ledger, rounds) = run_chaos_session(
+                        &mut client,
+                        id,
+                        &events,
+                        n_sensors,
+                        w,
+                        s,
+                        slack,
+                        check,
+                        &mut report.latencies,
+                    );
+                    report.ledger.add(&ledger);
+                    report.rounds += rounds;
+                    report.checked += check as u64;
+                }
+                report.waves += 1;
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+            report.backpressure = client.backpressure_events();
+            report
+        }));
+    }
+
+    let scrape_latencies = scrape_until_done(&ops_addr, &workers);
+    let reports: Vec<ChaosReport> = workers
+        .into_iter()
+        .map(|h| h.join().expect("chaos client thread"))
+        .collect();
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let mut admin = ServeClient::connect(&addr, "chaos-admin").expect("connect");
+    let stats = admin.stats(None).expect("stats");
+    let metrics = assert_metrics_parity(&mut admin, &ops_addr);
+    admin.shutdown_server().expect("shutdown");
+    // "No pump panic" is load-bearing: a panicked shard surfaces here.
+    server.join().expect("server thread").expect("server run");
+
+    let mut total = ChaosLedger::default();
+    for r in &reports {
+        total.add(&r.ledger);
+    }
+    assert!(
+        total.reconciles(),
+        "aggregate tick accounting does not reconcile: {}",
+        total.json()
+    );
+    // The server must have committed exactly what the adapters sent: the
+    // wire path loses nothing either.
+    assert_eq!(
+        stats.total_ticks, total.sent,
+        "server tick counter vs client ledger"
+    );
+    let total_rounds: u64 = reports.iter().map(|r| r.rounds).sum();
+    assert_eq!(stats.total_rounds, total_rounds, "server round counter");
+    let waves: u64 = reports.iter().map(|r| r.waves).sum();
+    let checked: u64 = reports.iter().map(|r| r.checked).sum();
+    let client_backpressure: u64 = reports.iter().map(|r| r.backpressure).sum();
+    eprintln!(
+        "[loadgen] chaos spot check: {checked} sessions replayed bit-identically; \
+         ledger {}",
+        total.json()
+    );
+
+    let mut latencies: Vec<f64> = reports.iter().flat_map(|r| r.latencies.clone()).collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let client_p50 = quantile(&latencies, 0.50);
+    let client_p99 = quantile(&latencies, 0.99);
+    let mut sorted_scrapes = scrape_latencies.clone();
+    sorted_scrapes.sort_by(|a, b| a.total_cmp(b));
+    let (p50, p99, p999) = push_latency_quantiles(&metrics);
+
+    let truth_json = format!(
+        concat!(
+            "{{\n",
+            "  \"profile\": \"chaos\",\n",
+            "  \"waves\": {},\n",
+            "  \"sessions\": {},\n",
+            "  \"spot_checked_sessions\": {},\n",
+            "  \"ledger\": {},\n",
+            "  \"reconciled\": true,\n",
+            "  \"stream_counters\": {{\n",
+            "    \"late_ticks\": {},\n",
+            "    \"gaps_filled\": {},\n",
+            "    \"nan_samples\": {},\n",
+            "    \"held_samples\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        waves,
+        waves as usize * sessions_per_client,
+        checked,
+        total.json(),
+        counter_value(&metrics, "cad_stream_late_ticks_total"),
+        counter_value(&metrics, "cad_stream_gaps_filled_total"),
+        labeled_counter_value(
+            &metrics,
+            "cad_stream_degraded_samples_total",
+            ("mode", "nan")
+        ),
+        labeled_counter_value(
+            &metrics,
+            "cad_stream_degraded_samples_total",
+            ("mode", "held")
+        ),
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/CHAOS_truth.json", &truth_json).expect("write CHAOS_truth.json");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve-loadgen\",\n",
+            "  \"profile\": \"chaos\",\n",
+            "  \"clients\": {},\n",
+            "  \"sessions_per_client\": {},\n",
+            "  \"waves\": {},\n",
+            "  \"ticks_per_session\": {},\n",
+            "  \"sensors\": {},\n",
+            "  \"window\": {},\n",
+            "  \"step\": {},\n",
+            "  \"reorder_slack\": {},\n",
+            "  \"queue_capacity\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"poller\": {},\n",
+            "  \"wall_secs\": {:.6},\n",
+            "  \"ledger\": {},\n",
+            "  \"total_rounds\": {},\n",
+            "  \"spot_checked_sessions\": {},\n",
+            "  \"push_latency_p50_secs\": {:.9},\n",
+            "  \"push_latency_p99_secs\": {:.9},\n",
+            "  \"push_latency_p999_secs\": {:.9},\n",
+            "  \"client_push_latency_p50_secs\": {:.6},\n",
+            "  \"client_push_latency_p99_secs\": {:.6},\n",
+            "  \"ops_scrapes_mid_run\": {},\n",
+            "  \"ops_scrape_p50_secs\": {:.6},\n",
+            "  \"ops_scrape_p99_secs\": {:.6},\n",
+            "  \"client_backpressure_events\": {},\n",
+            "  \"server_backpressure_events\": {},\n",
+            "  \"peak_queue_depth\": {},\n",
+            "  \"server_total_ticks\": {},\n",
+            "  \"server_total_rounds\": {},\n",
+            "  \"server_total_anomalies\": {},\n",
+            "  \"phases\": {}\n",
+            "}}\n"
+        ),
+        n_clients,
+        sessions_per_client,
+        waves,
+        ticks,
+        n_sensors,
+        w,
+        s,
+        slack,
+        queue_capacity,
+        threads,
+        io_plane.json(),
+        wall_secs,
+        total.json(),
+        total_rounds,
+        checked,
+        p50,
+        p99,
+        p999,
+        client_p50,
+        client_p99,
+        scrape_latencies.len(),
+        quantile(&sorted_scrapes, 0.50),
+        quantile(&sorted_scrapes, 0.99),
+        client_backpressure,
+        stats.backpressure_events,
+        stats.peak_queue_depth,
+        stats.total_ticks,
+        stats.total_rounds,
+        stats.total_anomalies,
+        stats.phases_json,
+    );
+    write_results(&json, &metrics);
+    eprintln!(
+        "[loadgen] chaos: {waves} waves, {} ticks survived hostility \
+         ({} gap-filled, {} late-dropped, {} reshapes), {total_rounds} rounds, \
+         0 protocol errors → results/BENCH_serve.json + CHAOS_truth.json",
+        total.sent, total.gaps_filled, total.late_dropped, total.reshapes,
     );
 }
 

@@ -166,6 +166,48 @@ impl CoappearanceTracker {
         }
     }
 
+    /// Grow or shrink the tracked vertex set to `new_n` slots (sensor
+    /// churn: a sensor joining or leaving the fleet mid-stream).
+    ///
+    /// Growing keeps every existing slot's history untouched; new slots
+    /// start with zero cumulative co-appearance, zeroed history columns and
+    /// — crucially — a fresh *singleton* label in the previous partition,
+    /// so their first round computes `S_r = 0` (nobody was with them last
+    /// round) rather than inheriting a stranger's community. Shrinking
+    /// truncates: the removed suffix slots simply stop existing, and the
+    /// surviving slots' sums are unaffected (co-appearance counts are per
+    /// joint cell, already folded in).
+    pub fn reshape(&mut self, new_n: usize) {
+        assert!(new_n >= 2, "co-appearance needs at least two vertices");
+        if new_n == self.n_sensors {
+            return;
+        }
+        if new_n > self.n_sensors {
+            self.cumulative.resize(new_n, 0.0);
+            for row in &mut self.history {
+                row.resize(new_n, 0);
+            }
+            if let Some(prev) = self.prev.take() {
+                let mut labels = prev.labels().to_vec();
+                let mut fresh = labels.iter().copied().max().unwrap_or(0);
+                for _ in self.n_sensors..new_n {
+                    fresh += 1;
+                    labels.push(fresh);
+                }
+                self.prev = Some(Partition::from_labels(&labels));
+            }
+        } else {
+            self.cumulative.truncate(new_n);
+            for row in &mut self.history {
+                row.truncate(new_n);
+            }
+            if let Some(prev) = self.prev.take() {
+                self.prev = Some(Partition::from_labels(&prev.labels()[..new_n]));
+            }
+        }
+        self.n_sensors = new_n;
+    }
+
     /// Outlier set `O_r = {v : RC_{v,r} < θ}` (Definition 7), as a sorted
     /// vertex list.
     pub fn outliers(&self, theta: f64) -> Vec<usize> {

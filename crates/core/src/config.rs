@@ -35,6 +35,59 @@ impl EngineChoice {
     }
 }
 
+/// What a detector does with a missing (NaN) sample — the explicit
+/// degraded-input semantics of the hostile-stream subsystem.
+///
+/// The policy decides both the per-sample treatment *and* the correlation
+/// arithmetic: any policy other than [`GapPolicy::Fail`] switches the round
+/// engines onto the pairwise-deletion masked path
+/// (`cad_stats::MaskedSlidingCov`), statically — even windows that happen
+/// to be clean use masked sums, so the code path never flips mid-stream
+/// and outcomes stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GapPolicy {
+    /// Reject NaN at the push boundary (an error from `push_tick`, a panic
+    /// from the legacy `push_sample`). The default — bit-identical to the
+    /// historical dense behavior for clean streams.
+    #[default]
+    Fail,
+    /// Treat NaN as missing: the sample is masked out of every co-moment
+    /// and correlations use pairwise deletion over the samples both
+    /// sensors actually share.
+    Skip,
+    /// Substitute the sensor's last valid value. Before a sensor's first
+    /// valid sample there is nothing to hold, so such samples degrade to
+    /// [`GapPolicy::Skip`] semantics (masked).
+    HoldLast,
+}
+
+impl GapPolicy {
+    /// Whether this policy routes the engines through the masked
+    /// (pairwise-deletion) correlation path.
+    pub fn is_masked(self) -> bool {
+        !matches!(self, GapPolicy::Fail)
+    }
+
+    /// Stable wire/persistence tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            GapPolicy::Fail => 0,
+            GapPolicy::Skip => 1,
+            GapPolicy::HoldLast => 2,
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(GapPolicy::Fail),
+            1 => Some(GapPolicy::Skip),
+            2 => Some(GapPolicy::HoldLast),
+            _ => None,
+        }
+    }
+}
+
 /// All CAD parameters: the sliding window `w`/step `s`, the TSG's `k` and
 /// τ, the outlier threshold θ, and the abnormality multiplier η (the paper
 /// fixes η = 3, giving the `|n_r − μ| ≥ 3σ` rule).
@@ -58,6 +111,13 @@ pub struct CadConfig {
     pub louvain: LouvainConfig,
     /// Round engine producing each round's TSG.
     pub engine: EngineChoice,
+    /// Missing-sample policy (see [`GapPolicy`]; `Fail` by default).
+    pub gap_policy: GapPolicy,
+    /// Bound of the out-of-order tick buffer in `StreamingCad::push_tick`:
+    /// a tick arriving up to `reorder_slack` sequence numbers early is
+    /// buffered and re-sequenced; later than that the gap is handled by
+    /// the gap policy. 0 (the default) demands strictly in-order arrival.
+    pub reorder_slack: usize,
 }
 
 impl CadConfig {
@@ -90,6 +150,8 @@ pub struct CadConfigBuilder {
     rc_horizon: Option<usize>,
     louvain: LouvainConfig,
     engine: EngineChoice,
+    gap_policy: GapPolicy,
+    reorder_slack: usize,
 }
 
 impl CadConfigBuilder {
@@ -108,6 +170,8 @@ impl CadConfigBuilder {
             rc_horizon: None,
             louvain: LouvainConfig::default(),
             engine: EngineChoice::Exact,
+            gap_policy: GapPolicy::Fail,
+            reorder_slack: 0,
         }
     }
 
@@ -183,10 +247,34 @@ impl CadConfigBuilder {
         self
     }
 
+    /// Missing-sample policy ([`GapPolicy::Fail`] by default).
+    pub fn gap_policy(mut self, policy: GapPolicy) -> Self {
+        self.gap_policy = policy;
+        self
+    }
+
+    /// Out-of-order tick buffer bound (0 = strictly in-order).
+    pub fn reorder_slack(mut self, slack: usize) -> Self {
+        self.reorder_slack = slack;
+        self
+    }
+
     /// Validate and build.
     pub fn build(self) -> CadConfig {
         assert!((0.0..=1.0).contains(&self.theta), "theta must be in [0,1]");
         assert!(self.eta > 0.0, "eta must be positive");
+        if self.gap_policy.is_masked() {
+            assert!(
+                self.correlation == CorrelationKind::Pearson,
+                "masked gap policies support Pearson correlation only \
+                 (rank correlation is undefined under pairwise deletion)"
+            );
+            assert!(
+                self.strategy == BuildStrategy::Exact,
+                "masked gap policies maintain the full correlation matrix; \
+                 use the exact k-NN strategy"
+            );
+        }
         if let EngineChoice::Incremental { rebuild_every } = self.engine {
             assert!(rebuild_every >= 1, "rebuild period must be at least 1");
             assert!(
@@ -216,6 +304,8 @@ impl CadConfigBuilder {
             rc_horizon: self.rc_horizon,
             louvain: self.louvain,
             engine: self.engine,
+            gap_policy: self.gap_policy,
+            reorder_slack: self.reorder_slack,
         }
     }
 }

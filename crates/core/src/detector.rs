@@ -46,6 +46,12 @@ pub struct CadDetector {
     stats: RunningStats,
     /// `O_{r−1}`, sorted.
     prev_outliers: Vec<usize>,
+    /// Per-slot warm-up gate for sensors added by [`Self::reshape_sensors`]:
+    /// slot `v` participates in outlier sets (and therefore in `n_r`) only
+    /// once `tracker.rounds() > warmup_until[v]`. Original slots carry 0 —
+    /// always participating, preserving the pre-churn behaviour bit for
+    /// bit.
+    warmup_until: Vec<usize>,
     /// Bounded per-round forensics ring (see [`crate::explain`]).
     journal: ExplainJournal,
 }
@@ -63,6 +69,7 @@ impl CadDetector {
             tracker,
             stats: RunningStats::new(),
             prev_outliers: Vec::new(),
+            warmup_until: vec![0; n_sensors],
             journal: ExplainJournal::from_env(),
         }
     }
@@ -113,8 +120,67 @@ impl CadDetector {
             tracker,
             stats,
             prev_outliers,
+            warmup_until: vec![0; n_sensors],
             journal: ExplainJournal::from_env(),
         }
+    }
+
+    /// Per-slot warm-up gates (see the field; for persistence).
+    pub(crate) fn warmup_until(&self) -> &[usize] {
+        &self.warmup_until
+    }
+
+    /// Replace the per-slot warm-up gates (snapshot restore path).
+    pub(crate) fn restore_warmup_until(&mut self, warmup_until: Vec<usize>) {
+        assert_eq!(
+            warmup_until.len(),
+            self.n_sensors,
+            "warm-up gate count does not match sensor count"
+        );
+        self.warmup_until = warmup_until;
+    }
+
+    /// Grow or shrink the monitored sensor set to `new_n` slots without a
+    /// cold restart (sensor churn). Slot identity is positional: growing
+    /// appends fresh slots after the existing ones, shrinking removes the
+    /// highest-numbered slots.
+    ///
+    /// Surviving slots keep their entire co-appearance history, the μ/σ
+    /// variation statistics carry over untouched, and the round engine is
+    /// rebuilt for the new width (its first round after the reshape is an
+    /// exact rebuild — there is no previous window of matching shape).
+    /// Fresh slots enter a warm-up quarantine of `⌈w/s⌉ + 1` rounds during
+    /// which they are excluded from the outlier set and hence from `n_r`:
+    /// a joiner has no correlation history, so its community membership is
+    /// noise until a full window of its data has streamed in.
+    ///
+    /// Growing requires a masked [`crate::GapPolicy`] (the joiner's ring
+    /// history is NaN until its first real samples arrive); shrinking is
+    /// valid under any policy.
+    pub fn reshape_sensors(&mut self, new_n: usize) {
+        assert!(new_n >= 2, "CAD needs at least two sensors");
+        if new_n == self.n_sensors {
+            return;
+        }
+        if new_n > self.n_sensors {
+            assert!(
+                self.config.gap_policy.is_masked(),
+                "growing the sensor set requires a masked gap policy \
+                 (GapPolicy::Skip or GapPolicy::HoldLast): new sensors have \
+                 no window history and must stream in as missing samples"
+            );
+        }
+        let mut config = self.config.clone();
+        config.knn.k = config.knn.k.min(new_n - 1).max(1);
+        self.tracker.reshape(new_n);
+        self.prev_outliers.retain(|&v| v < new_n);
+        self.engine = Engine::for_config(&config, new_n);
+        self.config = config;
+        let spec = self.config.window;
+        let until = self.tracker.rounds() + spec.w.div_ceil(spec.s) + 1;
+        self.warmup_until.truncate(new_n);
+        self.warmup_until.resize(new_n, until);
+        self.n_sensors = new_n;
     }
 
     /// Observed variation-count statistics (μ, σ, count).
@@ -147,7 +213,13 @@ impl CadDetector {
         let tsg = self.engine.build_tsg(window);
         let partition = louvain(&tsg, self.config.louvain);
         self.tracker.push(&partition);
-        let outliers = self.tracker.outliers(self.config.theta);
+        let mut outliers = self.tracker.outliers(self.config.theta);
+        // Churn quarantine: slots still warming up (their RC denominator
+        // covers rounds they did not exist for) are invisible to the
+        // outlier set, so they cannot inflate `n_r`. Original slots have
+        // `warmup_until == 0 < rounds()` and always pass.
+        let r = self.tracker.rounds();
+        outliers.retain(|&v| self.warmup_until[v] < r);
         let n_r = outlier_variations(&self.prev_outliers, &outliers);
         (outliers, n_r)
     }

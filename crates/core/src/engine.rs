@@ -35,7 +35,7 @@
 use cad_graph::{tsg_from_matrix, CorrelationKnn, KnnConfig, WeightedGraph};
 use cad_mts::WindowSource;
 use cad_runtime::Timer;
-use cad_stats::SlidingCov;
+use cad_stats::{MaskedCovState, MaskedSlidingCov, SlidingCov};
 
 use crate::config::{CadConfig, EngineChoice};
 
@@ -54,16 +54,39 @@ pub trait RoundEngine: std::fmt::Debug + Send {
 }
 
 /// From-scratch engine: the seed behaviour, kept as the oracle.
+///
+/// In masked mode (any [`crate::GapPolicy`] other than `Fail`) every round
+/// recomputes a fresh pairwise-deletion correlation matrix over the raw
+/// window — the NaN-tolerant oracle the masked incremental engine is
+/// tested against.
 #[derive(Debug)]
 pub struct ExactEngine {
     knn: CorrelationKnn,
+    knn_cfg: KnnConfig,
+    masked: bool,
+    // Masked-mode scratch.
+    rows: Vec<f64>,
+    matrix: Vec<f64>,
 }
 
 impl ExactEngine {
     /// Exact engine with the given TSG parameters.
     pub fn new(knn: KnnConfig) -> Self {
+        Self::with_masking(knn, false)
+    }
+
+    /// Exact engine computing pairwise-deletion (NaN-tolerant) correlations.
+    pub fn new_masked(knn: KnnConfig) -> Self {
+        Self::with_masking(knn, true)
+    }
+
+    fn with_masking(knn: KnnConfig, masked: bool) -> Self {
         Self {
             knn: CorrelationKnn::new(knn),
+            knn_cfg: knn,
+            masked,
+            rows: Vec::new(),
+            matrix: Vec::new(),
         }
     }
 }
@@ -72,13 +95,71 @@ impl RoundEngine for ExactEngine {
     fn build_tsg(&mut self, window: &dyn WindowSource) -> WeightedGraph {
         let _t = Timer::start("engine.exact");
         crate::metrics::exact_rebuilds_total().inc();
-        self.knn.build_from_source(window)
+        if !self.masked {
+            return self.knn.build_from_source(window);
+        }
+        let (n, w) = (window.n_sensors(), window.w());
+        self.rows.clear();
+        self.rows.reserve(n * w);
+        for i in 0..n {
+            window.copy_sensor_into(i, &mut self.rows);
+        }
+        let mut cov = MaskedSlidingCov::new(n, w);
+        cov.rebuild(&self.rows);
+        cov.correlation_matrix_into(&mut self.matrix);
+        tsg_from_matrix(&self.matrix, n, &self.knn_cfg)
     }
 
     fn reset(&mut self) {}
 
     fn name(&self) -> &'static str {
         "exact"
+    }
+}
+
+/// The incremental engine's co-moment accumulator: dense (the historical
+/// bit-exact path) or masked (pairwise deletion for NaN-bearing streams).
+#[derive(Debug)]
+pub(crate) enum CovSlot {
+    Dense(SlidingCov),
+    Masked(MaskedSlidingCov),
+}
+
+impl CovSlot {
+    fn n_sensors(&self) -> usize {
+        match self {
+            CovSlot::Dense(c) => c.n_sensors(),
+            CovSlot::Masked(c) => c.n_sensors(),
+        }
+    }
+
+    fn rebuild(&mut self, rows: &[f64]) {
+        match self {
+            CovSlot::Dense(c) => c.rebuild(rows),
+            CovSlot::Masked(c) => c.rebuild(rows),
+        }
+    }
+
+    fn slide(&mut self, incoming: &[f64], outgoing: &[f64], cols: usize) {
+        match self {
+            CovSlot::Dense(c) => c.slide(incoming, outgoing, cols),
+            CovSlot::Masked(c) => c.slide(incoming, outgoing, cols),
+        }
+    }
+
+    fn correlation_matrix_into(&self, matrix: &mut Vec<f64>) {
+        match self {
+            CovSlot::Dense(c) => c.correlation_matrix_into(matrix),
+            CovSlot::Masked(c) => c.correlation_matrix_into(matrix),
+        }
+    }
+
+    #[cfg(test)]
+    fn correlation(&self, i: usize, j: usize) -> f64 {
+        match self {
+            CovSlot::Dense(c) => c.correlation(i, j),
+            CovSlot::Masked(c) => c.correlation(i, j),
+        }
     }
 }
 
@@ -93,7 +174,7 @@ pub struct IncrementalEngine {
     w: usize,
     step: usize,
     rebuild_every: usize,
-    cov: SlidingCov,
+    cov: CovSlot,
     /// Last round's window, row-major n×w: the retire source and the
     /// bit-for-bit continuity witness.
     prev: Vec<f64>,
@@ -116,13 +197,40 @@ impl IncrementalEngine {
         step: usize,
         rebuild_every: usize,
     ) -> Self {
+        Self::with_masking(knn, n_sensors, w, step, rebuild_every, false)
+    }
+
+    /// Incremental engine on the pairwise-deletion masked path (NaN =
+    /// missing sample); otherwise identical scheduling to [`Self::new`].
+    pub fn new_masked(
+        knn: KnnConfig,
+        n_sensors: usize,
+        w: usize,
+        step: usize,
+        rebuild_every: usize,
+    ) -> Self {
+        Self::with_masking(knn, n_sensors, w, step, rebuild_every, true)
+    }
+
+    fn with_masking(
+        knn: KnnConfig,
+        n_sensors: usize,
+        w: usize,
+        step: usize,
+        rebuild_every: usize,
+        masked: bool,
+    ) -> Self {
         assert!(rebuild_every >= 1, "rebuild period must be at least 1");
         Self {
             knn,
             w,
             step,
             rebuild_every,
-            cov: SlidingCov::new(n_sensors, w),
+            cov: if masked {
+                CovSlot::Masked(MaskedSlidingCov::new(n_sensors, w))
+            } else {
+                CovSlot::Dense(SlidingCov::new(n_sensors, w))
+            },
             prev: Vec::new(),
             primed: false,
             rounds_since_rebuild: 0,
@@ -140,6 +248,13 @@ impl IncrementalEngine {
 
     /// Whether the new window (`cur`) is the previous one advanced by
     /// `step`: the overlap must match bit-for-bit per sensor.
+    ///
+    /// The masked path compares raw bit patterns, because the overlap may
+    /// legitimately contain NaN and `NaN != NaN` would force a rebuild
+    /// every round, silently degrading the engine to exact cost. The dense
+    /// path keeps plain `==` (NaN never enters it; `GapPolicy::Fail`
+    /// rejects NaN at the push boundary) — preserving the historical
+    /// behavior bit for bit.
     fn is_continuation(&self) -> bool {
         if !self.primed || self.prev.len() != self.cur.len() {
             return false;
@@ -147,14 +262,40 @@ impl IncrementalEngine {
         let (w, s) = (self.w, self.step);
         let n = self.cov.n_sensors();
         let overlap = w - s.min(w);
-        (0..n).all(|i| self.cur[i * w..i * w + overlap] == self.prev[i * w + s..(i + 1) * w])
+        match &self.cov {
+            CovSlot::Dense(_) => (0..n)
+                .all(|i| self.cur[i * w..i * w + overlap] == self.prev[i * w + s..(i + 1) * w]),
+            CovSlot::Masked(_) => (0..n).all(|i| {
+                self.cur[i * w..i * w + overlap]
+                    .iter()
+                    .zip(&self.prev[i * w + s..(i + 1) * w])
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+            }),
+        }
     }
 
     /// Persistence view: `(rounds_since_rebuild, cov, prev_window)` once
-    /// the engine has processed at least one round.
+    /// the engine has processed at least one round (dense path only).
     pub(crate) fn persist_parts(&self) -> Option<(usize, &SlidingCov, &[f64])> {
-        self.primed
-            .then_some((self.rounds_since_rebuild, &self.cov, self.prev.as_slice()))
+        match &self.cov {
+            CovSlot::Dense(cov) if self.primed => {
+                Some((self.rounds_since_rebuild, cov, self.prev.as_slice()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Persistence view of the masked path: `(rounds_since_rebuild,
+    /// masked-cov state, prev_window)` once primed.
+    pub(crate) fn persist_parts_masked(&self) -> Option<(usize, MaskedCovState, &[f64])> {
+        match &self.cov {
+            CovSlot::Masked(cov) if self.primed => Some((
+                self.rounds_since_rebuild,
+                cov.to_state(),
+                self.prev.as_slice(),
+            )),
+            _ => None,
+        }
     }
 
     /// Restore state captured via [`Self::persist_parts`].
@@ -171,10 +312,32 @@ impl IncrementalEngine {
             "window size mismatch"
         );
         assert!(cov.is_primed(), "restored engine state must be primed");
-        self.cov = cov;
+        self.cov = CovSlot::Dense(cov);
         self.prev = prev;
         self.primed = true;
         self.rounds_since_rebuild = rounds_since_rebuild;
+    }
+
+    /// Restore masked state captured via [`Self::persist_parts_masked`].
+    pub(crate) fn restore_masked(
+        &mut self,
+        rounds_since_rebuild: usize,
+        state: MaskedCovState,
+        prev: Vec<f64>,
+    ) {
+        let n = self.cov.n_sensors();
+        assert_eq!(prev.len(), n * self.w, "window size mismatch");
+        let cov = MaskedSlidingCov::from_state(n, self.w, state);
+        assert!(cov.is_primed(), "restored engine state must be primed");
+        self.cov = CovSlot::Masked(cov);
+        self.prev = prev;
+        self.primed = true;
+        self.rounds_since_rebuild = rounds_since_rebuild;
+    }
+
+    /// Whether this engine runs the masked (pairwise-deletion) path.
+    pub(crate) fn is_masked(&self) -> bool {
+        matches!(self.cov, CovSlot::Masked(_))
     }
 }
 
@@ -223,7 +386,10 @@ impl RoundEngine for IncrementalEngine {
         self.prev.clear();
         self.primed = false;
         self.rounds_since_rebuild = 0;
-        self.cov = SlidingCov::new(self.cov.n_sensors(), self.w);
+        self.cov = match &self.cov {
+            CovSlot::Dense(c) => CovSlot::Dense(SlidingCov::new(c.n_sensors(), self.w)),
+            CovSlot::Masked(c) => CovSlot::Masked(MaskedSlidingCov::new(c.n_sensors(), self.w)),
+        };
     }
 
     fn name(&self) -> &'static str {
@@ -243,15 +409,18 @@ pub(crate) enum Engine {
 impl Engine {
     /// Engine mandated by `config` for an `n_sensors`-wide detector.
     pub(crate) fn for_config(config: &CadConfig, n_sensors: usize) -> Self {
+        let masked = config.gap_policy.is_masked();
         match config.engine {
+            EngineChoice::Exact if masked => Engine::Exact(ExactEngine::new_masked(config.knn)),
             EngineChoice::Exact => Engine::Exact(ExactEngine::new(config.knn)),
             EngineChoice::Incremental { rebuild_every } => {
-                Engine::Incremental(Box::new(IncrementalEngine::new(
+                Engine::Incremental(Box::new(IncrementalEngine::with_masking(
                     config.knn,
                     n_sensors,
                     config.window.w,
                     config.window.s,
                     rebuild_every,
+                    masked,
                 )))
             }
         }

@@ -59,7 +59,7 @@ pub mod state;
 pub mod stream;
 
 pub use coappearance::CoappearanceTracker;
-pub use config::{CadConfig, CadConfigBuilder, EngineChoice};
+pub use config::{CadConfig, CadConfigBuilder, EngineChoice, GapPolicy};
 pub use detector::{CadDetector, RoundOutcome};
 pub use engine::{ExactEngine, IncrementalEngine, RoundEngine};
 // `explain::RoundRecord` stays module-scoped: `result::RoundRecord` (the
@@ -69,4 +69,4 @@ pub use pool::DetectorPool;
 pub use replay::{splice_batch, SpliceError, SplicedRound};
 pub use result::{Anomaly, DetectionResult, RoundRecord};
 pub use state::{load_detector, load_stream, save_detector, save_stream, StateError};
-pub use stream::StreamingCad;
+pub use stream::{PushError, StreamCounters, StreamingCad};

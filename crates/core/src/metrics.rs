@@ -16,6 +16,9 @@
 //! | `cad_threshold_crossings_total` | —      | `\|n_r − μ\| ≥ η·σ` fires, including warm-up and suppressed rounds where no verdict is emitted |
 //! | `cad_engine_rebuilds_total`   | `engine` | a full covariance (re)build |
 //! | `cad_engine_slides_total`     | `engine` | an O(n²·s) incremental slide |
+//! | `cad_stream_late_ticks_total` | —        | a tick rejected as late (its slot already committed) |
+//! | `cad_stream_gaps_filled_total` | —       | a missing tick synthesised as an all-NaN column |
+//! | `cad_stream_degraded_samples_total` | `mode` | a NaN sample stored as a hole (`nan`) or substituted (`held`) |
 
 use std::sync::{Arc, OnceLock};
 
@@ -51,6 +54,22 @@ cached_counter!(
     incremental_slides_total,
     "cad_engine_slides_total",
     &[("engine", "incremental")]
+);
+cached_counter!(stream_late_ticks_total, "cad_stream_late_ticks_total", &[]);
+cached_counter!(
+    stream_gaps_filled_total,
+    "cad_stream_gaps_filled_total",
+    &[]
+);
+cached_counter!(
+    stream_nan_samples_total,
+    "cad_stream_degraded_samples_total",
+    &[("mode", "nan")]
+);
+cached_counter!(
+    stream_held_samples_total,
+    "cad_stream_degraded_samples_total",
+    &[("mode", "held")]
 );
 
 /// One call per detection round from `CadDetector::process_round`:

@@ -11,19 +11,22 @@
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 use cad_graph::{BuildStrategy, CorrelationKind, HnswConfig, LouvainConfig};
-use cad_stats::{RunningStats, SlidingCov};
+use cad_stats::{MaskedCovState, RunningStats, SlidingCov};
 
 use crate::coappearance::CoappearanceTracker;
-use crate::config::{CadConfig, EngineChoice};
+use crate::config::{CadConfig, EngineChoice, GapPolicy};
 use crate::detector::CadDetector;
+use crate::stream::StreamCounters;
 
 const MAGIC: &str = "cad-state";
 /// v1: config + tracker + stats. v2 adds the round-engine choice and, for
 /// the incremental engine, its co-moment snapshot (so a restored detector
 /// resumes *sliding* instead of paying a rebuild and, more importantly,
-/// produces bit-identical correlations to an uninterrupted run). v1 files
-/// still load, defaulting to the exact engine.
-const VERSION: u32 = 2;
+/// produces bit-identical correlations to an uninterrupted run). v3 adds
+/// the hostile-stream state: gap policy + reorder slack, per-slot churn
+/// warm-up gates, and the masked (pairwise-deletion) engine snapshot.
+/// v1/v2 files still load, defaulting to the exact engine / `Fail` policy.
+const VERSION: u32 = 3;
 
 /// Errors surfaced when loading persisted state.
 #[derive(Debug)]
@@ -95,10 +98,22 @@ pub fn save_detector<W: Write>(detector: &CadDetector, mut out: W) -> io::Result
             writeln!(out, "engine incremental {rebuild_every}")?
         }
     }
+    writeln!(
+        out,
+        "gap_policy {} {}",
+        config.gap_policy.tag(),
+        config.reorder_slack
+    )?;
     let (count, mean, m2) = stats.parts();
     writeln!(out, "stats {count} {mean} {m2}")?;
     let outliers: Vec<String> = prev_outliers.iter().map(|v| v.to_string()).collect();
     writeln!(out, "prev_outliers {}", outliers.join(" "))?;
+    let gates: Vec<String> = detector
+        .warmup_until()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    writeln!(out, "warmup_until {}", gates.join(" "))?;
     let (prev, cumulative, rounds, _, history) = tracker.state();
     writeln!(out, "tracker_rounds {rounds}")?;
     match prev {
@@ -116,16 +131,36 @@ pub fn save_detector<W: Write>(detector: &CadDetector, mut out: W) -> io::Result
         writeln!(out, "h {}", row.join(" "))?;
     }
     if let Some(engine) = detector.engine().as_incremental() {
-        match engine.persist_parts() {
-            None => writeln!(out, "engine_state none")?,
-            Some((rounds_since_rebuild, cov, prev_window)) => {
-                let (anchors, s1, s2, sxy, _) = cov.state();
-                writeln!(out, "engine_state {rounds_since_rebuild}")?;
-                writeln!(out, "anchors {}", join_floats(anchors))?;
-                writeln!(out, "s1 {}", join_floats(s1))?;
-                writeln!(out, "s2 {}", join_floats(s2))?;
-                writeln!(out, "sxy {}", join_floats(sxy))?;
-                writeln!(out, "prev_window {}", join_floats(prev_window))?;
+        if engine.is_masked() {
+            match engine.persist_parts_masked() {
+                None => writeln!(out, "engine_state none")?,
+                Some((rounds_since_rebuild, st, prev_window)) => {
+                    writeln!(out, "engine_state masked {rounds_since_rebuild}")?;
+                    writeln!(out, "anchors {}", join_floats(&st.anchors))?;
+                    writeln!(out, "cnt {}", join_floats(&st.cnt))?;
+                    writeln!(out, "s1 {}", join_floats(&st.s1))?;
+                    writeln!(out, "q1 {}", join_floats(&st.q1))?;
+                    writeln!(out, "pc {}", join_floats(&st.pc))?;
+                    writeln!(out, "psi {}", join_floats(&st.psi))?;
+                    writeln!(out, "psj {}", join_floats(&st.psj))?;
+                    writeln!(out, "pqi {}", join_floats(&st.pqi))?;
+                    writeln!(out, "pqj {}", join_floats(&st.pqj))?;
+                    writeln!(out, "psxy {}", join_floats(&st.psxy))?;
+                    writeln!(out, "prev_window {}", join_floats(prev_window))?;
+                }
+            }
+        } else {
+            match engine.persist_parts() {
+                None => writeln!(out, "engine_state none")?,
+                Some((rounds_since_rebuild, cov, prev_window)) => {
+                    let (anchors, s1, s2, sxy, _) = cov.state();
+                    writeln!(out, "engine_state {rounds_since_rebuild}")?;
+                    writeln!(out, "anchors {}", join_floats(anchors))?;
+                    writeln!(out, "s1 {}", join_floats(s1))?;
+                    writeln!(out, "s2 {}", join_floats(s2))?;
+                    writeln!(out, "sxy {}", join_floats(sxy))?;
+                    writeln!(out, "prev_window {}", join_floats(prev_window))?;
+                }
             }
         }
     }
@@ -249,6 +284,19 @@ pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
     } else {
         EngineChoice::Exact
     };
+    // v1/v2 predate the hostile-stream subsystem: strict in-order, NaN-free
+    // input was the only supported regime.
+    let (gap_policy, reorder_slack) = if version >= 3 {
+        let line = lines.expect("gap_policy")?.to_string();
+        let mut it = line.split_whitespace();
+        let tag: u8 = parse(it.next().unwrap_or(""), "gap_policy tag")?;
+        let policy = GapPolicy::from_tag(tag)
+            .ok_or_else(|| fmt_err(format!("unknown gap policy tag {tag}")))?;
+        let slack: usize = parse(it.next().unwrap_or(""), "reorder_slack")?;
+        (policy, slack)
+    } else {
+        (GapPolicy::Fail, 0)
+    };
 
     let stats_line = lines.expect("stats")?.to_string();
     let mut it = stats_line.split_whitespace();
@@ -258,6 +306,15 @@ pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
         parse(it.next().unwrap_or(""), "stats m2")?,
     );
     let prev_outliers: Vec<usize> = parse_list(lines.expect("prev_outliers")?, "outlier id")?;
+    // Pre-v3 detectors never reshaped, so every slot is past warm-up.
+    let warmup_until: Vec<usize> = if version >= 3 {
+        parse_list(lines.expect("warmup_until")?, "warmup gate")?
+    } else {
+        vec![0; n_sensors]
+    };
+    if warmup_until.len() != n_sensors {
+        return Err(fmt_err("warmup_until length does not match n_sensors"));
+    }
     let rounds: usize = parse(lines.expect("tracker_rounds")?, "tracker_rounds")?;
     let prev_labels = match lines.expect("prev_partition")? {
         "none" => None,
@@ -291,12 +348,58 @@ pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
         .rc_horizon(rc_horizon)
         .louvain(louvain)
         .engine(engine)
+        .gap_policy(gap_policy)
+        .reorder_slack(reorder_slack)
         .build();
     let mut detector =
         CadDetector::from_persisted(n_sensors, config, tracker, stats, prev_outliers);
+    detector.restore_warmup_until(warmup_until);
     if matches!(engine, EngineChoice::Incremental { .. }) {
         let state_line = lines.expect("engine_state")?.to_string();
-        if state_line != "none" {
+        if let Some(rest) = state_line.strip_prefix("masked") {
+            let rounds_since_rebuild: usize = parse(rest, "engine_state rounds")?;
+            let anchors: Vec<f64> = parse_list(lines.expect("anchors")?, "anchor")?;
+            let cnt: Vec<f64> = parse_list(lines.expect("cnt")?, "cnt value")?;
+            let s1: Vec<f64> = parse_list(lines.expect("s1")?, "s1 value")?;
+            let q1: Vec<f64> = parse_list(lines.expect("q1")?, "q1 value")?;
+            let pc: Vec<f64> = parse_list(lines.expect("pc")?, "pc value")?;
+            let psi: Vec<f64> = parse_list(lines.expect("psi")?, "psi value")?;
+            let psj: Vec<f64> = parse_list(lines.expect("psj")?, "psj value")?;
+            let pqi: Vec<f64> = parse_list(lines.expect("pqi")?, "pqi value")?;
+            let pqj: Vec<f64> = parse_list(lines.expect("pqj")?, "pqj value")?;
+            let psxy: Vec<f64> = parse_list(lines.expect("psxy")?, "psxy value")?;
+            let prev: Vec<f64> = parse_list(lines.expect("prev_window")?, "window value")?;
+            let n_pairs = n_sensors.saturating_sub(1) * n_sensors / 2;
+            if anchors.len() != n_sensors
+                || cnt.len() != n_sensors
+                || s1.len() != n_sensors
+                || q1.len() != n_sensors
+                || [&pc, &psi, &psj, &pqi, &pqj, &psxy]
+                    .iter()
+                    .any(|v| v.len() != n_pairs)
+                || prev.len() != n_sensors * w
+            {
+                return Err(fmt_err("engine state dimensions do not match detector"));
+            }
+            let state = MaskedCovState {
+                anchors,
+                cnt,
+                s1,
+                q1,
+                pc,
+                psi,
+                psj,
+                pqi,
+                pqj,
+                psxy,
+                primed: true,
+            };
+            detector
+                .engine_mut()
+                .as_incremental_mut()
+                .expect("config built an incremental engine")
+                .restore_masked(rounds_since_rebuild, state, prev);
+        } else if state_line != "none" {
             let rounds_since_rebuild: usize = parse(&state_line, "engine_state rounds")?;
             let anchors: Vec<f64> = parse_list(lines.expect("anchors")?, "anchor")?;
             let s1: Vec<f64> = parse_list(lines.expect("s1")?, "s1 value")?;
@@ -325,9 +428,12 @@ pub fn load_detector<R: Read>(input: R) -> Result<CadDetector, StateError> {
 
 const STREAM_MAGIC: &str = "cad-stream";
 /// v1: cursors + ring + embedded detector. v2 adds the forensics journal
-/// (`cad_core::explain`) so `/explain` survives a daemon restart. v1 files
-/// still load, with an empty journal.
-const STREAM_VERSION: u32 = 2;
+/// (`cad_core::explain`) so `/explain` survives a daemon restart. v3 adds
+/// the degraded-input bookkeeping (tick sequencing, the reorder buffer,
+/// hold-last values, and drop/fill counters) so a hostile stream resumes
+/// mid-gap. Older files still load: v1 with an empty journal, v1/v2 with
+/// `next_seq = total` and an empty reorder buffer.
+const STREAM_VERSION: u32 = 3;
 
 /// Serialise a [`StreamingCad`] wrapper: the ring buffer and its cursors,
 /// the forensics journal, then the complete embedded detector state
@@ -339,6 +445,17 @@ pub fn save_stream<W: Write>(stream: &crate::StreamingCad, mut out: W) -> io::Re
     writeln!(out, "{STREAM_MAGIC} v{STREAM_VERSION}")?;
     writeln!(out, "cursor {next} {filled} {fresh} {total}")?;
     writeln!(out, "ring {}", join_floats(ring))?;
+    let (next_seq, pending, last_valid, counters) = stream.persist_degraded_parts();
+    writeln!(
+        out,
+        "seq {next_seq} {} {} {} {}",
+        counters.late_dropped, counters.gaps_filled, counters.nan_stored, counters.held_samples
+    )?;
+    writeln!(out, "last_valid {}", join_floats(last_valid))?;
+    writeln!(out, "pending {}", pending.len())?;
+    for (seq, row) in pending {
+        writeln!(out, "p {seq} {}", join_floats(row))?;
+    }
     let journal = detector.explain();
     writeln!(
         out,
@@ -385,6 +502,34 @@ pub fn load_stream<R: Read>(input: R) -> Result<crate::StreamingCad, StateError>
     let fresh: usize = parse(it.next().unwrap_or(""), "cursor fresh")?;
     let total: usize = parse(it.next().unwrap_or(""), "cursor total")?;
     let ring: Vec<f64> = parse_list(lines.expect("ring")?, "ring value")?;
+    // v1/v2 predate the degraded-input bookkeeping: those streams resume
+    // strictly in order (`next_seq = total`) with an empty reorder buffer.
+    let degraded = if version >= 3 {
+        let seq_line = lines.expect("seq")?.to_string();
+        let mut it = seq_line.split_whitespace();
+        let next_seq: u64 = parse(it.next().unwrap_or(""), "next_seq")?;
+        let counters = StreamCounters {
+            late_dropped: parse(it.next().unwrap_or(""), "late_dropped")?,
+            gaps_filled: parse(it.next().unwrap_or(""), "gaps_filled")?,
+            nan_stored: parse(it.next().unwrap_or(""), "nan_stored")?,
+            held_samples: parse(it.next().unwrap_or(""), "held_samples")?,
+        };
+        let last_valid: Vec<f64> = parse_list(lines.expect("last_valid")?, "last_valid value")?;
+        let n_pending: usize = parse(lines.expect("pending")?, "pending count")?;
+        let mut pending = std::collections::BTreeMap::new();
+        for _ in 0..n_pending {
+            let line = lines.expect("p")?.to_string();
+            let mut it = line.split_whitespace();
+            let seq: u64 = parse(it.next().unwrap_or(""), "pending seq")?;
+            let row: Vec<f64> = it
+                .map(|tok| parse(tok, "pending value"))
+                .collect::<Result<Vec<f64>, _>>()?;
+            pending.insert(seq, row);
+        }
+        Some((next_seq, pending, last_valid, counters))
+    } else {
+        None
+    };
     // v1 predates the forensics journal: those streams load with an empty,
     // disabled journal (capacity can be raised after restore).
     let journal = if version >= 2 {
@@ -435,9 +580,18 @@ pub fn load_stream<R: Read>(input: R) -> Result<crate::StreamingCad, StateError>
     if next >= w || filled > w || fresh > w {
         return Err(fmt_err("stream cursor out of range"));
     }
-    Ok(crate::StreamingCad::from_persisted(
-        detector, ring, next, filled, fresh, total,
-    ))
+    let mut stream =
+        crate::StreamingCad::from_persisted(detector, ring, next, filled, fresh, total);
+    if let Some((next_seq, pending, last_valid, counters)) = degraded {
+        if last_valid.len() != n {
+            return Err(fmt_err("last_valid length does not match n_sensors"));
+        }
+        if pending.values().any(|row| row.len() != n) {
+            return Err(fmt_err("pending tick width does not match n_sensors"));
+        }
+        stream.restore_degraded(next_seq, pending, last_valid, counters);
+    }
+    Ok(stream)
 }
 
 #[cfg(test)]
@@ -595,11 +749,23 @@ mod tests {
         let mut buf = Vec::new();
         save_stream(&stream, &mut buf).expect("save stream");
         let text = String::from_utf8(buf).expect("UTF-8");
-        // Rewrite as a v1 snapshot: drop the journal section.
+        // Rewrite as a v1 snapshot: drop the journal and degraded-input
+        // sections plus the v3 detector lines.
         let v1: String = text
-            .replace("cad-stream v2", "cad-stream v1")
+            .replace("cad-stream v3", "cad-stream v1")
+            .replace("cad-state v3", "cad-state v1")
+            .replace("engine exact\n", "")
             .lines()
-            .filter(|l| !l.starts_with("journal") && !l.starts_with("jr "))
+            .filter(|l| {
+                !l.starts_with("journal")
+                    && !l.starts_with("jr ")
+                    && !l.starts_with("seq ")
+                    && !l.starts_with("last_valid")
+                    && !l.starts_with("pending")
+                    && !l.starts_with("p ")
+                    && !l.starts_with("gap_policy")
+                    && !l.starts_with("warmup_until")
+            })
             .collect::<Vec<_>>()
             .join("\n")
             + "\n";
@@ -621,7 +787,7 @@ mod tests {
         let mut buf = Vec::new();
         save_stream(&stream, &mut buf).expect("save stream");
         let text = String::from_utf8(buf).expect("UTF-8");
-        assert!(text.starts_with("cad-stream v2\n"));
+        assert!(text.starts_with("cad-stream v3\n"));
         let corrupt: String = text
             .lines()
             .map(|l| {
@@ -673,8 +839,9 @@ mod tests {
         let mut buf = Vec::new();
         save_detector(&det, &mut buf).expect("save");
         let text = String::from_utf8(buf).expect("UTF-8");
-        assert!(text.starts_with("cad-state v2\n"));
+        assert!(text.starts_with("cad-state v3\n"));
         assert!(text.contains("engine exact"));
+        assert!(text.contains("gap_policy 0 0"));
         assert!(text.contains("theta 0.2"));
         assert!(text.contains("rc_horizon 6"));
     }
@@ -750,9 +917,17 @@ mod tests {
         let mut buf = Vec::new();
         save_detector(&det, &mut buf).expect("save");
         let text = String::from_utf8(buf).expect("UTF-8");
-        let v1 = text
-            .replace("cad-state v2", "cad-state v1")
-            .replace("engine exact\n", "");
+        let v1: String = text
+            .replace("cad-state v3", "cad-state v1")
+            .lines()
+            .filter(|l| {
+                *l != "engine exact"
+                    && !l.starts_with("gap_policy")
+                    && !l.starts_with("warmup_until")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
         let restored = load_detector(v1.as_bytes()).expect("v1 load");
         assert_eq!(restored.config().engine, EngineChoice::Exact);
         assert_eq!(restored.config(), det.config());
@@ -797,5 +972,169 @@ mod tests {
             + "\n";
         let err = load_detector(corrupt.as_bytes()).unwrap_err();
         assert!(matches!(err, StateError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn gap_policy_and_slack_roundtrip() {
+        let config = CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .gap_policy(GapPolicy::HoldLast)
+            .reorder_slack(5)
+            .build();
+        let det = CadDetector::new(4, config.clone());
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let text = String::from_utf8(buf.clone()).expect("UTF-8");
+        assert!(text.contains("gap_policy 2 5"));
+        let restored = load_detector(buf.as_slice()).expect("load");
+        assert_eq!(restored.config(), &config);
+    }
+
+    #[test]
+    fn v2_state_loads_with_fail_policy() {
+        // A v2 snapshot predates GapPolicy: it must load as strict
+        // (Fail, slack 0) with every slot past warm-up.
+        let det = CadDetector::new(4, config());
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let text = String::from_utf8(buf).expect("UTF-8");
+        let v2: String = text
+            .replace("cad-state v3", "cad-state v2")
+            .lines()
+            .filter(|l| !l.starts_with("gap_policy") && !l.starts_with("warmup_until"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let restored = load_detector(v2.as_bytes()).expect("v2 load");
+        assert_eq!(restored.config().gap_policy, GapPolicy::Fail);
+        assert_eq!(restored.config().reorder_slack, 0);
+        assert_eq!(restored.config(), det.config());
+    }
+
+    #[test]
+    fn rejects_unknown_gap_policy_tag() {
+        let det = CadDetector::new(4, config());
+        let mut buf = Vec::new();
+        save_detector(&det, &mut buf).expect("save");
+        let text = String::from_utf8(buf).expect("UTF-8");
+        let corrupt = text.replace("gap_policy 0 0", "gap_policy 9 0");
+        let err = load_detector(corrupt.as_bytes()).unwrap_err();
+        assert!(matches!(err, StateError::Format(_)), "{err}");
+    }
+
+    /// A degraded stream — NaN dropouts, a gap mid-flight, and a tick
+    /// parked in the reorder buffer — snapshot mid-degradation must resume
+    /// bit-identically, including the masked incremental engine state.
+    #[test]
+    fn masked_stream_roundtrips_mid_degradation() {
+        use crate::StreamingCad;
+        let data = mts(700);
+        let cfg = CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .rc_horizon(Some(6))
+            .engine(EngineChoice::Incremental { rebuild_every: 50 })
+            .gap_policy(GapPolicy::Skip)
+            .reorder_slack(2)
+            .build();
+        let mut reference = StreamingCad::new(CadDetector::new(4, cfg.clone()));
+        let mut live = StreamingCad::new(CadDetector::new(4, cfg));
+        let push = |s: &mut StreamingCad, seq: u64| {
+            let mut col = data.column(seq as usize % data.len());
+            if seq % 7 == 3 {
+                col[1] = f64::NAN;
+            }
+            s.push_tick(seq, &col).expect("push")
+        };
+        for seq in 0..350u64 {
+            assert_eq!(push(&mut reference, seq), push(&mut live, seq));
+        }
+        // Park seq 351 in the reorder buffer (350 still missing), then
+        // snapshot with the hole open.
+        assert!(push(&mut reference, 351).is_empty());
+        assert!(push(&mut live, 351).is_empty());
+        let mut buf = Vec::new();
+        save_stream(&live, &mut buf).expect("save stream");
+        let text = String::from_utf8(buf.clone()).expect("UTF-8");
+        assert!(text.contains("engine_state masked"), "masked engine state");
+        assert!(text.contains("\npending 1\n"), "parked tick persisted");
+        let mut restored = load_stream(buf.as_slice()).expect("load stream");
+        assert_eq!(restored.counters(), live.counters());
+        assert_eq!(restored.pending_ticks(), 1);
+        assert_eq!(restored.next_seq(), 350);
+        // Fill the hole — both drain the parked tick — then run out the
+        // stream (351 already arrived) requiring tick-for-tick identical
+        // outcomes.
+        for seq in (350..700u64).filter(|&s| s != 351) {
+            assert_eq!(
+                push(&mut reference, seq),
+                push(&mut restored, seq),
+                "tick {seq} diverged after degraded restore"
+            );
+        }
+        assert_eq!(reference.counters(), restored.counters());
+    }
+
+    /// Grow the sensor set mid-stream, snapshot while the new slot is
+    /// still inside its warm-up quarantine, and check the restored copy
+    /// stays bit-identical — the churn-without-cold-restart guarantee.
+    #[test]
+    fn reshaped_stream_roundtrips_during_warmup() {
+        use crate::StreamingCad;
+        let data = mts(700);
+        let cfg = CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .rc_horizon(Some(6))
+            .gap_policy(GapPolicy::Skip)
+            .build();
+        let mut reference = StreamingCad::new(CadDetector::new(4, cfg.clone()));
+        let mut live = StreamingCad::new(CadDetector::new(4, cfg));
+        for seq in 0..300u64 {
+            let col = data.column(seq as usize);
+            assert_eq!(
+                reference.push_tick(seq, &col).expect("push"),
+                live.push_tick(seq, &col).expect("push")
+            );
+        }
+        reference.reshape_sensors(5);
+        live.reshape_sensors(5);
+        let widen = |t: usize| {
+            let mut col = data.column(t);
+            col.push((t as f64 * 0.11).sin());
+            col
+        };
+        for seq in 300..330u64 {
+            let col = widen(seq as usize);
+            assert_eq!(
+                reference.push_tick(seq, &col).expect("push"),
+                live.push_tick(seq, &col).expect("push")
+            );
+        }
+        let mut buf = Vec::new();
+        save_stream(&live, &mut buf).expect("save stream");
+        let text = String::from_utf8(buf.clone()).expect("UTF-8");
+        assert!(
+            text.contains("n_sensors 5") || text.contains("\n5\n"),
+            "grown width persisted"
+        );
+        assert!(text.contains("warmup_until"), "quarantine gates persisted");
+        let mut restored = load_stream(buf.as_slice()).expect("load stream");
+        assert_eq!(restored.detector().n_sensors(), 5);
+        for seq in 330..700u64 {
+            let col = widen(seq as usize);
+            assert_eq!(
+                reference.push_tick(seq, &col).expect("push"),
+                restored.push_tick(seq, &col).expect("push"),
+                "tick {seq} diverged after reshape restore"
+            );
+        }
     }
 }

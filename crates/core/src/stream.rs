@@ -11,10 +11,118 @@
 //! a round hands the detector the window *in place* — no per-round copy of
 //! the buffers into an `Mts`, and with the incremental engine the round
 //! cost is dominated by the O(n²·s) co-moment update alone.
+//!
+//! ## Degraded input
+//!
+//! Real telemetry is hostile: samples go missing, arrive late, arrive out
+//! of order, and sensors join or leave the fleet. [`StreamingCad::push_tick`]
+//! is the sequence-aware entry point with explicit semantics for all of it:
+//!
+//! * **NaN readings** route through the configured [`GapPolicy`]: `Fail`
+//!   rejects the tick (and the legacy [`StreamingCad::push_sample`]
+//!   panics), `Skip` stores the hole for pairwise-deletion correlation,
+//!   `HoldLast` substitutes the sensor's last valid value.
+//! * **Out-of-order ticks** within `reorder_slack` of the committed
+//!   sequence are buffered and re-sequenced; ticks older than the
+//!   committed sequence are rejected as [`PushError::LateTick`] and
+//!   counted — never silently dropped.
+//! * **Gaps**: when a tick arrives more than `reorder_slack` beyond the
+//!   committed sequence, the missing range is declared lost and filled
+//!   with all-NaN columns under a masked policy (an error under `Fail`).
+//! * **Sensor churn**: [`StreamingCad::reshape_sensors`] grows or shrinks
+//!   the sensor set in place — no cold restart, surviving sensors keep
+//!   their window and co-appearance history.
+
+use std::collections::BTreeMap;
 
 use cad_mts::{Mts, WindowSource};
 
+use crate::config::GapPolicy;
 use crate::detector::{CadDetector, RoundOutcome};
+
+/// Why [`StreamingCad::push_tick`] refused a tick. The refused tick has
+/// *not* been consumed: stream state (cursors, ring, sequence) is exactly
+/// as it was before the call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError {
+    /// The tick's sequence number is older than the committed stream
+    /// position — it arrived after its slot was already filled (or
+    /// declared lost) and can no longer be incorporated.
+    LateTick {
+        /// Sequence number of the rejected tick.
+        seq: u64,
+        /// Next sequence number the stream will commit.
+        next: u64,
+    },
+    /// A reading was NaN while the detector runs [`GapPolicy::Fail`].
+    NanInput {
+        /// Sequence number of the rejected tick.
+        seq: u64,
+        /// First sensor slot holding a NaN reading.
+        sensor: usize,
+    },
+    /// The tick jumped more than `reorder_slack` past the committed
+    /// sequence, so the range in between must be treated as lost — which
+    /// [`GapPolicy::Fail`] forbids.
+    GapUnderFailPolicy {
+        /// First missing sequence number.
+        missing_from: u64,
+        /// One past the last missing sequence number.
+        missing_to: u64,
+    },
+    /// The tick's width does not match the detector's sensor count.
+    WidthMismatch {
+        /// Readings supplied.
+        got: usize,
+        /// One reading per sensor required.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::LateTick { seq, next } => {
+                write!(
+                    f,
+                    "tick {seq} is late: stream already committed up to {next}"
+                )
+            }
+            PushError::NanInput { seq, sensor } => write!(
+                f,
+                "tick {seq}: sensor {sensor} reading is NaN, rejected under GapPolicy::Fail"
+            ),
+            PushError::GapUnderFailPolicy {
+                missing_from,
+                missing_to,
+            } => write!(
+                f,
+                "ticks {missing_from}..{missing_to} are missing and GapPolicy::Fail \
+                 forbids gap filling"
+            ),
+            PushError::WidthMismatch { got, expected } => {
+                write!(f, "tick has {got} readings, detector expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// Degraded-input accounting for one stream. Every tick or sample the
+/// stream drops or rewrites is counted here (and mirrored into the
+/// `cad_stream_*` metrics) — hostile input never disappears silently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamCounters {
+    /// Ticks rejected because their slot was already committed.
+    pub late_dropped: u64,
+    /// Missing ticks synthesised as all-NaN columns (gap fill).
+    pub gaps_filled: u64,
+    /// NaN samples stored as holes (pairwise deletion will mask them).
+    pub nan_stored: u64,
+    /// NaN samples replaced by the sensor's last valid value (`HoldLast`).
+    pub held_samples: u64,
+}
 
 /// Streaming wrapper that buffers incoming samples and drives rounds.
 #[derive(Debug)]
@@ -35,6 +143,16 @@ pub struct StreamingCad {
     fresh: usize,
     /// Total samples consumed (for reporting).
     total: usize,
+    /// Next tick sequence number the stream will commit.
+    next_seq: u64,
+    /// Early-arrival buffer: ticks at most `reorder_slack` ahead of
+    /// `next_seq`, keyed by sequence (a duplicate sequence overwrites).
+    pending: BTreeMap<u64, Vec<f64>>,
+    /// Per-sensor last valid reading (NaN before the first valid sample) —
+    /// the substitution source for [`GapPolicy::HoldLast`].
+    last_valid: Vec<f64>,
+    /// Degraded-input accounting.
+    counters: StreamCounters,
 }
 
 /// A full ring as a [`WindowSource`]: each sensor's window is the segment
@@ -82,6 +200,10 @@ impl StreamingCad {
             filled: 0,
             fresh: 0,
             total: 0,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            last_valid: vec![f64::NAN; n_sensors],
+            counters: StreamCounters::default(),
         }
     }
 
@@ -95,8 +217,12 @@ impl StreamingCad {
             .saturating_sub(self.detector.config().window.s)
             .min(his.len());
         for i in 0..self.n_sensors {
-            let tail = &his.sensor(i)[his.len() - keep..];
+            let row = his.sensor(i);
+            let tail = &row[his.len() - keep..];
             self.ring[i * self.w..i * self.w + keep].copy_from_slice(tail);
+            if let Some(&last) = row.iter().rev().find(|v| !v.is_nan()) {
+                self.last_valid[i] = last;
+            }
         }
         // keep < w always (s ≥ 1), so the write cursor never wraps here.
         self.next = keep;
@@ -130,6 +256,47 @@ impl StreamingCad {
         )
     }
 
+    /// Persistence access to the degraded-input state:
+    /// `(next_seq, pending reorder buffer, last valid values, counters)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn persist_degraded_parts(
+        &self,
+    ) -> (u64, &BTreeMap<u64, Vec<f64>>, &[f64], StreamCounters) {
+        (
+            self.next_seq,
+            &self.pending,
+            &self.last_valid,
+            self.counters,
+        )
+    }
+
+    /// Restore the degraded-input state captured via
+    /// [`Self::persist_degraded_parts`] (v3 snapshot restore path).
+    pub(crate) fn restore_degraded(
+        &mut self,
+        next_seq: u64,
+        pending: BTreeMap<u64, Vec<f64>>,
+        last_valid: Vec<f64>,
+        counters: StreamCounters,
+    ) {
+        assert_eq!(
+            last_valid.len(),
+            self.n_sensors,
+            "persisted last-valid width does not match detector dimensions"
+        );
+        for row in pending.values() {
+            assert_eq!(
+                row.len(),
+                self.n_sensors,
+                "persisted pending tick width does not match detector dimensions"
+            );
+        }
+        self.next_seq = next_seq;
+        self.pending = pending;
+        self.last_valid = last_valid;
+        self.counters = counters;
+    }
+
     /// Rebuild a streaming wrapper from persisted parts (restore path of
     /// `cad_core::state::load_stream`). Dimensions are validated against
     /// the detector so corrupt state surfaces as a clear panic here rather
@@ -156,6 +323,9 @@ impl StreamingCad {
         stream.filled = filled;
         stream.fresh = fresh;
         stream.total = total;
+        // Pre-v3 snapshots carry no sequence state: the stream was strictly
+        // in-order, so the committed sequence equals the sample count.
+        stream.next_seq = total as u64;
         stream
     }
 
@@ -164,26 +334,177 @@ impl StreamingCad {
         self.total
     }
 
+    /// Next tick sequence number [`Self::push_tick`] will commit.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Degraded-input accounting so far.
+    pub fn counters(&self) -> StreamCounters {
+        self.counters
+    }
+
+    /// Ticks currently parked in the reorder buffer.
+    pub fn pending_ticks(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Feed one tick of readings (one value per sensor). Returns a
     /// [`RoundOutcome`] when this tick completes a round — i.e. the window
     /// buffer holds `w` points and `s` fresh samples have arrived since
     /// the previous round.
+    ///
+    /// This is the legacy in-order entry point: it commits at the stream's
+    /// current sequence position. NaN readings under [`GapPolicy::Fail`]
+    /// panic (use [`Self::push_tick`] for a recoverable error); under a
+    /// masked policy they route through the gap policy like any other
+    /// degraded sample.
     pub fn push_sample(&mut self, readings: &[f64]) -> Option<RoundOutcome> {
         assert_eq!(
             readings.len(),
             self.n_sensors,
             "one reading per sensor required"
         );
+        match self.push_tick(self.next_seq, readings) {
+            Ok(mut outcomes) => {
+                debug_assert!(outcomes.len() <= 1, "one in-order tick, at most one round");
+                outcomes.pop()
+            }
+            Err(e @ PushError::NanInput { .. }) => panic!(
+                "{e}; configure GapPolicy::Skip or GapPolicy::HoldLast to accept degraded input"
+            ),
+            Err(e) => unreachable!("in-order push cannot be rejected: {e}"),
+        }
+    }
+
+    /// Feed one sequence-numbered tick of readings. Sequence numbers start
+    /// at [`Self::next_seq`] (0 for a fresh stream) and each committed tick
+    /// advances the stream by one.
+    ///
+    /// Zero or more rounds may complete per call: committing a tick can
+    /// release buffered successors (reorder resolution) or be preceded by
+    /// synthesised gap columns, each of which may close a round.
+    ///
+    /// A returned error means the tick was **not** consumed — the stream
+    /// state is untouched apart from the late-tick counter.
+    pub fn push_tick(
+        &mut self,
+        seq: u64,
+        readings: &[f64],
+    ) -> Result<Vec<RoundOutcome>, PushError> {
+        if readings.len() != self.n_sensors {
+            return Err(PushError::WidthMismatch {
+                got: readings.len(),
+                expected: self.n_sensors,
+            });
+        }
+        let policy = self.detector.config().gap_policy;
+        if policy == GapPolicy::Fail {
+            if let Some(sensor) = readings.iter().position(|v| v.is_nan()) {
+                return Err(PushError::NanInput { seq, sensor });
+            }
+        }
+        if seq < self.next_seq {
+            self.counters.late_dropped += 1;
+            crate::metrics::stream_late_ticks_total().inc();
+            return Err(PushError::LateTick {
+                seq,
+                next: self.next_seq,
+            });
+        }
+        let slack = self.detector.config().reorder_slack as u64;
+        let mut outcomes = Vec::new();
+        if seq > self.next_seq {
+            if seq - self.next_seq <= slack {
+                self.pending.insert(seq, readings.to_vec());
+                return Ok(outcomes);
+            }
+            // The tick jumped past the reorder window: everything between
+            // the committed position and `seq` that is not sitting in the
+            // buffer is lost and must be synthesised as a gap.
+            if policy == GapPolicy::Fail {
+                return Err(PushError::GapUnderFailPolicy {
+                    missing_from: self.next_seq,
+                    missing_to: seq,
+                });
+            }
+            while self.next_seq < seq {
+                match self.pending.remove(&self.next_seq) {
+                    Some(row) => self.commit(&row, &mut outcomes),
+                    None => {
+                        self.counters.gaps_filled += 1;
+                        crate::metrics::stream_gaps_filled_total().inc();
+                        let hole = vec![f64::NAN; self.n_sensors];
+                        self.commit(&hole, &mut outcomes);
+                    }
+                }
+            }
+        }
+        self.commit(readings, &mut outcomes);
+        self.drain_pending(&mut outcomes);
+        Ok(outcomes)
+    }
+
+    /// Commit buffered ticks that have become in-order.
+    fn drain_pending(&mut self, outcomes: &mut Vec<RoundOutcome>) {
+        while let Some((&seq, _)) = self.pending.iter().next() {
+            if seq > self.next_seq {
+                break;
+            }
+            let row = self.pending.remove(&seq).expect("key just observed");
+            if seq < self.next_seq {
+                // A buffered duplicate of an already-committed slot (gap
+                // fill overtook it): too late now.
+                self.counters.late_dropped += 1;
+                crate::metrics::stream_late_ticks_total().inc();
+                continue;
+            }
+            self.commit(&row, outcomes);
+        }
+    }
+
+    /// Commit one column at the stream's current position, routing NaN
+    /// through the gap policy, and run a detection round if it completes.
+    fn commit(&mut self, readings: &[f64], outcomes: &mut Vec<RoundOutcome>) {
+        let policy = self.detector.config().gap_policy;
         let spec = self.detector.config().window;
         for (i, &v) in readings.iter().enumerate() {
-            self.ring[i * self.w + self.next] = v;
+            let stored = if v.is_nan() {
+                match policy {
+                    GapPolicy::Fail => {
+                        unreachable!("push boundaries reject NaN under GapPolicy::Fail")
+                    }
+                    GapPolicy::Skip => {
+                        self.counters.nan_stored += 1;
+                        crate::metrics::stream_nan_samples_total().inc();
+                        f64::NAN
+                    }
+                    GapPolicy::HoldLast => {
+                        let last = self.last_valid[i];
+                        if last.is_nan() {
+                            // Nothing to hold yet: degrade to Skip.
+                            self.counters.nan_stored += 1;
+                            crate::metrics::stream_nan_samples_total().inc();
+                        } else {
+                            self.counters.held_samples += 1;
+                            crate::metrics::stream_held_samples_total().inc();
+                        }
+                        last
+                    }
+                }
+            } else {
+                self.last_valid[i] = v;
+                v
+            };
+            self.ring[i * self.w + self.next] = stored;
         }
         self.next = (self.next + 1) % self.w;
         self.filled = (self.filled + 1).min(self.w);
         self.fresh += 1;
         self.total += 1;
+        self.next_seq += 1;
         if self.filled < self.w || self.fresh < spec.s {
-            return None;
+            return;
         }
         self.fresh = 0;
         // The ring is full, so the write cursor points at the oldest
@@ -194,7 +515,37 @@ impl StreamingCad {
             w: self.w,
             head: self.next,
         };
-        Some(self.detector.push_window_source(&window))
+        outcomes.push(self.detector.push_window_source(&window));
+    }
+
+    /// Grow or shrink the monitored sensor set to `new_n` without a cold
+    /// restart (see [`CadDetector::reshape_sensors`] for the detector-side
+    /// semantics: warm-up quarantine for joiners, truncation for leavers).
+    ///
+    /// Ring surgery is positional: surviving slots keep their retained
+    /// window verbatim, new slots start as all-NaN rows (their history is
+    /// genuinely missing — which is why growing requires a masked
+    /// [`GapPolicy`]). Buffered out-of-order ticks are re-shaped the same
+    /// way. Round cadence (`filled`/`fresh`) is unaffected.
+    pub fn reshape_sensors(&mut self, new_n: usize) {
+        if new_n == self.n_sensors {
+            return;
+        }
+        self.detector.reshape_sensors(new_n);
+        let mut ring = vec![f64::NAN; new_n * self.w];
+        let common = new_n.min(self.n_sensors);
+        for i in 0..common {
+            ring[i * self.w..(i + 1) * self.w]
+                .copy_from_slice(&self.ring[i * self.w..(i + 1) * self.w]);
+        }
+        self.ring = ring;
+        self.last_valid.truncate(new_n);
+        self.last_valid.resize(new_n, f64::NAN);
+        for row in self.pending.values_mut() {
+            row.truncate(new_n);
+            row.resize(new_n, f64::NAN);
+        }
+        self.n_sensors = new_n;
     }
 }
 
@@ -226,6 +577,17 @@ mod tests {
             .k(1)
             .tau(0.3)
             .theta(0.2)
+            .build()
+    }
+
+    fn policy_config(policy: GapPolicy, slack: usize) -> CadConfig {
+        CadConfig::builder(4)
+            .window(32, 8)
+            .k(1)
+            .tau(0.3)
+            .theta(0.2)
+            .gap_policy(policy)
+            .reorder_slack(slack)
             .build()
     }
 
@@ -391,6 +753,236 @@ mod tests {
     fn wrong_width_sample_panics() {
         let mut stream = StreamingCad::new(CadDetector::new(4, config()));
         stream.push_sample(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected under GapPolicy::Fail")]
+    fn nan_sample_under_fail_policy_panics() {
+        // Satellite regression pin: the seed accepted NaN silently and let
+        // it poison every downstream co-moment. Under the default policy a
+        // NaN must die loudly at the push boundary.
+        let mut stream = StreamingCad::new(CadDetector::new(4, config()));
+        stream.push_sample(&[1.0, f64::NAN, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn push_tick_nan_under_fail_is_error_and_not_consumed() {
+        let data = mts(64);
+        let mut stream = StreamingCad::new(CadDetector::new(4, config()));
+        for t in 0..10 {
+            stream
+                .push_tick(t as u64, &data.column(t))
+                .expect("clean tick");
+        }
+        let before_total = stream.samples_seen();
+        let err = stream
+            .push_tick(10, &[1.0, f64::NAN, 3.0, 4.0])
+            .expect_err("NaN must be rejected");
+        assert_eq!(err, PushError::NanInput { seq: 10, sensor: 1 });
+        assert_eq!(stream.samples_seen(), before_total, "tick not consumed");
+        assert_eq!(stream.next_seq(), 10, "sequence unchanged");
+        // The stream still accepts the corrected tick.
+        stream.push_tick(10, &data.column(10)).expect("retry");
+    }
+
+    #[test]
+    fn skip_policy_accepts_nan_and_keeps_round_cadence() {
+        let data = mts(400);
+        let mut stream = StreamingCad::new(CadDetector::new(4, policy_config(GapPolicy::Skip, 0)));
+        let mut rounds = 0;
+        for t in 0..data.len() {
+            let mut col = data.column(t);
+            if t % 7 == 3 {
+                col[t % 4] = f64::NAN;
+            }
+            rounds += stream
+                .push_tick(t as u64, &col)
+                .expect("skip accepts NaN")
+                .len();
+        }
+        assert_eq!(rounds, (400 - 32) / 8 + 1, "cadence unaffected by holes");
+        assert!(stream.counters().nan_stored > 0);
+    }
+
+    #[test]
+    fn hold_last_substitutes_last_valid_value() {
+        let mut stream =
+            StreamingCad::new(CadDetector::new(4, policy_config(GapPolicy::HoldLast, 0)));
+        stream.push_tick(0, &[1.0, 2.0, 3.0, 4.0]).expect("clean");
+        stream
+            .push_tick(1, &[f64::NAN, 2.5, f64::NAN, 4.5])
+            .expect("held");
+        // Ring position 1 must hold the substituted values.
+        assert_eq!(stream.ring[1], 1.0, "sensor 0 held");
+        assert_eq!(stream.ring[2 * 32 + 1], 3.0, "sensor 2 held");
+        assert_eq!(stream.ring[32 + 1], 2.5);
+        assert_eq!(stream.counters().held_samples, 2);
+        assert_eq!(stream.counters().nan_stored, 0);
+    }
+
+    #[test]
+    fn hold_last_before_first_valid_degrades_to_skip() {
+        let mut stream =
+            StreamingCad::new(CadDetector::new(4, policy_config(GapPolicy::HoldLast, 0)));
+        stream
+            .push_tick(0, &[f64::NAN, 2.0, 3.0, 4.0])
+            .expect("accepted");
+        assert!(stream.ring[0].is_nan(), "nothing to hold yet: stored NaN");
+        assert_eq!(stream.counters().nan_stored, 1);
+    }
+
+    #[test]
+    fn reorder_within_slack_matches_in_order_delivery() {
+        let data = mts(240);
+        let run = |shuffle: bool| {
+            let mut s = StreamingCad::new(CadDetector::new(4, policy_config(GapPolicy::Skip, 4)));
+            let mut out = Vec::new();
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            if shuffle {
+                // Swap every adjacent pair: lag-1 reordering, within slack.
+                for pair in order.chunks_exact_mut(2) {
+                    pair.swap(0, 1);
+                }
+            }
+            for &t in &order {
+                out.extend(s.push_tick(t as u64, &data.column(t)).expect("tick"));
+            }
+            (out, s.counters())
+        };
+        let (a, ca) = run(false);
+        let (b, cb) = run(true);
+        assert_eq!(a, b, "reorder resolution must be invisible to rounds");
+        assert_eq!(ca.gaps_filled, 0);
+        assert_eq!(cb.gaps_filled, 0);
+        assert_eq!(cb.late_dropped, 0);
+    }
+
+    #[test]
+    fn late_tick_is_rejected_and_counted() {
+        let data = mts(64);
+        let mut stream = StreamingCad::new(CadDetector::new(4, policy_config(GapPolicy::Skip, 2)));
+        for t in 0..10 {
+            stream.push_tick(t as u64, &data.column(t)).expect("tick");
+        }
+        let err = stream
+            .push_tick(3, &data.column(3))
+            .expect_err("slot 3 already committed");
+        assert_eq!(err, PushError::LateTick { seq: 3, next: 10 });
+        assert_eq!(stream.counters().late_dropped, 1);
+    }
+
+    #[test]
+    fn gap_beyond_slack_fills_nan_columns() {
+        let data = mts(64);
+        let mut stream = StreamingCad::new(CadDetector::new(4, policy_config(GapPolicy::Skip, 2)));
+        for t in 0..5 {
+            stream.push_tick(t as u64, &data.column(t)).expect("tick");
+        }
+        // Jump to 10: ticks 5..10 are lost (5 > slack 2) and synthesised.
+        stream.push_tick(10, &data.column(10)).expect("gap fill");
+        assert_eq!(stream.samples_seen(), 11);
+        assert_eq!(stream.next_seq(), 11);
+        assert_eq!(stream.counters().gaps_filled, 5);
+        // The synthesised columns are NaN in the ring.
+        for p in 5..10 {
+            for i in 0..4 {
+                assert!(stream.ring[i * 32 + p].is_nan(), "slot {i} pos {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn gap_beyond_slack_under_fail_policy_is_error() {
+        let data = mts(64);
+        let mut stream = StreamingCad::new(CadDetector::new(4, policy_config(GapPolicy::Fail, 2)));
+        for t in 0..5 {
+            stream.push_tick(t as u64, &data.column(t)).expect("tick");
+        }
+        let err = stream
+            .push_tick(10, &data.column(10))
+            .expect_err("gap under Fail");
+        assert_eq!(
+            err,
+            PushError::GapUnderFailPolicy {
+                missing_from: 5,
+                missing_to: 10
+            }
+        );
+        assert_eq!(stream.samples_seen(), 5, "stream untouched");
+    }
+
+    #[test]
+    fn reorder_under_fail_policy_works_when_nothing_is_lost() {
+        // Fail forbids holes, not buffering: a late-but-within-slack tick
+        // stream with no actual loss must behave exactly like in-order.
+        let data = mts(201);
+        let mut in_order =
+            StreamingCad::new(CadDetector::new(4, policy_config(GapPolicy::Fail, 3)));
+        let mut shuffled =
+            StreamingCad::new(CadDetector::new(4, policy_config(GapPolicy::Fail, 3)));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for t in 0..data.len() {
+            a.extend(in_order.push_tick(t as u64, &data.column(t)).expect("tick"));
+        }
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for tri in order.chunks_exact_mut(3) {
+            tri.rotate_left(1);
+        }
+        for &t in &order {
+            b.extend(shuffled.push_tick(t as u64, &data.column(t)).expect("tick"));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a masked gap policy")]
+    fn grow_under_fail_policy_rejected() {
+        let mut stream = StreamingCad::new(CadDetector::new(4, config()));
+        stream.reshape_sensors(6);
+    }
+
+    #[test]
+    fn shrink_under_fail_policy_keeps_streaming() {
+        let data = mts(200);
+        let mut stream = StreamingCad::new(CadDetector::new(4, config()));
+        for t in 0..100 {
+            stream.push_sample(&data.column(t));
+        }
+        stream.reshape_sensors(2);
+        assert_eq!(stream.detector().n_sensors(), 2);
+        let mut rounds = 0;
+        for t in 100..200 {
+            let col = &data.column(t)[..2];
+            rounds += stream.push_tick(t as u64, col).expect("tick").len();
+        }
+        assert!(rounds > 0, "rounds keep firing after shrink");
+    }
+
+    #[test]
+    fn grow_under_masked_policy_streams_wider_columns() {
+        let data = mts(300);
+        let mut stream = StreamingCad::new(CadDetector::new(4, policy_config(GapPolicy::Skip, 0)));
+        for t in 0..150 {
+            stream.push_tick(t as u64, &data.column(t)).expect("tick");
+        }
+        stream.reshape_sensors(6);
+        assert_eq!(stream.detector().n_sensors(), 6);
+        // The joiner rows are all-NaN history.
+        for p in 0..32 {
+            assert!(stream.ring[4 * 32 + p].is_nan());
+            assert!(stream.ring[5 * 32 + p].is_nan());
+        }
+        let mut rounds = 0;
+        for t in 150..300 {
+            let mut col = data.column(t);
+            let x = (t as f64 * 0.11).sin();
+            col.push(x);
+            col.push(0.8 * x - 0.1);
+            rounds += stream.push_tick(t as u64, &col).expect("tick").len();
+        }
+        assert!(rounds > 0, "rounds keep firing after grow");
+        assert_eq!(stream.samples_seen(), 300);
     }
 
     #[test]

@@ -1,0 +1,444 @@
+//! Hostile-stream scenario suite: the executable specification for what
+//! `StreamingCad` does on degraded input.
+//!
+//! Every scenario is a seeded `cad-datagen` mutator pipeline, so a run is
+//! a pure function of the seed; every consumer-side effect — rounds,
+//! rejections, reshape refusals, degraded-input counters — is folded into
+//! a textual fingerprint and compared across engines, thread counts,
+//! repeated runs and a mid-churn save/load split. Because `Debug` prints
+//! `f64` with shortest-roundtrip precision, fingerprint equality at
+//! [`Detail::Bits`] is bit-identity of every emitted number (including
+//! NaN, which `PartialEq` would reject).
+//!
+//! Two fingerprint levels mirror the repo's existing engine-parity
+//! conventions:
+//!
+//! * [`Detail::Bits`] — full `RoundOutcome` debug dumps. Required for
+//!   determinism, thread invariance, save/load resume, and exact vs
+//!   `rebuild_every: 1` incremental (which degenerates to a rebuild per
+//!   round — the same arithmetic, therefore the same bits).
+//! * [`Detail::Discrete`] — `n_r`, the verdict and the outlier set only.
+//!   Required for exact vs *sliding* incremental, where co-moments are
+//!   updated by add/subtract rather than recomputed and floats may differ
+//!   in the last ulps (the 1e-9 oracle bound lives in `cad-stats`
+//!   proptests); the detection-level outcome must still agree exactly.
+
+use std::fmt::Write as _;
+
+use cad_core::{
+    load_stream, save_stream, CadConfig, CadDetector, EngineChoice, GapPolicy, StreamingCad,
+};
+use cad_datagen::{
+    Churn, CorruptionEvent, CorruptionKind, Drift, DutyCycle, Gap, HostileStream, NanBurst,
+    Reorder, StreamEvent,
+};
+use cad_mts::Mts;
+use cad_runtime::with_thread_override;
+
+const N: usize = 4;
+const LEN: usize = 420;
+const W: usize = 32;
+const S: usize = 8;
+const SLACK: usize = 4;
+
+/// Two correlated sensor families, same shape as the `stream.rs` unit
+/// fixtures, long enough for the churn window to open and close.
+fn clean() -> Mts {
+    let a: Vec<f64> = (0..LEN).map(|t| (t as f64 * 0.2).sin()).collect();
+    let b: Vec<f64> = a.iter().map(|x| 0.7 * x + 0.2).collect();
+    let c: Vec<f64> = (0..LEN).map(|t| (t as f64 * 0.45).cos()).collect();
+    let d: Vec<f64> = c.iter().map(|x| -0.9 * x).collect();
+    Mts::from_series(vec![a, b, c, d])
+}
+
+const SCENARIOS: &[&str] = &[
+    "reorder",
+    "gap",
+    "nan_burst",
+    "duty_cycle",
+    "drift",
+    "churn",
+    "everything",
+];
+
+const POLICIES: &[GapPolicy] = &[GapPolicy::Fail, GapPolicy::Skip, GapPolicy::HoldLast];
+
+/// One named mutator pipeline over the clean fixture. Rebuilding the
+/// pipeline from the same seed must reproduce the event stream exactly —
+/// the determinism tests rely on calling this twice.
+fn scenario(name: &str, seed: u64) -> (Vec<StreamEvent>, Vec<CorruptionEvent>) {
+    let hostile = HostileStream::new(seed);
+    let hostile = match name {
+        "reorder" => hostile.with(Reorder::new(0.2, 6)),
+        "gap" => hostile.with(Gap::new(0.07, 2)),
+        "nan_burst" => hostile.with(NanBurst::new(0.1, 3)),
+        "duty_cycle" => hostile.with(DutyCycle::new(1, 24, 8)),
+        "drift" => hostile.with(Drift::new(2, 0.01)),
+        "churn" => hostile.with(Churn::new(120, 300)),
+        // Everything at once; Reorder last so even the churn-widened wire
+        // arrives out of order.
+        "everything" => hostile
+            .with(Drift::new(2, 0.005))
+            .with(DutyCycle::new(1, 24, 8))
+            .with(NanBurst::new(0.05, 2))
+            .with(Churn::new(120, 300))
+            .with(Gap::new(0.04, 2))
+            .with(Reorder::new(0.12, 2)),
+        other => panic!("unknown scenario {other}"),
+    };
+    hostile.run(&clean())
+}
+
+/// How much of each round lands in the fingerprint (see module docs).
+#[derive(Clone, Copy, PartialEq)]
+enum Detail {
+    Bits,
+    Discrete,
+}
+
+fn stream_for(engine: EngineChoice, policy: GapPolicy, slack: usize) -> StreamingCad {
+    let cfg = CadConfig::builder(N)
+        .window(W, S)
+        .k(1)
+        .tau(0.3)
+        .theta(0.2)
+        .engine(engine)
+        .gap_policy(policy)
+        .reorder_slack(slack)
+        .build();
+    StreamingCad::new(CadDetector::new(N, cfg))
+}
+
+/// Feed `events` through the stream, appending every observable effect to
+/// `log`. Mirrors the serve-side admission rules: growing the sensor set
+/// under `GapPolicy::Fail` is refused (and recorded) instead of reaching
+/// the detector's assert — a hostile reshape must never panic a consumer.
+fn run_events(stream: &mut StreamingCad, events: &[StreamEvent], detail: Detail, log: &mut String) {
+    for ev in events {
+        match ev {
+            StreamEvent::Reshape { n_sensors } => {
+                let cur = stream.detector().n_sensors();
+                let masked = stream.detector().config().gap_policy.is_masked();
+                if *n_sensors > cur && !masked {
+                    writeln!(
+                        log,
+                        "reshape {cur}->{n_sensors}: refused (grow needs masked policy)"
+                    )
+                    .unwrap();
+                } else {
+                    stream.reshape_sensors(*n_sensors);
+                    writeln!(log, "reshape {cur}->{n_sensors}: ok").unwrap();
+                }
+            }
+            StreamEvent::Tick { seq, values } => match stream.push_tick(*seq, values) {
+                Ok(outcomes) => {
+                    for o in outcomes {
+                        match detail {
+                            Detail::Bits => writeln!(log, "round: {o:?}").unwrap(),
+                            Detail::Discrete => writeln!(
+                                log,
+                                "round: n_r={} abnormal={} outliers={:?}",
+                                o.n_r, o.abnormal, o.outliers
+                            )
+                            .unwrap(),
+                        }
+                    }
+                }
+                Err(e) => writeln!(log, "tick {seq}: rejected: {e:?}").unwrap(),
+            },
+        }
+    }
+}
+
+/// Trailing accounting: the degraded-input counters and stream cursors are
+/// part of the specification, not just the rounds.
+fn finish(stream: &StreamingCad, log: &mut String) {
+    writeln!(log, "counters: {:?}", stream.counters()).unwrap();
+    writeln!(
+        log,
+        "samples_seen={} pending={} next_seq={}",
+        stream.samples_seen(),
+        stream.pending_ticks(),
+        stream.next_seq()
+    )
+    .unwrap();
+}
+
+fn drive(
+    events: &[StreamEvent],
+    engine: EngineChoice,
+    policy: GapPolicy,
+    detail: Detail,
+) -> String {
+    let mut stream = stream_for(engine, policy, SLACK);
+    let mut log = String::new();
+    run_events(&mut stream, events, detail, &mut log);
+    finish(&stream, &mut log);
+    log
+}
+
+const SLIDING: EngineChoice = EngineChoice::Incremental { rebuild_every: 4 };
+
+/// Every mutator × every gap policy: the exact engine, the degenerate
+/// (rebuild-every-round) incremental engine and a re-seeded repeat all
+/// produce bit-identical fingerprints, and the sliding incremental engine
+/// reaches the same detection outcomes.
+#[test]
+fn every_mutator_under_every_policy_matches_across_engines() {
+    for &name in SCENARIOS {
+        for &policy in POLICIES {
+            let (events, _) = scenario(name, 9);
+            let exact = drive(&events, EngineChoice::Exact, policy, Detail::Bits);
+
+            let incr1 = drive(
+                &events,
+                EngineChoice::Incremental { rebuild_every: 1 },
+                policy,
+                Detail::Bits,
+            );
+            assert_eq!(
+                exact, incr1,
+                "{name}/{policy:?}: exact vs rebuild-every-round incremental"
+            );
+
+            let exact_discrete = drive(&events, EngineChoice::Exact, policy, Detail::Discrete);
+            let sliding = drive(&events, SLIDING, policy, Detail::Discrete);
+            assert_eq!(
+                exact_discrete, sliding,
+                "{name}/{policy:?}: exact vs sliding incremental"
+            );
+
+            // Same seed, fresh pipeline, fresh stream: byte-for-byte rerun.
+            let (events2, _) = scenario(name, 9);
+            let exact2 = drive(&events2, EngineChoice::Exact, policy, Detail::Bits);
+            assert_eq!(exact, exact2, "{name}/{policy:?}: determinism");
+        }
+    }
+}
+
+/// The truth track itself is a pure function of the seed.
+#[test]
+fn same_seed_reproduces_events_and_truth_track() {
+    let (events_a, truth_a) = scenario("everything", 17);
+    let (events_b, truth_b) = scenario("everything", 17);
+    assert_eq!(format!("{events_a:?}"), format!("{events_b:?}"));
+    assert_eq!(format!("{truth_a:?}"), format!("{truth_b:?}"));
+    let (events_c, _) = scenario("everything", 18);
+    assert_ne!(format!("{events_a:?}"), format!("{events_c:?}"));
+}
+
+/// Worker-thread count must never leak into results: 1 vs 4 threads,
+/// both engines, full bit fingerprints, under the all-mutators scenario.
+#[test]
+fn thread_count_never_changes_results() {
+    for &policy in POLICIES {
+        let (events, _) = scenario("everything", 21);
+        for engine in [EngineChoice::Exact, SLIDING] {
+            let one = with_thread_override(1, || drive(&events, engine, policy, Detail::Bits));
+            let four = with_thread_override(4, || drive(&events, engine, policy, Detail::Bits));
+            assert_eq!(one, four, "{policy:?}/{engine:?}: 1 vs 4 threads");
+        }
+    }
+}
+
+/// Saving mid-churn — inside the window where the joined sensor is still
+/// warming up, with reorder buffer and degraded-input counters live — and
+/// loading into a fresh process must continue bit-identically with the
+/// uninterrupted run.
+#[test]
+fn mid_churn_save_load_resumes_bit_identically() {
+    let (events, _) = scenario("everything", 33);
+    let join_idx = events
+        .iter()
+        .position(|e| matches!(e, StreamEvent::Reshape { n_sensors } if *n_sensors > N))
+        .expect("the everything scenario churns");
+    let cut = join_idx + 40;
+    assert!(cut < events.len(), "cut must land mid-stream");
+
+    for engine in [EngineChoice::Exact, SLIDING] {
+        let uninterrupted = drive(&events, engine, GapPolicy::Skip, Detail::Bits);
+
+        let mut stream = stream_for(engine, GapPolicy::Skip, SLACK);
+        let mut log = String::new();
+        run_events(&mut stream, &events[..cut], Detail::Bits, &mut log);
+        let mut buf = Vec::new();
+        save_stream(&stream, &mut buf).unwrap();
+        drop(stream);
+        let mut restored = load_stream(&buf[..]).unwrap();
+        run_events(&mut restored, &events[cut..], Detail::Bits, &mut log);
+        finish(&restored, &mut log);
+
+        assert_eq!(log, uninterrupted, "{engine:?}: save/load at event {cut}");
+    }
+}
+
+/// Churn under a masked policy is a live reconfiguration: round cadence is
+/// unchanged through both reshapes and no tick is rejected.
+#[test]
+fn churn_under_masked_policy_streams_without_cold_restart() {
+    let (events, _) = scenario("churn", 9);
+    let mut stream = stream_for(SLIDING, GapPolicy::Skip, SLACK);
+    let mut rounds = 0usize;
+    for ev in &events {
+        match ev {
+            StreamEvent::Reshape { n_sensors } => stream.reshape_sensors(*n_sensors),
+            StreamEvent::Tick { seq, values } => {
+                rounds += stream.push_tick(*seq, values).expect("in-order tick").len();
+            }
+        }
+    }
+    // Churn drops nothing and reshape does not disturb `filled`/`fresh`:
+    // the cadence is exactly the clean-stream round count.
+    assert_eq!(rounds, 1 + (LEN - W) / S);
+    assert_eq!(stream.samples_seen(), LEN);
+    assert_eq!(stream.detector().n_sensors(), N, "the joiner left again");
+}
+
+/// Under `GapPolicy::Fail` a grow is refused without panicking, the wider
+/// ticks die loudly as width mismatches, and the stream never silently
+/// resynchronises over the hole the refusal left behind.
+#[test]
+fn churn_grow_is_refused_under_fail_policy_without_panic() {
+    let (events, _) = scenario("churn", 9);
+    let log = drive(&events, EngineChoice::Exact, GapPolicy::Fail, Detail::Bits);
+    assert!(log.contains("refused (grow needs masked policy)"), "{log}");
+    assert!(log.contains("WidthMismatch"), "{log}");
+    assert!(log.contains("GapUnderFailPolicy"), "{log}");
+}
+
+/// Accounting: every tick a `Gap` mutator drops is either synthesised as
+/// an all-NaN column (counted in `gaps_filled`) or still unreached at end
+/// of stream. With zero reorder slack the fill happens immediately, so the
+/// counter equals the truth track exactly.
+#[test]
+fn dropped_ticks_are_gap_filled_and_accounted() {
+    let (events, truth) = scenario("gap", 5);
+    let mut stream = stream_for(SLIDING, GapPolicy::Skip, 0);
+    let mut log = String::new();
+    run_events(&mut stream, &events, Detail::Discrete, &mut log);
+
+    let max_emitted = events.iter().filter_map(|e| e.seq()).max().unwrap();
+    let fillable = truth
+        .iter()
+        .filter(|c| matches!(c.kind, CorruptionKind::Dropped) && c.seq < max_emitted)
+        .count();
+    assert!(fillable > 0, "scenario must actually drop ticks");
+    assert_eq!(stream.counters().gaps_filled as usize, fillable);
+    // Every slot up to the last arrival is committed: real or synthesised.
+    assert_eq!(stream.samples_seen() as u64, max_emitted + 1);
+    assert_eq!(stream.pending_ticks(), 0);
+}
+
+/// Accounting: every NaN the mutators inject is stored as a hole (Skip)
+/// or substituted (HoldLast) — the sum of the two counters equals the
+/// truth track; nothing is silently absorbed.
+#[test]
+fn injected_nans_are_stored_or_held_never_silent() {
+    let (events, truth) = scenario("nan_burst", 7);
+    let injected: usize = truth
+        .iter()
+        .map(|c| match &c.kind {
+            CorruptionKind::NanInjected { sensors } => sensors.len(),
+            _ => 0,
+        })
+        .sum();
+    assert!(injected > 0, "scenario must actually inject NaN");
+
+    for &policy in &[GapPolicy::Skip, GapPolicy::HoldLast] {
+        let mut stream = stream_for(EngineChoice::Exact, policy, SLACK);
+        let mut log = String::new();
+        run_events(&mut stream, &events, Detail::Discrete, &mut log);
+        let c = stream.counters();
+        assert_eq!(
+            (c.nan_stored + c.held_samples) as usize,
+            injected,
+            "{policy:?}: every injected NaN accounted for"
+        );
+        if policy == GapPolicy::HoldLast {
+            assert!(c.held_samples > 0, "hold-last must substitute");
+        }
+    }
+}
+
+/// Under the strict policy the first NaN halts ingestion loudly: the tick
+/// is rejected un-consumed and the stream refuses to skip past the hole.
+#[test]
+fn nan_under_fail_policy_halts_loudly() {
+    let (events, truth) = scenario("nan_burst", 7);
+    let first_bad = truth
+        .iter()
+        .find(|c| matches!(c.kind, CorruptionKind::NanInjected { .. }))
+        .map(|c| c.seq)
+        .unwrap();
+    let mut stream = stream_for(EngineChoice::Exact, GapPolicy::Fail, 0);
+    let mut log = String::new();
+    run_events(&mut stream, &events, Detail::Discrete, &mut log);
+    assert_eq!(stream.samples_seen() as u64, first_bad);
+    assert!(log.contains("NanInput"), "{log}");
+    let c = stream.counters();
+    assert_eq!(c.nan_stored + c.held_samples + c.gaps_filled, 0);
+}
+
+/// No silent tick loss under reorder: with `max_lag` beyond the slack,
+/// every emitted tick is either committed as itself, still buffered, or
+/// counted in `late_dropped`; holes it left behind are counted in
+/// `gaps_filled`. The four numbers reconcile exactly.
+#[test]
+fn reordered_ticks_commit_or_count_never_vanish() {
+    let (events, _) = scenario("reorder", 11);
+    let total = events.iter().filter(|e| e.seq().is_some()).count();
+    assert_eq!(total, LEN, "reorder never drops ticks");
+
+    let mut stream = stream_for(SLIDING, GapPolicy::Skip, SLACK);
+    let mut log = String::new();
+    run_events(&mut stream, &events, Detail::Discrete, &mut log);
+    let c = stream.counters();
+    let committed_real = stream.samples_seen() - c.gaps_filled as usize;
+    assert_eq!(
+        committed_real + stream.pending_ticks() + c.late_dropped as usize,
+        total,
+        "every tick accounted for: {c:?}"
+    );
+    assert!(
+        c.late_dropped > 0,
+        "slack {SLACK} < max_lag must drop: {c:?}"
+    );
+    assert!(c.gaps_filled > 0, "late slots must be synthesised: {c:?}");
+}
+
+/// `Skip` and `HoldLast` are genuinely different semantics on a
+/// duty-cycled sensor, and each routes every off-phase sample into its own
+/// counter.
+#[test]
+fn duty_cycle_distinguishes_skip_from_hold_last() {
+    let (events, truth) = scenario("duty_cycle", 9);
+    let off_samples: usize = truth
+        .iter()
+        .map(|c| match c.kind {
+            CorruptionKind::PoweredOff { len, .. } => len,
+            _ => 0,
+        })
+        .sum();
+    assert!(off_samples > 0);
+
+    let skip = drive(&events, EngineChoice::Exact, GapPolicy::Skip, Detail::Bits);
+    let hold = drive(
+        &events,
+        EngineChoice::Exact,
+        GapPolicy::HoldLast,
+        Detail::Bits,
+    );
+    assert_ne!(skip, hold, "policies must be observably different");
+
+    let mut s = stream_for(EngineChoice::Exact, GapPolicy::Skip, SLACK);
+    run_events(&mut s, &events, Detail::Discrete, &mut String::new());
+    assert_eq!(s.counters().nan_stored as usize, off_samples);
+    assert_eq!(s.counters().held_samples, 0);
+
+    // The duty cycle starts in its on phase, so hold-last always has a
+    // valid sample to pin: every off-phase sample is a substitution.
+    let mut h = stream_for(EngineChoice::Exact, GapPolicy::HoldLast, SLACK);
+    run_events(&mut h, &events, Detail::Discrete, &mut String::new());
+    assert_eq!(h.counters().held_samples as usize, off_samples);
+    assert_eq!(h.counters().nan_stored, 0);
+}

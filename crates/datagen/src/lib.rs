@@ -21,10 +21,15 @@
 
 pub mod anomaly;
 pub mod generator;
+pub mod mutator;
 pub mod profiles;
 pub mod signal;
 
 pub use anomaly::{AnomalyKind, AnomalySpec};
 pub use generator::{Dataset, GeneratorConfig};
+pub use mutator::{
+    Churn, CorruptionEvent, CorruptionKind, Drift, DutyCycle, Gap, HostileStream, NanBurst,
+    Reorder, StreamEvent, StreamMutator,
+};
 pub use profiles::{all_profiles, DatasetProfile};
 pub use signal::{Ar1, SignalBank, SinusoidMix, Waveform};

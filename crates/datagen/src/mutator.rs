@@ -1,0 +1,806 @@
+//! Composable hostile-stream mutators.
+//!
+//! Real sensor fleets do not deliver the tidy column-per-tick stream the
+//! detector's unit tests enjoy: packets arrive late, radios duty-cycle,
+//! gauges drop out mid-burst, calibration drifts, and sensors join or
+//! leave the fleet without anyone restarting the pipeline. This module
+//! turns any clean [`Mts`] into that hostile wire format: a pipeline of
+//! [`StreamMutator`] stages, each corrupting the event stream in one
+//! specific way, every corruption recorded in a truth track so tests can
+//! assert *exactly* what the consumer should have survived.
+//!
+//! Everything is a pure function of the seed: two runs with the same
+//! mutators and seed produce identical event and truth sequences, which is
+//! what lets the hostile-stream scenario suite compare engines and thread
+//! counts bit-for-bit.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use cad_mts::Mts;
+
+/// One event on the hostile wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A sensor column stamped with its source tick sequence number.
+    Tick {
+        /// Source position in the clean stream (never rewritten by
+        /// mutators — a reordered tick keeps its original seq).
+        seq: u64,
+        /// One reading per currently-live sensor.
+        values: Vec<f64>,
+    },
+    /// The fleet width changes: every later tick has `n_sensors` values
+    /// until the next reshape.
+    Reshape {
+        /// New fleet width.
+        n_sensors: usize,
+    },
+}
+
+impl StreamEvent {
+    /// The tick sequence number, if this is a tick.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            StreamEvent::Tick { seq, .. } => Some(*seq),
+            StreamEvent::Reshape { .. } => None,
+        }
+    }
+}
+
+/// What a mutator did, recorded in the truth track.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorruptionKind {
+    /// The tick was emitted `by` input ticks later than its turn.
+    Delayed {
+        /// Lag in input ticks (≤ the mutator's `max_lag`).
+        by: usize,
+    },
+    /// The tick was dropped entirely; the consumer sees a gap.
+    Dropped,
+    /// These sensors read NaN on this tick.
+    NanInjected {
+        /// Affected sensor indices.
+        sensors: Vec<usize>,
+    },
+    /// A duty-cycled sensor entered its off phase (NaN for `len` ticks).
+    PoweredOff {
+        /// The duty-cycled sensor.
+        sensor: usize,
+        /// Length of the off phase in ticks.
+        len: usize,
+    },
+    /// A sensor started drifting linearly (`value += slope · t`).
+    DriftStarted {
+        /// The drifting sensor.
+        sensor: usize,
+        /// Drift added per tick.
+        slope: f64,
+    },
+    /// A sensor joined; the wire is `width` columns from here on.
+    Joined {
+        /// Fleet width after the join.
+        width: usize,
+    },
+    /// A sensor left; the wire is `width` columns from here on.
+    Left {
+        /// Fleet width after the leave.
+        width: usize,
+    },
+}
+
+/// One corruption: which tick it hit and what happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptionEvent {
+    /// Sequence number of the affected tick.
+    pub seq: u64,
+    /// What the mutator did.
+    pub kind: CorruptionKind,
+}
+
+/// Shared per-run state handed to every mutator call: the seeded RNG and
+/// the truth track.
+pub struct MutatorCtx<'a> {
+    /// Pipeline RNG — all randomness flows through here, so the run is a
+    /// pure function of the seed.
+    pub rng: &'a mut StdRng,
+    /// Append-only record of every injected corruption.
+    pub truth: &'a mut Vec<CorruptionEvent>,
+}
+
+impl MutatorCtx<'_> {
+    fn record(&mut self, seq: u64, kind: CorruptionKind) {
+        self.truth.push(CorruptionEvent { seq, kind });
+    }
+}
+
+/// A stream corruption stage. Stages compose: the pipeline feeds each
+/// event through every stage in order, and a stage may emit zero events
+/// (drop), one (pass/modify) or several (release buffered ticks).
+pub trait StreamMutator {
+    /// Process one event, emitting downstream events in order.
+    fn apply(&mut self, ev: StreamEvent, ctx: &mut MutatorCtx<'_>) -> Vec<StreamEvent>;
+
+    /// End of stream: emit anything still buffered.
+    fn flush(&mut self, ctx: &mut MutatorCtx<'_>) -> Vec<StreamEvent> {
+        let _ = ctx;
+        Vec::new()
+    }
+}
+
+/// Delays random ticks by up to `max_lag` input ticks, emitting them out
+/// of order. Sequence numbers are preserved — the consumer's reorder
+/// buffer (or late-tick rejection) is what's under test.
+#[derive(Debug)]
+pub struct Reorder {
+    /// Probability a tick is delayed.
+    pub p: f64,
+    /// Maximum delay in input ticks.
+    pub max_lag: usize,
+    clock: u64,
+    held: Vec<(u64, StreamEvent)>,
+}
+
+impl Reorder {
+    /// New reorder stage.
+    pub fn new(p: f64, max_lag: usize) -> Self {
+        Self {
+            p,
+            max_lag,
+            clock: 0,
+            held: Vec::new(),
+        }
+    }
+
+    fn release_due(&mut self, out: &mut Vec<StreamEvent>) {
+        let held = std::mem::take(&mut self.held);
+        let (mut due, keep): (Vec<_>, Vec<_>) =
+            held.into_iter().partition(|(at, _)| *at <= self.clock);
+        self.held = keep;
+        due.sort_by_key(|(at, ev)| (*at, ev.seq()));
+        out.extend(due.into_iter().map(|(_, ev)| ev));
+    }
+
+    fn release_all(&mut self, out: &mut Vec<StreamEvent>) {
+        let mut held = std::mem::take(&mut self.held);
+        held.sort_by_key(|(at, ev)| (*at, ev.seq()));
+        out.extend(held.into_iter().map(|(_, ev)| ev));
+    }
+}
+
+impl StreamMutator for Reorder {
+    fn apply(&mut self, ev: StreamEvent, ctx: &mut MutatorCtx<'_>) -> Vec<StreamEvent> {
+        let mut out = Vec::new();
+        match ev {
+            tick @ StreamEvent::Tick { .. } => {
+                self.clock += 1;
+                if self.max_lag > 0 && ctx.rng.gen_bool(self.p) {
+                    let by = ctx.rng.gen_range(1..=self.max_lag);
+                    ctx.record(tick.seq().unwrap(), CorruptionKind::Delayed { by });
+                    self.held.push((self.clock + by as u64, tick));
+                } else {
+                    out.push(tick);
+                }
+                self.release_due(&mut out);
+            }
+            reshape @ StreamEvent::Reshape { .. } => {
+                // A width change fences the buffer: a tick must never cross
+                // a reshape, or its column count would be wrong on arrival.
+                self.release_all(&mut out);
+                out.push(reshape);
+            }
+        }
+        out
+    }
+
+    fn flush(&mut self, _ctx: &mut MutatorCtx<'_>) -> Vec<StreamEvent> {
+        let mut out = Vec::new();
+        self.release_all(&mut out);
+        out
+    }
+}
+
+/// Drops runs of consecutive ticks entirely (a transport outage). The
+/// consumer sees the sequence numbers jump.
+#[derive(Debug)]
+pub struct Gap {
+    /// Probability a new outage starts on a delivered tick.
+    pub p: f64,
+    /// Maximum outage length in ticks.
+    pub max_len: usize,
+    remaining: usize,
+}
+
+impl Gap {
+    /// New gap stage.
+    pub fn new(p: f64, max_len: usize) -> Self {
+        Self {
+            p,
+            max_len,
+            remaining: 0,
+        }
+    }
+}
+
+impl StreamMutator for Gap {
+    fn apply(&mut self, ev: StreamEvent, ctx: &mut MutatorCtx<'_>) -> Vec<StreamEvent> {
+        let StreamEvent::Tick { seq, .. } = ev else {
+            return vec![ev];
+        };
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.record(seq, CorruptionKind::Dropped);
+            return Vec::new();
+        }
+        if self.max_len > 0 && ctx.rng.gen_bool(self.p) {
+            self.remaining = ctx.rng.gen_range(1..=self.max_len) - 1;
+            ctx.record(seq, CorruptionKind::Dropped);
+            return Vec::new();
+        }
+        vec![ev]
+    }
+}
+
+/// Replaces a random subset of sensors with NaN for a burst of ticks —
+/// the classic flaky-gauge failure.
+#[derive(Debug)]
+pub struct NanBurst {
+    /// Probability a new burst starts on a clean tick.
+    pub p: f64,
+    /// Maximum burst length in ticks.
+    pub max_len: usize,
+    remaining: usize,
+    sensors: Vec<usize>,
+}
+
+impl NanBurst {
+    /// New NaN-burst stage.
+    pub fn new(p: f64, max_len: usize) -> Self {
+        Self {
+            p,
+            max_len,
+            remaining: 0,
+            sensors: Vec::new(),
+        }
+    }
+}
+
+impl StreamMutator for NanBurst {
+    fn apply(&mut self, ev: StreamEvent, ctx: &mut MutatorCtx<'_>) -> Vec<StreamEvent> {
+        let StreamEvent::Tick { seq, mut values } = ev else {
+            return vec![ev];
+        };
+        if self.remaining == 0 && self.max_len > 0 && ctx.rng.gen_bool(self.p) {
+            self.remaining = ctx.rng.gen_range(1..=self.max_len);
+            self.sensors = (0..values.len())
+                .filter(|_| ctx.rng.gen_bool(0.5))
+                .collect();
+            if self.sensors.is_empty() && !values.is_empty() {
+                self.sensors.push(ctx.rng.gen_range(0..values.len()));
+            }
+        }
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let hit: Vec<usize> = self
+                .sensors
+                .iter()
+                .copied()
+                .filter(|&s| s < values.len())
+                .collect();
+            for &s in &hit {
+                values[s] = f64::NAN;
+            }
+            if !hit.is_empty() {
+                ctx.record(seq, CorruptionKind::NanInjected { sensors: hit });
+            }
+        }
+        vec![StreamEvent::Tick { seq, values }]
+    }
+}
+
+/// Powers one sensor down periodically: `on` ticks of readings, then
+/// `off` ticks of NaN, forever — a radio on a duty cycle.
+#[derive(Debug)]
+pub struct DutyCycle {
+    /// The duty-cycled sensor.
+    pub sensor: usize,
+    /// Ticks awake per period.
+    pub on: usize,
+    /// Ticks asleep (NaN) per period.
+    pub off: usize,
+    phase: usize,
+}
+
+impl DutyCycle {
+    /// New duty-cycle stage.
+    pub fn new(sensor: usize, on: usize, off: usize) -> Self {
+        assert!(on > 0 && off > 0, "duty cycle needs non-empty phases");
+        Self {
+            sensor,
+            on,
+            off,
+            phase: 0,
+        }
+    }
+}
+
+impl StreamMutator for DutyCycle {
+    fn apply(&mut self, ev: StreamEvent, ctx: &mut MutatorCtx<'_>) -> Vec<StreamEvent> {
+        let StreamEvent::Tick { seq, mut values } = ev else {
+            return vec![ev];
+        };
+        let pos = self.phase % (self.on + self.off);
+        self.phase += 1;
+        if pos >= self.on && self.sensor < values.len() {
+            values[self.sensor] = f64::NAN;
+            if pos == self.on {
+                ctx.record(
+                    seq,
+                    CorruptionKind::PoweredOff {
+                        sensor: self.sensor,
+                        len: self.off,
+                    },
+                );
+            }
+        }
+        vec![StreamEvent::Tick { seq, values }]
+    }
+}
+
+/// Adds a linear calibration drift to one sensor: `value += slope · t`
+/// where `t` counts ticks since the stage started. No NaNs — this is the
+/// slow, silent corruption that correlation analysis is supposed to catch
+/// long before marginal statistics move.
+#[derive(Debug)]
+pub struct Drift {
+    /// The drifting sensor.
+    pub sensor: usize,
+    /// Drift added per tick.
+    pub slope: f64,
+    t: u64,
+}
+
+impl Drift {
+    /// New drift stage.
+    pub fn new(sensor: usize, slope: f64) -> Self {
+        Self {
+            sensor,
+            slope,
+            t: 0,
+        }
+    }
+}
+
+impl StreamMutator for Drift {
+    fn apply(&mut self, ev: StreamEvent, ctx: &mut MutatorCtx<'_>) -> Vec<StreamEvent> {
+        let StreamEvent::Tick { seq, mut values } = ev else {
+            return vec![ev];
+        };
+        if self.sensor < values.len() {
+            if self.t == 0 {
+                ctx.record(
+                    seq,
+                    CorruptionKind::DriftStarted {
+                        sensor: self.sensor,
+                        slope: self.slope,
+                    },
+                );
+            }
+            values[self.sensor] += self.slope * self.t as f64;
+        }
+        self.t += 1;
+        vec![StreamEvent::Tick { seq, values }]
+    }
+}
+
+/// Sensor churn without a cold restart: a synthetic sensor joins the
+/// fleet at `join_at` and leaves at `leave_at`. Emits [`StreamEvent::Reshape`]
+/// fences and widens/narrows every tick in between. The joiner shadows
+/// sensor 0 with gain + noise, so it correlates into the fleet once its
+/// warm-up quarantine expires.
+#[derive(Debug)]
+pub struct Churn {
+    /// First tick the new sensor reports on.
+    pub join_at: u64,
+    /// First tick after the sensor has left.
+    pub leave_at: u64,
+    joined: bool,
+    left: bool,
+}
+
+impl Churn {
+    /// New churn stage.
+    pub fn new(join_at: u64, leave_at: u64) -> Self {
+        assert!(join_at < leave_at, "sensor must join before it leaves");
+        Self {
+            join_at,
+            leave_at,
+            joined: false,
+            left: false,
+        }
+    }
+}
+
+impl StreamMutator for Churn {
+    fn apply(&mut self, ev: StreamEvent, ctx: &mut MutatorCtx<'_>) -> Vec<StreamEvent> {
+        let StreamEvent::Tick { seq, mut values } = ev else {
+            return vec![ev];
+        };
+        let mut out = Vec::new();
+        // Trigger on arrival order (≥, not ==): an upstream Gap may have
+        // swallowed the exact join/leave tick.
+        if !self.joined && !self.left && seq >= self.join_at {
+            self.joined = true;
+            let width = values.len() + 1;
+            ctx.record(seq, CorruptionKind::Joined { width });
+            out.push(StreamEvent::Reshape { n_sensors: width });
+        }
+        if self.joined && !self.left && seq >= self.leave_at {
+            self.joined = false;
+            self.left = true;
+            ctx.record(
+                seq,
+                CorruptionKind::Left {
+                    width: values.len(),
+                },
+            );
+            out.push(StreamEvent::Reshape {
+                n_sensors: values.len(),
+            });
+        }
+        if self.joined {
+            let base = values.first().copied().unwrap_or(0.0);
+            let noise = ctx.rng.gen::<f64>() - 0.5;
+            values.push(0.8 * base + 0.1 * noise);
+        }
+        out.push(StreamEvent::Tick { seq, values });
+        out
+    }
+}
+
+/// A seeded mutator pipeline over a clean [`Mts`].
+///
+/// ```
+/// use cad_datagen::mutator::{Gap, HostileStream, NanBurst, Reorder};
+/// use cad_mts::Mts;
+///
+/// let clean = Mts::from_series(vec![vec![0.0; 64], vec![1.0; 64]]);
+/// let (events, truth) = HostileStream::new(7)
+///     .with(Reorder::new(0.2, 3))
+///     .with(Gap::new(0.05, 4))
+///     .with(NanBurst::new(0.1, 2))
+///     .run(&clean);
+/// // Deterministic: same seed, same hostility (compare via Debug —
+/// // injected NaNs make f64 equality useless).
+/// let (events2, truth2) = HostileStream::new(7)
+///     .with(Reorder::new(0.2, 3))
+///     .with(Gap::new(0.05, 4))
+///     .with(NanBurst::new(0.1, 2))
+///     .run(&clean);
+/// assert_eq!(format!("{events:?}"), format!("{events2:?}"));
+/// assert_eq!(truth, truth2);
+/// ```
+pub struct HostileStream {
+    mutators: Vec<Box<dyn StreamMutator>>,
+    seed: u64,
+}
+
+impl HostileStream {
+    /// Empty pipeline (identity) with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            mutators: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Append a mutator stage; stages apply in insertion order.
+    pub fn with(mut self, m: impl StreamMutator + 'static) -> Self {
+        self.mutators.push(Box::new(m));
+        self
+    }
+
+    /// Corrupt the clean series into a hostile event stream plus the
+    /// truth track of every injected corruption.
+    pub fn run(mut self, clean: &Mts) -> (Vec<StreamEvent>, Vec<CorruptionEvent>) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut truth = Vec::new();
+        let mut out = Vec::new();
+        for t in 0..clean.len() {
+            let ev = StreamEvent::Tick {
+                seq: t as u64,
+                values: clean.column(t),
+            };
+            Self::feed(&mut self.mutators, 0, ev, &mut rng, &mut truth, &mut out);
+        }
+        // Drain stage by stage: whatever stage i still holds must pass
+        // through stages i+1… like any other event.
+        for i in 0..self.mutators.len() {
+            let mut ctx = MutatorCtx {
+                rng: &mut rng,
+                truth: &mut truth,
+            };
+            let drained = self.mutators[i].flush(&mut ctx);
+            for ev in drained {
+                Self::feed(
+                    &mut self.mutators,
+                    i + 1,
+                    ev,
+                    &mut rng,
+                    &mut truth,
+                    &mut out,
+                );
+            }
+        }
+        (out, truth)
+    }
+
+    fn feed(
+        mutators: &mut [Box<dyn StreamMutator>],
+        from: usize,
+        ev: StreamEvent,
+        rng: &mut StdRng,
+        truth: &mut Vec<CorruptionEvent>,
+        out: &mut Vec<StreamEvent>,
+    ) {
+        let mut events = vec![ev];
+        for stage in mutators[from..].iter_mut() {
+            let mut next = Vec::new();
+            for ev in events {
+                let mut ctx = MutatorCtx { rng, truth };
+                next.extend(stage.apply(ev, &mut ctx));
+            }
+            events = next;
+        }
+        out.extend(events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(len: usize, n: usize) -> Mts {
+        let series = (0..n)
+            .map(|s| {
+                (0..len)
+                    .map(|t| (t as f64 * 0.1 + s as f64).sin())
+                    .collect()
+            })
+            .collect();
+        Mts::from_series(series)
+    }
+
+    fn full_pipeline(seed: u64) -> (Vec<StreamEvent>, Vec<CorruptionEvent>) {
+        HostileStream::new(seed)
+            .with(Drift::new(2, 0.01))
+            .with(DutyCycle::new(1, 20, 5))
+            .with(NanBurst::new(0.05, 3))
+            .with(Churn::new(150, 350))
+            .with(Gap::new(0.03, 4))
+            .with(Reorder::new(0.15, 3))
+            .run(&clean(500, 4))
+    }
+
+    #[test]
+    fn identity_pipeline_is_lossless() {
+        let data = clean(100, 3);
+        let (events, truth) = HostileStream::new(1).run(&data);
+        assert!(truth.is_empty());
+        assert_eq!(events.len(), 100);
+        for (t, ev) in events.iter().enumerate() {
+            assert_eq!(
+                ev,
+                &StreamEvent::Tick {
+                    seq: t as u64,
+                    values: data.column(t)
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        // Debug output is bit-faithful (NaN prints as NaN), unlike
+        // `PartialEq` on f64 where NaN != NaN.
+        let a = full_pipeline(42);
+        let b = full_pipeline(42);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = full_pipeline(1);
+        let b = full_pipeline(2);
+        assert_ne!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn reorder_lag_is_bounded() {
+        let (events, truth) = HostileStream::new(9)
+            .with(Reorder::new(0.5, 4))
+            .run(&clean(300, 2));
+        // Every tick arrives; a delayed tick lands at most max_lag
+        // positions after its in-order slot.
+        let seqs: Vec<u64> = events.iter().filter_map(StreamEvent::seq).collect();
+        assert_eq!(seqs.len(), 300);
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..300u64).collect::<Vec<_>>());
+        for (pos, &seq) in seqs.iter().enumerate() {
+            assert!(
+                pos as i64 - seq as i64 <= 4,
+                "tick {seq} landed {} slots late",
+                pos as i64 - seq as i64
+            );
+        }
+        assert!(
+            truth
+                .iter()
+                .any(|c| matches!(c.kind, CorruptionKind::Delayed { .. })),
+            "p=0.5 over 300 ticks must delay something"
+        );
+        assert!(truth
+            .iter()
+            .all(|c| matches!(c.kind, CorruptionKind::Delayed { by } if (1..=4).contains(&by))));
+    }
+
+    #[test]
+    fn gap_drops_are_fully_accounted() {
+        let (events, truth) = HostileStream::new(3)
+            .with(Gap::new(0.1, 5))
+            .run(&clean(400, 2));
+        let emitted: Vec<u64> = events.iter().filter_map(StreamEvent::seq).collect();
+        let dropped: Vec<u64> = truth
+            .iter()
+            .filter(|c| c.kind == CorruptionKind::Dropped)
+            .map(|c| c.seq)
+            .collect();
+        assert!(!dropped.is_empty(), "p=0.1 over 400 ticks must drop some");
+        let mut all: Vec<u64> = emitted.iter().chain(dropped.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400u64).collect::<Vec<_>>(), "no silent loss");
+    }
+
+    #[test]
+    fn nan_bursts_match_truth_exactly() {
+        let (events, truth) = HostileStream::new(5)
+            .with(NanBurst::new(0.08, 3))
+            .run(&clean(300, 4));
+        let mut truth_nans = std::collections::BTreeSet::new();
+        for c in &truth {
+            if let CorruptionKind::NanInjected { sensors } = &c.kind {
+                for &s in sensors {
+                    truth_nans.insert((c.seq, s));
+                }
+            }
+        }
+        assert!(!truth_nans.is_empty());
+        let mut seen = std::collections::BTreeSet::new();
+        for ev in &events {
+            if let StreamEvent::Tick { seq, values } = ev {
+                for (s, v) in values.iter().enumerate() {
+                    if v.is_nan() {
+                        seen.insert((*seq, s));
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            seen, truth_nans,
+            "every NaN annotated, every annotation real"
+        );
+    }
+
+    #[test]
+    fn duty_cycle_is_periodic() {
+        let (events, _) = HostileStream::new(1)
+            .with(DutyCycle::new(0, 10, 5))
+            .run(&clean(60, 2));
+        for ev in &events {
+            if let StreamEvent::Tick { seq, values } = ev {
+                let pos = (*seq as usize) % 15;
+                assert_eq!(
+                    values[0].is_nan(),
+                    pos >= 10,
+                    "tick {seq}: duty phase mismatch"
+                );
+                assert!(!values[1].is_nan(), "other sensors untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn drift_grows_linearly() {
+        let data = clean(50, 2);
+        let (events, truth) = HostileStream::new(1).with(Drift::new(1, 0.5)).run(&data);
+        assert_eq!(truth.len(), 1);
+        assert!(matches!(
+            truth[0].kind,
+            CorruptionKind::DriftStarted { sensor: 1, .. }
+        ));
+        for ev in &events {
+            if let StreamEvent::Tick { seq, values } = ev {
+                let expected = data.column(*seq as usize)[1] + 0.5 * *seq as f64;
+                assert!((values[1] - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_widths_follow_reshape_fences() {
+        let (events, truth) = HostileStream::new(4)
+            .with(Churn::new(100, 200))
+            .run(&clean(300, 3));
+        let mut width = 3;
+        let mut widths_seen = Vec::new();
+        for ev in &events {
+            match ev {
+                StreamEvent::Reshape { n_sensors } => {
+                    width = *n_sensors;
+                    widths_seen.push(width);
+                }
+                StreamEvent::Tick { seq, values } => {
+                    assert_eq!(values.len(), width, "tick {seq} width vs last reshape");
+                }
+            }
+        }
+        assert_eq!(widths_seen, vec![4, 3], "join to 4, back to 3");
+        assert!(truth
+            .iter()
+            .any(|c| c.kind == CorruptionKind::Joined { width: 4 }));
+        assert!(truth
+            .iter()
+            .any(|c| c.kind == CorruptionKind::Left { width: 3 }));
+    }
+
+    #[test]
+    fn reorder_never_carries_a_tick_across_a_reshape() {
+        // Churn upstream of Reorder: the reorder buffer must fence at the
+        // reshape, or a 3-wide tick would arrive in the 4-wide epoch.
+        let (events, _) = HostileStream::new(11)
+            .with(Churn::new(50, 120))
+            .with(Reorder::new(0.5, 4))
+            .run(&clean(200, 3));
+        let mut width = 3;
+        for ev in &events {
+            match ev {
+                StreamEvent::Reshape { n_sensors } => width = *n_sensors,
+                StreamEvent::Tick { seq, values } => {
+                    assert_eq!(values.len(), width, "tick {seq} crossed a reshape fence");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composed_pipeline_conserves_every_tick() {
+        let (events, truth) = full_pipeline(8);
+        let emitted: std::collections::BTreeSet<u64> =
+            events.iter().filter_map(StreamEvent::seq).collect();
+        let dropped: std::collections::BTreeSet<u64> = truth
+            .iter()
+            .filter(|c| c.kind == CorruptionKind::Dropped)
+            .map(|c| c.seq)
+            .collect();
+        for seq in 0..500u64 {
+            assert!(
+                emitted.contains(&seq) ^ dropped.contains(&seq),
+                "tick {seq} must be exactly one of emitted/dropped"
+            );
+        }
+        // The full stack actually exercises every corruption family.
+        assert!(truth
+            .iter()
+            .any(|c| matches!(c.kind, CorruptionKind::Delayed { .. })));
+        assert!(truth.iter().any(|c| c.kind == CorruptionKind::Dropped));
+        assert!(truth
+            .iter()
+            .any(|c| matches!(c.kind, CorruptionKind::NanInjected { .. })));
+        assert!(truth
+            .iter()
+            .any(|c| matches!(c.kind, CorruptionKind::PoweredOff { .. })));
+        assert!(truth
+            .iter()
+            .any(|c| matches!(c.kind, CorruptionKind::Joined { .. })));
+    }
+}

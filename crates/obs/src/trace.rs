@@ -49,6 +49,8 @@ pub enum TraceEvent {
     SessionHibernated { session_id: u64 },
     /// A hibernated session was loaded back into memory.
     SessionResurrected { session_id: u64 },
+    /// A session's sensor set was resized mid-stream.
+    SessionReshaped { session_id: u64, n_sensors: u32 },
 }
 
 /// An event plus its position in the global emission order.

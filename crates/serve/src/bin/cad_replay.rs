@@ -28,7 +28,7 @@ use std::path::PathBuf;
 use cad_core::{CadDetector, StreamingCad};
 use cad_eval::{ahead_miss, detection_delays, segments};
 use cad_serve::config_from_wal_spec;
-use cad_wal::{scan_wal, WalEngine, WalRecord, WalSpec};
+use cad_wal::{scan_wal, WalEngine, WalGapPolicy, WalRecord, WalSpec};
 
 /// Cap on per-item diff lists in the report; totals are always exact.
 const MAX_LISTED: usize = 256;
@@ -57,6 +57,10 @@ impl Overrides {
             eta: self.eta.unwrap_or(spec.eta),
             rc_horizon: self.rc_horizon.unwrap_or(spec.rc_horizon),
             engine: self.engine.unwrap_or(spec.engine),
+            // Degraded-input semantics are part of what the detector saw;
+            // a what-if run never overrides them.
+            gap_policy: spec.gap_policy,
+            reorder_slack: spec.reorder_slack,
         }
     }
 }
@@ -139,16 +143,51 @@ fn parse_args() -> Args {
     args
 }
 
+/// One stream-ordered ingest event of a lifetime: an accepted push batch
+/// or a mid-stream sensor reshape. Replay must interleave them exactly as
+/// the live server did, or widths stop matching.
+enum Op {
+    Push {
+        base_tick: u64,
+        n_sensors: u32,
+        samples: Vec<f64>,
+    },
+    Reshape {
+        n_sensors: u32,
+    },
+}
+
 /// One session's reconstructed final lifetime: the records since its most
 /// recent `Create`, in log order.
 #[derive(Default)]
 struct Lifetime {
     spec: Option<WalSpec>,
-    pushes: Vec<(u64, u32, Vec<f64>)>,
+    ops: Vec<Op>,
     creates: u64,
     closes: u64,
     checkpoints: u64,
     closed: bool,
+}
+
+impl Lifetime {
+    fn pushes(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Push { .. }))
+            .count()
+    }
+
+    fn ticks(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Push {
+                    n_sensors, samples, ..
+                } => (samples.len() / (*n_sensors).max(1) as usize) as u64,
+                Op::Reshape { .. } => 0,
+            })
+            .sum()
+    }
 }
 
 fn lifetimes(records: Vec<WalRecord>) -> BTreeMap<u64, Lifetime> {
@@ -161,7 +200,7 @@ fn lifetimes(records: Vec<WalRecord>) -> BTreeMap<u64, Lifetime> {
                 // A re-create after a close starts a fresh history; replay
                 // targets the newest lifetime.
                 life.spec = Some(spec);
-                life.pushes.clear();
+                life.ops.clear();
                 life.closed = false;
             }
             WalRecord::Push {
@@ -169,7 +208,12 @@ fn lifetimes(records: Vec<WalRecord>) -> BTreeMap<u64, Lifetime> {
                 n_sensors,
                 samples,
                 ..
-            } => life.pushes.push((base_tick, n_sensors, samples)),
+            } => life.ops.push(Op::Push {
+                base_tick,
+                n_sensors,
+                samples,
+            }),
+            WalRecord::Reshape { n_sensors, .. } => life.ops.push(Op::Reshape { n_sensors }),
             WalRecord::Close { .. } => {
                 life.closes += 1;
                 life.closed = true;
@@ -189,33 +233,57 @@ struct Round {
     outliers: Vec<u32>,
 }
 
-/// Re-run one lifetime's pushes under `spec`, from tick 0.
-fn run(spec: &WalSpec, pushes: &[(u64, u32, Vec<f64>)]) -> Result<(Vec<Round>, u64), String> {
+/// Re-run one lifetime's stream-ordered ops under `spec`, from tick 0.
+fn run(spec: &WalSpec, ops: &[Op]) -> Result<(Vec<Round>, u64), String> {
     let config = config_from_wal_spec(spec).map_err(|e| format!("invalid config: {e}"))?;
     let n = spec.n_sensors as usize;
     let mut stream = StreamingCad::new(CadDetector::new(n, config));
     let mut rounds = Vec::new();
-    for &(base_tick, n_sensors, ref samples) in pushes {
-        if n_sensors as usize != n {
-            return Err(format!(
-                "batch at tick {base_tick} has width {n_sensors}, session has {n}"
-            ));
+    for op in ops {
+        match op {
+            Op::Reshape { n_sensors } => {
+                let m = *n_sensors as usize;
+                let width = stream.detector().n_sensors();
+                if m < 2 {
+                    return Err(format!("logged reshape to {m} sensors is invalid"));
+                }
+                if m > width && !stream.detector().config().gap_policy.is_masked() {
+                    return Err(format!(
+                        "logged reshape grows {width} -> {m} sensors but the \
+                         session's gap policy is strict"
+                    ));
+                }
+                stream.reshape_sensors(m);
+            }
+            Op::Push {
+                base_tick,
+                n_sensors,
+                samples,
+            } => {
+                let width = stream.detector().n_sensors();
+                if *n_sensors as usize != width {
+                    return Err(format!(
+                        "batch at tick {base_tick} has width {n_sensors}, session has {width}"
+                    ));
+                }
+                let spliced = cad_core::splice_batch(&mut stream, *base_tick, width, samples)
+                    .map_err(|e| {
+                        format!(
+                            "batch at tick {base_tick}: {e}\n\
+                             (replay needs the full history from tick 0; if the live \
+                             server compacted the log against a snapshot, the prefix is \
+                             gone and this session cannot be re-detected offline)"
+                        )
+                    })?;
+                rounds.extend(spliced.into_iter().map(|r| Round {
+                    tick: r.tick,
+                    n_r: r.outcome.n_r as u64,
+                    zscore_bits: r.outcome.zscore.to_bits(),
+                    abnormal: r.outcome.abnormal,
+                    outliers: r.outcome.outliers.iter().map(|&v| v as u32).collect(),
+                }));
+            }
         }
-        let spliced = cad_core::splice_batch(&mut stream, base_tick, n, samples).map_err(|e| {
-            format!(
-                "batch at tick {base_tick}: {e}\n\
-                 (replay needs the full history from tick 0; if the live \
-                 server compacted the log against a snapshot, the prefix is \
-                 gone and this session cannot be re-detected offline)"
-            )
-        })?;
-        rounds.extend(spliced.into_iter().map(|r| Round {
-            tick: r.tick,
-            n_r: r.outcome.n_r as u64,
-            zscore_bits: r.outcome.zscore.to_bits(),
-            abnormal: r.outcome.abnormal,
-            outliers: r.outcome.outliers.iter().map(|&v| v as u32).collect(),
-        }));
     }
     Ok((rounds, stream.samples_seen() as u64))
 }
@@ -230,9 +298,15 @@ fn engine_json(e: &WalEngine) -> String {
 }
 
 fn spec_json(spec: &WalSpec) -> String {
+    let gap_policy = match spec.gap_policy {
+        WalGapPolicy::Fail => "fail",
+        WalGapPolicy::Skip => "skip",
+        WalGapPolicy::HoldLast => "hold_last",
+    };
     format!(
         "{{\"n_sensors\":{},\"w\":{},\"s\":{},\"k\":{},\"tau\":{},\"theta\":{},\
-         \"eta\":{},\"rc_horizon\":{},\"engine\":{}}}",
+         \"eta\":{},\"rc_horizon\":{},\"engine\":{},\"gap_policy\":\"{}\",\
+         \"reorder_slack\":{}}}",
         spec.n_sensors,
         spec.w,
         spec.s,
@@ -241,7 +315,9 @@ fn spec_json(spec: &WalSpec) -> String {
         spec.theta,
         spec.eta,
         spec.rc_horizon,
-        engine_json(&spec.engine)
+        engine_json(&spec.engine),
+        gap_policy,
+        spec.reorder_slack
     )
 }
 
@@ -403,19 +479,14 @@ fn main() {
         let rows: Vec<String> = sessions
             .iter()
             .map(|(id, life)| {
-                let ticks: u64 = life
-                    .pushes
-                    .iter()
-                    .map(|(_, w, s)| (s.len() / (*w).max(1) as usize) as u64)
-                    .sum();
                 format!(
                     "{{\"session_id\":{},\"creates\":{},\"closes\":{},\"pushes\":{},\
                      \"ticks\":{},\"closed\":{},\"spec\":{}}}",
                     id,
                     life.creates,
                     life.closes,
-                    life.pushes.len(),
-                    ticks,
+                    life.pushes(),
+                    life.ticks(),
                     life.closed,
                     life.spec
                         .as_ref()
@@ -446,9 +517,9 @@ fn main() {
     };
     let what_spec = args.overrides.apply(&spec);
     let (base_rounds, base_ticks) =
-        run(&spec, &life.pushes).unwrap_or_else(|e| fail(&format!("base run: {e}")));
+        run(&spec, &life.ops).unwrap_or_else(|e| fail(&format!("base run: {e}")));
     let (what_rounds, what_ticks) =
-        run(&what_spec, &life.pushes).unwrap_or_else(|e| fail(&format!("what-if run: {e}")));
+        run(&what_spec, &life.ops).unwrap_or_else(|e| fail(&format!("what-if run: {e}")));
 
     let report = format!(
         "{{\"wal_dir\":{},\"session_id\":{},\
@@ -462,7 +533,7 @@ fn main() {
         scan.dropped_records,
         scan.dropped_bytes,
         scan.corrupt_segments,
-        life.pushes.len(),
+        life.pushes(),
         run_json(&spec, &base_rounds, base_ticks),
         run_json(&what_spec, &what_rounds, what_ticks),
         diff_json(

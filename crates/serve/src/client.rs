@@ -201,6 +201,20 @@ impl ServeClient {
         }
     }
 
+    /// Resize the session's sensor set mid-stream (sensor churn). Growing
+    /// requires the session to have been created with a masked gap policy
+    /// (skip or hold_last); subsequent pushes must carry the new width.
+    /// Returns the sensor count now in effect.
+    pub fn reshape_sensors(&mut self, session_id: u64, n_sensors: u32) -> Result<u32, ClientError> {
+        match self.request(&Frame::ReshapeSensors {
+            session_id,
+            n_sensors,
+        })? {
+            Frame::ReshapeAck { n_sensors, .. } => Ok(n_sensors),
+            _ => Err(ClientError::Unexpected("reshape_sensors")),
+        }
+    }
+
     /// Server-wide counters, optionally including one session's.
     pub fn stats(&mut self, session_id: Option<u64>) -> Result<ServerStats, ClientError> {
         match self.request(&Frame::StatsRequest { session_id })? {

@@ -29,7 +29,7 @@ pub use client::{ClientError, PushResult, ServeClient, SessionHandle};
 pub use poll::Poller;
 pub use protocol::{
     codes, max_push_ticks, Frame, FrameReader, ServerStats, SessionSpec, SessionStats, WireEngine,
-    WireOutcome, WireRoundRecord,
+    WireGapPolicy, WireOutcome, WireRoundRecord,
 };
 pub use server::{CadServer, ServeConfig, ShutdownHandle};
 pub use session::{

@@ -455,6 +455,16 @@ fn render_traced_event(e: &TracedEvent) -> String {
         TraceEvent::SessionResurrected { session_id } => {
             ("SessionResurrected", "session_id", session_id)
         }
+        TraceEvent::SessionReshaped {
+            session_id,
+            n_sensors,
+        } => {
+            return format!(
+                "{{\"seq\":{},\"type\":\"SessionReshaped\",\"session_id\":{session_id},\
+                 \"n_sensors\":{n_sensors}}}",
+                e.seq
+            );
+        }
     };
     format!(
         "{{\"seq\":{},\"type\":{},{}:{value}}}",

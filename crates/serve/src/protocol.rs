@@ -81,6 +81,40 @@ pub enum WireEngine {
     },
 }
 
+/// Degraded-input policy as it travels in a [`SessionSpec`]. Mirrors
+/// `cad_core::GapPolicy` (and shares its wire tags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireGapPolicy {
+    /// Reject NaN readings and unfillable gaps (strict mode).
+    #[default]
+    Fail,
+    /// Store missing readings as holes; correlations use pairwise deletion.
+    Skip,
+    /// Substitute the sensor's last valid reading for a missing one.
+    HoldLast,
+}
+
+impl WireGapPolicy {
+    /// Wire tag (identical to `cad_core::GapPolicy::tag`).
+    pub fn tag(self) -> u8 {
+        match self {
+            WireGapPolicy::Fail => 0,
+            WireGapPolicy::Skip => 1,
+            WireGapPolicy::HoldLast => 2,
+        }
+    }
+
+    /// Decode a wire tag.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(WireGapPolicy::Fail),
+            1 => Some(WireGapPolicy::Skip),
+            2 => Some(WireGapPolicy::HoldLast),
+            _ => None,
+        }
+    }
+}
+
 /// Detector parameters a client supplies when creating a session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionSpec {
@@ -102,6 +136,12 @@ pub struct SessionSpec {
     pub rc_horizon: Option<u32>,
     /// Round engine.
     pub engine: WireEngine,
+    /// Degraded-input policy. Travels as trailing bytes after the engine
+    /// so a pre-hostile-streams client (which omits them) still decodes to
+    /// the strict default — no protocol version bump.
+    pub gap_policy: WireGapPolicy,
+    /// Reorder-buffer slack in ticks (0 = strict in-order ingest).
+    pub reorder_slack: u32,
 }
 
 impl SessionSpec {
@@ -117,6 +157,8 @@ impl SessionSpec {
             eta: 3.0,
             rc_horizon: None,
             engine: WireEngine::Exact,
+            gap_policy: WireGapPolicy::Fail,
+            reorder_slack: 0,
         }
     }
 }
@@ -373,6 +415,22 @@ pub enum Frame {
         /// Retained per-round records, oldest first.
         records: Vec<WireRoundRecord>,
     },
+    /// Change a session's sensor count mid-stream (sensor churn without a
+    /// cold restart). Growing requires the session to run a masked gap
+    /// policy; every later `PushSamples` must carry the new width.
+    ReshapeSensors {
+        /// Target session.
+        session_id: u64,
+        /// New sensor count.
+        n_sensors: u32,
+    },
+    /// Reshape applied.
+    ReshapeAck {
+        /// Echoed session id.
+        session_id: u64,
+        /// The session's sensor count after the reshape.
+        n_sensors: u32,
+    },
 }
 
 impl Frame {
@@ -399,6 +457,8 @@ impl Frame {
             Frame::MetricsReply { .. } => 18,
             Frame::ExplainRequest { .. } => 19,
             Frame::ExplainReply { .. } => 20,
+            Frame::ReshapeSensors { .. } => 21,
+            Frame::ReshapeAck { .. } => 22,
         }
     }
 }
@@ -503,6 +563,8 @@ impl Enc {
                 self.u32(rebuild_every);
             }
         }
+        self.u8(spec.gap_policy.tag());
+        self.u32(spec.reorder_slack);
     }
     fn outcome(&mut self, o: &WireOutcome) {
         self.u64(o.tick);
@@ -613,6 +675,16 @@ impl<'a> Dec<'a> {
             },
             other => return Err(corrupt(format!("bad engine tag {other}"))),
         };
+        // Trailing hostile-streams extension: absent in frames from
+        // pre-extension clients, which therefore get the strict default.
+        let (gap_policy, reorder_slack) = if self.pos < self.buf.len() {
+            let tag = self.u8()?;
+            let policy = WireGapPolicy::from_tag(tag)
+                .ok_or_else(|| corrupt(format!("bad gap policy tag {tag}")))?;
+            (policy, self.u32()?)
+        } else {
+            (WireGapPolicy::Fail, 0)
+        };
         Ok(SessionSpec {
             n_sensors,
             w,
@@ -623,6 +695,8 @@ impl<'a> Dec<'a> {
             eta,
             rc_horizon,
             engine,
+            gap_policy,
+            reorder_slack,
         })
     }
     fn outcome(&mut self) -> Result<WireOutcome, ProtoError> {
@@ -762,6 +836,17 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             for r in records {
                 e.round_record(r);
             }
+        }
+        Frame::ReshapeSensors {
+            session_id,
+            n_sensors,
+        }
+        | Frame::ReshapeAck {
+            session_id,
+            n_sensors,
+        } => {
+            e.u64(*session_id);
+            e.u32(*n_sensors);
         }
         Frame::Error { code, message } => {
             e.u16(*code);
@@ -905,6 +990,14 @@ pub fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Frame, ProtoError>
                 records,
             }
         }
+        21 => Frame::ReshapeSensors {
+            session_id: d.u64()?,
+            n_sensors: d.u32()?,
+        },
+        22 => Frame::ReshapeAck {
+            session_id: d.u64()?,
+            n_sensors: d.u32()?,
+        },
         other => return Err(corrupt(format!("unknown msg_type {other}"))),
     };
     d.finish()?;
@@ -1051,6 +1144,8 @@ mod tests {
             eta: 3.0,
             rc_horizon: Some(10),
             engine: WireEngine::Incremental { rebuild_every: 64 },
+            gap_policy: WireGapPolicy::Skip,
+            reorder_slack: 4,
         }
     }
 
@@ -1166,6 +1261,22 @@ mod tests {
         roundtrip(Frame::MetricsReply {
             dump: (0..=255u8).collect(),
         });
+        roundtrip(Frame::ReshapeSensors {
+            session_id: 5,
+            n_sensors: 17,
+        });
+        roundtrip(Frame::ReshapeAck {
+            session_id: 5,
+            n_sensors: 17,
+        });
+        roundtrip(Frame::CreateSession {
+            session_id: 3,
+            spec: SessionSpec {
+                gap_policy: WireGapPolicy::HoldLast,
+                reorder_slack: 0,
+                ..sample_spec()
+            },
+        });
         roundtrip(Frame::ExplainRequest { session_id: 77 });
         roundtrip(Frame::ExplainReply {
             session_id: 77,
@@ -1195,6 +1306,50 @@ mod tests {
                 },
             ],
         });
+    }
+
+    #[test]
+    fn legacy_spec_without_gap_policy_decodes_to_strict_default() {
+        // A pre-hostile-streams client encodes the spec without the
+        // trailing gap-policy bytes; the server must decode it as Fail/0.
+        let spec = SessionSpec {
+            gap_policy: WireGapPolicy::Fail,
+            reorder_slack: 0,
+            ..sample_spec()
+        };
+        let mut bytes = encode_frame(&Frame::CreateSession {
+            session_id: 7,
+            spec: spec.clone(),
+        });
+        // Strip the 5 trailing extension bytes and patch the length.
+        bytes.truncate(bytes.len() - 5);
+        let len = (bytes.len() - HEADER_LEN) as u32;
+        bytes[8..12].copy_from_slice(&len.to_le_bytes());
+        match read_frame(bytes.as_slice()).expect("legacy decode") {
+            Frame::CreateSession {
+                session_id,
+                spec: got,
+            } => {
+                assert_eq!(session_id, 7);
+                assert_eq!(got, spec);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_gap_policy_tag() {
+        let mut bytes = encode_frame(&Frame::CreateSession {
+            session_id: 7,
+            spec: sample_spec(),
+        });
+        // The gap-policy tag is the 5th byte from the end (tag + u32).
+        let at = bytes.len() - 5;
+        bytes[at] = 9;
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(ProtoError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -190,6 +190,7 @@ pub struct CadServer {
 enum PendingKind {
     Create,
     Push,
+    Reshape,
     Stats,
     Snapshot,
     Close,
@@ -1001,6 +1002,20 @@ fn dispatch_frame(shared: &IoShared, conn: &mut Conn, frame: Frame) -> Dispatch 
                 id,
             ),
         },
+        Frame::ReshapeSensors {
+            session_id,
+            n_sensors,
+        } => submit(
+            shared,
+            conn,
+            Command::Reshape {
+                session_id,
+                n_sensors,
+                reply: routed(shared, conn),
+            },
+            PendingKind::Reshape,
+            session_id,
+        ),
         Frame::Snapshot { session_id } => submit(
             shared,
             conn,
@@ -1068,6 +1083,7 @@ fn dispatch_frame(shared: &IoShared, conn: &mut Conn, frame: Frame) -> Dispatch 
         | Frame::Backpressure { .. }
         | Frame::MetricsReply { .. }
         | Frame::ExplainReply { .. }
+        | Frame::ReshapeAck { .. }
         | Frame::Error { .. } => {
             queue_reply(
                 conn,
@@ -1186,6 +1202,10 @@ fn reply_frame(manager: &SessionManager, pending: &Pending, reply: Reply) -> Fra
         (PendingKind::Snapshot, Reply::Snapshotted(bytes)) => {
             Frame::SnapshotAck { session_id, bytes }
         }
+        (PendingKind::Reshape, Reply::Reshaped { n_sensors }) => Frame::ReshapeAck {
+            session_id,
+            n_sensors,
+        },
         (PendingKind::Close, Reply::Closed) => Frame::CloseAck { session_id },
         (PendingKind::Explain, Reply::Explained(records)) => Frame::ExplainReply {
             session_id,

@@ -36,7 +36,7 @@
 //! With `hibernate_after_rounds > 0` and a `spill_dir`, a session that
 //! sees no push for that many pump sweeps (a sweep is one drain iteration
 //! of its group — roughly one batch under load, one 100 ms idle tick
-//! otherwise) is spilled: its full `cad-stream v2` snapshot (ring
+//! otherwise) is spilled: its full `cad-stream v3` snapshot (ring
 //! cursors, ExplainJournal and all) is written to a checksummed
 //! `session-<id>.cadh` file and the in-memory state is dropped, leaving
 //! only a small metadata stub. The next command for that id transparently
@@ -61,7 +61,7 @@
 //! Closing the manager wakes every group, which drains its remaining
 //! commands, replies to the waiting handlers and exits; the master then
 //! persists all resident sessions to the snapshot directory (state
-//! format: `cad-stream v2`, see `cad_core::state`). A server restarted
+//! format: `cad-stream v3`, see `cad_core::state`). A server restarted
 //! over the same directories restores each session mid-window and resumes
 //! bit-identically.
 
@@ -73,13 +73,21 @@ use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use cad_core::{load_stream, save_stream, CadConfig, CadDetector, EngineChoice, StreamingCad};
+use cad_core::{
+    load_stream, save_stream, CadConfig, CadDetector, EngineChoice, GapPolicy, StreamingCad,
+};
 use cad_obs::{Gauge, TraceEvent};
 use cad_runtime::Timer;
-use cad_wal::{FsyncPolicy, SessionDurability, ShardWal, WalConfig, WalEngine, WalRecord, WalSpec};
+use cad_wal::{
+    FsyncPolicy, SessionDurability, ShardWal, WalConfig, WalEngine, WalGapPolicy, WalRecord,
+    WalSpec,
+};
 
 use crate::metrics;
-use crate::protocol::{codes, SessionSpec, SessionStats, WireEngine, WireOutcome, WireRoundRecord};
+use crate::protocol::{
+    codes, max_push_ticks, SessionSpec, SessionStats, WireEngine, WireGapPolicy, WireOutcome,
+    WireRoundRecord,
+};
 
 /// Admission, queue, pump and hibernation limits for a [`SessionManager`].
 #[derive(Debug, Clone)]
@@ -169,6 +177,11 @@ pub enum Reply {
     },
     /// Batch processed; rounds it completed, in tick order.
     Pushed(Vec<WireOutcome>),
+    /// Sensor set resized; the count now in effect.
+    Reshaped {
+        /// Sensor count after the reshape.
+        n_sensors: u32,
+    },
     /// Snapshot written (bytes).
     Snapshotted(u64),
     /// Session dropped.
@@ -247,6 +260,15 @@ pub enum Command {
         n_sensors: u32,
         /// `n_ticks × n_sensors` readings, tick-major.
         samples: Vec<f64>,
+        /// Reply destination.
+        reply: ReplyTo,
+    },
+    /// Resize a session's sensor set mid-stream (sensor churn).
+    Reshape {
+        /// Target session.
+        session_id: u64,
+        /// New sensor count.
+        n_sensors: u32,
         /// Reply destination.
         reply: ReplyTo,
     },
@@ -332,6 +354,9 @@ enum Work {
         n_sensors: u32,
         samples: Vec<f64>,
     },
+    Reshape {
+        n_sensors: u32,
+    },
     Snapshot,
     Close,
     Stats,
@@ -344,6 +369,7 @@ impl Command {
         match self {
             Command::Create { session_id, .. }
             | Command::Push { session_id, .. }
+            | Command::Reshape { session_id, .. }
             | Command::Snapshot { session_id, .. }
             | Command::Close { session_id, .. }
             | Command::Stats { session_id, .. }
@@ -385,6 +411,11 @@ impl Command {
                 },
                 reply,
             ),
+            Command::Reshape {
+                session_id,
+                n_sensors,
+                reply,
+            } => (session_id, Work::Reshape { n_sensors }, reply),
             Command::Snapshot { session_id, reply } => (session_id, Work::Snapshot, reply),
             Command::Close { session_id, reply } => (session_id, Work::Close, reply),
             Command::Stats { session_id, reply } => (session_id, Work::Stats, reply),
@@ -739,6 +770,14 @@ fn validate_spec(spec: &SessionSpec, max_sensors: usize) -> Result<CadConfig, (u
             format!("{n} sensors exceeds the per-session limit of {max_sensors}"),
         ));
     }
+    // A width no push frame can carry even one tick of would make the
+    // session permanently unfeedable; refuse it at the door.
+    if max_push_ticks(spec.n_sensors) == 0 {
+        return Err((
+            codes::BAD_SPEC,
+            format!("{n} sensors leaves no room for even one tick per push frame"),
+        ));
+    }
     if spec.w == 0 || spec.s == 0 || spec.s > spec.w {
         return Err((
             codes::BAD_SPEC,
@@ -793,7 +832,17 @@ fn validate_spec(spec: &SessionSpec, max_sensors: usize) -> Result<CadConfig, (u
         .eta(spec.eta)
         .rc_horizon(spec.rc_horizon.map(|h| h as usize))
         .engine(engine)
+        .gap_policy(core_gap_policy(spec.gap_policy))
+        .reorder_slack(spec.reorder_slack as usize)
         .build())
+}
+
+fn core_gap_policy(policy: WireGapPolicy) -> GapPolicy {
+    match policy {
+        WireGapPolicy::Fail => GapPolicy::Fail,
+        WireGapPolicy::Skip => GapPolicy::Skip,
+        WireGapPolicy::HoldLast => GapPolicy::HoldLast,
+    }
 }
 
 /// The WAL's self-describing copy of a wire spec (recorded in `Create`).
@@ -811,6 +860,12 @@ fn wal_spec_of(spec: &SessionSpec) -> WalSpec {
             WireEngine::Exact => WalEngine::Exact,
             WireEngine::Incremental { rebuild_every } => WalEngine::Incremental { rebuild_every },
         },
+        gap_policy: match spec.gap_policy {
+            WireGapPolicy::Fail => WalGapPolicy::Fail,
+            WireGapPolicy::Skip => WalGapPolicy::Skip,
+            WireGapPolicy::HoldLast => WalGapPolicy::HoldLast,
+        },
+        reorder_slack: spec.reorder_slack,
     }
 }
 
@@ -829,6 +884,12 @@ pub fn session_spec_from_wal(spec: &WalSpec) -> SessionSpec {
             WalEngine::Exact => WireEngine::Exact,
             WalEngine::Incremental { rebuild_every } => WireEngine::Incremental { rebuild_every },
         },
+        gap_policy: match spec.gap_policy {
+            WalGapPolicy::Fail => WireGapPolicy::Fail,
+            WalGapPolicy::Skip => WireGapPolicy::Skip,
+            WalGapPolicy::HoldLast => WireGapPolicy::HoldLast,
+        },
+        reorder_slack: spec.reorder_slack,
     }
 }
 
@@ -865,7 +926,7 @@ fn write_snapshot(dir: &Path, session_id: u64, session: &Session) -> std::io::Re
 //   cad-spill v1 <payload_len> <fnv1a64 hex16> <n_sensors> \
 //     <samples_seen> <rounds> <anomalies> <resumed 0|1> <last_push_round>
 //
-// followed by the raw `cad-stream v2` payload. The header carries the
+// followed by the raw `cad-stream v3` payload. The header carries the
 // shard counters the stream format does not (rounds/anomalies are
 // process-relative) plus length + checksum so a truncated or bit-flipped
 // spill is detected before `load_stream` ever parses it. Metadata is in
@@ -1383,6 +1444,20 @@ impl Shard {
                                     session.stream.samples_seen()
                                 ),
                             })
+                        } else if session.stream.detector().config().gap_policy == GapPolicy::Fail
+                            && samples.iter().any(|v| v.is_nan())
+                        {
+                            // Screened before the WAL append and before the
+                            // detector ever sees the batch: under the strict
+                            // policy a NaN reading would otherwise panic the
+                            // pump thread, and replay must never re-face it.
+                            Err(Reply::Failed {
+                                code: codes::BAD_PUSH,
+                                message: "batch contains NaN readings; the session's \
+                                          gap policy is fail (create it with skip or \
+                                          hold_last to accept degraded input)"
+                                    .into(),
+                            })
                         } else {
                             Ok(width)
                         }
@@ -1439,6 +1514,83 @@ impl Shard {
                             Ordering::Relaxed,
                         );
                         Reply::Pushed(outcomes)
+                    }
+                }
+            }
+            Work::Reshape { n_sensors } => {
+                // Screen against the live session with a shared borrow, then
+                // log + mutate. Every refusal is a protocol error — a
+                // well-formed ReshapeSensors frame must never panic a shard.
+                let check = match self.sessions.get(&session_id) {
+                    None => Err(Reply::Failed {
+                        code: codes::UNKNOWN_SESSION,
+                        message: format!("no session {session_id}"),
+                    }),
+                    Some(session) => {
+                        let m = n_sensors as usize;
+                        let width = session.stream.detector().n_sensors();
+                        let policy = session.stream.detector().config().gap_policy;
+                        if m < 2 {
+                            Err(Reply::Failed {
+                                code: codes::BAD_SPEC,
+                                message: "a session needs at least 2 sensors".into(),
+                            })
+                        } else if m > shared.cfg.max_sensors {
+                            Err(Reply::Failed {
+                                code: codes::ADMISSION,
+                                message: format!(
+                                    "{m} sensors exceeds the per-session limit of {}",
+                                    shared.cfg.max_sensors
+                                ),
+                            })
+                        } else if max_push_ticks(n_sensors) == 0 {
+                            Err(Reply::Failed {
+                                code: codes::BAD_SPEC,
+                                message: format!(
+                                    "{m} sensors leaves no room for even one tick \
+                                     per push frame"
+                                ),
+                            })
+                        } else if m > width && !policy.is_masked() {
+                            Err(Reply::Failed {
+                                code: codes::BAD_SPEC,
+                                message: "growing the sensor set requires gap policy \
+                                          skip or hold_last: joiners have no window \
+                                          history and stream in as missing samples"
+                                    .into(),
+                            })
+                        } else {
+                            Ok((m, width, session.stream.samples_seen() as u64))
+                        }
+                    }
+                };
+                match check {
+                    Err(reply) => reply,
+                    Ok((m, width, at_tick)) => {
+                        if m != width {
+                            // Logged before the ack, like Push: recovery and
+                            // offline replay re-apply the reshape in stream
+                            // order so later (wider/narrower) batches land.
+                            self.wal_append(
+                                shared,
+                                &WalRecord::Reshape {
+                                    session_id,
+                                    n_sensors,
+                                    at_tick,
+                                },
+                            );
+                            let session = self
+                                .sessions
+                                .get_mut(&session_id)
+                                .expect("session presence checked above");
+                            session.stream.reshape_sensors(m);
+                            cad_obs::tracer().emit(TraceEvent::SessionReshaped {
+                                session_id,
+                                n_sensors,
+                            });
+                        }
+                        self.note_activity(shared);
+                        Reply::Reshaped { n_sensors }
                     }
                 }
             }
@@ -1702,6 +1854,88 @@ fn replay_wal_records(
                         let _ = std::fs::remove_file(spill_path(dir, session_id));
                     }
                 }
+            }
+            WalRecord::Reshape {
+                session_id,
+                n_sensors,
+                at_tick,
+            } => {
+                if !shard.sessions.contains_key(&session_id) {
+                    if let Some(meta) = shard.hibernated.get(&session_id) {
+                        if at_tick <= meta.samples_seen {
+                            // The spill was written after the reshape; its
+                            // ring already has the new width.
+                            continue;
+                        }
+                        // The reshape postdates the spill: resurrect now so
+                        // it (and the wider batches behind it) can apply.
+                        let dir = cfg
+                            .spill_dir
+                            .as_ref()
+                            .expect("hibernated sessions imply a spill_dir");
+                        let path = spill_path(dir, session_id);
+                        match read_spill(&path, cfg.explain_rounds) {
+                            Ok(stream) => {
+                                let meta =
+                                    shard.hibernated.remove(&session_id).expect("checked above");
+                                shard.sessions.insert(
+                                    session_id,
+                                    Session {
+                                        stream,
+                                        rounds: meta.rounds,
+                                        anomalies: meta.anomalies,
+                                        resumed: meta.resumed,
+                                        last_push_sweep: 0,
+                                        last_push_round: meta.last_push_round,
+                                    },
+                                );
+                                shard.sessions_gauge.add(1);
+                                metrics::resident_sessions_gauge().add(1);
+                                metrics::hibernated_sessions_gauge().sub(1);
+                            }
+                            Err(e) => {
+                                shard.hibernated.remove(&session_id);
+                                shard.durable.remove(&session_id);
+                                let _ = std::fs::remove_file(&path);
+                                metrics::hibernated_sessions_gauge().sub(1);
+                                summary.dropped_records += 1;
+                                eprintln!(
+                                    "cad-serve: shard {}: WAL replay: session \
+                                     {session_id}: spill unusable, session dropped: {e}",
+                                    shard.index
+                                );
+                                continue;
+                            }
+                        }
+                    }
+                }
+                let Some(session) = shard.sessions.get_mut(&session_id) else {
+                    summary.dropped_records += 1;
+                    eprintln!(
+                        "cad-serve: shard {}: WAL replay: reshape for unknown \
+                         session {session_id} dropped",
+                        shard.index
+                    );
+                    continue;
+                };
+                let m = n_sensors as usize;
+                let width = session.stream.detector().n_sensors();
+                // Mirror the live screening: a logged reshape that the
+                // current state cannot absorb (e.g. a grow replayed onto a
+                // strict-policy session restored from an older spec) is
+                // dropped, never a panic.
+                if m < 2
+                    || (m > width && !session.stream.detector().config().gap_policy.is_masked())
+                {
+                    summary.dropped_records += 1;
+                    eprintln!(
+                        "cad-serve: shard {}: WAL replay: session {session_id}: \
+                         reshape to {m} sensors dropped",
+                        shard.index
+                    );
+                    continue;
+                }
+                session.stream.reshape_sensors(m);
             }
             WalRecord::Checkpoint { .. } => {
                 // Durable watermarks are re-seeded from the files actually

@@ -1,0 +1,227 @@
+//! `ReshapeSensors` over the wire: sensor churn without a cold restart,
+//! and the admission screens that keep a hostile reshape from panicking
+//! the pump.
+//!
+//! The happy path drives a Skip-policy session through a mid-stream grow
+//! and shrink and demands the outcome stream stay bit-identical to a
+//! direct [`StreamingCad`] loop performing the same churn. The error
+//! paths — degenerate width, admission-limit overflow, growing a strict
+//! session, unknown session — must each come back as a protocol error
+//! code on the same connection, after which the server keeps serving and
+//! shuts down cleanly.
+
+use cad_core::{CadConfig, CadDetector, GapPolicy, StreamingCad};
+use cad_serve::{
+    codes, CadServer, ClientError, ServeClient, ServeConfig, SessionSpec, WireGapPolicy,
+    WireOutcome,
+};
+
+const N: usize = 4;
+const W: u32 = 32;
+const S: u32 = 8;
+const GROW: usize = 150; // tick of the join fence
+const SHRINK: usize = 280; // tick of the leave fence
+const TICKS: usize = 400;
+
+fn spec(policy: WireGapPolicy) -> SessionSpec {
+    let mut spec = SessionSpec::new(N as u32, W, S);
+    spec.k = 2;
+    spec.gap_policy = policy;
+    spec
+}
+
+/// Deterministic reading; the joined sensor (index ≥ N) shadows sensor 0.
+fn reading(t: usize, sensor: usize) -> f64 {
+    if sensor >= N {
+        return 0.8 * reading(t, 0) + 0.01;
+    }
+    let phase = sensor as f64 * 0.23;
+    (t as f64 * 0.17 + phase).sin() + 0.05 * sensor as f64
+}
+
+fn row(t: usize, width: usize) -> Vec<f64> {
+    (0..width).map(|v| reading(t, v)).collect()
+}
+
+fn batch(from: usize, to: usize, width: usize) -> Vec<f64> {
+    (from..to).flat_map(|t| row(t, width)).collect()
+}
+
+/// The same churn schedule through a direct streaming loop.
+fn reference() -> Vec<(u64, u64, u64, bool, Vec<u32>)> {
+    let config = CadConfig::builder(N)
+        .window(W as usize, S as usize)
+        .k(2)
+        .tau(0.3)
+        .theta(0.3)
+        .gap_policy(GapPolicy::Skip)
+        .build();
+    let mut stream = StreamingCad::new(CadDetector::new(N, config));
+    let mut outs = Vec::new();
+    let mut push = |stream: &mut StreamingCad, t: usize, width: usize| {
+        if let Some(o) = stream.push_sample(&row(t, width)) {
+            outs.push((
+                t as u64,
+                o.n_r as u64,
+                o.zscore.to_bits(),
+                o.abnormal,
+                o.outliers.iter().map(|&v| v as u32).collect(),
+            ));
+        }
+    };
+    for t in 0..GROW {
+        push(&mut stream, t, N);
+    }
+    stream.reshape_sensors(N + 1);
+    for t in GROW..SHRINK {
+        push(&mut stream, t, N + 1);
+    }
+    stream.reshape_sensors(N);
+    for t in SHRINK..TICKS {
+        push(&mut stream, t, N);
+    }
+    outs
+}
+
+fn as_tuples(outs: &[WireOutcome]) -> Vec<(u64, u64, u64, bool, Vec<u32>)> {
+    outs.iter()
+        .map(|o| (o.tick, o.n_r, o.zscore_bits, o.abnormal, o.outliers.clone()))
+        .collect()
+}
+
+fn start_server() -> (String, std::thread::JoinHandle<std::io::Result<usize>>) {
+    let server = CadServer::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        max_sensors: N + 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local_addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn server_code(result: Result<u32, ClientError>) -> u16 {
+    match result {
+        Err(ClientError::Server { code, .. }) => code,
+        other => panic!("expected a server error, got {other:?}"),
+    }
+}
+
+#[test]
+fn reshape_over_the_wire_matches_direct_churn_bit_for_bit() {
+    let (addr, server) = start_server();
+    let mut client = ServeClient::connect(&addr, "reshape-happy").expect("connect");
+    let id = 1u64;
+    client
+        .create_session(id, spec(WireGapPolicy::Skip))
+        .expect("create");
+
+    let mut outs = Vec::new();
+    let mut push_range = |client: &mut ServeClient, from: usize, to: usize, width: usize| {
+        let mut t = from;
+        while t < to {
+            let len = 19usize.min(to - t);
+            outs.extend(
+                client
+                    .push_samples(id, t as u64, width as u32, batch(t, t + len, width))
+                    .expect("push")
+                    .outcomes,
+            );
+            t += len;
+        }
+    };
+    push_range(&mut client, 0, GROW, N);
+    assert_eq!(
+        client.reshape_sensors(id, (N + 1) as u32).expect("grow"),
+        (N + 1) as u32
+    );
+    // A reshape to the width already in effect is an idempotent no-op.
+    assert_eq!(
+        client.reshape_sensors(id, (N + 1) as u32).expect("no-op"),
+        (N + 1) as u32
+    );
+    push_range(&mut client, GROW, SHRINK, N + 1);
+    assert_eq!(
+        client.reshape_sensors(id, N as u32).expect("shrink"),
+        N as u32
+    );
+    push_range(&mut client, SHRINK, TICKS, N);
+
+    assert_eq!(as_tuples(&outs), reference(), "churned stream diverged");
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn hostile_reshapes_are_screened_and_never_panic_the_pump() {
+    let (addr, server) = start_server();
+    let mut client = ServeClient::connect(&addr, "reshape-hostile").expect("connect");
+
+    let strict = 1u64;
+    let masked = 2u64;
+    client
+        .create_session(strict, spec(WireGapPolicy::Fail))
+        .expect("create strict");
+    client
+        .create_session(masked, spec(WireGapPolicy::Skip))
+        .expect("create masked");
+
+    // Degenerate widths: a correlation detector needs at least two
+    // sensors, and zero must not underflow anything.
+    assert_eq!(
+        server_code(client.reshape_sensors(masked, 1)),
+        codes::BAD_SPEC
+    );
+    assert_eq!(
+        server_code(client.reshape_sensors(masked, 0)),
+        codes::BAD_SPEC
+    );
+
+    // Above the server's admission limit.
+    assert_eq!(
+        server_code(client.reshape_sensors(masked, (N + 2) as u32)),
+        codes::ADMISSION
+    );
+
+    // Growing a strict (Fail-policy) session: the joiner's history would
+    // be missing, which Fail forbids — refused, not asserted.
+    assert_eq!(
+        server_code(client.reshape_sensors(strict, (N + 1) as u32)),
+        codes::BAD_SPEC
+    );
+
+    // Unknown session.
+    assert_eq!(
+        server_code(client.reshape_sensors(99, 3)),
+        codes::UNKNOWN_SESSION
+    );
+
+    // NaN ingress: rejected before the detector under Fail, accepted
+    // (stored as a hole) under Skip.
+    let mut nan_row = row(0, N);
+    nan_row[2] = f64::NAN;
+    match client.push_samples(strict, 0, N as u32, nan_row.clone()) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, codes::BAD_PUSH),
+        other => panic!("NaN under Fail must be BAD_PUSH, got {other:?}"),
+    }
+    client
+        .push_samples(masked, 0, N as u32, nan_row)
+        .expect("NaN under Skip is a legal hole");
+
+    // Shrinking the strict session is legal.
+    assert_eq!(
+        client
+            .reshape_sensors(strict, (N - 1) as u32)
+            .expect("shrink"),
+        (N - 1) as u32
+    );
+
+    // The pump survived all of the above: normal traffic still flows on
+    // the same connection and shutdown is clean.
+    client
+        .push_samples(masked, 1, N as u32, batch(1, 9, N))
+        .expect("post-hostility push");
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+}

@@ -22,8 +22,10 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
-use cad_core::{CadConfig, CadDetector, EngineChoice, StreamingCad};
-use cad_serve::{CadServer, ServeClient, ServeConfig, SessionSpec, WireEngine, WireOutcome};
+use cad_core::{CadConfig, CadDetector, EngineChoice, GapPolicy, StreamingCad};
+use cad_serve::{
+    CadServer, ServeClient, ServeConfig, SessionSpec, WireEngine, WireGapPolicy, WireOutcome,
+};
 
 const N_SENSORS: usize = 6;
 const W: u32 = 48;
@@ -401,6 +403,218 @@ fn cad_replay_is_deterministic_and_reproduces_live_verdicts() {
     ] {
         replay_one(engine);
     }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Chaos traffic — NaN holes and sensor churn — through the WAL.
+// ---------------------------------------------------------------------------
+
+const CHAOS_TICKS: usize = 400;
+const CHAOS_GROW: usize = 150; // join fence (width 6 → 7)
+const CHAOS_SHRINK: usize = 280; // leave fence (width 7 → 6)
+
+fn chaos_spec() -> SessionSpec {
+    let mut spec = SessionSpec::new(N_SENSORS as u32, W, S);
+    spec.k = 2;
+    spec.gap_policy = WireGapPolicy::Skip;
+    spec.reorder_slack = 4;
+    spec
+}
+
+/// Deterministic hostile reading: periodic NaN holes (a client-side gap
+/// fill looks exactly like this on the wire), a duty-cycled sensor, and a
+/// joiner (slot ≥ `N_SENSORS`) shadowing sensor 0.
+fn chaos_reading(session: u64, t: usize, sensor: usize) -> f64 {
+    if sensor >= N_SENSORS {
+        return 0.8 * chaos_reading(session, t, 0) + 0.01;
+    }
+    if (t * 13 + sensor * 7) % 29 == 0 {
+        return f64::NAN;
+    }
+    if sensor == 1 && (t / 16) % 3 == 2 {
+        return f64::NAN; // duty-cycle off phase
+    }
+    reading(session, t, sensor)
+}
+
+fn chaos_batch(session: u64, from: usize, to: usize, width: usize) -> Vec<f64> {
+    (from..to)
+        .flat_map(|t| (0..width).map(move |s| chaos_reading(session, t, s)))
+        .collect()
+}
+
+/// The uninterrupted direct reference for the chaos schedule.
+fn chaos_reference(session: u64) -> Vec<(u64, u64, u64, bool, Vec<u32>)> {
+    let config = CadConfig::builder(N_SENSORS)
+        .window(W as usize, S as usize)
+        .k(2)
+        .tau(0.3)
+        .theta(0.3)
+        .gap_policy(GapPolicy::Skip)
+        .reorder_slack(4)
+        .build();
+    let mut stream = StreamingCad::new(CadDetector::new(N_SENSORS, config));
+    let mut outs = Vec::new();
+    let mut width = N_SENSORS;
+    for t in 0..CHAOS_TICKS {
+        if t == CHAOS_GROW {
+            stream.reshape_sensors(N_SENSORS + 1);
+            width = N_SENSORS + 1;
+        }
+        if t == CHAOS_SHRINK {
+            stream.reshape_sensors(N_SENSORS);
+            width = N_SENSORS;
+        }
+        let row: Vec<f64> = (0..width).map(|s| chaos_reading(session, t, s)).collect();
+        if let Some(o) = stream.push_sample(&row) {
+            outs.push((
+                t as u64,
+                o.n_r as u64,
+                o.zscore.to_bits(),
+                o.abnormal,
+                o.outliers.iter().map(|&v| v as u32).collect(),
+            ));
+        }
+    }
+    outs
+}
+
+/// Push the chaos schedule for `[from, to)` in uneven batches, flushing at
+/// the reshape fences.
+fn push_chaos(
+    client: &mut ServeClient,
+    id: u64,
+    from: usize,
+    to: usize,
+    outs: &mut Vec<WireOutcome>,
+) {
+    let mut t = from;
+    while t < to {
+        if t == CHAOS_GROW {
+            client
+                .reshape_sensors(id, (N_SENSORS + 1) as u32)
+                .expect("grow");
+        }
+        if t == CHAOS_SHRINK {
+            client
+                .reshape_sensors(id, N_SENSORS as u32)
+                .expect("shrink");
+        }
+        let width = if (CHAOS_GROW..CHAOS_SHRINK).contains(&t) {
+            N_SENSORS + 1
+        } else {
+            N_SENSORS
+        };
+        let fence = if t < CHAOS_GROW {
+            CHAOS_GROW
+        } else if t < CHAOS_SHRINK {
+            CHAOS_SHRINK
+        } else {
+            CHAOS_TICKS
+        };
+        let len = 23usize.min(fence.min(to) - t);
+        outs.extend(
+            client
+                .push_samples(
+                    id,
+                    t as u64,
+                    width as u32,
+                    chaos_batch(id, t, t + len, width),
+                )
+                .expect("chaos push")
+                .outcomes,
+        );
+        t += len;
+    }
+}
+
+/// Chaos-shaped traffic — NaN holes in the payload, a mid-stream grow and
+/// shrink — must survive the WAL: a graceful restart splices the session
+/// bit-identically (the Reshape record replays in stream order), and
+/// `cad-replay` reproduces the live verdicts byte for byte, run after run.
+#[test]
+fn chaos_wal_restart_and_replay_are_bit_identical() {
+    let dir = unique_dir("chaos");
+    let id = 17u64;
+    let split = 201usize; // mid-churn: the joiner is live and warming up
+    let cfg = || ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        snapshot_dir: None,
+        max_sensors: N_SENSORS + 1,
+        wal_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    let mut outs = Vec::new();
+    let (addr, server) = start_server(cfg());
+    {
+        let mut client = ServeClient::connect(&addr, "chaos-1").expect("connect");
+        assert!(
+            !client
+                .create_session(id, chaos_spec())
+                .expect("create")
+                .resumed
+        );
+        push_chaos(&mut client, id, 0, split, &mut outs);
+        client.shutdown_server().expect("shutdown");
+    }
+    server.join().expect("server thread").expect("server run");
+
+    let (addr, server) = start_server(cfg());
+    {
+        let mut client = ServeClient::connect(&addr, "chaos-2").expect("connect");
+        let h = client.create_session(id, chaos_spec()).expect("re-attach");
+        assert!(h.resumed, "chaos session should resume from the WAL");
+        assert_eq!(
+            h.samples_seen as usize,
+            split,
+            "every NaN-bearing tick must survive, and the Reshape record \
+             must leave the resumed width at {}",
+            N_SENSORS + 1
+        );
+        push_chaos(&mut client, id, split, CHAOS_TICKS, &mut outs);
+        client.shutdown_server().expect("shutdown");
+    }
+    server.join().expect("server thread").expect("server run");
+
+    assert_eq!(
+        as_tuples(&outs),
+        chaos_reference(id),
+        "chaos WAL splice diverged from the uninterrupted run"
+    );
+
+    // cad-replay over the same log: deterministic, and byte-identical to
+    // the live verdicts — NaN payloads and Reshape records included.
+    let wal = dir.to_str().expect("utf8 path");
+    let report_a = run_replay(&["--wal", wal]);
+    let report_b = run_replay(&["--wal", wal]);
+    assert_eq!(report_a, report_b, "chaos replay is not deterministic");
+    let rendered: Vec<String> = outs
+        .iter()
+        .map(|o| {
+            let outliers = o
+                .outliers
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "{{\"tick\":{},\"n_r\":{},\"zscore_bits\":{},\"abnormal\":{},\"outliers\":[{}]}}",
+                o.tick, o.n_r, o.zscore_bits, o.abnormal, outliers
+            )
+        })
+        .collect();
+    let expected = format!("\"outcomes\":[{}]", rendered.join(","));
+    assert!(
+        report_a.contains(&expected),
+        "chaos replay does not reproduce the live verdicts"
+    );
+    assert!(
+        report_a.contains("\"gap_policy\":\"skip\""),
+        "replay report must carry the session's gap policy"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn replay_one(engine: WireEngine) {

@@ -43,6 +43,54 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
     }
 }
 
+/// Pairwise-deletion Pearson: correlation over the sample positions where
+/// *both* sides are non-NaN, ignoring every other position.
+///
+/// This is the reference oracle for the NaN-tolerant sliding accumulator
+/// ([`crate::masked::MaskedSlidingCov`]). Conventions extend [`pearson`]'s:
+/// fewer than two common samples → 0.0, a side that is (numerically)
+/// constant over the common samples → 0.0, result clamped to [-1, 1].
+pub fn pearson_pairwise(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson_pairwise requires equal lengths");
+    let mut c = 0usize;
+    let (mut sa, mut sb) = (0.0, 0.0);
+    for (&x, &y) in a.iter().zip(b) {
+        if !x.is_nan() && !y.is_nan() {
+            c += 1;
+            sa += x;
+            sb += y;
+        }
+    }
+    if c < 2 {
+        return 0.0;
+    }
+    let (ma, mb) = (sa / c as f64, sb / c as f64);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        if !x.is_nan() && !y.is_nan() {
+            let da = x - ma;
+            let db = y - mb;
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+    }
+    // The same per-side σ ≤ ε flatness screen as the sliding accumulators,
+    // taken over the common samples only.
+    let cf = c as f64;
+    if (va / cf).sqrt() <= f64::EPSILON || (vb / cf).sqrt() <= f64::EPSILON {
+        return 0.0;
+    }
+    let denom = (va * vb).sqrt();
+    if denom <= f64::EPSILON {
+        0.0
+    } else {
+        (cov / denom).clamp(-1.0, 1.0)
+    }
+}
+
 /// Correlation of two vectors that are already z-normalised (mean 0,
 /// population std 1): the scaled dot product. The caller promises the
 /// precondition; `debug_assert`s check it in dev builds.

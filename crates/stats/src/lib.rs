@@ -14,6 +14,7 @@
 pub mod correlation;
 pub mod descriptive;
 pub mod ecdf;
+pub mod masked;
 pub mod periodicity;
 pub mod rank;
 pub mod rank_correlation;
@@ -23,10 +24,12 @@ pub mod sliding;
 pub mod tiled;
 
 pub use correlation::{
-    pearson, pearson_matrix_normalized, pearson_normalized, znorm_in_place, znormed,
+    pearson, pearson_matrix_normalized, pearson_normalized, pearson_pairwise, znorm_in_place,
+    znormed,
 };
 pub use descriptive::{mean, median, quantile, stddev, variance};
 pub use ecdf::Ecdf;
+pub use masked::{MaskedCovState, MaskedSlidingCov};
 pub use periodicity::{autocorrelation, estimate_period};
 pub use rank::{average_ranks, rank_descending};
 pub use rank_correlation::{fractional_ranks, spearman};

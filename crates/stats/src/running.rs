@@ -38,6 +38,21 @@ impl RunningStats {
         self.m2 += delta * delta2;
     }
 
+    /// Add one observation if it is finite; silently skip NaN/±inf.
+    ///
+    /// The NaN-tolerant Welford entry point for degraded streams: a gap or
+    /// masked sample must not poison μ/σ (a single NaN pushed through
+    /// [`Self::push`] makes every later mean/variance NaN). Returns whether
+    /// the observation was accumulated.
+    pub fn push_finite(&mut self, x: f64) -> bool {
+        if x.is_finite() {
+            self.push(x);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Number of observations so far.
     pub fn count(&self) -> u64 {
         self.count

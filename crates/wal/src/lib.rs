@@ -157,6 +157,38 @@ pub enum WalEngine {
     },
 }
 
+/// Degraded-input policy recorded in a session's `Create` record. Mirrors
+/// `cad_core::GapPolicy` and shares its tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalGapPolicy {
+    /// Strict: NaN readings and unfillable gaps are rejected.
+    #[default]
+    Fail,
+    /// Missing readings become holes; correlations use pairwise deletion.
+    Skip,
+    /// Missing readings are substituted with the sensor's last valid value.
+    HoldLast,
+}
+
+impl WalGapPolicy {
+    fn tag(self) -> u8 {
+        match self {
+            WalGapPolicy::Fail => 0,
+            WalGapPolicy::Skip => 1,
+            WalGapPolicy::HoldLast => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(WalGapPolicy::Fail),
+            1 => Some(WalGapPolicy::Skip),
+            2 => Some(WalGapPolicy::HoldLast),
+            _ => None,
+        }
+    }
+}
+
 /// Self-describing session configuration stored in the log, so replay tools
 /// need no dependency on the wire protocol.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -179,6 +211,11 @@ pub struct WalSpec {
     pub rc_horizon: u32,
     /// Detection engine.
     pub engine: WalEngine,
+    /// Degraded-input policy. Encoded as trailing bytes, so records from
+    /// pre-hostile-streams builds decode to the strict default.
+    pub gap_policy: WalGapPolicy,
+    /// Reorder-buffer slack in ticks (0 = strict in-order ingest).
+    pub reorder_slack: u32,
 }
 
 /// One logged event.
@@ -216,12 +253,24 @@ pub enum WalRecord {
         /// Ticks covered by the durable state.
         samples_seen: u64,
     },
+    /// The session's sensor set was reshaped mid-stream (sensor churn).
+    /// Logged before the ack, like `Push`; replay applies it in order.
+    Reshape {
+        /// Session identifier.
+        session_id: u64,
+        /// New sensor count; later `Push` records carry this width.
+        n_sensors: u32,
+        /// Ticks the session had consumed when the reshape was admitted
+        /// (lets compaction treat it like a push ending at this tick).
+        at_tick: u64,
+    },
 }
 
 const TAG_CREATE: u8 = 1;
 const TAG_PUSH: u8 = 2;
 const TAG_CLOSE: u8 = 3;
 const TAG_CHECKPOINT: u8 = 4;
+const TAG_RESHAPE: u8 = 5;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -285,7 +334,8 @@ impl WalRecord {
             WalRecord::Create { session_id, .. }
             | WalRecord::Push { session_id, .. }
             | WalRecord::Close { session_id }
-            | WalRecord::Checkpoint { session_id, .. } => session_id,
+            | WalRecord::Checkpoint { session_id, .. }
+            | WalRecord::Reshape { session_id, .. } => session_id,
         }
     }
 
@@ -326,6 +376,8 @@ impl WalRecord {
                         put_u32(&mut buf, rebuild_every);
                     }
                 }
+                buf.push(spec.gap_policy.tag());
+                put_u32(&mut buf, spec.reorder_slack);
             }
             WalRecord::Push {
                 session_id,
@@ -354,6 +406,16 @@ impl WalRecord {
                 buf.push(TAG_CHECKPOINT);
                 put_u64(&mut buf, *session_id);
                 put_u64(&mut buf, *samples_seen);
+            }
+            WalRecord::Reshape {
+                session_id,
+                n_sensors,
+                at_tick,
+            } => {
+                buf.push(TAG_RESHAPE);
+                put_u64(&mut buf, *session_id);
+                put_u32(&mut buf, *n_sensors);
+                put_u64(&mut buf, *at_tick);
             }
         }
         buf
@@ -394,6 +456,13 @@ impl WalRecord {
                     },
                     _ => return None,
                 };
+                // Trailing hostile-streams extension; absent in records
+                // written by older builds.
+                let (gap_policy, reorder_slack) = if c.done() {
+                    (WalGapPolicy::Fail, 0)
+                } else {
+                    (WalGapPolicy::from_tag(c.u8()?)?, c.u32()?)
+                };
                 WalRecord::Create {
                     session_id,
                     spec: WalSpec {
@@ -406,6 +475,8 @@ impl WalRecord {
                         eta,
                         rc_horizon,
                         engine,
+                        gap_policy,
+                        reorder_slack,
                     },
                 }
             }
@@ -437,6 +508,11 @@ impl WalRecord {
             TAG_CHECKPOINT => WalRecord::Checkpoint {
                 session_id: c.u64()?,
                 samples_seen: c.u64()?,
+            },
+            TAG_RESHAPE => WalRecord::Reshape {
+                session_id: c.u64()?,
+                n_sensors: c.u32()?,
+                at_tick: c.u64()?,
             },
             _ => return None,
         };
@@ -470,6 +546,12 @@ impl Footprint {
             WalRecord::Close { .. } => self.has_close = true,
             WalRecord::Push { .. } => {
                 self.max_push_end = self.max_push_end.max(rec.push_end_tick().unwrap_or(0));
+            }
+            // A reshape is durably covered once a snapshot spans the tick
+            // it was admitted at — same retention rule as a push ending
+            // there.
+            WalRecord::Reshape { at_tick, .. } => {
+                self.max_push_end = self.max_push_end.max(*at_tick);
             }
             WalRecord::Checkpoint { .. } => {}
         }
@@ -1090,6 +1172,8 @@ mod tests {
             eta: 3.0,
             rc_horizon: 0,
             engine: WalEngine::Incremental { rebuild_every: 16 },
+            gap_policy: WalGapPolicy::Skip,
+            reorder_slack: 3,
         }
     }
 
@@ -1121,6 +1205,11 @@ mod tests {
                 session_id: 7,
                 samples_seen: 45,
             },
+            WalRecord::Reshape {
+                session_id: 7,
+                n_sensors: 6,
+                at_tick: 45,
+            },
             WalRecord::Close { session_id: 7 },
         ];
         for rec in &records {
@@ -1151,6 +1240,44 @@ mod tests {
             },
             other => other.clone(),
         }
+    }
+
+    #[test]
+    fn legacy_create_without_gap_bytes_decodes_to_strict_default() {
+        // Records written before the hostile-streams change end right after
+        // the engine field; the decoder must fall back to Fail / slack 0.
+        let rec = WalRecord::Create {
+            session_id: 3,
+            spec: WalSpec {
+                gap_policy: WalGapPolicy::Fail,
+                reorder_slack: 0,
+                ..spec()
+            },
+        };
+        let framed = rec.encode();
+        let payload = &framed[8..framed.len() - 5]; // drop tag + slack bytes
+        let decoded = WalRecord::decode_payload(payload).unwrap();
+        match decoded {
+            WalRecord::Create { spec: got, .. } => {
+                assert_eq!(got.gap_policy, WalGapPolicy::Fail);
+                assert_eq!(got.reorder_slack, 0);
+                assert_eq!(got.n_sensors, 4);
+            }
+            other => panic!("expected Create, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_with_unknown_gap_tag_is_rejected() {
+        let rec = WalRecord::Create {
+            session_id: 3,
+            spec: spec(),
+        };
+        let framed = rec.encode();
+        let mut payload = framed[8..].to_vec();
+        let tag_at = payload.len() - 5;
+        payload[tag_at] = 9;
+        assert!(WalRecord::decode_payload(&payload).is_none());
     }
 
     #[test]

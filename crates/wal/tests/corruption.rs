@@ -17,8 +17,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use cad_wal::{
-    scan_wal, shard_dir, FsyncPolicy, ShardWal, WalConfig, WalEngine, WalRecord, WalSpec,
-    HEADER_BYTES, SEGMENT_MAGIC,
+    scan_wal, shard_dir, FsyncPolicy, ShardWal, WalConfig, WalEngine, WalGapPolicy, WalRecord,
+    WalSpec, HEADER_BYTES, SEGMENT_MAGIC,
 };
 use proptest::prelude::*;
 
@@ -44,6 +44,8 @@ fn spec() -> WalSpec {
         eta: 3.0,
         rc_horizon: 0,
         engine: WalEngine::Exact,
+        gap_policy: WalGapPolicy::Fail,
+        reorder_slack: 0,
     }
 }
 
