@@ -199,6 +199,75 @@ fn parse_num(raw: &str, flag: &str) -> usize {
 
 /// Deterministic reading for (session, tick, sensor) — must match the
 /// spot-check reference below.
+/// Flight-recorder overhead A/B (steady profile): two short arms over
+/// identical load — recorder off, then on at the daemon-documented
+/// 250ms cadence — comparing the client-observed push p99. The ratio is
+/// the headline observability-tax figure the serve perf gate guards:
+/// the sampler thread walks the whole registry once per cadence off the
+/// push path, so the ratio should ride at ~1.0 and a recorder that
+/// starts contending with serving shows up as a ratio step.
+fn flight_overhead_ab(n_sensors: usize, w: usize, s: usize) -> String {
+    let cadence_ms = 250u64;
+    let (sessions, ticks) = (16usize, 1024usize);
+    let arm = |flight: Option<cad_obs::FlightConfig>| -> f64 {
+        let server = CadServer::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            queue_capacity: s * 32,
+            max_sessions: sessions.max(16),
+            read_timeout: Duration::from_millis(100),
+            flight,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("local_addr").to_string();
+        let handle = std::thread::spawn(move || server.run());
+        let mut client = ServeClient::connect(&addr, "loadgen-flight-ab").expect("connect");
+        for id in 0..sessions {
+            client
+                .create_session(id as u64, session_spec(n_sensors, w, s))
+                .expect("create");
+        }
+        let mut lat = Vec::with_capacity(sessions * ticks / s.max(1));
+        let mut t = 0usize;
+        while t < ticks {
+            let len = s.min(ticks - t);
+            for id in 0..sessions {
+                let samples: Vec<f64> = (t..t + len)
+                    .flat_map(|u| (0..n_sensors).map(move |v| reading(id as u64, u, v)))
+                    .collect();
+                let push_t0 = Instant::now();
+                client
+                    .push_samples(id as u64, t as u64, n_sensors as u32, samples)
+                    .expect("push");
+                lat.push(push_t0.elapsed().as_secs_f64());
+            }
+            t += len;
+        }
+        client.shutdown_server().expect("shutdown");
+        handle.join().expect("server thread").expect("server run");
+        lat.sort_by(|a, b| a.total_cmp(b));
+        quantile(&lat, 0.99)
+    };
+    let p99_off = arm(None);
+    let p99_on = arm(Some(cad_obs::FlightConfig {
+        cadence: Duration::from_millis(cadence_ms),
+        ring: 512,
+        keyframe_every: 16,
+        spool: None,
+    }));
+    let ratio = if p99_off > 0.0 { p99_on / p99_off } else { 1.0 };
+    eprintln!(
+        "[loadgen] flight A/B: push p99 off {:.3}ms on {:.3}ms → ratio {ratio:.3} \
+         ({cadence_ms}ms cadence)",
+        p99_off * 1e3,
+        p99_on * 1e3,
+    );
+    format!(
+        "{{\"cadence_ms\": {cadence_ms}, \"p99_off_secs\": {p99_off:.9}, \
+         \"p99_on_secs\": {p99_on:.9}, \"p99_ratio\": {ratio:.4}}}"
+    )
+}
+
 fn reading(session: u64, t: usize, sensor: usize) -> f64 {
     let phase = session as f64 * 0.61 + sensor as f64 * 0.23;
     (t as f64 * 0.17 + phase).sin() + 0.05 * sensor as f64
@@ -604,6 +673,9 @@ fn run_steady(opts: &Opts) {
     let (p50, p99, p999) = push_latency_quantiles(&metrics);
     let resident_bytes = cad_obs::read_process_rss().unwrap_or(0);
     let wal = wal_json(&metrics, wal_dir.as_deref(), wal_fsync);
+    // The A/B spins its own paired servers after the main run so its
+    // arms see a quiet machine rather than the tail of the hammering.
+    let flight = flight_overhead_ab(n_sensors, w, s);
 
     let json = format!(
         concat!(
@@ -647,6 +719,7 @@ fn run_steady(opts: &Opts) {
             "  \"server_total_rounds\": {},\n",
             "  \"server_total_anomalies\": {},\n",
             "  \"wal\": {},\n",
+            "  \"flight\": {},\n",
             "  \"phases\": {}\n",
             "}}\n"
         ),
@@ -687,6 +760,7 @@ fn run_steady(opts: &Opts) {
         stats.total_rounds,
         stats.total_anomalies,
         wal,
+        flight,
         stats.phases_json,
     );
     write_results(&json, &metrics);

@@ -183,6 +183,30 @@ impl CadDetector {
         self.n_sensors = new_n;
     }
 
+    /// Number of sensor slots still inside the warm-up quarantine that
+    /// [`Self::reshape_sensors`] imposes on freshly added slots. Original
+    /// slots (`warmup_until == 0`) are never counted, even before the
+    /// first round.
+    pub fn quarantined_sensors(&self) -> usize {
+        let r = self.tracker.rounds();
+        self.warmup_until
+            .iter()
+            .filter(|&&u| u > 0 && u >= r)
+            .count()
+    }
+
+    /// Detection rounds remaining until every quarantined slot becomes
+    /// eligible for the outlier set again (0 when nothing is quarantined).
+    pub fn warmup_rounds_left(&self) -> usize {
+        let r = self.tracker.rounds();
+        self.warmup_until
+            .iter()
+            .filter(|&&u| u > 0)
+            .map(|&u| (u + 1).saturating_sub(r))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Observed variation-count statistics (μ, σ, count).
     pub fn stats(&self) -> &RunningStats {
         &self.stats

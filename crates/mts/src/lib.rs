@@ -19,4 +19,6 @@ pub mod windows;
 
 pub use labels::{AnomalyLabel, GroundTruth};
 pub use matrix::Mts;
-pub use windows::{round_count, round_span, MtsWindow, WindowIter, WindowSource, WindowSpec};
+pub use windows::{
+    round_count, round_span, MtsWindow, RowMajorWindow, WindowIter, WindowSource, WindowSpec,
+};

@@ -70,6 +70,52 @@ impl WindowSource for MtsWindow<'_> {
     }
 }
 
+/// Owned row-major window: `n` sensors × `w` samples, with sensor `s`'s
+/// readings contiguous at `[s·w, (s+1)·w)`.
+///
+/// The public [`WindowSource`] adapter for externally assembled matrices —
+/// e.g. a metric matrix decoded from a flight-recorder ring — that need to
+/// feed a detector without first being copied into an [`Mts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowMajorWindow {
+    data: Vec<f64>,
+    n_sensors: usize,
+    w: usize,
+}
+
+impl RowMajorWindow {
+    /// Wrap `data` (length must be exactly `n_sensors * w`).
+    pub fn new(data: Vec<f64>, n_sensors: usize, w: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            n_sensors * w,
+            "row-major window needs n_sensors*w = {} values, got {}",
+            n_sensors * w,
+            data.len()
+        );
+        Self { data, n_sensors, w }
+    }
+
+    /// The underlying row-major buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl WindowSource for RowMajorWindow {
+    fn n_sensors(&self) -> usize {
+        self.n_sensors
+    }
+
+    fn w(&self) -> usize {
+        self.w
+    }
+
+    fn segments(&self, s: usize) -> (&[f64], &[f64]) {
+        (&self.data[s * self.w..(s + 1) * self.w], &[])
+    }
+}
+
 /// Window and step parameters for partitioning, plus the CAD round
 /// semantics derived from them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -243,6 +289,24 @@ mod tests {
     #[should_panic(expected = "must not exceed")]
     fn step_larger_than_window_rejected() {
         WindowSpec::new(4, 5);
+    }
+
+    #[test]
+    fn row_major_window_segments_are_contiguous() {
+        let w = RowMajorWindow::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3);
+        assert_eq!(w.n_sensors(), 2);
+        assert_eq!(w.w(), 3);
+        assert_eq!(w.segments(0), (&[1.0, 2.0, 3.0][..], &[][..]));
+        assert_eq!(w.segments(1), (&[4.0, 5.0, 6.0][..], &[][..]));
+        let mut out = Vec::new();
+        w.copy_sensor_into(1, &mut out);
+        assert_eq!(out, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_sensors*w")]
+    fn row_major_window_rejects_bad_shape() {
+        RowMajorWindow::new(vec![0.0; 5], 2, 3);
     }
 
     proptest! {

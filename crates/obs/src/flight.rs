@@ -1,0 +1,919 @@
+//! Flight recorder: fixed-cadence [`Registry`] sampling into a bounded
+//! in-memory ring of delta-encoded frames.
+//!
+//! # Wire format (`CADF` v1)
+//!
+//! A CADF stream is a stream header followed by zero or more frames,
+//! little-endian throughout (mirroring `CADM`, [`crate::snapshot`]):
+//!
+//! ```text
+//! stream  = magic u32 0x46444143 ("CADF"), version u16 1, flags u16 0
+//! frame   = kind u8 (0 keyframe, 1 delta)
+//!           seq u64            sample index, 0-based, dense
+//!           ts_ms u64          wall-clock milliseconds from the recorder's
+//!                              clock (injectable; tests pin a fake clock)
+//!           len u32            payload byte length
+//!           payload
+//! ```
+//!
+//! A **keyframe** payload is a complete `CADM` dump of the registry
+//! snapshot ([`MetricsSnapshot::encode`]). A **delta** payload encodes
+//! only what changed since the previous frame and is valid only while
+//! the metric identity sets (names + labels, in snapshot order) are
+//! unchanged — positions index into the previous frame's families:
+//!
+//! ```text
+//! delta   = counters   u32 n, then n x { index u32, delta u64 }
+//!           gauges     u32 n, then n x { index u32, value i64 }
+//!           histograms u32 n, then n x { index u32,
+//!                        count_delta u64, sum_delta u64,
+//!                        min u64, max u64,           (absolute)
+//!                        buckets u32 n, then n x (bucket u32, inc u64) }
+//! ```
+//!
+//! The encoder emits a keyframe on the first sample, every
+//! `keyframe_every`-th sample thereafter, and whenever a delta cannot
+//! represent the change (metric registered/removed, counter or histogram
+//! went backwards after a [`Registry::reset`]). The decoder resyncs on
+//! keyframes: deltas before the first keyframe are counted and skipped,
+//! and an incomplete trailing frame (torn spool, bounded dump) is
+//! dropped, never an error. Encoding is deterministic: the same snapshot
+//! sequence with the same clock produces bit-identical streams.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::registry::Registry;
+use crate::snapshot::{DecodeError, MetricsSnapshot};
+
+/// Magic prefix of a CADF stream: `"CADF"` little-endian.
+pub const FLIGHT_MAGIC: u32 = u32::from_le_bytes(*b"CADF");
+/// Current CADF format version.
+pub const FLIGHT_VERSION: u16 = 1;
+
+/// Environment variable: sampling cadence in milliseconds (0/unset → off).
+pub const ENV_FLIGHT_CADENCE: &str = "CAD_FLIGHT_CADENCE_MS";
+/// Environment variable: max frames retained in the in-memory ring.
+pub const ENV_FLIGHT_RING: &str = "CAD_FLIGHT_RING";
+/// Environment variable: directory receiving the on-disk frame spool.
+pub const ENV_FLIGHT_SPOOL: &str = "CAD_FLIGHT_SPOOL";
+
+/// Default ring capacity (frames) when [`ENV_FLIGHT_RING`] is unset.
+pub const DEFAULT_RING: usize = 512;
+/// Keyframe cadence: a full `CADM` keyframe every K samples.
+pub const DEFAULT_KEYFRAME_EVERY: usize = 16;
+
+const FRAME_HEADER_BYTES: usize = 1 + 8 + 8 + 4;
+
+/// The 8-byte CADF stream header.
+pub fn stream_header() -> [u8; 8] {
+    let mut h = [0u8; 8];
+    h[..4].copy_from_slice(&FLIGHT_MAGIC.to_le_bytes());
+    h[4..6].copy_from_slice(&FLIGHT_VERSION.to_le_bytes());
+    h
+}
+
+/// One decoded frame: the fully reconstructed registry snapshot at one
+/// sample point (deltas are applied during decode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightFrame {
+    /// Dense 0-based sample index.
+    pub seq: u64,
+    /// Clock reading at sample time, milliseconds.
+    pub ts_ms: u64,
+    /// Whether this frame was stored as a keyframe (vs a delta).
+    pub keyframe: bool,
+    /// The complete snapshot at this sample.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// One encoded frame as it sits in the ring / spool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedFrame {
+    /// Dense 0-based sample index.
+    pub seq: u64,
+    /// Clock reading at sample time, milliseconds.
+    pub ts_ms: u64,
+    /// Whether the payload is a full keyframe.
+    pub keyframe: bool,
+    /// The complete frame bytes (frame header + payload).
+    pub bytes: Vec<u8>,
+}
+
+fn identity_eq(a: &MetricsSnapshot, b: &MetricsSnapshot) -> bool {
+    a.counters.len() == b.counters.len()
+        && a.gauges.len() == b.gauges.len()
+        && a.histograms.len() == b.histograms.len()
+        && a.counters
+            .iter()
+            .zip(&b.counters)
+            .all(|(x, y)| x.name == y.name && x.labels == y.labels)
+        && a.gauges
+            .iter()
+            .zip(&b.gauges)
+            .all(|(x, y)| x.name == y.name && x.labels == y.labels)
+        && a.histograms
+            .iter()
+            .zip(&b.histograms)
+            .all(|(x, y)| x.name == y.name && x.labels == y.labels)
+}
+
+/// Sparse bucket increments `cur - prev`, or `None` when any bucket went
+/// backwards (counts are monotonic only within one registry epoch).
+fn bucket_increments(prev: &[(u32, u64)], cur: &[(u32, u64)]) -> Option<Vec<(u32, u64)>> {
+    let mut out = Vec::new();
+    let mut pi = 0usize;
+    for &(index, n) in cur {
+        if pi < prev.len() && prev[pi].0 < index {
+            // A bucket present before but absent now: went backwards.
+            return None;
+        }
+        let before = if pi < prev.len() && prev[pi].0 == index {
+            pi += 1;
+            prev[pi - 1].1
+        } else {
+            0
+        };
+        if n < before {
+            return None;
+        }
+        if n > before {
+            out.push((index, n - before));
+        }
+    }
+    if pi < prev.len() {
+        return None;
+    }
+    Some(out)
+}
+
+/// The delta payload `prev → cur`, or `None` when the change cannot be
+/// expressed as a delta (identity change or non-monotonic movement).
+fn encode_delta(prev: &MetricsSnapshot, cur: &MetricsSnapshot) -> Option<Vec<u8>> {
+    if !identity_eq(prev, cur) {
+        return None;
+    }
+    let mut counters = Vec::new();
+    for (i, (p, c)) in prev.counters.iter().zip(&cur.counters).enumerate() {
+        if c.value < p.value {
+            return None;
+        }
+        if c.value != p.value {
+            counters.push((i as u32, c.value - p.value));
+        }
+    }
+    let mut gauges = Vec::new();
+    for (i, (p, c)) in prev.gauges.iter().zip(&cur.gauges).enumerate() {
+        if c.value != p.value {
+            gauges.push((i as u32, c.value));
+        }
+    }
+    let mut hists = Vec::new();
+    for (i, (p, c)) in prev.histograms.iter().zip(&cur.histograms).enumerate() {
+        if p == c {
+            continue;
+        }
+        if c.count < p.count || c.sum < p.sum {
+            return None;
+        }
+        let incs = bucket_increments(&p.buckets, &c.buckets)?;
+        hists.push((
+            i as u32,
+            c.count - p.count,
+            c.sum - p.sum,
+            c.min,
+            c.max,
+            incs,
+        ));
+    }
+
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&(counters.len() as u32).to_le_bytes());
+    for (index, delta) in counters {
+        out.extend_from_slice(&index.to_le_bytes());
+        out.extend_from_slice(&delta.to_le_bytes());
+    }
+    out.extend_from_slice(&(gauges.len() as u32).to_le_bytes());
+    for (index, value) in gauges {
+        out.extend_from_slice(&index.to_le_bytes());
+        out.extend_from_slice(&(value as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(hists.len() as u32).to_le_bytes());
+    for (index, count_delta, sum_delta, min, max, incs) in hists {
+        out.extend_from_slice(&index.to_le_bytes());
+        out.extend_from_slice(&count_delta.to_le_bytes());
+        out.extend_from_slice(&sum_delta.to_le_bytes());
+        out.extend_from_slice(&min.to_le_bytes());
+        out.extend_from_slice(&max.to_le_bytes());
+        out.extend_from_slice(&(incs.len() as u32).to_le_bytes());
+        for (bucket, inc) in incs {
+            out.extend_from_slice(&bucket.to_le_bytes());
+            out.extend_from_slice(&inc.to_le_bytes());
+        }
+    }
+    Some(out)
+}
+
+struct DeltaCursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> DeltaCursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.at < n {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Apply a delta payload to `prev`, producing the next full snapshot.
+fn apply_delta(prev: &MetricsSnapshot, payload: &[u8]) -> Result<MetricsSnapshot, DecodeError> {
+    let mut cur = prev.clone();
+    let mut c = DeltaCursor {
+        buf: payload,
+        at: 0,
+    };
+    let n = c.u32()? as usize;
+    for _ in 0..n {
+        let index = c.u32()? as usize;
+        let delta = c.u64()?;
+        let slot = cur.counters.get_mut(index).ok_or(DecodeError::Truncated)?;
+        slot.value = slot.value.wrapping_add(delta);
+    }
+    let n = c.u32()? as usize;
+    for _ in 0..n {
+        let index = c.u32()? as usize;
+        let value = c.u64()? as i64;
+        let slot = cur.gauges.get_mut(index).ok_or(DecodeError::Truncated)?;
+        slot.value = value;
+    }
+    let n = c.u32()? as usize;
+    for _ in 0..n {
+        let index = c.u32()? as usize;
+        let count_delta = c.u64()?;
+        let sum_delta = c.u64()?;
+        let min = c.u64()?;
+        let max = c.u64()?;
+        let n_incs = c.u32()? as usize;
+        let mut incs = Vec::with_capacity(n_incs.min(crate::hist::N_BUCKETS));
+        for _ in 0..n_incs {
+            let bucket = c.u32()?;
+            if bucket as usize >= crate::hist::N_BUCKETS {
+                return Err(DecodeError::BadBucketIndex(bucket));
+            }
+            incs.push((bucket, c.u64()?));
+        }
+        let slot = cur
+            .histograms
+            .get_mut(index)
+            .ok_or(DecodeError::Truncated)?;
+        slot.count = slot.count.wrapping_add(count_delta);
+        slot.sum = slot.sum.wrapping_add(sum_delta);
+        slot.min = min;
+        slot.max = max;
+        for (bucket, inc) in incs {
+            match slot.buckets.binary_search_by_key(&bucket, |&(b, _)| b) {
+                Ok(i) => slot.buckets[i].1 = slot.buckets[i].1.wrapping_add(inc),
+                Err(i) => slot.buckets.insert(i, (bucket, inc)),
+            }
+        }
+    }
+    if c.at != payload.len() {
+        return Err(DecodeError::TrailingBytes(payload.len() - c.at));
+    }
+    Ok(cur)
+}
+
+/// Streaming CADF encoder: feed snapshots, get frames.
+#[derive(Debug)]
+pub struct FlightEncoder {
+    keyframe_every: usize,
+    since_keyframe: usize,
+    last: Option<MetricsSnapshot>,
+}
+
+impl FlightEncoder {
+    /// An encoder emitting a keyframe every `keyframe_every` samples
+    /// (clamped to ≥ 1).
+    pub fn new(keyframe_every: usize) -> Self {
+        Self {
+            keyframe_every: keyframe_every.max(1),
+            since_keyframe: 0,
+            last: None,
+        }
+    }
+
+    /// Encode one sample as a complete frame (header + payload). Returns
+    /// the frame and whether it was stored as a keyframe.
+    pub fn encode_frame(&mut self, seq: u64, ts_ms: u64, snap: &MetricsSnapshot) -> EncodedFrame {
+        let delta = if self.since_keyframe < self.keyframe_every {
+            self.last.as_ref().and_then(|prev| encode_delta(prev, snap))
+        } else {
+            None
+        };
+        let (kind, payload) = match delta {
+            Some(d) => (1u8, d),
+            None => (0u8, snap.encode()),
+        };
+        let keyframe = kind == 0;
+        if keyframe {
+            self.since_keyframe = 1;
+        } else {
+            self.since_keyframe += 1;
+        }
+        self.last = Some(snap.clone());
+
+        let mut bytes = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+        bytes.push(kind);
+        bytes.extend_from_slice(&seq.to_le_bytes());
+        bytes.extend_from_slice(&ts_ms.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        EncodedFrame {
+            seq,
+            ts_ms,
+            keyframe,
+            bytes,
+        }
+    }
+}
+
+/// Result of decoding a CADF stream: the reconstructed frames plus the
+/// degradation the decoder tolerated (resync skips, torn tail).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlightDecode {
+    /// Fully reconstructed frames, in stream order.
+    pub frames: Vec<FlightFrame>,
+    /// Delta frames dropped because no keyframe preceded them (the
+    /// decoder resynchronises on the next keyframe).
+    pub skipped_deltas: u64,
+    /// Bytes of an incomplete trailing frame that were dropped.
+    pub truncated_bytes: usize,
+}
+
+/// Decode a CADF stream. A bad stream header is an error; a torn tail or
+/// deltas awaiting a keyframe degrade gracefully (see [`FlightDecode`]).
+pub fn decode_stream(bytes: &[u8]) -> Result<FlightDecode, DecodeError> {
+    if bytes.len() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    if magic != FLIGHT_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version != FLIGHT_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+
+    let mut out = FlightDecode::default();
+    let mut current: Option<MetricsSnapshot> = None;
+    let mut at = 8usize;
+    while at < bytes.len() {
+        let remaining = bytes.len() - at;
+        if remaining < FRAME_HEADER_BYTES {
+            out.truncated_bytes = remaining;
+            break;
+        }
+        let kind = bytes[at];
+        let seq = u64::from_le_bytes(bytes[at + 1..at + 9].try_into().unwrap());
+        let ts_ms = u64::from_le_bytes(bytes[at + 9..at + 17].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[at + 17..at + 21].try_into().unwrap()) as usize;
+        if remaining - FRAME_HEADER_BYTES < len {
+            out.truncated_bytes = remaining;
+            break;
+        }
+        let payload = &bytes[at + FRAME_HEADER_BYTES..at + FRAME_HEADER_BYTES + len];
+        at += FRAME_HEADER_BYTES + len;
+        match kind {
+            0 => {
+                let snap = MetricsSnapshot::decode(payload)?;
+                current = Some(snap.clone());
+                out.frames.push(FlightFrame {
+                    seq,
+                    ts_ms,
+                    keyframe: true,
+                    snapshot: snap,
+                });
+            }
+            1 => match current.as_ref() {
+                Some(prev) => {
+                    let snap = apply_delta(prev, payload)?;
+                    current = Some(snap.clone());
+                    out.frames.push(FlightFrame {
+                        seq,
+                        ts_ms,
+                        keyframe: false,
+                        snapshot: snap,
+                    });
+                }
+                None => out.skipped_deltas += 1,
+            },
+            other => return Err(DecodeError::BadMagic(other as u32)),
+        }
+    }
+    Ok(out)
+}
+
+/// Recorder configuration; see the module docs for knob semantics.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Sampling cadence of the sampler thread.
+    pub cadence: Duration,
+    /// Max frames retained in the in-memory ring.
+    pub ring: usize,
+    /// Full keyframe every K samples.
+    pub keyframe_every: usize,
+    /// Directory receiving the on-disk spool of sealed frames, if any.
+    pub spool: Option<PathBuf>,
+}
+
+impl FlightConfig {
+    /// Read `CAD_FLIGHT_*` from the environment. Returns `None` (recorder
+    /// fully disabled, zero cost) unless [`ENV_FLIGHT_CADENCE`] parses to
+    /// a non-zero number of milliseconds.
+    pub fn from_env() -> Option<Self> {
+        let cadence_ms = std::env::var(ENV_FLIGHT_CADENCE)
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        if cadence_ms == 0 {
+            return None;
+        }
+        let ring = std::env::var(ENV_FLIGHT_RING)
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_RING);
+        let spool = std::env::var(ENV_FLIGHT_SPOOL)
+            .ok()
+            .filter(|p| !p.is_empty())
+            .map(PathBuf::from);
+        Some(Self {
+            cadence: Duration::from_millis(cadence_ms),
+            ring,
+            keyframe_every: DEFAULT_KEYFRAME_EVERY,
+            spool,
+        })
+    }
+}
+
+/// The wall clock the recorder stamps frames with, injectable so tests
+/// can pin it and assert bit-identical streams.
+pub type FlightClock = Box<dyn Fn() -> u64 + Send + Sync>;
+
+fn system_clock_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+struct RecorderState {
+    encoder: FlightEncoder,
+    ring: VecDeque<EncodedFrame>,
+    next_seq: u64,
+    spool: Option<std::io::BufWriter<std::fs::File>>,
+    spool_errors: u64,
+}
+
+/// The flight recorder: samples a registry into the CADF ring. Sampling
+/// happens on [`FlightRecorder::tick`] — either driven by the sampler
+/// thread ([`start_sampler`]) or directly by tests.
+pub struct FlightRecorder {
+    cadence: Duration,
+    ring_cap: usize,
+    spool_path: Option<PathBuf>,
+    clock: FlightClock,
+    state: Mutex<RecorderState>,
+    stop: AtomicBool,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("cadence", &self.cadence)
+            .field("ring_cap", &self.ring_cap)
+            .field("spool_path", &self.spool_path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder on the system clock. Creates the spool directory and
+    /// opens (truncating) `flight.cadf` inside it when a spool is
+    /// configured.
+    pub fn new(config: FlightConfig) -> std::io::Result<Self> {
+        Self::with_clock(config, Box::new(system_clock_ms))
+    }
+
+    /// A recorder with an injected clock (tests pin a fake one to get
+    /// bit-identical streams across runs).
+    pub fn with_clock(config: FlightConfig, clock: FlightClock) -> std::io::Result<Self> {
+        let (spool, spool_path) = match &config.spool {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join("flight.cadf");
+                let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+                file.write_all(&stream_header())?;
+                (Some(file), Some(path))
+            }
+            None => (None, None),
+        };
+        Ok(Self {
+            cadence: config.cadence,
+            ring_cap: config.ring.max(1),
+            spool_path,
+            clock,
+            state: Mutex::new(RecorderState {
+                encoder: FlightEncoder::new(config.keyframe_every),
+                ring: VecDeque::new(),
+                next_seq: 0,
+                spool,
+                spool_errors: 0,
+            }),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The configured sampling cadence.
+    pub fn cadence(&self) -> Duration {
+        self.cadence
+    }
+
+    /// Ring capacity in frames.
+    pub fn ring_capacity(&self) -> usize {
+        self.ring_cap
+    }
+
+    /// The spool file path, when spooling is enabled.
+    pub fn spool_path(&self) -> Option<&std::path::Path> {
+        self.spool_path.as_deref()
+    }
+
+    /// Take one sample of `registry` now: snapshot, encode, ring, spool.
+    pub fn tick(&self, registry: &Registry) {
+        let snap = registry.snapshot();
+        let ts_ms = (self.clock)();
+        let mut state = self.state.lock().expect("flight recorder poisoned");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let frame = state.encoder.encode_frame(seq, ts_ms, &snap);
+        if let Some(spool) = state.spool.as_mut() {
+            let failed = spool.write_all(&frame.bytes).is_err() || spool.flush().is_err();
+            if failed {
+                state.spool_errors += 1;
+            }
+        }
+        if state.ring.len() == self.ring_cap {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(frame);
+    }
+
+    /// Samples taken so far (ring may retain fewer).
+    pub fn frames_recorded(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("flight recorder poisoned")
+            .next_seq
+    }
+
+    /// Spool writes that failed (recording continued).
+    pub fn spool_errors(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("flight recorder poisoned")
+            .spool_errors
+    }
+
+    /// Copy of the retained ring, oldest first.
+    pub fn frames(&self) -> Vec<EncodedFrame> {
+        self.state
+            .lock()
+            .expect("flight recorder poisoned")
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// A raw CADF dump of the retained frames with `from ≤ seq ≤ to`,
+    /// extended backwards to the nearest retained keyframe so the dump is
+    /// independently decodable. Byte-identical across calls as long as
+    /// the requested frames are still in the ring.
+    pub fn dump(&self, from: u64, to: u64) -> Vec<u8> {
+        let state = self.state.lock().expect("flight recorder poisoned");
+        let mut start = None;
+        let mut end = 0usize;
+        for (i, frame) in state.ring.iter().enumerate() {
+            if frame.seq < from {
+                continue;
+            }
+            if frame.seq > to {
+                break;
+            }
+            if start.is_none() {
+                start = Some(i);
+            }
+            end = i + 1;
+        }
+        let mut out = stream_header().to_vec();
+        let Some(mut start) = start else {
+            return out;
+        };
+        // Walk back to the keyframe this window's deltas chain from.
+        while start > 0 && !state.ring[start].keyframe {
+            start -= 1;
+        }
+        for frame in state.ring.iter().take(end).skip(start) {
+            out.extend_from_slice(&frame.bytes);
+        }
+        out
+    }
+
+    /// Ask the sampler thread (if any) to stop after its current sleep.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to the fixed-cadence sampler thread; stops and joins on drop.
+pub struct FlightSampler {
+    recorder: Arc<FlightRecorder>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FlightSampler {
+    /// Stop the sampler and wait for the thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.recorder.request_stop();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FlightSampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawn the sampler thread: one [`FlightRecorder::tick`] of the global
+/// registry per cadence interval until stopped.
+pub fn start_sampler(recorder: Arc<FlightRecorder>) -> FlightSampler {
+    let worker = recorder.clone();
+    let handle = std::thread::Builder::new()
+        .name("cad-flight-sampler".into())
+        .spawn(move || {
+            while !worker.stop_requested() {
+                worker.tick(crate::registry::global());
+                // Sleep in short slices so shutdown is prompt even at
+                // multi-second cadences.
+                let mut left = worker.cadence();
+                while !left.is_zero() && !worker.stop_requested() {
+                    let nap = left.min(Duration::from_millis(20));
+                    std::thread::sleep(nap);
+                    left = left.saturating_sub(nap);
+                }
+            }
+        })
+        .expect("spawn cad-flight-sampler");
+    FlightSampler {
+        recorder,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{CounterSample, GaugeSample, HistogramSample};
+
+    fn snap(counter: u64, gauge: i64, hist: &[(u32, u64)]) -> MetricsSnapshot {
+        let count: u64 = hist.iter().map(|&(_, n)| n).sum();
+        MetricsSnapshot {
+            counters: vec![CounterSample {
+                name: "cad_rounds_total".into(),
+                labels: vec![],
+                value: counter,
+            }],
+            gauges: vec![GaugeSample {
+                name: "serve_queue_depth_ticks".into(),
+                labels: vec![],
+                value: gauge,
+            }],
+            histograms: vec![HistogramSample {
+                name: "serve_push_latency_nanos".into(),
+                labels: vec![],
+                count,
+                sum: count * 7,
+                min: if count > 0 { 3 } else { 0 },
+                max: if count > 0 { 900 } else { 0 },
+                buckets: hist.to_vec(),
+            }],
+        }
+    }
+
+    fn roundtrip(snaps: &[MetricsSnapshot], keyframe_every: usize) -> FlightDecode {
+        let mut enc = FlightEncoder::new(keyframe_every);
+        let mut stream = stream_header().to_vec();
+        for (i, s) in snaps.iter().enumerate() {
+            stream.extend_from_slice(&enc.encode_frame(i as u64, 1000 + i as u64, s).bytes);
+        }
+        decode_stream(&stream).expect("decode")
+    }
+
+    #[test]
+    fn delta_chain_reconstructs_every_snapshot() {
+        let snaps = vec![
+            snap(0, 0, &[]),
+            snap(5, -2, &[(10, 1)]),
+            snap(5, -2, &[(10, 1)]),
+            snap(9, 3, &[(10, 1), (42, 2)]),
+            snap(12, 3, &[(10, 4), (42, 2), (100, 1)]),
+        ];
+        let got = roundtrip(&snaps, 16);
+        assert_eq!(got.skipped_deltas, 0);
+        assert_eq!(got.truncated_bytes, 0);
+        assert_eq!(got.frames.len(), snaps.len());
+        assert!(got.frames[0].keyframe, "first frame must be a keyframe");
+        assert!(
+            got.frames[1..].iter().all(|f| !f.keyframe),
+            "monotonic same-identity movement must delta-encode"
+        );
+        for (frame, want) in got.frames.iter().zip(&snaps) {
+            assert_eq!(&frame.snapshot, want);
+        }
+    }
+
+    #[test]
+    fn keyframe_cadence_and_reset_force_keyframes() {
+        // Counter going backwards (registry reset) cannot delta-encode.
+        let snaps = vec![snap(10, 0, &[(5, 2)]), snap(3, 0, &[(5, 1)])];
+        let got = roundtrip(&snaps, 16);
+        assert!(got.frames[1].keyframe, "reset must force a keyframe");
+        assert_eq!(got.frames[1].snapshot, snaps[1]);
+
+        // Every K-th sample is a keyframe even when deltas would do.
+        let snaps: Vec<MetricsSnapshot> = (0..7).map(|i| snap(i, 0, &[(5, i + 1)])).collect();
+        let got = roundtrip(&snaps, 3);
+        let keys: Vec<bool> = got.frames.iter().map(|f| f.keyframe).collect();
+        assert_eq!(keys, [true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn decoder_resyncs_after_leading_deltas_and_tolerates_torn_tail() {
+        let snaps: Vec<MetricsSnapshot> = (0..6).map(|i| snap(i * 2, 1, &[(9, i + 1)])).collect();
+        let mut enc = FlightEncoder::new(3);
+        let frames: Vec<EncodedFrame> = snaps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| enc.encode_frame(i as u64, i as u64, s))
+            .collect();
+        // Drop the first keyframe: the two orphan deltas are skipped and
+        // decoding resyncs at the seq-3 keyframe.
+        let mut stream = stream_header().to_vec();
+        for f in &frames[1..] {
+            stream.extend_from_slice(&f.bytes);
+        }
+        let got = decode_stream(&stream).expect("decode");
+        assert_eq!(got.skipped_deltas, 2);
+        assert_eq!(got.frames.len(), 3);
+        assert_eq!(got.frames[0].seq, 3);
+        assert_eq!(got.frames[0].snapshot, snaps[3]);
+        assert_eq!(got.frames[2].snapshot, snaps[5]);
+
+        // Any truncation of the tail decodes the complete prefix.
+        let full = {
+            let mut s = stream_header().to_vec();
+            for f in &frames {
+                s.extend_from_slice(&f.bytes);
+            }
+            s
+        };
+        let whole = decode_stream(&full).expect("decode");
+        assert_eq!(whole.frames.len(), 6);
+        for cut in 8..full.len() {
+            let part = decode_stream(&full[..cut]).expect("truncated tail is not an error");
+            assert!(part.frames.len() <= whole.frames.len());
+            assert_eq!(
+                part.frames,
+                whole.frames[..part.frames.len()],
+                "cut at {cut}"
+            );
+            if cut < full.len() {
+                assert!(part.truncated_bytes > 0 || part.frames.len() < whole.frames.len());
+            }
+        }
+    }
+
+    #[test]
+    fn recorder_ring_bounds_and_dump_window() {
+        let registry = Registry::new();
+        let c = registry.counter("flight_test_total", &[]);
+        let recorder = FlightRecorder::with_clock(
+            FlightConfig {
+                cadence: Duration::from_millis(10),
+                ring: 4,
+                keyframe_every: 2,
+                spool: None,
+            },
+            Box::new(|| 777),
+        )
+        .expect("recorder");
+        for i in 0..10 {
+            c.add(i);
+            recorder.tick(&registry);
+        }
+        assert_eq!(recorder.frames_recorded(), 10);
+        let frames = recorder.frames();
+        assert_eq!(frames.len(), 4);
+        assert_eq!(frames[0].seq, 6);
+        assert_eq!(frames[3].seq, 9);
+        assert!(frames.iter().all(|f| f.ts_ms == 777));
+
+        // A dump window starting on a delta pulls in its keyframe, and is
+        // byte-identical across calls.
+        let dump = recorder.dump(7, 9);
+        assert_eq!(dump, recorder.dump(7, 9));
+        let decoded = decode_stream(&dump).expect("decode dump");
+        assert_eq!(decoded.skipped_deltas, 0);
+        assert!(decoded.frames.first().expect("frames").keyframe);
+        assert_eq!(decoded.frames.last().expect("frames").seq, 9);
+        // Out-of-ring windows are empty but valid streams.
+        let empty = decode_stream(&recorder.dump(100, 200)).expect("decode empty");
+        assert!(empty.frames.is_empty());
+    }
+
+    #[test]
+    fn pinned_clock_runs_are_bit_identical_and_spool_matches_ring() {
+        let dir = std::env::temp_dir().join(format!(
+            "cad-flight-spool-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let run = |spool: Option<PathBuf>| -> (Vec<u8>, Option<Vec<u8>>) {
+            let registry = Registry::new();
+            let c = registry.counter("flight_det_total", &[]);
+            let h = registry.histogram("flight_det_nanos", &[]);
+            let recorder = FlightRecorder::with_clock(
+                FlightConfig {
+                    cadence: Duration::from_millis(10),
+                    ring: 64,
+                    keyframe_every: 4,
+                    spool: spool.clone(),
+                },
+                Box::new(|| 424242),
+            )
+            .expect("recorder");
+            for i in 0..12u64 {
+                c.add(i % 3);
+                h.record(10 + i * 5);
+                recorder.tick(&registry);
+            }
+            let dump = recorder.dump(0, u64::MAX);
+            let spooled = recorder
+                .spool_path()
+                .map(|p| std::fs::read(p).expect("read spool"));
+            (dump, spooled)
+        };
+        let (a, _) = run(None);
+        let (b, spooled) = run(Some(dir.clone()));
+        assert_eq!(a, b, "pinned-clock runs must produce identical streams");
+        assert_eq!(
+            spooled.expect("spool written"),
+            a,
+            "the spool is the same CADF stream as the full-ring dump"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

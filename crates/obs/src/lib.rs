@@ -15,6 +15,10 @@
 //! * [`MetricsSnapshot`] — point-in-time copy of a registry with a
 //!   versioned binary wire dump (`CADM` v1, [`snapshot`]) and a
 //!   Prometheus-style [`MetricsSnapshot::render_text`] exposition.
+//! * [`FlightRecorder`] — fixed-cadence sampler turning the registry into
+//!   a bounded ring of delta-encoded `CADF` v1 frames ([`flight`]), with
+//!   an optional on-disk spool; `cad-serve` exposes the ring via
+//!   `/flightz` and feeds its self-watch detector from it.
 //!
 //! The rest of the workspace records into [`global`]; `cad-serve` ships
 //! the binary dump over the wire (`ServeClient::metrics()`) and the
@@ -22,6 +26,7 @@
 //! snapshot shutdown.
 
 pub mod counter;
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod process;
@@ -30,6 +35,11 @@ pub mod snapshot;
 pub mod trace;
 
 pub use counter::{Counter, Gauge};
+pub use flight::{
+    decode_stream, start_sampler, EncodedFrame, FlightConfig, FlightDecode, FlightEncoder,
+    FlightFrame, FlightRecorder, FlightSampler, ENV_FLIGHT_CADENCE, ENV_FLIGHT_RING,
+    ENV_FLIGHT_SPOOL, FLIGHT_MAGIC, FLIGHT_VERSION,
+};
 pub use hist::{
     bucket_bounds, bucket_index, Histogram, N_BUCKETS, QUANTILE_RELATIVE_ERROR, SUB_BITS,
 };

@@ -51,6 +51,9 @@ pub enum TraceEvent {
     SessionResurrected { session_id: u64 },
     /// A session's sensor set was resized mid-stream.
     SessionReshaped { session_id: u64, n_sensors: u32 },
+    /// The server's self-watch detector flagged its own metric stream as
+    /// abnormal (`n_r` correlation-break survivors among the metrics).
+    SelfWatchAbnormal { n_r: u64 },
 }
 
 /// An event plus its position in the global emission order.

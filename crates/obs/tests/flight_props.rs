@@ -1,0 +1,216 @@
+//! Property tests for the CADF flight-recorder codec (vendored proptest).
+//!
+//! Three laws from ISSUE 10:
+//!
+//! 1. round-trip: decoding an encoded frame sequence reconstructs every
+//!    snapshot exactly, whatever mix of keyframes and deltas the encoder
+//!    chose,
+//! 2. keyframe resync: truncating the stream at ANY byte offset never
+//!    errors, and the decoded frames are exactly a prefix of the full
+//!    decode,
+//! 3. determinism: two recorders with a pinned fake clock fed the same
+//!    registry mutation sequence produce bit-identical CADF streams.
+
+use cad_obs::flight::{stream_header, DEFAULT_KEYFRAME_EVERY};
+use cad_obs::{
+    decode_stream, CounterSample, FlightConfig, FlightEncoder, FlightRecorder, GaugeSample,
+    HistogramSample, MetricsSnapshot, Registry,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Raw generated material for one snapshot: counter, gauge, and
+/// histogram entries drawn from a small identity pool so consecutive
+/// snapshots often share names (delta-encodable) but can also diverge
+/// (forcing keyframes). The vendored proptest shim has no `prop_map`, so
+/// shaping happens in [`build_snapshot`].
+type RawSnapshot = (Vec<(u8, u64)>, Vec<(u8, i64)>, Vec<(u8, Vec<(u32, u64)>)>);
+
+fn raw_snapshot() -> impl Strategy<Value = RawSnapshot> {
+    (
+        proptest::collection::vec((0u8..4, 0u64..1_000_000), 0..4),
+        proptest::collection::vec((4u8..7, -500i64..500), 0..3),
+        proptest::collection::vec(
+            (
+                7u8..9,
+                proptest::collection::vec((0u32..64, 1u64..1000), 0..5),
+            ),
+            0..2,
+        ),
+    )
+}
+
+fn name(i: u8) -> String {
+    format!("cad_prop_metric_{i}")
+}
+
+fn build_snapshot(raw: &RawSnapshot) -> MetricsSnapshot {
+    let (counters, gauges, hists) = raw;
+    let mut snap = MetricsSnapshot::default();
+    for &(i, value) in counters {
+        snap.counters.push(CounterSample {
+            name: name(i),
+            labels: vec![],
+            value,
+        });
+    }
+    snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.counters.dedup_by(|a, b| a.name == b.name);
+    for &(i, value) in gauges {
+        snap.gauges.push(GaugeSample {
+            name: name(i),
+            labels: vec![],
+            value,
+        });
+    }
+    snap.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.gauges.dedup_by(|a, b| a.name == b.name);
+    for (i, buckets) in hists {
+        let mut buckets = buckets.clone();
+        buckets.sort_by_key(|&(b, _)| b);
+        buckets.dedup_by(|a, b| a.0 == b.0);
+        let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        snap.histograms.push(HistogramSample {
+            name: name(*i),
+            labels: vec![],
+            count,
+            sum: count.wrapping_mul(13),
+            min: if count > 0 { 2 } else { 0 },
+            max: if count > 0 { 4096 } else { 0 },
+            buckets,
+        });
+    }
+    snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.histograms.dedup_by(|a, b| a.name == b.name);
+    snap
+}
+
+fn encode_all(snaps: &[MetricsSnapshot], keyframe_every: usize) -> Vec<u8> {
+    let mut enc = FlightEncoder::new(keyframe_every);
+    let mut stream = stream_header().to_vec();
+    for (i, s) in snaps.iter().enumerate() {
+        stream.extend_from_slice(&enc.encode_frame(i as u64, 50_000 + i as u64, s).bytes);
+    }
+    stream
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decode_of_encode_reconstructs_every_snapshot(
+        raws in proptest::collection::vec(raw_snapshot(), 1..20),
+        keyframe_every in 1usize..8,
+    ) {
+        let snaps: Vec<MetricsSnapshot> = raws.iter().map(build_snapshot).collect();
+        let stream = encode_all(&snaps, keyframe_every);
+        let got = decode_stream(&stream).expect("decode");
+        prop_assert_eq!(got.skipped_deltas, 0);
+        prop_assert_eq!(got.truncated_bytes, 0);
+        prop_assert_eq!(got.frames.len(), snaps.len());
+        for (i, (frame, want)) in got.frames.iter().zip(&snaps).enumerate() {
+            prop_assert_eq!(frame.seq, i as u64);
+            prop_assert_eq!(frame.ts_ms, 50_000 + i as u64);
+            prop_assert_eq!(&frame.snapshot, want, "frame {} diverged", i);
+        }
+        prop_assert!(got.frames[0].keyframe, "first frame must be a keyframe");
+    }
+
+    #[test]
+    fn any_truncation_decodes_a_clean_prefix(
+        raws in proptest::collection::vec(raw_snapshot(), 1..12),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let snaps: Vec<MetricsSnapshot> = raws.iter().map(build_snapshot).collect();
+        let stream = encode_all(&snaps, 3);
+        let full = decode_stream(&stream).expect("decode full");
+        prop_assert_eq!(full.frames.len(), snaps.len());
+        // Truncate anywhere past the stream header: never an error, and
+        // the surviving frames are a prefix of the full decode.
+        let cut = 8 + ((stream.len() - 8) as f64 * cut_fraction) as usize;
+        let part = decode_stream(&stream[..cut.min(stream.len())])
+            .expect("torn tail must not error");
+        prop_assert!(part.frames.len() <= full.frames.len());
+        prop_assert_eq!(&part.frames[..], &full.frames[..part.frames.len()]);
+    }
+
+    #[test]
+    fn resync_skips_orphan_deltas_then_agrees(
+        raws in proptest::collection::vec(raw_snapshot(), 4..16),
+        drop_prefix in 1usize..3,
+    ) {
+        // Re-encode, then drop the first `drop_prefix` frames (losing the
+        // leading keyframe): the decoder must skip orphan deltas and
+        // resynchronise at the next keyframe with exact snapshots.
+        let snaps: Vec<MetricsSnapshot> = raws.iter().map(build_snapshot).collect();
+        let mut enc = FlightEncoder::new(4);
+        let frames: Vec<_> = snaps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| enc.encode_frame(i as u64, i as u64, s))
+            .collect();
+        let mut stream = stream_header().to_vec();
+        for f in frames.iter().skip(drop_prefix) {
+            stream.extend_from_slice(&f.bytes);
+        }
+        let got = decode_stream(&stream).expect("decode");
+        for frame in &got.frames {
+            prop_assert_eq!(&frame.snapshot, &snaps[frame.seq as usize]);
+        }
+        // Everything from the first post-drop keyframe onwards survives.
+        if let Some(first_key) = frames.iter().skip(drop_prefix).position(|f| f.keyframe) {
+            let expect = snaps.len() - drop_prefix - first_key;
+            prop_assert_eq!(got.frames.len(), expect);
+            prop_assert_eq!(got.skipped_deltas, first_key as u64);
+        } else {
+            prop_assert!(got.frames.is_empty());
+        }
+    }
+}
+
+/// Pinned fake clock + identical mutation sequences → bit-identical
+/// recorder streams across two independent runs (the ISSUE 10 bar).
+#[test]
+fn pinned_clock_recorder_runs_are_bit_identical() {
+    let run = || -> Vec<u8> {
+        let registry = Registry::new();
+        let pushes = registry.counter("det_pushes_total", &[]);
+        let depth = registry.gauge("det_queue_depth", &[]);
+        let lat = registry.histogram("det_latency_nanos", &[]);
+        let recorder = FlightRecorder::with_clock(
+            FlightConfig {
+                cadence: Duration::from_millis(250),
+                ring: 128,
+                keyframe_every: DEFAULT_KEYFRAME_EVERY,
+                spool: None,
+            },
+            Box::new(|| 1_700_000_000_000),
+        )
+        .expect("recorder");
+        for i in 0..40u64 {
+            pushes.add(1 + i % 4);
+            depth.set((i % 7) as i64 - 3);
+            lat.record(100 + (i * 37) % 5000);
+            if i == 20 {
+                // A metric registered mid-flight changes the identity set
+                // and must force a keyframe — identically in both runs.
+                registry.counter("det_late_total", &[]).inc();
+            }
+            recorder.tick(&registry);
+        }
+        recorder.dump(0, u64::MAX)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "two pinned-clock runs diverged");
+    let decoded = decode_stream(&a).expect("decode");
+    assert_eq!(decoded.frames.len(), 40);
+    assert!(
+        decoded.frames[20].keyframe,
+        "mid-flight registration must force a keyframe"
+    );
+    assert!(
+        !decoded.frames[21].keyframe,
+        "frame after the forced keyframe should delta again"
+    );
+}

@@ -21,6 +21,17 @@
 //! | `CAD_WAL_DIR`            | unset            | write-ahead-log directory (off by default) |
 //! | `CAD_WAL_FSYNC`          | `every_batch`    | WAL fsync policy: `never`\|`every_batch`\|`<n>` |
 //! | `CAD_WAL_SEGMENT_BYTES`  | 4 MiB            | WAL segment size cap            |
+//! | `CAD_WAL_RETAIN_BYTES`   | `0` (off)        | size-based WAL retention: drop oldest sealed segments past this |
+//! | `CAD_FLIGHT_CADENCE_MS`  | `0` (off)        | flight-recorder sampling cadence |
+//! | `CAD_FLIGHT_RING`        | `512`            | flight-recorder ring capacity (frames) |
+//! | `CAD_FLIGHT_SPOOL`       | unset            | flight-recorder on-disk spool directory |
+//! | `CAD_SELFWATCH`          | `0` (off)        | self-watch detector over the flight ring |
+//! | `CAD_SELFWATCH_W`        | `32`             | self-watch window (frames)      |
+//! | `CAD_SELFWATCH_S`        | `4`              | self-watch stride (frames)      |
+//! | `CAD_SELFWATCH_ETA`      | `3.0`            | self-watch Chebyshev multiplier |
+//! | `CAD_SELFWATCH_THETA`    | `0.1`            | self-watch communal threshold θ |
+//! | `CAD_SELFWATCH_TAU`      | `0.75`           | self-watch correlation prune τ  |
+//! | `CAD_SELFWATCH_HORIZON`  | `16`             | self-watch RC sliding horizon (rounds) |
 //! | `CAD_OBS_DUMP`           | unset            | write metrics text here on exit |
 //!
 //! Shutdown is graceful on a client `Shutdown` frame: the queue drains
@@ -74,6 +85,15 @@ fn main() {
     }
     cfg.wal_segment_bytes =
         env_usize("CAD_WAL_SEGMENT_BYTES", cfg.wal_segment_bytes as usize) as u64;
+    cfg.wal_retain_bytes = env_usize("CAD_WAL_RETAIN_BYTES", cfg.wal_retain_bytes as usize) as u64;
+    cfg.flight = cad_obs::FlightConfig::from_env();
+    cfg.selfwatch = cad_serve::SelfWatchConfig::from_env();
+    if cfg.selfwatch.is_some() && cfg.flight.is_none() {
+        eprintln!(
+            "cad-serve: CAD_SELFWATCH needs the flight recorder; set CAD_FLIGHT_CADENCE_MS too"
+        );
+        std::process::exit(2);
+    }
 
     let server = match CadServer::bind(cfg.clone()) {
         Ok(s) => s,
@@ -84,7 +104,25 @@ fn main() {
     };
     let addr = server.local_addr().expect("local_addr");
     if let Some(ops) = server.local_ops_addr() {
-        eprintln!("cad-serve: ops plane on http://{ops} (/metrics /healthz /readyz /tracez /wal /sessions /explain)");
+        eprintln!("cad-serve: ops plane on http://{ops} (/metrics /healthz /readyz /tracez /wal /sessions /explain /slowz /flightz /selfwatch)");
+    }
+    if let Some(fc) = &cfg.flight {
+        eprintln!(
+            "cad-serve: flight recorder on ({}ms cadence, ring {} frames, spool: {}); self-watch: {}",
+            fc.cadence.as_millis(),
+            fc.ring,
+            fc.spool
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "disabled".into()),
+            match &cfg.selfwatch {
+                Some(sw) => format!(
+                    "on (w={}, s={}, eta={}, theta={}, tau={}, horizon={})",
+                    sw.w, sw.s, sw.eta, sw.theta, sw.tau, sw.horizon
+                ),
+                None => "disabled".into(),
+            },
+        );
     }
     eprintln!(
         "cad-serve: listening on {addr} ({} shards, {} max sessions, queue {} ticks, snapshots: {}, hibernation: {})",

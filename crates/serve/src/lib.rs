@@ -22,8 +22,10 @@ pub(crate) mod metrics;
 pub mod ops;
 pub mod poll;
 pub mod protocol;
+pub mod selfwatch;
 pub mod server;
 pub mod session;
+pub mod timing;
 
 pub use client::{ClientError, PushResult, ServeClient, SessionHandle};
 pub use poll::Poller;
@@ -31,12 +33,14 @@ pub use protocol::{
     codes, max_push_ticks, Frame, FrameReader, ServerStats, SessionSpec, SessionStats, WireEngine,
     WireGapPolicy, WireOutcome, WireRoundRecord,
 };
+pub use selfwatch::{SelfWatch, SelfWatchConfig, SelfWatchStatus, SelfWatchVerdict};
 pub use server::{CadServer, ServeConfig, ShutdownHandle};
 pub use session::{
     config_from_wal_spec, session_spec_from_wal, Command, Counters, EnqueueError, ManagerConfig,
     RebalanceError, Reply, ReplyTo, SessionManager, SessionPump, SessionRow, SessionState,
     SessionTableError, TryEnqueueError, WalCounters, WalStatus,
 };
+pub use timing::{TickTimings, SLOW_RING_CAPACITY, STAGES};
 
 #[cfg(test)]
 mod tests {
@@ -124,7 +128,7 @@ mod tests {
             let len = (*batch).min(ticks - t);
             let samples: Vec<f64> = (t..t + len).flat_map(|u| readings(u, n)).collect();
             match push(&mgr, 7, t as u64, n as u32, samples) {
-                Reply::Pushed(outs) => got.extend(outs),
+                Reply::Pushed { outcomes: outs, .. } => got.extend(outs),
                 other => panic!("push failed: {other:?}"),
             }
             t += len;
@@ -301,7 +305,10 @@ mod tests {
         let receivers = producer.join().expect("producer");
         assert!(matches!(rx.recv().expect("create"), Reply::Created { .. }));
         for rx in receivers {
-            assert!(matches!(rx.recv().expect("push reply"), Reply::Pushed(_)));
+            assert!(matches!(
+                rx.recv().expect("push reply"),
+                Reply::Pushed { .. }
+            ));
         }
         assert!(
             mgr.counters()
@@ -340,7 +347,7 @@ mod tests {
                     .flat_map(|u| readings(u + slot * 13, 4))
                     .collect();
                 match push(&mgr, id, t as u64, 4, samples) {
-                    Reply::Pushed(o) => outs[slot].1.extend(o),
+                    Reply::Pushed { outcomes: o, .. } => outs[slot].1.extend(o),
                     other => panic!("push failed: {other:?}"),
                 }
             }
@@ -392,7 +399,7 @@ mod tests {
         assert!(matches!(create(&mgr, 3, spec), Reply::Created { .. }));
         let first: Vec<f64> = (0..40).flat_map(|t| readings(t, 4)).collect();
         let before = match push(&mgr, 3, 0, 4, first) {
-            Reply::Pushed(o) => o,
+            Reply::Pushed { outcomes: o, .. } => o,
             other => panic!("push failed: {other:?}"),
         };
         assert!(!before.is_empty());
@@ -403,7 +410,7 @@ mod tests {
         // The session keeps streaming bit-identically after the regroup.
         let second: Vec<f64> = (40..80).flat_map(|t| readings(t, 4)).collect();
         match push(&mgr, 3, 40, 4, second) {
-            Reply::Pushed(o) => assert!(!o.is_empty()),
+            Reply::Pushed { outcomes: o, .. } => assert!(!o.is_empty()),
             other => panic!("push failed: {other:?}"),
         }
         // Group counts clamp to 1..=shards.
@@ -463,7 +470,7 @@ mod tests {
             for _ in 0..4 {
                 let samples: Vec<f64> = (t..t + len).flat_map(|u| readings(u + 29, 4)).collect();
                 match push(&mgr, 12, busy_tick, 4, samples) {
-                    Reply::Pushed(_) => {}
+                    Reply::Pushed { .. } => {}
                     other => panic!("busy push failed: {other:?}"),
                 }
                 busy_tick += len as u64;
@@ -471,7 +478,7 @@ mod tests {
             // …then the idle session's next push transparently resurrects.
             let samples: Vec<f64> = (t..t + len).flat_map(|u| readings(u, 4)).collect();
             match push(&mgr, 11, t as u64, 4, samples) {
-                Reply::Pushed(o) => got.extend(o),
+                Reply::Pushed { outcomes: o, .. } => got.extend(o),
                 other => panic!("push failed: {other:?}"),
             }
             t += len;

@@ -31,6 +31,9 @@
 //! | `serve_wal_recovered_ticks_total`    | counter | —   | ticks spliced into sessions at startup   |
 //! | `serve_wal_recovery_dropped_total`   | counter | —   | WAL records dropped during recovery      |
 //! | `serve_wal_recovery_gaps_total`      | counter | —   | tick-gap splice failures during recovery |
+//! | `serve_wal_retention_deleted_total`  | counter | —   | sealed segments force-removed by size-based retention |
+//! | `cad_tick_stage_nanos`         | histogram | `stage` | per-push time in each pipeline stage (`queue_wait`, `dispatch`, `engine`, `wal_append`, `ack_flush`) |
+//! | `serve_selfwatch_abnormal`     | counter   | —       | abnormal verdicts from the self-watch detector |
 
 use std::sync::{Arc, OnceLock};
 
@@ -134,6 +137,35 @@ pub(crate) fn wal_recovery_dropped_total() -> &'static Arc<Counter> {
 pub(crate) fn wal_recovery_gaps_total() -> &'static Arc<Counter> {
     static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
     HANDLE.get_or_init(|| cad_obs::global().counter("serve_wal_recovery_gaps_total", &[]))
+}
+
+pub(crate) fn wal_retention_deleted_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().counter("serve_wal_retention_deleted_total", &[]))
+}
+
+pub(crate) fn selfwatch_abnormal_total() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| cad_obs::global().counter("serve_selfwatch_abnormal", &[]))
+}
+
+/// Per-stage tick-latency histogram, one cached handle per pipeline stage
+/// (see [`crate::timing`] for the stage definitions).
+pub(crate) fn tick_stage(stage: &'static str) -> &'static Arc<Histogram> {
+    static QUEUE: OnceLock<Arc<Histogram>> = OnceLock::new();
+    static DISPATCH: OnceLock<Arc<Histogram>> = OnceLock::new();
+    static ENGINE: OnceLock<Arc<Histogram>> = OnceLock::new();
+    static WAL: OnceLock<Arc<Histogram>> = OnceLock::new();
+    static ACK: OnceLock<Arc<Histogram>> = OnceLock::new();
+    let handle = match stage {
+        "queue_wait" => &QUEUE,
+        "dispatch" => &DISPATCH,
+        "engine" => &ENGINE,
+        "wal_append" => &WAL,
+        "ack_flush" => &ACK,
+        other => unreachable!("unknown tick stage {other}"),
+    };
+    handle.get_or_init(|| cad_obs::global().histogram("cad_tick_stage_nanos", &[("stage", stage)]))
 }
 
 /// Count one produced error frame under its protocol code. Error paths

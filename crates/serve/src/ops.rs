@@ -14,6 +14,10 @@
 //! | `/wal`                   | JSON WAL health (404 when the WAL is disabled) |
 //! | `/sessions`              | JSON per-shard session table                   |
 //! | `/explain/<session_id>`  | JSON forensics journal for one session         |
+//! | `/slowz`                 | JSON slowest-N per-tick stage breakdowns       |
+//! | `/flightz`               | JSON flight-recorder window (`?metric=&last=`; 404 when off) |
+//! | `/flightz/dump`          | raw CADF binary dump (`?from=&to=` frame seqs) |
+//! | `/selfwatch`             | JSON self-watch verdicts (404 when off)        |
 //!
 //! The accept loop runs on its own thread with one short-lived thread
 //! per connection, so scrapes stay responsive while every ingress queue
@@ -34,16 +38,20 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
-use cad_obs::{json_array, json_f64, json_str, TraceEvent, TracedEvent};
+use cad_obs::{
+    json_array, json_f64, json_str, FlightRecorder, MetricsSnapshot, TraceEvent, TracedEvent,
+};
 
 use crate::protocol::{codes, WireRoundRecord};
+use crate::selfwatch::{SelfWatch, SelfWatchVerdict};
 use crate::server::ShutdownHandle;
 use crate::session::{
     Command, EnqueueError, Reply, SessionManager, SessionRow, SessionState, SessionTableError,
 };
+use crate::timing::{self, TickTimings};
 
 /// Longest accepted request line (method + path + version), in bytes.
 pub const MAX_REQUEST_LINE: usize = 2048;
@@ -62,6 +70,10 @@ pub(crate) struct OpsShared {
     pub(crate) shutdown: ShutdownHandle,
     pub(crate) read_timeout: Duration,
     pub(crate) write_timeout: Duration,
+    /// The flight recorder, when enabled (`/flightz`).
+    pub(crate) flight: Option<Arc<FlightRecorder>>,
+    /// The self-watch session, when enabled (`/selfwatch`).
+    pub(crate) selfwatch: Option<Arc<SelfWatch>>,
 }
 
 /// Run the ops accept loop until shutdown; one thread per connection,
@@ -114,15 +126,18 @@ pub(crate) fn handle_ops_connection(stream: TcpStream, shared: &OpsShared) {
         Err(RequestError::TimedOut) => (408, "Request Timeout", TEXT, "timeout\n".into()),
         Err(RequestError::Io) => return,
     };
-    let _ = write_response(&mut writer, status, reason, content_type, body.as_bytes());
+    let _ = write_response(&mut writer, status, reason, content_type, &body);
 }
 
 const TEXT: &str = "text/plain; charset=utf-8";
 /// The content type Prometheus scrapers negotiate for the text format.
 const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
 const JSON: &str = "application/json";
+/// Raw CADF dumps (`/flightz/dump`).
+const OCTET: &str = "application/octet-stream";
 
-type Response = (u16, &'static str, &'static str, String);
+/// Body is bytes, not text: `/flightz/dump` streams raw CADF.
+type Response = (u16, &'static str, &'static str, Vec<u8>);
 
 fn http_431() -> Response {
     (
@@ -137,6 +152,8 @@ struct Request {
     method: String,
     /// Path with any query string stripped.
     path: String,
+    /// The raw query string (no leading `?`; empty when absent).
+    query: String,
 }
 
 enum RequestError {
@@ -167,14 +184,21 @@ fn read_request(stream: &TcpStream) -> Result<Request, RequestError> {
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().unwrap_or("");
-    let path = target.split('?').next().unwrap_or("").to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     loop {
         let line = read_head_line(&mut reader, MAX_HEAD_BYTES)?;
         if line.is_empty() {
             break;
         }
     }
-    Ok(Request { method, path })
+    Ok(Request {
+        method,
+        path,
+        query,
+    })
 }
 
 /// Read one CRLF- (or LF-) terminated line of at most `max` bytes.
@@ -230,16 +254,225 @@ fn respond(request: &Request, shared: &OpsShared) -> Response {
             200,
             "OK",
             PROM_TEXT,
-            cad_obs::global().snapshot().render_text(),
+            cad_obs::global().snapshot().render_text().into(),
         ),
-        "/tracez" => (200, "OK", JSON, render_tracez()),
+        "/tracez" => (200, "OK", JSON, render_tracez().into()),
         "/wal" => wal_response(shared),
         "/sessions" => sessions_response(shared),
+        "/slowz" => slowz_response(),
+        "/flightz" => flightz_response(&request.query, shared),
+        "/flightz/dump" => flight_dump_response(&request.query, shared),
+        "/selfwatch" => selfwatch_response(shared),
         path => match path.strip_prefix("/explain/") {
             Some(id) => explain_response(id, shared),
             None => (404, "Not Found", TEXT, "unknown path\n".into()),
         },
     }
+}
+
+/// One `key=value` from a raw query string; no percent-decoding (metric
+/// and parameter names here never need it).
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+/// The slowest-N per-tick stage breakdowns (see [`crate::timing`]).
+fn slowz_response() -> Response {
+    let slowest = timing::slowest();
+    let body = format!(
+        "{{\"capacity\":{},\"stages\":{},\"slowest\":{}}}",
+        timing::SLOW_RING_CAPACITY,
+        json_array(timing::STAGES.iter().map(|s| json_str(s))),
+        json_array(slowest.iter().map(render_timings)),
+    );
+    (200, "OK", JSON, body.into())
+}
+
+fn render_timings(t: &TickTimings) -> String {
+    format!(
+        "{{\"session_id\":{},\"base_tick\":{},\"n_ticks\":{},\"rounds\":{},\
+         \"total_nanos\":{},\"slowest_stage\":{},\"queue_nanos\":{},\
+         \"dispatch_nanos\":{},\"engine_nanos\":{},\"wal_nanos\":{},\
+         \"ack_nanos\":{}}}",
+        t.session_id,
+        t.base_tick,
+        t.n_ticks,
+        t.rounds,
+        t.total_nanos(),
+        json_str(t.slowest_stage()),
+        t.queue_nanos,
+        t.dispatch_nanos,
+        t.engine_nanos,
+        t.wal_nanos,
+        t.ack_nanos,
+    )
+}
+
+/// A JSON window over the flight-recorder ring. `?last=N` bounds the
+/// frame count (default 32); `?metric=substr` filters metrics by name.
+fn flightz_response(query: &str, shared: &OpsShared) -> Response {
+    let Some(recorder) = &shared.flight else {
+        return (
+            404,
+            "Not Found",
+            TEXT,
+            "flight recorder is disabled\n".into(),
+        );
+    };
+    let last: usize = query_param(query, "last")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let metric = query_param(query, "metric").unwrap_or("");
+    // Decode the whole retained ring (it chains from its oldest
+    // keyframe), then keep the newest `last` frames.
+    let bytes = recorder.dump(0, u64::MAX);
+    let decoded = match cad_obs::decode_stream(&bytes) {
+        Ok(d) => d,
+        Err(_) => return internal_flight_error(),
+    };
+    let skip = decoded.frames.len().saturating_sub(last);
+    let body = format!(
+        "{{\"cadence_ms\":{},\"ring\":{},\"frames_recorded\":{},\"spool_errors\":{},\
+         \"frames\":{}}}",
+        recorder.cadence().as_millis(),
+        recorder.ring_capacity(),
+        recorder.frames_recorded(),
+        recorder.spool_errors(),
+        json_array(
+            decoded
+                .frames
+                .iter()
+                .skip(skip)
+                .map(|f| render_flight_frame(f.seq, f.ts_ms, f.keyframe, &f.snapshot, metric)),
+        ),
+    );
+    (200, "OK", JSON, body.into())
+}
+
+fn internal_flight_error() -> Response {
+    (
+        500,
+        "Internal Server Error",
+        TEXT,
+        "flight ring failed to decode\n".into(),
+    )
+}
+
+fn render_flight_frame(
+    seq: u64,
+    ts_ms: u64,
+    keyframe: bool,
+    snap: &MetricsSnapshot,
+    metric: &str,
+) -> String {
+    let mut metrics = Vec::new();
+    for c in &snap.counters {
+        if metric.is_empty() || c.name.contains(metric) {
+            metrics.push(format!(
+                "{{\"name\":{},\"kind\":\"counter\",\"value\":{}}}",
+                json_str(&render_metric_name(&c.name, &c.labels)),
+                c.value
+            ));
+        }
+    }
+    for g in &snap.gauges {
+        if metric.is_empty() || g.name.contains(metric) {
+            metrics.push(format!(
+                "{{\"name\":{},\"kind\":\"gauge\",\"value\":{}}}",
+                json_str(&render_metric_name(&g.name, &g.labels)),
+                g.value
+            ));
+        }
+    }
+    for h in &snap.histograms {
+        if metric.is_empty() || h.name.contains(metric) {
+            metrics.push(format!(
+                "{{\"name\":{},\"kind\":\"histogram\",\"count\":{},\"sum\":{},\
+                 \"p99\":{}}}",
+                json_str(&render_metric_name(&h.name, &h.labels)),
+                h.count,
+                h.sum,
+                h.quantile(0.99)
+            ));
+        }
+    }
+    format!(
+        "{{\"seq\":{seq},\"ts_ms\":{ts_ms},\"keyframe\":{keyframe},\"metrics\":[{}]}}",
+        metrics.join(",")
+    )
+}
+
+fn render_metric_name(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{name}{{{}}}", pairs.join(","))
+}
+
+/// Raw CADF bytes for offline replay. `?from=&to=` bound the frame seqs;
+/// the recorder extends the window back to the nearest keyframe, so the
+/// dump is independently decodable and byte-identical across calls while
+/// the frames stay in the ring.
+fn flight_dump_response(query: &str, shared: &OpsShared) -> Response {
+    let Some(recorder) = &shared.flight else {
+        return (
+            404,
+            "Not Found",
+            TEXT,
+            "flight recorder is disabled\n".into(),
+        );
+    };
+    let from: u64 = query_param(query, "from")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let to: u64 = query_param(query, "to")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(u64::MAX);
+    (200, "OK", OCTET, recorder.dump(from, to))
+}
+
+/// The self-watch status and recent verdicts.
+fn selfwatch_response(shared: &OpsShared) -> Response {
+    let Some(watch) = &shared.selfwatch else {
+        return (404, "Not Found", TEXT, "self-watch is disabled\n".into());
+    };
+    let status = watch.status();
+    let body = format!(
+        "{{\"w\":{},\"s\":{},\"eta\":{},\"theta\":{},\"tau\":{},\"horizon\":{},\
+         \"sensors\":{},\"quarantined_sensors\":{},\
+         \"frames\":{},\"rounds\":{},\"abnormal\":{},\"verdicts\":{}}}",
+        status.w,
+        status.s,
+        json_f64(status.eta),
+        json_f64(status.theta),
+        json_f64(status.tau),
+        status.horizon,
+        status.sensors,
+        status.quarantined_sensors,
+        status.frames,
+        status.rounds,
+        status.abnormal,
+        json_array(status.verdicts.iter().map(render_verdict)),
+    );
+    (200, "OK", JSON, body.into())
+}
+
+fn render_verdict(v: &SelfWatchVerdict) -> String {
+    format!(
+        "{{\"seq\":{},\"round\":{},\"n_r\":{},\"zscore\":{},\"abnormal\":{},\
+         \"outliers\":{}}}",
+        v.seq,
+        v.round,
+        v.n_r,
+        json_f64(v.zscore),
+        v.abnormal,
+        json_array(v.outliers.iter().map(|name| json_str(name))),
+    )
 }
 
 /// Submit one pump command and wait briefly; a saturated or shutting
@@ -277,6 +510,7 @@ fn wal_response(shared: &OpsShared) -> Response {
         "{{\"dir\":{},\"fsync\":{},\"segment_bytes\":{},\"segments\":{},\
          \"bytes\":{},\"appends\":{},\"appended_bytes\":{},\"fsyncs\":{},\
          \"append_errors\":{},\"compacted_segments\":{},\
+         \"retain_bytes\":{},\"retention_segments\":{},\"retention_bytes\":{},\
          \"recovery\":{{\"records\":{},\"ticks\":{},\"dropped_records\":{},\
          \"dropped_bytes\":{},\"gaps\":{}}}}}",
         json_str(&wal.dir.display().to_string()),
@@ -289,13 +523,16 @@ fn wal_response(shared: &OpsShared) -> Response {
         wal.fsyncs,
         wal.append_errors,
         wal.compacted_segments,
+        wal.retain_bytes,
+        wal.retention_segments,
+        wal.retention_bytes,
         wal.recovery_records,
         wal.recovery_ticks,
         wal.recovery_dropped_records,
         wal.recovery_dropped_bytes,
         wal.recovery_gaps,
     );
-    (200, "OK", JSON, body)
+    (200, "OK", JSON, body.into())
 }
 
 fn sessions_response(shared: &OpsShared) -> Response {
@@ -310,7 +547,8 @@ fn sessions_response(shared: &OpsShared) -> Response {
                 "{{\"queue_depth\":{},\"sessions\":{}}}",
                 shared.manager.queue_depth(),
                 json_array(rows.iter().map(render_session_row))
-            ),
+            )
+            .into(),
         ),
         Err(SessionTableError::ShuttingDown) => (
             503,
@@ -354,14 +592,18 @@ fn explain_response(raw_id: &str, shared: &OpsShared) -> Response {
                 "{{\"session_id\":{},\"records\":{}}}",
                 session_id,
                 json_array(records.iter().map(render_round_record))
-            ),
+            )
+            .into(),
         ),
         Ok(Reply::Failed { code, message }) if code == codes::UNKNOWN_SESSION => {
-            (404, "Not Found", TEXT, format!("{message}\n"))
+            (404, "Not Found", TEXT, format!("{message}\n").into())
         }
-        Ok(Reply::Failed { message, .. }) => {
-            (503, "Service Unavailable", TEXT, format!("{message}\n"))
-        }
+        Ok(Reply::Failed { message, .. }) => (
+            503,
+            "Service Unavailable",
+            TEXT,
+            format!("{message}\n").into(),
+        ),
         Ok(_) => internal_error(),
     }
 }
@@ -399,7 +641,8 @@ fn render_session_row(row: &SessionRow) -> String {
     format!(
         "{{\"shard\":{},\"session_id\":{},\"n_sensors\":{},\"samples_seen\":{},\
          \"rounds\":{},\"anomalies\":{},\"resumed\":{},\"state\":{},\
-         \"last_push_round\":{}}}",
+         \"last_push_round\":{},\"quarantined_sensors\":{},\
+         \"warmup_rounds_left\":{}}}",
         row.shard,
         row.session_id,
         row.n_sensors,
@@ -409,6 +652,8 @@ fn render_session_row(row: &SessionRow) -> String {
         row.resumed,
         json_str(state),
         row.last_push_round,
+        row.quarantined_sensors,
+        row.warmup_rounds_left,
     )
 }
 
@@ -455,6 +700,7 @@ fn render_traced_event(e: &TracedEvent) -> String {
         TraceEvent::SessionResurrected { session_id } => {
             ("SessionResurrected", "session_id", session_id)
         }
+        TraceEvent::SelfWatchAbnormal { n_r } => ("SelfWatchAbnormal", "n_r", n_r),
         TraceEvent::SessionReshaped {
             session_id,
             n_sensors,
@@ -528,6 +774,8 @@ mod tests {
             shutdown: shutdown.clone(),
             read_timeout: Duration::from_millis(200),
             write_timeout: Duration::from_secs(5),
+            flight: None,
+            selfwatch: None,
         };
         let ops = std::thread::spawn(move || run_ops(listener, shared));
         OpsFixture {

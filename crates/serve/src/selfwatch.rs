@@ -1,0 +1,562 @@
+//! Self-watch: CAD monitoring itself.
+//!
+//! The flight recorder ([`cad_obs::FlightRecorder`]) already samples the
+//! whole metric registry at a fixed cadence. Self-watch closes the loop:
+//! an embedded [`StreamingCad`] session consumes that ring as its window
+//! source — every metric is a *sensor*, every flight frame is a *round
+//! sample* — so the same correlation-break analysis the server sells to
+//! its clients runs over the server's own telemetry. When the usual
+//! correlation structure between, say, `serve_push_latency_nanos` and
+//! `serve_wal_append_nanos` breaks, self-watch flags the round *and names
+//! the outlier metrics*, typically before any single-metric threshold
+//! (like a perf-gate p99) trips.
+//!
+//! Sensor extraction per frame:
+//!
+//! - **counter** → per-interval delta (a rate proxy); a reset or first
+//!   sighting yields a NaN gap for that round.
+//! - **gauge** → absolute value.
+//! - **histogram** → delta of `sum` (per-interval accumulated latency).
+//!
+//! Metric identity is `name{labels}`; slots are assigned in first-seen
+//! order and never reused. When new metrics register mid-flight the
+//! embedded detector is [`reshape_sensors`]'d — the core's warm-up
+//! quarantine keeps the new slots out of verdicts until they have a full
+//! window of real data. Gaps ride the `HoldLast` policy, so a metric that
+//! vanishes from a frame never poisons the round.
+//!
+//! Abnormal verdicts increment `serve_selfwatch_abnormal`, emit a
+//! [`TraceEvent::SelfWatchAbnormal`] and land in a bounded verdict ring
+//! served by the `/selfwatch` ops endpoint.
+//!
+//! [`reshape_sensors`]: cad_core::StreamingCad::reshape_sensors
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cad_core::{CadConfig, CadDetector, GapPolicy, StreamingCad};
+use cad_obs::{decode_stream, FlightRecorder, MetricsSnapshot, TraceEvent};
+
+use crate::metrics;
+
+/// Environment switch: any value other than `0`/empty enables self-watch
+/// (the flight recorder must also be enabled — it is the window source).
+pub const ENV_SELFWATCH: &str = "CAD_SELFWATCH";
+/// Environment override for the detector window length (frames).
+pub const ENV_SELFWATCH_W: &str = "CAD_SELFWATCH_W";
+/// Environment override for the detector stride (frames).
+pub const ENV_SELFWATCH_S: &str = "CAD_SELFWATCH_S";
+/// Environment override for the Chebyshev multiplier η.
+pub const ENV_SELFWATCH_ETA: &str = "CAD_SELFWATCH_ETA";
+/// Environment override for the outlier ratio threshold θ.
+pub const ENV_SELFWATCH_THETA: &str = "CAD_SELFWATCH_THETA";
+/// Environment override for the correlation edge threshold τ.
+pub const ENV_SELFWATCH_TAU: &str = "CAD_SELFWATCH_TAU";
+/// Environment override for the sliding RC horizon (rounds).
+pub const ENV_SELFWATCH_HORIZON: &str = "CAD_SELFWATCH_HORIZON";
+
+/// Verdicts retained for `/selfwatch`.
+pub const VERDICT_RING: usize = 64;
+
+/// Tuning for the embedded detector; see the module docs.
+#[derive(Debug, Clone)]
+pub struct SelfWatchConfig {
+    /// Window length in flight frames.
+    pub w: usize,
+    /// Stride in flight frames (a detection round every `s` frames).
+    pub s: usize,
+    /// Chebyshev multiplier η for the anomaly threshold.
+    pub eta: f64,
+    /// Outlier ratio threshold θ. The paper's default (0.3) expects
+    /// communities spanning ~a third of the fleet; a metric registry is
+    /// the opposite — one load-correlated community inside a sea of
+    /// constant (hence correlation-less, community-less) series — so
+    /// self-watch defaults lower: communal means keeping a stable
+    /// community of a handful of peers, and a metric that splinters off
+    /// with only one or two fellow travellers (a latency source gone
+    /// rogue drags its mirrors with it) still counts as an outlier.
+    pub theta: f64,
+    /// Correlation edge threshold τ for the metric graph. The core
+    /// default (0.5) suits noisy physical sensors; healthy server
+    /// metrics are near-deterministically proportional (correlations
+    /// ≥0.9 under any varying load), and a lax τ lets the flicker of
+    /// small-window correlation estimates glue a genuinely broken
+    /// metric back into its old community. A strict τ keeps the healthy
+    /// community (far above it) intact while a break (far below it)
+    /// separates cleanly.
+    pub tau: f64,
+    /// Sliding RC horizon in rounds. The paper's cumulative ratio moves
+    /// by ~1/r per round — after an hour of baseline a regime change
+    /// would take another hour to surface. Self-watch wants incident
+    /// latency, so it windows the ratio.
+    pub horizon: usize,
+    /// How often the watcher thread polls the recorder ring.
+    pub poll: Duration,
+}
+
+impl Default for SelfWatchConfig {
+    fn default() -> Self {
+        Self {
+            w: 32,
+            s: 4,
+            eta: 3.0,
+            theta: 0.1,
+            tau: 0.75,
+            horizon: 16,
+            poll: Duration::from_millis(250),
+        }
+    }
+}
+
+impl SelfWatchConfig {
+    /// Read the `CAD_SELFWATCH*` knobs; `None` unless `CAD_SELFWATCH` is
+    /// set to something other than `0`.
+    pub fn from_env() -> Option<Self> {
+        let on = std::env::var(ENV_SELFWATCH).ok()?;
+        let on = on.trim();
+        if on.is_empty() || on == "0" {
+            return None;
+        }
+        let mut cfg = Self::default();
+        if let Some(w) = read_env(ENV_SELFWATCH_W) {
+            cfg.w = w.max(2);
+        }
+        if let Some(s) = read_env(ENV_SELFWATCH_S) {
+            cfg.s = s.clamp(1, cfg.w);
+        }
+        if let Ok(raw) = std::env::var(ENV_SELFWATCH_ETA) {
+            if let Ok(eta) = raw.trim().parse::<f64>() {
+                if eta > 0.0 && eta.is_finite() {
+                    cfg.eta = eta;
+                }
+            }
+        }
+        if let Ok(raw) = std::env::var(ENV_SELFWATCH_THETA) {
+            if let Ok(theta) = raw.trim().parse::<f64>() {
+                if (0.0..=1.0).contains(&theta) {
+                    cfg.theta = theta;
+                }
+            }
+        }
+        if let Ok(raw) = std::env::var(ENV_SELFWATCH_TAU) {
+            if let Ok(tau) = raw.trim().parse::<f64>() {
+                if (0.0..=1.0).contains(&tau) {
+                    cfg.tau = tau;
+                }
+            }
+        }
+        if let Some(h) = read_env(ENV_SELFWATCH_HORIZON) {
+            cfg.horizon = h.max(1);
+        }
+        Some(cfg)
+    }
+}
+
+fn read_env(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// One detection round over the server's own metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfWatchVerdict {
+    /// Flight-frame sequence number the round completed on.
+    pub seq: u64,
+    /// 0-based self-watch round index.
+    pub round: u64,
+    /// Correlation-break survivors `n_r`.
+    pub n_r: u64,
+    /// `|n_r − μ|/σ` for the round.
+    pub zscore: f64,
+    /// Whether the round crossed the η·σ threshold.
+    pub abnormal: bool,
+    /// The outlier *metric names* (`name{labels}`), sorted by slot.
+    pub outliers: Vec<String>,
+}
+
+/// Point-in-time `/selfwatch` payload.
+#[derive(Debug, Clone)]
+pub struct SelfWatchStatus {
+    /// Window length in frames.
+    pub w: usize,
+    /// Stride in frames.
+    pub s: usize,
+    /// Chebyshev multiplier η.
+    pub eta: f64,
+    /// Outlier ratio threshold θ.
+    pub theta: f64,
+    /// Correlation edge threshold τ.
+    pub tau: f64,
+    /// Sliding RC horizon in rounds.
+    pub horizon: usize,
+    /// Metric sensors tracked so far.
+    pub sensors: usize,
+    /// Sensors still inside warm-up quarantine.
+    pub quarantined_sensors: usize,
+    /// Flight frames consumed.
+    pub frames: u64,
+    /// Detection rounds completed.
+    pub rounds: u64,
+    /// Rounds flagged abnormal.
+    pub abnormal: u64,
+    /// Most recent verdicts, oldest first (bounded by [`VERDICT_RING`]).
+    pub verdicts: Vec<SelfWatchVerdict>,
+}
+
+#[derive(Default)]
+struct WatchState {
+    stream: Option<StreamingCad>,
+    /// Slot → metric identity, first-seen order; never shrinks.
+    sensor_names: Vec<String>,
+    sensor_index: HashMap<String, usize>,
+    /// Last cumulative reading per delta-typed sensor (counters and
+    /// histogram sums), for per-interval differencing.
+    last_cumulative: HashMap<usize, u64>,
+    next_seq: u64,
+    frames: u64,
+    rounds: u64,
+    abnormal: u64,
+    verdicts: VecDeque<SelfWatchVerdict>,
+}
+
+/// The embedded self-monitoring session. Shared between the watcher
+/// thread and the `/selfwatch` handler behind an `Arc`.
+pub struct SelfWatch {
+    recorder: Arc<FlightRecorder>,
+    cfg: SelfWatchConfig,
+    state: Mutex<WatchState>,
+    stop: AtomicBool,
+}
+
+impl SelfWatch {
+    /// A watcher over `recorder`'s ring with the given tuning.
+    pub fn new(recorder: Arc<FlightRecorder>, cfg: SelfWatchConfig) -> Self {
+        Self {
+            recorder,
+            cfg,
+            state: Mutex::new(WatchState::default()),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> &SelfWatchConfig {
+        &self.cfg
+    }
+
+    /// Consume every flight frame recorded since the last call, feeding
+    /// each through the embedded detector. Returns the number of frames
+    /// consumed. Idempotent between recorder ticks; tests and the ops
+    /// plane may call it directly for a deterministic drive.
+    pub fn process_now(&self) -> usize {
+        let mut state = self.state.lock().expect("selfwatch poisoned");
+        // Dump from the cursor; the recorder extends the window back to
+        // the nearest keyframe so the deltas always chain.
+        let bytes = self.recorder.dump(state.next_seq, u64::MAX);
+        let Ok(decoded) = decode_stream(&bytes) else {
+            return 0;
+        };
+        let mut consumed = 0usize;
+        for frame in &decoded.frames {
+            if frame.seq < state.next_seq {
+                continue; // keyframe run-up, already consumed
+            }
+            state.next_seq = frame.seq + 1;
+            state.frames += 1;
+            consumed += 1;
+            self.ingest(&mut state, frame.seq, &frame.snapshot);
+        }
+        consumed
+    }
+
+    /// One frame → one detector round sample.
+    fn ingest(&self, state: &mut WatchState, seq: u64, snap: &MetricsSnapshot) {
+        // Slot assignment: first-seen order, then a reading per slot.
+        // Deltas difference against the previous cumulative value; the
+        // first sighting is a NaN gap the HoldLast policy absorbs.
+        let mut readings: Vec<f64> = vec![f64::NAN; state.sensor_names.len()];
+        let mut pending: Vec<(usize, f64)> = Vec::new();
+        let slot_for = |state: &mut WatchState, key: String| -> usize {
+            if let Some(&i) = state.sensor_index.get(&key) {
+                i
+            } else {
+                let i = state.sensor_names.len();
+                state.sensor_names.push(key.clone());
+                state.sensor_index.insert(key, i);
+                i
+            }
+        };
+        for c in &snap.counters {
+            let slot = slot_for(state, metric_key(&c.name, &c.labels));
+            pending.push((slot, delta(state, slot, c.value)));
+        }
+        for g in &snap.gauges {
+            let slot = slot_for(state, metric_key(&g.name, &g.labels));
+            pending.push((slot, g.value as f64));
+        }
+        for h in &snap.histograms {
+            let slot = slot_for(state, metric_key(&h.name, &h.labels));
+            pending.push((slot, delta(state, slot, h.sum)));
+        }
+        let n = state.sensor_names.len();
+        if n < 2 {
+            return;
+        }
+        readings.resize(n, f64::NAN);
+        for (slot, v) in pending {
+            readings[slot] = v;
+        }
+        match state.stream.as_mut() {
+            None => {
+                let config = CadConfig::builder(n)
+                    .window(self.cfg.w, self.cfg.s)
+                    .eta(self.cfg.eta)
+                    .theta(self.cfg.theta)
+                    .tau(self.cfg.tau)
+                    .rc_horizon(Some(self.cfg.horizon))
+                    .gap_policy(GapPolicy::HoldLast)
+                    .build();
+                state.stream = Some(StreamingCad::new(CadDetector::new(n, config)));
+            }
+            Some(stream) => {
+                if stream.detector().n_sensors() < n {
+                    // New metrics registered mid-flight: widen the
+                    // detector; warm-up quarantine screens the new slots.
+                    stream.reshape_sensors(n);
+                }
+            }
+        }
+        let stream = state.stream.as_mut().expect("stream installed above");
+        let Some(outcome) = stream.push_sample(&readings) else {
+            return;
+        };
+        state.rounds += 1;
+        let verdict = SelfWatchVerdict {
+            seq,
+            round: state.rounds - 1,
+            n_r: outcome.n_r as u64,
+            zscore: outcome.zscore,
+            abnormal: outcome.abnormal,
+            outliers: outcome
+                .outliers
+                .iter()
+                .filter_map(|&v| state.sensor_names.get(v).cloned())
+                .collect(),
+        };
+        if verdict.abnormal {
+            state.abnormal += 1;
+            metrics::selfwatch_abnormal_total().inc();
+            cad_obs::tracer().emit(TraceEvent::SelfWatchAbnormal { n_r: verdict.n_r });
+        }
+        if state.verdicts.len() == VERDICT_RING {
+            state.verdicts.pop_front();
+        }
+        state.verdicts.push_back(verdict);
+    }
+
+    /// Snapshot for `/selfwatch`.
+    pub fn status(&self) -> SelfWatchStatus {
+        let state = self.state.lock().expect("selfwatch poisoned");
+        SelfWatchStatus {
+            w: self.cfg.w,
+            s: self.cfg.s,
+            eta: self.cfg.eta,
+            theta: self.cfg.theta,
+            tau: self.cfg.tau,
+            horizon: self.cfg.horizon,
+            sensors: state.sensor_names.len(),
+            quarantined_sensors: state
+                .stream
+                .as_ref()
+                .map(|s| s.detector().quarantined_sensors())
+                .unwrap_or(0),
+            frames: state.frames,
+            rounds: state.rounds,
+            abnormal: state.abnormal,
+            verdicts: state.verdicts.iter().cloned().collect(),
+        }
+    }
+
+    /// Ask the watcher thread (if any) to stop after its current sleep.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// `cur` vs the slot's previous cumulative reading. First sighting and
+/// resets (value went backwards) are NaN gaps.
+fn delta(state: &mut WatchState, slot: usize, cur: u64) -> f64 {
+    match state.last_cumulative.insert(slot, cur) {
+        Some(prev) if cur >= prev => (cur - prev) as f64,
+        _ => f64::NAN,
+    }
+}
+
+/// Metric identity: `name` or `name{k=v,...}`.
+fn metric_key(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16);
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+/// Handle to the background watcher thread.
+pub struct SelfWatchThread {
+    watch: Arc<SelfWatch>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SelfWatchThread {
+    /// Stop the thread and join it.
+    pub fn stop(mut self) {
+        self.watch.request_stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SelfWatchThread {
+    fn drop(&mut self) {
+        self.watch.request_stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawn the watcher thread: polls the recorder ring at the configured
+/// cadence and feeds new frames through [`SelfWatch::process_now`].
+pub fn start_watcher(watch: Arc<SelfWatch>) -> SelfWatchThread {
+    let poll = watch.cfg.poll;
+    let worker = Arc::clone(&watch);
+    let handle = std::thread::Builder::new()
+        .name("cad-selfwatch".into())
+        .spawn(move || {
+            while !worker.stop_requested() {
+                worker.process_now();
+                // Sleep in short slices so stop requests land promptly.
+                let mut left = poll;
+                while !left.is_zero() && !worker.stop_requested() {
+                    let nap = left.min(Duration::from_millis(50));
+                    std::thread::sleep(nap);
+                    left = left.saturating_sub(nap);
+                }
+            }
+        })
+        .expect("spawn cad-selfwatch");
+    SelfWatchThread {
+        watch,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cad_obs::{FlightConfig, Registry};
+
+    fn recorder() -> Arc<FlightRecorder> {
+        let cfg = FlightConfig {
+            cadence: Duration::from_millis(10),
+            ring: 256,
+            keyframe_every: 8,
+            spool: None,
+        };
+        let clock = {
+            let t = std::sync::atomic::AtomicU64::new(0);
+            Box::new(move || t.fetch_add(10, Ordering::Relaxed))
+        };
+        Arc::new(FlightRecorder::with_clock(cfg, clock).expect("recorder"))
+    }
+
+    #[test]
+    fn metrics_become_sensors_and_rounds_fire_on_stride() {
+        let reg = Registry::new();
+        let c = reg.counter("sw_test_total", &[]);
+        let g = reg.gauge("sw_test_depth", &[]);
+        let rec = recorder();
+        let watch = SelfWatch::new(
+            Arc::clone(&rec),
+            SelfWatchConfig {
+                w: 8,
+                s: 2,
+                poll: Duration::from_millis(10),
+                ..SelfWatchConfig::default()
+            },
+        );
+        for i in 0..40u64 {
+            c.add(3 + (i % 2));
+            g.set((i as i64 % 7) - 3);
+            rec.tick(&reg);
+        }
+        let consumed = watch.process_now();
+        assert_eq!(consumed, 40);
+        let status = watch.status();
+        assert_eq!(status.sensors, 2);
+        assert_eq!(status.frames, 40);
+        // w=8, s=2 over 40 frames → rounds start once the window fills.
+        assert!(status.rounds >= 10, "rounds={}", status.rounds);
+        // Re-polling without new frames consumes nothing.
+        assert_eq!(watch.process_now(), 0);
+        assert_eq!(watch.status().rounds, status.rounds);
+    }
+
+    #[test]
+    fn midflight_metric_registration_reshapes_not_restarts() {
+        let reg = Registry::new();
+        let c = reg.counter("sw_a_total", &[]);
+        let g = reg.gauge("sw_a_depth", &[]);
+        let rec = recorder();
+        let watch = SelfWatch::new(
+            Arc::clone(&rec),
+            SelfWatchConfig {
+                w: 6,
+                s: 2,
+                poll: Duration::from_millis(10),
+                ..SelfWatchConfig::default()
+            },
+        );
+        for i in 0..20u64 {
+            c.add(2);
+            g.set(i as i64);
+            rec.tick(&reg);
+        }
+        watch.process_now();
+        let before = watch.status();
+        assert_eq!(before.sensors, 2);
+
+        // A third metric appears mid-flight.
+        let late = reg.counter("sw_late_total", &[]);
+        for _ in 0..20u64 {
+            c.add(2);
+            late.add(5);
+            g.set(1);
+            rec.tick(&reg);
+        }
+        watch.process_now();
+        let after = watch.status();
+        assert_eq!(after.sensors, 3);
+        // Rounds kept accumulating — the session was reshaped, not reset.
+        assert!(after.rounds > before.rounds);
+        // The late sensor sat in warm-up quarantine at first.
+        assert!(after.frames == 40);
+    }
+}

@@ -62,6 +62,7 @@ use crate::protocol::{
 use crate::session::{
     Command, ManagerConfig, Reply, ReplyTo, SessionManager, SessionPump, TryEnqueueError,
 };
+use crate::timing;
 
 /// Configuration for [`CadServer::bind`].
 #[derive(Debug, Clone)]
@@ -109,6 +110,16 @@ pub struct ServeConfig {
     pub wal_fsync: cad_wal::FsyncPolicy,
     /// WAL segment size cap in bytes.
     pub wal_segment_bytes: u64,
+    /// Size-based WAL retention: force-remove the oldest *sealed*
+    /// segments once they exceed this many bytes (0 disables; sacrifices
+    /// replay history for a bounded disk footprint).
+    pub wal_retain_bytes: u64,
+    /// Flight recorder tuning; `None` (the default) disables recording
+    /// entirely — no sampler thread, zero steady-state cost.
+    pub flight: Option<cad_obs::FlightConfig>,
+    /// Self-watch tuning; requires `flight` (the recorder ring is the
+    /// window source). `None` disables the watcher.
+    pub selfwatch: Option<crate::selfwatch::SelfWatchConfig>,
 }
 
 impl Default for ServeConfig {
@@ -134,6 +145,9 @@ impl Default for ServeConfig {
             wal_dir: None,
             wal_fsync: m.wal_fsync,
             wal_segment_bytes: m.wal_segment_bytes,
+            wal_retain_bytes: m.wal_retain_bytes,
+            flight: None,
+            selfwatch: None,
         }
     }
 }
@@ -278,6 +292,7 @@ impl CadServer {
             wal_dir: cfg.wal_dir.clone(),
             wal_fsync: cfg.wal_fsync,
             wal_segment_bytes: cfg.wal_segment_bytes,
+            wal_retain_bytes: cfg.wal_retain_bytes,
         })?;
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
@@ -349,6 +364,26 @@ impl CadServer {
         let pump_thread = std::thread::Builder::new()
             .name("cad-serve-pump".into())
             .spawn(move || pump.run())?;
+        // Flight recorder and self-watch start before the ops plane so
+        // the first scrape can already see them; both are fully absent
+        // (no thread, no ring) unless configured.
+        let flight = match &cfg.flight {
+            Some(fc) => Some(Arc::new(cad_obs::FlightRecorder::new(fc.clone())?)),
+            None => None,
+        };
+        let sampler = flight
+            .as_ref()
+            .map(|r| cad_obs::start_sampler(Arc::clone(r)));
+        let selfwatch = match (&flight, &cfg.selfwatch) {
+            (Some(rec), Some(swc)) => Some(Arc::new(crate::selfwatch::SelfWatch::new(
+                Arc::clone(rec),
+                swc.clone(),
+            ))),
+            _ => None,
+        };
+        let watcher = selfwatch
+            .as_ref()
+            .map(|w| crate::selfwatch::start_watcher(Arc::clone(w)));
         // The ops plane accepts on its own thread so scrapes stay
         // responsive while the data plane sits in backpressure; it polls
         // the same shutdown flag and winds down with the accept loop.
@@ -359,6 +394,8 @@ impl CadServer {
                     shutdown: shutdown.clone(),
                     read_timeout: cfg.read_timeout,
                     write_timeout: cfg.write_timeout,
+                    flight: flight.clone(),
+                    selfwatch: selfwatch.clone(),
                 };
                 Some(
                     std::thread::Builder::new()
@@ -454,6 +491,14 @@ impl CadServer {
         }
         if let Some(h) = ops_thread {
             let _ = h.join();
+        }
+        // Wind down the observers before the pumps drain so their final
+        // frames cover the full serving window.
+        if let Some(w) = watcher {
+            w.stop();
+        }
+        if let Some(s) = sampler {
+            s.stop();
         }
         manager.close();
         let persisted = pump_thread
@@ -1161,12 +1206,23 @@ fn run_router(shared: &IoShared, rx: Receiver<(u64, Reply)>) {
             // batch completed, but not the reply write.
             metrics::push_latency().record_duration(started.elapsed());
         }
+        // Lift the shard-side stage breakdown out before the reply is
+        // consumed; the ack stage is measured around the encode and the
+        // first flush attempt below.
+        let push_timings = match &reply {
+            Reply::Pushed { timings, .. } => *timings,
+            _ => None,
+        };
+        let ack_started = Instant::now();
         let frame = reply_frame(&shared.manager, &pending, reply);
         queue_reply(&mut conn, &frame);
         if matches!(frame, Frame::ShutdownAck { .. }) {
             conn.close_after_flush = true;
         }
         let alive = finish_io(shared, &mut conn);
+        if let Some(t) = push_timings {
+            timing::finish_ack(t, ack_started.elapsed().as_nanos() as u64);
+        }
         drop(conn);
         if !alive {
             drop_connection(shared, token);
@@ -1190,7 +1246,7 @@ fn reply_frame(manager: &SessionManager, pending: &Pending, reply: Reply) -> Fra
             resumed,
             samples_seen,
         },
-        (PendingKind::Push, Reply::Pushed(outcomes)) => Frame::PushAck {
+        (PendingKind::Push, Reply::Pushed { outcomes, .. }) => Frame::PushAck {
             session_id,
             throttled: pending.throttled,
             queue_depth: pending.queue_depth,

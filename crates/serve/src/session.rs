@@ -88,6 +88,7 @@ use crate::protocol::{
     codes, max_push_ticks, SessionSpec, SessionStats, WireEngine, WireGapPolicy, WireOutcome,
     WireRoundRecord,
 };
+use crate::timing::{self, TickTimings};
 
 /// Admission, queue, pump and hibernation limits for a [`SessionManager`].
 #[derive(Debug, Clone)]
@@ -127,6 +128,11 @@ pub struct ManagerConfig {
     /// WAL segment size cap in bytes; appends past it roll to a new
     /// segment file.
     pub wal_segment_bytes: u64,
+    /// Size-based WAL retention: cap on total sealed-segment bytes per
+    /// shard (0 disables). Over the cap, the oldest sealed segments are
+    /// force-removed after watermark compaction — sacrificing replay
+    /// history, never the active segment.
+    pub wal_retain_bytes: u64,
 }
 
 impl Default for ManagerConfig {
@@ -144,6 +150,7 @@ impl Default for ManagerConfig {
             wal_dir: None,
             wal_fsync: FsyncPolicy::EveryBatch,
             wal_segment_bytes: cad_wal::DEFAULT_SEGMENT_BYTES,
+            wal_retain_bytes: 0,
         }
     }
 }
@@ -176,7 +183,13 @@ pub enum Reply {
         samples_seen: u64,
     },
     /// Batch processed; rounds it completed, in tick order.
-    Pushed(Vec<WireOutcome>),
+    Pushed {
+        /// Completed detection rounds, in tick order.
+        outcomes: Vec<WireOutcome>,
+        /// Per-stage latency breakdown of this push; `None` on paths that
+        /// bypass the timed pump pipeline.
+        timings: Option<TickTimings>,
+    },
     /// Sensor set resized; the count now in effect.
     Reshaped {
         /// Sensor count after the reshape.
@@ -341,6 +354,13 @@ pub struct SessionRow {
     pub state: SessionState,
     /// `rounds` as of the last accepted push (how stale the stream is).
     pub last_push_round: u64,
+    /// Sensors still inside the reshape warm-up quarantine (0 for
+    /// hibernated rows: their frozen quarantine state lives in the spill
+    /// and is reloaded on resurrection).
+    pub quarantined_sensors: u32,
+    /// Rounds until every quarantined sensor is eligible again (0 when
+    /// nothing is quarantined, and for hibernated rows).
+    pub warmup_rounds_left: u64,
 }
 
 /// The work half of a [`Command`], split from its reply channel so a
@@ -469,6 +489,10 @@ pub struct WalCounters {
     pub bytes: AtomicI64,
     /// Sealed segments removed by compaction.
     pub compacted_segments: AtomicU64,
+    /// Sealed segments force-removed by size-based retention.
+    pub retention_segments: AtomicU64,
+    /// Bytes reclaimed by size-based retention.
+    pub retention_bytes: AtomicU64,
     /// Records replayed during recovery at startup.
     pub recovery_records: AtomicU64,
     /// Ticks applied to sessions during recovery replay.
@@ -506,6 +530,12 @@ pub struct WalStatus {
     pub bytes: u64,
     /// Segments removed by compaction.
     pub compacted_segments: u64,
+    /// Configured sealed-byte retention cap (0 = unlimited).
+    pub retain_bytes: u64,
+    /// Sealed segments force-removed by size-based retention.
+    pub retention_segments: u64,
+    /// Bytes reclaimed by size-based retention.
+    pub retention_bytes: u64,
     /// Records replayed at startup.
     pub recovery_records: u64,
     /// Ticks applied at startup.
@@ -546,16 +576,19 @@ impl Session {
     }
 
     fn row(&self, shard: u32, session_id: u64) -> SessionRow {
+        let detector = self.stream.detector();
         SessionRow {
             shard,
             session_id,
-            n_sensors: self.stream.detector().n_sensors() as u32,
+            n_sensors: detector.n_sensors() as u32,
             samples_seen: self.stream.samples_seen() as u64,
             rounds: self.rounds,
             anomalies: self.anomalies,
             resumed: self.resumed,
             state: SessionState::Active,
             last_push_round: self.last_push_round,
+            quarantined_sensors: detector.quarantined_sensors() as u32,
+            warmup_rounds_left: detector.warmup_rounds_left() as u64,
         }
     }
 }
@@ -596,6 +629,8 @@ impl HibernatedMeta {
             resumed: self.resumed,
             state: SessionState::Hibernated,
             last_push_round: self.last_push_round,
+            quarantined_sensors: 0,
+            warmup_rounds_left: 0,
         }
     }
 }
@@ -660,7 +695,9 @@ impl Shard {
 }
 
 struct IngressQueue {
-    jobs: VecDeque<Command>,
+    /// Pending commands, each stamped with its admission instant so the
+    /// pump can attribute ingress-queue wait per push.
+    jobs: VecDeque<(Command, Instant)>,
     pending_ticks: usize,
     /// Set by [`SessionManager::rebalance`]: this queue generation is
     /// dead, producers must re-route and the group pump must exit.
@@ -1048,6 +1085,66 @@ fn read_spill(path: &Path, explain_rounds: usize) -> std::io::Result<StreamingCa
     Ok(stream)
 }
 
+/// Test-only fault injection: while the file named by
+/// `CAD_WAL_TEST_STALL_FILE` exists, every fourth WAL append sleeps a
+/// large multiple (12× / 16×) of `CAD_WAL_TEST_STALL_MS` milliseconds
+/// (default 50) while the rest run untouched — what a real disk
+/// brown-out looks like: intermittent huge fsync spikes between
+/// normal-speed writes. The intermittency is what makes the self-watch
+/// drill honest: a *constant* delay on *every* append merely scales the
+/// WAL latency metrics, leaving them perfectly proportional to load —
+/// hence perfectly correlated, breaking nothing upstream. With sparse
+/// spikes, a sampling interval holding a spike shows huge WAL time but
+/// *few* completed ticks, and full-speed intervals show the opposite —
+/// the WAL timings actively decorrelate from throughput, which is the
+/// break the embedded detector is meant to catch. The delay lands
+/// inside the timed append window, so it must surface in the
+/// `wal_append` stage histogram and in `/slowz`. Zero cost unless the
+/// variable is set.
+fn wal_test_stall() {
+    static STALL: std::sync::OnceLock<Option<(PathBuf, u64)>> = std::sync::OnceLock::new();
+    let Some((path, ms)) = STALL.get_or_init(|| {
+        let path = std::env::var_os("CAD_WAL_TEST_STALL_FILE")?;
+        let ms = std::env::var("CAD_WAL_TEST_STALL_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50);
+        Some((PathBuf::from(path), ms))
+    }) else {
+        return;
+    };
+    if path.exists() {
+        static TICKS: AtomicU64 = AtomicU64::new(0);
+        const PATTERN: [u64; 8] = [0, 0, 0, 12, 0, 0, 0, 16];
+        let k = TICKS.fetch_add(1, Ordering::Relaxed) as usize;
+        std::thread::sleep(Duration::from_millis(*ms * PATTERN[k % PATTERN.len()]));
+    }
+}
+
+/// The two pipeline stages measured before a command reaches its shard:
+/// ingress-queue wait and pump dispatch. Computed in [`Shard::run`] and
+/// handed to `exec` so a push can fill the leading fields of its
+/// [`TickTimings`].
+#[derive(Debug, Clone, Copy)]
+struct StageLead {
+    queue_nanos: u64,
+    dispatch_nanos: u64,
+}
+
+/// Nanoseconds from `a` to `b`, saturating at zero if the instants are
+/// out of order (they come from different threads' reads of the same
+/// monotonic clock).
+fn nanos_between(a: Instant, b: Instant) -> u64 {
+    b.saturating_duration_since(a)
+        .as_nanos()
+        .min(u64::MAX as u128) as u64
+}
+
+/// Nanoseconds elapsed since `started`.
+fn nanos_since(started: Instant) -> u64 {
+    nanos_between(started, Instant::now())
+}
+
 impl Shard {
     /// Append one record to this shard's WAL. An I/O failure is counted
     /// and logged but never takes serving down: the WAL degrades to a
@@ -1058,6 +1155,7 @@ impl Shard {
             return;
         };
         let started = Instant::now();
+        wal_test_stall();
         match wal.append(rec) {
             Ok(out) => {
                 metrics::wal_append_latency().record_duration(started.elapsed());
@@ -1161,6 +1259,46 @@ impl Shard {
                 );
             }
         }
+        let retain = shared.cfg.wal_retain_bytes;
+        if retain == 0 {
+            return;
+        }
+        // Size-based retention rides the same roll-gated cadence: the
+        // compact pass above already reclaimed everything watermark-safe,
+        // so anything this removes is genuinely sacrificed history.
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        let sessions = &self.sessions;
+        let hibernated = &self.hibernated;
+        let durable = &self.durable;
+        match wal.enforce_retention(retain, |sid| {
+            if sessions.contains_key(&sid) || hibernated.contains_key(&sid) {
+                SessionDurability::Durable(durable.get(&sid).copied())
+            } else {
+                SessionDurability::Gone
+            }
+        }) {
+            Ok(out) if out.removed_segments > 0 => {
+                metrics::wal_retention_deleted_total().add(out.removed_segments);
+                metrics::wal_segments_gauge().sub(out.removed_segments as i64);
+                metrics::wal_bytes_gauge().sub(out.removed_bytes as i64);
+                if let Some(w) = &shared.wal {
+                    w.retention_segments
+                        .fetch_add(out.removed_segments, Ordering::Relaxed);
+                    w.retention_bytes
+                        .fetch_add(out.removed_bytes, Ordering::Relaxed);
+                    w.segments
+                        .fetch_sub(out.removed_segments as i64, Ordering::Relaxed);
+                    w.bytes
+                        .fetch_sub(out.removed_bytes as i64, Ordering::Relaxed);
+                }
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("cad-serve: shard {}: WAL retention failed: {e}", self.index);
+            }
+        }
     }
 
     /// A push/create/resurrect just reset a session's idle clock: the
@@ -1174,16 +1312,26 @@ impl Shard {
     }
 
     /// Process this shard's slice of the drained batch, in arrival order.
-    fn run(&mut self, cmds: Vec<Command>, shared: &Shared) -> Vec<(ReplyTo, Reply)> {
+    fn run(
+        &mut self,
+        cmds: Vec<(Command, Instant)>,
+        drained_at: Instant,
+        shared: &Shared,
+    ) -> Vec<(ReplyTo, Reply)> {
         let _t = Timer::start("serve.shard");
         let mut out = Vec::with_capacity(cmds.len());
-        for cmd in cmds {
+        for (cmd, enqueued_at) in cmds {
             let (session_id, work, reply_to) = cmd.into_parts();
+            let exec_start = Instant::now();
+            let lead = StageLead {
+                queue_nanos: nanos_between(enqueued_at, drained_at),
+                dispatch_nanos: nanos_between(drained_at, exec_start),
+            };
             // validate_spec screens every known panic path, but detector
             // internals assert their own invariants; a panic must cost
             // one command, not the pump thread (and with it the server).
             let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.exec(session_id, work, shared)
+                self.exec(session_id, work, shared, lead)
             }))
             .unwrap_or_else(|_| {
                 // The session may be mid-mutation; drop it rather than
@@ -1334,7 +1482,7 @@ impl Shard {
     }
 
     /// Execute one command against this shard's sessions.
-    fn exec(&mut self, session_id: u64, work: Work, shared: &Shared) -> Reply {
+    fn exec(&mut self, session_id: u64, work: Work, shared: &Shared, lead: StageLead) -> Reply {
         // Hibernated sessions resurrect on any command except Close,
         // which drops the spill without ever loading it.
         if !self.sessions.contains_key(&session_id) && self.hibernated.contains_key(&session_id) {
@@ -1468,6 +1616,7 @@ impl Shard {
                     Ok(width) => {
                         // Append before the ack. The samples move into the
                         // record and back out — no copy of the batch.
+                        let wal_started = Instant::now();
                         let samples = if self.wal.is_some() {
                             let rec = WalRecord::Push {
                                 session_id,
@@ -1483,10 +1632,12 @@ impl Shard {
                         } else {
                             samples
                         };
+                        let wal_nanos = nanos_since(wal_started);
                         let session = self
                             .sessions
                             .get_mut(&session_id)
                             .expect("session presence checked above");
+                        let engine_started = Instant::now();
                         let mut outcomes = Vec::new();
                         for (i, tick) in samples.chunks_exact(width).enumerate() {
                             if let Some(o) = session.stream.push_sample(tick) {
@@ -1501,6 +1652,7 @@ impl Shard {
                                 });
                             }
                         }
+                        let engine_nanos = nanos_since(engine_started);
                         session.last_push_sweep = sweep;
                         session.last_push_round = session.rounds;
                         let n_ticks = (samples.len() / width) as u64;
@@ -1513,7 +1665,25 @@ impl Shard {
                             outcomes.iter().filter(|o| o.abnormal).count() as u64,
                             Ordering::Relaxed,
                         );
-                        Reply::Pushed(outcomes)
+                        let timings = TickTimings {
+                            session_id,
+                            base_tick,
+                            n_ticks: n_ticks.min(u32::MAX as u64) as u32,
+                            rounds: outcomes.len().min(u32::MAX as usize) as u32,
+                            queue_nanos: lead.queue_nanos,
+                            dispatch_nanos: lead.dispatch_nanos,
+                            engine_nanos,
+                            wal_nanos,
+                            ack_nanos: 0,
+                        };
+                        // Recorded shard-side so the stage histograms count
+                        // the push even if the client vanishes before the
+                        // ack; the router adds ack_flush and the exemplar.
+                        timing::record_shard_stages(&timings);
+                        Reply::Pushed {
+                            outcomes,
+                            timings: Some(timings),
+                        }
                     }
                 }
             }
@@ -2109,6 +2279,9 @@ impl SessionManager {
             segments: w.segments.load(Ordering::Relaxed).max(0) as u64,
             bytes: w.bytes.load(Ordering::Relaxed).max(0) as u64,
             compacted_segments: w.compacted_segments.load(Ordering::Relaxed),
+            retain_bytes: cfg.wal_retain_bytes,
+            retention_segments: w.retention_segments.load(Ordering::Relaxed),
+            retention_bytes: w.retention_bytes.load(Ordering::Relaxed),
             recovery_records: w.recovery_records.load(Ordering::Relaxed),
             recovery_ticks: w.recovery_ticks.load(Ordering::Relaxed),
             recovery_dropped_records: w.recovery_dropped_records.load(Ordering::Relaxed),
@@ -2168,7 +2341,7 @@ impl SessionManager {
             .peak_queue_depth
             .fetch_max(depth as u64, Ordering::Relaxed);
         metrics::queue_depth_gauge().set(depth as i64);
-        q.jobs.push_back(cmd);
+        q.jobs.push_back((cmd, Instant::now()));
         queue.not_empty.notify_all();
         depth
     }
@@ -2309,7 +2482,8 @@ impl SessionManager {
                 // rare).
                 return Err(SessionTableError::Timeout);
             }
-            q.jobs.push_back(Command::SessionTable { reply: tx.into() });
+            q.jobs
+                .push_back((Command::SessionTable { reply: tx.into() }, Instant::now()));
             queue.not_empty.notify_all();
             receivers.push(rx);
         }
@@ -2512,7 +2686,10 @@ fn run_group(
         };
         let had_work = !batch.is_empty();
         if had_work {
-            pump_group_batch(&mut shards, batch, shared);
+            // One instant for the whole batch: per-command queue wait is
+            // measured to the drain, per-command dispatch from it.
+            let drained_at = Instant::now();
+            pump_group_batch(&mut shards, batch, drained_at, shared);
             batches += 1;
             // Keep the RSS gauge warm under load but never touch it while
             // quiesced — scrape-to-scrape byte parity (the loadgen
@@ -2545,12 +2722,17 @@ fn run_group(
 /// [`Command::SessionTable`] reads are answered afterwards, when the
 /// group again has exclusive access to its shards — so the rows are a
 /// consistent snapshot that includes this batch's effects.
-fn pump_group_batch(shards: &mut [Shard], batch: VecDeque<Command>, shared: &Shared) {
+fn pump_group_batch(
+    shards: &mut [Shard],
+    batch: VecDeque<(Command, Instant)>,
+    drained_at: Instant,
+    shared: &Shared,
+) {
     // This group's shards are a contiguous index range (see `group_of`).
     let base = shards.first().map(|s| s.index).unwrap_or(0);
-    let mut per_shard: Vec<Vec<Command>> = shards.iter().map(|_| Vec::new()).collect();
+    let mut per_shard: Vec<Vec<(Command, Instant)>> = shards.iter().map(|_| Vec::new()).collect();
     let mut table_requests = Vec::new();
-    for cmd in batch {
+    for (cmd, enqueued_at) in batch {
         if let Command::SessionTable { reply } = cmd {
             table_requests.push(reply);
             continue;
@@ -2560,15 +2742,16 @@ fn pump_group_batch(shards: &mut [Shard], batch: VecDeque<Command>, shared: &Sha
             shard_ix >= base && shard_ix - base < per_shard.len(),
             "command routed to a queue whose group does not own shard {shard_ix}"
         );
-        per_shard[shard_ix - base].push(cmd);
+        per_shard[shard_ix - base].push((cmd, enqueued_at));
     }
     let _t = Timer::start("serve.pump");
     // par_map_mut takes a shared closure; each slot is taken by exactly
     // one shard index, so a Mutex per slot adds no ordering hazard.
-    let slots: Vec<Mutex<Vec<Command>>> = per_shard.into_iter().map(Mutex::new).collect();
+    let slots: Vec<Mutex<Vec<(Command, Instant)>>> =
+        per_shard.into_iter().map(Mutex::new).collect();
     let replies = cad_runtime::par_map_mut(shards, |i, shard| {
         let cmds = std::mem::take(&mut *slots[i].lock().expect("command slot poisoned"));
-        shard.run(cmds, shared)
+        shard.run(cmds, drained_at, shared)
     });
     for shard_replies in replies {
         for (reply_to, reply) in shard_replies {

@@ -1,0 +1,169 @@
+//! Per-tick latency attribution.
+//!
+//! Every accepted push carries a [`TickTimings`] through the pipeline:
+//! the shard records how long the batch waited in its ingress queue
+//! (`queue_wait`), how long the pump took to dispatch it to the shard
+//! (`dispatch`), the detector rounds themselves (`engine`) and the WAL
+//! append (`wal_append`); the reply router finishes the record with the
+//! ack encode-and-flush (`ack_flush`). Each stage lands in the
+//! `cad_tick_stage_nanos{stage}` histogram, and the completed record is
+//! offered to a bounded slowest-N exemplar ring served by `/slowz` — so a
+//! p999 spike is attributable to a stage, not just observed.
+//!
+//! All deltas are monotonic-clock (`Instant`) differences; no wall-clock
+//! timestamps are retained, matching the tracer's reproducibility rules.
+
+use std::sync::Mutex;
+
+use crate::metrics;
+
+/// Exemplars retained by the slowest-N ring.
+pub const SLOW_RING_CAPACITY: usize = 32;
+
+/// The pipeline stages, in order, as labelled in `cad_tick_stage_nanos`.
+pub const STAGES: [&str; 5] = [
+    "queue_wait",
+    "dispatch",
+    "engine",
+    "wal_append",
+    "ack_flush",
+];
+
+/// Stage-by-stage breakdown of one accepted push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickTimings {
+    /// Session the batch targeted.
+    pub session_id: u64,
+    /// First tick of the batch.
+    pub base_tick: u64,
+    /// Ticks in the batch.
+    pub n_ticks: u32,
+    /// Detection rounds the batch completed.
+    pub rounds: u32,
+    /// Ingress-queue wait: enqueue to batch drain.
+    pub queue_nanos: u64,
+    /// Pump dispatch: batch drain to shard execution start.
+    pub dispatch_nanos: u64,
+    /// Detector rounds (the `push_sample` loop).
+    pub engine_nanos: u64,
+    /// WAL append, encode to (optional) fsync return; 0 with the WAL off.
+    pub wal_nanos: u64,
+    /// Ack encode plus the first socket flush attempt; 0 until the router
+    /// finishes the record.
+    pub ack_nanos: u64,
+}
+
+impl TickTimings {
+    /// Sum across all five stages.
+    pub fn total_nanos(&self) -> u64 {
+        self.queue_nanos
+            .saturating_add(self.dispatch_nanos)
+            .saturating_add(self.engine_nanos)
+            .saturating_add(self.wal_nanos)
+            .saturating_add(self.ack_nanos)
+    }
+
+    /// The stage that consumed the most time, as a
+    /// `cad_tick_stage_nanos` label value.
+    pub fn slowest_stage(&self) -> &'static str {
+        let values = [
+            self.queue_nanos,
+            self.dispatch_nanos,
+            self.engine_nanos,
+            self.wal_nanos,
+            self.ack_nanos,
+        ];
+        let mut best = 0;
+        for (i, &v) in values.iter().enumerate() {
+            if v > values[best] {
+                best = i;
+            }
+        }
+        STAGES[best]
+    }
+}
+
+static SLOW_RING: Mutex<Vec<TickTimings>> = Mutex::new(Vec::new());
+
+/// Record the four shard-side stages into their histograms (called by the
+/// shard as soon as the push executes, so the stages are counted even if
+/// the client vanishes before the ack).
+pub(crate) fn record_shard_stages(t: &TickTimings) {
+    metrics::tick_stage("queue_wait").record(t.queue_nanos);
+    metrics::tick_stage("dispatch").record(t.dispatch_nanos);
+    metrics::tick_stage("engine").record(t.engine_nanos);
+    metrics::tick_stage("wal_append").record(t.wal_nanos);
+}
+
+/// Finish a record at the router: record the ack stage and offer the
+/// completed breakdown to the slowest-N ring.
+pub(crate) fn finish_ack(mut t: TickTimings, ack_nanos: u64) {
+    t.ack_nanos = ack_nanos;
+    metrics::tick_stage("ack_flush").record(ack_nanos);
+    let mut ring = SLOW_RING.lock().expect("slow ring poisoned");
+    let total = t.total_nanos();
+    if ring.len() < SLOW_RING_CAPACITY {
+        ring.push(t);
+        ring.sort_by_key(|e| std::cmp::Reverse(e.total_nanos()));
+        return;
+    }
+    // Full ring is kept sorted descending; the last entry is the floor.
+    if total > ring.last().map(|e| e.total_nanos()).unwrap_or(0) {
+        ring.pop();
+        ring.push(t);
+        ring.sort_by_key(|e| std::cmp::Reverse(e.total_nanos()));
+    }
+}
+
+/// The current slowest-N exemplars, slowest first (the `/slowz` payload).
+pub fn slowest() -> Vec<TickTimings> {
+    SLOW_RING.lock().expect("slow ring poisoned").clone()
+}
+
+/// Empty the exemplar ring (tests).
+pub fn clear_slow_ring() {
+    SLOW_RING.lock().expect("slow ring poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(session_id: u64, engine: u64, wal: u64) -> TickTimings {
+        TickTimings {
+            session_id,
+            base_tick: 0,
+            n_ticks: 1,
+            rounds: 1,
+            queue_nanos: 10,
+            dispatch_nanos: 5,
+            engine_nanos: engine,
+            wal_nanos: wal,
+            ack_nanos: 0,
+        }
+    }
+
+    #[test]
+    fn slowest_stage_names_the_max() {
+        assert_eq!(t(1, 100, 5).slowest_stage(), "engine");
+        assert_eq!(t(1, 5, 900).slowest_stage(), "wal_append");
+        // Ties resolve to the earlier pipeline stage.
+        assert_eq!(t(1, 10, 10).slowest_stage(), "queue_wait");
+    }
+
+    #[test]
+    fn ring_keeps_the_slowest_and_stays_bounded() {
+        clear_slow_ring();
+        for i in 0..(SLOW_RING_CAPACITY as u64 + 40) {
+            finish_ack(t(i, i * 100, 0), 1);
+        }
+        let ring = slowest();
+        assert_eq!(ring.len(), SLOW_RING_CAPACITY);
+        // Slowest first, and the fast early pushes were evicted.
+        assert!(ring
+            .windows(2)
+            .all(|w| w[0].total_nanos() >= w[1].total_nanos()));
+        assert_eq!(ring[0].session_id, SLOW_RING_CAPACITY as u64 + 39);
+        clear_slow_ring();
+    }
+}

@@ -710,6 +710,11 @@ pub struct WalStats {
     pub compacted_segments: u64,
     /// Bytes reclaimed by compaction.
     pub compacted_bytes: u64,
+    /// Sealed segments force-removed by size-based retention (these
+    /// sacrificed replay history, unlike `compacted_segments`).
+    pub retention_segments: u64,
+    /// Bytes reclaimed by size-based retention.
+    pub retention_bytes: u64,
 }
 
 /// What [`ShardWal::open`] found on disk.
@@ -1043,6 +1048,39 @@ impl ShardWal {
         }
         self.stats.compacted_segments += out.removed_segments;
         self.stats.compacted_bytes += out.removed_bytes;
+        Ok(out)
+    }
+
+    /// Size-based retention on top of watermark compaction: cap the total
+    /// bytes held in *sealed* segments at `cap_bytes` (the active segment
+    /// is never touched). A normal [`Self::compact`] pass runs first, so
+    /// everything durably covered is reclaimed for free; only if the shard
+    /// is still over the cap are the oldest sealed segments force-removed
+    /// — deliberately sacrificing replay history for those ticks.
+    ///
+    /// Returns only the force-removed amount; the embedded compaction pass
+    /// is accounted under the usual `compacted_*` stats.
+    pub fn enforce_retention<F>(
+        &mut self,
+        cap_bytes: u64,
+        durability: F,
+    ) -> io::Result<CompactOutcome>
+    where
+        F: FnMut(u64) -> SessionDurability,
+    {
+        self.compact(durability)?;
+        let mut out = CompactOutcome::default();
+        let mut sealed_bytes: u64 = self.sealed.iter().map(|s| s.bytes).sum();
+        while sealed_bytes > cap_bytes {
+            // sealed_bytes > 0 implies at least one sealed segment exists.
+            let seg = self.sealed.remove(0);
+            fs::remove_file(&seg.path)?;
+            sealed_bytes -= seg.bytes;
+            out.removed_segments += 1;
+            out.removed_bytes += seg.bytes;
+        }
+        self.stats.retention_segments += out.removed_segments;
+        self.stats.retention_bytes += out.removed_bytes;
         Ok(out)
     }
 
@@ -1417,6 +1455,57 @@ mod tests {
         // scan must stay clean (no gaps inside segments).
         let (_, report) = ShardWal::open(cfg(&dir, 200)).unwrap();
         assert_eq!(report.dropped_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_caps_sealed_bytes_never_the_active_segment() {
+        let dir = tmp_dir("retain");
+        let (mut wal, _) = ShardWal::open(cfg(&dir, 200)).unwrap();
+        wal.append(&WalRecord::Create {
+            session_id: 1,
+            spec: spec(),
+        })
+        .unwrap();
+        for i in 0..12u64 {
+            wal.append(&push(1, i * 2, 2)).unwrap();
+        }
+        let sealed = wal.sealed_segments();
+        assert!(sealed >= 3);
+        let sealed_bytes: u64 = wal.bytes() - HEADER_BYTES; // roughly; cap below forces removals
+
+        // Nothing durable, so compaction alone reclaims nothing — but the
+        // byte cap force-removes the oldest sealed segments anyway.
+        let cap = sealed_bytes / 3;
+        let out = wal
+            .enforce_retention(cap, |_| SessionDurability::Durable(None))
+            .unwrap();
+        assert!(out.removed_segments > 0, "cap must force removals");
+        assert_eq!(wal.stats.retention_segments, out.removed_segments);
+        assert_eq!(wal.stats.retention_bytes, out.removed_bytes);
+        let sealed_after: u64 = wal.sealed_segments();
+        assert!(sealed_after < sealed);
+
+        // Oldest-first: the surviving log is a clean suffix.
+        let (_, report) = ShardWal::open(cfg(&dir, 200)).unwrap();
+        assert_eq!(report.dropped_bytes, 0);
+        let first_tick = report
+            .records
+            .iter()
+            .filter_map(|r| r.push_end_tick())
+            .next()
+            .unwrap();
+        assert!(first_tick > 2, "oldest pushes must have been dropped");
+
+        // A cap of 0 clears every sealed segment but never the active one.
+        let (mut wal, _) = ShardWal::open(cfg(&dir, 200)).unwrap();
+        wal.enforce_retention(0, |_| SessionDurability::Durable(None))
+            .unwrap();
+        assert_eq!(wal.sealed_segments(), 0);
+        assert_eq!(wal.segments(), 1);
+        // Appends keep working afterwards.
+        wal.append(&push(1, 100, 2)).unwrap();
+        wal.sync().unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -54,6 +54,13 @@ def top_level(report, key):
     return float(report[key])
 
 
+def flight_ratio(report):
+    flight = report.get("flight")
+    if not isinstance(flight, dict) or "p99_ratio" not in flight:
+        raise KeyError("flight.p99_ratio missing from report")
+    return float(flight["p99_ratio"])
+
+
 # Each guarded metric: (baseline_key, extractor, higher_is_better). The
 # baseline_key is the JSON path the number came from — it is what a
 # failure message points at, so keep it copy-pasteable into jq/python.
@@ -82,6 +89,11 @@ GATES = {
                 False,
             ),
             ("ticks_per_sec", lambda r: top_level(r, "ticks_per_sec"), True),
+            # Flight-recorder observability tax: client push p99 with the
+            # recorder on vs off, from the loadgen's paired A/B arms. The
+            # committed baseline pins 1.0, so with the default 25%
+            # tolerance the recorder may cost at most 25% on push p99.
+            ("flight.p99_ratio", flight_ratio, False),
         ],
     },
 }
